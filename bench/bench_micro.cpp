@@ -1,0 +1,110 @@
+// Micro-benchmarks: lexer/parser/engine throughput scaling with file size.
+// Not a paper table; establishes that analysis cost grows roughly linearly
+// with LOC (supporting the paper's §V.E scalability claim).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "baselines/analyzers.h"
+#include "php/lexer.h"
+#include "php/parser.h"
+#include "corpus/generator.h"
+#include "php/project.h"
+
+namespace {
+
+std::string make_php(int blocks) {
+    std::string code = "<?php\n";
+    for (int i = 0; i < blocks; ++i) {
+        const std::string n = std::to_string(i);
+        code += "$title_" + n + " = $_GET['t" + n + "'];\n";
+        code += "$clean_" + n + " = htmlspecialchars($title_" + n + ");\n";
+        code += "echo '<h2>' . $clean_" + n + " . '</h2>';\n";
+        code += "function helper_" + n + "($x) { return trim($x); }\n";
+        code += "echo helper_" + n + "($title_" + n + ");\n";
+    }
+    return code;
+}
+
+void BM_Lexer(benchmark::State& state) {
+    const std::string code = make_php(static_cast<int>(state.range(0)));
+    phpsafe::SourceFile file("bench.php", code);
+    for (auto _ : state) {
+        phpsafe::DiagnosticSink sink;
+        phpsafe::php::Lexer lexer(file, sink);
+        benchmark::DoNotOptimize(lexer.tokenize());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * code.size());
+}
+BENCHMARK(BM_Lexer)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Parser(benchmark::State& state) {
+    const std::string code = make_php(static_cast<int>(state.range(0)));
+    phpsafe::SourceFile file("bench.php", code);
+    for (auto _ : state) {
+        phpsafe::DiagnosticSink sink;
+        phpsafe::php::Parser parser(file, sink);
+        benchmark::DoNotOptimize(parser.parse());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * code.size());
+}
+BENCHMARK(BM_Parser)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EngineAnalyze(benchmark::State& state) {
+    const std::string code = make_php(static_cast<int>(state.range(0)));
+    phpsafe::php::Project project("bench");
+    project.add_file("bench.php", code);
+    phpsafe::DiagnosticSink sink;
+    project.parse_all(sink);
+    const phpsafe::Tool tool = phpsafe::make_phpsafe_tool();
+    phpsafe::Engine engine(tool.kb, tool.options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.analyze(project));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * code.size());
+}
+BENCHMARK(BM_EngineAnalyze)->Arg(10)->Arg(100)->Arg(1000);
+
+// Function-summary reuse (paper §III.C: "every function is analyzed only
+// the first time it is called... the data flow of this analysis is used to
+// process future calls"): analysis cost must grow with the number of call
+// *sites* far slower than re-analyzing the body each time would.
+void BM_SummaryReuse(benchmark::State& state) {
+    const int call_sites = static_cast<int>(state.range(0));
+    std::string code =
+        "<?php\n"
+        "function render($v) {\n"
+        "  $out = '<div>' . htmlspecialchars($v) . '</div>';\n"
+        "  $out .= '<span>' . strtoupper(trim($v)) . '</span>';\n"
+        "  return $out;\n"
+        "}\n";
+    for (int i = 0; i < call_sites; ++i)
+        code += "echo render($_GET['k" + std::to_string(i) + "']);\n";
+    phpsafe::php::Project project("bench");
+    project.add_file("bench.php", code);
+    phpsafe::DiagnosticSink sink;
+    project.parse_all(sink);
+    const phpsafe::Tool tool = phpsafe::make_phpsafe_tool();
+    phpsafe::Engine engine(tool.kb, tool.options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.analyze(project));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * call_sites);
+}
+BENCHMARK(BM_SummaryReuse)->Arg(1)->Arg(32)->Arg(1024);
+
+// Whole-corpus generation cost (the deterministic dataset substitute).
+void BM_CorpusGeneration(benchmark::State& state) {
+    phpsafe::corpus::CorpusOptions options;
+    options.scale = static_cast<double>(state.range(0)) / 100.0;
+    options.filler_lines_2012 = static_cast<int>(70000 * options.scale);
+    options.filler_lines_2014 = static_cast<int>(150000 * options.scale);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(phpsafe::corpus::generate_corpus(options));
+    }
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

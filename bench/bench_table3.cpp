@@ -1,0 +1,64 @@
+// Reproduces Table III (+ §V.E): CPU time to analyze all 35 plugins per
+// tool per version (average of 5 runs, as in the paper) and the robustness
+// observations (files each tool failed to analyze, error messages raised).
+// Absolute times differ from the paper's 2015 hardware; the claims that
+// survive are relative: phpSAFE and RIPS are in the same time class and
+// scale roughly linearly with LOC.
+#include <iomanip>
+#include <iostream>
+
+#include "harness.h"
+#include "report/render.h"
+
+using namespace phpsafe;
+using namespace phpsafe::bench;
+
+int main(int argc, char** argv) {
+    const double scale = argc > 1 ? std::stod(argv[1]) : 1.0;
+    const int kRuns = 5;  // paper: "time values are an average of five runs"
+    std::cout << "Table III reproduction — detection time of all plugins "
+                 "(seconds, avg of " << kRuns << " runs)\n";
+    EvalRun run = run_evaluation(scale, kRuns);
+
+    TextTable table;
+    table.add_row({"Tool", "Ver. 2012 (s)", "Ver. 2014 (s)",
+                   "s/KLOC 2012", "s/KLOC 2014"});
+    const double kloc_2012 = run.corpus.total_lines("2012") / 1000.0;
+    const double kloc_2014 = run.corpus.total_lines("2014") / 1000.0;
+    for (const Tool& tool : run.tools) {
+        std::ostringstream t12, t14, k12, k14;
+        const double s12 = run.stats["2012"][tool.name].cpu_seconds;
+        const double s14 = run.stats["2014"][tool.name].cpu_seconds;
+        t12 << std::fixed << std::setprecision(2) << s12;
+        t14 << std::fixed << std::setprecision(2) << s14;
+        k12 << std::fixed << std::setprecision(4) << s12 / kloc_2012;
+        k14 << std::fixed << std::setprecision(4) << s14 / kloc_2014;
+        table.add_row({tool.name, t12.str(), t14.str(), k12.str(), k14.str()});
+    }
+    std::cout << table.to_string();
+
+    std::cout << "\nCorpus size: 2012 " << run.corpus.total_files("2012")
+              << " files / " << run.corpus.total_lines("2012") << " LOC; 2014 "
+              << run.corpus.total_files("2014") << " files / "
+              << run.corpus.total_lines("2014")
+              << " LOC (paper: 266 files / 89,560 LOC; 356 files / 180,801 LOC)\n";
+
+    std::cout << "\n--- Robustness (paper §V.E) ---\n";
+    TextTable robust;
+    robust.add_row({"Tool", "Failed files 2012", "Failed files 2014",
+                    "Errors 2012", "Errors 2014"});
+    for (const Tool& tool : run.tools) {
+        robust.add_row({tool.name,
+                        std::to_string(run.stats["2012"][tool.name].files_failed),
+                        std::to_string(run.stats["2014"][tool.name].files_failed),
+                        std::to_string(run.stats["2012"][tool.name].error_messages),
+                        std::to_string(run.stats["2014"][tool.name].error_messages)});
+    }
+    std::cout << robust.to_string();
+    std::cout << "\nPaper reference: phpSAFE failed 1 file (2012) / 3 files "
+                 "(2014); RIPS completed all files; Pixy failed 32 files and "
+                 "raised 1 (2012) / 37 (2014) error messages.\n"
+                 "Paper times: phpSAFE 17.87/180.91 s, RIPS 69.42/178.46 s, "
+                 "Pixy 49.57/106.54 s (2.8 GHz Core i5, 2015).\n";
+    return 0;
+}

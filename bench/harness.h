@@ -1,0 +1,53 @@
+// Thin adapter between the bench binaries and the library's evaluation
+// driver (report/evaluation.h) — the benches are printers; the procedure
+// itself is public API.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "report/evaluation.h"
+#include "report/metrics.h"
+
+namespace phpsafe::bench {
+
+using ToolVersionStats = EvaluationStats;
+
+struct EvalRun {
+    corpus::Corpus corpus;
+    std::vector<Tool> tools;
+    // stats[version][tool]
+    std::map<std::string, std::map<std::string, ToolVersionStats>> stats;
+    std::map<std::string, std::vector<corpus::SeededVuln>> truth;
+};
+
+inline EvalRun run_evaluation(double scale = 1.0, int repetitions = 1) {
+    EvaluationOptions options;
+    options.corpus_scale = scale;
+    options.timing_repetitions = repetitions;
+    Evaluation evaluation = run_corpus_evaluation(paper_tool_set(), options);
+
+    EvalRun run;
+    run.corpus = std::move(evaluation.corpus);
+    run.tools = paper_tool_set();
+    run.stats = std::move(evaluation.stats);
+    run.truth = std::move(evaluation.truth);
+    return run;
+}
+
+/// Paper-style FN per tool: vulnerabilities detected by any tool but missed
+/// by this one (the paper's optimistic convention, §IV.B.5).
+inline std::map<std::string, int> paper_fn(
+    const std::map<std::string, ToolVersionStats>& stats,
+    bool xss_only = false, bool sqli_only = false) {
+    std::map<std::string, std::set<std::string>> detected;
+    for (const auto& [tool, s] : stats)
+        detected[tool] = xss_only    ? s.detected_ids_xss
+                         : sqli_only ? s.detected_ids_sqli
+                                     : s.detected_ids;
+    return paper_style_false_negatives(detected);
+}
+
+}  // namespace phpsafe::bench

@@ -1,0 +1,99 @@
+// ci_gate: phpSAFE as a CI quality gate — the paper's §III integration
+// story ("the use of phpSAFE can be part of the software development
+// lifecycle of a company"). Scans a directory of PHP sources; compares
+// against a stored baseline of known findings (normalized history keys,
+// see report/history.h) and fails only when NEW vulnerabilities appear —
+// so a legacy plugin can adopt the gate without fixing its backlog first.
+//
+//   $ ci_gate <dir> --write-baseline .phpsafe-baseline   # accept status quo
+//   $ ci_gate <dir> --baseline .phpsafe-baseline         # fail on new findings
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "baselines/analyzers.h"
+#include "php/project.h"
+#include "report/history.h"
+
+using namespace phpsafe;
+namespace fs = std::filesystem;
+
+namespace {
+
+php::Project load_directory(const fs::path& root) {
+    php::Project project(root.filename().string());
+    for (const fs::directory_entry& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".php") continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        project.add_file(fs::relative(entry.path(), root).generic_string(),
+                         text.str());
+    }
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    return project;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr << "usage: ci_gate <dir> [--baseline FILE | --write-baseline "
+                     "FILE]\n";
+        return 2;
+    }
+    const fs::path root = argv[1];
+    std::string baseline_path;
+    bool write_baseline = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
+        if (arg == "--write-baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+            write_baseline = true;
+        }
+    }
+    if (!fs::exists(root)) {
+        std::cerr << "no such directory: " << root << "\n";
+        return 2;
+    }
+
+    php::Project project = load_directory(root);
+    const Tool tool = make_phpsafe_tool();
+    const AnalysisResult result = run_tool(tool, project);
+
+    if (write_baseline) {
+        std::ofstream out(baseline_path);
+        for (const Finding& finding : result.findings)
+            out << history_key(finding) << "\n";
+        std::cout << "baseline written: " << result.findings.size()
+                  << " finding(s) recorded in " << baseline_path << "\n";
+        return 0;
+    }
+
+    std::set<std::string> known;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty()) known.insert(line);
+    }
+
+    int fresh = 0;
+    for (const Finding& finding : result.findings) {
+        if (known.count(history_key(finding))) continue;
+        ++fresh;
+        std::cout << "NEW " << to_string(finding) << "\n";
+        for (const TaintStep& step : finding.trace)
+            std::cout << "      " << to_string(step.location) << "  "
+                      << step.description << "\n";
+    }
+    const int suppressed = static_cast<int>(result.findings.size()) - fresh;
+    std::cout << "\nci_gate: " << fresh << " new finding(s), " << suppressed
+              << " baseline-suppressed, " << result.files_failed
+              << " file(s) failed to analyze\n";
+    return fresh == 0 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// export_corpus: writes one generated plugin (or the whole corpus) to disk
+// as real .php files plus a ground-truth manifest — so the synthetic
+// dataset can be inspected, scanned with `scan_directory`, or fed to other
+// PHP analysis tools for cross-checking.
+//
+//   $ ./build/examples/export_corpus /tmp/corpus [plugin-index] [2012|2014]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "corpus/generator.h"
+
+using namespace phpsafe;
+namespace fs = std::filesystem;
+
+namespace {
+
+void export_version(const fs::path& root, const corpus::GeneratedPlugin& plugin,
+                    const corpus::PluginVersionSource& version) {
+    const fs::path dir = root / (plugin.name + "-" + version.version);
+    for (const auto& [name, text] : version.files) {
+        const fs::path path = dir / name;
+        fs::create_directories(path.parent_path());
+        std::ofstream(path) << text;
+    }
+    // Ground-truth manifest, one line per seeded vulnerability.
+    std::ofstream manifest(dir / "GROUND_TRUTH.tsv");
+    manifest << "id\tkind\tfile\tline\tvector\tvia_oop\tcarried_over\n";
+    for (const corpus::SeededVuln& vuln : version.truth) {
+        manifest << vuln.id << '\t' << to_string(vuln.kind) << '\t' << vuln.file
+                 << '\t' << vuln.line << '\t' << to_string(vuln.vector) << '\t'
+                 << (vuln.via_oop ? 1 : 0) << '\t' << (vuln.carried_over ? 1 : 0)
+                 << '\n';
+    }
+    std::cout << "wrote " << dir.string() << " (" << version.files.size()
+              << " files, " << version.truth.size() << " seeded vulns)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr << "usage: export_corpus <out-dir> [plugin-index] [2012|2014]\n";
+        return 2;
+    }
+    const fs::path root = argv[1];
+    const int index = argc > 2 ? std::atoi(argv[2]) : -1;
+    const std::string version = argc > 3 ? argv[3] : "";
+
+    corpus::CorpusOptions options;
+    options.scale = 0.4;
+    options.filler_lines_2012 = 6000;
+    options.filler_lines_2014 = 12000;
+    const corpus::Corpus corpus = corpus::generate_corpus(options);
+
+    for (int p = 0; p < static_cast<int>(corpus.plugins.size()); ++p) {
+        if (index >= 0 && p != index) continue;
+        const corpus::GeneratedPlugin& plugin = corpus.plugins[p];
+        if (version.empty() || version == "2012")
+            export_version(root, plugin, plugin.v2012);
+        if (version.empty() || version == "2014")
+            export_version(root, plugin, plugin.v2014);
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Multi-CMS analysis (paper §VI future work): the same engine analyzes a
+// Drupal module and a Joomla component once the CMS profile is loaded —
+// "this is what it takes for phpSAFE to be able to analyze plugins from
+// other CMSs" (§III.A).
+//
+//   $ ./build/examples/other_cms
+#include <iostream>
+
+#include "baselines/analyzers.h"
+#include "php/project.h"
+
+using namespace phpsafe;
+
+namespace {
+
+void analyze_and_print(const char* title, const KnowledgeBase& kb,
+                       php::Project& project) {
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Engine engine(kb, AnalysisOptions{});
+    const AnalysisResult result = engine.analyze(project);
+    std::cout << "=== " << title << " ===\n";
+    for (const Finding& finding : result.findings)
+        std::cout << "  " << to_string(finding) << "\n";
+    if (result.findings.empty()) std::cout << "  (no findings)\n";
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+    // --- Drupal module -------------------------------------------------------
+    php::Project drupal("drupal-module");
+    drupal.add_file("guestbook.module", R"PHP(<?php
+// SQLi: raw request value concatenated into db_query.
+$name = $_GET['name'];
+db_query("SELECT * FROM {guestbook} WHERE name = '$name'");
+
+// Stored XSS: database rows printed without check_plain().
+$result = db_query("SELECT * FROM {guestbook}");
+while ($entry = db_fetch_object($result)) {
+    print '<div class="entry">' . $entry->message . '</div>';
+}
+
+// Properly filtered output: no report expected.
+print check_plain($_GET['title']);
+
+// XSS through the messenger.
+drupal_set_message('Saved ' . $_POST['note']);
+)PHP");
+    KnowledgeBase drupal_kb = make_generic_php_kb();
+    add_drupal_profile(drupal_kb);
+    analyze_and_print("Drupal module (with Drupal profile)", drupal_kb, drupal);
+
+    php::Project drupal2("drupal-module");
+    drupal2.add_file("guestbook.module", drupal.files().empty()
+                                             ? ""
+                                             : std::string(drupal.files()[0]
+                                                               .source->text()));
+    analyze_and_print("Same module, generic profile only (flows are missed)",
+                      make_generic_php_kb(), drupal2);
+
+    // --- Joomla component ----------------------------------------------------
+    php::Project joomla("joomla-component");
+    joomla.add_file("controller.php", R"PHP(<?php
+// Request data through the Joomla API, echoed raw.
+$task = JRequest::getVar('task');
+echo '<h2>' . $task . '</h2>';
+
+// SQLi through the database object.
+$db = JFactory::getDBO();
+$id = JRequest::getVar('id');
+$db->setQuery("DELETE FROM #__items WHERE id = $id");
+
+// Escaped variant: no report expected.
+$safe = $db->escape(JRequest::getVar('q'));
+$db->setQuery("SELECT * FROM #__items WHERE title = '$safe'");
+
+// Integer-coerced request value: no report expected.
+echo JRequest::getInt('limit');
+)PHP");
+    KnowledgeBase joomla_kb = make_generic_php_kb();
+    add_joomla_profile(joomla_kb);
+    analyze_and_print("Joomla component (with Joomla profile)", joomla_kb, joomla);
+
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Plugin audit: generates one synthetic WordPress plugin from the corpus
+// generator, audits it with phpSAFE, and prints a full review report —
+// per-file findings with data-flow traces, root-cause classification and a
+// comparison against the seeded ground truth. This is the workflow of the
+// paper's results-processing stage (§III.D): everything a security reviewer
+// needs to trace a tainted variable back to its entry point.
+//
+//   $ ./build/examples/plugin_audit [plugin-index]
+#include <iostream>
+#include <map>
+
+#include "baselines/analyzers.h"
+#include "corpus/generator.h"
+#include "report/matching.h"
+#include "report/render.h"
+
+using namespace phpsafe;
+
+int main(int argc, char** argv) {
+    const int plugin_index = argc > 1 ? std::atoi(argv[1]) : 3;
+
+    corpus::CorpusOptions options;
+    options.scale = 0.4;
+    options.filler_lines_2012 = 4000;
+    options.filler_lines_2014 = 8000;
+    const corpus::Corpus corpus = corpus::generate_corpus(options);
+    if (plugin_index < 0 ||
+        plugin_index >= static_cast<int>(corpus.plugins.size())) {
+        std::cerr << "plugin index out of range (0.."
+                  << corpus.plugins.size() - 1 << ")\n";
+        return 2;
+    }
+    const corpus::GeneratedPlugin& plugin = corpus.plugins[plugin_index];
+    const corpus::PluginVersionSource& version = plugin.v2014;
+
+    std::cout << "=== Auditing " << plugin.name << " (version "
+              << version.version << ", " << version.files.size() << " files, "
+              << version.total_lines << " lines, "
+              << (plugin.oop ? "OOP" : "procedural") << ") ===\n\n";
+
+    DiagnosticSink parse_sink;
+    const php::Project project =
+        corpus::build_project(plugin, version, parse_sink);
+    const Tool tool = make_phpsafe_tool();
+    const AnalysisResult result = run_tool(tool, project);
+
+    std::map<std::string, std::vector<const Finding*>> by_file;
+    for (const Finding& finding : result.findings)
+        by_file[finding.location.file].push_back(&finding);
+
+    for (const auto& [file, findings] : by_file) {
+        std::cout << file << " — " << findings.size() << " finding(s)\n";
+        for (const Finding* finding : findings) {
+            std::cout << "  [" << to_string(finding->kind) << "] line "
+                      << finding->location.line << ", sink " << finding->sink
+                      << ", vector " << to_string(finding->vector)
+                      << (finding->via_oop ? " (via OOP)" : "") << "\n";
+            std::cout << "    vulnerable expression: " << finding->variable << "\n";
+            for (const TaintStep& step : finding->trace)
+                std::cout << "      " << to_string(step.location) << "  "
+                          << step.description << "\n";
+        }
+        std::cout << "\n";
+    }
+
+    const MatchResult match = match_findings(result.findings, version.truth);
+    std::cout << "--- Audit summary ---\n";
+    TextTable table;
+    table.add_row({"Metric", "Value"});
+    table.add_row({"Findings", std::to_string(result.findings.size())});
+    table.add_row({"Confirmed (match seeded ground truth)",
+                   std::to_string(match.tp())});
+    table.add_row({"False alarms", std::to_string(match.fp())});
+    table.add_row({"Seeded vulns missed", std::to_string(match.fn_oracle())});
+    table.add_row({"Files failed", std::to_string(result.files_failed)});
+    std::cout << table.to_string();
+
+    if (!match.missed.empty()) {
+        std::cout << "\nMissed seeded vulnerabilities (tool limitations):\n";
+        for (const corpus::SeededVuln* vuln : match.missed)
+            std::cout << "  " << vuln->id << " at " << vuln->file << ":"
+                      << vuln->line << " (" << to_string(vuln->kind) << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Tool definitions for the paper's three-way comparison (§IV.B.3): phpSAFE
+// itself, a RIPS-like baseline and a Pixy-like baseline. All three run on
+// the same AST/taint substrate; what differs is the capability envelope the
+// paper attributes to each tool (OOP support, CMS profile, uncalled-
+// function analysis, register_globals modeling, robustness behaviour).
+#pragma once
+
+#include <string>
+
+#include "config/knowledge.h"
+#include "core/engine.h"
+#include "core/finding.h"
+#include "php/project.h"
+
+namespace phpsafe {
+
+/// A fully configured analyzer: knowledge base + engine options.
+struct Tool {
+    std::string name;
+    KnowledgeBase kb;
+    AnalysisOptions options;
+};
+
+/// phpSAFE: OOP-aware, WordPress profile loaded out of the box, analyzes
+/// uncalled functions; include-depth limited (paper §V.E: failed on files
+/// with very deep include chains).
+Tool make_phpsafe_tool();
+
+/// RIPS-like: strong procedural analysis of PHP built-ins, no OOP member
+/// resolution, no CMS profile; analyzes uncalled functions; robust on all
+/// files (the paper reports RIPS completed every file).
+Tool make_rips_like_tool();
+
+/// Pixy-like: 2007-era knowledge (no mysqli, no WordPress, register_globals
+/// modeling), no OOP at all — files containing OOP constructs fail —, no
+/// analysis of functions never called from plugin code.
+Tool make_pixy_like_tool();
+
+/// Runs a tool on a parsed plugin, filling cpu_seconds with process CPU time.
+AnalysisResult run_tool(const Tool& tool, const php::Project& project);
+
+}  // namespace phpsafe

@@ -1,0 +1,40 @@
+#include <ctime>
+
+#include "baselines/analyzers.h"
+
+namespace phpsafe {
+
+Tool make_phpsafe_tool() {
+    Tool tool;
+    tool.name = "phpSAFE";
+    tool.kb = make_generic_php_kb();
+    add_wordpress_profile(tool.kb);
+    tool.options.tool_name = tool.name;
+    tool.options.oop_support = true;
+    tool.options.analyze_uncalled_functions = true;
+    tool.options.max_include_depth = 8;
+    return tool;
+}
+
+Tool make_rips_like_tool() {
+    Tool tool;
+    tool.name = "RIPS";
+    tool.kb = make_generic_php_kb();  // no WordPress profile
+    tool.options.tool_name = tool.name;
+    tool.options.oop_support = false;
+    tool.options.analyze_uncalled_functions = true;
+    tool.options.max_include_depth = 64;  // completed every file in the paper
+    tool.options.analyze_closures = true;
+    return tool;
+}
+
+AnalysisResult run_tool(const Tool& tool, const php::Project& project) {
+    Engine engine(tool.kb, tool.options);
+    const std::clock_t start = std::clock();
+    AnalysisResult result = engine.analyze(project);
+    const std::clock_t end = std::clock();
+    result.cpu_seconds = static_cast<double>(end - start) / CLOCKS_PER_SEC;
+    return result;
+}
+
+}  // namespace phpsafe

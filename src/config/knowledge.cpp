@@ -1,0 +1,123 @@
+#include "config/knowledge.h"
+
+#include "util/strings.h"
+
+namespace phpsafe {
+
+std::string to_string(VulnKind kind) {
+    switch (kind) {
+        case VulnKind::kXss: return "XSS";
+        case VulnKind::kSqli: return "SQLi";
+    }
+    return "?";
+}
+
+std::string to_string(VulnSet set) {
+    std::string out;
+    for (int i = 0; i < kVulnKindCount; ++i) {
+        const auto kind = static_cast<VulnKind>(i);
+        if (!set.contains(kind)) continue;
+        if (!out.empty()) out += "+";
+        out += to_string(kind);
+    }
+    return out.empty() ? "none" : out;
+}
+
+std::string to_string(InputVector v) {
+    switch (v) {
+        case InputVector::kGet: return "GET";
+        case InputVector::kPost: return "POST";
+        case InputVector::kCookie: return "COOKIE";
+        case InputVector::kRequest: return "REQUEST";
+        case InputVector::kServer: return "SERVER";
+        case InputVector::kFiles: return "FILES";
+        case InputVector::kDatabase: return "DB";
+        case InputVector::kFile: return "File";
+        case InputVector::kFunction: return "Function";
+        case InputVector::kArray: return "Array";
+        case InputVector::kUnknown: return "Unknown";
+    }
+    return "?";
+}
+
+std::string to_string(VectorGroup g) {
+    switch (g) {
+        case VectorGroup::kPost: return "POST";
+        case VectorGroup::kGet: return "GET";
+        case VectorGroup::kPostGetCookie: return "POST/GET/COOKIE";
+        case VectorGroup::kDatabase: return "DB";
+        case VectorGroup::kFileFunctionArray: return "File/Function/Array";
+    }
+    return "?";
+}
+
+VectorGroup vector_group(InputVector v) {
+    switch (v) {
+        case InputVector::kPost: return VectorGroup::kPost;
+        case InputVector::kGet: return VectorGroup::kGet;
+        case InputVector::kCookie:
+        case InputVector::kRequest:
+        case InputVector::kServer:
+        case InputVector::kFiles:
+            return VectorGroup::kPostGetCookie;
+        case InputVector::kDatabase: return VectorGroup::kDatabase;
+        case InputVector::kFile:
+        case InputVector::kFunction:
+        case InputVector::kArray:
+        case InputVector::kUnknown:
+            return VectorGroup::kFileFunctionArray;
+    }
+    return VectorGroup::kFileFunctionArray;
+}
+
+void KnowledgeBase::add_function(FunctionInfo info) {
+    info.name = ascii_lower(info.name);
+    functions_[info.name] = std::move(info);
+}
+
+void KnowledgeBase::add_method(std::string_view class_name, FunctionInfo info) {
+    info.name = ascii_lower(info.name);
+    methods_[ascii_lower(class_name) + "::" + info.name] = std::move(info);
+}
+
+void KnowledgeBase::add_any_method(FunctionInfo info) {
+    info.name = ascii_lower(info.name);
+    methods_["::" + info.name] = std::move(info);
+}
+
+void KnowledgeBase::add_superglobal(SuperglobalInfo info) {
+    superglobals_[info.name] = std::move(info);
+}
+
+void KnowledgeBase::add_known_global_object(std::string_view var_name,
+                                            std::string_view class_name) {
+    known_globals_[std::string(var_name)] = ascii_lower(class_name);
+}
+
+const FunctionInfo* KnowledgeBase::function(std::string_view name) const {
+    const auto it = functions_.find(ascii_lower(name));
+    return it == functions_.end() ? nullptr : &it->second;
+}
+
+const FunctionInfo* KnowledgeBase::method(std::string_view class_name,
+                                          std::string_view method_name) const {
+    const std::string m = ascii_lower(method_name);
+    if (!class_name.empty()) {
+        const auto it = methods_.find(ascii_lower(class_name) + "::" + m);
+        if (it != methods_.end()) return &it->second;
+    }
+    const auto wildcard = methods_.find("::" + m);
+    return wildcard == methods_.end() ? nullptr : &wildcard->second;
+}
+
+const SuperglobalInfo* KnowledgeBase::superglobal(std::string_view var_name) const {
+    const auto it = superglobals_.find(std::string(var_name));
+    return it == superglobals_.end() ? nullptr : &it->second;
+}
+
+const std::string* KnowledgeBase::known_global_class(std::string_view var_name) const {
+    const auto it = known_globals_.find(std::string(var_name));
+    return it == known_globals_.end() ? nullptr : &it->second;
+}
+
+}  // namespace phpsafe

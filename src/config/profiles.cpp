@@ -1,0 +1,386 @@
+// Profile data for the knowledge base: generic PHP (modeled on the default
+// RIPS configuration, as the paper does), the WordPress plugin profile
+// (class-vulnerable-input/filter/output.php in the original tool), and a
+// 2007-era profile for the Pixy baseline.
+#include "config/knowledge.h"
+
+namespace phpsafe {
+
+namespace {
+
+FunctionInfo source(std::string name, InputVector vector,
+                    VulnSet taint = kBothVulns) {
+    FunctionInfo f;
+    f.name = std::move(name);
+    f.is_source = true;
+    f.source_vector = vector;
+    f.source_taint = taint;
+    f.ret = FunctionInfo::Return::kTainted;
+    return f;
+}
+
+FunctionInfo sanitizer(std::string name, VulnSet cleanses) {
+    FunctionInfo f;
+    f.name = std::move(name);
+    f.sanitizes = cleanses;
+    return f;
+}
+
+FunctionInfo revert(std::string name, VulnSet revived) {
+    FunctionInfo f;
+    f.name = std::move(name);
+    f.reverts = revived;
+    return f;
+}
+
+FunctionInfo sink(std::string name, VulnSet kinds, std::vector<int> args = {}) {
+    FunctionInfo f;
+    f.name = std::move(name);
+    f.sink_kinds = kinds;
+    f.sink_args = std::move(args);
+    return f;
+}
+
+FunctionInfo safe(std::string name) {
+    FunctionInfo f;
+    f.name = std::move(name);
+    f.ret = FunctionInfo::Return::kSafe;
+    return f;
+}
+
+FunctionInfo propagate(std::string name) {
+    FunctionInfo f;
+    f.name = std::move(name);
+    f.ret = FunctionInfo::Return::kPropagate;
+    return f;
+}
+
+void add_superglobals(KnowledgeBase& kb) {
+    kb.add_superglobal({"$_GET", InputVector::kGet, kBothVulns});
+    kb.add_superglobal({"$_POST", InputVector::kPost, kBothVulns});
+    kb.add_superglobal({"$_COOKIE", InputVector::kCookie, kBothVulns});
+    kb.add_superglobal({"$_REQUEST", InputVector::kRequest, kBothVulns});
+    kb.add_superglobal({"$_SERVER", InputVector::kServer, kBothVulns});
+    kb.add_superglobal({"$_FILES", InputVector::kFiles, kBothVulns});
+    kb.add_superglobal({"$HTTP_GET_VARS", InputVector::kGet, kBothVulns});
+    kb.add_superglobal({"$HTTP_POST_VARS", InputVector::kPost, kBothVulns});
+    kb.add_superglobal({"$HTTP_COOKIE_VARS", InputVector::kCookie, kBothVulns});
+}
+
+void add_php_sources(KnowledgeBase& kb) {
+    // File-content sources (paper root-cause class 3: File/Function/Array).
+    kb.add_function(source("file_get_contents", InputVector::kFile));
+    kb.add_function(source("fgets", InputVector::kFile));
+    kb.add_function(source("fgetc", InputVector::kFile));
+    kb.add_function(source("fread", InputVector::kFile));
+    kb.add_function(source("file", InputVector::kFile));
+    kb.add_function(source("fscanf", InputVector::kFile));
+    kb.add_function(source("readdir", InputVector::kFile));
+    kb.add_function(source("glob", InputVector::kFile));
+    kb.add_function(source("getenv", InputVector::kServer));
+    kb.add_function(source("gzread", InputVector::kFile));
+    kb.add_function(source("gzgets", InputVector::kFile));
+
+    // Database-read sources (class 2: indirectly attacker controlled).
+    kb.add_function(source("mysql_fetch_array", InputVector::kDatabase));
+    kb.add_function(source("mysql_fetch_assoc", InputVector::kDatabase));
+    kb.add_function(source("mysql_fetch_row", InputVector::kDatabase));
+    kb.add_function(source("mysql_fetch_object", InputVector::kDatabase));
+    kb.add_function(source("mysql_result", InputVector::kDatabase));
+    kb.add_function(source("mysqli_fetch_array", InputVector::kDatabase));
+    kb.add_function(source("mysqli_fetch_assoc", InputVector::kDatabase));
+    kb.add_function(source("mysqli_fetch_row", InputVector::kDatabase));
+    kb.add_function(source("mysqli_fetch_object", InputVector::kDatabase));
+    kb.add_function(source("pg_fetch_array", InputVector::kDatabase));
+    kb.add_function(source("pg_fetch_assoc", InputVector::kDatabase));
+    kb.add_function(source("pg_fetch_row", InputVector::kDatabase));
+}
+
+void add_php_sanitizers(KnowledgeBase& kb) {
+    // XSS encoders.
+    kb.add_function(sanitizer("htmlentities", kXssOnly));
+    kb.add_function(sanitizer("htmlspecialchars", kXssOnly));
+    kb.add_function(sanitizer("strip_tags", kXssOnly));
+    kb.add_function(sanitizer("urlencode", kXssOnly));
+    kb.add_function(sanitizer("rawurlencode", kXssOnly));
+
+    // SQL escapers.
+    kb.add_function(sanitizer("mysql_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("mysql_real_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("mysqli_real_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("mysqli_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("pg_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("sqlite_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("addslashes", kSqliOnly));
+
+    // Type coercions neutralize both classes.
+    kb.add_function(sanitizer("intval", kBothVulns));
+    kb.add_function(sanitizer("floatval", kBothVulns));
+    kb.add_function(sanitizer("doubleval", kBothVulns));
+    kb.add_function(sanitizer("boolval", kBothVulns));
+
+    // Hashes/encodings whose output alphabet is harmless in both contexts.
+    kb.add_function(sanitizer("md5", kBothVulns));
+    kb.add_function(sanitizer("sha1", kBothVulns));
+    kb.add_function(sanitizer("crc32", kBothVulns));
+    kb.add_function(sanitizer("hash", kBothVulns));
+    kb.add_function(sanitizer("base64_encode", kBothVulns));
+    kb.add_function(sanitizer("bin2hex", kBothVulns));
+    kb.add_function(sanitizer("dechex", kBothVulns));
+    kb.add_function(sanitizer("decoct", kBothVulns));
+    kb.add_function(sanitizer("decbin", kBothVulns));
+    kb.add_function(sanitizer("number_format", kBothVulns));
+    kb.add_function(sanitizer("uuencode", kBothVulns));
+    kb.add_function(sanitizer("soundex", kBothVulns));
+    kb.add_function(sanitizer("metaphone", kBothVulns));
+
+    // filter_var with a validation filter; treated as sanitizing (the
+    // common FILTER_VALIDATE_INT/EMAIL/URL uses).
+    kb.add_function(sanitizer("filter_var", kBothVulns));
+    kb.add_function(sanitizer("filter_input", kBothVulns));
+    kb.add_function(sanitizer("escapeshellarg", kBothVulns));
+    kb.add_function(sanitizer("escapeshellcmd", kBothVulns));
+}
+
+void add_php_reverts(KnowledgeBase& kb) {
+    kb.add_function(revert("stripslashes", kSqliOnly));
+    kb.add_function(revert("stripcslashes", kSqliOnly));
+    kb.add_function(revert("html_entity_decode", kXssOnly));
+    kb.add_function(revert("htmlspecialchars_decode", kXssOnly));
+    kb.add_function(revert("urldecode", kXssOnly));
+    kb.add_function(revert("rawurldecode", kXssOnly));
+    kb.add_function(revert("base64_decode", kBothVulns));
+}
+
+void add_php_sinks(KnowledgeBase& kb) {
+    // XSS output functions (echo/print/exit are language constructs the
+    // engine handles; these are the callable ones).
+    kb.add_function(sink("printf", kXssOnly));
+    kb.add_function(sink("vprintf", kXssOnly));
+    kb.add_function(sink("print_r", kXssOnly, {0}));
+    kb.add_function(sink("var_dump", kXssOnly));
+    kb.add_function(sink("trigger_error", kXssOnly, {0}));
+
+    // SQLi query executors: the query argument is the sensitive one, and
+    // the call result is database data — i.e. also a source.
+    auto query_sink = [](std::string name) {
+        FunctionInfo f = sink(std::move(name), kSqliOnly, {0});
+        f.is_source = true;
+        f.source_vector = InputVector::kDatabase;
+        f.ret = FunctionInfo::Return::kTainted;
+        return f;
+    };
+    kb.add_function(query_sink("mysql_query"));
+    kb.add_function(query_sink("mysql_unbuffered_query"));
+    kb.add_function(query_sink("sqlite_query"));
+    // The procedural mysqli/pg APIs take the connection first; the query is
+    // the second argument (pg_query also has a single-argument form).
+    auto query_sink_at = [&query_sink](std::string name, std::vector<int> args) {
+        FunctionInfo f = query_sink(std::move(name));
+        f.sink_args = std::move(args);
+        return f;
+    };
+    kb.add_function(query_sink_at("mysql_db_query", {1}));
+    kb.add_function(query_sink_at("mysqli_query", {1}));
+    kb.add_function(query_sink_at("mysqli_multi_query", {1}));
+    kb.add_function(query_sink_at("mysqli_real_query", {1}));
+    kb.add_function(query_sink_at("pg_query", {0, 1}));
+    // mysqli OOP interface.
+    FunctionInfo mq = sink("query", kSqliOnly, {0});
+    mq.is_source = true;
+    mq.source_vector = InputVector::kDatabase;
+    mq.ret = FunctionInfo::Return::kTainted;
+    kb.add_method("mysqli", mq);
+    kb.add_method("mysqli", sanitizer("real_escape_string", kSqliOnly));
+    {
+        FunctionInfo fetch = source("fetch_assoc", InputVector::kDatabase);
+        kb.add_method("mysqli_result", fetch);
+    }
+}
+
+void add_php_neutral(KnowledgeBase& kb) {
+    // Safe-return built-ins (no taint in the result).
+    for (const char* name :
+         {"count", "sizeof", "strlen", "abs", "rand", "mt_rand", "random_int",
+          "time", "mktime", "strtotime", "is_array", "is_string", "is_numeric",
+          "is_int", "is_null", "isset", "func_num_args", "array_key_exists",
+          "in_array", "strcmp", "strcasecmp", "strpos", "stripos", "strrpos",
+          "preg_match_all_count", "ord", "filemtime", "filesize", "uniqid",
+          "ctype_digit", "ctype_alpha", "ctype_alnum", "checkdate", "version_compare",
+          "is_float", "is_bool", "is_object", "is_callable", "is_dir", "is_file",
+          "file_exists", "function_exists", "class_exists", "method_exists",
+          "defined", "similar_text", "levenshtein", "array_sum", "array_product",
+          "min", "max", "floor", "ceil", "round", "intdiv", "pow", "sqrt",
+          "microtime", "memory_get_usage", "connection_aborted", "headers_sent",
+          "substr_count", "str_word_count", "mb_strlen", "strnatcmp", "fileatime",
+          "is_readable", "is_writable", "is_uploaded_file", "extension_loaded"})
+        kb.add_function(safe(name));
+
+    // Taint-preserving built-ins (explicit, though kPropagate is the default
+    // for unknown functions too).
+    for (const char* name :
+         {"sprintf", "vsprintf", "substr", "trim", "ltrim", "rtrim", "str_replace",
+          "str_ireplace", "preg_replace", "preg_quote", "implode", "join", "explode",
+          "strtolower", "strtoupper", "ucfirst", "ucwords", "lcfirst", "nl2br",
+          "str_repeat", "strrev", "str_pad", "wordwrap", "array_merge", "array_values",
+          "array_keys", "array_slice", "array_pop", "array_shift", "array_reverse",
+          "serialize", "unserialize", "json_decode", "current", "reset", "end",
+          "next", "prev", "each", "array_map", "array_filter", "str_split",
+          "chunk_split", "array_unique", "array_combine", "array_flip", "array_fill",
+          "array_pad", "array_splice", "array_diff", "array_intersect", "compact",
+          "strstr", "stristr", "strrchr", "strtr", "substr_replace", "sprintf_keep",
+          "mb_substr", "mb_strtolower", "mb_strtoupper", "mb_convert_encoding",
+          "iconv", "utf8_encode", "utf8_decode", "addcslashes", "quotemeta",
+          "htmlspecialchars_decode_keep", "vsprintf_keep", "strip_tags_keep",
+          "array_walk", "usort", "uasort", "sort", "rsort", "ksort", "asort",
+          "stripslashes_deep_keep", "maybe_unserialize", "maybe_serialize"})
+        kb.add_function(propagate(name));
+
+    // json_encode escapes quotes/antislashes: safe for SQL string context,
+    // still exploitable in HTML context? Encoded output cannot close a tag
+    // attribute without quotes; model as XSS-sanitizing (common practice).
+    kb.add_function(sanitizer("json_encode", kXssOnly));
+
+    // preg_match copies taint of the subject (arg 1) into the by-ref match
+    // array (arg 2); its own return is a safe int.
+    {
+        FunctionInfo f = safe("preg_match");
+        f.ref_flows.push_back({1, 2});
+        kb.add_function(f);
+    }
+    {
+        FunctionInfo f = safe("preg_match_all");
+        f.ref_flows.push_back({1, 2});
+        kb.add_function(f);
+    }
+    // parse_str writes request-style data into its out-argument.
+    {
+        FunctionInfo f = safe("parse_str");
+        f.ref_flows.push_back({0, 1});
+        kb.add_function(f);
+    }
+}
+
+}  // namespace
+
+KnowledgeBase make_generic_php_kb() {
+    KnowledgeBase kb;
+    add_superglobals(kb);
+    add_php_sources(kb);
+    add_php_sanitizers(kb);
+    add_php_reverts(kb);
+    add_php_sinks(kb);
+    add_php_neutral(kb);
+    return kb;
+}
+
+void add_wordpress_profile(KnowledgeBase& kb) {
+    // The $wpdb global is a wpdb instance; plugins use it for all DB access.
+    kb.add_known_global_object("$wpdb", "wpdb");
+
+    // wpdb read methods: SQLi sink on the query argument, DB source on the
+    // return (the paper's mail-subscribe-list example relies on exactly
+    // this: `$wpdb->get_results(...)` rows echoed without sanitization).
+    // Registered both class-exact and by method name alone: the original
+    // tool matches the configured method names without type inference, so
+    // `$wpdb->get_results` is recognized even where the analysis lost track
+    // of the receiver's class.
+    for (const char* m : {"get_results", "get_var", "get_row", "get_col"}) {
+        FunctionInfo f = sink(m, kSqliOnly, {0});
+        f.is_source = true;
+        f.source_vector = InputVector::kDatabase;
+        f.ret = FunctionInfo::Return::kTainted;
+        kb.add_method("wpdb", f);
+        kb.add_any_method(f);
+    }
+    kb.add_method("wpdb", sink("query", kSqliOnly, {0}));
+    kb.add_method("wpdb", sanitizer("prepare", kSqliOnly));
+    kb.add_any_method(sanitizer("prepare", kSqliOnly));
+    kb.add_method("wpdb", sanitizer("_real_escape", kSqliOnly));
+    kb.add_method("wpdb", sanitizer("esc_like", kSqliOnly));
+    // insert/update/delete build parameterized queries internally.
+    kb.add_method("wpdb", safe("insert"));
+    kb.add_method("wpdb", safe("update"));
+    kb.add_method("wpdb", safe("delete"));
+
+    // Option/meta accessors read the database.
+    for (const char* name :
+         {"get_option", "get_site_option", "get_post_meta", "get_user_meta",
+          "get_comment_meta", "get_term_meta", "get_transient", "get_post_field",
+          "get_query_var", "get_search_query", "wp_get_referer"})
+        kb.add_function(source(name, InputVector::kDatabase));
+
+    // Escaping / sanitization API.
+    for (const char* name : {"esc_html", "esc_attr", "esc_js", "esc_textarea",
+                             "esc_url", "esc_url_raw", "tag_escape", "wp_kses",
+                             "wp_kses_post", "wp_kses_data"})
+        kb.add_function(sanitizer(name, kXssOnly));
+    for (const char* name :
+         {"sanitize_text_field", "sanitize_title", "sanitize_email", "sanitize_key",
+          "sanitize_file_name", "sanitize_html_class", "sanitize_user", "sanitize_mime_type"})
+        kb.add_function(sanitizer(name, kBothVulns));
+    kb.add_function(sanitizer("absint", kBothVulns));
+    kb.add_function(sanitizer("esc_sql", kSqliOnly));
+    kb.add_function(sanitizer("like_escape", kSqliOnly));
+
+    // wp_unslash/wp_slash are stripslashes/addslashes wrappers.
+    kb.add_function(revert("wp_unslash", kSqliOnly));
+    kb.add_function(sanitizer("wp_slash", kSqliOnly));
+
+    // Output helpers that print their argument.
+    kb.add_function(sink("_e", kXssOnly, {0}));
+    kb.add_function(sink("esc_html_e", VulnSet::none()));  // escapes, then echoes
+    kb.add_function(sink("wp_die", kXssOnly, {0}));
+    // Translation passthroughs.
+    kb.add_function(propagate("__"));
+    kb.add_function(propagate("_x"));
+    kb.add_function(propagate("apply_filters"));
+    kb.add_function(propagate("do_shortcode"));
+
+    // Misc WP getters considered attacker-influenced (stored data).
+    kb.add_function(source("get_bloginfo", InputVector::kDatabase, kXssOnly));
+    kb.add_function(source("get_the_title", InputVector::kDatabase, kXssOnly));
+    kb.add_function(source("get_comment_text", InputVector::kDatabase));
+}
+
+KnowledgeBase make_pixy_era_kb() {
+    KnowledgeBase kb;
+    add_superglobals(kb);
+
+    // 2007-era sources: files only; mysqli did not exist in Pixy's tables.
+    kb.add_function(source("file_get_contents", InputVector::kFile));
+    kb.add_function(source("fgets", InputVector::kFile));
+    kb.add_function(source("fread", InputVector::kFile));
+    kb.add_function(source("file", InputVector::kFile));
+    kb.add_function(source("mysql_fetch_array", InputVector::kDatabase));
+    kb.add_function(source("mysql_fetch_assoc", InputVector::kDatabase));
+    kb.add_function(source("mysql_fetch_row", InputVector::kDatabase));
+    kb.add_function(source("mysql_result", InputVector::kDatabase));
+
+    kb.add_function(sanitizer("htmlentities", kXssOnly));
+    kb.add_function(sanitizer("htmlspecialchars", kXssOnly));
+    kb.add_function(sanitizer("mysql_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("mysql_real_escape_string", kSqliOnly));
+    kb.add_function(sanitizer("addslashes", kSqliOnly));
+    kb.add_function(sanitizer("intval", kBothVulns));
+
+    kb.add_function(revert("stripslashes", kSqliOnly));
+    kb.add_function(revert("html_entity_decode", kXssOnly));
+
+    kb.add_function(sink("printf", kXssOnly));
+    kb.add_function(sink("print_r", kXssOnly, {0}));
+    {
+        FunctionInfo f = sink("mysql_query", kSqliOnly, {0});
+        f.is_source = true;
+        f.source_vector = InputVector::kDatabase;
+        f.ret = FunctionInfo::Return::kTainted;
+        kb.add_function(f);
+    }
+    kb.add_function(safe("count"));
+    kb.add_function(safe("strlen"));
+
+    kb.model_register_globals = true;
+    return kb;
+}
+
+}  // namespace phpsafe

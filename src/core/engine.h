@@ -1,0 +1,183 @@
+// The phpSAFE analysis engine (paper §III): flow-sensitive, inter- and
+// intra-procedural taint analysis over the AST, with function summaries
+// ("a function is parsed only once; the summary is reused"), OOP member
+// resolution, include following, analysis of functions never called from
+// plugin code, and configurable feature degradation so the RIPS-like and
+// Pixy-like baselines can run on the same substrate.
+//
+// Statement processing follows the paper's semantics: conditionals and
+// loops "do not change the data flow — the blocks of code are parsed
+// normally", i.e. branches are processed sequentially in the same
+// environment; unset() marks a variable untainted; assignment recomputes
+// the variable's classification from the right-hand side.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/knowledge.h"
+#include "core/finding.h"
+#include "core/oop.h"
+#include "core/summaries.h"
+#include "core/taint.h"
+#include "php/project.h"
+
+namespace phpsafe {
+
+struct AnalysisOptions {
+    std::string tool_name = "phpSAFE";
+
+    /// Resolve OOP constructs (methods, properties, `new`, `$this`). When
+    /// off (RIPS-like), method calls are opaque and never match configured
+    /// sources/sinks — the paper's explanation for why RIPS and Pixy miss
+    /// every vulnerability that flows through WordPress objects.
+    bool oop_support = true;
+
+    /// Abort a file when it contains OOP constructs (Pixy predates PHP 5
+    /// OOP; the paper reports it failed on 32 files and raised errors).
+    bool fail_on_oop_file = false;
+
+    /// Analyze functions never called from plugin code (paper §III.C; the
+    /// paper observes Pixy lacks this ability).
+    bool analyze_uncalled_functions = true;
+
+    /// When analyzing an uncalled function, also report parameter-derived
+    /// sink flows as findings (the CMS may pass attacker data in).
+    bool assume_params_tainted_in_uncalled = false;
+
+    /// Number of times loop bodies are processed (1 = paper-faithful single
+    /// pass; 2 catches loop-carried flows — used by the ablation bench).
+    int loop_iterations = 1;
+
+    /// Include-chain depth limit; exceeding it aborts the file with a fatal
+    /// diagnostic (models the paper's report that phpSAFE failed to analyze
+    /// files "with many includes requiring a lot of memory").
+    int max_include_depth = 8;
+
+    /// Call-depth guard for deeply nested user-function chains.
+    int max_call_depth = 48;
+
+    /// Track object classes through `new` / known globals; required for
+    /// class-specific method configuration ($wpdb).
+    bool track_object_types = true;
+
+    /// Analyze closure bodies at their creation point (treats hooks
+    /// registered as anonymous functions as reachable).
+    bool analyze_closures = true;
+};
+
+class Engine {
+public:
+    Engine(const KnowledgeBase& kb, AnalysisOptions options = {});
+
+    /// Analyzes a whole plugin. Repeatable: all run state is reset.
+    AnalysisResult analyze(const php::Project& project);
+
+    const AnalysisOptions& options() const noexcept { return options_; }
+
+private:
+    struct Scope {
+        std::map<std::string, TaintValue> vars;
+        std::set<std::string> global_aliases;  ///< names bound by `global`
+        /// Reference aliases ($a =& $b): alias name → canonical name. The
+        /// paper runs Pixy with "-A" to enable exactly this handling.
+        std::map<std::string, std::string> ref_aliases;
+        /// Set after extract($tainted): reads of variables never assigned
+        /// in this scope yield this taint (extract() can define any name).
+        TaintValue extract_taint;
+        const php::ClassDecl* current_class = nullptr;
+        FunctionSummary* summary = nullptr;  ///< set while summarizing a body
+        bool is_global = false;
+        std::string file;
+    };
+
+    // -- drivers -------------------------------------------------------------
+    void analyze_entry_file(const php::ParsedFile& file);
+    void summarize_uncalled();
+    bool file_uses_oop(const php::ParsedFile& file) const;
+
+    // -- statements ----------------------------------------------------------
+    void exec_stmts(const std::vector<php::StmtPtr>& stmts, Scope& scope);
+    void exec_stmt(const php::Stmt& stmt, Scope& scope);
+
+    // -- expressions ---------------------------------------------------------
+    TaintValue eval(const php::Expr& expr, Scope& scope);
+    TaintValue eval_variable(const php::Variable& var, Scope& scope);
+    TaintValue eval_array_access(const php::ArrayAccess& access, Scope& scope);
+    TaintValue eval_property_access(const php::PropertyAccess& access, Scope& scope);
+    TaintValue eval_function_call(const php::FunctionCall& call, Scope& scope);
+    TaintValue eval_method_call(const php::MethodCall& call, Scope& scope);
+    TaintValue eval_static_call(const php::StaticCall& call, Scope& scope);
+    TaintValue eval_new(const php::New& expr, Scope& scope);
+    TaintValue eval_assign(const php::Assign& assign, Scope& scope);
+    TaintValue eval_include(const php::IncludeExpr& inc, Scope& scope);
+    void eval_closure_body(const php::Closure& closure, Scope& scope);
+
+    // -- calls ---------------------------------------------------------------
+    std::vector<TaintValue> eval_args(const std::vector<php::Argument>& args,
+                                      Scope& scope);
+    TaintValue apply_builtin(const FunctionInfo& info, const std::string& name,
+                             const std::vector<php::Argument>& arg_exprs,
+                             std::vector<TaintValue>& args, SourceLocation loc,
+                             Scope& scope, bool via_oop);
+    TaintValue apply_user_function(const php::FunctionRef& ref,
+                                   const std::vector<TaintValue>& args,
+                                   SourceLocation loc, Scope& scope,
+                                   const std::string& display_name,
+                                   const std::vector<php::Argument>* arg_exprs =
+                                       nullptr);
+    /// Computes the function's summary on first use. When `first_call_args`
+    /// is provided (a real call site), parameters carry the caller's actual
+    /// taint in addition to the symbolic parameter markers — the paper's
+    /// "analyzed the first time it is called, taking into account the
+    /// context of the call" — so side effects on properties and globals are
+    /// materialized with real taint.
+    FunctionSummary& summarize(const php::FunctionRef& ref,
+                               const std::vector<TaintValue>* first_call_args = nullptr);
+
+    /// Variable lookup honoring global scope (used by closure capture).
+    TaintValue lookup_var(const std::string& name, Scope& scope);
+
+    /// Resolves $a =& $b reference aliases to the canonical variable name.
+    const std::string& resolve_alias(const std::string& name,
+                                     const Scope& scope) const;
+
+    // -- lvalues / stores ------------------------------------------------------
+    void assign_to(const php::Expr& target, TaintValue value, Scope& scope,
+                   bool weak = false);
+    TaintValue read_global(const std::string& name, SourceLocation loc);
+    TaintValue& global_slot(const std::string& name);
+
+    // -- sinks / findings -----------------------------------------------------
+    void check_sink(VulnSet sink_kinds, const TaintValue& value,
+                    SourceLocation loc, const std::string& sink_name,
+                    const std::string& variable, Scope& scope, bool via_oop);
+    void report(VulnKind kind, SourceLocation loc, const std::string& sink_name,
+                const std::string& variable, const TaintValue& value);
+
+    SourceLocation loc_of(const php::Node& node, const Scope& scope) const {
+        return {scope.file, node.line};
+    }
+
+    // -- configuration ---------------------------------------------------------
+    const KnowledgeBase& kb_;
+    AnalysisOptions options_;
+
+    // -- per-run state -----------------------------------------------------------
+    const php::Project* project_ = nullptr;
+    DiagnosticSink diagnostics_;
+    std::vector<Finding> findings_;
+    Scope globals_;
+    PropertyStore properties_;
+    SummaryStore summaries_;
+    std::set<std::string> included_once_;
+    std::vector<const php::ParsedFile*> include_stack_;
+    std::set<const php::Closure*> analyzed_closures_;
+    int call_depth_ = 0;
+    bool current_file_failed_ = false;
+    AnalysisStats stats_;
+};
+
+}  // namespace phpsafe

@@ -1,0 +1,47 @@
+#include "core/finding.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace phpsafe {
+
+std::string Finding::dedup_key() const {
+    return to_string(kind) + "|" + location.file + "|" +
+           std::to_string(location.line) + "|" + variable;
+}
+
+std::string to_string(const Finding& finding) {
+    std::ostringstream os;
+    os << to_string(finding.kind) << " at " << to_string(finding.location)
+       << " sink=" << finding.sink << " var=" << finding.variable
+       << " vector=" << to_string(finding.vector);
+    if (finding.via_oop) os << " [oop]";
+    return os.str();
+}
+
+int AnalysisResult::count(VulnKind kind) const noexcept {
+    return static_cast<int>(std::count_if(
+        findings.begin(), findings.end(),
+        [kind](const Finding& f) { return f.kind == kind; }));
+}
+
+void deduplicate(std::vector<Finding>& findings) {
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         if (a.location.file != b.location.file)
+                             return a.location.file < b.location.file;
+                         if (a.location.line != b.location.line)
+                             return a.location.line < b.location.line;
+                         return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                     });
+    std::set<std::string> seen;
+    std::vector<Finding> unique;
+    unique.reserve(findings.size());
+    for (Finding& f : findings) {
+        if (seen.insert(f.dedup_key()).second) unique.push_back(std::move(f));
+    }
+    findings = std::move(unique);
+}
+
+}  // namespace phpsafe

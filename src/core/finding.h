@@ -1,0 +1,63 @@
+// Vulnerability findings and per-run analysis results (paper §III.D:
+// results-processing stage). A Finding carries everything phpSAFE's report
+// page shows: the vulnerable variable, the sink, the entry point, and the
+// variable-to-variable flow of the malicious data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/knowledge.h"
+#include "core/taint.h"
+#include "util/diagnostics.h"
+#include "util/source.h"
+
+namespace phpsafe {
+
+struct Finding {
+    VulnKind kind = VulnKind::kXss;
+    SourceLocation location;   ///< where the sink fires
+    std::string sink;          ///< "echo", "mysql_query", "wpdb::get_results", ...
+    std::string variable;      ///< source text of the vulnerable expression
+    InputVector vector = InputVector::kUnknown;
+    bool via_oop = false;      ///< flow involved OOP constructs (paper §V.A)
+    std::vector<TaintStep> trace;
+
+    /// Two findings are the same vulnerability when kind, sink location and
+    /// vulnerable variable agree (normalized report matching, paper §IV.B.5).
+    std::string dedup_key() const;
+};
+
+std::string to_string(const Finding& finding);
+
+/// Run statistics — the reproduction of the reviewer-facing data phpSAFE's
+/// results-processing stage exposes besides the findings themselves
+/// (§III.D: variables, functions, files included, debug information).
+struct AnalysisStats {
+    int functions_summarized = 0;  ///< distinct user functions/methods analyzed
+    int uncalled_functions = 0;    ///< functions never called from plugin code
+    int includes_followed = 0;     ///< include/require edges resolved in-project
+    int sink_checks = 0;           ///< sensitive-argument checks performed
+    int sources_seen = 0;          ///< taint introductions (superglobals, APIs)
+    int variables_tracked = 0;     ///< peak variable slots across scopes
+};
+
+/// Result of analyzing one plugin with one tool.
+struct AnalysisResult {
+    std::string tool;
+    std::string plugin;
+    std::vector<Finding> findings;
+    int files_total = 0;
+    int files_failed = 0;     ///< robustness: files the tool could not analyze
+    int error_messages = 0;   ///< error diagnostics raised during the run
+    double cpu_seconds = 0.0; ///< filled by the harness
+    AnalysisStats stats;
+    std::vector<Diagnostic> diagnostics;
+
+    int count(VulnKind kind) const noexcept;
+};
+
+/// Sorts by (file, line, kind) and removes duplicate findings.
+void deduplicate(std::vector<Finding>& findings);
+
+}  // namespace phpsafe

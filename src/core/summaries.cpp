@@ -1,0 +1,24 @@
+#include "core/summaries.h"
+
+namespace phpsafe {
+
+FunctionSummary& SummaryStore::slot(const std::string& qualified_lower) {
+    return summaries_[qualified_lower];
+}
+
+const FunctionSummary* SummaryStore::find(const std::string& qualified_lower) const {
+    const auto it = summaries_.find(qualified_lower);
+    return it == summaries_.end() ? nullptr : &it->second;
+}
+
+void SummaryStore::clear() { summaries_.clear(); }
+
+std::vector<std::string> SummaryStore::analyzed_names() const {
+    std::vector<std::string> names;
+    names.reserve(summaries_.size());
+    for (const auto& [name, summary] : summaries_)
+        if (summary.analyzed) names.push_back(name);
+    return names;
+}
+
+}  // namespace phpsafe

@@ -1,0 +1,73 @@
+// Taint domain for the analysis engine. A TaintValue is the abstract value
+// of one PHP expression/variable: which vulnerability kinds it can carry
+// (active), which were neutralized by sanitizers but could be revived by
+// revert functions (latent — paper §III.A "revert functions"), where the
+// data originally entered (input vector, for the Table II root-cause
+// analysis), and the data-flow trace phpSAFE shows the reviewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/knowledge.h"
+#include "util/source.h"
+
+namespace phpsafe {
+
+/// One hop in a data-flow trace (source → assignments → sink).
+struct TaintStep {
+    SourceLocation location;
+    std::string description;
+};
+
+/// During function summarization, marks that a value depends on parameter
+/// `param`: if the caller passes taint of a kind in `kinds`, it arrives here.
+struct ParamFlow {
+    int param = 0;
+    VulnSet kinds = kBothVulns;
+};
+
+class TaintValue {
+public:
+    VulnSet active;                ///< exploitable kinds right now
+    VulnSet latent;                ///< sanitized away; revivable by reverts
+    InputVector vector = InputVector::kUnknown;
+    bool user_input = false;       ///< directly from GET/POST/COOKIE/REQUEST
+    bool via_oop = false;          ///< flowed through an OOP construct
+    std::string object_class;      ///< inferred class when the value is an object
+    std::vector<TaintStep> trace;
+    std::vector<ParamFlow> param_flows;
+
+    /// Traces are capped so merges in loops cannot grow without bound.
+    static constexpr size_t kMaxTraceSteps = 24;
+
+    static TaintValue clean() { return TaintValue{}; }
+
+    static TaintValue source(VulnSet kinds, InputVector vec, SourceLocation loc,
+                             std::string what);
+
+    bool tainted(VulnKind kind) const noexcept { return active.contains(kind); }
+    bool tainted_any() const noexcept { return active.any(); }
+    bool depends_on_params() const noexcept { return !param_flows.empty(); }
+
+    /// Control-flow join / concatenation: union of everything.
+    void merge(const TaintValue& other);
+
+    void add_step(SourceLocation loc, std::string description);
+
+    /// Applies a sanitizer: `kinds` move from active to latent; parameter
+    /// flows lose those kinds.
+    void apply_sanitizer(VulnSet kinds, SourceLocation loc, const std::string& fn);
+
+    /// Applies a revert function: latent kinds in `kinds` become active
+    /// again; parameter flows conservatively regain them.
+    void apply_revert(VulnSet kinds, SourceLocation loc, const std::string& fn);
+
+    /// Adds/unions a parameter dependency.
+    void add_param_flow(int param, VulnSet kinds);
+
+    /// Drops everything (PHP unset(): paper marks the variable untainted).
+    void reset() { *this = TaintValue{}; }
+};
+
+}  // namespace phpsafe

@@ -1,0 +1,92 @@
+// Synthetic WordPress-plugin corpus generator — the substitute for the
+// paper's evaluation dataset (35 real plugins in 2012 and 2014 snapshots,
+// which are neither redistributable nor available offline; see DESIGN.md §2).
+//
+// The generator is fully deterministic: the same options always produce the
+// same corpus, byte for byte. Each plugin exists in two versions modeling
+// the paper's two-year evolution: the 2014 version is larger, carries over
+// a calibrated share of the 2012 vulnerabilities (§V.D "inertia in fixing
+// vulnerabilities"), fixes the rest, and introduces new ones. Every seeded
+// defect carries ground-truth metadata (kind, sink file/line, input vector,
+// whether the flow passes through OOP constructs, whether it is trivially
+// exploitable via GET/POST/COOKIE).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/knowledge.h"
+#include "corpus/patterns.h"
+#include "php/project.h"
+#include "util/diagnostics.h"
+
+namespace phpsafe::corpus {
+
+struct SeededVuln {
+    std::string id;        ///< stable across versions: "plugin-03/xss_wpdb_rows/7"
+    Family family;
+    VulnKind kind = VulnKind::kXss;
+    std::string file;      ///< project-relative path of the sink
+    int line = 0;          ///< 1-based sink line
+    InputVector vector = InputVector::kUnknown;
+    bool via_oop = false;
+    bool easy_exploit = false;  ///< GET/POST/COOKIE manipulation (paper §V.D)
+    bool carried_over = false;  ///< (2014 only) already present & disclosed in 2012
+};
+
+/// One version (2012 or 2014) of one plugin: file contents + ground truth.
+struct PluginVersionSource {
+    std::string version;  ///< "2012" or "2014"
+    std::vector<std::pair<std::string, std::string>> files;  ///< (name, content)
+    std::vector<SeededVuln> truth;
+    int total_lines = 0;
+};
+
+struct GeneratedPlugin {
+    std::string name;      ///< "plugin-07"
+    bool oop = false;      ///< plugin uses OOP (19 of 35 in the paper)
+    PluginVersionSource v2012;
+    PluginVersionSource v2014;
+};
+
+struct CorpusOptions {
+    int num_plugins = 35;
+    int num_oop_plugins = 19;
+    /// Scales both vulnerability budgets and filler volume; tests use a
+    /// small scale, benches the full corpus.
+    double scale = 1.0;
+    /// Approximate total benign-filler lines per version at scale 1.0
+    /// (paper: 89,560 LOC in 2012, 180,801 in 2014).
+    int filler_lines_2012 = 70000;
+    int filler_lines_2014 = 150000;
+    /// Deterministic seed for cosmetic variation.
+    unsigned seed = 2015;
+};
+
+struct Corpus {
+    CorpusOptions options;
+    std::vector<GeneratedPlugin> plugins;
+
+    /// All ground-truth vulnerabilities of one version across plugins.
+    std::vector<SeededVuln> all_truth(const std::string& version) const;
+    int total_lines(const std::string& version) const;
+    int total_files(const std::string& version) const;
+};
+
+/// Generates the corpus. Deterministic for fixed options.
+Corpus generate_corpus(const CorpusOptions& options = {});
+
+/// Parses one plugin version into an analyzable project.
+php::Project build_project(const GeneratedPlugin& plugin,
+                           const PluginVersionSource& version,
+                           DiagnosticSink& sink);
+
+/// Per-family instance budgets for one version; exposed for tests and for
+/// the calibration notes in EXPERIMENTS.md.
+std::map<Family, int> family_budget(const std::string& version, double scale);
+
+/// Share of a family's 2012 instances that survive (unfixed) into 2014.
+double carry_ratio(Family family);
+
+}  // namespace phpsafe::corpus

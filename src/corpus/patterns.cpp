@@ -1,0 +1,520 @@
+#include "corpus/patterns.h"
+
+namespace phpsafe::corpus {
+
+namespace {
+
+const char* kFieldNames[] = {"msg",   "title", "name",  "email", "url",
+                             "color", "label", "note",  "text",  "slug",
+                             "page",  "tab",   "theme", "lang",  "img_path"};
+const char* kTableNames[] = {"sml", "posts_ext", "events", "subscribers",
+                             "albums", "forms", "stats", "votes"};
+const char* kHtmlWraps[] = {"div", "span", "li", "p", "td", "h2", "strong"};
+
+std::string field(int variant) {
+    return kFieldNames[variant % (sizeof(kFieldNames) / sizeof(kFieldNames[0]))];
+}
+std::string table(int variant) {
+    return kTableNames[variant % (sizeof(kTableNames) / sizeof(kTableNames[0]))];
+}
+std::string wrap(int variant) {
+    return kHtmlWraps[variant % (sizeof(kHtmlWraps) / sizeof(kHtmlWraps[0]))];
+}
+
+/// Emits one of several structural shapes of the same superglobal→echo
+/// flow, so corpus instances are not stylistic clones: direct echo of a
+/// concatenation, interpolation into a double-quoted string, a chained
+/// intermediate variable, or echo through a propagation built-in.
+Snippet superglobal_echo(const std::string& sg, const std::string& tag, int variant) {
+    Snippet s;
+    const std::string f = field(variant);
+    const std::string var = "$" + f + "_" + tag;
+    const std::string w = wrap(variant);
+    switch (variant % 4) {
+        case 0:
+            s.lines.push_back(var + " = " + sg + "['" + f + "'];");
+            s.lines.push_back("echo '<" + w + " class=\"" + f + "\">' . " + var +
+                              " . '</" + w + ">';");
+            s.sink_line_offsets.push_back(1);
+            break;
+        case 1:
+            s.lines.push_back(var + " = " + sg + "['" + f + "'];");
+            s.lines.push_back("echo \"<" + w + ">{" + var + "}</" + w + ">\";");
+            s.sink_line_offsets.push_back(1);
+            break;
+        case 2:
+            s.lines.push_back(var + " = " + sg + "['" + f + "'];");
+            s.lines.push_back("$out_" + tag + " = '<" + w + ">';");
+            s.lines.push_back("$out_" + tag + " .= " + var + ";");
+            s.lines.push_back("$out_" + tag + " .= '</" + w + ">';");
+            s.lines.push_back("echo $out_" + tag + ";");
+            s.sink_line_offsets.push_back(4);
+            break;
+        default:
+            s.lines.push_back(var + " = trim(" + sg + "['" + f + "']);");
+            s.lines.push_back("echo '<" + w + ">' . strtoupper(" + var + ") . '</" +
+                              w + ">';");
+            s.sink_line_offsets.push_back(1);
+            break;
+    }
+    return s;
+}
+
+}  // namespace
+
+std::string to_string(Family family) {
+    switch (family) {
+        case Family::kXssGetEcho: return "xss_get_echo";
+        case Family::kXssPostEcho: return "xss_post_echo";
+        case Family::kXssCookieEcho: return "xss_cookie_echo";
+        case Family::kXssRequestPrint: return "xss_request_print";
+        case Family::kXssGetViaFunction: return "xss_get_via_function";
+        case Family::kXssDbProcedural: return "xss_db_procedural";
+        case Family::kXssFileSource: return "xss_file_source";
+        case Family::kXssUncalledFn: return "xss_uncalled_fn";
+        case Family::kXssDeepInclude: return "xss_deep_include";
+        case Family::kXssPrintfGet: return "xss_printf_get";
+        case Family::kXssPregMatchFlow: return "xss_preg_match_flow";
+        case Family::kXssExitMessage: return "xss_exit_message";
+        case Family::kXssWpdbRows: return "xss_wpdb_rows";
+        case Family::kXssWpdbVar: return "xss_wpdb_var";
+        case Family::kXssWpdbRevert: return "xss_wpdb_revert";
+        case Family::kXssOopProperty: return "xss_oop_property";
+        case Family::kXssWpOption: return "xss_wp_option";
+        case Family::kXssWpPostmeta: return "xss_wp_postmeta";
+        case Family::kSqliWpdbQuery: return "sqli_wpdb_query";
+        case Family::kSqliWpdbGetResults: return "sqli_wpdb_get_results";
+        case Family::kSqliMysqliOop: return "sqli_mysqli_oop";
+        case Family::kXssRegisterGlobals: return "xss_register_globals";
+        case Family::kXssWrongContextSanitizer: return "xss_wrong_context_sanitizer";
+        case Family::kSafeSanitizedEcho: return "safe_sanitized_echo";
+        case Family::kSafeEscHtml: return "safe_esc_html";
+        case Family::kSafeGuardExit: return "safe_guard_exit";
+        case Family::kSafeWhitelistTernary: return "safe_whitelist_ternary";
+        case Family::kSafeIssetEcho: return "safe_isset_echo";
+        case Family::kSafeIntval: return "safe_intval";
+        case Family::kSafePrepare: return "safe_prepare";
+        case Family::kSafeSprintfD: return "safe_sprintf_d";
+        case Family::kSafeJsonEncode: return "safe_json_encode";
+        case Family::kSafeCast: return "safe_cast";
+        case Family::kSafeSqliGuard: return "safe_sqli_guard";
+    }
+    return "?";
+}
+
+FamilyTraits traits(Family family) {
+    FamilyTraits t;
+    switch (family) {
+        case Family::kXssGetEcho:
+        case Family::kXssGetViaFunction:
+            t = {true, VulnKind::kXss, InputVector::kGet, false, false, true};
+            break;
+        case Family::kXssDeepInclude:
+            // Stored-XSS in the oversized legacy files phpSAFE cannot finish
+            // (paper §V.A: RIPS detected vulnerabilities "in some files of
+            // the 2014 versions that phpSAFE was unable to parse").
+            t = {true, VulnKind::kXss, InputVector::kDatabase, false, false, false};
+            break;
+        case Family::kXssPostEcho:
+            t = {true, VulnKind::kXss, InputVector::kPost, false, false, true};
+            break;
+        case Family::kXssPrintfGet:
+        case Family::kXssPregMatchFlow:
+        case Family::kXssExitMessage:
+            t = {true, VulnKind::kXss, InputVector::kGet, false, false, true};
+            break;
+        case Family::kXssCookieEcho:
+            t = {true, VulnKind::kXss, InputVector::kCookie, false, false, true};
+            break;
+        case Family::kXssRequestPrint:
+            t = {true, VulnKind::kXss, InputVector::kRequest, false, false, true};
+            break;
+        case Family::kXssDbProcedural:
+            t = {true, VulnKind::kXss, InputVector::kDatabase, false, false, false};
+            break;
+        case Family::kXssFileSource:
+            t = {true, VulnKind::kXss, InputVector::kFile, false, false, false};
+            break;
+        case Family::kXssUncalledFn:
+            t = {true, VulnKind::kXss, InputVector::kGet, false, false, true};
+            break;
+        case Family::kXssWpdbRows:
+        case Family::kXssWpdbVar:
+        case Family::kXssWpdbRevert:
+            t = {true, VulnKind::kXss, InputVector::kDatabase, true, true, false};
+            break;
+        case Family::kXssOopProperty:
+            t = {true, VulnKind::kXss, InputVector::kPost, true, true, true};
+            break;
+        case Family::kXssWpOption:
+        case Family::kXssWpPostmeta:
+            t = {true, VulnKind::kXss, InputVector::kDatabase, false, false, false};
+            break;
+        case Family::kSqliWpdbQuery:
+            t = {true, VulnKind::kSqli, InputVector::kGet, true, true, true};
+            break;
+        case Family::kSqliWpdbGetResults:
+        case Family::kSqliMysqliOop:
+            t = {true, VulnKind::kSqli, InputVector::kPost, true, true, true};
+            break;
+        case Family::kXssRegisterGlobals:
+            t = {true, VulnKind::kXss, InputVector::kGet, false, false, true};
+            break;
+        case Family::kXssWrongContextSanitizer:
+            t = {true, VulnKind::kXss, InputVector::kGet, false, false, true};
+            break;
+        case Family::kSafePrepare:
+        case Family::kSafeSqliGuard:
+            t = {false, VulnKind::kSqli, InputVector::kUnknown, true, true, false};
+            break;
+        case Family::kSafeSanitizedEcho:
+        case Family::kSafeEscHtml:
+        case Family::kSafeGuardExit:
+        case Family::kSafeWhitelistTernary:
+        case Family::kSafeIssetEcho:
+        case Family::kSafeIntval:
+        case Family::kSafeSprintfD:
+        case Family::kSafeJsonEncode:
+        case Family::kSafeCast:
+            t = {false, VulnKind::kXss, InputVector::kUnknown, false, false, false};
+            break;
+    }
+    return t;
+}
+
+Snippet emit(Family family, const std::string& tag, int variant) {
+    Snippet s;
+    const std::string f = field(variant);
+    const std::string var = "$" + f + "_" + tag;
+    const std::string w = wrap(variant);
+    const std::string tbl = table(variant);
+
+    switch (family) {
+        case Family::kXssGetEcho:
+            return superglobal_echo("$_GET", tag, variant);
+        case Family::kXssDeepInclude: {
+            s.lines.push_back("$res_" + tag + " = mysql_query(\"SELECT * FROM " +
+                              tbl + "_legacy\");");
+            s.lines.push_back("$row_" + tag + " = mysql_fetch_assoc($res_" + tag +
+                              ");");
+            s.lines.push_back("echo '<" + w + ">' . $row_" + tag + "['" + f +
+                              "'] . '</" + w + ">';");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssPostEcho: {
+            // Modeled on the paper's wp-symposium example:
+            // 'Created '.$_POST['img_path'].'.'
+            s.lines.push_back(var + " = $_POST['" + f + "'];");
+            s.lines.push_back("echo 'Created ' . " + var + " . '.';");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kXssCookieEcho:
+            return superglobal_echo("$_COOKIE", tag, variant);
+        case Family::kXssRequestPrint: {
+            s.lines.push_back(var + " = $_REQUEST['" + f + "'];");
+            s.lines.push_back("print '<" + w + ">' . " + var + " . '</" + w + ">';");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kXssGetViaFunction: {
+            const std::string fn = "render_" + f + "_" + tag;
+            s.lines.push_back("function " + fn + "($value) {");
+            s.lines.push_back("    echo '<" + w + ">' . $value . '</" + w + ">';");
+            s.lines.push_back("}");
+            s.lines.push_back(var + " = $_GET['" + f + "'];");
+            s.lines.push_back(fn + "(" + var + ");");
+            s.sink_line_offsets.push_back(1);
+            s.declared_functions.push_back(fn);
+            return s;
+        }
+        case Family::kXssDbProcedural: {
+            s.lines.push_back("$res_" + tag + " = mysql_query(\"SELECT * FROM " + tbl +
+                              "\");");
+            s.lines.push_back("while ($row_" + tag + " = mysql_fetch_assoc($res_" +
+                              tag + ")) {");
+            s.lines.push_back("    echo '<tr><td>' . $row_" + tag + "['" + f +
+                              "'] . '</td></tr>';");
+            s.lines.push_back("}");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssFileSource: {
+            // Modeled on the paper's qtranslate example: fgets → echo.
+            s.lines.push_back("$fp_" + tag + " = fopen(dirname(__FILE__) . '/" + f +
+                              ".txt', 'r');");
+            s.lines.push_back("$res_" + tag + " = fgets($fp_" + tag + ", 128);");
+            s.lines.push_back("echo $res_" + tag + ";");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssUncalledFn: {
+            // Hook target never invoked from plugin code; the CMS calls it.
+            const std::string fn = "ajax_" + f + "_" + tag;
+            s.lines.push_back("function " + fn + "() {");
+            s.lines.push_back("    $q = $_GET['" + f + "'];");
+            s.lines.push_back("    echo '<" + w + ">' . $q . '</" + w + ">';");
+            s.lines.push_back("}");
+            s.sink_line_offsets.push_back(2);
+            s.declared_functions.push_back(fn);
+            return s;
+        }
+        case Family::kXssWpdbRows: {
+            // The paper's mail-subscribe-list 2.1.1 example.
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back("$rows_" + tag +
+                              " = $wpdb->get_results(\"SELECT * FROM \" . "
+                              "$wpdb->prefix . \"" + tbl + "\");");
+            s.lines.push_back("foreach ($rows_" + tag + " as $row_" + tag + ") {");
+            s.lines.push_back("    echo '<li>' . $row_" + tag + "->" + f +
+                              " . '</li>';");
+            s.lines.push_back("}");
+            s.sink_line_offsets.push_back(3);
+            return s;
+        }
+        case Family::kXssWpdbVar: {
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back(var + " = $wpdb->get_var(\"SELECT " + f + " FROM \" . "
+                              "$wpdb->prefix . \"" + tbl + "\" . \" LIMIT 1\");");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssWpdbRevert: {
+            // The paper's wp-photo-album-plus example: the value is read via
+            // a prepared statement but the output is stripslashes()ed raw.
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back("$image_" + tag +
+                              " = $wpdb->get_var($wpdb->prepare(\"SELECT %s FROM " +
+                              tbl + "\", '" + f + "'));");
+            s.lines.push_back("echo stripslashes($image_" + tag + ");");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssOopProperty: {
+            const std::string cls = "Widget_" + tag;
+            s.lines.push_back("class " + cls + " {");
+            s.lines.push_back("    public $content = '';");
+            s.lines.push_back("    public function collect() {");
+            s.lines.push_back("        $this->content = $_POST['" + f + "'];");
+            s.lines.push_back("    }");
+            s.lines.push_back("    public function render() {");
+            s.lines.push_back("        echo '<" + w + ">' . $this->content . '</" + w +
+                              ">';");
+            s.lines.push_back("    }");
+            s.lines.push_back("}");
+            s.lines.push_back("$widget_" + tag + " = new " + cls + "();");
+            s.lines.push_back("$widget_" + tag + "->collect();");
+            s.lines.push_back("$widget_" + tag + "->render();");
+            s.sink_line_offsets.push_back(6);
+            return s;
+        }
+        case Family::kXssWpOption: {
+            s.lines.push_back(var + " = get_option('" + tag + "_" + f + "');");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kXssWpPostmeta: {
+            s.lines.push_back(var + " = get_post_meta(get_the_ID(), '" + f +
+                              "', true);");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kSqliWpdbQuery: {
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back("$id_" + tag + " = $_GET['id'];");
+            s.lines.push_back("$wpdb->query(\"DELETE FROM \" . $wpdb->prefix . \"" +
+                              tbl + "\" . \" WHERE id = $id_" + tag + "\");");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kSqliWpdbGetResults: {
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back(var + " = $_POST['" + f + "'];");
+            s.lines.push_back("$found_" + tag +
+                              " = $wpdb->get_results(\"SELECT * FROM " + tbl +
+                              " WHERE " + f + " = '\" . " + var + " . \"'\");");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssRegisterGlobals: {
+            // Real under register_globals=1 (Pixy's era); the variable is
+            // never assigned, so it can be injected via the request.
+            s.lines.push_back("if (!empty($" + f + "_rg_" + tag + ")) {");
+            s.lines.push_back("    echo '<link href=\"' . $" + f + "_rg_" + tag +
+                              " . '\" rel=\"stylesheet\">';");
+            s.lines.push_back("}");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kXssWrongContextSanitizer: {
+            // esc_attr() does not neutralize javascript: URLs in href
+            // context — a real vulnerability that a tool trusting the
+            // sanitizer misses (the paper's "blended attack" discussion).
+            s.lines.push_back(var + " = esc_attr($_GET['" + f + "']);");
+            s.lines.push_back("echo '<a href=\"' . " + var + " . '\">" + f +
+                              "</a>';");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kXssPrintfGet: {
+            s.lines.push_back(var + " = $_GET['" + f + "'];");
+            s.lines.push_back("printf('<" + w + ">%s</" + w + ">', " + var + ");");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kXssPregMatchFlow: {
+            s.lines.push_back(var + " = $_GET['" + f + "'];");
+            s.lines.push_back("preg_match('/^(.*)$/', " + var + ", $m_" + tag + ");");
+            s.lines.push_back("echo '<" + w + ">' . $m_" + tag + "[1] . '</" + w +
+                              ">';");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kXssExitMessage: {
+            s.lines.push_back("if (!file_exists(dirname(__FILE__) . '/" + f +
+                              ".lock')) {");
+            s.lines.push_back("    die('Missing resource: ' . $_GET['" + f +
+                              "']);");
+            s.lines.push_back("}");
+            s.sink_line_offsets.push_back(1);
+            return s;
+        }
+        case Family::kSqliMysqliOop: {
+            s.lines.push_back("$db_" + tag +
+                              " = new mysqli('localhost', 'u', 'p', 'wp');");
+            s.lines.push_back(var + " = $_POST['" + f + "'];");
+            s.lines.push_back("$db_" + tag + "->query(\"SELECT * FROM " + tbl +
+                              " WHERE " + f + " = '\" . " + var + " . \"'\");");
+            s.sink_line_offsets.push_back(2);
+            return s;
+        }
+        case Family::kSafeJsonEncode: {
+            s.lines.push_back(var + " = json_encode($_GET['" + f + "']);");
+            s.lines.push_back("echo '<script>var cfg = ' . " + var +
+                              " . ';</script>';");
+            return s;
+        }
+        case Family::kSafeSanitizedEcho: {
+            s.lines.push_back(var + " = htmlspecialchars($_GET['" + f + "']);");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            return s;
+        }
+        case Family::kSafeEscHtml: {
+            s.lines.push_back(var + " = esc_html($_GET['" + f + "']);");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            return s;
+        }
+        case Family::kSafeGuardExit: {
+            s.lines.push_back(var + " = $_GET['" + f + "'];");
+            s.lines.push_back("if (!is_numeric(" + var + ")) { exit; }");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            return s;
+        }
+        case Family::kSafeWhitelistTernary: {
+            s.lines.push_back(var + " = in_array($_GET['" + f +
+                              "'], array('one', 'two')) ? $_GET['" + f +
+                              "'] : 'one';");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            return s;
+        }
+        case Family::kSafeIssetEcho: {
+            s.lines.push_back("if (isset($" + f + "_opt_" + tag + ")) { echo $" + f +
+                              "_opt_" + tag + "; }");
+            return s;
+        }
+        case Family::kSafeIntval: {
+            s.lines.push_back("echo '<" + w + ">' . intval($_GET['" + f +
+                              "']) . '</" + w + ">';");
+            return s;
+        }
+        case Family::kSafePrepare: {
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back(var + " = $_POST['" + f + "'];");
+            s.lines.push_back("$wpdb->query($wpdb->prepare(\"UPDATE " + tbl +
+                              " SET " + f + " = %s\", " + var + "));");
+            return s;
+        }
+        case Family::kSafeSprintfD: {
+            s.lines.push_back("echo sprintf('%d of %d', $_GET['" + f +
+                              "'], 10);");
+            return s;
+        }
+        case Family::kSafeCast: {
+            s.lines.push_back(var + " = (int) $_GET['" + f + "'];");
+            s.lines.push_back("echo '<" + w + ">' . " + var + " . '</" + w + ">';");
+            return s;
+        }
+        case Family::kSafeSqliGuard: {
+            s.lines.push_back("global $wpdb;");
+            s.lines.push_back("$id_" + tag + " = $_POST['id'];");
+            s.lines.push_back("if (!ctype_digit($id_" + tag + ")) { die('bad id'); }");
+            s.lines.push_back("$wpdb->query(\"DELETE FROM \" . $wpdb->prefix . \"" +
+                              tbl + "\" . \" WHERE id = $id_" + tag + "\");");
+            return s;
+        }
+    }
+    return s;
+}
+
+Snippet emit_filler(const std::string& tag, int variant, int weight) {
+    Snippet s;
+    const std::string f = field(variant);
+    int emitted = 0;
+    int block = 0;
+    while (emitted < weight) {
+        const std::string id = tag + "_f" + std::to_string(block);
+        switch ((variant + block) % 4) {
+            case 0: {
+                s.lines.push_back("function default_settings_" + id + "() {");
+                s.lines.push_back("    return array(");
+                s.lines.push_back("        '" + f + "_limit' => 10,");
+                s.lines.push_back("        '" + f + "_order' => 'ASC',");
+                s.lines.push_back("        '" + f + "_cache' => true,");
+                s.lines.push_back("    );");
+                s.lines.push_back("}");
+                s.declared_functions.push_back("default_settings_" + id);
+                emitted += 7;
+                break;
+            }
+            case 1: {
+                s.lines.push_back("function format_count_" + id + "($count) {");
+                s.lines.push_back("    $count = (int) $count;");
+                s.lines.push_back("    if ($count < 0) { $count = 0; }");
+                s.lines.push_back("    return number_format($count);");
+                s.lines.push_back("}");
+                s.declared_functions.push_back("format_count_" + id);
+                emitted += 5;
+                break;
+            }
+            case 2: {
+                s.lines.push_back("$labels_" + id + " = array('one' => 'One', "
+                                  "'two' => 'Two', 'three' => 'Three');");
+                s.lines.push_back("foreach ($labels_" + id + " as $key_" + id +
+                                  " => $val_" + id + ") {");
+                s.lines.push_back("    echo '<option value=\"' . $key_" + id +
+                                  " . '\">' . $val_" + id + " . '</option>';");
+                s.lines.push_back("}");
+                emitted += 4;
+                break;
+            }
+            default: {
+                s.lines.push_back("// Template for the " + f + " section.");
+                s.lines.push_back("function header_markup_" + id + "() {");
+                s.lines.push_back("    return '<div class=\"wrap " + f +
+                                  "\"><h1>Settings</h1></div>';");
+                s.lines.push_back("}");
+                s.declared_functions.push_back("header_markup_" + id);
+                emitted += 4;
+                break;
+            }
+        }
+        ++block;
+    }
+    return s;
+}
+
+}  // namespace phpsafe::corpus

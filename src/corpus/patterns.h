@@ -1,0 +1,107 @@
+// Pattern library for the synthetic plugin corpus. Each family is a code
+// template modeled on the idioms the paper reports in real WordPress
+// plugins — including its three worked examples (mail-subscribe-list's
+// $wpdb->get_results rows echoed unescaped, wp-symposium's $_POST echo,
+// wp-photo-album-plus's stripslashes-reverted DB value, qtranslate's
+// fgets echo). Vulnerable families carry ground truth; safe families are
+// true negatives that specific capability envelopes misjudge (FP bait).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/knowledge.h"
+
+namespace phpsafe::corpus {
+
+enum class Family {
+    // --- vulnerable: procedural, generic PHP (detectable by all/most tools)
+    kXssGetEcho,          ///< $_GET → echo (wp-symposium style)
+    kXssPostEcho,         ///< $_POST → echo
+    kXssCookieEcho,       ///< $_COOKIE → echo
+    kXssRequestPrint,     ///< $_REQUEST → print
+    kXssGetViaFunction,   ///< GET → user function → echo (inter-procedural)
+    kXssDbProcedural,     ///< mysql_fetch_assoc row → echo
+    kXssFileSource,       ///< fgets → echo (qtranslate style)
+    kXssUncalledFn,       ///< $_GET → echo inside a function never called
+    kXssDeepInclude,      ///< behind a too-deep include chain (phpSAFE fails)
+    kXssPrintfGet,        ///< $_GET → printf (callable sink)
+    kXssPregMatchFlow,    ///< GET → preg_match capture array → echo
+    kXssExitMessage,      ///< GET → die($msg) (language-construct sink)
+
+    // --- vulnerable: OOP / WordPress (phpSAFE-only territory)
+    kXssWpdbRows,         ///< $wpdb->get_results rows → echo (mail-subscribe-list)
+    kXssWpdbVar,          ///< $wpdb->get_var → echo
+    kXssWpdbRevert,       ///< prepared stmt + stripslashes (wp-photo-album-plus)
+    kXssOopProperty,      ///< taint through an object property across methods
+    kXssWpOption,         ///< get_option → echo (WP profile, procedural)
+    kXssWpPostmeta,       ///< get_post_meta → echo
+    kSqliWpdbQuery,       ///< $_GET → $wpdb->query (SQLi)
+    kSqliWpdbGetResults,  ///< $_POST → $wpdb->get_results (SQLi)
+    kSqliMysqliOop,       ///< $_POST → (new mysqli)->query (SQLi, OOP)
+
+    // --- vulnerable: tool-specific detection classes
+    kXssRegisterGlobals,  ///< unassigned global echoed (Pixy-only TP class)
+    kXssWrongContextSanitizer,  ///< esc_attr in URL context (real; phpSAFE trusts it)
+
+    // --- safe (true negatives / FP bait)
+    kSafeSanitizedEcho,    ///< htmlspecialchars → echo (TN for everyone)
+    kSafeEscHtml,          ///< esc_html → echo (FP for tools without WP profile)
+    kSafeGuardExit,        ///< is_numeric guard + exit (FP for all: exit not modeled)
+    kSafeWhitelistTernary, ///< in_array whitelist ternary (FP for all)
+    kSafeIssetEcho,        ///< isset($x) echo $x (FP only under register_globals)
+    kSafeIntval,           ///< intval → echo (TN)
+    kSafePrepare,          ///< $wpdb->prepare (SQLi TN)
+    kSafeSprintfD,         ///< sprintf('%d', ...) (FP for all)
+    kSafeJsonEncode,       ///< json_encode output (FP for 2007-era tools)
+    kSafeCast,             ///< (int) cast (TN)
+    kSafeSqliGuard,        ///< ctype_digit guard + die, then query (SQLi FP bait)
+};
+
+constexpr Family kAllFamilies[] = {
+    Family::kXssGetEcho, Family::kXssPostEcho, Family::kXssCookieEcho,
+    Family::kXssRequestPrint, Family::kXssGetViaFunction, Family::kXssDbProcedural,
+    Family::kXssFileSource, Family::kXssUncalledFn, Family::kXssDeepInclude,
+    Family::kXssPrintfGet, Family::kXssPregMatchFlow, Family::kXssExitMessage,
+    Family::kXssWpdbRows, Family::kXssWpdbVar, Family::kXssWpdbRevert,
+    Family::kXssOopProperty, Family::kXssWpOption, Family::kXssWpPostmeta,
+    Family::kSqliWpdbQuery, Family::kSqliWpdbGetResults, Family::kSqliMysqliOop,
+    Family::kXssRegisterGlobals, Family::kXssWrongContextSanitizer,
+    Family::kSafeSanitizedEcho, Family::kSafeEscHtml, Family::kSafeGuardExit,
+    Family::kSafeWhitelistTernary, Family::kSafeIssetEcho, Family::kSafeIntval,
+    Family::kSafePrepare, Family::kSafeSprintfD, Family::kSafeJsonEncode,
+    Family::kSafeCast,
+    Family::kSafeSqliGuard,
+};
+
+std::string to_string(Family family);
+
+struct FamilyTraits {
+    bool vulnerable = false;
+    VulnKind kind = VulnKind::kXss;
+    InputVector vector = InputVector::kUnknown;
+    bool via_oop = false;        ///< the flow passes through OOP constructs
+    bool requires_oop_file = false;  ///< snippet contains OOP syntax
+    bool easy_exploit = false;   ///< GET/POST/COOKIE manipulation (paper §V.D)
+};
+
+FamilyTraits traits(Family family);
+
+/// A generated code fragment plus the offsets of its seeded sinks.
+struct Snippet {
+    std::vector<std::string> lines;           ///< without trailing newline
+    std::vector<int> sink_line_offsets;       ///< 0-based index into `lines`
+    /// Free functions the snippet defines; echoed for uniqueness checking.
+    std::vector<std::string> declared_functions;
+};
+
+/// Emits one instance of a family. `tag` makes identifiers unique across
+/// the corpus ("p3_17"); `variant` selects cosmetic variation so instances
+/// are not byte-identical.
+Snippet emit(Family family, const std::string& tag, int variant);
+
+/// Benign filler: helper functions, option tables, HTML templates. `weight`
+/// scales the amount of code (roughly `weight` lines).
+Snippet emit_filler(const std::string& tag, int variant, int weight);
+
+}  // namespace phpsafe::corpus

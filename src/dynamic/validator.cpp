@@ -1,0 +1,98 @@
+#include "dynamic/validator.h"
+
+#include "util/strings.h"
+
+namespace phpsafe::dynamic {
+
+namespace {
+
+/// Case-insensitive substring search: browsers execute `<SCRIPT>` exactly
+/// like `<script>`, so a payload that went through strtoupper() still
+/// demonstrates the XSS.
+size_t ifind(const std::string& haystack, const std::string& needle) {
+    const std::string h = ascii_lower(haystack);
+    return h.find(ascii_lower(needle));
+}
+
+}  // namespace
+
+Validator::Validator(const php::Project& project, ExecOptions options)
+    : project_(project), options_(options) {}
+
+void Validator::seed_vector(Interpreter& interpreter, InputVector vector,
+                            const std::string& payload) {
+    switch (vector) {
+        case InputVector::kGet:
+            interpreter.set_superglobal_default("$_GET", payload);
+            break;
+        case InputVector::kPost:
+            interpreter.set_superglobal_default("$_POST", payload);
+            break;
+        case InputVector::kCookie:
+            interpreter.set_superglobal_default("$_COOKIE", payload);
+            break;
+        case InputVector::kRequest:
+        case InputVector::kServer:
+        case InputVector::kFiles:
+            interpreter.set_superglobal_default("$_REQUEST", payload);
+            interpreter.set_superglobal_default("$_SERVER", payload);
+            interpreter.set_superglobal_default("$_FILES", payload);
+            break;
+        case InputVector::kDatabase:
+            interpreter.seed_database(payload);
+            interpreter.seed_cms_store(payload);
+            break;
+        case InputVector::kFile:
+            interpreter.seed_file_contents(payload);
+            break;
+        case InputVector::kFunction:
+        case InputVector::kArray:
+        case InputVector::kUnknown:
+            // Flood everything: the entry point is not precisely known.
+            interpreter.set_superglobal_default("$_GET", payload);
+            interpreter.set_superglobal_default("$_POST", payload);
+            interpreter.set_superglobal_default("$_COOKIE", payload);
+            interpreter.seed_database(payload);
+            interpreter.seed_file_contents(payload);
+            interpreter.seed_cms_store(payload);
+            break;
+    }
+}
+
+ValidationResult Validator::validate(const Finding& finding) {
+    ValidationResult result;
+    result.payload_used =
+        finding.kind == VulnKind::kXss ? xss_payload() : sqli_payload();
+
+    Interpreter interpreter(project_, options_);
+    seed_vector(interpreter, finding.vector, result.payload_used);
+    const ExecResult run = interpreter.run_file(finding.location.file);
+    result.executed = run.error.empty();
+
+    if (finding.kind == VulnKind::kXss) {
+        const size_t pos = ifind(run.output, result.payload_used);
+        if (pos != std::string::npos) {
+            result.confirmed = true;
+            const size_t begin = pos > 30 ? pos - 30 : 0;
+            result.evidence = run.output.substr(
+                begin, std::min<size_t>(run.output.size() - begin,
+                                        result.payload_used.size() + 60));
+        }
+        return result;
+    }
+
+    // SQLi: the payload's quote must reach a query unescaped — addslashes
+    // turns `'` into `\'`, intval turns the whole payload into `1`, and
+    // wpdb::prepare quotes and escapes, so only a truly unguarded flow
+    // still contains the raw payload substring.
+    for (const std::string& query : run.queries) {
+        if (query.find(result.payload_used) != std::string::npos) {
+            result.confirmed = true;
+            result.evidence = query.substr(0, 120);
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace phpsafe::dynamic

@@ -1,0 +1,54 @@
+// Dynamic finding validation — automates the paper's exploit-confirmation
+// step (§III.E "executing the attack, which we confirmed in an experiment"
+// and the §IV.B.5 manual verification): replays the plugin file with an
+// attack payload injected at the finding's input vector and checks whether
+// the payload actually breaks out at the sink.
+//
+//   XSS : the request / database / file seed carries a script payload;
+//         confirmed when the raw payload appears in the page output.
+//   SQLi: the seed carries a quote-breaking payload; confirmed when a
+//         captured SQL query contains the payload unescaped.
+//
+// This composes static and dynamic analysis the way the paper's §II
+// discussion (and its Saner citation) describes: static analysis proposes,
+// dynamic execution disposes — statically-reported flows that a runtime
+// guard actually stops (is_numeric + exit, whitelists, (int) casts) are
+// rejected as false alarms.
+#pragma once
+
+#include <string>
+
+#include "core/finding.h"
+#include "dynamic/interpreter.h"
+#include "php/project.h"
+
+namespace phpsafe::dynamic {
+
+struct ValidationResult {
+    bool confirmed = false;
+    bool executed = false;      ///< the sink's file ran (budget not exhausted)
+    std::string evidence;       ///< output/query excerpt containing the payload
+    std::string payload_used;
+};
+
+class Validator {
+public:
+    explicit Validator(const php::Project& project, ExecOptions options = {});
+
+    /// Replays the finding's file with a payload on the finding's input
+    /// vector and checks the sink class for breakout.
+    ValidationResult validate(const Finding& finding);
+
+    /// Payloads (exposed for tests).
+    static std::string xss_payload() { return "<script>alert(31337)</script>"; }
+    static std::string sqli_payload() { return "1' OR '1337'='1337"; }
+
+private:
+    void seed_vector(Interpreter& interpreter, InputVector vector,
+                     const std::string& payload);
+
+    const php::Project& project_;
+    ExecOptions options_;
+};
+
+}  // namespace phpsafe::dynamic

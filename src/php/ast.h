@@ -1,0 +1,464 @@
+// Abstract syntax tree for PHP 5/7 plugin code, covering procedural and
+// object-oriented constructs (classes, properties, methods, static calls,
+// `new`, `$this`). The taint engine consumes this model; the paper builds
+// the same model on top of token_get_all (model-construction stage).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/source.h"
+
+namespace phpsafe::php {
+
+enum class NodeKind {
+    // Expressions
+    kLiteral, kInterpString, kVariable, kArrayAccess, kPropertyAccess,
+    kStaticPropertyAccess, kClassConstAccess, kFunctionCall, kMethodCall,
+    kStaticCall, kNew, kAssign, kBinary, kUnary, kCast, kTernary,
+    kArrayLiteral, kIssetExpr, kEmptyExpr, kIncDec, kClosure, kIncludeExpr,
+    kListExpr, kInstanceOf, kPrintExpr, kExitExpr,
+
+    // Statements
+    kExprStmt, kEchoStmt, kBlock, kIfStmt, kWhileStmt, kDoWhileStmt,
+    kForStmt, kForeachStmt, kSwitchStmt, kBreakStmt, kContinueStmt,
+    kReturnStmt, kGlobalStmt, kStaticVarStmt, kUnsetStmt, kFunctionDecl,
+    kClassDecl, kInlineHtmlStmt, kTryStmt, kThrowStmt, kNamespaceStmt,
+    kUseStmt, kConstStmt,
+};
+
+const char* to_string(NodeKind kind);
+
+struct Node {
+    explicit Node(NodeKind k) : kind(k) {}
+    virtual ~Node() = default;
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    NodeKind kind;
+    int line = 0;
+};
+
+struct Expr : Node {
+    using Node::Node;
+};
+struct Stmt : Node {
+    using Node::Node;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Literal final : Expr {
+    enum class Type { kString, kInt, kFloat, kBool, kNull };
+    Literal() : Expr(NodeKind::kLiteral) {}
+    Type type = Type::kString;
+    std::string value;  ///< decoded string / number text / "true"/"false"
+};
+
+/// "text $a more {$b->c}" — concatenation of literal and expression parts.
+struct InterpString final : Expr {
+    InterpString() : Expr(NodeKind::kInterpString) {}
+    std::vector<ExprPtr> parts;  ///< Literal or arbitrary expression nodes
+};
+
+struct Variable final : Expr {
+    Variable() : Expr(NodeKind::kVariable) {}
+    std::string name;  ///< includes the '$', e.g. "$_GET", "$this"
+};
+
+struct ArrayAccess final : Expr {
+    ArrayAccess() : Expr(NodeKind::kArrayAccess) {}
+    ExprPtr base;
+    ExprPtr index;  ///< null for "$a[] = ..." push syntax
+};
+
+struct PropertyAccess final : Expr {
+    PropertyAccess() : Expr(NodeKind::kPropertyAccess) {}
+    ExprPtr object;
+    std::string property;  ///< empty if dynamic ({$expr} / $$var)
+    ExprPtr property_expr; ///< set when dynamic
+};
+
+struct StaticPropertyAccess final : Expr {
+    StaticPropertyAccess() : Expr(NodeKind::kStaticPropertyAccess) {}
+    std::string class_name;  ///< "self"/"static"/"parent" preserved verbatim
+    std::string property;    ///< without '$'
+};
+
+struct ClassConstAccess final : Expr {
+    ClassConstAccess() : Expr(NodeKind::kClassConstAccess) {}
+    std::string class_name;
+    std::string constant;
+};
+
+struct Argument {
+    ExprPtr value;
+    bool by_ref = false;
+    bool spread = false;
+};
+
+struct FunctionCall final : Expr {
+    FunctionCall() : Expr(NodeKind::kFunctionCall) {}
+    std::string name;   ///< empty when called through an expression
+    ExprPtr callee;     ///< e.g. $fn(...) — set when name is empty
+    std::vector<Argument> args;
+};
+
+struct MethodCall final : Expr {
+    MethodCall() : Expr(NodeKind::kMethodCall) {}
+    ExprPtr object;
+    std::string method;     ///< empty if dynamic
+    ExprPtr method_expr;    ///< set when dynamic
+    std::vector<Argument> args;
+};
+
+struct StaticCall final : Expr {
+    StaticCall() : Expr(NodeKind::kStaticCall) {}
+    std::string class_name;  ///< "self"/"static"/"parent" preserved verbatim
+    std::string method;
+    std::vector<Argument> args;
+};
+
+struct New final : Expr {
+    New() : Expr(NodeKind::kNew) {}
+    std::string class_name;  ///< empty when dynamic (new $cls)
+    ExprPtr class_expr;
+    std::vector<Argument> args;
+};
+
+enum class AssignOp {
+    kAssign, kConcat, kPlus, kMinus, kMul, kDiv, kMod, kPow,
+    kBitAnd, kBitOr, kBitXor, kShl, kShr, kCoalesce,
+};
+const char* to_string(AssignOp op);
+
+struct Assign final : Expr {
+    Assign() : Expr(NodeKind::kAssign) {}
+    ExprPtr target;
+    ExprPtr value;
+    AssignOp op = AssignOp::kAssign;
+    bool by_ref = false;  ///< $a =& $b
+};
+
+enum class BinaryOp {
+    kConcat, kAdd, kSub, kMul, kDiv, kMod, kPow,
+    kEq, kNotEq, kIdentical, kNotIdentical, kLt, kGt, kLtEq, kGtEq, kSpaceship,
+    kAnd, kOr, kXor, kBitAnd, kBitOr, kBitXor, kShl, kShr, kCoalesce,
+};
+const char* to_string(BinaryOp op);
+
+struct Binary final : Expr {
+    Binary() : Expr(NodeKind::kBinary) {}
+    BinaryOp op = BinaryOp::kConcat;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+enum class UnaryOp { kNot, kMinus, kPlus, kBitNot, kSuppress /* @ */ };
+const char* to_string(UnaryOp op);
+
+struct Unary final : Expr {
+    Unary() : Expr(NodeKind::kUnary) {}
+    UnaryOp op = UnaryOp::kNot;
+    ExprPtr operand;
+};
+
+struct Cast final : Expr {
+    Cast() : Expr(NodeKind::kCast) {}
+    std::string type;  ///< lowercase: "int", "string", ...
+    ExprPtr operand;
+};
+
+struct Ternary final : Expr {
+    Ternary() : Expr(NodeKind::kTernary) {}
+    ExprPtr cond;
+    ExprPtr then_expr;  ///< null for the short form `?:`
+    ExprPtr else_expr;
+};
+
+struct ArrayItem {
+    ExprPtr key;    ///< may be null
+    ExprPtr value;
+    bool by_ref = false;
+    bool spread = false;
+};
+
+struct ArrayLiteral final : Expr {
+    ArrayLiteral() : Expr(NodeKind::kArrayLiteral) {}
+    std::vector<ArrayItem> items;
+};
+
+struct IssetExpr final : Expr {
+    IssetExpr() : Expr(NodeKind::kIssetExpr) {}
+    std::vector<ExprPtr> vars;
+};
+
+struct EmptyExpr final : Expr {
+    EmptyExpr() : Expr(NodeKind::kEmptyExpr) {}
+    ExprPtr operand;
+};
+
+struct IncDec final : Expr {
+    IncDec() : Expr(NodeKind::kIncDec) {}
+    bool increment = true;
+    bool prefix = false;
+    ExprPtr operand;
+};
+
+struct Param {
+    std::string name;      ///< with '$'
+    std::string type_hint; ///< "" if none; class name or scalar hint
+    ExprPtr default_value; ///< may be null
+    bool by_ref = false;
+    bool variadic = false;
+};
+
+struct Closure final : Expr {
+    Closure() : Expr(NodeKind::kClosure) {}
+    std::vector<Param> params;
+    std::vector<std::pair<std::string, bool>> uses;  ///< (name, by_ref)
+    std::vector<StmtPtr> body;
+    bool is_arrow = false;  ///< fn() => expr (body holds a single return)
+};
+
+enum class IncludeKind { kInclude, kIncludeOnce, kRequire, kRequireOnce };
+const char* to_string(IncludeKind kind);
+
+struct IncludeExpr final : Expr {
+    IncludeExpr() : Expr(NodeKind::kIncludeExpr) {}
+    IncludeKind include_kind = IncludeKind::kInclude;
+    ExprPtr path;
+};
+
+struct ListExpr final : Expr {
+    ListExpr() : Expr(NodeKind::kListExpr) {}
+    std::vector<ExprPtr> elements;  ///< entries may be null (skipped slots)
+};
+
+struct InstanceOf final : Expr {
+    InstanceOf() : Expr(NodeKind::kInstanceOf) {}
+    ExprPtr object;
+    std::string class_name;
+};
+
+struct PrintExpr final : Expr {
+    PrintExpr() : Expr(NodeKind::kPrintExpr) {}
+    ExprPtr operand;
+};
+
+struct ExitExpr final : Expr {
+    ExitExpr() : Expr(NodeKind::kExitExpr) {}
+    ExprPtr operand;  ///< may be null; `die($msg)` outputs $msg (XSS sink)
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct ExprStmt final : Stmt {
+    ExprStmt() : Stmt(NodeKind::kExprStmt) {}
+    ExprPtr expr;
+};
+
+struct EchoStmt final : Stmt {
+    EchoStmt() : Stmt(NodeKind::kEchoStmt) {}
+    std::vector<ExprPtr> args;
+    bool from_open_tag = false;  ///< came from `<?= ... ?>`
+};
+
+struct Block final : Stmt {
+    Block() : Stmt(NodeKind::kBlock) {}
+    std::vector<StmtPtr> statements;
+};
+
+struct IfStmt final : Stmt {
+    IfStmt() : Stmt(NodeKind::kIfStmt) {}
+    ExprPtr cond;
+    StmtPtr then_branch;
+    StmtPtr else_branch;  ///< may be another IfStmt (elseif) or null
+};
+
+struct WhileStmt final : Stmt {
+    WhileStmt() : Stmt(NodeKind::kWhileStmt) {}
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+struct DoWhileStmt final : Stmt {
+    DoWhileStmt() : Stmt(NodeKind::kDoWhileStmt) {}
+    StmtPtr body;
+    ExprPtr cond;
+};
+
+struct ForStmt final : Stmt {
+    ForStmt() : Stmt(NodeKind::kForStmt) {}
+    std::vector<ExprPtr> init;
+    std::vector<ExprPtr> cond;
+    std::vector<ExprPtr> update;
+    StmtPtr body;
+};
+
+struct ForeachStmt final : Stmt {
+    ForeachStmt() : Stmt(NodeKind::kForeachStmt) {}
+    ExprPtr iterable;
+    ExprPtr key_var;    ///< may be null
+    ExprPtr value_var;  ///< Variable / PropertyAccess / ListExpr
+    bool by_ref = false;
+    StmtPtr body;
+};
+
+struct SwitchCase {
+    ExprPtr match;  ///< null for `default:`
+    std::vector<StmtPtr> body;
+};
+
+struct SwitchStmt final : Stmt {
+    SwitchStmt() : Stmt(NodeKind::kSwitchStmt) {}
+    ExprPtr subject;
+    std::vector<SwitchCase> cases;
+};
+
+struct BreakStmt final : Stmt {
+    BreakStmt() : Stmt(NodeKind::kBreakStmt) {}
+};
+struct ContinueStmt final : Stmt {
+    ContinueStmt() : Stmt(NodeKind::kContinueStmt) {}
+};
+
+struct ReturnStmt final : Stmt {
+    ReturnStmt() : Stmt(NodeKind::kReturnStmt) {}
+    ExprPtr value;  ///< may be null
+};
+
+struct GlobalStmt final : Stmt {
+    GlobalStmt() : Stmt(NodeKind::kGlobalStmt) {}
+    std::vector<std::string> names;  ///< with '$'
+};
+
+struct StaticVarStmt final : Stmt {
+    StaticVarStmt() : Stmt(NodeKind::kStaticVarStmt) {}
+    std::vector<std::pair<std::string, ExprPtr>> vars;  ///< (name, init-or-null)
+};
+
+struct UnsetStmt final : Stmt {
+    UnsetStmt() : Stmt(NodeKind::kUnsetStmt) {}
+    std::vector<ExprPtr> vars;
+};
+
+struct FunctionDecl final : Stmt {
+    FunctionDecl() : Stmt(NodeKind::kFunctionDecl) {}
+    std::string name;
+    std::vector<Param> params;
+    std::vector<StmtPtr> body;
+    bool by_ref_return = false;
+    // Method-only attributes (unused for free functions).
+    bool is_static = false;
+    bool is_abstract = false;
+    std::string visibility;  ///< "public"/"protected"/"private"/"" (free fn)
+};
+
+struct PropertyDecl {
+    std::string name;  ///< without '$'
+    ExprPtr default_value;
+    bool is_static = false;
+    std::string visibility;
+    int line = 0;
+};
+
+struct ClassConstDecl {
+    std::string name;
+    ExprPtr value;
+    int line = 0;
+};
+
+struct ClassDecl final : Stmt {
+    enum class Kind { kClass, kInterface, kTrait };
+    ClassDecl() : Stmt(NodeKind::kClassDecl) {}
+    Kind class_kind = Kind::kClass;
+    std::string name;
+    std::string parent;                   ///< "" if none
+    std::vector<std::string> interfaces;  ///< also trait `use`s
+    std::vector<PropertyDecl> properties;
+    std::vector<ClassConstDecl> constants;
+    std::vector<std::unique_ptr<FunctionDecl>> methods;
+    bool is_abstract = false;
+    bool is_final = false;
+};
+
+struct InlineHtmlStmt final : Stmt {
+    InlineHtmlStmt() : Stmt(NodeKind::kInlineHtmlStmt) {}
+    std::string html;
+};
+
+struct CatchClause {
+    std::vector<std::string> types;
+    std::string var;  ///< with '$'; may be empty (PHP 8 catch without var)
+    std::vector<StmtPtr> body;
+};
+
+struct TryStmt final : Stmt {
+    TryStmt() : Stmt(NodeKind::kTryStmt) {}
+    std::vector<StmtPtr> body;
+    std::vector<CatchClause> catches;
+    std::vector<StmtPtr> finally_body;
+    bool has_finally = false;
+};
+
+struct ThrowStmt final : Stmt {
+    ThrowStmt() : Stmt(NodeKind::kThrowStmt) {}
+    ExprPtr value;
+};
+
+struct NamespaceStmt final : Stmt {
+    NamespaceStmt() : Stmt(NodeKind::kNamespaceStmt) {}
+    std::string name;
+    std::vector<StmtPtr> body;  ///< empty for the `namespace X;` form
+};
+
+struct UseStmt final : Stmt {
+    UseStmt() : Stmt(NodeKind::kUseStmt) {}
+    std::vector<std::pair<std::string, std::string>> imports;  ///< (fqn, alias)
+};
+
+struct ConstStmt final : Stmt {
+    ConstStmt() : Stmt(NodeKind::kConstStmt) {}
+    std::vector<std::pair<std::string, ExprPtr>> constants;
+};
+
+// ---------------------------------------------------------------------------
+// File unit
+// ---------------------------------------------------------------------------
+
+/// Parse result of one PHP file: top-level statements (the "main function"
+/// in the paper's terminology) plus the flat lists of declarations the
+/// model-construction stage collects for the whole-plugin analysis.
+struct FileUnit {
+    std::string file_name;
+    std::vector<StmtPtr> statements;
+};
+
+/// Downcast helper: `as<Variable>(expr)` → typed pointer or nullptr.
+template <typename T>
+const T* as(const Node* n) noexcept {
+    return dynamic_cast<const T*>(n);
+}
+template <typename T>
+T* as(Node* n) noexcept {
+    return dynamic_cast<T*>(n);
+}
+
+/// Renders a compact single-line s-expression of a node (for tests/debug).
+std::string dump(const Node& node);
+
+/// Reconstructs approximate PHP source for an expression (used in taint
+/// traces and reports, mirroring phpSAFE's variable-flow display).
+std::string to_php_source(const Expr& expr);
+
+}  // namespace phpsafe::php

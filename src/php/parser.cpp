@@ -1,0 +1,1643 @@
+#include "php/parser.h"
+
+#include <cassert>
+
+#include "php/lexer.h"
+#include "util/strings.h"
+
+namespace phpsafe::php {
+
+namespace {
+
+/// Binding powers for infix operators (higher binds tighter). Mirrors the
+/// PHP operator-precedence table; assignment sits between the word logical
+/// operators and everything else, so `$a = $b or die()` groups as
+/// `($a = $b) or die()`.
+constexpr int kBpOr = 1;
+constexpr int kBpXor = 2;
+constexpr int kBpAnd = 3;
+constexpr int kBpAssign = 4;
+constexpr int kBpTernary = 5;
+constexpr int kBpCoalesce = 6;
+constexpr int kBpOrOr = 7;
+constexpr int kBpAndAnd = 8;
+constexpr int kBpBitOr = 9;
+constexpr int kBpBitXor = 10;
+constexpr int kBpBitAnd = 11;
+constexpr int kBpEquality = 12;
+constexpr int kBpRelational = 13;
+constexpr int kBpShift = 14;
+constexpr int kBpAdditive = 15;
+constexpr int kBpMultiplicative = 16;
+constexpr int kBpInstanceof = 17;
+constexpr int kBpPow = 18;
+
+struct InfixOp {
+    BinaryOp op;
+    int bp;
+    bool right_assoc = false;
+};
+
+/// Returns the infix entry for the current token, or nullopt.
+std::optional<InfixOp> infix_for(const Token& tok) {
+    switch (tok.kind) {
+        case TokenKind::kDot: return InfixOp{BinaryOp::kConcat, kBpAdditive};
+        case TokenKind::kPlus: return InfixOp{BinaryOp::kAdd, kBpAdditive};
+        case TokenKind::kMinus: return InfixOp{BinaryOp::kSub, kBpAdditive};
+        case TokenKind::kStar: return InfixOp{BinaryOp::kMul, kBpMultiplicative};
+        case TokenKind::kSlash: return InfixOp{BinaryOp::kDiv, kBpMultiplicative};
+        case TokenKind::kPercent: return InfixOp{BinaryOp::kMod, kBpMultiplicative};
+        case TokenKind::kPow: return InfixOp{BinaryOp::kPow, kBpPow, true};
+        case TokenKind::kEq: return InfixOp{BinaryOp::kEq, kBpEquality};
+        case TokenKind::kNotEq: return InfixOp{BinaryOp::kNotEq, kBpEquality};
+        case TokenKind::kIdentical: return InfixOp{BinaryOp::kIdentical, kBpEquality};
+        case TokenKind::kNotIdentical:
+            return InfixOp{BinaryOp::kNotIdentical, kBpEquality};
+        case TokenKind::kLt: return InfixOp{BinaryOp::kLt, kBpRelational};
+        case TokenKind::kGt: return InfixOp{BinaryOp::kGt, kBpRelational};
+        case TokenKind::kLtEq: return InfixOp{BinaryOp::kLtEq, kBpRelational};
+        case TokenKind::kGtEq: return InfixOp{BinaryOp::kGtEq, kBpRelational};
+        case TokenKind::kSpaceship:
+            return InfixOp{BinaryOp::kSpaceship, kBpRelational};
+        case TokenKind::kAndAnd: return InfixOp{BinaryOp::kAnd, kBpAndAnd};
+        case TokenKind::kOrOr: return InfixOp{BinaryOp::kOr, kBpOrOr};
+        case TokenKind::kCoalesce:
+            return InfixOp{BinaryOp::kCoalesce, kBpCoalesce, true};
+        case TokenKind::kAmp: return InfixOp{BinaryOp::kBitAnd, kBpBitAnd};
+        case TokenKind::kPipe: return InfixOp{BinaryOp::kBitOr, kBpBitOr};
+        case TokenKind::kCaret: return InfixOp{BinaryOp::kBitXor, kBpBitXor};
+        case TokenKind::kShiftLeft: return InfixOp{BinaryOp::kShl, kBpShift};
+        case TokenKind::kShiftRight: return InfixOp{BinaryOp::kShr, kBpShift};
+        case TokenKind::kKeyword:
+            if (tok.text == "and") return InfixOp{BinaryOp::kAnd, kBpAnd};
+            if (tok.text == "or") return InfixOp{BinaryOp::kOr, kBpOr};
+            if (tok.text == "xor") return InfixOp{BinaryOp::kXor, kBpXor};
+            return std::nullopt;
+        default: return std::nullopt;
+    }
+}
+
+std::optional<AssignOp> assign_op_for(TokenKind kind) {
+    switch (kind) {
+        case TokenKind::kAssign: return AssignOp::kAssign;
+        case TokenKind::kConcatEq: return AssignOp::kConcat;
+        case TokenKind::kPlusEq: return AssignOp::kPlus;
+        case TokenKind::kMinusEq: return AssignOp::kMinus;
+        case TokenKind::kMulEq: return AssignOp::kMul;
+        case TokenKind::kDivEq: return AssignOp::kDiv;
+        case TokenKind::kModEq: return AssignOp::kMod;
+        case TokenKind::kPowEq: return AssignOp::kPow;
+        case TokenKind::kAndEq: return AssignOp::kBitAnd;
+        case TokenKind::kOrEq: return AssignOp::kBitOr;
+        case TokenKind::kXorEq: return AssignOp::kBitXor;
+        case TokenKind::kShlEq: return AssignOp::kShl;
+        case TokenKind::kShrEq: return AssignOp::kShr;
+        case TokenKind::kCoalesceEq: return AssignOp::kCoalesce;
+        default: return std::nullopt;
+    }
+}
+
+bool is_assignable(const Expr& e) noexcept {
+    switch (e.kind) {
+        case NodeKind::kVariable:
+        case NodeKind::kArrayAccess:
+        case NodeKind::kPropertyAccess:
+        case NodeKind::kStaticPropertyAccess:
+        case NodeKind::kListExpr:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
+Parser::Parser(const SourceFile& file, DiagnosticSink& sink, Options options)
+    : file_(file), sink_(sink), options_(options) {
+    Lexer lexer(file, sink);
+    tokens_ = lexer.tokenize();
+}
+
+const Token& Parser::peek(size_t ahead) const noexcept {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+Token Parser::consume() {
+    Token t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+}
+
+bool Parser::accept(TokenKind kind) {
+    if (!check(kind)) return false;
+    consume();
+    return true;
+}
+
+bool Parser::accept_keyword(std::string_view kw) {
+    if (!check_keyword(kw)) return false;
+    consume();
+    return true;
+}
+
+bool Parser::expect(TokenKind kind, std::string_view what) {
+    if (accept(kind)) return true;
+    error_here("expected " + std::string(what) + " before '" + current().text + "'");
+    return false;
+}
+
+void Parser::error_here(const std::string& message) {
+    ++error_count_;
+    sink_.add(Severity::kError, loc_here(), message);
+    if (options_.max_errors > 0 && error_count_ >= options_.max_errors && !aborted_) {
+        aborted_ = true;
+        sink_.add(Severity::kFatal, {file_.name(), current().line},
+                  "too many parse errors; aborting analysis of this file");
+    }
+}
+
+SourceLocation Parser::loc_here() const { return {file_.name(), current().line}; }
+
+void Parser::skip_tags() {
+    while (check(TokenKind::kOpenTag) || check(TokenKind::kCloseTag)) consume();
+}
+
+FileUnit Parser::parse() {
+    FileUnit unit;
+    unit.file_name = file_.name();
+    while (!at_eof() && !aborted_) {
+        const size_t before = pos_;
+        StmtPtr stmt = parse_statement();
+        if (stmt) unit.statements.push_back(std::move(stmt));
+        if (pos_ == before && !at_eof()) consume();  // always make progress
+    }
+    return unit;
+}
+
+ExprPtr Parser::parse_expression_text(std::string_view php_expr,
+                                      const std::string& file_name, int line,
+                                      DiagnosticSink& sink) {
+    SourceFile snippet(file_name, "<?php " + std::string(php_expr) + ";");
+    Parser parser(snippet, sink);
+    parser.skip_tags();
+    ExprPtr expr = parser.parse_expression();
+    if (expr) expr->line = line;
+    return expr;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_statement() {
+    skip_tags();
+    if (at_eof()) return nullptr;
+
+    const Token& tok = current();
+    switch (tok.kind) {
+        case TokenKind::kInlineHtml: {
+            auto html = std::make_unique<InlineHtmlStmt>();
+            html->line = tok.line;
+            html->html = consume().text;
+            return html;
+        }
+        case TokenKind::kOpenTagWithEcho:
+            consume();
+            return parse_echo(/*from_open_tag=*/true);
+        case TokenKind::kSemicolon:
+            consume();
+            return nullptr;
+        case TokenKind::kLBrace: {
+            consume();
+            auto block = std::make_unique<Block>();
+            block->line = tok.line;
+            while (!at_eof() && !check(TokenKind::kRBrace) && !aborted_) {
+                const size_t before = pos_;
+                StmtPtr s = parse_statement();
+                if (s) block->statements.push_back(std::move(s));
+                if (pos_ == before && !at_eof() && !check(TokenKind::kRBrace)) consume();
+            }
+            expect(TokenKind::kRBrace, "'}'");
+            return block;
+        }
+        case TokenKind::kKeyword:
+            if (tok.text == "if") return parse_if();
+            if (tok.text == "while") return parse_while();
+            if (tok.text == "do") return parse_do_while();
+            if (tok.text == "for") return parse_for();
+            if (tok.text == "foreach") return parse_foreach();
+            if (tok.text == "switch") return parse_switch();
+            if (tok.text == "return") return parse_return();
+            if (tok.text == "echo") {
+                consume();
+                return parse_echo(false);
+            }
+            if (tok.text == "global") return parse_global();
+            if (tok.text == "static") {
+                // `static $x` is a static-variable declaration; `static::`
+                // and `static function` are expressions.
+                if (peek(1).kind == TokenKind::kVariable &&
+                    peek(2).kind != TokenKind::kDoubleColon)
+                    return parse_static_var();
+                return parse_expression_statement();
+            }
+            if (tok.text == "unset") return parse_unset();
+            if (tok.text == "break") {
+                consume();
+                auto s = std::make_unique<BreakStmt>();
+                s->line = tok.line;
+                if (check(TokenKind::kIntLiteral)) consume();
+                accept(TokenKind::kSemicolon);
+                return s;
+            }
+            if (tok.text == "continue") {
+                consume();
+                auto s = std::make_unique<ContinueStmt>();
+                s->line = tok.line;
+                if (check(TokenKind::kIntLiteral)) consume();
+                accept(TokenKind::kSemicolon);
+                return s;
+            }
+            if (tok.text == "function") {
+                // Distinguish a declaration from a closure expression.
+                const Token& next = peek(1);
+                if (next.kind == TokenKind::kIdentifier ||
+                    (next.kind == TokenKind::kAmp &&
+                     peek(2).kind == TokenKind::kIdentifier))
+                    return parse_function_decl();
+                return parse_expression_statement();
+            }
+            if (tok.text == "abstract" || tok.text == "final") {
+                const bool is_abstract = tok.text == "abstract";
+                const bool is_final = tok.text == "final";
+                consume();
+                if (check_keyword("class")) {
+                    consume();
+                    return parse_class_decl(ClassDecl::Kind::kClass, is_abstract, is_final);
+                }
+                error_here("expected 'class' after modifier");
+                return nullptr;
+            }
+            if (tok.text == "class") {
+                consume();
+                return parse_class_decl(ClassDecl::Kind::kClass, false, false);
+            }
+            if (tok.text == "interface") {
+                consume();
+                return parse_class_decl(ClassDecl::Kind::kInterface, false, false);
+            }
+            if (tok.text == "trait") {
+                consume();
+                return parse_class_decl(ClassDecl::Kind::kTrait, false, false);
+            }
+            if (tok.text == "try") return parse_try();
+            if (tok.text == "throw") {
+                consume();
+                auto s = std::make_unique<ThrowStmt>();
+                s->line = tok.line;
+                s->value = parse_expression();
+                accept(TokenKind::kSemicolon);
+                return s;
+            }
+            if (tok.text == "namespace") return parse_namespace();
+            if (tok.text == "use") return parse_use();
+            if (tok.text == "const") return parse_const();
+            if (tok.text == "declare") {
+                consume();
+                if (accept(TokenKind::kLParen)) {
+                    int depth = 1;
+                    while (!at_eof() && depth > 0) {
+                        if (check(TokenKind::kLParen)) ++depth;
+                        if (check(TokenKind::kRParen)) --depth;
+                        consume();
+                    }
+                }
+                accept(TokenKind::kSemicolon);
+                return nullptr;
+            }
+            if (tok.text == "goto") {  // rarely used; skip label
+                consume();
+                if (check(TokenKind::kIdentifier)) consume();
+                accept(TokenKind::kSemicolon);
+                return nullptr;
+            }
+            return parse_expression_statement();
+        default:
+            return parse_expression_statement();
+    }
+}
+
+StmtPtr Parser::parse_block_or_statement() {
+    skip_tags();
+    if (check(TokenKind::kLBrace)) return parse_statement();
+    StmtPtr s = parse_statement();
+    if (s) return s;
+    auto empty = std::make_unique<Block>();
+    empty->line = current().line;
+    return empty;
+}
+
+std::vector<StmtPtr> Parser::parse_statement_list_until(
+    const std::vector<std::string_view>& end_keywords) {
+    std::vector<StmtPtr> stmts;
+    while (!at_eof() && !aborted_) {
+        skip_tags();
+        bool at_end = false;
+        for (std::string_view kw : end_keywords)
+            if (check_keyword(kw)) at_end = true;
+        if (at_end || at_eof()) break;
+        const size_t before = pos_;
+        StmtPtr s = parse_statement();
+        if (s) stmts.push_back(std::move(s));
+        if (pos_ == before && !at_eof()) consume();
+    }
+    return stmts;
+}
+
+StmtPtr Parser::parse_if() {
+    auto stmt = std::make_unique<IfStmt>();
+    stmt->line = current().line;
+    consume();  // if
+    expect(TokenKind::kLParen, "'('");
+    stmt->cond = parse_expression();
+    expect(TokenKind::kRParen, "')'");
+
+    if (accept(TokenKind::kColon)) {
+        // Alternative syntax: if (...): ... [elseif/else] endif;
+        auto then_block = std::make_unique<Block>();
+        then_block->line = stmt->line;
+        then_block->statements =
+            parse_statement_list_until({"elseif", "else", "endif"});
+        stmt->then_branch = std::move(then_block);
+        if (check_keyword("elseif")) {
+            // Re-enter as a nested if by rewriting elseif → if.
+            stmt->else_branch = parse_if();
+            return stmt;
+        }
+        if (accept_keyword("else")) {
+            accept(TokenKind::kColon);
+            auto else_block = std::make_unique<Block>();
+            else_block->line = current().line;
+            else_block->statements = parse_statement_list_until({"endif"});
+            stmt->else_branch = std::move(else_block);
+        }
+        accept_keyword("endif");
+        accept(TokenKind::kSemicolon);
+        return stmt;
+    }
+
+    stmt->then_branch = parse_block_or_statement();
+    skip_tags();
+    if (check_keyword("elseif")) {
+        stmt->else_branch = parse_if();
+    } else if (accept_keyword("else")) {
+        skip_tags();
+        if (check_keyword("if")) {
+            stmt->else_branch = parse_if();
+        } else {
+            stmt->else_branch = parse_block_or_statement();
+        }
+    }
+    return stmt;
+}
+
+StmtPtr Parser::parse_while() {
+    auto stmt = std::make_unique<WhileStmt>();
+    stmt->line = current().line;
+    consume();  // while
+    expect(TokenKind::kLParen, "'('");
+    stmt->cond = parse_expression();
+    expect(TokenKind::kRParen, "')'");
+    if (accept(TokenKind::kColon)) {
+        auto body = std::make_unique<Block>();
+        body->line = stmt->line;
+        body->statements = parse_statement_list_until({"endwhile"});
+        accept_keyword("endwhile");
+        accept(TokenKind::kSemicolon);
+        stmt->body = std::move(body);
+        return stmt;
+    }
+    stmt->body = parse_block_or_statement();
+    return stmt;
+}
+
+StmtPtr Parser::parse_do_while() {
+    auto stmt = std::make_unique<DoWhileStmt>();
+    stmt->line = current().line;
+    consume();  // do
+    stmt->body = parse_block_or_statement();
+    if (accept_keyword("while")) {
+        expect(TokenKind::kLParen, "'('");
+        stmt->cond = parse_expression();
+        expect(TokenKind::kRParen, "')'");
+    } else {
+        error_here("expected 'while' after do-block");
+    }
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_for() {
+    auto stmt = std::make_unique<ForStmt>();
+    stmt->line = current().line;
+    consume();  // for
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kSemicolon)) {
+        do {
+            stmt->init.push_back(parse_expression());
+        } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kSemicolon, "';'");
+    if (!check(TokenKind::kSemicolon)) {
+        do {
+            stmt->cond.push_back(parse_expression());
+        } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kSemicolon, "';'");
+    if (!check(TokenKind::kRParen)) {
+        do {
+            stmt->update.push_back(parse_expression());
+        } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+    if (accept(TokenKind::kColon)) {
+        auto body = std::make_unique<Block>();
+        body->line = stmt->line;
+        body->statements = parse_statement_list_until({"endfor"});
+        accept_keyword("endfor");
+        accept(TokenKind::kSemicolon);
+        stmt->body = std::move(body);
+        return stmt;
+    }
+    stmt->body = parse_block_or_statement();
+    return stmt;
+}
+
+StmtPtr Parser::parse_foreach() {
+    auto stmt = std::make_unique<ForeachStmt>();
+    stmt->line = current().line;
+    consume();  // foreach
+    expect(TokenKind::kLParen, "'('");
+    stmt->iterable = parse_expression();
+    if (!accept_keyword("as")) error_here("expected 'as' in foreach");
+    bool by_ref = accept(TokenKind::kAmp);
+    ExprPtr first = parse_expression(kBpTernary + 1);
+    if (accept(TokenKind::kDoubleArrow)) {
+        stmt->key_var = std::move(first);
+        stmt->by_ref = accept(TokenKind::kAmp);
+        stmt->value_var = parse_expression(kBpTernary + 1);
+    } else {
+        stmt->by_ref = by_ref;
+        stmt->value_var = std::move(first);
+    }
+    expect(TokenKind::kRParen, "')'");
+    if (accept(TokenKind::kColon)) {
+        auto body = std::make_unique<Block>();
+        body->line = stmt->line;
+        body->statements = parse_statement_list_until({"endforeach"});
+        accept_keyword("endforeach");
+        accept(TokenKind::kSemicolon);
+        stmt->body = std::move(body);
+        return stmt;
+    }
+    stmt->body = parse_block_or_statement();
+    return stmt;
+}
+
+StmtPtr Parser::parse_switch() {
+    auto stmt = std::make_unique<SwitchStmt>();
+    stmt->line = current().line;
+    consume();  // switch
+    expect(TokenKind::kLParen, "'('");
+    stmt->subject = parse_expression();
+    expect(TokenKind::kRParen, "')'");
+    const bool alt = accept(TokenKind::kColon);
+    if (!alt) expect(TokenKind::kLBrace, "'{'");
+    while (!at_eof() && !aborted_) {
+        skip_tags();
+        if ((alt && check_keyword("endswitch")) || (!alt && check(TokenKind::kRBrace)))
+            break;
+        if (accept_keyword("case")) {
+            SwitchCase c;
+            c.match = parse_expression();
+            if (!accept(TokenKind::kColon)) accept(TokenKind::kSemicolon);
+            c.body = parse_statement_list_until({"case", "default", "endswitch"});
+            // '}' also ends the case body in brace syntax; the list helper
+            // stops on keywords only, so double-check the brace here.
+            stmt->cases.push_back(std::move(c));
+            continue;
+        }
+        if (accept_keyword("default")) {
+            SwitchCase c;
+            if (!accept(TokenKind::kColon)) accept(TokenKind::kSemicolon);
+            c.body = parse_statement_list_until({"case", "default", "endswitch"});
+            stmt->cases.push_back(std::move(c));
+            continue;
+        }
+        if (check(TokenKind::kRBrace)) break;
+        consume();  // skip stray token
+    }
+    if (alt) {
+        accept_keyword("endswitch");
+        accept(TokenKind::kSemicolon);
+    } else {
+        expect(TokenKind::kRBrace, "'}'");
+    }
+    return stmt;
+}
+
+StmtPtr Parser::parse_return() {
+    auto stmt = std::make_unique<ReturnStmt>();
+    stmt->line = current().line;
+    consume();  // return
+    if (!check(TokenKind::kSemicolon) && !check(TokenKind::kCloseTag) && !at_eof())
+        stmt->value = parse_expression();
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_echo(bool from_open_tag) {
+    auto stmt = std::make_unique<EchoStmt>();
+    stmt->line = current().line;
+    stmt->from_open_tag = from_open_tag;
+    do {
+        stmt->args.push_back(parse_expression());
+    } while (accept(TokenKind::kComma));
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_global() {
+    auto stmt = std::make_unique<GlobalStmt>();
+    stmt->line = current().line;
+    consume();  // global
+    do {
+        if (check(TokenKind::kVariable)) {
+            stmt->names.push_back(consume().text);
+        } else {
+            error_here("expected variable in global statement");
+            break;
+        }
+    } while (accept(TokenKind::kComma));
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_static_var() {
+    auto stmt = std::make_unique<StaticVarStmt>();
+    stmt->line = current().line;
+    consume();  // static
+    do {
+        if (!check(TokenKind::kVariable)) {
+            error_here("expected variable in static declaration");
+            break;
+        }
+        std::string name = consume().text;
+        ExprPtr init;
+        if (accept(TokenKind::kAssign)) init = parse_expression(kBpAssign + 1);
+        stmt->vars.emplace_back(std::move(name), std::move(init));
+    } while (accept(TokenKind::kComma));
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_unset() {
+    auto stmt = std::make_unique<UnsetStmt>();
+    stmt->line = current().line;
+    consume();  // unset
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+        do {
+            stmt->vars.push_back(parse_expression());
+        } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_function_decl() {
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->line = current().line;
+    consume();  // function
+    fn->by_ref_return = accept(TokenKind::kAmp);
+    if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword)) {
+        fn->name = consume().text;
+    } else {
+        error_here("expected function name");
+    }
+    fn->params = parse_params();
+    if (accept(TokenKind::kColon)) parse_type_hint();  // return type: ignored
+    skip_tags();
+    if (check(TokenKind::kLBrace)) {
+        StmtPtr body = parse_statement();  // parses the block
+        if (body && body->kind == NodeKind::kBlock)
+            fn->body = std::move(static_cast<Block*>(body.get())->statements);
+    } else {
+        accept(TokenKind::kSemicolon);  // abstract/interface method
+    }
+    return fn;
+}
+
+void Parser::parse_class_member(ClassDecl& cls) {
+    bool is_static = false, is_abstract = false;
+    std::string visibility;
+    // Modifier run.
+    while (check(TokenKind::kKeyword)) {
+        const std::string& kw = current().text;
+        if (kw == "public" || kw == "protected" || kw == "private") {
+            visibility = kw;
+            consume();
+        } else if (kw == "static") {
+            is_static = true;
+            consume();
+        } else if (kw == "abstract" || kw == "final" || kw == "readonly") {
+            if (kw == "abstract") is_abstract = true;
+            consume();
+        } else if (kw == "var") {
+            visibility = "public";
+            consume();
+        } else {
+            break;
+        }
+    }
+
+    if (check_keyword("function")) {
+        StmtPtr decl = parse_function_decl();
+        if (decl && decl->kind == NodeKind::kFunctionDecl) {
+            auto method = std::unique_ptr<FunctionDecl>(
+                static_cast<FunctionDecl*>(decl.release()));
+            method->is_static = is_static;
+            method->is_abstract = is_abstract;
+            method->visibility = visibility.empty() ? "public" : visibility;
+            cls.methods.push_back(std::move(method));
+        }
+        return;
+    }
+    if (check_keyword("const")) {
+        consume();
+        do {
+            ClassConstDecl c;
+            c.line = current().line;
+            if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword))
+                c.name = consume().text;
+            if (accept(TokenKind::kAssign)) c.value = parse_expression(kBpAssign + 1);
+            cls.constants.push_back(std::move(c));
+        } while (accept(TokenKind::kComma));
+        accept(TokenKind::kSemicolon);
+        return;
+    }
+    if (check_keyword("use")) {  // trait use
+        consume();
+        do {
+            cls.interfaces.push_back(parse_qualified_name());
+        } while (accept(TokenKind::kComma));
+        if (accept(TokenKind::kLBrace)) {  // conflict-resolution block: skip
+            int depth = 1;
+            while (!at_eof() && depth > 0) {
+                if (check(TokenKind::kLBrace)) ++depth;
+                if (check(TokenKind::kRBrace)) --depth;
+                consume();
+            }
+        } else {
+            accept(TokenKind::kSemicolon);
+        }
+        return;
+    }
+    // Typed property: optional type hint before the variable.
+    if ((check(TokenKind::kIdentifier) || check(TokenKind::kQuestion) ||
+         check_keyword("array")) &&
+        peek(1).kind == TokenKind::kVariable) {
+        parse_type_hint();
+    }
+    if (check(TokenKind::kVariable)) {
+        do {
+            PropertyDecl prop;
+            prop.line = current().line;
+            std::string name = consume().text;
+            prop.name = name.size() > 1 ? name.substr(1) : name;
+            prop.is_static = is_static;
+            prop.visibility = visibility.empty() ? "public" : visibility;
+            if (accept(TokenKind::kAssign))
+                prop.default_value = parse_expression(kBpAssign + 1);
+            cls.properties.push_back(std::move(prop));
+        } while (accept(TokenKind::kComma) && check(TokenKind::kVariable));
+        accept(TokenKind::kSemicolon);
+        return;
+    }
+    error_here("unexpected token in class body: '" + current().text + "'");
+    consume();
+}
+
+StmtPtr Parser::parse_class_decl(ClassDecl::Kind kind, bool is_abstract,
+                                 bool is_final) {
+    auto cls = std::make_unique<ClassDecl>();
+    cls->class_kind = kind;
+    cls->is_abstract = is_abstract;
+    cls->is_final = is_final;
+    cls->line = current().line;
+    if (check(TokenKind::kIdentifier)) {
+        cls->name = consume().text;
+    } else {
+        error_here("expected class name");
+    }
+    if (accept_keyword("extends")) {
+        cls->parent = parse_qualified_name();
+        // Interfaces may extend several bases; record the extras as interfaces.
+        while (accept(TokenKind::kComma)) cls->interfaces.push_back(parse_qualified_name());
+    }
+    if (accept_keyword("implements")) {
+        do {
+            cls->interfaces.push_back(parse_qualified_name());
+        } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at_eof() && !check(TokenKind::kRBrace) && !aborted_) {
+        const size_t before = pos_;
+        parse_class_member(*cls);
+        if (pos_ == before && !at_eof() && !check(TokenKind::kRBrace)) consume();
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    return cls;
+}
+
+StmtPtr Parser::parse_try() {
+    auto stmt = std::make_unique<TryStmt>();
+    stmt->line = current().line;
+    consume();  // try
+    StmtPtr body = parse_statement();
+    if (body && body->kind == NodeKind::kBlock)
+        stmt->body = std::move(static_cast<Block*>(body.get())->statements);
+    while (check_keyword("catch")) {
+        consume();
+        CatchClause clause;
+        expect(TokenKind::kLParen, "'('");
+        do {
+            clause.types.push_back(parse_qualified_name());
+        } while (accept(TokenKind::kPipe));
+        if (check(TokenKind::kVariable)) clause.var = consume().text;
+        expect(TokenKind::kRParen, "')'");
+        StmtPtr cbody = parse_statement();
+        if (cbody && cbody->kind == NodeKind::kBlock)
+            clause.body = std::move(static_cast<Block*>(cbody.get())->statements);
+        stmt->catches.push_back(std::move(clause));
+    }
+    if (accept_keyword("finally")) {
+        stmt->has_finally = true;
+        StmtPtr fbody = parse_statement();
+        if (fbody && fbody->kind == NodeKind::kBlock)
+            stmt->finally_body = std::move(static_cast<Block*>(fbody.get())->statements);
+    }
+    return stmt;
+}
+
+StmtPtr Parser::parse_namespace() {
+    auto stmt = std::make_unique<NamespaceStmt>();
+    stmt->line = current().line;
+    consume();  // namespace
+    if (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash))
+        stmt->name = parse_qualified_name();
+    if (accept(TokenKind::kLBrace)) {
+        while (!at_eof() && !check(TokenKind::kRBrace) && !aborted_) {
+            const size_t before = pos_;
+            StmtPtr s = parse_statement();
+            if (s) stmt->body.push_back(std::move(s));
+            if (pos_ == before && !at_eof() && !check(TokenKind::kRBrace)) consume();
+        }
+        expect(TokenKind::kRBrace, "'}'");
+    } else {
+        accept(TokenKind::kSemicolon);
+    }
+    return stmt;
+}
+
+StmtPtr Parser::parse_use() {
+    auto stmt = std::make_unique<UseStmt>();
+    stmt->line = current().line;
+    consume();  // use
+    // `use function`/`use const` prefixes.
+    if (check_keyword("function") || check_keyword("const")) consume();
+    do {
+        std::string fqn = parse_qualified_name();
+        std::string alias;
+        if (accept_keyword("as")) {
+            if (check(TokenKind::kIdentifier)) alias = consume().text;
+        }
+        if (alias.empty()) {
+            const size_t slash = fqn.rfind('\\');
+            alias = slash == std::string::npos ? fqn : fqn.substr(slash + 1);
+        }
+        stmt->imports.emplace_back(std::move(fqn), std::move(alias));
+    } while (accept(TokenKind::kComma));
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_const() {
+    auto stmt = std::make_unique<ConstStmt>();
+    stmt->line = current().line;
+    consume();  // const
+    do {
+        std::string name;
+        if (check(TokenKind::kIdentifier)) name = consume().text;
+        ExprPtr value;
+        if (accept(TokenKind::kAssign)) value = parse_expression(kBpAssign + 1);
+        if (!name.empty() && value)
+            stmt->constants.emplace_back(std::move(name), std::move(value));
+    } while (accept(TokenKind::kComma));
+    accept(TokenKind::kSemicolon);
+    return stmt;
+}
+
+StmtPtr Parser::parse_expression_statement() {
+    auto stmt = std::make_unique<ExprStmt>();
+    stmt->line = current().line;
+    stmt->expr = parse_expression();
+    accept(TokenKind::kSemicolon);
+    if (!stmt->expr) return nullptr;
+    return stmt;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expression(int min_bp) {
+    ExprPtr lhs = parse_unary();
+    if (!lhs) return nullptr;
+
+    while (!at_eof()) {
+        // Assignment (right-associative, only on assignable targets).
+        if (const auto aop = assign_op_for(current().kind);
+            aop && min_bp <= kBpAssign && is_assignable(*lhs)) {
+            const int line = current().line;
+            consume();
+            auto assign = std::make_unique<Assign>();
+            assign->line = line;
+            assign->op = *aop;
+            if (*aop == AssignOp::kAssign && accept(TokenKind::kAmp))
+                assign->by_ref = true;
+            assign->target = std::move(lhs);
+            assign->value = parse_expression(kBpAssign);  // right-assoc
+            lhs = std::move(assign);
+            continue;
+        }
+        // Ternary.
+        if (check(TokenKind::kQuestion) && min_bp <= kBpTernary) {
+            const int line = current().line;
+            consume();
+            auto ternary = std::make_unique<Ternary>();
+            ternary->line = line;
+            ternary->cond = std::move(lhs);
+            if (!check(TokenKind::kColon))
+                ternary->then_expr = parse_expression();
+            expect(TokenKind::kColon, "':'");
+            ternary->else_expr = parse_expression(kBpTernary);
+            lhs = std::move(ternary);
+            continue;
+        }
+        // instanceof.
+        if (check_keyword("instanceof") && min_bp <= kBpInstanceof) {
+            const int line = current().line;
+            consume();
+            auto inst = std::make_unique<InstanceOf>();
+            inst->line = line;
+            inst->object = std::move(lhs);
+            inst->class_name = parse_qualified_name();
+            lhs = std::move(inst);
+            continue;
+        }
+        const auto op = infix_for(current());
+        if (!op || op->bp < min_bp) break;
+        const int line = current().line;
+        consume();
+        auto bin = std::make_unique<Binary>();
+        bin->line = line;
+        bin->op = op->op;
+        bin->lhs = std::move(lhs);
+        bin->rhs = parse_expression(op->right_assoc ? op->bp : op->bp + 1);
+        if (!bin->rhs) {
+            error_here("expected expression after operator");
+            auto empty = std::make_unique<Literal>();
+            empty->type = Literal::Type::kNull;
+            empty->value = "null";
+            empty->line = line;
+            bin->rhs = std::move(empty);
+        }
+        lhs = std::move(bin);
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+    const Token& tok = current();
+    const int line = tok.line;
+
+    auto make_unary = [&](UnaryOp op) -> ExprPtr {
+        consume();
+        auto node = std::make_unique<Unary>();
+        node->line = line;
+        node->op = op;
+        node->operand = parse_unary();
+        if (!node->operand) return nullptr;
+        return node;
+    };
+
+    switch (tok.kind) {
+        case TokenKind::kNot: return make_unary(UnaryOp::kNot);
+        case TokenKind::kMinus: return make_unary(UnaryOp::kMinus);
+        case TokenKind::kPlus: return make_unary(UnaryOp::kPlus);
+        case TokenKind::kTilde: return make_unary(UnaryOp::kBitNot);
+        case TokenKind::kAt: return make_unary(UnaryOp::kSuppress);
+        case TokenKind::kCast: {
+            consume();
+            auto node = std::make_unique<Cast>();
+            node->line = line;
+            node->type = tok.value;
+            node->operand = parse_unary();
+            if (!node->operand) return nullptr;
+            return node;
+        }
+        case TokenKind::kInc:
+        case TokenKind::kDec: {
+            consume();
+            auto node = std::make_unique<IncDec>();
+            node->line = line;
+            node->increment = tok.kind == TokenKind::kInc;
+            node->prefix = true;
+            node->operand = parse_unary();
+            if (!node->operand) return nullptr;
+            return node;
+        }
+        case TokenKind::kAmp: {
+            // Reference in expression position (e.g. array items): parse the
+            // operand transparently; by-ref bookkeeping is done by callers.
+            consume();
+            return parse_unary();
+        }
+        case TokenKind::kKeyword: {
+            const std::string& kw = tok.text;
+            if (kw == "print") {
+                consume();
+                auto node = std::make_unique<PrintExpr>();
+                node->line = line;
+                node->operand = parse_expression(kBpAssign);
+                return node;
+            }
+            if (kw == "new") return parse_new();
+            if (kw == "clone") {
+                consume();
+                auto call = std::make_unique<FunctionCall>();
+                call->line = line;
+                call->name = "clone";
+                Argument arg;
+                arg.value = parse_unary();
+                if (!arg.value) return nullptr;
+                call->args.push_back(std::move(arg));
+                return call;
+            }
+            if (kw == "include" || kw == "include_once" || kw == "require" ||
+                kw == "require_once") {
+                consume();
+                auto node = std::make_unique<IncludeExpr>();
+                node->line = line;
+                node->include_kind =
+                    kw == "include" ? IncludeKind::kInclude
+                    : kw == "include_once" ? IncludeKind::kIncludeOnce
+                    : kw == "require" ? IncludeKind::kRequire
+                                      : IncludeKind::kRequireOnce;
+                node->path = parse_expression(kBpAssign);
+                return node;
+            }
+            if (kw == "yield") {
+                // Generators: `yield [key =>] value` — represented as a
+                // __yield marker call; the engine folds the value into the
+                // function's return flow (foreach over the generator sees it).
+                consume();
+                auto call = std::make_unique<FunctionCall>();
+                call->line = line;
+                call->name = "__yield";
+                if (!check(TokenKind::kSemicolon) && !check(TokenKind::kRParen) &&
+                    !check(TokenKind::kCloseTag)) {
+                    Argument arg;
+                    arg.value = parse_expression(kBpAssign);
+                    if (arg.value && accept(TokenKind::kDoubleArrow)) {
+                        Argument val;
+                        val.value = parse_expression(kBpAssign);
+                        call->args.push_back(std::move(arg));
+                        if (val.value) call->args.push_back(std::move(val));
+                    } else if (arg.value) {
+                        call->args.push_back(std::move(arg));
+                    }
+                }
+                return call;
+            }
+            if (kw == "exit" || kw == "die") {
+                consume();
+                auto node = std::make_unique<ExitExpr>();
+                node->line = line;
+                if (accept(TokenKind::kLParen)) {
+                    if (!check(TokenKind::kRParen)) node->operand = parse_expression();
+                    expect(TokenKind::kRParen, "')'");
+                }
+                return node;
+            }
+            break;
+        }
+        default:
+            break;
+    }
+    return parse_primary();
+}
+
+ExprPtr Parser::parse_primary() {
+    const Token& tok = current();
+    const int line = tok.line;
+
+    switch (tok.kind) {
+        case TokenKind::kVariable:
+            return parse_postfix(parse_variable_expr());
+        case TokenKind::kDollar: {
+            // $$var / ${expr}: dynamic variable name.
+            consume();
+            if (check(TokenKind::kVariable)) {
+                auto var = std::make_unique<Variable>();
+                var->line = line;
+                var->name = "$" + consume().text;  // "$$x"
+                return parse_postfix(std::move(var));
+            }
+            if (accept(TokenKind::kLBrace)) {
+                parse_expression();
+                expect(TokenKind::kRBrace, "'}'");
+            }
+            auto var = std::make_unique<Variable>();
+            var->line = line;
+            var->name = "$<dynamic>";
+            return parse_postfix(std::move(var));
+        }
+        case TokenKind::kIdentifier:
+            return parse_identifier_expr();
+        case TokenKind::kIntLiteral: {
+            consume();
+            auto lit = std::make_unique<Literal>();
+            lit->line = line;
+            lit->type = Literal::Type::kInt;
+            lit->value = tok.text;
+            return lit;
+        }
+        case TokenKind::kFloatLiteral: {
+            consume();
+            auto lit = std::make_unique<Literal>();
+            lit->line = line;
+            lit->type = Literal::Type::kFloat;
+            lit->value = tok.text;
+            return lit;
+        }
+        case TokenKind::kSingleQuotedString:
+        case TokenKind::kNowdoc: {
+            consume();
+            return parse_postfix(make_string_literal(tok.value, line));
+        }
+        case TokenKind::kDoubleQuotedString:
+        case TokenKind::kHeredoc: {
+            consume();
+            return parse_postfix(parse_string_token(tok));
+        }
+        case TokenKind::kLParen: {
+            consume();
+            ExprPtr inner = parse_expression();
+            expect(TokenKind::kRParen, "')'");
+            if (!inner) return nullptr;
+            return parse_postfix(std::move(inner));
+        }
+        case TokenKind::kLBracket:
+            return parse_postfix(parse_array_literal(TokenKind::kRBracket));
+        case TokenKind::kKeyword: {
+            const std::string& kw = tok.text;
+            if (kw == "array" && peek(1).kind == TokenKind::kLParen) {
+                consume();
+                consume();
+                return parse_postfix(parse_array_literal(TokenKind::kRParen));
+            }
+            if (kw == "list" && peek(1).kind == TokenKind::kLParen)
+                return parse_list_expr();
+            if (kw == "isset") {
+                consume();
+                auto node = std::make_unique<IssetExpr>();
+                node->line = line;
+                expect(TokenKind::kLParen, "'('");
+                if (!check(TokenKind::kRParen)) {
+                    do {
+                        node->vars.push_back(parse_expression());
+                    } while (accept(TokenKind::kComma));
+                }
+                expect(TokenKind::kRParen, "')'");
+                return node;
+            }
+            if (kw == "empty") {
+                consume();
+                auto node = std::make_unique<EmptyExpr>();
+                node->line = line;
+                expect(TokenKind::kLParen, "'('");
+                node->operand = parse_expression();
+                expect(TokenKind::kRParen, "')'");
+                return node;
+            }
+            if (kw == "function") return parse_closure(false);
+            if (kw == "fn") return parse_arrow_fn(false);
+            if (kw == "static") {
+                consume();
+                if (check_keyword("function")) return parse_closure(true);
+                if (check_keyword("fn")) return parse_arrow_fn(true);
+                // static:: access
+                if (check(TokenKind::kDoubleColon)) {
+                    auto fake = std::make_unique<Variable>();
+                    fake->line = line;
+                    fake->name = "static";
+                    // Reuse the identifier path by synthesizing a class name.
+                    consume();  // ::
+                    if (check(TokenKind::kVariable)) {
+                        auto sp = std::make_unique<StaticPropertyAccess>();
+                        sp->line = line;
+                        sp->class_name = "static";
+                        std::string v = consume().text;
+                        sp->property = v.size() > 1 ? v.substr(1) : v;
+                        return parse_postfix(std::move(sp));
+                    }
+                    std::string member;
+                    if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword))
+                        member = consume().text;
+                    if (check(TokenKind::kLParen)) {
+                        auto call = std::make_unique<StaticCall>();
+                        call->line = line;
+                        call->class_name = "static";
+                        call->method = member;
+                        call->args = parse_call_args();
+                        return parse_postfix(std::move(call));
+                    }
+                    auto cc = std::make_unique<ClassConstAccess>();
+                    cc->line = line;
+                    cc->class_name = "static";
+                    cc->constant = member;
+                    return cc;
+                }
+                error_here("unexpected 'static' in expression");
+                return nullptr;
+            }
+            if (kw == "eval") {
+                consume();
+                auto call = std::make_unique<FunctionCall>();
+                call->line = line;
+                call->name = "eval";
+                call->args = parse_call_args();
+                return call;
+            }
+            if (kw == "match") {
+                // PHP 8 match: parse as opaque; evaluate arms for side effects.
+                consume();
+                auto call = std::make_unique<FunctionCall>();
+                call->line = line;
+                call->name = "match";
+                expect(TokenKind::kLParen, "'('");
+                Argument subj;
+                subj.value = parse_expression();
+                if (subj.value) call->args.push_back(std::move(subj));
+                expect(TokenKind::kRParen, "')'");
+                if (accept(TokenKind::kLBrace)) {
+                    int depth = 1;
+                    while (!at_eof() && depth > 0) {
+                        if (check(TokenKind::kLBrace)) ++depth;
+                        if (check(TokenKind::kRBrace)) --depth;
+                        consume();
+                    }
+                }
+                return call;
+            }
+            break;
+        }
+        case TokenKind::kBackslash: {
+            // Fully-qualified name: \foo\bar(...)
+            return parse_identifier_expr();
+        }
+        default:
+            break;
+    }
+    error_here("unexpected token '" + tok.text + "' in expression");
+    return nullptr;
+}
+
+ExprPtr Parser::parse_variable_expr() {
+    auto var = std::make_unique<Variable>();
+    var->line = current().line;
+    var->name = consume().text;
+    return var;
+}
+
+ExprPtr Parser::parse_identifier_expr() {
+    const int line = current().line;
+    std::string name = parse_qualified_name();
+    const std::string lower = ascii_lower(name);
+
+    if (lower == "true" || lower == "false") {
+        auto lit = std::make_unique<Literal>();
+        lit->line = line;
+        lit->type = Literal::Type::kBool;
+        lit->value = lower;
+        return lit;
+    }
+    if (lower == "null") {
+        auto lit = std::make_unique<Literal>();
+        lit->line = line;
+        lit->type = Literal::Type::kNull;
+        lit->value = "null";
+        return lit;
+    }
+
+    if (check(TokenKind::kLParen)) {
+        auto call = std::make_unique<FunctionCall>();
+        call->line = line;
+        call->name = std::move(name);
+        call->args = parse_call_args();
+        return parse_postfix(std::move(call));
+    }
+
+    if (check(TokenKind::kDoubleColon)) {
+        consume();
+        if (check(TokenKind::kVariable)) {
+            auto sp = std::make_unique<StaticPropertyAccess>();
+            sp->line = line;
+            sp->class_name = name;
+            std::string v = consume().text;
+            sp->property = v.size() > 1 ? v.substr(1) : v;
+            return parse_postfix(std::move(sp));
+        }
+        std::string member;
+        if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword))
+            member = consume().text;
+        if (check(TokenKind::kLParen)) {
+            auto call = std::make_unique<StaticCall>();
+            call->line = line;
+            call->class_name = name;
+            call->method = std::move(member);
+            call->args = parse_call_args();
+            return parse_postfix(std::move(call));
+        }
+        auto cc = std::make_unique<ClassConstAccess>();
+        cc->line = line;
+        cc->class_name = name;
+        cc->constant = std::move(member);
+        return cc;
+    }
+
+    // Bare constant: untainted literal from the analysis's point of view.
+    auto lit = std::make_unique<Literal>();
+    lit->line = line;
+    lit->type = Literal::Type::kString;
+    lit->value = "";
+    return parse_postfix(std::move(lit));
+}
+
+ExprPtr Parser::parse_postfix(ExprPtr base) {
+    if (!base) return nullptr;
+    while (!at_eof()) {
+        const int line = current().line;
+        if (check(TokenKind::kArrow) || check(TokenKind::kNullsafeArrow)) {
+            consume();
+            std::string member;
+            ExprPtr member_expr;
+            if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword)) {
+                member = consume().text;
+            } else if (check(TokenKind::kVariable)) {
+                member_expr = parse_variable_expr();
+            } else if (accept(TokenKind::kLBrace)) {
+                member_expr = parse_expression();
+                expect(TokenKind::kRBrace, "'}'");
+            } else {
+                error_here("expected member name after '->'");
+                return base;
+            }
+            if (check(TokenKind::kLParen)) {
+                auto call = std::make_unique<MethodCall>();
+                call->line = line;
+                call->object = std::move(base);
+                call->method = std::move(member);
+                call->method_expr = std::move(member_expr);
+                call->args = parse_call_args();
+                base = std::move(call);
+            } else {
+                auto prop = std::make_unique<PropertyAccess>();
+                prop->line = line;
+                prop->object = std::move(base);
+                prop->property = std::move(member);
+                prop->property_expr = std::move(member_expr);
+                base = std::move(prop);
+            }
+            continue;
+        }
+        if (check(TokenKind::kLBracket)) {
+            consume();
+            auto access = std::make_unique<ArrayAccess>();
+            access->line = line;
+            access->base = std::move(base);
+            if (!check(TokenKind::kRBracket)) access->index = parse_expression();
+            expect(TokenKind::kRBracket, "']'");
+            base = std::move(access);
+            continue;
+        }
+        if (check(TokenKind::kLBrace) &&
+            (base->kind == NodeKind::kVariable ||
+             base->kind == NodeKind::kArrayAccess ||
+             base->kind == NodeKind::kPropertyAccess)) {
+            // Old string-offset syntax $s{0}; only when an index follows
+            // immediately and closes — otherwise it's a block, not an offset.
+            // Conservative: require an integer or variable then '}'.
+            const Token& n1 = peek(1);
+            const Token& n2 = peek(2);
+            const bool offset_like =
+                (n1.kind == TokenKind::kIntLiteral || n1.kind == TokenKind::kVariable) &&
+                n2.kind == TokenKind::kRBrace;
+            if (!offset_like) break;
+            consume();
+            auto access = std::make_unique<ArrayAccess>();
+            access->line = line;
+            access->base = std::move(base);
+            access->index = parse_expression();
+            expect(TokenKind::kRBrace, "'}'");
+            base = std::move(access);
+            continue;
+        }
+        if (check(TokenKind::kLParen)) {
+            // Calling an arbitrary expression: $fn(), ($obj->cb)(), closures.
+            auto call = std::make_unique<FunctionCall>();
+            call->line = line;
+            call->callee = std::move(base);
+            call->args = parse_call_args();
+            base = std::move(call);
+            continue;
+        }
+        if (check(TokenKind::kInc) || check(TokenKind::kDec)) {
+            auto node = std::make_unique<IncDec>();
+            node->line = line;
+            node->increment = check(TokenKind::kInc);
+            node->prefix = false;
+            consume();
+            node->operand = std::move(base);
+            base = std::move(node);
+            continue;
+        }
+        break;
+    }
+    return base;
+}
+
+std::vector<Argument> Parser::parse_call_args() {
+    std::vector<Argument> args;
+    if (!expect(TokenKind::kLParen, "'('")) return args;
+    if (accept(TokenKind::kRParen)) return args;
+    do {
+        if (check(TokenKind::kRParen)) break;  // trailing comma
+        Argument arg;
+        if (accept(TokenKind::kEllipsis)) arg.spread = true;
+        if (accept(TokenKind::kAmp)) arg.by_ref = true;
+        // Named argument (PHP 8): name: value — skip the label.
+        if ((check(TokenKind::kIdentifier) || check(TokenKind::kKeyword)) &&
+            peek(1).kind == TokenKind::kColon &&
+            peek(2).kind != TokenKind::kColon) {
+            consume();
+            consume();
+        }
+        arg.value = parse_expression(kBpAssign);
+        if (!arg.value) break;
+        args.push_back(std::move(arg));
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRParen, "')'");
+    return args;
+}
+
+ExprPtr Parser::parse_array_literal(TokenKind closer) {
+    // The opener has already been consumed by the caller.
+    auto arr = std::make_unique<ArrayLiteral>();
+    arr->line = current().line;
+    if (closer == TokenKind::kRBracket) consume();  // the caller left '[' intact
+    if (accept(closer)) return arr;
+    do {
+        if (check(closer)) break;  // trailing comma
+        ArrayItem item;
+        if (accept(TokenKind::kEllipsis)) item.spread = true;
+        if (accept(TokenKind::kAmp)) item.by_ref = true;
+        ExprPtr first = parse_expression(kBpAssign);
+        if (!first) break;
+        if (accept(TokenKind::kDoubleArrow)) {
+            item.key = std::move(first);
+            if (accept(TokenKind::kAmp)) item.by_ref = true;
+            item.value = parse_expression(kBpAssign);
+            if (!item.value) break;
+        } else {
+            item.value = std::move(first);
+        }
+        arr->items.push_back(std::move(item));
+    } while (accept(TokenKind::kComma));
+    expect(closer, closer == TokenKind::kRParen ? "')'" : "']'");
+    return arr;
+}
+
+ExprPtr Parser::parse_list_expr() {
+    auto list = std::make_unique<ListExpr>();
+    list->line = current().line;
+    consume();  // list
+    expect(TokenKind::kLParen, "'('");
+    if (!check(TokenKind::kRParen)) {
+        do {
+            if (check(TokenKind::kComma) || check(TokenKind::kRParen)) {
+                list->elements.push_back(nullptr);  // skipped slot
+                continue;
+            }
+            list->elements.push_back(parse_expression(kBpAssign));
+        } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "')'");
+    return list;
+}
+
+ExprPtr Parser::parse_closure(bool is_static) {
+    auto closure = std::make_unique<Closure>();
+    closure->line = current().line;
+    consume();  // function
+    accept(TokenKind::kAmp);  // by-ref return
+    closure->params = parse_params();
+    if (accept_keyword("use")) {
+        expect(TokenKind::kLParen, "'('");
+        if (!check(TokenKind::kRParen)) {
+            do {
+                bool by_ref = accept(TokenKind::kAmp);
+                if (check(TokenKind::kVariable))
+                    closure->uses.emplace_back(consume().text, by_ref);
+            } while (accept(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "')'");
+    }
+    if (accept(TokenKind::kColon)) parse_type_hint();
+    skip_tags();
+    if (check(TokenKind::kLBrace)) {
+        StmtPtr body = parse_statement();
+        if (body && body->kind == NodeKind::kBlock)
+            closure->body = std::move(static_cast<Block*>(body.get())->statements);
+    }
+    (void)is_static;
+    return closure;
+}
+
+ExprPtr Parser::parse_arrow_fn(bool is_static) {
+    auto closure = std::make_unique<Closure>();
+    closure->line = current().line;
+    closure->is_arrow = true;
+    consume();  // fn
+    accept(TokenKind::kAmp);
+    closure->params = parse_params();
+    if (accept(TokenKind::kColon)) parse_type_hint();
+    if (accept(TokenKind::kDoubleArrow)) {
+        auto ret = std::make_unique<ReturnStmt>();
+        ret->line = current().line;
+        ret->value = parse_expression(kBpAssign);
+        closure->body.push_back(std::move(ret));
+    }
+    (void)is_static;
+    return closure;
+}
+
+ExprPtr Parser::parse_new() {
+    auto node = std::make_unique<New>();
+    node->line = current().line;
+    consume();  // new
+    if (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash)) {
+        node->class_name = parse_qualified_name();
+    } else if (check_keyword("static") || check_keyword("class")) {
+        if (check_keyword("class")) {
+            // Anonymous class: new class { ... } — parse and discard body.
+            consume();
+            if (check(TokenKind::kLParen)) node->args = parse_call_args();
+            if (check_keyword("extends")) {
+                consume();
+                node->class_name = parse_qualified_name();
+            }
+            if (accept_keyword("implements")) {
+                do {
+                    parse_qualified_name();
+                } while (accept(TokenKind::kComma));
+            }
+            if (accept(TokenKind::kLBrace)) {
+                int depth = 1;
+                while (!at_eof() && depth > 0) {
+                    if (check(TokenKind::kLBrace)) ++depth;
+                    if (check(TokenKind::kRBrace)) --depth;
+                    consume();
+                }
+            }
+            return parse_postfix(std::move(node));
+        }
+        node->class_name = consume().text;  // "static"
+    } else if (check(TokenKind::kVariable)) {
+        node->class_expr = parse_variable_expr();
+    } else {
+        error_here("expected class name after 'new'");
+    }
+    if (check(TokenKind::kLParen)) node->args = parse_call_args();
+    return parse_postfix(std::move(node));
+}
+
+ExprPtr Parser::parse_string_token(const Token& tok) {
+    if (!tok.has_interpolation()) return make_string_literal(tok.value, tok.line);
+    auto interp = std::make_unique<InterpString>();
+    interp->line = tok.line;
+    for (const StringPart& part : tok.parts) {
+        if (part.kind == StringPart::Kind::kLiteral) {
+            interp->parts.push_back(make_string_literal(part.text, tok.line));
+        } else {
+            ExprPtr e = parse_expression_text(part.text, file_.name(), tok.line, sink_);
+            if (e) interp->parts.push_back(std::move(e));
+        }
+    }
+    return interp;
+}
+
+std::vector<Param> Parser::parse_params() {
+    std::vector<Param> params;
+    if (!expect(TokenKind::kLParen, "'('")) return params;
+    if (accept(TokenKind::kRParen)) return params;
+    do {
+        if (check(TokenKind::kRParen)) break;  // trailing comma
+        Param p;
+        // Modifiers (constructor promotion) and type hints.
+        while (check(TokenKind::kKeyword) &&
+               (current().text == "public" || current().text == "protected" ||
+                current().text == "private" || current().text == "readonly"))
+            consume();
+        if (!check(TokenKind::kVariable) && !check(TokenKind::kAmp) &&
+            !check(TokenKind::kEllipsis))
+            p.type_hint = parse_type_hint();
+        if (accept(TokenKind::kAmp)) p.by_ref = true;
+        if (accept(TokenKind::kEllipsis)) p.variadic = true;
+        if (check(TokenKind::kVariable)) {
+            p.name = consume().text;
+        } else {
+            error_here("expected parameter name");
+            break;
+        }
+        if (accept(TokenKind::kAssign)) p.default_value = parse_expression(kBpAssign);
+        params.push_back(std::move(p));
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRParen, "')'");
+    return params;
+}
+
+std::string Parser::parse_type_hint() {
+    std::string hint;
+    accept(TokenKind::kQuestion);  // nullable
+    while (true) {
+        if (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash) ||
+            check_keyword("array") || check_keyword("callable") ||
+            check_keyword("static")) {
+            hint += parse_qualified_name();
+        } else {
+            break;
+        }
+        if (accept(TokenKind::kPipe) || accept(TokenKind::kAmp)) {
+            hint += "|";
+            continue;
+        }
+        break;
+    }
+    return hint;
+}
+
+std::string Parser::parse_qualified_name() {
+    std::string name;
+    if (accept(TokenKind::kBackslash)) name = "\\";
+    while (check(TokenKind::kIdentifier) || check_keyword("array") ||
+           check_keyword("callable") || check_keyword("static") ||
+           check_keyword("class")) {
+        name += consume().text;
+        if (check(TokenKind::kBackslash) && peek(1).kind == TokenKind::kIdentifier) {
+            consume();
+            name += "\\";
+            continue;
+        }
+        break;
+    }
+    if (name.empty() || name == "\\") {
+        error_here("expected identifier");
+        return name.empty() ? "<error>" : name;
+    }
+    return name;
+}
+
+ExprPtr Parser::make_string_literal(std::string value, int line) {
+    auto lit = std::make_unique<Literal>();
+    lit->line = line;
+    lit->type = Literal::Type::kString;
+    lit->value = std::move(value);
+    return lit;
+}
+
+}  // namespace phpsafe::php

@@ -1,0 +1,113 @@
+// Recursive-descent parser producing the AST in php/ast.h from the lexer's
+// token stream. Covers the PHP 5/7 subset found in CMS plugin code:
+// procedural statements, alternative syntax (if: ... endif;), classes /
+// interfaces / traits, closures, heredocs, string interpolation, includes
+// and inline HTML. Errors are recovered (token skipped, diagnostic logged)
+// so one bad construct never aborts a whole-plugin analysis — matching the
+// robustness behaviour the paper measures in Section V.E.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "php/ast.h"
+#include "php/token.h"
+#include "util/diagnostics.h"
+#include "util/source.h"
+
+namespace phpsafe::php {
+
+struct ParserOptions {
+    /// Abort with a kFatal diagnostic after this many recovered parse
+    /// errors in one file (robustness modelling; 0 = never abort).
+    int max_errors = 200;
+};
+
+class Parser {
+public:
+    using Options = ParserOptions;
+
+    Parser(const SourceFile& file, DiagnosticSink& sink, Options options = {});
+
+    /// Lexes and parses the whole file.
+    FileUnit parse();
+
+    /// Parses a standalone PHP expression (used for string-interpolation
+    /// parts). Returns null on failure.
+    static ExprPtr parse_expression_text(std::string_view php_expr,
+                                         const std::string& file_name, int line,
+                                         DiagnosticSink& sink);
+
+private:
+    // -- token cursor ------------------------------------------------------
+    const Token& peek(size_t ahead = 0) const noexcept;
+    const Token& current() const noexcept { return peek(0); }
+    Token consume();
+    bool check(TokenKind kind) const noexcept { return current().kind == kind; }
+    bool check_keyword(std::string_view kw) const noexcept {
+        return current().is_keyword(kw);
+    }
+    bool accept(TokenKind kind);
+    bool accept_keyword(std::string_view kw);
+    bool expect(TokenKind kind, std::string_view what);
+    void error_here(const std::string& message);
+    bool at_eof() const noexcept { return current().kind == TokenKind::kEndOfFile; }
+    SourceLocation loc_here() const;
+    /// Skips open/close tags and inline HTML is NOT skipped (statement).
+    void skip_tags();
+
+    // -- statements --------------------------------------------------------
+    StmtPtr parse_statement();
+    StmtPtr parse_block_or_statement();
+    std::vector<StmtPtr> parse_statement_list_until(
+        const std::vector<std::string_view>& end_keywords);
+    StmtPtr parse_if();
+    StmtPtr parse_while();
+    StmtPtr parse_do_while();
+    StmtPtr parse_for();
+    StmtPtr parse_foreach();
+    StmtPtr parse_switch();
+    StmtPtr parse_return();
+    StmtPtr parse_echo(bool from_open_tag);
+    StmtPtr parse_global();
+    StmtPtr parse_static_var();
+    StmtPtr parse_unset();
+    StmtPtr parse_function_decl();
+    StmtPtr parse_class_decl(ClassDecl::Kind kind, bool is_abstract, bool is_final);
+    StmtPtr parse_try();
+    StmtPtr parse_namespace();
+    StmtPtr parse_use();
+    StmtPtr parse_const();
+    StmtPtr parse_expression_statement();
+    void parse_class_member(ClassDecl& cls);
+
+    // -- expressions -------------------------------------------------------
+    ExprPtr parse_expression(int min_bp = 0);
+    ExprPtr parse_unary();
+    ExprPtr parse_primary();
+    ExprPtr parse_postfix(ExprPtr base);
+    ExprPtr parse_variable_expr();
+    ExprPtr parse_identifier_expr();
+    ExprPtr parse_array_literal(TokenKind closer);
+    ExprPtr parse_list_expr();
+    ExprPtr parse_closure(bool is_static);
+    ExprPtr parse_arrow_fn(bool is_static);
+    ExprPtr parse_new();
+    ExprPtr parse_string_token(const Token& tok);
+    std::vector<Argument> parse_call_args();
+    std::vector<Param> parse_params();
+    std::string parse_type_hint();
+    std::string parse_qualified_name();
+    ExprPtr make_string_literal(std::string value, int line);
+
+    const SourceFile& file_;
+    DiagnosticSink& sink_;
+    Options options_;
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    int error_count_ = 0;
+    bool aborted_ = false;
+};
+
+}  // namespace phpsafe::php

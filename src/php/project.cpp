@@ -1,0 +1,225 @@
+#include "php/project.h"
+
+#include <algorithm>
+
+#include "php/parser.h"
+#include "php/walk.h"
+#include "util/strings.h"
+
+namespace phpsafe::php {
+
+std::string FunctionRef::qualified_name() const {
+    if (!decl) return "<null>";
+    if (owner) return owner->name + "::" + decl->name;
+    return decl->name;
+}
+
+void Project::add_file(std::string file_name, std::string text) {
+    pending_.emplace_back(std::move(file_name), std::move(text));
+}
+
+void Project::parse_all(DiagnosticSink& sink) {
+    for (auto& [name, text] : pending_) {
+        ParsedFile pf;
+        pf.source = std::make_unique<SourceFile>(name, std::move(text));
+        Parser parser(*pf.source, sink);
+        pf.unit = parser.parse();
+        for (const std::string& failed : sink.failed_files())
+            if (failed == name) pf.parse_failed = true;
+        files_.push_back(std::move(pf));
+    }
+    pending_.clear();
+
+    for (const ParsedFile& pf : files_) {
+        index_statements(pf.unit.statements, pf.unit.file_name);
+        for (const StmtPtr& s : pf.unit.statements)
+            if (s) record_calls_stmt(*s);
+    }
+}
+
+int Project::total_lines() const noexcept {
+    int total = 0;
+    for (const ParsedFile& pf : files_) total += pf.source->line_count();
+    return total;
+}
+
+void Project::index_statements(const std::vector<StmtPtr>& stmts,
+                               const std::string& file) {
+    // Pass 1: register classes and their methods (walk_stmt also visits
+    // method FunctionDecls; remember them so pass 2 can tell free functions
+    // apart from methods).
+    std::set<const FunctionDecl*> method_decls;
+    auto visit = [&](const Stmt& s) {
+        if (s.kind != NodeKind::kClassDecl) return;
+        const auto& cls = static_cast<const ClassDecl&>(s);
+        classes_.emplace(ascii_lower(cls.name), &cls);
+        for (const auto& method : cls.methods) {
+            FunctionRef ref{method.get(), &cls, file};
+            methods_.emplace(ascii_lower(cls.name) + "::" + ascii_lower(method->name),
+                             ref);
+            function_list_.push_back(ref);
+            method_decls.insert(method.get());
+        }
+    };
+    for (const StmtPtr& stmt : stmts)
+        if (stmt) walk_stmt(*stmt, [](const Expr&) {}, visit);
+
+    // Pass 2: free functions, wherever declared (top level, inside
+    // conditional guards, nested in other functions).
+    auto visit_fn = [&](const Stmt& s) {
+        if (s.kind != NodeKind::kFunctionDecl) return;
+        const auto& fn = static_cast<const FunctionDecl&>(s);
+        if (method_decls.count(&fn)) return;
+        FunctionRef ref{&fn, nullptr, file};
+        functions_.emplace(ascii_lower(fn.name), ref);
+        function_list_.push_back(ref);
+    };
+    for (const StmtPtr& stmt : stmts)
+        if (stmt) walk_stmt(*stmt, [](const Expr&) {}, visit_fn);
+}
+
+void Project::record_calls_stmt(const Stmt& s) {
+    walk_stmt(
+        s, [this](const Expr& e) { record_calls_expr(e); }, [](const Stmt&) {});
+}
+
+void Project::record_calls_expr(const Expr& e) {
+    switch (e.kind) {
+        case NodeKind::kFunctionCall: {
+            const auto& call = static_cast<const FunctionCall&>(e);
+            if (!call.name.empty()) called_functions_.insert(ascii_lower(call.name));
+            // Callback registration APIs make the named function "called":
+            // add_action('init', 'my_handler') etc. keep handlers reachable.
+            static const char* kCallbackApis[] = {
+                "add_action", "add_filter", "register_activation_hook",
+                "register_deactivation_hook", "add_shortcode", "call_user_func",
+                "call_user_func_array", "array_map", "array_filter", "usort",
+            };
+            for (const char* api : kCallbackApis) {
+                if (!iequals(call.name, api)) continue;
+                for (const Argument& arg : call.args) {
+                    if (!arg.value) continue;
+                    if (arg.value->kind == NodeKind::kLiteral) {
+                        const auto& lit = static_cast<const Literal&>(*arg.value);
+                        if (lit.type == Literal::Type::kString && !lit.value.empty())
+                            called_functions_.insert(ascii_lower(lit.value));
+                    }
+                    // array($obj, 'method') / array('Class', 'method')
+                    if (arg.value->kind == NodeKind::kArrayLiteral) {
+                        const auto& arr = static_cast<const ArrayLiteral&>(*arg.value);
+                        if (arr.items.size() == 2 && arr.items[1].value &&
+                            arr.items[1].value->kind == NodeKind::kLiteral) {
+                            const auto& lit =
+                                static_cast<const Literal&>(*arr.items[1].value);
+                            if (lit.type == Literal::Type::kString)
+                                called_methods_.insert("::" + ascii_lower(lit.value));
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        case NodeKind::kMethodCall: {
+            const auto& call = static_cast<const MethodCall&>(e);
+            if (!call.method.empty())
+                called_methods_.insert("::" + ascii_lower(call.method));
+            break;
+        }
+        case NodeKind::kStaticCall: {
+            const auto& call = static_cast<const StaticCall&>(e);
+            called_methods_.insert(ascii_lower(call.class_name) + "::" +
+                                   ascii_lower(call.method));
+            called_methods_.insert("::" + ascii_lower(call.method));
+            break;
+        }
+        case NodeKind::kNew: {
+            const auto& n = static_cast<const New&>(e);
+            if (!n.class_name.empty())
+                called_methods_.insert(ascii_lower(n.class_name) + "::__construct");
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+const FunctionRef* Project::find_function(std::string_view name) const {
+    const auto it = functions_.find(ascii_lower(name));
+    return it == functions_.end() ? nullptr : &it->second;
+}
+
+const ClassDecl* Project::find_class(std::string_view name) const {
+    const auto it = classes_.find(ascii_lower(name));
+    return it == classes_.end() ? nullptr : it->second;
+}
+
+const FunctionRef* Project::find_method(std::string_view class_name,
+                                        std::string_view method_name) const {
+    std::string cls = ascii_lower(class_name);
+    const std::string method = ascii_lower(method_name);
+    // Walk the inheritance chain (single inheritance, as in PHP).
+    for (int depth = 0; depth < 16; ++depth) {
+        const auto it = methods_.find(cls + "::" + method);
+        if (it != methods_.end()) return &it->second;
+        const auto cit = classes_.find(cls);
+        if (cit == classes_.end() || cit->second->parent.empty()) return nullptr;
+        cls = ascii_lower(cit->second->parent);
+    }
+    return nullptr;
+}
+
+const FunctionRef* Project::find_method_any(std::string_view method_name) const {
+    const std::string suffix = "::" + ascii_lower(method_name);
+    const FunctionRef* found = nullptr;
+    for (const auto& [key, ref] : methods_) {
+        if (!ends_with(key, suffix)) continue;
+        if (found) return nullptr;  // ambiguous
+        found = &ref;
+    }
+    return found;
+}
+
+std::vector<FunctionRef> Project::uncalled_functions() const {
+    std::vector<FunctionRef> out;
+    for (const FunctionRef& ref : function_list_) {
+        if (!ref.decl) continue;
+        if (ref.owner) {
+            const std::string method = ascii_lower(ref.decl->name);
+            if (method == "__construct") continue;  // run via `new`
+            const bool called =
+                called_methods_.count(ascii_lower(ref.owner->name) + "::" + method) ||
+                called_methods_.count("::" + method);
+            if (!called) out.push_back(ref);
+        } else {
+            if (!called_functions_.count(ascii_lower(ref.decl->name)))
+                out.push_back(ref);
+        }
+    }
+    return out;
+}
+
+const ParsedFile* Project::resolve_include(std::string_view path) const {
+    if (path.empty()) return nullptr;
+    // Normalize leading "./".
+    while (starts_with(path, "./")) path.remove_prefix(2);
+
+    for (const ParsedFile& pf : files_)
+        if (pf.source->name() == path) return &pf;
+    for (const ParsedFile& pf : files_)
+        if (ends_with(pf.source->name(), path)) return &pf;
+    // Basename match as last resort.
+    const size_t slash = path.rfind('/');
+    const std::string_view base =
+        slash == std::string_view::npos ? path : path.substr(slash + 1);
+    for (const ParsedFile& pf : files_) {
+        const std::string& name = pf.source->name();
+        const size_t s = name.rfind('/');
+        const std::string_view file_base =
+            s == std::string::npos ? std::string_view(name)
+                                   : std::string_view(name).substr(s + 1);
+        if (file_base == base) return &pf;
+    }
+    return nullptr;
+}
+
+}  // namespace phpsafe::php

@@ -1,0 +1,113 @@
+// Project model: a plugin is a set of PHP files analyzed together. The
+// model-construction stage (paper §III.B) parses every file, collects all
+// user-defined functions/classes — wherever they are declared, including
+// inside conditional blocks (`if (!function_exists(...))` guards are common
+// in WordPress plugins) — and records which functions are called from
+// plugin code so the engine can analyze the never-called ones too.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "php/ast.h"
+#include "util/diagnostics.h"
+#include "util/source.h"
+
+namespace phpsafe::php {
+
+struct ParsedFile {
+    std::unique_ptr<SourceFile> source;
+    FileUnit unit;
+    bool parse_failed = false;  ///< a kFatal diagnostic was recorded
+};
+
+/// Where a function/method declaration lives.
+struct FunctionRef {
+    const FunctionDecl* decl = nullptr;
+    const ClassDecl* owner = nullptr;  ///< null for free functions
+    std::string file;
+
+    /// "name" for free functions, "Class::name" for methods.
+    std::string qualified_name() const;
+};
+
+class Project {
+public:
+    explicit Project(std::string name) : name_(std::move(name)) {}
+
+    Project(Project&&) = default;
+    Project& operator=(Project&&) = default;
+
+    const std::string& name() const noexcept { return name_; }
+
+    /// Registers a file; call parse_all() afterwards.
+    void add_file(std::string file_name, std::string text);
+
+    /// Parses every registered file and builds the declaration tables.
+    void parse_all(DiagnosticSink& sink);
+
+    const std::vector<ParsedFile>& files() const noexcept { return files_; }
+
+    /// Total lines across all files (the paper reports corpus KLOC).
+    int total_lines() const noexcept;
+
+    /// Free function lookup (case-insensitive, as in PHP).
+    const FunctionRef* find_function(std::string_view name) const;
+
+    /// Class lookup (case-insensitive).
+    const ClassDecl* find_class(std::string_view name) const;
+
+    /// Method lookup honoring single inheritance.
+    const FunctionRef* find_method(std::string_view class_name,
+                                   std::string_view method_name) const;
+
+    /// Resolves a method by name alone when exactly one class declares it
+    /// (used when the receiver's class cannot be inferred; mirrors the
+    /// paper's backward name search over the token stream).
+    const FunctionRef* find_method_any(std::string_view method_name) const;
+
+    /// All declared functions and methods, in declaration order.
+    const std::vector<FunctionRef>& all_functions() const noexcept {
+        return function_list_;
+    }
+
+    /// Names of free functions called anywhere in plugin code (lowercased).
+    const std::set<std::string>& called_function_names() const noexcept {
+        return called_functions_;
+    }
+
+    /// "class::method" pairs called anywhere in plugin code (lowercased).
+    const std::set<std::string>& called_method_names() const noexcept {
+        return called_methods_;
+    }
+
+    /// Functions and methods never called from plugin code (paper §III.C:
+    /// these must still be analyzed — the CMS may call them directly).
+    std::vector<FunctionRef> uncalled_functions() const;
+
+    /// Resolves an include path literal to a parsed file of this project,
+    /// matching by exact name, then suffix, then basename. Returns null for
+    /// external (CMS / PHP library) includes.
+    const ParsedFile* resolve_include(std::string_view path) const;
+
+private:
+    void index_statements(const std::vector<StmtPtr>& stmts, const std::string& file);
+    void record_calls_expr(const Expr& e);
+    void record_calls_stmt(const Stmt& s);
+
+    std::string name_;
+    std::vector<ParsedFile> files_;
+    std::vector<std::pair<std::string, std::string>> pending_;  ///< (name, text)
+    std::map<std::string, FunctionRef> functions_;  ///< key: lowercase name
+    std::map<std::string, const ClassDecl*> classes_;
+    std::map<std::string, FunctionRef> methods_;  ///< key: "class::method" lc
+    std::vector<FunctionRef> function_list_;
+    std::set<std::string> called_functions_;
+    std::set<std::string> called_methods_;  ///< "class::method" or "::method"
+};
+
+}  // namespace phpsafe::php

@@ -1,0 +1,261 @@
+// Generic AST traversal helpers: enumerate the direct children of a node.
+// Used by the project indexer, the baselines and tests; the taint engine
+// walks the tree itself because evaluation order matters there.
+#pragma once
+
+#include <functional>
+
+#include "php/ast.h"
+
+namespace phpsafe::php {
+
+using ExprVisitor = std::function<void(const Expr&)>;
+using StmtVisitor = std::function<void(const Stmt&)>;
+
+/// Invokes `ec` on every direct child expression of `e` (not recursive).
+void for_each_child_expr(const Expr& e, const ExprVisitor& ec);
+
+/// Invokes `ec` / `sc` on direct expression / statement children of `s`.
+void for_each_child(const Stmt& s, const ExprVisitor& ec, const StmtVisitor& sc);
+
+/// Depth-first pre-order walk of an expression tree.
+void walk_expr(const Expr& e, const ExprVisitor& ec);
+
+/// Depth-first pre-order walk of a statement tree (visits every statement
+/// and every expression, including those nested in functions/classes).
+void walk_stmt(const Stmt& s, const ExprVisitor& ec, const StmtVisitor& sc);
+
+inline void for_each_child_expr(const Expr& e, const ExprVisitor& ec) {
+    auto visit = [&](const ExprPtr& p) {
+        if (p) ec(*p);
+    };
+    auto visit_args = [&](const std::vector<Argument>& args) {
+        for (const Argument& a : args) visit(a.value);
+    };
+    switch (e.kind) {
+        case NodeKind::kInterpString:
+            for (const ExprPtr& p : static_cast<const InterpString&>(e).parts) visit(p);
+            break;
+        case NodeKind::kArrayAccess: {
+            const auto& n = static_cast<const ArrayAccess&>(e);
+            visit(n.base);
+            visit(n.index);
+            break;
+        }
+        case NodeKind::kPropertyAccess: {
+            const auto& n = static_cast<const PropertyAccess&>(e);
+            visit(n.object);
+            visit(n.property_expr);
+            break;
+        }
+        case NodeKind::kFunctionCall: {
+            const auto& n = static_cast<const FunctionCall&>(e);
+            visit(n.callee);
+            visit_args(n.args);
+            break;
+        }
+        case NodeKind::kMethodCall: {
+            const auto& n = static_cast<const MethodCall&>(e);
+            visit(n.object);
+            visit(n.method_expr);
+            visit_args(n.args);
+            break;
+        }
+        case NodeKind::kStaticCall:
+            visit_args(static_cast<const StaticCall&>(e).args);
+            break;
+        case NodeKind::kNew: {
+            const auto& n = static_cast<const New&>(e);
+            visit(n.class_expr);
+            visit_args(n.args);
+            break;
+        }
+        case NodeKind::kAssign: {
+            const auto& n = static_cast<const Assign&>(e);
+            visit(n.target);
+            visit(n.value);
+            break;
+        }
+        case NodeKind::kBinary: {
+            const auto& n = static_cast<const Binary&>(e);
+            visit(n.lhs);
+            visit(n.rhs);
+            break;
+        }
+        case NodeKind::kUnary:
+            visit(static_cast<const Unary&>(e).operand);
+            break;
+        case NodeKind::kCast:
+            visit(static_cast<const Cast&>(e).operand);
+            break;
+        case NodeKind::kTernary: {
+            const auto& n = static_cast<const Ternary&>(e);
+            visit(n.cond);
+            visit(n.then_expr);
+            visit(n.else_expr);
+            break;
+        }
+        case NodeKind::kArrayLiteral:
+            for (const ArrayItem& item : static_cast<const ArrayLiteral&>(e).items) {
+                visit(item.key);
+                visit(item.value);
+            }
+            break;
+        case NodeKind::kIssetExpr:
+            for (const ExprPtr& v : static_cast<const IssetExpr&>(e).vars) visit(v);
+            break;
+        case NodeKind::kEmptyExpr:
+            visit(static_cast<const EmptyExpr&>(e).operand);
+            break;
+        case NodeKind::kIncDec:
+            visit(static_cast<const IncDec&>(e).operand);
+            break;
+        case NodeKind::kIncludeExpr:
+            visit(static_cast<const IncludeExpr&>(e).path);
+            break;
+        case NodeKind::kListExpr:
+            for (const ExprPtr& el : static_cast<const ListExpr&>(e).elements) visit(el);
+            break;
+        case NodeKind::kInstanceOf:
+            visit(static_cast<const InstanceOf&>(e).object);
+            break;
+        case NodeKind::kPrintExpr:
+            visit(static_cast<const PrintExpr&>(e).operand);
+            break;
+        case NodeKind::kExitExpr:
+            visit(static_cast<const ExitExpr&>(e).operand);
+            break;
+        default:
+            break;  // leaves: literal, variable, static-prop, class-const, closure
+    }
+}
+
+inline void for_each_child(const Stmt& s, const ExprVisitor& ec, const StmtVisitor& sc) {
+    auto visit_e = [&](const ExprPtr& p) {
+        if (p) ec(*p);
+    };
+    auto visit_s = [&](const StmtPtr& p) {
+        if (p) sc(*p);
+    };
+    auto visit_list = [&](const std::vector<StmtPtr>& stmts) {
+        for (const StmtPtr& p : stmts) visit_s(p);
+    };
+    switch (s.kind) {
+        case NodeKind::kExprStmt:
+            visit_e(static_cast<const ExprStmt&>(s).expr);
+            break;
+        case NodeKind::kEchoStmt:
+            for (const ExprPtr& a : static_cast<const EchoStmt&>(s).args) visit_e(a);
+            break;
+        case NodeKind::kBlock:
+            visit_list(static_cast<const Block&>(s).statements);
+            break;
+        case NodeKind::kIfStmt: {
+            const auto& n = static_cast<const IfStmt&>(s);
+            visit_e(n.cond);
+            visit_s(n.then_branch);
+            visit_s(n.else_branch);
+            break;
+        }
+        case NodeKind::kWhileStmt: {
+            const auto& n = static_cast<const WhileStmt&>(s);
+            visit_e(n.cond);
+            visit_s(n.body);
+            break;
+        }
+        case NodeKind::kDoWhileStmt: {
+            const auto& n = static_cast<const DoWhileStmt&>(s);
+            visit_s(n.body);
+            visit_e(n.cond);
+            break;
+        }
+        case NodeKind::kForStmt: {
+            const auto& n = static_cast<const ForStmt&>(s);
+            for (const ExprPtr& e : n.init) visit_e(e);
+            for (const ExprPtr& e : n.cond) visit_e(e);
+            for (const ExprPtr& e : n.update) visit_e(e);
+            visit_s(n.body);
+            break;
+        }
+        case NodeKind::kForeachStmt: {
+            const auto& n = static_cast<const ForeachStmt&>(s);
+            visit_e(n.iterable);
+            visit_e(n.key_var);
+            visit_e(n.value_var);
+            visit_s(n.body);
+            break;
+        }
+        case NodeKind::kSwitchStmt: {
+            const auto& n = static_cast<const SwitchStmt&>(s);
+            visit_e(n.subject);
+            for (const SwitchCase& c : n.cases) {
+                visit_e(c.match);
+                visit_list(c.body);
+            }
+            break;
+        }
+        case NodeKind::kReturnStmt:
+            visit_e(static_cast<const ReturnStmt&>(s).value);
+            break;
+        case NodeKind::kStaticVarStmt:
+            for (const auto& [name, init] : static_cast<const StaticVarStmt&>(s).vars)
+                visit_e(init);
+            break;
+        case NodeKind::kUnsetStmt:
+            for (const ExprPtr& v : static_cast<const UnsetStmt&>(s).vars) visit_e(v);
+            break;
+        case NodeKind::kFunctionDecl: {
+            const auto& n = static_cast<const FunctionDecl&>(s);
+            for (const Param& p : n.params) visit_e(p.default_value);
+            visit_list(n.body);
+            break;
+        }
+        case NodeKind::kClassDecl: {
+            const auto& n = static_cast<const ClassDecl&>(s);
+            for (const PropertyDecl& p : n.properties) visit_e(p.default_value);
+            for (const ClassConstDecl& c : n.constants) visit_e(c.value);
+            for (const auto& m : n.methods)
+                if (m) sc(*m);
+            break;
+        }
+        case NodeKind::kTryStmt: {
+            const auto& n = static_cast<const TryStmt&>(s);
+            visit_list(n.body);
+            for (const CatchClause& c : n.catches) visit_list(c.body);
+            visit_list(n.finally_body);
+            break;
+        }
+        case NodeKind::kThrowStmt:
+            visit_e(static_cast<const ThrowStmt&>(s).value);
+            break;
+        case NodeKind::kNamespaceStmt:
+            visit_list(static_cast<const NamespaceStmt&>(s).body);
+            break;
+        case NodeKind::kConstStmt:
+            for (const auto& [name, value] : static_cast<const ConstStmt&>(s).constants)
+                visit_e(value);
+            break;
+        default:
+            break;  // break/continue/global/html/use: no children
+    }
+}
+
+inline void walk_expr(const Expr& e, const ExprVisitor& ec) {
+    ec(e);
+    for_each_child_expr(e, [&](const Expr& child) { walk_expr(child, ec); });
+    // Closures carry statements; descend into them too.
+    if (e.kind == NodeKind::kClosure) {
+        const auto& c = static_cast<const Closure&>(e);
+        for (const StmtPtr& s : c.body)
+            if (s) walk_stmt(*s, ec, [](const Stmt&) {});
+    }
+}
+
+inline void walk_stmt(const Stmt& s, const ExprVisitor& ec, const StmtVisitor& sc) {
+    sc(s);
+    for_each_child(
+        s, [&](const Expr& e) { walk_expr(e, ec); },
+        [&](const Stmt& child) { walk_stmt(child, ec, sc); });
+}
+
+}  // namespace phpsafe::php

@@ -1,0 +1,159 @@
+#include "report/evaluation.h"
+
+#include <atomic>
+#include <ctime>
+#include <future>
+#include <vector>
+
+#include "report/matching.h"
+#include "report/metrics.h"
+
+namespace phpsafe {
+
+std::set<std::string> Evaluation::union_detected(const std::string& version) const {
+    std::set<std::string> all;
+    const auto it = stats.find(version);
+    if (it == stats.end()) return all;
+    for (const auto& [tool, s] : it->second)
+        all.insert(s.detected_ids.begin(), s.detected_ids.end());
+    return all;
+}
+
+std::map<std::string, int> Evaluation::paper_false_negatives(
+    const std::string& version, VulnKind kind) const {
+    std::map<std::string, std::set<std::string>> detected;
+    const auto it = stats.find(version);
+    if (it == stats.end()) return {};
+    for (const auto& [tool, s] : it->second)
+        detected[tool] =
+            kind == VulnKind::kXss ? s.detected_ids_xss : s.detected_ids_sqli;
+    return paper_style_false_negatives(detected);
+}
+
+std::map<std::string, int> Evaluation::paper_false_negatives(
+    const std::string& version) const {
+    std::map<std::string, std::set<std::string>> detected;
+    const auto it = stats.find(version);
+    if (it == stats.end()) return {};
+    for (const auto& [tool, s] : it->second) detected[tool] = s.detected_ids;
+    return paper_style_false_negatives(detected);
+}
+
+std::vector<Tool> paper_tool_set() {
+    return {make_phpsafe_tool(), make_rips_like_tool(), make_pixy_like_tool()};
+}
+
+Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
+                                 const EvaluationOptions& options) {
+    Evaluation evaluation;
+    corpus::CorpusOptions corpus_options;
+    corpus_options.scale = options.corpus_scale;
+    if (options.corpus_scale < 1.0) {
+        corpus_options.filler_lines_2012 = static_cast<int>(
+            corpus_options.filler_lines_2012 * options.corpus_scale);
+        corpus_options.filler_lines_2014 = static_cast<int>(
+            corpus_options.filler_lines_2014 * options.corpus_scale);
+    }
+    evaluation.corpus = corpus::generate_corpus(corpus_options);
+    for (const Tool& tool : tools) evaluation.tool_names.push_back(tool.name);
+
+    const int reps = std::max(1, options.timing_repetitions);
+    const int workers = std::max(1, options.parallelism);
+
+    // Per-plugin work unit: parse + analyze + match. Everything the worker
+    // touches is its own; merging happens in plugin order afterwards, so
+    // parallelism never changes the statistics.
+    struct PluginOutcome {
+        int tp = 0, fp = 0, tp_xss = 0, fp_xss = 0, tp_sqli = 0, fp_sqli = 0;
+        int tp_oop = 0, files_failed = 0, error_messages = 0;
+        double cpu_seconds = 0;
+        std::vector<std::string> ids, ids_xss, ids_sqli;
+    };
+    auto analyze_plugin = [reps](const Tool& tool,
+                                 const corpus::GeneratedPlugin& plugin,
+                                 const corpus::PluginVersionSource& src) {
+        PluginOutcome outcome;
+        // Table III scope: parse (model construction) + analysis.
+        const std::clock_t parse_start = std::clock();
+        DiagnosticSink sink;
+        const php::Project project = corpus::build_project(plugin, src, sink);
+        const double parse_seconds =
+            static_cast<double>(std::clock() - parse_start) / CLOCKS_PER_SEC;
+        AnalysisResult result = run_tool(tool, project);
+        for (int rep = 1; rep < reps; ++rep)
+            result.cpu_seconds += run_tool(tool, project).cpu_seconds;
+        outcome.cpu_seconds = result.cpu_seconds / reps + parse_seconds;
+
+        const MatchResult match = match_findings(result.findings, src.truth);
+        const MatchResult xss =
+            match_findings(result.findings, src.truth, VulnKind::kXss);
+        const MatchResult sqli =
+            match_findings(result.findings, src.truth, VulnKind::kSqli);
+        outcome.tp = match.tp();
+        outcome.fp = match.fp();
+        outcome.tp_xss = xss.tp();
+        outcome.fp_xss = xss.fp();
+        outcome.tp_sqli = sqli.tp();
+        outcome.fp_sqli = sqli.fp();
+        for (const Finding* f : match.true_positives)
+            if (f->via_oop) ++outcome.tp_oop;
+        outcome.files_failed = result.files_failed;
+        outcome.error_messages = result.error_messages;
+        for (const std::string& id : match.detected_ids) {
+            outcome.ids.push_back(id);
+            if (xss.detected_ids.count(id)) outcome.ids_xss.push_back(id);
+            if (sqli.detected_ids.count(id)) outcome.ids_sqli.push_back(id);
+        }
+        return outcome;
+    };
+
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        evaluation.truth[version] = evaluation.corpus.all_truth(version);
+        for (const Tool& tool : tools) {
+            EvaluationStats& stats = evaluation.stats[version][tool.name];
+            const auto& plugins = evaluation.corpus.plugins;
+            std::vector<PluginOutcome> outcomes(plugins.size());
+            if (workers <= 1) {
+                for (size_t i = 0; i < plugins.size(); ++i)
+                    outcomes[i] = analyze_plugin(
+                        tool, plugins[i],
+                        version == "2012" ? plugins[i].v2012 : plugins[i].v2014);
+            } else {
+                std::vector<std::future<void>> futures;
+                std::atomic<size_t> next{0};
+                for (int w = 0; w < workers; ++w) {
+                    futures.push_back(std::async(std::launch::async, [&] {
+                        for (size_t i = next.fetch_add(1); i < plugins.size();
+                             i = next.fetch_add(1)) {
+                            outcomes[i] = analyze_plugin(
+                                tool, plugins[i],
+                                version == "2012" ? plugins[i].v2012
+                                                  : plugins[i].v2014);
+                        }
+                    }));
+                }
+                for (std::future<void>& f : futures) f.get();
+            }
+            for (const PluginOutcome& outcome : outcomes) {
+                stats.tp += outcome.tp;
+                stats.fp += outcome.fp;
+                stats.tp_xss += outcome.tp_xss;
+                stats.fp_xss += outcome.fp_xss;
+                stats.tp_sqli += outcome.tp_sqli;
+                stats.fp_sqli += outcome.fp_sqli;
+                stats.tp_oop += outcome.tp_oop;
+                stats.files_failed += outcome.files_failed;
+                stats.error_messages += outcome.error_messages;
+                stats.cpu_seconds += outcome.cpu_seconds;
+                stats.detected_ids.insert(outcome.ids.begin(), outcome.ids.end());
+                stats.detected_ids_xss.insert(outcome.ids_xss.begin(),
+                                              outcome.ids_xss.end());
+                stats.detected_ids_sqli.insert(outcome.ids_sqli.begin(),
+                                               outcome.ids_sqli.end());
+            }
+        }
+    }
+    return evaluation;
+}
+
+}  // namespace phpsafe

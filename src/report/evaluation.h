@@ -1,0 +1,70 @@
+// Whole-corpus evaluation driver — the programmatic form of the paper's
+// experimental procedure (§IV.B): run a set of tools over both versions of
+// every plugin, match reports against ground truth, and aggregate the
+// statistics every table/figure is computed from. The bench binaries are
+// thin printers over this API; downstream users can run the same
+// evaluation against their own tool configurations.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/analyzers.h"
+#include "corpus/generator.h"
+
+namespace phpsafe {
+
+/// Aggregated per-tool, per-version statistics.
+struct EvaluationStats {
+    int tp = 0;
+    int fp = 0;
+    int tp_xss = 0, fp_xss = 0;
+    int tp_sqli = 0, fp_sqli = 0;
+    int tp_oop = 0;  ///< true positives whose flow passes through OOP
+    int files_failed = 0;
+    int error_messages = 0;
+    double cpu_seconds = 0.0;  ///< parse + analysis (paper Table III scope)
+    std::set<std::string> detected_ids;
+    std::set<std::string> detected_ids_xss;
+    std::set<std::string> detected_ids_sqli;
+};
+
+struct Evaluation {
+    corpus::Corpus corpus;
+    std::vector<std::string> tool_names;
+    /// stats[version][tool name]
+    std::map<std::string, std::map<std::string, EvaluationStats>> stats;
+    std::map<std::string, std::vector<corpus::SeededVuln>> truth;
+
+    /// Ids detected by at least one tool in `version` (the paper's
+    /// "confirmed" set).
+    std::set<std::string> union_detected(const std::string& version) const;
+
+    /// Paper-style FN for each tool: union minus the tool's detections.
+    std::map<std::string, int> paper_false_negatives(const std::string& version,
+                                                     VulnKind kind) const;
+    std::map<std::string, int> paper_false_negatives(
+        const std::string& version) const;
+};
+
+struct EvaluationOptions {
+    double corpus_scale = 1.0;
+    /// Repeat the analysis step this many times and average the CPU time
+    /// (the paper averages five runs for Table III).
+    int timing_repetitions = 1;
+    /// Number of worker threads for the per-plugin analysis loop. Results
+    /// are merged in plugin order, so any value yields identical statistics;
+    /// cpu_seconds is process CPU time and is only meaningful with 1.
+    int parallelism = 1;
+};
+
+/// Runs `tools` over the generated corpus. Deterministic for fixed options.
+Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
+                                 const EvaluationOptions& options = {});
+
+/// The paper's tool set: phpSAFE, RIPS-like, Pixy-like.
+std::vector<Tool> paper_tool_set();
+
+}  // namespace phpsafe

@@ -1,0 +1,119 @@
+#include "report/export.h"
+
+#include <sstream>
+
+namespace phpsafe {
+
+std::string html_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&#39;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string render_html_report(const AnalysisResult& result) {
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+       << "<title>phpSAFE report — " << html_escape(result.plugin)
+       << "</title>\n<style>\n"
+       << "body{font-family:sans-serif;margin:2em;background:#fafafa}\n"
+       << ".finding{border:1px solid #ccc;border-left:6px solid #c0392b;"
+          "margin:1em 0;padding:.6em 1em;background:#fff}\n"
+       << ".finding.sqli{border-left-color:#8e44ad}\n"
+       << ".trace{font-family:monospace;font-size:90%;color:#444;"
+          "margin:.4em 0 0 1em}\n"
+       << ".meta{color:#666;font-size:90%}\n"
+       << "</style></head><body>\n";
+
+    os << "<h1>" << html_escape(result.tool) << " report</h1>\n";
+    os << "<p class=\"meta\">plugin: <b>" << html_escape(result.plugin)
+       << "</b> &middot; files: " << result.files_total << " (failed: "
+       << result.files_failed << ") &middot; findings: "
+       << result.findings.size() << " &middot; XSS: "
+       << result.count(VulnKind::kXss) << " &middot; SQLi: "
+       << result.count(VulnKind::kSqli) << "</p>\n";
+
+    for (const Finding& finding : result.findings) {
+        os << "<div class=\"finding"
+           << (finding.kind == VulnKind::kSqli ? " sqli" : "") << "\">\n";
+        os << "<b>" << html_escape(to_string(finding.kind)) << "</b> at <code>"
+           << html_escape(to_string(finding.location)) << "</code>, sink <code>"
+           << html_escape(finding.sink) << "</code>";
+        if (finding.via_oop) os << " <em>(via OOP)</em>";
+        os << "<br>\n";
+        os << "vulnerable expression: <code>" << html_escape(finding.variable)
+           << "</code> &middot; input vector: "
+           << html_escape(to_string(finding.vector)) << "\n";
+        os << "<div class=\"trace\">\n";
+        for (const TaintStep& step : finding.trace)
+            os << html_escape(to_string(step.location)) << " &mdash; "
+               << html_escape(step.description) << "<br>\n";
+        os << "</div></div>\n";
+    }
+    os << "</body></html>\n";
+    return os.str();
+}
+
+std::string render_json_report(const AnalysisResult& result) {
+    std::ostringstream os;
+    os << "{\"tool\":\"" << json_escape(result.tool) << "\",";
+    os << "\"plugin\":\"" << json_escape(result.plugin) << "\",";
+    os << "\"files_total\":" << result.files_total << ",";
+    os << "\"files_failed\":" << result.files_failed << ",";
+    os << "\"findings\":[";
+    for (size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding& f = result.findings[i];
+        if (i) os << ",";
+        os << "{\"kind\":\"" << json_escape(to_string(f.kind)) << "\",";
+        os << "\"file\":\"" << json_escape(f.location.file) << "\",";
+        os << "\"line\":" << f.location.line << ",";
+        os << "\"sink\":\"" << json_escape(f.sink) << "\",";
+        os << "\"variable\":\"" << json_escape(f.variable) << "\",";
+        os << "\"vector\":\"" << json_escape(to_string(f.vector)) << "\",";
+        os << "\"via_oop\":" << (f.via_oop ? "true" : "false") << ",";
+        os << "\"trace\":[";
+        for (size_t s = 0; s < f.trace.size(); ++s) {
+            if (s) os << ",";
+            os << "{\"file\":\"" << json_escape(f.trace[s].location.file)
+               << "\",\"line\":" << f.trace[s].location.line
+               << ",\"step\":\"" << json_escape(f.trace[s].description) << "\"}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace phpsafe

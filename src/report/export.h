@@ -1,0 +1,32 @@
+// Result exporters — the reproduction of phpSAFE's results-processing
+// outputs (§III.D): the original presents findings in a web page that
+// helps reviewing (vulnerable variables, entry point, variable-to-variable
+// flow); it is also "tuned to produce and store the results in other
+// formats". Here: a self-contained HTML report and a line-oriented JSON
+// export for CI pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/finding.h"
+
+namespace phpsafe {
+
+/// Renders a self-contained HTML review page for one analysis run:
+/// summary header, then one card per finding with its data-flow trace.
+std::string render_html_report(const AnalysisResult& result);
+
+/// Serializes findings as JSON (one object per finding, stable field
+/// order, all strings escaped). Shape:
+/// {"tool":...,"plugin":...,"findings":[{"kind":...,"file":...,...}]}
+std::string render_json_report(const AnalysisResult& result);
+
+/// Escapes text for embedding in HTML (used by the report renderer and
+/// exposed for tests — ironically, the tool must not have XSS itself).
+std::string html_escape(std::string_view text);
+
+/// Escapes text for a JSON string literal (without surrounding quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace phpsafe

@@ -1,0 +1,18 @@
+#include "report/inertia.h"
+
+namespace phpsafe {
+
+InertiaReport analyze_inertia(const std::vector<corpus::SeededVuln>& truth_2014,
+                              const std::set<std::string>& detected_2014) {
+    InertiaReport report;
+    for (const corpus::SeededVuln& vuln : truth_2014) {
+        if (!detected_2014.count(vuln.id)) continue;
+        ++report.total_2014;
+        if (!vuln.carried_over) continue;
+        ++report.carried_from_2012;
+        if (vuln.easy_exploit) ++report.carried_easy_exploit;
+    }
+    return report;
+}
+
+}  // namespace phpsafe

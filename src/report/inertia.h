@@ -1,0 +1,36 @@
+// Vulnerability-fixing inertia (paper §V.D): of the vulnerabilities found
+// in the 2014 versions, how many had already been found — and disclosed to
+// the developers — in the 2012 versions more than a year earlier, and how
+// many of those are trivially exploitable (GET/POST/COOKIE).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+
+namespace phpsafe {
+
+struct InertiaReport {
+    int total_2014 = 0;            ///< confirmed vulnerabilities in 2014
+    int carried_from_2012 = 0;     ///< already disclosed in the 2012 round
+    int carried_easy_exploit = 0;  ///< carried AND GET/POST/COOKIE exploitable
+
+    double carried_fraction() const noexcept {
+        return total_2014 == 0 ? 0.0
+                               : static_cast<double>(carried_from_2012) / total_2014;
+    }
+    double easy_fraction_of_carried() const noexcept {
+        return carried_from_2012 == 0 ? 0.0
+                                      : static_cast<double>(carried_easy_exploit) /
+                                            carried_from_2012;
+    }
+};
+
+/// `detected_2014` restricts the analysis to confirmed vulnerabilities
+/// (detected by at least one tool), as in the paper.
+InertiaReport analyze_inertia(const std::vector<corpus::SeededVuln>& truth_2014,
+                              const std::set<std::string>& detected_2014);
+
+}  // namespace phpsafe

@@ -1,0 +1,56 @@
+#include "report/matching.h"
+
+#include <map>
+
+namespace phpsafe {
+
+namespace {
+
+MatchResult match_impl(const std::vector<Finding>& findings,
+                       const std::vector<corpus::SeededVuln>& truth,
+                       const VulnKind* kind_filter) {
+    MatchResult result;
+
+    // Index truth by (file, line, kind).
+    std::map<std::string, const corpus::SeededVuln*> index;
+    for (const corpus::SeededVuln& vuln : truth) {
+        if (kind_filter && vuln.kind != *kind_filter) continue;
+        index[vuln.file + ":" + std::to_string(vuln.line) + ":" +
+              to_string(vuln.kind)] = &vuln;
+    }
+
+    for (const Finding& finding : findings) {
+        if (kind_filter && finding.kind != *kind_filter) continue;
+        const std::string key = finding.location.file + ":" +
+                                std::to_string(finding.location.line) + ":" +
+                                to_string(finding.kind);
+        const auto it = index.find(key);
+        if (it != index.end()) {
+            result.true_positives.push_back(&finding);
+            result.detected_ids.insert(it->second->id);
+        } else {
+            result.false_positives.push_back(&finding);
+        }
+    }
+
+    for (const corpus::SeededVuln& vuln : truth) {
+        if (kind_filter && vuln.kind != *kind_filter) continue;
+        if (!result.detected_ids.count(vuln.id)) result.missed.push_back(&vuln);
+    }
+    return result;
+}
+
+}  // namespace
+
+MatchResult match_findings(const std::vector<Finding>& findings,
+                           const std::vector<corpus::SeededVuln>& truth) {
+    return match_impl(findings, truth, nullptr);
+}
+
+MatchResult match_findings(const std::vector<Finding>& findings,
+                           const std::vector<corpus::SeededVuln>& truth,
+                           VulnKind kind) {
+    return match_impl(findings, truth, &kind);
+}
+
+}  // namespace phpsafe

@@ -1,0 +1,38 @@
+// Report↔ground-truth matching — the automated equivalent of the paper's
+// manual verification step (§IV.B.5: every tool report was checked by a
+// security expert; here the generator's seeded metadata is the oracle).
+// A finding matches a seeded vulnerability when file, sink line and
+// vulnerability kind agree.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/finding.h"
+#include "corpus/generator.h"
+
+namespace phpsafe {
+
+struct MatchResult {
+    std::vector<const Finding*> true_positives;
+    std::vector<const Finding*> false_positives;
+    std::set<std::string> detected_ids;  ///< seeded-vuln ids that were found
+    std::vector<const corpus::SeededVuln*> missed;  ///< oracle false negatives
+
+    int tp() const noexcept { return static_cast<int>(true_positives.size()); }
+    int fp() const noexcept { return static_cast<int>(false_positives.size()); }
+    int fn_oracle() const noexcept { return static_cast<int>(missed.size()); }
+};
+
+/// Matches one tool's findings on one plugin version against the seeded
+/// ground truth of that version.
+MatchResult match_findings(const std::vector<Finding>& findings,
+                           const std::vector<corpus::SeededVuln>& truth);
+
+/// Restricts match counting to one vulnerability kind.
+MatchResult match_findings(const std::vector<Finding>& findings,
+                           const std::vector<corpus::SeededVuln>& truth,
+                           VulnKind kind);
+
+}  // namespace phpsafe

@@ -1,0 +1,27 @@
+#include "report/metrics.h"
+
+#include <cmath>
+
+namespace phpsafe {
+
+std::map<std::string, int> paper_style_false_negatives(
+    const std::map<std::string, std::set<std::string>>& detected_by_tool) {
+    std::set<std::string> union_detected;
+    for (const auto& [tool, ids] : detected_by_tool)
+        union_detected.insert(ids.begin(), ids.end());
+    std::map<std::string, int> fn;
+    for (const auto& [tool, ids] : detected_by_tool) {
+        int missed = 0;
+        for (const std::string& id : union_detected)
+            if (!ids.count(id)) ++missed;
+        fn[tool] = missed;
+    }
+    return fn;
+}
+
+std::string format_pct(double value) {
+    if (value < 0) return "-";
+    return std::to_string(static_cast<int>(std::lround(value * 100))) + "%";
+}
+
+}  // namespace phpsafe

@@ -1,0 +1,43 @@
+// Detection metrics (paper §IV.A): precision TP/(TP+FP), recall TP/(TP+FN),
+// F-score — with the paper's two false-negative conventions: the optimistic
+// one (FN = vulnerabilities other tools found that this tool missed) and
+// the oracle one our generator makes possible (FN = all seeded vulns
+// missed).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace phpsafe {
+
+struct ConfusionMetrics {
+    int tp = 0;
+    int fp = 0;
+    int fn = 0;
+
+    /// Returns -1 when undefined (no positives reported), mirroring the
+    /// dashes in the paper's Table I.
+    double precision() const noexcept {
+        return tp + fp == 0 ? -1.0 : static_cast<double>(tp) / (tp + fp);
+    }
+    double recall() const noexcept {
+        return tp + fn == 0 ? -1.0 : static_cast<double>(tp) / (tp + fn);
+    }
+    double f_score() const noexcept {
+        const double p = precision();
+        const double r = recall();
+        if (p < 0 || r < 0 || p + r == 0) return -1.0;
+        return 2.0 * p * r / (p + r);
+    }
+};
+
+/// Paper-style FN: the union of all tools' detected sets, minus this
+/// tool's. `detected_by_tool` maps tool name → detected seeded-vuln ids.
+std::map<std::string, int> paper_style_false_negatives(
+    const std::map<std::string, std::set<std::string>>& detected_by_tool);
+
+/// Formats a metric value as a percentage string ("83%" / "-").
+std::string format_pct(double value);
+
+}  // namespace phpsafe

@@ -1,0 +1,71 @@
+#include "report/overlap.h"
+
+#include <sstream>
+
+namespace phpsafe {
+
+int VennRegions::total(const std::string& tool) const {
+    if (tool == tool_a) return only_a + ab + ac + abc;
+    if (tool == tool_b) return only_b + ab + bc + abc;
+    if (tool == tool_c) return only_c + ac + bc + abc;
+    return 0;
+}
+
+VennRegions compute_overlap(
+    const std::map<std::string, std::set<std::string>>& detected) {
+    VennRegions regions;
+    std::vector<std::string> tools;
+    for (const auto& [tool, ids] : detected) tools.push_back(tool);
+    while (tools.size() < 3) tools.push_back("(none)");
+    regions.tool_a = tools[0];
+    regions.tool_b = tools[1];
+    regions.tool_c = tools[2];
+
+    auto set_of = [&](const std::string& tool) -> const std::set<std::string>& {
+        static const std::set<std::string> empty;
+        const auto it = detected.find(tool);
+        return it == detected.end() ? empty : it->second;
+    };
+    const std::set<std::string>& a = set_of(regions.tool_a);
+    const std::set<std::string>& b = set_of(regions.tool_b);
+    const std::set<std::string>& c = set_of(regions.tool_c);
+
+    std::set<std::string> all;
+    all.insert(a.begin(), a.end());
+    all.insert(b.begin(), b.end());
+    all.insert(c.begin(), c.end());
+    regions.union_size = static_cast<int>(all.size());
+
+    for (const std::string& id : all) {
+        const bool in_a = a.count(id) > 0;
+        const bool in_b = b.count(id) > 0;
+        const bool in_c = c.count(id) > 0;
+        if (in_a && in_b && in_c) ++regions.abc;
+        else if (in_a && in_b) ++regions.ab;
+        else if (in_a && in_c) ++regions.ac;
+        else if (in_b && in_c) ++regions.bc;
+        else if (in_a) ++regions.only_a;
+        else if (in_b) ++regions.only_b;
+        else ++regions.only_c;
+    }
+    return regions;
+}
+
+std::string render_overlap(const VennRegions& r) {
+    std::ostringstream os;
+    os << "Distinct vulnerabilities detected (union): " << r.union_size << "\n";
+    os << "  " << r.tool_a << " total: " << r.total(r.tool_a) << "\n";
+    os << "  " << r.tool_b << " total: " << r.total(r.tool_b) << "\n";
+    os << "  " << r.tool_c << " total: " << r.total(r.tool_c) << "\n";
+    os << "Venn regions:\n";
+    os << "  only " << r.tool_a << ": " << r.only_a << "\n";
+    os << "  only " << r.tool_b << ": " << r.only_b << "\n";
+    os << "  only " << r.tool_c << ": " << r.only_c << "\n";
+    os << "  " << r.tool_a << "+" << r.tool_b << ": " << r.ab << "\n";
+    os << "  " << r.tool_a << "+" << r.tool_c << ": " << r.ac << "\n";
+    os << "  " << r.tool_b << "+" << r.tool_c << ": " << r.bc << "\n";
+    os << "  all three: " << r.abc << "\n";
+    return os.str();
+}
+
+}  // namespace phpsafe

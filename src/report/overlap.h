@@ -1,0 +1,33 @@
+// Detection-overlap analysis (paper Fig. 2: Venn diagram of the distinct
+// vulnerabilities each tool detects). Computes the seven Venn regions for
+// three tools plus totals.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace phpsafe {
+
+struct VennRegions {
+    // Region counts keyed by which tools detect (a=tool1, b=tool2, c=tool3).
+    int only_a = 0, only_b = 0, only_c = 0;
+    int ab = 0, ac = 0, bc = 0;   ///< exactly two tools
+    int abc = 0;                  ///< all three
+    int union_size = 0;
+    std::string tool_a, tool_b, tool_c;
+
+    int total(const std::string& tool) const;
+};
+
+/// `detected` maps tool name → set of detected vulnerability ids. Exactly
+/// three tools are expected (the paper's comparison set).
+VennRegions compute_overlap(
+    const std::map<std::string, std::set<std::string>>& detected);
+
+/// Renders an ASCII summary of the regions (stand-in for the paper's
+/// proportional-circle diagram).
+std::string render_overlap(const VennRegions& regions);
+
+}  // namespace phpsafe

@@ -1,0 +1,39 @@
+#include "report/render.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace phpsafe {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+    if (rows_.empty()) return {};
+    size_t columns = 0;
+    for (const auto& row : rows_) columns = std::max(columns, row.size());
+    std::vector<size_t> widths(columns, 0);
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        os << "|";
+        for (size_t c = 0; c < columns; ++c) {
+            const std::string& cell = c < rows_[r].size() ? rows_[r][c] : std::string();
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << '\n';
+        if (r == 0) {
+            os << "|";
+            for (size_t c = 0; c < columns; ++c)
+                os << std::string(widths[c] + 2, '-') << "|";
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+}  // namespace phpsafe

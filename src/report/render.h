@@ -1,0 +1,22 @@
+// Minimal fixed-width text-table renderer used by the bench binaries to
+// print Table I/II/III-shaped output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace phpsafe {
+
+class TextTable {
+public:
+    /// First row added is treated as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with column alignment and a separator under the header.
+    std::string to_string() const;
+
+private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phpsafe

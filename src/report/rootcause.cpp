@@ -1,0 +1,25 @@
+#include "report/rootcause.h"
+
+namespace phpsafe {
+
+VectorTable classify_vectors(const std::vector<corpus::SeededVuln>& truth_2012,
+                             const std::vector<corpus::SeededVuln>& truth_2014,
+                             const std::set<std::string>& detected_2012,
+                             const std::set<std::string>& detected_2014) {
+    VectorTable table;
+
+    std::set<std::string> confirmed_2012;
+    for (const corpus::SeededVuln& vuln : truth_2012) {
+        if (!detected_2012.count(vuln.id)) continue;
+        confirmed_2012.insert(vuln.id);
+        ++table.v2012[vector_group(vuln.vector)];
+    }
+    for (const corpus::SeededVuln& vuln : truth_2014) {
+        if (!detected_2014.count(vuln.id)) continue;
+        ++table.v2014[vector_group(vuln.vector)];
+        if (confirmed_2012.count(vuln.id)) ++table.both[vector_group(vuln.vector)];
+    }
+    return table;
+}
+
+}  // namespace phpsafe

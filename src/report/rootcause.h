@@ -1,0 +1,31 @@
+// Root-cause / malicious-input-vector analysis (paper §V.C, Table II):
+// classifies each confirmed vulnerability by the entry point of the
+// malicious data, following the reverse taint path — here the generator's
+// ground-truth vector — and groups vectors into the paper's five rows.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/knowledge.h"
+#include "corpus/generator.h"
+
+namespace phpsafe {
+
+struct VectorTable {
+    std::map<VectorGroup, int> v2012;
+    std::map<VectorGroup, int> v2014;
+    std::map<VectorGroup, int> both;  ///< present (and detected) in both versions
+};
+
+/// Counts the confirmed vulnerabilities per input-vector group. "Confirmed"
+/// means detected by at least one tool (ids in `detected_*`), mirroring the
+/// paper's union-of-tools + manual-verification set.
+VectorTable classify_vectors(const std::vector<corpus::SeededVuln>& truth_2012,
+                             const std::vector<corpus::SeededVuln>& truth_2014,
+                             const std::set<std::string>& detected_2012,
+                             const std::set<std::string>& detected_2014);
+
+}  // namespace phpsafe

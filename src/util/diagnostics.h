@@ -1,0 +1,50 @@
+// Diagnostics collection: parse errors, analysis warnings and tool-failure
+// records (used to reproduce the paper's "robustness" observations in
+// Section V.E, e.g. Pixy failing to analyze 32 files).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/source.h"
+
+namespace phpsafe {
+
+enum class Severity {
+    kNote,
+    kWarning,
+    kError,   ///< the construct was skipped but analysis continued
+    kFatal,   ///< analysis of the whole file was aborted
+};
+
+std::string to_string(Severity s);
+
+struct Diagnostic {
+    Severity severity = Severity::kNote;
+    SourceLocation location;
+    std::string message;
+};
+
+/// Accumulates diagnostics during lexing, parsing and analysis.
+///
+/// Engines keep one DiagnosticSink per run; report code counts fatal
+/// diagnostics to measure robustness (files a tool failed to analyze).
+class DiagnosticSink {
+public:
+    void add(Severity severity, SourceLocation loc, std::string message);
+
+    const std::vector<Diagnostic>& diagnostics() const noexcept { return all_; }
+
+    int count(Severity severity) const noexcept;
+    bool has_fatal() const noexcept { return count(Severity::kFatal) > 0; }
+
+    /// Files for which at least one kFatal diagnostic was recorded.
+    std::vector<std::string> failed_files() const;
+
+    void clear() { all_.clear(); }
+
+private:
+    std::vector<Diagnostic> all_;
+};
+
+}  // namespace phpsafe

@@ -1,0 +1,32 @@
+#include "util/source.h"
+
+namespace phpsafe {
+
+int SourceFile::line_count() const noexcept {
+    if (text_.empty()) return 0;
+    int lines = 0;
+    for (char c : text_)
+        if (c == '\n') ++lines;
+    if (text_.back() != '\n') ++lines;
+    return lines;
+}
+
+std::string_view SourceFile::line(int line_no) const noexcept {
+    if (line_no < 1) return {};
+    std::string_view rest = text_;
+    for (int i = 1; !rest.empty(); ++i) {
+        const size_t nl = rest.find('\n');
+        std::string_view cur = (nl == std::string_view::npos) ? rest : rest.substr(0, nl);
+        if (i == line_no) return cur;
+        if (nl == std::string_view::npos) break;
+        rest.remove_prefix(nl + 1);
+    }
+    return {};
+}
+
+std::string to_string(const SourceLocation& loc) {
+    if (!loc.valid()) return "<unknown>";
+    return loc.file + ":" + std::to_string(loc.line);
+}
+
+}  // namespace phpsafe

@@ -1,0 +1,51 @@
+// Source file representation and locations shared by the lexer, parser and
+// analysis layers. A SourceFile owns its text; SourceLocation is a cheap
+// (file, line) pair used in tokens, AST nodes, taint traces and findings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phpsafe {
+
+/// A single PHP source file loaded into memory.
+///
+/// Files are immutable after construction; all downstream structures refer
+/// to them by name (plugins can contain duplicate basenames, so names are
+/// project-relative paths).
+class SourceFile {
+public:
+    SourceFile(std::string name, std::string text)
+        : name_(std::move(name)), text_(std::move(text)) {}
+
+    const std::string& name() const noexcept { return name_; }
+    std::string_view text() const noexcept { return text_; }
+
+    /// Number of newline-terminated lines (a trailing partial line counts).
+    int line_count() const noexcept;
+
+    /// 1-based line content (without trailing newline); empty if out of range.
+    std::string_view line(int line_no) const noexcept;
+
+private:
+    std::string name_;
+    std::string text_;
+};
+
+/// A (file, line) location. `file` is a project-relative path; a default
+/// constructed location (empty file, line 0) means "unknown".
+struct SourceLocation {
+    std::string file;
+    int line = 0;
+
+    bool valid() const noexcept { return line > 0; }
+    friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// Renders "file:line" (or "<unknown>") for messages and reports.
+std::string to_string(const SourceLocation& loc);
+
+}  // namespace phpsafe

@@ -1,0 +1,72 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace phpsafe {
+
+std::string ascii_lower(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) out.push_back(static_cast<char>(std::tolower(c)));
+    return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i) out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+    if (from.empty()) return s;
+    size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+}  // namespace phpsafe

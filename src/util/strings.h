@@ -1,0 +1,34 @@
+// Small string helpers shared across modules. PHP identifiers are
+// case-insensitive for functions/classes but case-sensitive for variables;
+// the fold helpers here implement the ASCII case-insensitive comparisons the
+// knowledge base and the engine need.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phpsafe {
+
+/// ASCII lowercase copy (PHP function/class names are matched case-insensitively).
+std::string ascii_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Splits on a single character; no empty-token suppression.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+}  // namespace phpsafe

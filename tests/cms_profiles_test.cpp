@@ -1,0 +1,144 @@
+// Tests for the Drupal and Joomla profiles (paper future work §VI): the
+// same engine detects CMS-specific flows once the configuration files for
+// that CMS are loaded — "this is what it takes for phpSAFE to be able to
+// analyze plugins from other CMSs" (§III.A).
+#include <gtest/gtest.h>
+
+#include "baselines/analyzers.h"
+#include "core/engine.h"
+#include "php/project.h"
+
+namespace phpsafe {
+namespace {
+
+AnalysisResult analyze_with(const KnowledgeBase& kb, const std::string& code) {
+    php::Project project("cms");
+    project.add_file("module.php", code);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Engine engine(kb, AnalysisOptions{});
+    return engine.analyze(project);
+}
+
+KnowledgeBase drupal_kb() {
+    KnowledgeBase kb = make_generic_php_kb();
+    add_drupal_profile(kb);
+    return kb;
+}
+
+KnowledgeBase joomla_kb() {
+    KnowledgeBase kb = make_generic_php_kb();
+    add_joomla_profile(kb);
+    return kb;
+}
+
+// --- Drupal ------------------------------------------------------------------
+
+TEST(DrupalProfileTest, DbQueryIsSqliSink) {
+    const auto r = analyze_with(drupal_kb(),
+                                "<?php $name = $_GET['name'];\n"
+                                "db_query(\"SELECT * FROM {users} WHERE name = "
+                                "'$name'\");");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kSqli);
+}
+
+TEST(DrupalProfileTest, DbQueryResultIsDbSource) {
+    const auto r = analyze_with(drupal_kb(),
+                                "<?php $row = db_fetch_object(db_query('q'));\n"
+                                "echo $row->title;");
+    ASSERT_GE(r.count(VulnKind::kXss), 1);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kDatabase);
+}
+
+TEST(DrupalProfileTest, CheckPlainSanitizesXss) {
+    const auto r = analyze_with(drupal_kb(),
+                                "<?php echo check_plain($_GET['q']);");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(DrupalProfileTest, FilterXssSanitizes) {
+    const auto r = analyze_with(drupal_kb(),
+                                "<?php print filter_xss($_POST['body']);");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(DrupalProfileTest, DrupalSetMessageIsXssSink) {
+    const auto r = analyze_with(
+        drupal_kb(), "<?php drupal_set_message('Saved ' . $_GET['title']);");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kXss);
+}
+
+TEST(DrupalProfileTest, VariableGetIsDbSource) {
+    const auto r = analyze_with(drupal_kb(),
+                                "<?php echo variable_get('site_slogan', '');");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kDatabase);
+}
+
+TEST(DrupalProfileTest, WithoutProfileDrupalFlowsAreMissed) {
+    const auto r = analyze_with(make_generic_php_kb(),
+                                "<?php echo variable_get('site_slogan', '');");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+// --- Joomla ------------------------------------------------------------------
+
+TEST(JoomlaProfileTest, JRequestGetVarIsSource) {
+    const auto r = analyze_with(joomla_kb(),
+                                "<?php $task = JRequest::getVar('task');\n"
+                                "echo $task;");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kRequest);
+    EXPECT_TRUE(r.findings[0].via_oop);
+}
+
+TEST(JoomlaProfileTest, JRequestGetIntIsSafe) {
+    const auto r = analyze_with(joomla_kb(),
+                                "<?php echo JRequest::getInt('limit');");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(JoomlaProfileTest, SetQueryThroughFactoryIsSqliSink) {
+    const auto r = analyze_with(
+        joomla_kb(),
+        "<?php $db = JFactory::getDBO();\n"
+        "$id = JRequest::getVar('id');\n"
+        "$db->setQuery(\"DELETE FROM #__items WHERE id = $id\");");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kSqli);
+}
+
+TEST(JoomlaProfileTest, EscapeSanitizesSqli) {
+    const auto r = analyze_with(
+        joomla_kb(),
+        "<?php $db = JFactory::getDBO();\n"
+        "$id = $db->escape(JRequest::getVar('id'));\n"
+        "$db->setQuery(\"DELETE FROM #__items WHERE id = '$id'\");");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(JoomlaProfileTest, LoadObjectListIsDbSource) {
+    const auto r = analyze_with(joomla_kb(),
+                                "<?php $db = JFactory::getDBO();\n"
+                                "$rows = $db->loadObjectList();\n"
+                                "foreach ($rows as $row) { echo $row->title; }");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kDatabase);
+}
+
+TEST(JoomlaProfileTest, ProfilesCompose) {
+    // WordPress + Joomla profiles can coexist in one knowledge base.
+    KnowledgeBase kb = make_generic_php_kb();
+    add_wordpress_profile(kb);
+    add_joomla_profile(kb);
+    const auto r = analyze_with(kb,
+                                "<?php echo esc_html(JRequest::getVar('q'));");
+    EXPECT_TRUE(r.findings.empty());  // Joomla source, WordPress sanitizer
+    const auto r2 = analyze_with(kb, "<?php echo JRequest::getVar('q');");
+    EXPECT_EQ(r2.findings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -1,0 +1,367 @@
+// Corpus-generator tests: determinism, budgets, ground-truth line accuracy,
+// evolution (carried-over) modeling — plus the per-family detection matrix
+// that encodes which capability envelope catches which pattern class (the
+// mechanism behind the Table I shape).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/analyzers.h"
+#include "corpus/generator.h"
+#include "corpus/patterns.h"
+#include "php/project.h"
+#include "report/matching.h"
+#include "util/strings.h"
+
+namespace phpsafe::corpus {
+namespace {
+
+TEST(PatternsTest, EveryFamilyEmitsCode) {
+    for (Family family : kAllFamilies) {
+        const Snippet snippet = emit(family, "t0", 0);
+        EXPECT_FALSE(snippet.lines.empty()) << to_string(family);
+        if (traits(family).vulnerable) {
+            EXPECT_FALSE(snippet.sink_line_offsets.empty()) << to_string(family);
+        }
+    }
+}
+
+TEST(PatternsTest, SinkOffsetsInRange) {
+    for (Family family : kAllFamilies) {
+        const Snippet snippet = emit(family, "t1", 3);
+        for (int offset : snippet.sink_line_offsets) {
+            EXPECT_GE(offset, 0);
+            EXPECT_LT(offset, static_cast<int>(snippet.lines.size()));
+        }
+    }
+}
+
+TEST(PatternsTest, VariantsDiffer) {
+    const Snippet a = emit(Family::kXssGetEcho, "t2", 0);
+    const Snippet b = emit(Family::kXssGetEcho, "t2", 1);
+    EXPECT_NE(a.lines, b.lines);
+}
+
+TEST(PatternsTest, TagMakesIdentifiersUnique) {
+    const Snippet a = emit(Family::kXssGetViaFunction, "aa", 0);
+    const Snippet b = emit(Family::kXssGetViaFunction, "bb", 0);
+    ASSERT_FALSE(a.declared_functions.empty());
+    EXPECT_NE(a.declared_functions[0], b.declared_functions[0]);
+}
+
+TEST(PatternsTest, FillerScalesWithWeight) {
+    const Snippet small = emit_filler("f", 0, 5);
+    const Snippet big = emit_filler("f", 0, 50);
+    EXPECT_GT(big.lines.size(), small.lines.size());
+    EXPECT_GE(static_cast<int>(big.lines.size()), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Detection matrix: family → expected findings per tool (count on one
+// isolated snippet instance). This encodes the capability story the paper
+// tells: phpSAFE's OOP+WordPress awareness vs RIPS vs Pixy.
+// ---------------------------------------------------------------------------
+
+struct MatrixRow {
+    Family family;
+    int phpsafe;
+    int rips;
+    int pixy;
+};
+
+const MatrixRow kMatrix[] = {
+    {Family::kXssGetEcho, 1, 1, 1},
+    {Family::kXssPostEcho, 1, 1, 1},
+    {Family::kXssCookieEcho, 1, 1, 1},
+    {Family::kXssRequestPrint, 1, 1, 1},
+    {Family::kXssGetViaFunction, 1, 1, 1},
+    {Family::kXssDbProcedural, 1, 1, 1},
+    {Family::kXssFileSource, 1, 1, 1},
+    {Family::kXssUncalledFn, 1, 1, 0},
+    {Family::kXssDeepInclude, 1, 1, 1},  // chain behaviour tested separately
+    {Family::kXssPrintfGet, 1, 1, 1},
+    // Pixy's register_globals modeling also fires here: it cannot see the
+    // preg_match write, so the capture array reads as an injectable global.
+    {Family::kXssPregMatchFlow, 1, 1, 1},
+    {Family::kXssExitMessage, 1, 1, 1},
+    {Family::kXssWpdbRows, 1, 0, 0},
+    {Family::kXssWpdbVar, 1, 0, 0},
+    {Family::kXssWpdbRevert, 1, 0, 0},
+    {Family::kXssOopProperty, 1, 0, 0},
+    {Family::kXssWpOption, 1, 0, 0},
+    {Family::kXssWpPostmeta, 1, 0, 0},
+    {Family::kSqliWpdbQuery, 1, 0, 0},
+    {Family::kSqliWpdbGetResults, 1, 0, 0},
+    {Family::kSqliMysqliOop, 1, 0, 0},
+    {Family::kXssRegisterGlobals, 0, 0, 1},
+    {Family::kXssWrongContextSanitizer, 0, 1, 1},
+    {Family::kSafeSanitizedEcho, 0, 0, 0},
+    {Family::kSafeEscHtml, 0, 1, 1},
+    {Family::kSafeGuardExit, 1, 1, 1},
+    {Family::kSafeWhitelistTernary, 1, 1, 1},
+    {Family::kSafeIssetEcho, 0, 0, 1},
+    {Family::kSafeIntval, 0, 0, 0},
+    {Family::kSafePrepare, 0, 0, 0},
+    {Family::kSafeSprintfD, 1, 1, 1},
+    {Family::kSafeJsonEncode, 0, 0, 1},
+    {Family::kSafeCast, 0, 0, 0},
+    {Family::kSafeSqliGuard, 1, 0, 0},
+};
+
+class DetectionMatrixTest : public ::testing::TestWithParam<MatrixRow> {};
+
+int run_count(const std::string& code, const Tool& tool) {
+    php::Project project("snippet");
+    project.add_file("main.php", code);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Engine engine(tool.kb, tool.options);
+    return static_cast<int>(engine.analyze(project).findings.size());
+}
+
+TEST_P(DetectionMatrixTest, ToolsDetectPerCapabilities) {
+    const MatrixRow row = GetParam();
+    const Snippet snippet = emit(row.family, "m0", 2);
+    std::string code = "<?php\n";
+    for (const std::string& line : snippet.lines) code += line + "\n";
+
+    EXPECT_EQ(run_count(code, make_phpsafe_tool()), row.phpsafe)
+        << to_string(row.family) << " (phpSAFE)\n" << code;
+    EXPECT_EQ(run_count(code, make_rips_like_tool()), row.rips)
+        << to_string(row.family) << " (RIPS)\n" << code;
+    EXPECT_EQ(run_count(code, make_pixy_like_tool()), row.pixy)
+        << to_string(row.family) << " (Pixy)\n" << code;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DetectionMatrixTest,
+                         ::testing::ValuesIn(kMatrix),
+                         [](const ::testing::TestParamInfo<MatrixRow>& info) {
+                             return to_string(info.param.family);
+                         });
+
+// Structural variants of the superglobal→echo families (direct concat,
+// interpolation, chained .=, propagation built-ins) must all stay
+// detectable by phpSAFE — variation is cosmetic, the flow is the same.
+class VariantSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantSweepTest, AllVariantsDetected) {
+    const int variant = GetParam();
+    for (Family family : {Family::kXssGetEcho, Family::kXssPostEcho,
+                          Family::kXssCookieEcho}) {
+        const Snippet snippet = emit(family, "vv0", variant);
+        std::string code = "<?php\n";
+        for (const std::string& line : snippet.lines) code += line + "\n";
+        EXPECT_EQ(run_count(code, make_phpsafe_tool()), 1)
+            << to_string(family) << " variant " << variant << "\n" << code;
+        // Ground-truth sink offset must point at the reporting line.
+        php::Project project("v");
+        project.add_file("main.php", code);
+        DiagnosticSink sink;
+        project.parse_all(sink);
+        const Tool tool = make_phpsafe_tool();
+        Engine engine(tool.kb, tool.options);
+        const auto result = engine.analyze(project);
+        ASSERT_EQ(result.findings.size(), 1u);
+        ASSERT_EQ(snippet.sink_line_offsets.size(), 1u);
+        EXPECT_EQ(result.findings[0].location.line,
+                  snippet.sink_line_offsets[0] + 2)  // "<?php" is line 1
+            << to_string(family) << " variant " << variant;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, VariantSweepTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Generator-level properties (small scale for speed).
+// ---------------------------------------------------------------------------
+
+CorpusOptions small_options() {
+    CorpusOptions options;
+    options.scale = 0.25;
+    options.filler_lines_2012 = 4000;
+    options.filler_lines_2014 = 8000;
+    return options;
+}
+
+TEST(GeneratorTest, Deterministic) {
+    const Corpus a = generate_corpus(small_options());
+    const Corpus b = generate_corpus(small_options());
+    ASSERT_EQ(a.plugins.size(), b.plugins.size());
+    for (size_t i = 0; i < a.plugins.size(); ++i) {
+        ASSERT_EQ(a.plugins[i].v2012.files.size(), b.plugins[i].v2012.files.size());
+        for (size_t f = 0; f < a.plugins[i].v2012.files.size(); ++f)
+            EXPECT_EQ(a.plugins[i].v2012.files[f].second,
+                      b.plugins[i].v2012.files[f].second);
+    }
+}
+
+TEST(GeneratorTest, PluginAndFileCounts) {
+    const Corpus corpus = generate_corpus(small_options());
+    EXPECT_EQ(corpus.plugins.size(), 35u);
+    int oop = 0;
+    for (const GeneratedPlugin& p : corpus.plugins) oop += p.oop ? 1 : 0;
+    EXPECT_EQ(oop, 19);
+    EXPECT_GT(corpus.total_files("2014"), corpus.total_files("2012"));
+    EXPECT_GT(corpus.total_lines("2014"), corpus.total_lines("2012"));
+}
+
+TEST(GeneratorTest, TruthGrowsBetweenVersions) {
+    const Corpus corpus = generate_corpus(small_options());
+    const auto truth_2012 = corpus.all_truth("2012");
+    const auto truth_2014 = corpus.all_truth("2014");
+    EXPECT_GT(truth_2014.size(), truth_2012.size());
+    // Roughly +50% (paper: 394 → 586).
+    const double growth =
+        static_cast<double>(truth_2014.size()) / truth_2012.size();
+    EXPECT_GT(growth, 1.2);
+    EXPECT_LT(growth, 2.0);
+}
+
+TEST(GeneratorTest, CarriedOverFractionMatchesPaper) {
+    const Corpus corpus = generate_corpus(small_options());
+    const auto truth_2014 = corpus.all_truth("2014");
+    int carried = 0;
+    for (const SeededVuln& v : truth_2014) carried += v.carried_over ? 1 : 0;
+    const double fraction = static_cast<double>(carried) / truth_2014.size();
+    // Paper §V.D: 42% of the 2014 vulnerabilities were already disclosed.
+    EXPECT_GT(fraction, 0.30);
+    EXPECT_LT(fraction, 0.55);
+}
+
+TEST(GeneratorTest, GroundTruthLinesPointAtSinks) {
+    const Corpus corpus = generate_corpus(small_options());
+    int checked = 0;
+    for (const GeneratedPlugin& plugin : corpus.plugins) {
+        std::map<std::string, const std::string*> by_name;
+        for (const auto& [name, text] : plugin.v2012.files) by_name[name] = &text;
+        for (const SeededVuln& vuln : plugin.v2012.truth) {
+            ASSERT_TRUE(by_name.count(vuln.file)) << vuln.id;
+            SourceFile file(vuln.file, *by_name[vuln.file]);
+            const std::string_view line = file.line(vuln.line);
+            const bool looks_like_sink =
+                line.find("echo") != std::string_view::npos ||
+                line.find("print") != std::string_view::npos ||
+                line.find("query") != std::string_view::npos ||
+                line.find("die(") != std::string_view::npos ||
+                line.find("get_results") != std::string_view::npos;
+            EXPECT_TRUE(looks_like_sink)
+                << vuln.id << " line " << vuln.line << ": " << line;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 50);
+}
+
+TEST(GeneratorTest, EveryVulnerableFamilyPresent) {
+    const Corpus corpus = generate_corpus(small_options());
+    std::map<Family, int> seen;
+    for (const SeededVuln& v : corpus.all_truth("2012")) ++seen[v.family];
+    for (Family family : kAllFamilies) {
+        if (!traits(family).vulnerable) continue;
+        EXPECT_GT(seen[family], 0) << to_string(family);
+    }
+}
+
+TEST(GeneratorTest, ProjectsParseWithoutFatalErrors) {
+    const Corpus corpus = generate_corpus(small_options());
+    for (const GeneratedPlugin& plugin : corpus.plugins) {
+        DiagnosticSink sink;
+        const php::Project project = build_project(plugin, plugin.v2012, sink);
+        EXPECT_EQ(sink.count(Severity::kFatal), 0) << plugin.name;
+        EXPECT_EQ(sink.count(Severity::kError), 0) << plugin.name;
+    }
+}
+
+TEST(GeneratorTest, DeepChainMakesPhpSafeFailOneFilePerChain) {
+    const Corpus corpus = generate_corpus(small_options());
+    // Plugin 0 carries the 2012 chain.
+    const GeneratedPlugin& plugin = corpus.plugins[0];
+    DiagnosticSink sink;
+    const php::Project project = build_project(plugin, plugin.v2012, sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    const auto result = engine.analyze(project);
+    EXPECT_EQ(result.files_failed, 1);
+
+    const Tool rips = make_rips_like_tool();
+    Engine rips_engine(rips.kb, rips.options);
+    EXPECT_EQ(rips_engine.analyze(project).files_failed, 0);
+}
+
+TEST(GeneratorTest, ScaleChangesVolume) {
+    CorpusOptions big = small_options();
+    big.scale = 0.5;
+    const Corpus small_corpus = generate_corpus(small_options());
+    const Corpus big_corpus = generate_corpus(big);
+    EXPECT_GT(big_corpus.all_truth("2012").size(),
+              small_corpus.all_truth("2012").size());
+}
+
+TEST(GeneratorTest, OopSnippetsOnlyInOopPlugins) {
+    // OOP-requiring families must land in OOP plugins (only they have OOP
+    // file slots); otherwise the 19-vs-16 plugin split loses its meaning.
+    const Corpus corpus = generate_corpus(small_options());
+    for (const GeneratedPlugin& plugin : corpus.plugins) {
+        if (plugin.oop) continue;
+        for (const SeededVuln& vuln : plugin.v2012.truth)
+            EXPECT_FALSE(traits(vuln.family).requires_oop_file)
+                << plugin.name << " " << vuln.id;
+    }
+}
+
+TEST(GeneratorTest, FileLayoutGrowsIn2014) {
+    const Corpus corpus = generate_corpus(small_options());
+    for (const GeneratedPlugin& plugin : corpus.plugins) {
+        EXPECT_GT(plugin.v2014.files.size(), plugin.v2012.files.size())
+            << plugin.name;
+    }
+}
+
+TEST(GeneratorTest, ChainFilesOnlyInChainPlugins) {
+    const Corpus corpus = generate_corpus(small_options());
+    for (size_t p = 0; p < corpus.plugins.size(); ++p) {
+        bool has_chain_2012 = false, has_chain_2014 = false;
+        for (const auto& [name, text] : corpus.plugins[p].v2012.files)
+            if (name.find("deep/chain-") != std::string::npos) has_chain_2012 = true;
+        for (const auto& [name, text] : corpus.plugins[p].v2014.files)
+            if (name.find("deep/chain-") != std::string::npos) has_chain_2014 = true;
+        EXPECT_EQ(has_chain_2012, p == 0) << p;
+        EXPECT_EQ(has_chain_2014, p <= 2) << p;
+    }
+}
+
+TEST(GeneratorTest, DeepVulnsLiveInChainEntries) {
+    const Corpus corpus = generate_corpus(small_options());
+    for (const SeededVuln& vuln : corpus.all_truth("2014")) {
+        if (vuln.family != Family::kXssDeepInclude) continue;
+        EXPECT_EQ(vuln.file, "deep/chain-0.php") << vuln.id;
+    }
+}
+
+TEST(GeneratorTest, CarriedIdsExistIn2012) {
+    // A carried 2014 vulnerability must reference an id that exists in the
+    // 2012 ground truth (same unfixed defect).
+    const Corpus corpus = generate_corpus(small_options());
+    std::map<std::string, int> ids_2012;
+    for (const SeededVuln& v : corpus.all_truth("2012")) ++ids_2012[v.id];
+    for (const SeededVuln& v : corpus.all_truth("2014")) {
+        if (v.carried_over)
+            EXPECT_TRUE(ids_2012.count(v.id)) << v.id;
+        else
+            EXPECT_FALSE(ids_2012.count(v.id)) << v.id;
+    }
+}
+
+TEST(GeneratorTest, BudgetsHonored) {
+    const auto budget = family_budget("2012", 1.0);
+    const Corpus corpus = generate_corpus(CorpusOptions{});
+    std::map<Family, int> seen;
+    for (const SeededVuln& v : corpus.all_truth("2012")) ++seen[v.family];
+    for (const auto& [family, expected] : budget) {
+        if (!traits(family).vulnerable) continue;
+        EXPECT_EQ(seen[family], expected) << to_string(family);
+    }
+}
+
+}  // namespace
+}  // namespace phpsafe::corpus

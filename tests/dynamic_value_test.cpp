@@ -1,0 +1,110 @@
+// Unit tests for the dynamic interpreter's value model: PHP-style
+// coercions, loose comparison, array ordering and sharing semantics.
+#include <gtest/gtest.h>
+
+#include "dynamic/value.h"
+
+namespace phpsafe::dynamic {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+    const Value v;
+    EXPECT_TRUE(v.is_null());
+    EXPECT_FALSE(v.to_bool());
+    EXPECT_EQ(v.to_string(), "");
+}
+
+TEST(ValueTest, Truthiness) {
+    EXPECT_FALSE(Value::string("").to_bool());
+    EXPECT_FALSE(Value::string("0").to_bool());
+    EXPECT_TRUE(Value::string("0.0").to_bool());  // PHP: only "" and "0" are falsy
+    EXPECT_TRUE(Value::string("false").to_bool());
+    EXPECT_FALSE(Value::integer(0).to_bool());
+    EXPECT_TRUE(Value::integer(-1).to_bool());
+    EXPECT_FALSE(Value::array().to_bool());  // empty array is falsy
+}
+
+TEST(ValueTest, StringToIntPrefix) {
+    EXPECT_EQ(Value::string("42abc").to_int(), 42);
+    EXPECT_EQ(Value::string("abc").to_int(), 0);
+    EXPECT_EQ(Value::string("-7").to_int(), -7);
+}
+
+TEST(ValueTest, LooseEquality) {
+    EXPECT_TRUE(Value::integer(10).loose_equals(Value::string("10")));
+    EXPECT_TRUE(Value::string("1e1").loose_equals(Value::string("10")));
+    EXPECT_FALSE(Value::string("abc").loose_equals(Value::string("abd")));
+    EXPECT_TRUE(Value::boolean(true).loose_equals(Value::string("anything")));
+    EXPECT_TRUE(Value::null().loose_equals(Value::string("")));
+}
+
+TEST(ValueTest, ArrayPreservesInsertionOrder) {
+    Value arr = Value::array();
+    arr.set_element("z", Value::integer(1));
+    arr.set_element("a", Value::integer(2));
+    arr.set_element("m", Value::integer(3));
+    const auto& entries = arr.array_data()->entries;
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, "z");
+    EXPECT_EQ(entries[1].first, "a");
+    EXPECT_EQ(entries[2].first, "m");
+}
+
+TEST(ValueTest, ArrayOverwriteKeepsPosition) {
+    Value arr = Value::array();
+    arr.set_element("k", Value::integer(1));
+    arr.set_element("j", Value::integer(2));
+    arr.set_element("k", Value::integer(9));
+    EXPECT_EQ(arr.array_size(), 2u);
+    EXPECT_EQ(arr.get_element("k").to_int(), 9);
+}
+
+TEST(ValueTest, PushUsesNextIndex) {
+    Value arr = Value::array();
+    arr.push_element(Value::string("a"));
+    arr.set_element("5", Value::string("b"));
+    arr.push_element(Value::string("c"));
+    EXPECT_EQ(arr.get_element("0").to_string(), "a");
+    EXPECT_EQ(arr.get_element("5").to_string(), "b");
+    EXPECT_EQ(arr.get_element("6").to_string(), "c");
+}
+
+TEST(ValueTest, ArraysShareDataOnCopy) {
+    Value a = Value::array();
+    Value b = a;
+    b.set_element("k", Value::string("v"));
+    EXPECT_EQ(a.get_element("k").to_string(), "v");
+}
+
+TEST(ValueTest, ObjectsShareProperties) {
+    Value o = Value::object("widget");
+    Value alias = o;
+    alias.object_data()->properties["p"] = Value::integer(3);
+    EXPECT_EQ(o.object_data()->properties["p"].to_int(), 3);
+    EXPECT_EQ(o.object_data()->class_name, "widget");
+}
+
+TEST(ValueTest, MissingElementIsNull) {
+    EXPECT_TRUE(Value::array().get_element("nope").is_null());
+    EXPECT_TRUE(Value::string("s").get_element("0").is_null());  // non-array
+}
+
+TEST(ValueTest, IsNumericString) {
+    EXPECT_TRUE(is_numeric_string("42"));
+    EXPECT_TRUE(is_numeric_string(" 3.14"));
+    EXPECT_TRUE(is_numeric_string("-7"));
+    EXPECT_FALSE(is_numeric_string("1' OR"));
+    EXPECT_FALSE(is_numeric_string(""));
+    EXPECT_FALSE(is_numeric_string("1.2.3"));
+    EXPECT_FALSE(is_numeric_string("abc"));
+}
+
+TEST(ValueTest, SetElementOnNonArrayConverts) {
+    Value v = Value::string("x");
+    v.set_element("k", Value::integer(1));
+    EXPECT_TRUE(v.is_array());
+    EXPECT_EQ(v.get_element("k").to_int(), 1);
+}
+
+}  // namespace
+}  // namespace phpsafe::dynamic

@@ -1,0 +1,102 @@
+// Tests for the public evaluation driver (report/evaluation.h): the
+// programmatic form of the paper's §IV.B procedure.
+#include <gtest/gtest.h>
+
+#include "report/evaluation.h"
+
+namespace phpsafe {
+namespace {
+
+class EvaluationApiTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        EvaluationOptions options;
+        options.corpus_scale = 0.25;
+        evaluation_ = new Evaluation(
+            run_corpus_evaluation(paper_tool_set(), options));
+    }
+    static void TearDownTestSuite() {
+        delete evaluation_;
+        evaluation_ = nullptr;
+    }
+    static Evaluation* evaluation_;
+};
+
+Evaluation* EvaluationApiTest::evaluation_ = nullptr;
+
+TEST_F(EvaluationApiTest, PaperToolSetNames) {
+    ASSERT_EQ(evaluation_->tool_names.size(), 3u);
+    EXPECT_EQ(evaluation_->tool_names[0], "phpSAFE");
+    EXPECT_EQ(evaluation_->tool_names[1], "RIPS");
+    EXPECT_EQ(evaluation_->tool_names[2], "Pixy");
+}
+
+TEST_F(EvaluationApiTest, StatsForBothVersions) {
+    for (const char* version : {"2012", "2014"}) {
+        ASSERT_TRUE(evaluation_->stats.count(version)) << version;
+        for (const std::string& tool : evaluation_->tool_names)
+            ASSERT_TRUE(evaluation_->stats.at(version).count(tool))
+                << version << "/" << tool;
+    }
+}
+
+TEST_F(EvaluationApiTest, UnionDetectedIsSuperset) {
+    const auto all = evaluation_->union_detected("2014");
+    for (const std::string& tool : evaluation_->tool_names) {
+        const auto& detected =
+            evaluation_->stats.at("2014").at(tool).detected_ids;
+        for (const std::string& id : detected)
+            EXPECT_TRUE(all.count(id)) << tool << " " << id;
+    }
+    EXPECT_GT(all.size(),
+              evaluation_->stats.at("2014").at("RIPS").detected_ids.size());
+}
+
+TEST_F(EvaluationApiTest, PaperFnConsistentWithUnion) {
+    const auto fn = evaluation_->paper_false_negatives("2012");
+    const auto all = evaluation_->union_detected("2012");
+    for (const std::string& tool : evaluation_->tool_names) {
+        const auto& s = evaluation_->stats.at("2012").at(tool);
+        EXPECT_EQ(fn.at(tool),
+                  static_cast<int>(all.size() - s.detected_ids.size()))
+            << tool;
+    }
+}
+
+TEST_F(EvaluationApiTest, TimingAccumulated) {
+    for (const std::string& tool : evaluation_->tool_names)
+        EXPECT_GT(evaluation_->stats.at("2014").at(tool).cpu_seconds, 0.0) << tool;
+}
+
+TEST_F(EvaluationApiTest, KindSplitsSumToGlobal) {
+    for (const char* version : {"2012", "2014"}) {
+        for (const std::string& tool : evaluation_->tool_names) {
+            const EvaluationStats& s = evaluation_->stats.at(version).at(tool);
+            EXPECT_EQ(s.tp, s.tp_xss + s.tp_sqli) << version << "/" << tool;
+            EXPECT_EQ(s.fp, s.fp_xss + s.fp_sqli) << version << "/" << tool;
+        }
+    }
+}
+
+TEST(EvaluationParallelismTest, ParallelMatchesSequential) {
+    EvaluationOptions sequential;
+    sequential.corpus_scale = 0.2;
+    EvaluationOptions parallel = sequential;
+    parallel.parallelism = 4;
+    const Evaluation a = run_corpus_evaluation(paper_tool_set(), sequential);
+    const Evaluation b = run_corpus_evaluation(paper_tool_set(), parallel);
+    for (const char* version : {"2012", "2014"}) {
+        for (const std::string& tool : a.tool_names) {
+            const EvaluationStats& sa = a.stats.at(version).at(tool);
+            const EvaluationStats& sb = b.stats.at(version).at(tool);
+            EXPECT_EQ(sa.tp, sb.tp) << version << "/" << tool;
+            EXPECT_EQ(sa.fp, sb.fp) << version << "/" << tool;
+            EXPECT_EQ(sa.tp_oop, sb.tp_oop) << version << "/" << tool;
+            EXPECT_EQ(sa.files_failed, sb.files_failed) << version << "/" << tool;
+            EXPECT_EQ(sa.detected_ids, sb.detected_ids) << version << "/" << tool;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -1,0 +1,110 @@
+// Exporter tests: HTML report and JSON serialization, including the
+// escaping invariants (a security tool's report must not itself be
+// injectable through malicious variable names).
+#include <gtest/gtest.h>
+
+#include "report/export.h"
+
+namespace phpsafe {
+namespace {
+
+AnalysisResult sample_result() {
+    AnalysisResult r;
+    r.tool = "phpSAFE";
+    r.plugin = "demo-plugin";
+    r.files_total = 3;
+    r.files_failed = 1;
+    Finding f;
+    f.kind = VulnKind::kXss;
+    f.location = {"main.php", 12};
+    f.sink = "echo";
+    f.variable = "$msg";
+    f.vector = InputVector::kGet;
+    f.via_oop = true;
+    f.trace.push_back({{"main.php", 10}, "source: $_GET['msg']"});
+    f.trace.push_back({{"main.php", 12}, "reaches sink echo"});
+    r.findings.push_back(std::move(f));
+    Finding s;
+    s.kind = VulnKind::kSqli;
+    s.location = {"db.php", 4};
+    s.sink = "wpdb::query";
+    s.variable = "\"DELETE ... $id\"";
+    s.vector = InputVector::kPost;
+    r.findings.push_back(std::move(s));
+    return r;
+}
+
+TEST(HtmlEscapeTest, EscapesMetacharacters) {
+    EXPECT_EQ(html_escape("<b>&\"'"), "&lt;b&gt;&amp;&quot;&#39;");
+    EXPECT_EQ(html_escape("plain"), "plain");
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(HtmlReportTest, ContainsFindingsAndTraces) {
+    const std::string html = render_html_report(sample_result());
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("demo-plugin"), std::string::npos);
+    EXPECT_NE(html.find("main.php:12"), std::string::npos);
+    EXPECT_NE(html.find("XSS"), std::string::npos);
+    EXPECT_NE(html.find("SQLi"), std::string::npos);
+    EXPECT_NE(html.find("source: $_GET["), std::string::npos);
+    EXPECT_NE(html.find("(via OOP)"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EscapesMaliciousVariableNames) {
+    AnalysisResult r = sample_result();
+    r.findings[0].variable = "<script>alert(1)</script>";
+    const std::string html = render_html_report(r);
+    EXPECT_EQ(html.find("<script>alert(1)</script>"), std::string::npos);
+    EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(JsonReportTest, WellFormedShape) {
+    const std::string json = render_json_report(sample_result());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"tool\":\"phpSAFE\""), std::string::npos);
+    EXPECT_NE(json.find("\"findings\":["), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"XSS\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\":12"), std::string::npos);
+    EXPECT_NE(json.find("\"via_oop\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"trace\":["), std::string::npos);
+}
+
+TEST(JsonReportTest, BalancedBracesAndQuotes) {
+    const std::string json = render_json_report(sample_result());
+    int braces = 0, brackets = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        if (c == '{') ++braces;
+        if (c == '}') --braces;
+        if (c == '[') ++brackets;
+        if (c == ']') --brackets;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(JsonReportTest, EmptyFindingsIsEmptyArray) {
+    AnalysisResult r;
+    r.tool = "phpSAFE";
+    r.plugin = "clean";
+    const std::string json = render_json_report(r);
+    EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phpsafe

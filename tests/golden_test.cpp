@@ -1,0 +1,93 @@
+// Golden reproduction test: pins the full-scale Table I headline numbers
+// this repository reproduces exactly (see EXPERIMENTS.md). If a change to
+// the engine, the knowledge base or the corpus moves any of these, this
+// test fails — the reproduction contract is part of the test suite.
+#include <gtest/gtest.h>
+
+#include "report/evaluation.h"
+
+namespace phpsafe {
+namespace {
+
+class GoldenReproduction : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        evaluation_ = new Evaluation(
+            run_corpus_evaluation(paper_tool_set(), EvaluationOptions{}));
+    }
+    static void TearDownTestSuite() {
+        delete evaluation_;
+        evaluation_ = nullptr;
+    }
+    static const EvaluationStats& stats(const char* version, const char* tool) {
+        return evaluation_->stats.at(version).at(tool);
+    }
+    static Evaluation* evaluation_;
+};
+
+Evaluation* GoldenReproduction::evaluation_ = nullptr;
+
+TEST_F(GoldenReproduction, GlobalTruePositivesMatchPaperExactly) {
+    // Paper Table I global TP row: phpSAFE 315/387, RIPS 134/304.
+    EXPECT_EQ(stats("2012", "phpSAFE").tp, 315);
+    EXPECT_EQ(stats("2014", "phpSAFE").tp, 387);
+    EXPECT_EQ(stats("2012", "RIPS").tp, 134);
+    EXPECT_EQ(stats("2014", "RIPS").tp, 304);
+}
+
+TEST_F(GoldenReproduction, PixyInPaperRange) {
+    // Paper: 50/20. Calibration keeps it within a few counts.
+    EXPECT_NEAR(stats("2012", "Pixy").tp, 50, 10);
+    EXPECT_NEAR(stats("2014", "Pixy").tp, 20, 8);
+}
+
+TEST_F(GoldenReproduction, FalsePositivesNearPaper) {
+    EXPECT_NEAR(stats("2012", "phpSAFE").fp, 65, 5);
+    EXPECT_NEAR(stats("2014", "phpSAFE").fp, 62, 5);
+    EXPECT_NEAR(stats("2012", "RIPS").fp, 79, 5);
+    EXPECT_NEAR(stats("2014", "RIPS").fp, 79, 5);
+    EXPECT_NEAR(stats("2012", "Pixy").fp, 187, 15);
+    EXPECT_NEAR(stats("2014", "Pixy").fp, 208, 15);
+}
+
+TEST_F(GoldenReproduction, SqliOnlyPhpSafe) {
+    // Paper: phpSAFE SQLi TP 8 (2012) / 9 (2014); RIPS and Pixy 0.
+    EXPECT_EQ(stats("2012", "phpSAFE").tp_sqli, 8);
+    EXPECT_EQ(stats("2014", "phpSAFE").tp_sqli, 9);
+    EXPECT_EQ(stats("2012", "RIPS").tp_sqli, 0);
+    EXPECT_EQ(stats("2014", "RIPS").tp_sqli, 0);
+    EXPECT_EQ(stats("2012", "Pixy").tp_sqli, 0);
+    EXPECT_EQ(stats("2014", "Pixy").tp_sqli, 0);
+}
+
+TEST_F(GoldenReproduction, OopVulnerabilitiesMatchPaperExactly) {
+    // Paper §V.A: 151 (2012) / 179 (2014) OOP vulns, phpSAFE only.
+    EXPECT_EQ(stats("2012", "phpSAFE").tp_oop, 151);
+    EXPECT_EQ(stats("2014", "phpSAFE").tp_oop, 179);
+    EXPECT_EQ(stats("2012", "RIPS").tp_oop, 0);
+    EXPECT_EQ(stats("2012", "Pixy").tp_oop, 0);
+}
+
+TEST_F(GoldenReproduction, UnionMatchesFig2Exactly) {
+    // Paper Fig. 2: 394 distinct vulnerabilities in 2012, 586 in 2014.
+    EXPECT_EQ(evaluation_->union_detected("2012").size(), 394u);
+    EXPECT_EQ(evaluation_->union_detected("2014").size(), 586u);
+}
+
+TEST_F(GoldenReproduction, RobustnessMatchesPaperExactly) {
+    // Paper §V.E: phpSAFE failed 1 file (2012) / 3 (2014); RIPS none.
+    EXPECT_EQ(stats("2012", "phpSAFE").files_failed, 1);
+    EXPECT_EQ(stats("2014", "phpSAFE").files_failed, 3);
+    EXPECT_EQ(stats("2012", "RIPS").files_failed, 0);
+    EXPECT_EQ(stats("2014", "RIPS").files_failed, 0);
+    EXPECT_GT(stats("2012", "Pixy").files_failed, 30);
+}
+
+TEST_F(GoldenReproduction, CorpusVitals) {
+    EXPECT_EQ(evaluation_->corpus.plugins.size(), 35u);
+    EXPECT_EQ(evaluation_->truth.at("2012").size(), 394u);
+    EXPECT_EQ(evaluation_->truth.at("2014").size(), 586u);
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -1,0 +1,101 @@
+// Tests for cross-version finding history (paper future work §VI).
+#include <gtest/gtest.h>
+
+#include "baselines/analyzers.h"
+#include "php/project.h"
+#include "report/history.h"
+
+namespace phpsafe {
+namespace {
+
+Finding make(VulnKind kind, const std::string& file, int line,
+             const std::string& sink, const std::string& variable) {
+    Finding f;
+    f.kind = kind;
+    f.location = {file, line};
+    f.sink = sink;
+    f.variable = variable;
+    return f;
+}
+
+TEST(HistoryKeyTest, LineNumbersIgnored) {
+    const Finding a = make(VulnKind::kXss, "a.php", 10, "echo", "$msg");
+    const Finding b = make(VulnKind::kXss, "a.php", 99, "echo", "$msg");
+    EXPECT_EQ(history_key(a), history_key(b));
+}
+
+TEST(HistoryKeyTest, DigitRunsNormalized) {
+    const Finding a = make(VulnKind::kXss, "a.php", 1, "echo", "$msg_3");
+    const Finding b = make(VulnKind::kXss, "a.php", 2, "echo", "$msg_27");
+    EXPECT_EQ(history_key(a), history_key(b));
+}
+
+TEST(HistoryKeyTest, KindAndSinkDistinguish) {
+    const Finding a = make(VulnKind::kXss, "a.php", 1, "echo", "$v");
+    const Finding b = make(VulnKind::kSqli, "a.php", 1, "echo", "$v");
+    const Finding c = make(VulnKind::kXss, "a.php", 1, "print", "$v");
+    EXPECT_NE(history_key(a), history_key(b));
+    EXPECT_NE(history_key(a), history_key(c));
+}
+
+TEST(HistoryDiffTest, ClassifiesFates) {
+    AnalysisResult v1, v2;
+    v1.findings = {make(VulnKind::kXss, "a.php", 5, "echo", "$kept"),
+                   make(VulnKind::kXss, "a.php", 9, "echo", "$gone")};
+    v2.findings = {make(VulnKind::kXss, "a.php", 7, "echo", "$kept"),
+                   make(VulnKind::kSqli, "b.php", 3, "wpdb::query", "$fresh")};
+    const HistoryReport report = diff_versions(v1, v2);
+    EXPECT_EQ(report.persisted(), 1);
+    EXPECT_EQ(report.fixed(), 1);
+    EXPECT_EQ(report.introduced(), 1);
+    EXPECT_NEAR(report.persisted_fraction_of_new(), 0.5, 1e-9);
+}
+
+TEST(HistoryDiffTest, DuplicateKeysMatchedOneToOne) {
+    AnalysisResult v1, v2;
+    v1.findings = {make(VulnKind::kXss, "a.php", 1, "echo", "$v"),
+                   make(VulnKind::kXss, "a.php", 8, "echo", "$v")};
+    v2.findings = {make(VulnKind::kXss, "a.php", 2, "echo", "$v")};
+    const HistoryReport report = diff_versions(v1, v2);
+    EXPECT_EQ(report.persisted(), 1);
+    EXPECT_EQ(report.fixed(), 1);
+    EXPECT_EQ(report.introduced(), 0);
+}
+
+TEST(HistoryDiffTest, EmptyRunsProduceEmptyReport) {
+    const HistoryReport report = diff_versions(AnalysisResult{}, AnalysisResult{});
+    EXPECT_TRUE(report.entries.empty());
+    EXPECT_DOUBLE_EQ(report.persisted_fraction_of_new(), 0.0);
+}
+
+TEST(HistoryDiffTest, EndToEndAcrossRealRuns) {
+    // Two "versions" of a plugin: v2 fixes one vuln, keeps one, adds one.
+    const Tool tool = make_phpsafe_tool();
+
+    php::Project v1("demo@1");
+    v1.add_file("main.php",
+                "<?php echo $_GET['kept'];\n"
+                "echo $_GET['gone'];");
+    DiagnosticSink s1;
+    v1.parse_all(s1);
+    Engine e1(tool.kb, tool.options);
+    const AnalysisResult r1 = e1.analyze(v1);
+
+    php::Project v2("demo@2");
+    v2.add_file("main.php",
+                "<?php echo $_GET['kept'];\n"
+                "echo htmlspecialchars($_GET['gone']);\n"
+                "echo $_COOKIE['fresh'];");
+    DiagnosticSink s2;
+    v2.parse_all(s2);
+    Engine e2(tool.kb, tool.options);
+    const AnalysisResult r2 = e2.analyze(v2);
+
+    const HistoryReport report = diff_versions(r1, r2);
+    EXPECT_EQ(report.persisted(), 1);
+    EXPECT_EQ(report.fixed(), 1);
+    EXPECT_EQ(report.introduced(), 1);
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -1,0 +1,213 @@
+// End-to-end integration tests: run the full three-tool evaluation over a
+// reduced-scale corpus and assert the qualitative results the paper reports
+// — the Table I ordering, the OOP detection exclusivity, the robustness
+// story, the overlap structure, and the inertia findings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/analyzers.h"
+#include "corpus/generator.h"
+#include "report/inertia.h"
+#include "report/export.h"
+#include "report/matching.h"
+#include "report/metrics.h"
+#include "report/overlap.h"
+#include "report/rootcause.h"
+
+namespace phpsafe {
+namespace {
+
+struct ToolStats {
+    int tp = 0, fp = 0, oop_tp = 0, sqli_tp = 0, failed = 0;
+    std::set<std::string> detected;
+};
+
+class CorpusEvaluation : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        corpus::CorpusOptions options;
+        options.scale = 0.4;
+        options.filler_lines_2012 = 8000;
+        options.filler_lines_2014 = 16000;
+        corpus_ = new corpus::Corpus(corpus::generate_corpus(options));
+
+        const Tool tools[] = {make_phpsafe_tool(), make_rips_like_tool(),
+                              make_pixy_like_tool()};
+        for (const auto& version : {std::string("2012"), std::string("2014")}) {
+            for (const Tool& tool : tools) {
+                ToolStats& stats = (*stats_)[version][tool.name];
+                for (const corpus::GeneratedPlugin& plugin : corpus_->plugins) {
+                    const corpus::PluginVersionSource& src =
+                        version == "2012" ? plugin.v2012 : plugin.v2014;
+                    DiagnosticSink sink;
+                    const php::Project project =
+                        corpus::build_project(plugin, src, sink);
+                    const AnalysisResult result = run_tool(tool, project);
+                    const MatchResult match =
+                        match_findings(result.findings, src.truth);
+                    stats.tp += match.tp();
+                    stats.fp += match.fp();
+                    stats.failed += result.files_failed;
+                    for (const Finding* f : match.true_positives) {
+                        if (f->via_oop) ++stats.oop_tp;
+                        if (f->kind == VulnKind::kSqli) ++stats.sqli_tp;
+                    }
+                    stats.detected.insert(match.detected_ids.begin(),
+                                          match.detected_ids.end());
+                }
+            }
+        }
+    }
+
+    static void TearDownTestSuite() {
+        delete corpus_;
+        corpus_ = nullptr;
+    }
+
+    static const ToolStats& stats(const std::string& version,
+                                  const std::string& tool) {
+        return (*stats_)[version][tool];
+    }
+
+    static corpus::Corpus* corpus_;
+    static std::map<std::string, std::map<std::string, ToolStats>>* stats_;
+};
+
+corpus::Corpus* CorpusEvaluation::corpus_ = nullptr;
+std::map<std::string, std::map<std::string, ToolStats>>* CorpusEvaluation::stats_ =
+    new std::map<std::string, std::map<std::string, ToolStats>>();
+
+TEST_F(CorpusEvaluation, ToolOrderingByTruePositives) {
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        EXPECT_GT(stats(version, "phpSAFE").tp, stats(version, "RIPS").tp)
+            << version;
+        EXPECT_GT(stats(version, "RIPS").tp, stats(version, "Pixy").tp) << version;
+    }
+}
+
+TEST_F(CorpusEvaluation, PhpSafeHasBestPrecision) {
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        auto precision = [&](const std::string& tool) {
+            const ToolStats& s = stats(version, tool);
+            return ConfusionMetrics{s.tp, s.fp, 0}.precision();
+        };
+        EXPECT_GT(precision("phpSAFE"), precision("RIPS")) << version;
+        EXPECT_GT(precision("RIPS"), precision("Pixy")) << version;
+    }
+}
+
+TEST_F(CorpusEvaluation, OnlyPhpSafeDetectsOopVulnerabilities) {
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        EXPECT_GT(stats(version, "phpSAFE").oop_tp, 0) << version;
+        EXPECT_EQ(stats(version, "RIPS").oop_tp, 0) << version;
+        EXPECT_EQ(stats(version, "Pixy").oop_tp, 0) << version;
+    }
+}
+
+TEST_F(CorpusEvaluation, OnlyPhpSafeDetectsSqli) {
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        EXPECT_GT(stats(version, "phpSAFE").sqli_tp, 0) << version;
+        EXPECT_EQ(stats(version, "RIPS").sqli_tp, 0) << version;
+        EXPECT_EQ(stats(version, "Pixy").sqli_tp, 0) << version;
+    }
+}
+
+TEST_F(CorpusEvaluation, RobustnessStory) {
+    // phpSAFE fails exactly the deep-include entry files (1 chain in 2012,
+    // 3 in 2014); RIPS completes everything; Pixy fails many OOP files.
+    EXPECT_EQ(stats("2012", "phpSAFE").failed, 1);
+    EXPECT_EQ(stats("2014", "phpSAFE").failed, 3);
+    EXPECT_EQ(stats("2012", "RIPS").failed, 0);
+    EXPECT_EQ(stats("2014", "RIPS").failed, 0);
+    EXPECT_GT(stats("2012", "Pixy").failed, 10);
+}
+
+TEST_F(CorpusEvaluation, EveryToolContributesUniqueDetections) {
+    // Paper Fig. 2: "different tools also detected many different
+    // vulnerabilities" — no silver bullet.
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        std::map<std::string, std::set<std::string>> detected;
+        for (const char* tool : {"phpSAFE", "RIPS", "Pixy"})
+            detected[tool] = stats(version, tool).detected;
+        const VennRegions regions = compute_overlap(detected);
+        EXPECT_GT(regions.only_a + regions.only_b + regions.only_c, 0) << version;
+        EXPECT_GT(regions.union_size, regions.total("phpSAFE")) << version;
+    }
+}
+
+TEST_F(CorpusEvaluation, UnionGrowsAcrossVersions) {
+    std::set<std::string> union_2012, union_2014;
+    for (const char* tool : {"phpSAFE", "RIPS", "Pixy"}) {
+        const auto& d12 = stats("2012", tool).detected;
+        const auto& d14 = stats("2014", tool).detected;
+        union_2012.insert(d12.begin(), d12.end());
+        union_2014.insert(d14.begin(), d14.end());
+    }
+    EXPECT_GT(union_2014.size(), union_2012.size());
+}
+
+TEST_F(CorpusEvaluation, InertiaAround40Percent) {
+    std::set<std::string> union_2014;
+    for (const char* tool : {"phpSAFE", "RIPS", "Pixy"}) {
+        const auto& d = stats("2014", tool).detected;
+        union_2014.insert(d.begin(), d.end());
+    }
+    const InertiaReport report =
+        analyze_inertia(corpus_->all_truth("2014"), union_2014);
+    EXPECT_GT(report.carried_fraction(), 0.30);
+    EXPECT_LT(report.carried_fraction(), 0.55);
+}
+
+TEST_F(CorpusEvaluation, FullEvaluationIsDeterministic) {
+    // Re-running one tool over one plugin must reproduce identical findings
+    // (the whole evaluation pipeline is seedless and deterministic).
+    const corpus::GeneratedPlugin& plugin = corpus_->plugins[5];
+    const Tool tool = make_phpsafe_tool();
+    DiagnosticSink s1, s2;
+    const php::Project p1 = corpus::build_project(plugin, plugin.v2014, s1);
+    const php::Project p2 = corpus::build_project(plugin, plugin.v2014, s2);
+    Engine e1(tool.kb, tool.options), e2(tool.kb, tool.options);
+    const AnalysisResult r1 = e1.analyze(p1);
+    const AnalysisResult r2 = e2.analyze(p2);
+    ASSERT_EQ(r1.findings.size(), r2.findings.size());
+    for (size_t i = 0; i < r1.findings.size(); ++i)
+        EXPECT_EQ(r1.findings[i].dedup_key(), r2.findings[i].dedup_key());
+}
+
+TEST_F(CorpusEvaluation, HtmlAndJsonReportsRenderForRealRuns) {
+    const corpus::GeneratedPlugin& plugin = corpus_->plugins[2];
+    DiagnosticSink sink;
+    const php::Project project = corpus::build_project(plugin, plugin.v2014, sink);
+    const AnalysisResult result = run_tool(make_phpsafe_tool(), project);
+    const std::string html = render_html_report(result);
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    const std::string json = render_json_report(result);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"findings\""), std::string::npos);
+}
+
+TEST_F(CorpusEvaluation, DatabaseIsDominantVector) {
+    // Paper Table II: ~62% of confirmed 2014 vulnerabilities are
+    // database-mediated.
+    std::set<std::string> detected_2012, detected_2014;
+    for (const char* tool : {"phpSAFE", "RIPS", "Pixy"}) {
+        const auto& d12 = stats("2012", tool).detected;
+        const auto& d14 = stats("2014", tool).detected;
+        detected_2012.insert(d12.begin(), d12.end());
+        detected_2014.insert(d14.begin(), d14.end());
+    }
+    const VectorTable table =
+        classify_vectors(corpus_->all_truth("2012"), corpus_->all_truth("2014"),
+                         detected_2012, detected_2014);
+    int total = 0;
+    for (const auto& [group, count] : table.v2014) total += count;
+    ASSERT_GT(total, 0);
+    const auto db = table.v2014.find(VectorGroup::kDatabase);
+    ASSERT_NE(db, table.v2014.end());
+    EXPECT_GT(static_cast<double>(db->second) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -1,0 +1,218 @@
+// Second wave of dynamic-interpreter tests: sanitizer round-trips the
+// validator depends on, include semantics, recursion limits, and the
+// WordPress stub behaviours.
+#include <gtest/gtest.h>
+
+#include "dynamic/interpreter.h"
+#include "php/project.h"
+
+namespace phpsafe::dynamic {
+namespace {
+
+ExecResult run(const std::string& code,
+               const std::function<void(Interpreter&)>& setup = {}) {
+    static php::Project* keep = nullptr;
+    delete keep;
+    keep = new php::Project("dyn2");
+    keep->add_file("main.php", code);
+    DiagnosticSink sink;
+    keep->parse_all(sink);
+    Interpreter interpreter(*keep);
+    if (setup) setup(interpreter);
+    return interpreter.run_file("main.php");
+}
+
+TEST(InterpreterSemanticsTest, HtmlspecialcharsNeutralizesPayload) {
+    const ExecResult r = run("<?php echo htmlspecialchars($_GET['x']);",
+                             [](Interpreter& i) {
+                                 i.set_superglobal_default("$_GET",
+                                                           "<script>x</script>");
+                             });
+    EXPECT_EQ(r.output.find("<script>"), std::string::npos);
+    EXPECT_NE(r.output.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(InterpreterSemanticsTest, StripTagsRemovesPayload) {
+    const ExecResult r = run("<?php echo sanitize_text_field($_POST['x']);",
+                             [](Interpreter& i) {
+                                 i.set_superglobal_default("$_POST",
+                                                           "a<script>b</script>c");
+                             });
+    EXPECT_EQ(r.output, "abc");
+}
+
+TEST(InterpreterSemanticsTest, IntvalDestroysPayload) {
+    const ExecResult r = run("<?php echo intval($_GET['n']);",
+                             [](Interpreter& i) {
+                                 i.set_superglobal_default("$_GET", "7<script>");
+                             });
+    EXPECT_EQ(r.output, "7");
+}
+
+TEST(InterpreterSemanticsTest, AddslashesEscapesQuote) {
+    const ExecResult r = run(
+        "<?php $q = addslashes($_POST['id']);\n"
+        "mysql_query(\"SELECT '$q'\");",
+        [](Interpreter& i) {
+            i.set_superglobal_default("$_POST", "1' OR '1'='1");
+        });
+    ASSERT_EQ(r.queries.size(), 1u);
+    EXPECT_EQ(r.queries[0].find("1' OR"), std::string::npos);
+    EXPECT_NE(r.queries[0].find("1\\' OR"), std::string::npos);
+}
+
+TEST(InterpreterSemanticsTest, HeredocInterpolationExecutes) {
+    const ExecResult r = run(
+        "<?php $name = 'Ann';\n"
+        "echo <<<EOT\nHello $name!\nEOT;\n");
+    EXPECT_EQ(r.output, "Hello Ann!");
+}
+
+TEST(InterpreterSemanticsTest, AlternativeSyntaxRuns) {
+    const ExecResult r = run(
+        "<?php $on = true; if ($on): ?>YES<?php else: ?>NO<?php endif;");
+    EXPECT_EQ(r.output, "YES");
+}
+
+TEST(InterpreterSemanticsTest, RecursionBounded) {
+    const ExecResult r = run(
+        "<?php function down($n) { if ($n <= 0) { return 0; } "
+        "return down($n - 1); } echo down(1000);");
+    // Call depth is capped; execution must terminate without crashing.
+    SUCCEED() << r.output;
+}
+
+TEST(InterpreterSemanticsTest, IncludeOnceSemanticsViaGuard) {
+    php::Project project("inc");
+    project.add_file("main.php",
+                     "<?php include 'part.php'; include 'part.php';");
+    project.add_file("part.php", "<?php echo 'x';");
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Interpreter interpreter(project);
+    const ExecResult r = interpreter.run_file("main.php");
+    // Re-inclusion of an actively-included file is skipped; sequential
+    // repeats run again (plain `include`).
+    EXPECT_EQ(r.output, "xx");
+}
+
+TEST(InterpreterSemanticsTest, SelfIncludeDoesNotLoopForever) {
+    php::Project project("inc");
+    project.add_file("main.php", "<?php echo 'a'; include 'main.php'; echo 'b';");
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Interpreter interpreter(project);
+    const ExecResult r = interpreter.run_file("main.php");
+    EXPECT_EQ(r.output, "ab");
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(InterpreterSemanticsTest, PropertyStatePersistsAcrossMethodCalls) {
+    const ExecResult r = run(
+        "<?php class Counter {\n"
+        "  public $n = 0;\n"
+        "  public function bump() { $this->n = $this->n + 1; }\n"
+        "  public function show() { echo $this->n; }\n"
+        "}\n"
+        "$c = new Counter(); $c->bump(); $c->bump(); $c->show();");
+    EXPECT_EQ(r.output, "2");
+}
+
+TEST(InterpreterSemanticsTest, TwoInstancesHaveDistinctState) {
+    const ExecResult r = run(
+        "<?php class Box { public $v = ''; }\n"
+        "$a = new Box(); $b = new Box();\n"
+        "$a->v = 'A'; $b->v = 'B';\n"
+        "echo $a->v, $b->v;");
+    EXPECT_EQ(r.output, "AB");
+}
+
+TEST(InterpreterSemanticsTest, WpdbGetColReturnsStrings) {
+    const ExecResult r = run(
+        "<?php global $wpdb;\n"
+        "$names = $wpdb->get_col('SELECT name FROM t');\n"
+        "echo implode(',', $names);",
+        [](Interpreter& i) { i.seed_database("N", 2); });
+    EXPECT_EQ(r.output, "N,N");
+}
+
+TEST(InterpreterSemanticsTest, GetVarReturnsSeed) {
+    const ExecResult r = run(
+        "<?php global $wpdb; echo $wpdb->get_var('SELECT 1');",
+        [](Interpreter& i) { i.seed_database("CELL", 1); });
+    EXPECT_EQ(r.output, "CELL");
+}
+
+TEST(InterpreterSemanticsTest, UrlencodeRoundTrip) {
+    const ExecResult r = run(
+        "<?php echo urldecode(urlencode('<a b>'));");
+    EXPECT_EQ(r.output, "<a b>");
+}
+
+TEST(InterpreterSemanticsTest, HtmlEntityDecodeRevertsEscaping) {
+    const ExecResult r = run(
+        "<?php echo html_entity_decode(htmlspecialchars('<i>'));");
+    EXPECT_EQ(r.output, "<i>");
+}
+
+TEST(InterpreterSemanticsTest, SubstrAndStrlen) {
+    const ExecResult r = run(
+        "<?php echo substr('abcdef', 1, 3), '|', substr('abc', -2), '|', "
+        "strlen('hello');");
+    EXPECT_EQ(r.output, "bcd|bc|5");
+}
+
+TEST(InterpreterSemanticsTest, ExplodeAndCount) {
+    const ExecResult r = run(
+        "<?php $parts = explode(',', 'a,b,c'); echo count($parts), $parts[1];");
+    EXPECT_EQ(r.output, "3b");
+}
+
+TEST(InterpreterSemanticsTest, WpDieStopsAndEmits) {
+    const ExecResult r = run("<?php wp_die('denied'); echo 'after';");
+    EXPECT_EQ(r.output, "denied");
+    EXPECT_TRUE(r.exited);
+}
+
+TEST(InterpreterSemanticsTest, VariableFunctionByName) {
+    const ExecResult r = run(
+        "<?php function hello() { echo 'hi'; } $fn = 'hello'; $fn();");
+    EXPECT_EQ(r.output, "hi");
+}
+
+TEST(InterpreterSemanticsTest, StaticPropertyViaGlobalsStore) {
+    const ExecResult r = run(
+        "<?php class S { public static $m = ''; }\n"
+        "S::$m = 'stored';\n"
+        "echo S::$m;");
+    EXPECT_EQ(r.output, "stored");
+}
+
+TEST(InterpreterSemanticsTest, GlobalsSuperglobalRead) {
+    const ExecResult r = run(
+        "<?php $site = 'acme'; $all = $GLOBALS; echo $all['site'];");
+    EXPECT_EQ(r.output, "acme");
+}
+
+TEST(InterpreterSemanticsTest, StaticVariablePersistsAcrossCalls) {
+    const ExecResult r = run(
+        "<?php function tick() { static $n = 0; $n = $n + 1; echo $n; }\n"
+        "tick(); tick(); tick();");
+    EXPECT_EQ(r.output, "123");
+}
+
+TEST(InterpreterSemanticsTest, GeneratorYieldsIterable) {
+    const ExecResult r = run(
+        "<?php function nums() { yield 'a'; yield 'b'; }\n"
+        "foreach (nums() as $n) { echo $n; }");
+    EXPECT_EQ(r.output, "ab");
+}
+
+TEST(InterpreterSemanticsTest, NumericStringJuggling) {
+    const ExecResult r = run(
+        "<?php echo ('5' + '3'), '|', ('5' . '3'), '|', ('05' == '5' ? 'eq' : 'ne');");
+    EXPECT_EQ(r.output, "8|53|eq");
+}
+
+}  // namespace
+}  // namespace phpsafe::dynamic

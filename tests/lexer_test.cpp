@@ -1,0 +1,270 @@
+// Lexer unit tests: token_get_all-equivalent behaviour on the constructs
+// the analysis relies on (tags, variables, strings, interpolation,
+// heredocs, comments, operators, casts).
+#include <gtest/gtest.h>
+
+#include "php/lexer.h"
+#include "util/source.h"
+
+namespace phpsafe::php {
+namespace {
+
+std::vector<Token> lex(const std::string& code, Lexer::Options options = {}) {
+    SourceFile file("test.php", code);
+    DiagnosticSink sink;
+    Lexer lexer(file, sink, options);
+    return lexer.tokenize();
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token>& tokens) {
+    std::vector<TokenKind> out;
+    for (const Token& t : tokens) out.push_back(t.kind);
+    return out;
+}
+
+TEST(LexerTest, EmptyFileYieldsEof) {
+    const auto tokens = lex("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
+}
+
+TEST(LexerTest, PureHtmlIsOneInlineToken) {
+    const auto tokens = lex("<html><body>Hello</body></html>");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kInlineHtml);
+    EXPECT_EQ(tokens[0].text, "<html><body>Hello</body></html>");
+}
+
+TEST(LexerTest, OpenTagSwitchesToPhpMode) {
+    const auto tokens = lex("<?php $x;");
+    ASSERT_GE(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kOpenTag);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+    EXPECT_EQ(tokens[1].text, "$x");
+    EXPECT_EQ(tokens[2].kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, OpenTagWithEcho) {
+    const auto tokens = lex("<?= $msg ?>");
+    EXPECT_EQ(tokens[0].kind, TokenKind::kOpenTagWithEcho);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+    EXPECT_EQ(tokens[2].kind, TokenKind::kCloseTag);
+}
+
+TEST(LexerTest, CloseTagReturnsToHtml) {
+    const auto tokens = lex("<?php echo 1; ?>after");
+    const auto k = kinds(tokens);
+    // open, keyword(echo), int, ;, close, html, eof
+    ASSERT_EQ(k.size(), 7u);
+    EXPECT_EQ(k[4], TokenKind::kCloseTag);
+    EXPECT_EQ(k[5], TokenKind::kInlineHtml);
+    EXPECT_EQ(tokens[5].text, "after");
+}
+
+TEST(LexerTest, VariableNamesKeepDollar) {
+    const auto tokens = lex("<?php $_GET $_POST $wpdb $this;");
+    EXPECT_EQ(tokens[1].text, "$_GET");
+    EXPECT_EQ(tokens[2].text, "$_POST");
+    EXPECT_EQ(tokens[3].text, "$wpdb");
+    EXPECT_EQ(tokens[4].text, "$this");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+    const auto tokens = lex("<?php IF ELSE Function CLASS;");
+    EXPECT_TRUE(tokens[1].is_keyword("if"));
+    EXPECT_TRUE(tokens[2].is_keyword("else"));
+    EXPECT_TRUE(tokens[3].is_keyword("function"));
+    EXPECT_TRUE(tokens[4].is_keyword("class"));
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+    const auto tokens = lex("<?php MyClass my_function;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+    EXPECT_EQ(tokens[1].text, "MyClass");
+    EXPECT_EQ(tokens[2].text, "my_function");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+    const auto tokens = lex("<?php 42 0x1F 0b101 1_000;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kIntLiteral);
+    EXPECT_EQ(tokens[1].text, "42");
+    EXPECT_EQ(tokens[2].text, "0x1F");
+    EXPECT_EQ(tokens[3].text, "0b101");
+    EXPECT_EQ(tokens[4].text, "1_000");
+}
+
+TEST(LexerTest, FloatLiterals) {
+    const auto tokens = lex("<?php 3.14 1e10 2.5e-3;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLiteral);
+    EXPECT_EQ(tokens[2].kind, TokenKind::kFloatLiteral);
+    EXPECT_EQ(tokens[3].kind, TokenKind::kFloatLiteral);
+}
+
+TEST(LexerTest, SingleQuotedStringDecodesEscapes) {
+    const auto tokens = lex(R"(<?php 'it\'s \\ raw \n';)");
+    ASSERT_EQ(tokens[1].kind, TokenKind::kSingleQuotedString);
+    EXPECT_EQ(tokens[1].value, "it's \\ raw \\n");
+}
+
+TEST(LexerTest, DoubleQuotedStringDecodesEscapes) {
+    const auto tokens = lex(R"(<?php "a\tb\nc\x41";)");
+    ASSERT_EQ(tokens[1].kind, TokenKind::kDoubleQuotedString);
+    EXPECT_EQ(tokens[1].value, "a\tb\ncA");
+}
+
+TEST(LexerTest, SimpleInterpolation) {
+    const auto tokens = lex(R"(<?php "Hello $name!";)");
+    const Token& t = tokens[1];
+    ASSERT_TRUE(t.has_interpolation());
+    ASSERT_EQ(t.parts.size(), 3u);
+    EXPECT_EQ(t.parts[0].text, "Hello ");
+    EXPECT_EQ(t.parts[1].kind, StringPart::Kind::kExpression);
+    EXPECT_EQ(t.parts[1].text, "$name");
+    EXPECT_EQ(t.parts[2].text, "!");
+}
+
+TEST(LexerTest, PropertyInterpolation) {
+    const auto tokens = lex(R"(<?php "v: $obj->prop end";)");
+    const Token& t = tokens[1];
+    ASSERT_TRUE(t.has_interpolation());
+    EXPECT_EQ(t.parts[1].text, "$obj->prop");
+}
+
+TEST(LexerTest, IndexInterpolationQuotesBareKeys) {
+    const auto tokens = lex(R"(<?php "v: $row[name]";)");
+    const Token& t = tokens[1];
+    ASSERT_TRUE(t.has_interpolation());
+    EXPECT_EQ(t.parts[1].text, "$row['name']");
+}
+
+TEST(LexerTest, ComplexInterpolation) {
+    const auto tokens = lex(R"(<?php "x {$a->b['c']} y";)");
+    const Token& t = tokens[1];
+    ASSERT_TRUE(t.has_interpolation());
+    EXPECT_EQ(t.parts[1].text, "$a->b['c']");
+}
+
+TEST(LexerTest, EscapedDollarIsNotInterpolation) {
+    const auto tokens = lex(R"(<?php "costs \$5";)");
+    EXPECT_FALSE(tokens[1].has_interpolation());
+    EXPECT_EQ(tokens[1].value, "costs $5");
+}
+
+TEST(LexerTest, HeredocInterpolates) {
+    const auto tokens = lex("<?php $x = <<<EOT\nHello $name\nEOT;\n");
+    bool found = false;
+    for (const Token& t : tokens) {
+        if (t.kind == TokenKind::kHeredoc) {
+            found = true;
+            EXPECT_TRUE(t.has_interpolation());
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, NowdocDoesNotInterpolate) {
+    const auto tokens = lex("<?php $x = <<<'EOT'\nHello $name\nEOT;\n");
+    bool found = false;
+    for (const Token& t : tokens) {
+        if (t.kind == TokenKind::kNowdoc) {
+            found = true;
+            EXPECT_FALSE(t.has_interpolation());
+            EXPECT_EQ(t.value, "Hello $name");
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, CommentsSkippedByDefault) {
+    const auto tokens = lex("<?php // line\n# hash\n/* block */ $x;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, CommentsKeptOnRequest) {
+    Lexer::Options options;
+    options.keep_comments = true;
+    const auto tokens = lex("<?php // note\n$x;", options);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+    EXPECT_EQ(tokens[1].text, "// note");
+}
+
+TEST(LexerTest, LineCommentStopsAtCloseTag) {
+    const auto tokens = lex("<?php // c ?>html");
+    bool close = false, html = false;
+    for (const Token& t : tokens) {
+        if (t.kind == TokenKind::kCloseTag) close = true;
+        if (t.kind == TokenKind::kInlineHtml) html = true;
+    }
+    EXPECT_TRUE(close);
+    EXPECT_TRUE(html);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+    const auto tokens = lex("<?php -> :: => === !== <=> ?? ?\?= .= <<= **;");
+    const auto k = kinds(tokens);
+    EXPECT_EQ(k[1], TokenKind::kArrow);
+    EXPECT_EQ(k[2], TokenKind::kDoubleColon);
+    EXPECT_EQ(k[3], TokenKind::kDoubleArrow);
+    EXPECT_EQ(k[4], TokenKind::kIdentical);
+    EXPECT_EQ(k[5], TokenKind::kNotIdentical);
+    EXPECT_EQ(k[6], TokenKind::kSpaceship);
+    EXPECT_EQ(k[7], TokenKind::kCoalesce);
+    EXPECT_EQ(k[8], TokenKind::kCoalesceEq);
+    EXPECT_EQ(k[9], TokenKind::kConcatEq);
+    EXPECT_EQ(k[10], TokenKind::kShlEq);
+    EXPECT_EQ(k[11], TokenKind::kPow);
+}
+
+TEST(LexerTest, CastTokens) {
+    const auto tokens = lex("<?php (int)$x; (string) $y; (notacast)$z;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kCast);
+    EXPECT_EQ(tokens[1].value, "int");
+    EXPECT_EQ(tokens[4].kind, TokenKind::kCast);
+    EXPECT_EQ(tokens[4].value, "string");
+    EXPECT_EQ(tokens[7].kind, TokenKind::kLParen);  // not a cast
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+    const auto tokens = lex("<?php\n$a;\n\n$b;");
+    ASSERT_GE(tokens.size(), 5u);
+    EXPECT_EQ(tokens[1].text, "$a");
+    EXPECT_EQ(tokens[1].line, 2);
+    EXPECT_EQ(tokens[3].text, "$b");
+    EXPECT_EQ(tokens[3].line, 4);
+}
+
+TEST(LexerTest, UnterminatedStringRecordsError) {
+    SourceFile file("bad.php", "<?php $x = 'oops");
+    DiagnosticSink sink;
+    Lexer lexer(file, sink);
+    lexer.tokenize();
+    EXPECT_GE(sink.count(Severity::kError), 1);
+}
+
+TEST(LexerTest, ShortOpenTag) {
+    const auto tokens = lex("<? $x;");
+    EXPECT_EQ(tokens[0].kind, TokenKind::kOpenTag);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, HeredocWithIndentedTerminator) {
+    const auto tokens = lex("<?php $x = <<<EOT\nbody\n  EOT;\n");
+    bool found = false;
+    for (const Token& t : tokens)
+        if (t.kind == TokenKind::kHeredoc) found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, BacktickLexedAsString) {
+    const auto tokens = lex("<?php `ls $dir`;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleQuotedString);
+    EXPECT_TRUE(tokens[1].has_interpolation());
+}
+
+TEST(LexerTest, Php8AttributeSkipped) {
+    const auto tokens = lex("<?php #[Attr(1, [2])]\n$x;");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+}
+
+}  // namespace
+}  // namespace phpsafe::php

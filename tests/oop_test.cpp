@@ -1,0 +1,245 @@
+// OOP analysis tests (paper §III.E): properties, methods, $this, static
+// members, inheritance, $wpdb configuration, and the paper's own worked
+// examples.
+#include <gtest/gtest.h>
+
+#include "baselines/analyzers.h"
+#include "core/engine.h"
+#include "php/project.h"
+
+namespace phpsafe {
+namespace {
+
+AnalysisResult analyze(const std::string& code, const Tool& tool) {
+    php::Project project("test");
+    project.add_file("main.php", code);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Engine engine(tool.kb, tool.options);
+    return engine.analyze(project);
+}
+
+AnalysisResult analyze(const std::string& code) {
+    return analyze(code, make_phpsafe_tool());
+}
+
+TEST(OopTest, PaperMailSubscribeListExample) {
+    // §III.E: $wpdb->get_results rows echoed without sanitization.
+    const auto r = analyze(
+        "<?php global $wpdb;\n"
+        "$results = $wpdb->get_results(\"SELECT * FROM \" . $wpdb->prefix . \"sml\");\n"
+        "foreach ($results as $row) {\n"
+        "    echo $row->sml_name;\n"
+        "}");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kXss);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kDatabase);
+    EXPECT_TRUE(r.findings[0].via_oop);
+    EXPECT_EQ(r.findings[0].location.line, 4);
+}
+
+TEST(OopTest, PaperWpPhotoAlbumPlusExample) {
+    // §V.C: prepared statement, but the output path reverts the slashes.
+    const auto r = analyze(
+        "<?php global $wpdb;\n"
+        "$image = $wpdb->get_var($wpdb->prepare(\"SELECT %s FROM t\", 'x'));\n"
+        "echo stripslashes($image);");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kXss);
+}
+
+TEST(OopTest, WpdbQueryIsSqliSink) {
+    const auto r = analyze(
+        "<?php global $wpdb;\n"
+        "$id = $_GET['id'];\n"
+        "$wpdb->query(\"DELETE FROM t WHERE id = $id\");");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kSqli);
+    EXPECT_TRUE(r.findings[0].via_oop);
+}
+
+TEST(OopTest, WpdbPrepareSanitizesSqli) {
+    const auto r = analyze(
+        "<?php global $wpdb;\n"
+        "$id = $_GET['id'];\n"
+        "$wpdb->query($wpdb->prepare(\"DELETE FROM t WHERE id = %d\", $id));");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(OopTest, WpdbKnownWithoutGlobalKeyword) {
+    // $wpdb is a configured known global even at top-level scope.
+    const auto r = analyze(
+        "<?php $v = $wpdb->get_var(\"SELECT a FROM t\"); echo $v;");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_TRUE(r.findings[0].via_oop);
+}
+
+TEST(OopTest, PropertyTaintAcrossMethods) {
+    const auto r = analyze(
+        "<?php class Widget {\n"
+        "  public $content = '';\n"
+        "  public function collect() { $this->content = $_POST['c']; }\n"
+        "  public function render() { echo $this->content; }\n"
+        "}\n"
+        "$w = new Widget();\n"
+        "$w->collect();\n"
+        "$w->render();");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kPost);
+    EXPECT_TRUE(r.findings[0].via_oop);
+}
+
+TEST(OopTest, ConstructorRunsOnNew) {
+    const auto r = analyze(
+        "<?php class Box {\n"
+        "  public $v;\n"
+        "  public function __construct($x) { $this->v = $x; }\n"
+        "  public function show() { echo $this->v; }\n"
+        "}\n"
+        "$b = new Box($_GET['x']);\n"
+        "$b->show();");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, MethodReturningTaint) {
+    const auto r = analyze(
+        "<?php class Repo {\n"
+        "  public function fetch() { return $_COOKIE['session_note']; }\n"
+        "}\n"
+        "$r = new Repo();\n"
+        "echo $r->fetch();");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].vector, InputVector::kCookie);
+}
+
+TEST(OopTest, InheritedMethodResolved) {
+    const auto r = analyze(
+        "<?php class Base {\n"
+        "  public function danger($v) { echo $v; }\n"
+        "}\n"
+        "class Child extends Base {}\n"
+        "$c = new Child();\n"
+        "$c->danger($_GET['x']);");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, StaticMethodCall) {
+    const auto r = analyze(
+        "<?php class Util {\n"
+        "  public static function show($v) { echo $v; }\n"
+        "}\n"
+        "Util::show($_GET['x']);");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, StaticPropertyFlow) {
+    const auto r = analyze(
+        "<?php class Cfg { public static $banner = ''; }\n"
+        "Cfg::$banner = $_GET['b'];\n"
+        "echo Cfg::$banner;");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, SelfStaticCallInsideClass) {
+    const auto r = analyze(
+        "<?php class A {\n"
+        "  public static function out($v) { echo $v; }\n"
+        "  public static function run() { self::out($_GET['x']); }\n"
+        "}\n"
+        "A::run();");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, MethodNameFallbackWhenClassUnknown) {
+    // Receiver type unknown (returned by an unknown factory), but only one
+    // class declares the method — resolved by unique-name fallback.
+    const auto r = analyze(
+        "<?php class Printer { public function put($v) { echo $v; } }\n"
+        "$p = acme_factory();\n"
+        "$p->put($_GET['x']);");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, SanitizingMethodLearned) {
+    const auto r = analyze(
+        "<?php class Esc { public function h($v) { return htmlspecialchars($v); } }\n"
+        "$e = new Esc();\n"
+        "echo $e->h($_GET['x']);");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(OopTest, PropertyOfTaintedValueIsTainted) {
+    // Rows from DB are objects; any property read carries the row taint.
+    const auto r = analyze(
+        "<?php global $wpdb;\n"
+        "$row = $wpdb->get_row(\"SELECT * FROM t\");\n"
+        "echo $row->title;");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(OopTest, MysqliOopInterface) {
+    const auto r = analyze(
+        "<?php $db = new mysqli('h', 'u', 'p', 'd');\n"
+        "$q = $_POST['q'];\n"
+        "$db->query(\"SELECT * FROM t WHERE a = '$q'\");");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].kind, VulnKind::kSqli);
+}
+
+// --- OOP-blind behaviour (RIPS-like / Pixy-like) ----------------------------
+
+TEST(OopTest, RipsLikeMissesWpdbFlows) {
+    const std::string code =
+        "<?php global $wpdb;\n"
+        "$rows = $wpdb->get_results(\"SELECT * FROM t\");\n"
+        "foreach ($rows as $row) { echo $row->name; }";
+    const auto phpsafe_r = analyze(code);
+    const auto rips_r = analyze(code, make_rips_like_tool());
+    EXPECT_EQ(phpsafe_r.findings.size(), 1u);
+    EXPECT_TRUE(rips_r.findings.empty());
+}
+
+TEST(OopTest, RipsLikeStillFindsProceduralInSameFile) {
+    const std::string code =
+        "<?php $w = new Widget();\n"
+        "echo $_GET['x'];";
+    const auto rips_r = analyze(code, make_rips_like_tool());
+    EXPECT_EQ(rips_r.findings.size(), 1u);
+}
+
+TEST(OopTest, PixyLikeFailsOopFile) {
+    const std::string code =
+        "<?php $w = new Widget();\n"
+        "echo $_GET['x'];";
+    const auto pixy_r = analyze(code, make_pixy_like_tool());
+    EXPECT_TRUE(pixy_r.findings.empty());
+    EXPECT_EQ(pixy_r.files_failed, 1);
+    EXPECT_GE(pixy_r.error_messages, 1);
+}
+
+TEST(OopTest, PixyLikeAnalyzesProceduralFile) {
+    const auto pixy_r = analyze("<?php echo $_GET['x'];", make_pixy_like_tool());
+    EXPECT_EQ(pixy_r.findings.size(), 1u);
+    EXPECT_EQ(pixy_r.files_failed, 0);
+}
+
+TEST(OopTest, PixyLikeSkipsUncalledFunctions) {
+    const auto pixy_r = analyze("<?php function cb() { echo $_GET['q']; }",
+                                make_pixy_like_tool());
+    EXPECT_TRUE(pixy_r.findings.empty());
+}
+
+TEST(OopTest, WpOptionSourceNeedsWordpressProfile) {
+    const std::string code = "<?php $v = get_option('site_msg'); echo $v;";
+    EXPECT_EQ(analyze(code).findings.size(), 1u);
+    EXPECT_TRUE(analyze(code, make_rips_like_tool()).findings.empty());
+}
+
+TEST(OopTest, EscHtmlKnownOnlyToWordpressProfile) {
+    const std::string code = "<?php echo esc_html($_GET['x']);";
+    EXPECT_TRUE(analyze(code).findings.empty());           // phpSAFE: sanitizer
+    EXPECT_EQ(analyze(code, make_rips_like_tool()).findings.size(), 1u);  // FP
+}
+
+}  // namespace
+}  // namespace phpsafe

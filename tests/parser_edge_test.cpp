@@ -1,0 +1,251 @@
+// Second wave of lexer/parser tests: edge constructs from real plugin code
+// — template mixing, odd operators, nested structures, magic constants,
+// casts vs parens, and precedence corners.
+#include <gtest/gtest.h>
+
+#include "php/lexer.h"
+#include "php/parser.h"
+#include "util/source.h"
+
+namespace phpsafe::php {
+namespace {
+
+FileUnit parse(const std::string& code) {
+    SourceFile file("edge.php", code);
+    DiagnosticSink sink;
+    Parser parser(file, sink);
+    return parser.parse();
+}
+
+std::string first_stmt(const std::string& code) {
+    FileUnit unit = parse("<?php " + code);
+    if (unit.statements.empty()) return "<none>";
+    return dump(*unit.statements.front());
+}
+
+TEST(ParserEdgeTest, NestedTernary) {
+    EXPECT_EQ(first_stmt("$x = $a ? 1 : ($b ? 2 : 3);"),
+              "(= $x (?: $a 1 (?: $b 2 3)))");
+}
+
+TEST(ParserEdgeTest, ChainedMethodCalls) {
+    EXPECT_EQ(first_stmt("$db->table('x')->where($c)->get();"),
+              "(mcall (mcall (mcall $db table \"x\") where $c) get)");
+}
+
+TEST(ParserEdgeTest, ArrayAccessOnMethodResult) {
+    EXPECT_EQ(first_stmt("$v = $o->rows()[0];"),
+              "(= $v (index (mcall $o rows) 0))");
+}
+
+TEST(ParserEdgeTest, NewInParenthesesThenMethod) {
+    EXPECT_EQ(first_stmt("$v = (new Widget())->render();"),
+              "(= $v (mcall (new Widget) render))");
+}
+
+TEST(ParserEdgeTest, NegativeNumbersAndUnaryChains) {
+    EXPECT_EQ(first_stmt("$x = -1 + - $y;"), "(= $x (+ (- 1) (- $y)))");
+    EXPECT_EQ(first_stmt("$b = !!$a;"), "(= $b (! (! $a)))");
+}
+
+TEST(ParserEdgeTest, PowerIsRightAssociative) {
+    EXPECT_EQ(first_stmt("$x = 2 ** 3 ** 2;"), "(= $x (** 2 (** 3 2)))");
+}
+
+TEST(ParserEdgeTest, CoalesceIsRightAssociative) {
+    EXPECT_EQ(first_stmt("$x = $a ?? $b ?? 'd';"),
+              "(= $x (?? $a (?? $b \"d\")))");
+}
+
+TEST(ParserEdgeTest, ConcatChainsLeftAssociative) {
+    EXPECT_EQ(first_stmt("$s = 'a' . 'b' . 'c';"),
+              "(= $s (. (. \"a\" \"b\") \"c\"))");
+}
+
+TEST(ParserEdgeTest, CastBindsTighterThanConcat) {
+    EXPECT_EQ(first_stmt("$s = (int) $a . 'x';"),
+              "(= $s (. (cast int $a) \"x\"))");
+}
+
+TEST(ParserEdgeTest, ParenthesizedExpressionNotCast) {
+    // (int) is a cast; ($int) is a parenthesized variable read... and
+    // (intval) would be a constant, not a cast.
+    EXPECT_EQ(first_stmt("$x = (5);"), "(= $x 5)");
+}
+
+TEST(ParserEdgeTest, MagicConstantsAreConstants) {
+    EXPECT_EQ(first_stmt("$f = __FILE__;"), "(= $f \"\")");
+}
+
+TEST(ParserEdgeTest, KeywordAsMethodName) {
+    // `list`, `print`, `unset` are valid method names after ->.
+    EXPECT_EQ(first_stmt("$q->list();"), "(mcall $q list)");
+    EXPECT_EQ(first_stmt("$q->print($x);"), "(mcall $q print $x)");
+}
+
+TEST(ParserEdgeTest, PropertyNamedLikeKeyword) {
+    EXPECT_EQ(first_stmt("$v = $o->default;"), "(= $v (prop $o default))");
+}
+
+TEST(ParserEdgeTest, DynamicPropertyAccess) {
+    EXPECT_EQ(first_stmt("$v = $o->$name;"), "(= $v (prop $o <dyn>))");
+}
+
+TEST(ParserEdgeTest, NestedArrayLiterals) {
+    EXPECT_EQ(first_stmt("$a = array('k' => array(1, 2), 'j' => [3]);"),
+              "(= $a (array [\"k\"]=(array 1 2) [\"j\"]=(array 3)))");
+}
+
+TEST(ParserEdgeTest, TrailingCommasAccepted) {
+    EXPECT_EQ(first_stmt("$a = array(1, 2,);"), "(= $a (array 1 2))");
+    EXPECT_EQ(first_stmt("f($x, $y,);"), "(call f $x $y)");
+}
+
+TEST(ParserEdgeTest, ByRefArgument) {
+    EXPECT_EQ(first_stmt("preg_match($re, $s, $m);"),
+              "(call preg_match $re $s $m)");
+}
+
+TEST(ParserEdgeTest, MultipleStatementsPerLine) {
+    FileUnit unit = parse("<?php $a = 1; $b = 2; $c = 3;");
+    EXPECT_EQ(unit.statements.size(), 3u);
+}
+
+TEST(ParserEdgeTest, EmptyClassAndFunction) {
+    FileUnit unit = parse("<?php class Empty1 {} function empty2() {}");
+    EXPECT_EQ(unit.statements.size(), 2u);
+}
+
+TEST(ParserEdgeTest, AbstractClassWithAbstractMethod) {
+    FileUnit unit = parse(
+        "<?php abstract class A { abstract public function run($x); }");
+    const auto& cls = static_cast<const ClassDecl&>(*unit.statements[0]);
+    EXPECT_TRUE(cls.is_abstract);
+    ASSERT_EQ(cls.methods.size(), 1u);
+    EXPECT_TRUE(cls.methods[0]->is_abstract);
+    EXPECT_TRUE(cls.methods[0]->body.empty());
+}
+
+TEST(ParserEdgeTest, FinalClass) {
+    FileUnit unit = parse("<?php final class F {}");
+    EXPECT_TRUE(static_cast<const ClassDecl&>(*unit.statements[0]).is_final);
+}
+
+TEST(ParserEdgeTest, VarKeywordProperty) {
+    FileUnit unit = parse("<?php class Old { var $legacy = 1; }");
+    const auto& cls = static_cast<const ClassDecl&>(*unit.statements[0]);
+    ASSERT_EQ(cls.properties.size(), 1u);
+    EXPECT_EQ(cls.properties[0].visibility, "public");
+}
+
+TEST(ParserEdgeTest, MultiplePropertiesOneDeclaration) {
+    FileUnit unit = parse("<?php class C { public $a, $b = 2, $c; }");
+    const auto& cls = static_cast<const ClassDecl&>(*unit.statements[0]);
+    EXPECT_EQ(cls.properties.size(), 3u);
+}
+
+TEST(ParserEdgeTest, ConstantsInClass) {
+    FileUnit unit = parse("<?php class C { const A = 1, B = 'two'; }");
+    const auto& cls = static_cast<const ClassDecl&>(*unit.statements[0]);
+    EXPECT_EQ(cls.constants.size(), 2u);
+}
+
+TEST(ParserEdgeTest, DoWhileWithComplexBody) {
+    EXPECT_EQ(first_stmt("do { $i++; } while ($i < 3);"),
+              "(do (block (post++ $i)) (< $i 3))");
+}
+
+TEST(ParserEdgeTest, BreakContinueWithLevels) {
+    FileUnit unit = parse("<?php while (1) { break 2; continue 1; }");
+    EXPECT_EQ(unit.statements.size(), 1u);  // parsed without error
+}
+
+TEST(ParserEdgeTest, GlobalThenUse) {
+    EXPECT_EQ(first_stmt("global $wpdb;"), "(global $wpdb)");
+}
+
+TEST(ParserEdgeTest, StringOffsetOldSyntax) {
+    EXPECT_EQ(first_stmt("$c = $s{0};"), "(= $c (index $s 0))");
+}
+
+TEST(ParserEdgeTest, SuppressedInclude) {
+    EXPECT_EQ(first_stmt("@include 'x.php';"), "(@ (include \"x.php\"))");
+}
+
+TEST(ParserEdgeTest, CloneExpression) {
+    EXPECT_EQ(first_stmt("$b = clone $a;"), "(= $b (call clone $a))");
+}
+
+TEST(ParserEdgeTest, InstanceofInCondition) {
+    EXPECT_EQ(first_stmt("if ($e instanceof WP_Error) { log_it($e); }"),
+              "(if (instanceof $e WP_Error) (block (call log_it $e)))");
+}
+
+TEST(ParserEdgeTest, ReturnWithoutValue) {
+    EXPECT_EQ(first_stmt("function f() { return; }"),
+              "(function f () (return))");
+}
+
+TEST(ParserEdgeTest, EchoBeforeCloseTagWithoutSemicolon) {
+    // PHP allows omitting the final semicolon before ?>.
+    FileUnit unit = parse("<?php echo $x ?>");
+    ASSERT_EQ(unit.statements.size(), 1u);
+    EXPECT_EQ(dump(*unit.statements[0]), "(echo $x)");
+}
+
+TEST(ParserEdgeTest, HtmlBetweenCases) {
+    FileUnit unit = parse(
+        "<?php switch ($t) { case 1: ?><b>one</b><?php break; }");
+    ASSERT_EQ(unit.statements.size(), 1u);
+    EXPECT_EQ(unit.statements[0]->kind, NodeKind::kSwitchStmt);
+}
+
+TEST(ParserEdgeTest, NamespacedFunctionCall) {
+    EXPECT_EQ(first_stmt("\\Acme\\Util\\render($x);"),
+              "(call \\Acme\\Util\\render $x)");
+}
+
+TEST(ParserEdgeTest, ClosureImmediatelyInvoked) {
+    EXPECT_EQ(first_stmt("$r = (function ($x) { return $x; })(5);"),
+              "(= $r (call <expr> 5))");
+}
+
+TEST(LexerEdgeTest, DollarBraceInterpolation) {
+    SourceFile file("t.php", "<?php \"pre ${name} post\";");
+    DiagnosticSink sink;
+    Lexer lexer(file, sink);
+    const auto tokens = lexer.tokenize();
+    ASSERT_TRUE(tokens[1].has_interpolation());
+    EXPECT_EQ(tokens[1].parts[1].text, "$name");
+}
+
+TEST(LexerEdgeTest, ConsecutiveInterpolations) {
+    SourceFile file("t.php", "<?php \"$a$b\";");
+    DiagnosticSink sink;
+    Lexer lexer(file, sink);
+    const auto tokens = lexer.tokenize();
+    ASSERT_EQ(tokens[1].parts.size(), 2u);
+    EXPECT_EQ(tokens[1].parts[0].text, "$a");
+    EXPECT_EQ(tokens[1].parts[1].text, "$b");
+}
+
+TEST(LexerEdgeTest, DollarWithoutNameIsLiteral) {
+    SourceFile file("t.php", "<?php \"costs $5\";");
+    DiagnosticSink sink;
+    Lexer lexer(file, sink);
+    const auto tokens = lexer.tokenize();
+    EXPECT_FALSE(tokens[1].has_interpolation());
+    EXPECT_EQ(tokens[1].value, "costs $5");
+}
+
+TEST(LexerEdgeTest, WindowsLineEndings) {
+    SourceFile file("t.php", "<?php\r\n$a = 1;\r\n$b = 2;\r\n");
+    DiagnosticSink sink;
+    Lexer lexer(file, sink);
+    const auto tokens = lexer.tokenize();
+    EXPECT_EQ(tokens[1].text, "$a");
+    EXPECT_EQ(tokens[1].line, 2);
+}
+
+}  // namespace
+}  // namespace phpsafe::php

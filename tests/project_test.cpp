@@ -1,0 +1,157 @@
+// Project-model tests (paper §III.B model construction): declaration
+// indexing (including declarations nested in guards), called-function
+// tracking, uncalled-function detection, include resolution.
+#include <gtest/gtest.h>
+
+#include "php/project.h"
+
+namespace phpsafe::php {
+namespace {
+
+Project make_project(std::vector<std::pair<std::string, std::string>> files) {
+    Project project("test");
+    for (auto& [name, text] : files) project.add_file(name, std::move(text));
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    return project;
+}
+
+TEST(ProjectTest, IndexesTopLevelFunctions) {
+    const Project p = make_project({{"a.php", "<?php function foo() {} "}});
+    ASSERT_NE(p.find_function("foo"), nullptr);
+    EXPECT_EQ(p.find_function("foo")->file, "a.php");
+    EXPECT_EQ(p.find_function("bar"), nullptr);
+}
+
+TEST(ProjectTest, FunctionLookupCaseInsensitive) {
+    const Project p = make_project({{"a.php", "<?php function MyFunc() {} "}});
+    EXPECT_NE(p.find_function("myfunc"), nullptr);
+    EXPECT_NE(p.find_function("MYFUNC"), nullptr);
+}
+
+TEST(ProjectTest, IndexesGuardedDeclarations) {
+    // The common WordPress idiom: if (!function_exists(...)) { function ... }
+    const Project p = make_project(
+        {{"a.php",
+          "<?php if (!function_exists('helper')) { function helper($x) "
+          "{ return $x; } }"}});
+    EXPECT_NE(p.find_function("helper"), nullptr);
+}
+
+TEST(ProjectTest, IndexesClassesAndMethods) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php class Widget { public function render() {} "
+          "public static function boot() {} }"}});
+    ASSERT_NE(p.find_class("Widget"), nullptr);
+    ASSERT_NE(p.find_method("widget", "render"), nullptr);
+    EXPECT_EQ(p.find_method("widget", "render")->owner->name, "Widget");
+    EXPECT_NE(p.find_method("Widget", "BOOT"), nullptr);
+}
+
+TEST(ProjectTest, MethodLookupWalksInheritance) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php class Base { public function hello() {} }\n"
+          "class Child extends Base {}"}});
+    const FunctionRef* ref = p.find_method("child", "hello");
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(ref->owner->name, "Base");
+}
+
+TEST(ProjectTest, FindMethodAnyRequiresUniqueness) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php class A { public function unique_m() {} public function dup() {} }\n"
+          "class B { public function dup() {} }"}});
+    EXPECT_NE(p.find_method_any("unique_m"), nullptr);
+    EXPECT_EQ(p.find_method_any("dup"), nullptr);  // ambiguous
+}
+
+TEST(ProjectTest, UncalledFunctionsDetected) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php function used() {} function unused() {} used();"}});
+    const auto uncalled = p.uncalled_functions();
+    ASSERT_EQ(uncalled.size(), 1u);
+    EXPECT_EQ(uncalled[0].decl->name, "unused");
+}
+
+TEST(ProjectTest, HookCallbacksCountAsCalled) {
+    // add_action('init', 'my_handler') keeps my_handler reachable.
+    const Project p = make_project(
+        {{"a.php",
+          "<?php function my_handler() {} add_action('init', 'my_handler');"}});
+    EXPECT_TRUE(p.uncalled_functions().empty());
+}
+
+TEST(ProjectTest, MethodsCalledAnywhereAreCalled) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php class W { public function go() {} public function idle() {} }\n"
+          "$w = new W(); $w->go();"}});
+    const auto uncalled = p.uncalled_functions();
+    ASSERT_EQ(uncalled.size(), 1u);
+    EXPECT_EQ(uncalled[0].qualified_name(), "W::idle");
+}
+
+TEST(ProjectTest, ConstructorNotUncalled) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php class W { public function __construct() {} }\n$w = new W();"}});
+    EXPECT_TRUE(p.uncalled_functions().empty());
+}
+
+TEST(ProjectTest, IncludeResolutionByExactSuffixBasename) {
+    const Project p = make_project({
+        {"main.php", "<?php"},
+        {"includes/helpers.php", "<?php"},
+        {"admin/panel.php", "<?php"},
+    });
+    ASSERT_NE(p.resolve_include("includes/helpers.php"), nullptr);
+    ASSERT_NE(p.resolve_include("helpers.php"), nullptr);
+    EXPECT_EQ(p.resolve_include("helpers.php")->source->name(),
+              "includes/helpers.php");
+    ASSERT_NE(p.resolve_include("./admin/panel.php"), nullptr);
+    EXPECT_EQ(p.resolve_include("missing.php"), nullptr);
+    EXPECT_EQ(p.resolve_include(""), nullptr);
+}
+
+TEST(ProjectTest, TotalLines) {
+    const Project p = make_project({
+        {"a.php", "<?php\n$a = 1;\n"},
+        {"b.php", "<?php\n$b = 2;\n$c = 3;\n"},
+    });
+    EXPECT_EQ(p.total_lines(), 5);
+}
+
+TEST(ProjectTest, QualifiedNames) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php function free_fn() {} class C { public function m() {} }"}});
+    EXPECT_EQ(p.find_function("free_fn")->qualified_name(), "free_fn");
+    EXPECT_EQ(p.find_method("c", "m")->qualified_name(), "C::m");
+}
+
+TEST(ProjectTest, AllFunctionsListsEverything) {
+    const Project p = make_project(
+        {{"a.php",
+          "<?php function f1() {} class C { public function m1() {} "
+          "public function m2() {} }"}});
+    EXPECT_EQ(p.all_functions().size(), 3u);
+}
+
+TEST(ProjectTest, ParseFailureFlagged) {
+    Project project("bad");
+    // 250+ parse errors trigger the robustness abort.
+    std::string garbage = "<?php ";
+    for (int i = 0; i < 300; ++i) garbage += "^^ ";
+    project.add_file("bad.php", garbage);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    ASSERT_EQ(project.files().size(), 1u);
+    EXPECT_TRUE(project.files()[0].parse_failed);
+}
+
+}  // namespace
+}  // namespace phpsafe::php

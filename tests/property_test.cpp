@@ -1,0 +1,268 @@
+// Property-style parameterized tests over the knowledge base and engine
+// invariants:
+//   * every configured XSS sanitizer silences echo of $_GET;
+//   * every configured SQL escaper silences a mysql_query sink;
+//   * every superglobal-style source reaches echo;
+//   * every revert function revives exactly the sanitization it undoes;
+//   * metamorphic invariants: renaming variables, inserting dead code or
+//     comments never changes the set of findings.
+#include <gtest/gtest.h>
+
+#include "baselines/analyzers.h"
+#include "core/engine.h"
+#include "php/project.h"
+
+namespace phpsafe {
+namespace {
+
+AnalysisResult analyze(const std::string& code) {
+    php::Project project("prop");
+    project.add_file("main.php", code);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    return engine.analyze(project);
+}
+
+// -- sanitizers ----------------------------------------------------------------
+
+class XssSanitizerSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XssSanitizerSweep, SilencesEchoOfGet) {
+    const std::string fn = GetParam();
+    const auto r = analyze("<?php echo " + fn + "($_GET['x']);");
+    EXPECT_EQ(r.count(VulnKind::kXss), 0) << fn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllXssSanitizers, XssSanitizerSweep,
+    ::testing::Values("htmlentities", "htmlspecialchars", "strip_tags",
+                      "urlencode", "rawurlencode", "intval", "floatval", "md5",
+                      "sha1", "base64_encode", "bin2hex", "number_format",
+                      "esc_html", "esc_attr", "esc_js", "esc_textarea", "esc_url",
+                      "wp_kses_post", "sanitize_text_field", "sanitize_title",
+                      "sanitize_email", "sanitize_key", "absint", "json_encode"));
+
+class SqliSanitizerSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqliSanitizerSweep, SilencesQuerySink) {
+    const std::string fn = GetParam();
+    const auto r = analyze("<?php $v = " + fn +
+                           "($_POST['x']); mysql_query(\"SELECT '$v'\");");
+    EXPECT_EQ(r.count(VulnKind::kSqli), 0) << fn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSqlEscapers, SqliSanitizerSweep,
+    ::testing::Values("mysql_escape_string", "mysql_real_escape_string",
+                      "mysqli_real_escape_string", "addslashes", "intval",
+                      "absint", "esc_sql", "like_escape", "pg_escape_string"));
+
+// -- sources ---------------------------------------------------------------------
+
+struct SourceCase {
+    const char* expr;
+    InputVector vector;
+};
+
+class SourceSweep : public ::testing::TestWithParam<SourceCase> {};
+
+TEST_P(SourceSweep, ReachesEcho) {
+    const SourceCase param = GetParam();
+    const auto r = analyze("<?php $v = " + std::string(param.expr) + "; echo $v;");
+    ASSERT_EQ(r.count(VulnKind::kXss), 1) << param.expr;
+    EXPECT_EQ(r.findings[0].vector, param.vector) << param.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSources, SourceSweep,
+    ::testing::Values(
+        SourceCase{"$_GET['k']", InputVector::kGet},
+        SourceCase{"$_POST['k']", InputVector::kPost},
+        SourceCase{"$_COOKIE['k']", InputVector::kCookie},
+        SourceCase{"$_REQUEST['k']", InputVector::kRequest},
+        SourceCase{"$_SERVER['HTTP_USER_AGENT']", InputVector::kServer},
+        SourceCase{"$_FILES['f']['name']", InputVector::kFiles},
+        SourceCase{"file_get_contents('u.txt')", InputVector::kFile},
+        SourceCase{"fgets($fp, 64)", InputVector::kFile},
+        SourceCase{"fread($fp, 64)", InputVector::kFile},
+        SourceCase{"mysql_fetch_assoc($res)", InputVector::kDatabase},
+        SourceCase{"mysql_fetch_array($res)", InputVector::kDatabase},
+        SourceCase{"mysqli_fetch_assoc($res)", InputVector::kDatabase},
+        SourceCase{"get_option('o')", InputVector::kDatabase},
+        SourceCase{"get_post_meta(1, 'k', true)", InputVector::kDatabase},
+        SourceCase{"get_transient('t')", InputVector::kDatabase},
+        SourceCase{"getenv('PATH')", InputVector::kServer}),
+    [](const ::testing::TestParamInfo<SourceCase>& info) {
+        std::string name = info.param.expr;
+        for (char& c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+        return name;
+    });
+
+// -- sinks ------------------------------------------------------------------------
+
+class XssSinkSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XssSinkSweep, FiresOnTaintedArgument) {
+    const std::string stmt = GetParam();
+    const auto r = analyze("<?php $v = $_GET['x'];\n" + stmt + ";");
+    EXPECT_EQ(r.count(VulnKind::kXss), 1) << stmt;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllXssSinks, XssSinkSweep,
+                         ::testing::Values("echo $v", "print $v",
+                                           "printf('%s', $v)", "print_r($v)",
+                                           "exit($v)", "die($v)", "_e($v)",
+                                           "wp_die($v)", "trigger_error($v)",
+                                           "vprintf('%s', $v)", "var_dump($v)"));
+
+class SqliSinkSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqliSinkSweep, FiresOnTaintedQuery) {
+    const std::string stmt = GetParam();
+    const auto r =
+        analyze("<?php $v = $_GET['x']; $q = \"SELECT * FROM t WHERE a = '$v'\";\n" +
+                stmt + ";");
+    EXPECT_EQ(r.count(VulnKind::kSqli), 1) << stmt;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSqliSinks, SqliSinkSweep,
+                         ::testing::Values("mysql_query($q)", "mysqli_query($c, $q)",
+                                           "pg_query($q)", "$wpdb->query($q)",
+                                           "$wpdb->get_results($q)",
+                                           "$wpdb->get_var($q)",
+                                           "$wpdb->get_row($q)",
+                                           "$wpdb->get_col($q)"));
+
+// -- reverts -----------------------------------------------------------------------
+
+struct RevertCase {
+    const char* sanitizer;
+    const char* revert;
+    VulnKind kind;
+    const char* sink;  ///< statement template using $w
+};
+
+class RevertSweep : public ::testing::TestWithParam<RevertCase> {};
+
+TEST_P(RevertSweep, RevivesSanitizedTaint) {
+    const RevertCase param = GetParam();
+    const std::string code = std::string("<?php $v = ") + param.sanitizer +
+                             "($_GET['x']); $w = " + param.revert + "($v);\n" +
+                             param.sink + ";";
+    const auto r = analyze(code);
+    EXPECT_EQ(r.count(param.kind), 1) << code;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReverts, RevertSweep,
+    ::testing::Values(
+        RevertCase{"addslashes", "stripslashes", VulnKind::kSqli,
+                   "mysql_query(\"SELECT '$w'\")"},
+        RevertCase{"addslashes", "stripcslashes", VulnKind::kSqli,
+                   "mysql_query(\"SELECT '$w'\")"},
+        RevertCase{"htmlentities", "html_entity_decode", VulnKind::kXss, "echo $w"},
+        RevertCase{"htmlspecialchars", "htmlspecialchars_decode", VulnKind::kXss,
+                   "echo $w"},
+        RevertCase{"urlencode", "urldecode", VulnKind::kXss, "echo $w"},
+        RevertCase{"rawurlencode", "rawurldecode", VulnKind::kXss, "echo $w"},
+        RevertCase{"base64_encode", "base64_decode", VulnKind::kXss, "echo $w"},
+        RevertCase{"wp_slash", "wp_unslash", VulnKind::kSqli,
+                   "mysql_query(\"SELECT '$w'\")"}));
+
+// -- metamorphic invariants -----------------------------------------------------------
+
+TEST(MetamorphicTest, VariableRenamingPreservesFindingCount) {
+    const auto r1 = analyze("<?php $alpha = $_GET['x']; echo $alpha;");
+    const auto r2 = analyze("<?php $omega = $_GET['x']; echo $omega;");
+    EXPECT_EQ(r1.findings.size(), r2.findings.size());
+}
+
+TEST(MetamorphicTest, CommentsDoNotChangeFindings) {
+    const auto r1 = analyze("<?php $a = $_GET['x']; echo $a;");
+    const auto r2 = analyze(
+        "<?php /* block */ $a = $_GET['x']; // trailing\n# hash\necho $a;");
+    EXPECT_EQ(r1.findings.size(), r2.findings.size());
+}
+
+TEST(MetamorphicTest, DeadSafeCodeDoesNotChangeFindings) {
+    const std::string base = "<?php $a = $_GET['x']; echo $a;";
+    const std::string padded =
+        "<?php $safe1 = 'constant'; $safe2 = strlen($safe1); "
+        "function unused_helper($n) { return $n + 1; } "
+        "$a = $_GET['x']; echo $a;";
+    EXPECT_EQ(analyze(base).findings.size(), analyze(padded).findings.size());
+}
+
+TEST(MetamorphicTest, SplittingConcatenationPreservesDetection) {
+    const auto joined = analyze("<?php echo 'a' . $_GET['x'] . 'b';");
+    const auto split = analyze(
+        "<?php $s = 'a'; $s .= $_GET['x']; $s .= 'b'; echo $s;");
+    EXPECT_EQ(joined.findings.size(), split.findings.size());
+}
+
+TEST(MetamorphicTest, ExtractingToFunctionPreservesDetection) {
+    const auto inline_r = analyze("<?php echo $_GET['x'];");
+    const auto extracted = analyze(
+        "<?php function emit($v) { echo $v; } emit($_GET['x']);");
+    EXPECT_EQ(inline_r.findings.size(), extracted.findings.size());
+}
+
+TEST(MetamorphicTest, SanitizerPositionIrrelevant) {
+    const auto at_source = analyze(
+        "<?php $v = htmlspecialchars($_GET['x']); echo $v;");
+    const auto at_sink = analyze(
+        "<?php $v = $_GET['x']; echo htmlspecialchars($v);");
+    EXPECT_EQ(at_source.findings.size(), at_sink.findings.size());
+    EXPECT_TRUE(at_source.findings.empty());
+}
+
+TEST(MetamorphicTest, DoubleSanitizationStillClean) {
+    const auto r = analyze(
+        "<?php echo htmlspecialchars(htmlspecialchars($_GET['x']));");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(MetamorphicTest, TaintSurvivesArbitraryPropagationChain) {
+    const auto r = analyze(
+        "<?php $v = $_GET['x']; $v = trim($v); $v = strtolower($v); "
+        "$v = str_replace('a', 'b', $v); $v = substr($v, 0, 10); echo $v;");
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+// Every explicitly-listed propagation built-in must keep taint alive.
+class PropagatorSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PropagatorSweep, KeepsTaintAlive) {
+    const std::string fn = GetParam();
+    const auto r = analyze("<?php echo " + fn + "($_GET['x']);");
+    EXPECT_EQ(r.count(VulnKind::kXss), 1) << fn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Propagators, PropagatorSweep,
+    ::testing::Values("trim", "strtolower", "strtoupper", "ucfirst", "ucwords",
+                      "nl2br", "strrev", "strtr", "strstr", "mb_substr",
+                      "mb_strtolower", "iconv", "utf8_encode", "quotemeta",
+                      "maybe_unserialize", "stripslashes"));
+
+// Every safe-return built-in must yield an untainted result.
+class SafeReturnSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SafeReturnSweep, ReturnsClean) {
+    const std::string fn = GetParam();
+    const auto r = analyze("<?php echo " + fn + "($_GET['x']);");
+    EXPECT_EQ(r.count(VulnKind::kXss), 0) << fn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SafeReturns, SafeReturnSweep,
+    ::testing::Values("strlen", "count", "is_numeric", "is_string", "file_exists",
+                      "function_exists", "similar_text", "levenshtein", "min",
+                      "floor", "round", "substr_count", "mb_strlen",
+                      "is_readable", "strcmp", "strpos", "ord", "abs"));
+
+}  // namespace
+}  // namespace phpsafe

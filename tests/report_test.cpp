@@ -1,0 +1,288 @@
+// Report-layer tests: metrics math, finding↔truth matching, Venn overlap,
+// root-cause classification, inertia analysis and table rendering.
+#include <gtest/gtest.h>
+
+#include "report/inertia.h"
+#include "report/matching.h"
+#include "report/metrics.h"
+#include "report/overlap.h"
+#include "report/render.h"
+#include "report/rootcause.h"
+
+namespace phpsafe {
+namespace {
+
+using corpus::Family;
+using corpus::SeededVuln;
+
+Finding make_finding(VulnKind kind, const std::string& file, int line) {
+    Finding f;
+    f.kind = kind;
+    f.location = {file, line};
+    f.sink = "echo";
+    f.variable = "$v";
+    return f;
+}
+
+SeededVuln make_vuln(const std::string& id, VulnKind kind, const std::string& file,
+                     int line, InputVector vector = InputVector::kGet,
+                     bool carried = false, bool easy = false) {
+    SeededVuln v;
+    v.id = id;
+    v.family = Family::kXssGetEcho;
+    v.kind = kind;
+    v.file = file;
+    v.line = line;
+    v.vector = vector;
+    v.carried_over = carried;
+    v.easy_exploit = easy;
+    return v;
+}
+
+// -- metrics -----------------------------------------------------------------
+
+TEST(MetricsTest, PrecisionRecallFscore) {
+    ConfusionMetrics m{80, 20, 20};
+    EXPECT_DOUBLE_EQ(m.precision(), 0.8);
+    EXPECT_DOUBLE_EQ(m.recall(), 0.8);
+    EXPECT_DOUBLE_EQ(m.f_score(), 0.8);
+}
+
+TEST(MetricsTest, UndefinedWhenNoPositives) {
+    ConfusionMetrics m{0, 0, 5};
+    EXPECT_LT(m.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+    EXPECT_LT(m.f_score(), 0.0);
+}
+
+TEST(MetricsTest, PerfectTool) {
+    ConfusionMetrics m{10, 0, 0};
+    EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(m.f_score(), 1.0);
+}
+
+TEST(MetricsTest, FormatPct) {
+    EXPECT_EQ(format_pct(0.834), "83%");
+    EXPECT_EQ(format_pct(1.0), "100%");
+    EXPECT_EQ(format_pct(-1.0), "-");
+    EXPECT_EQ(format_pct(0.005), "1%");
+}
+
+TEST(MetricsTest, PaperStyleFalseNegatives) {
+    std::map<std::string, std::set<std::string>> detected;
+    detected["A"] = {"v1", "v2", "v3"};
+    detected["B"] = {"v2", "v4"};
+    detected["C"] = {};
+    const auto fn = paper_style_false_negatives(detected);
+    EXPECT_EQ(fn.at("A"), 1);  // misses v4
+    EXPECT_EQ(fn.at("B"), 2);  // misses v1, v3
+    EXPECT_EQ(fn.at("C"), 4);  // misses all
+}
+
+// -- matching ----------------------------------------------------------------
+
+TEST(MatchingTest, ExactMatchIsTruePositive) {
+    std::vector<Finding> findings = {make_finding(VulnKind::kXss, "a.php", 10)};
+    std::vector<SeededVuln> truth = {make_vuln("v1", VulnKind::kXss, "a.php", 10)};
+    const MatchResult r = match_findings(findings, truth);
+    EXPECT_EQ(r.tp(), 1);
+    EXPECT_EQ(r.fp(), 0);
+    EXPECT_EQ(r.fn_oracle(), 0);
+    EXPECT_TRUE(r.detected_ids.count("v1"));
+}
+
+TEST(MatchingTest, WrongLineIsFalsePositive) {
+    std::vector<Finding> findings = {make_finding(VulnKind::kXss, "a.php", 11)};
+    std::vector<SeededVuln> truth = {make_vuln("v1", VulnKind::kXss, "a.php", 10)};
+    const MatchResult r = match_findings(findings, truth);
+    EXPECT_EQ(r.tp(), 0);
+    EXPECT_EQ(r.fp(), 1);
+    EXPECT_EQ(r.fn_oracle(), 1);
+}
+
+TEST(MatchingTest, WrongKindIsFalsePositive) {
+    std::vector<Finding> findings = {make_finding(VulnKind::kSqli, "a.php", 10)};
+    std::vector<SeededVuln> truth = {make_vuln("v1", VulnKind::kXss, "a.php", 10)};
+    const MatchResult r = match_findings(findings, truth);
+    EXPECT_EQ(r.tp(), 0);
+    EXPECT_EQ(r.fp(), 1);
+}
+
+TEST(MatchingTest, KindFilterRestricts) {
+    std::vector<Finding> findings = {make_finding(VulnKind::kXss, "a.php", 10),
+                                     make_finding(VulnKind::kSqli, "b.php", 5)};
+    std::vector<SeededVuln> truth = {make_vuln("v1", VulnKind::kXss, "a.php", 10),
+                                     make_vuln("v2", VulnKind::kSqli, "b.php", 5)};
+    const MatchResult xss = match_findings(findings, truth, VulnKind::kXss);
+    EXPECT_EQ(xss.tp(), 1);
+    const MatchResult sqli = match_findings(findings, truth, VulnKind::kSqli);
+    EXPECT_EQ(sqli.tp(), 1);
+}
+
+TEST(MatchingTest, MissedVulnIsOracleFalseNegative) {
+    std::vector<Finding> findings;
+    std::vector<SeededVuln> truth = {make_vuln("v1", VulnKind::kXss, "a.php", 10)};
+    const MatchResult r = match_findings(findings, truth);
+    EXPECT_EQ(r.fn_oracle(), 1);
+    ASSERT_EQ(r.missed.size(), 1u);
+    EXPECT_EQ(r.missed[0]->id, "v1");
+}
+
+// -- overlap -----------------------------------------------------------------
+
+TEST(OverlapTest, DisjointSets) {
+    std::map<std::string, std::set<std::string>> detected;
+    detected["A"] = {"1", "2"};
+    detected["B"] = {"3"};
+    detected["C"] = {"4", "5", "6"};
+    const VennRegions r = compute_overlap(detected);
+    EXPECT_EQ(r.union_size, 6);
+    EXPECT_EQ(r.only_a, 2);
+    EXPECT_EQ(r.only_b, 1);
+    EXPECT_EQ(r.only_c, 3);
+    EXPECT_EQ(r.abc, 0);
+}
+
+TEST(OverlapTest, FullOverlap) {
+    std::map<std::string, std::set<std::string>> detected;
+    detected["A"] = {"1", "2"};
+    detected["B"] = {"1", "2"};
+    detected["C"] = {"1", "2"};
+    const VennRegions r = compute_overlap(detected);
+    EXPECT_EQ(r.union_size, 2);
+    EXPECT_EQ(r.abc, 2);
+    EXPECT_EQ(r.only_a + r.only_b + r.only_c + r.ab + r.ac + r.bc, 0);
+}
+
+TEST(OverlapTest, PairwiseRegions) {
+    std::map<std::string, std::set<std::string>> detected;
+    detected["A"] = {"1", "2", "3"};
+    detected["B"] = {"2", "3", "4"};
+    detected["C"] = {"3"};
+    const VennRegions r = compute_overlap(detected);
+    EXPECT_EQ(r.union_size, 4);
+    EXPECT_EQ(r.abc, 1);   // "3"
+    EXPECT_EQ(r.ab, 1);    // "2"
+    EXPECT_EQ(r.only_a, 1);
+    EXPECT_EQ(r.only_b, 1);
+    EXPECT_EQ(r.total("A"), 3);
+    EXPECT_EQ(r.total("B"), 3);
+    EXPECT_EQ(r.total("C"), 1);
+}
+
+TEST(OverlapTest, RenderMentionsAllRegions) {
+    std::map<std::string, std::set<std::string>> detected;
+    detected["phpSAFE"] = {"1"};
+    detected["RIPS"] = {"1"};
+    detected["Pixy"] = {};
+    const std::string text = render_overlap(compute_overlap(detected));
+    EXPECT_NE(text.find("phpSAFE"), std::string::npos);
+    EXPECT_NE(text.find("union"), std::string::npos);
+}
+
+// -- root cause ---------------------------------------------------------------
+
+TEST(RootCauseTest, VectorGroupMapping) {
+    EXPECT_EQ(vector_group(InputVector::kPost), VectorGroup::kPost);
+    EXPECT_EQ(vector_group(InputVector::kGet), VectorGroup::kGet);
+    EXPECT_EQ(vector_group(InputVector::kCookie), VectorGroup::kPostGetCookie);
+    EXPECT_EQ(vector_group(InputVector::kRequest), VectorGroup::kPostGetCookie);
+    EXPECT_EQ(vector_group(InputVector::kDatabase), VectorGroup::kDatabase);
+    EXPECT_EQ(vector_group(InputVector::kFile), VectorGroup::kFileFunctionArray);
+    EXPECT_EQ(vector_group(InputVector::kFunction), VectorGroup::kFileFunctionArray);
+}
+
+TEST(RootCauseTest, ClassifiesDetectedOnly) {
+    std::vector<SeededVuln> t2012 = {
+        make_vuln("a", VulnKind::kXss, "f.php", 1, InputVector::kGet),
+        make_vuln("b", VulnKind::kXss, "f.php", 2, InputVector::kDatabase),
+    };
+    std::vector<SeededVuln> t2014 = {
+        make_vuln("a", VulnKind::kXss, "f.php", 1, InputVector::kGet),
+        make_vuln("c", VulnKind::kXss, "f.php", 3, InputVector::kPost),
+    };
+    const VectorTable table = classify_vectors(t2012, t2014, {"a"}, {"a", "c"});
+    EXPECT_EQ(table.v2012.at(VectorGroup::kGet), 1);
+    EXPECT_EQ(table.v2012.count(VectorGroup::kDatabase), 0u);  // "b" undetected
+    EXPECT_EQ(table.v2014.at(VectorGroup::kPost), 1);
+    EXPECT_EQ(table.both.at(VectorGroup::kGet), 1);  // "a" in both
+    EXPECT_EQ(table.both.count(VectorGroup::kPost), 0u);
+}
+
+// -- inertia -------------------------------------------------------------------
+
+TEST(InertiaTest, CountsCarriedAndEasy) {
+    std::vector<SeededVuln> truth = {
+        make_vuln("a", VulnKind::kXss, "f.php", 1, InputVector::kGet, true, true),
+        make_vuln("b", VulnKind::kXss, "f.php", 2, InputVector::kDatabase, true,
+                  false),
+        make_vuln("c", VulnKind::kXss, "f.php", 3, InputVector::kGet, false, true),
+    };
+    const InertiaReport r = analyze_inertia(truth, {"a", "b", "c"});
+    EXPECT_EQ(r.total_2014, 3);
+    EXPECT_EQ(r.carried_from_2012, 2);
+    EXPECT_EQ(r.carried_easy_exploit, 1);
+    EXPECT_NEAR(r.carried_fraction(), 2.0 / 3, 1e-9);
+    EXPECT_NEAR(r.easy_fraction_of_carried(), 0.5, 1e-9);
+}
+
+TEST(InertiaTest, UndetectedVulnsExcluded) {
+    std::vector<SeededVuln> truth = {
+        make_vuln("a", VulnKind::kXss, "f.php", 1, InputVector::kGet, true, true),
+    };
+    const InertiaReport r = analyze_inertia(truth, {});
+    EXPECT_EQ(r.total_2014, 0);
+    EXPECT_EQ(r.carried_from_2012, 0);
+}
+
+// -- render ---------------------------------------------------------------------
+
+TEST(RenderTest, AlignsColumns) {
+    TextTable table;
+    table.add_row({"Tool", "TP"});
+    table.add_row({"phpSAFE", "315"});
+    table.add_row({"Pixy", "50"});
+    const std::string text = table.to_string();
+    EXPECT_NE(text.find("| Tool    | TP  |"), std::string::npos);
+    EXPECT_NE(text.find("| phpSAFE | 315 |"), std::string::npos);
+    EXPECT_NE(text.find("| Pixy    | 50  |"), std::string::npos);
+}
+
+TEST(RenderTest, EmptyTableRendersEmpty) {
+    TextTable table;
+    EXPECT_TRUE(table.to_string().empty());
+}
+
+// -- finding --------------------------------------------------------------------
+
+TEST(FindingTest, DedupRemovesDuplicates) {
+    std::vector<Finding> findings = {make_finding(VulnKind::kXss, "a.php", 5),
+                                     make_finding(VulnKind::kXss, "a.php", 5),
+                                     make_finding(VulnKind::kSqli, "a.php", 5)};
+    deduplicate(findings);
+    EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(FindingTest, DedupSortsByLocation) {
+    std::vector<Finding> findings = {make_finding(VulnKind::kXss, "b.php", 9),
+                                     make_finding(VulnKind::kXss, "a.php", 5),
+                                     make_finding(VulnKind::kXss, "a.php", 2)};
+    deduplicate(findings);
+    ASSERT_EQ(findings.size(), 3u);
+    EXPECT_EQ(findings[0].location.line, 2);
+    EXPECT_EQ(findings[1].location.line, 5);
+    EXPECT_EQ(findings[2].location.file, "b.php");
+}
+
+TEST(FindingTest, CountByKind) {
+    AnalysisResult r;
+    r.findings = {make_finding(VulnKind::kXss, "a.php", 1),
+                  make_finding(VulnKind::kXss, "a.php", 2),
+                  make_finding(VulnKind::kSqli, "a.php", 3)};
+    EXPECT_EQ(r.count(VulnKind::kXss), 2);
+    EXPECT_EQ(r.count(VulnKind::kSqli), 1);
+}
+
+}  // namespace
+}  // namespace phpsafe

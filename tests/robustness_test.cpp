@@ -1,0 +1,177 @@
+// Robustness / failure-injection tests: the analyzer must terminate and
+// produce a result on arbitrary malformed input (paper §IV.A: "robustness
+// is the ability to finish the analysis and produce a result... a tool
+// must be able to analyze any given file and deliver the results in due
+// time using a reasonable amount of resources").
+#include <gtest/gtest.h>
+
+#include "baselines/analyzers.h"
+#include "core/engine.h"
+#include "php/parser.h"
+#include "php/project.h"
+
+namespace phpsafe {
+namespace {
+
+/// Analyzes arbitrary (possibly malformed) input; the assertion is simply
+/// that we return rather than crash, hang, or blow the stack.
+AnalysisResult analyze_garbage(const std::string& code) {
+    php::Project project("garbage");
+    project.add_file("main.php", code);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    return engine.analyze(project);
+}
+
+class MalformedInputSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedInputSweep, TerminatesWithoutCrash) {
+    const AnalysisResult r = analyze_garbage(GetParam());
+    SUCCEED() << "findings: " << r.findings.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fragments, MalformedInputSweep,
+    ::testing::Values(
+        "",
+        "<?php",
+        "<?php ;;;;;",
+        "<?php $",
+        "<?php $x =",
+        "<?php $x = ;",
+        "<?php if (",
+        "<?php if ($a { echo $a; }",
+        "<?php while",
+        "<?php foreach ($a as) {}",
+        "<?php function",
+        "<?php function f(",
+        "<?php function f($a {}",
+        "<?php class",
+        "<?php class C {",
+        "<?php class C { public function }",
+        "<?php class C extends {}",
+        "<?php echo 'unterminated",
+        "<?php echo \"unterminated $x",
+        "<?php $x = <<<EOT\nnever closed",
+        "<?php /* never closed",
+        "<?php )))((( }{ ][",
+        "<?php $a->;",
+        "<?php $a->->b;",
+        "<?php new;",
+        "<?php X::;",
+        "<?php echo $_GET[;",
+        "<?php @@@@;",
+        "<?php ?????;",
+        "<?php $x = array(1, => 2);",
+        "<?php switch ($x) { case }",
+        "<?php try {} catch {}",
+        "<?php global;",
+        "<?php 0x 0b;",
+        "<?php \xFF\xFE binary \x00 junk",
+        "no php at all <b>html</b>",
+        "<?php echo $_GET['x'] <?php echo $_GET['y'];"));
+
+TEST(RobustnessTest, DeeplyNestedExpressionsTerminate) {
+    std::string code = "<?php $x = ";
+    for (int i = 0; i < 200; ++i) code += "(1 + ";
+    code += "2";
+    for (int i = 0; i < 200; ++i) code += ")";
+    code += "; echo $x;";
+    analyze_garbage(code);
+    SUCCEED();
+}
+
+TEST(RobustnessTest, DeeplyNestedBlocksTerminate) {
+    std::string code = "<?php ";
+    for (int i = 0; i < 300; ++i) code += "if ($a) { ";
+    code += "echo $_GET['x'];";
+    for (int i = 0; i < 300; ++i) code += " }";
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_GE(r.findings.size(), 1u);
+}
+
+TEST(RobustnessTest, LongConcatenationChain) {
+    std::string code = "<?php $s = $_GET['x']";
+    for (int i = 0; i < 2000; ++i) code += " . 'part'";
+    code += "; echo $s;";
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(RobustnessTest, ManyVariablesManyFindings) {
+    std::string code = "<?php\n";
+    for (int i = 0; i < 500; ++i) {
+        code += "$v" + std::to_string(i) + " = $_GET['k" + std::to_string(i) +
+                "'];\n";
+        code += "echo $v" + std::to_string(i) + ";\n";
+    }
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_EQ(r.findings.size(), 500u);
+}
+
+TEST(RobustnessTest, MutualRecursionTerminates) {
+    const AnalysisResult r = analyze_garbage(
+        "<?php function a($x) { return b($x); }\n"
+        "function b($x) { return a($x); }\n"
+        "echo a($_GET['q']);");
+    SUCCEED() << r.findings.size();
+}
+
+TEST(RobustnessTest, SelfIncludeDoesNotLoop) {
+    php::Project project("loop");
+    project.add_file("main.php", "<?php include 'main.php'; echo $_GET['x'];");
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    const AnalysisResult r = engine.analyze(project);
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(RobustnessTest, MutualIncludesDoNotLoop) {
+    php::Project project("loop");
+    project.add_file("a.php", "<?php include 'b.php'; echo $_GET['a'];");
+    project.add_file("b.php", "<?php include 'a.php'; echo $_GET['b'];");
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    const AnalysisResult r = engine.analyze(project);
+    EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(RobustnessTest, GiantFileCompletesQuickly) {
+    std::string code = "<?php\n";
+    for (int i = 0; i < 20000; ++i)
+        code += "$line" + std::to_string(i % 97) + " = 'text';\n";
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(RobustnessTest, ErrorCapAbortsPathologicalFile) {
+    std::string garbage = "<?php ";
+    for (int i = 0; i < 500; ++i) garbage += ")( ";
+    const AnalysisResult r = analyze_garbage(garbage);
+    EXPECT_EQ(r.files_failed, 1);
+}
+
+TEST(RobustnessTest, AllToolsSurviveGarbageSweep) {
+    const char* samples[] = {"<?php class {", "<?php $a->", "<?php if(((("};
+    for (const Tool& tool :
+         {make_phpsafe_tool(), make_rips_like_tool(), make_pixy_like_tool()}) {
+        for (const char* code : samples) {
+            php::Project project("g");
+            project.add_file("main.php", code);
+            DiagnosticSink sink;
+            project.parse_all(sink);
+            Engine engine(tool.kb, tool.options);
+            engine.analyze(project);
+        }
+    }
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace phpsafe

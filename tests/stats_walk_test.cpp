@@ -1,0 +1,149 @@
+// Tests for the run-statistics API (paper §III.D reviewer data) and the
+// generic AST walkers in php/walk.h.
+#include <gtest/gtest.h>
+
+#include "baselines/analyzers.h"
+#include "core/engine.h"
+#include "php/parser.h"
+#include "php/project.h"
+#include "php/walk.h"
+
+namespace phpsafe {
+namespace {
+
+AnalysisResult analyze(const std::string& code) {
+    php::Project project("stats");
+    project.add_file("main.php", code);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    return engine.analyze(project);
+}
+
+TEST(StatsTest, CountsFunctionsSummarized) {
+    const auto r = analyze(
+        "<?php function a() {} function b() {} class C { public function m() {} }\n"
+        "a(); b();");
+    EXPECT_EQ(r.stats.functions_summarized, 3);  // a, b, C::m (uncalled pass)
+    EXPECT_EQ(r.stats.uncalled_functions, 1);    // C::m
+}
+
+TEST(StatsTest, CountsSinkChecksAndSources) {
+    const auto r = analyze(
+        "<?php echo $_GET['a']; echo 'safe'; echo $_POST['b'];");
+    EXPECT_EQ(r.stats.sink_checks, 3);
+    EXPECT_EQ(r.stats.sources_seen, 2);
+}
+
+TEST(StatsTest, CountsIncludesFollowed) {
+    php::Project project("inc");
+    project.add_file("main.php", "<?php include 'x.php'; include 'y.php';");
+    project.add_file("x.php", "<?php $a = 1;");
+    project.add_file("y.php", "<?php $b = 2;");
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    const auto r = engine.analyze(project);
+    // main includes x and y; when x / y run as entries no further includes.
+    EXPECT_EQ(r.stats.includes_followed, 2);
+}
+
+TEST(StatsTest, TracksVariableSlots) {
+    const auto r = analyze("<?php $a = 1; $b = 2; $c = 3;");
+    EXPECT_GE(r.stats.variables_tracked, 3);
+}
+
+TEST(StatsTest, StatsResetBetweenRuns) {
+    php::Project project("reset");
+    project.add_file("main.php", "<?php echo $_GET['x'];");
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    const Tool tool = make_phpsafe_tool();
+    Engine engine(tool.kb, tool.options);
+    const auto r1 = engine.analyze(project);
+    const auto r2 = engine.analyze(project);
+    EXPECT_EQ(r1.stats.sink_checks, r2.stats.sink_checks);
+    EXPECT_EQ(r1.stats.sources_seen, r2.stats.sources_seen);
+}
+
+// -- walkers -------------------------------------------------------------------
+
+php::FileUnit parse_unit(const std::string& code) {
+    static phpsafe::SourceFile* file = nullptr;
+    delete file;
+    file = new phpsafe::SourceFile("w.php", code);
+    DiagnosticSink sink;
+    php::Parser parser(*file, sink);
+    return parser.parse();
+}
+
+TEST(WalkTest, VisitsAllExpressions) {
+    const auto unit = parse_unit("<?php $a = $b + f($c, $d->e);");
+    int variables = 0, calls = 0, props = 0;
+    for (const php::StmtPtr& s : unit.statements) {
+        php::walk_stmt(
+            *s,
+            [&](const php::Expr& e) {
+                if (e.kind == php::NodeKind::kVariable) ++variables;
+                if (e.kind == php::NodeKind::kFunctionCall) ++calls;
+                if (e.kind == php::NodeKind::kPropertyAccess) ++props;
+            },
+            [](const php::Stmt&) {});
+    }
+    EXPECT_EQ(variables, 4);  // $a, $b, $c, $d
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(props, 1);
+}
+
+TEST(WalkTest, VisitsNestedStatements) {
+    const auto unit = parse_unit(
+        "<?php if ($a) { while ($b) { echo $c; } } else { foreach ($d as $e) {} }");
+    int stmts = 0;
+    for (const php::StmtPtr& s : unit.statements)
+        php::walk_stmt(*s, [](const php::Expr&) {},
+                       [&](const php::Stmt&) { ++stmts; });
+    // if, block, while, block, echo, block, foreach, block
+    EXPECT_EQ(stmts, 8);
+}
+
+TEST(WalkTest, DescendsIntoFunctionsAndClasses) {
+    const auto unit = parse_unit(
+        "<?php class C { public function m() { echo $this->x; } }\n"
+        "function f() { return $_GET['q']; }");
+    int echo_count = 0, superglobal = 0;
+    for (const php::StmtPtr& s : unit.statements) {
+        php::walk_stmt(
+            *s,
+            [&](const php::Expr& e) {
+                if (e.kind == php::NodeKind::kVariable &&
+                    static_cast<const php::Variable&>(e).name == "$_GET")
+                    ++superglobal;
+            },
+            [&](const php::Stmt& st) {
+                if (st.kind == php::NodeKind::kEchoStmt) ++echo_count;
+            });
+    }
+    EXPECT_EQ(echo_count, 1);
+    EXPECT_EQ(superglobal, 1);
+}
+
+TEST(WalkTest, DescendsIntoClosures) {
+    const auto unit = parse_unit(
+        "<?php $f = function () { echo $_POST['x']; };");
+    int superglobal = 0;
+    for (const php::StmtPtr& s : unit.statements)
+        php::walk_stmt(
+            *s,
+            [&](const php::Expr& e) {
+                if (e.kind == php::NodeKind::kVariable &&
+                    static_cast<const php::Variable&>(e).name == "$_POST")
+                    ++superglobal;
+            },
+            [](const php::Stmt&) {});
+    EXPECT_EQ(superglobal, 1);
+}
+
+}  // namespace
+}  // namespace phpsafe

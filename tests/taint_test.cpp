@@ -1,0 +1,163 @@
+// Taint-domain unit tests: TaintValue merge/sanitize/revert algebra and
+// the latent-taint mechanism behind the paper's revert functions.
+#include <gtest/gtest.h>
+
+#include "core/taint.h"
+
+namespace phpsafe {
+namespace {
+
+TaintValue tainted_get() {
+    return TaintValue::source(kBothVulns, InputVector::kGet, {"a.php", 1}, "$_GET");
+}
+
+TEST(TaintValueTest, CleanByDefault) {
+    const TaintValue v = TaintValue::clean();
+    EXPECT_FALSE(v.tainted_any());
+    EXPECT_TRUE(v.trace.empty());
+    EXPECT_EQ(v.vector, InputVector::kUnknown);
+}
+
+TEST(TaintValueTest, SourceConstruction) {
+    const TaintValue v = tainted_get();
+    EXPECT_TRUE(v.tainted(VulnKind::kXss));
+    EXPECT_TRUE(v.tainted(VulnKind::kSqli));
+    EXPECT_TRUE(v.user_input);
+    EXPECT_EQ(v.vector, InputVector::kGet);
+    ASSERT_EQ(v.trace.size(), 1u);
+}
+
+TEST(TaintValueTest, DbSourceIsNotUserInput) {
+    const TaintValue v = TaintValue::source(kBothVulns, InputVector::kDatabase,
+                                            {"a.php", 2}, "get_results");
+    EXPECT_FALSE(v.user_input);
+}
+
+TEST(TaintValueTest, MergeUnionsTaint) {
+    TaintValue a = TaintValue::clean();
+    a.merge(tainted_get());
+    EXPECT_TRUE(a.tainted_any());
+    EXPECT_EQ(a.vector, InputVector::kGet);
+}
+
+TEST(TaintValueTest, MergeKeepsFirstKnownVector) {
+    TaintValue a = tainted_get();
+    TaintValue b = TaintValue::source(kBothVulns, InputVector::kDatabase,
+                                      {"a.php", 3}, "db");
+    a.merge(b);
+    EXPECT_EQ(a.vector, InputVector::kGet);
+}
+
+TEST(TaintValueTest, SanitizeMovesToLatent) {
+    TaintValue v = tainted_get();
+    v.apply_sanitizer(kXssOnly, {"a.php", 2}, "htmlspecialchars");
+    EXPECT_FALSE(v.tainted(VulnKind::kXss));
+    EXPECT_TRUE(v.tainted(VulnKind::kSqli));
+    EXPECT_TRUE(v.latent.contains(VulnKind::kXss));
+}
+
+TEST(TaintValueTest, RevertRevivesLatent) {
+    TaintValue v = tainted_get();
+    v.apply_sanitizer(kSqliOnly, {"a.php", 2}, "addslashes");
+    EXPECT_FALSE(v.tainted(VulnKind::kSqli));
+    v.apply_revert(kSqliOnly, {"a.php", 3}, "stripslashes");
+    EXPECT_TRUE(v.tainted(VulnKind::kSqli));
+    EXPECT_FALSE(v.latent.contains(VulnKind::kSqli));
+}
+
+TEST(TaintValueTest, RevertWithoutLatentIsNoop) {
+    TaintValue v = TaintValue::clean();
+    v.apply_revert(kBothVulns, {"a.php", 1}, "stripslashes");
+    EXPECT_FALSE(v.tainted_any());
+}
+
+TEST(TaintValueTest, RevertOnlyRevivesMatchingKinds) {
+    TaintValue v = tainted_get();
+    v.apply_sanitizer(kBothVulns, {"a.php", 2}, "intval");
+    v.apply_revert(kXssOnly, {"a.php", 3}, "html_entity_decode");
+    EXPECT_TRUE(v.tainted(VulnKind::kXss));
+    EXPECT_FALSE(v.tainted(VulnKind::kSqli));
+    EXPECT_TRUE(v.latent.contains(VulnKind::kSqli));
+}
+
+TEST(TaintValueTest, SanitizeRecordsTraceStep) {
+    TaintValue v = tainted_get();
+    const size_t before = v.trace.size();
+    v.apply_sanitizer(kXssOnly, {"a.php", 2}, "htmlspecialchars");
+    EXPECT_EQ(v.trace.size(), before + 1);
+    EXPECT_NE(v.trace.back().description.find("htmlspecialchars"),
+              std::string::npos);
+}
+
+TEST(TaintValueTest, TraceCapped) {
+    TaintValue v = tainted_get();
+    for (int i = 0; i < 100; ++i) v.add_step({"a.php", i}, "step");
+    EXPECT_LE(v.trace.size(), TaintValue::kMaxTraceSteps);
+}
+
+TEST(TaintValueTest, ParamFlowsUnionByParam) {
+    TaintValue v;
+    v.add_param_flow(0, kXssOnly);
+    v.add_param_flow(0, kSqliOnly);
+    v.add_param_flow(1, kXssOnly);
+    ASSERT_EQ(v.param_flows.size(), 2u);
+    EXPECT_EQ(v.param_flows[0].kinds, kBothVulns);
+}
+
+TEST(TaintValueTest, SanitizerPrunesParamFlows) {
+    TaintValue v;
+    v.add_param_flow(0, kXssOnly);
+    v.apply_sanitizer(kXssOnly, {"a.php", 1}, "htmlspecialchars");
+    EXPECT_TRUE(v.param_flows.empty());
+}
+
+TEST(TaintValueTest, SanitizerKeepsOtherKindParamFlows) {
+    TaintValue v;
+    v.add_param_flow(0, kBothVulns);
+    v.apply_sanitizer(kXssOnly, {"a.php", 1}, "htmlspecialchars");
+    ASSERT_EQ(v.param_flows.size(), 1u);
+    EXPECT_EQ(v.param_flows[0].kinds, kSqliOnly);
+}
+
+TEST(TaintValueTest, MergePropagatesParamFlows) {
+    TaintValue a;
+    TaintValue b;
+    b.add_param_flow(2, kXssOnly);
+    a.merge(b);
+    ASSERT_EQ(a.param_flows.size(), 1u);
+    EXPECT_EQ(a.param_flows[0].param, 2);
+}
+
+TEST(TaintValueTest, ResetClearsEverything) {
+    TaintValue v = tainted_get();
+    v.add_param_flow(0, kBothVulns);
+    v.object_class = "wpdb";
+    v.reset();
+    EXPECT_FALSE(v.tainted_any());
+    EXPECT_TRUE(v.param_flows.empty());
+    EXPECT_TRUE(v.object_class.empty());
+    EXPECT_TRUE(v.trace.empty());
+}
+
+TEST(TaintValueTest, MergePrefersTaintedTrace) {
+    TaintValue clean_with_trace = TaintValue::clean();
+    clean_with_trace.add_step({"a.php", 1}, "benign");
+    const TaintValue tainted = tainted_get();
+    clean_with_trace.merge(tainted);
+    // After the merge the value is tainted; its trace must lead to a source.
+    bool has_source = false;
+    for (const TaintStep& step : clean_with_trace.trace)
+        if (step.description.find("source") != std::string::npos) has_source = true;
+    EXPECT_TRUE(has_source);
+}
+
+TEST(TaintValueTest, ViaOopSticksOnMerge) {
+    TaintValue a = TaintValue::clean();
+    TaintValue b = tainted_get();
+    b.via_oop = true;
+    a.merge(b);
+    EXPECT_TRUE(a.via_oop);
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -1,0 +1,100 @@
+// Utility-layer tests: source files/locations, diagnostics, string helpers.
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.h"
+#include "util/source.h"
+#include "util/strings.h"
+
+namespace phpsafe {
+namespace {
+
+TEST(SourceFileTest, LineCount) {
+    EXPECT_EQ(SourceFile("f", "").line_count(), 0);
+    EXPECT_EQ(SourceFile("f", "one").line_count(), 1);
+    EXPECT_EQ(SourceFile("f", "one\n").line_count(), 1);
+    EXPECT_EQ(SourceFile("f", "one\ntwo").line_count(), 2);
+    EXPECT_EQ(SourceFile("f", "one\ntwo\n\n").line_count(), 3);
+}
+
+TEST(SourceFileTest, LineAccess) {
+    SourceFile file("f", "first\nsecond\nthird");
+    EXPECT_EQ(file.line(1), "first");
+    EXPECT_EQ(file.line(2), "second");
+    EXPECT_EQ(file.line(3), "third");
+    EXPECT_EQ(file.line(4), "");
+    EXPECT_EQ(file.line(0), "");
+}
+
+TEST(SourceLocationTest, Validity) {
+    SourceLocation loc;
+    EXPECT_FALSE(loc.valid());
+    EXPECT_EQ(to_string(loc), "<unknown>");
+    loc = {"a.php", 12};
+    EXPECT_TRUE(loc.valid());
+    EXPECT_EQ(to_string(loc), "a.php:12");
+}
+
+TEST(DiagnosticsTest, CountsBySeverity) {
+    DiagnosticSink sink;
+    sink.add(Severity::kWarning, {"a.php", 1}, "w");
+    sink.add(Severity::kError, {"a.php", 2}, "e");
+    sink.add(Severity::kFatal, {"b.php", 3}, "f");
+    EXPECT_EQ(sink.count(Severity::kWarning), 1);
+    EXPECT_EQ(sink.count(Severity::kError), 1);
+    EXPECT_EQ(sink.count(Severity::kFatal), 1);
+    EXPECT_TRUE(sink.has_fatal());
+}
+
+TEST(DiagnosticsTest, FailedFilesUniqued) {
+    DiagnosticSink sink;
+    sink.add(Severity::kFatal, {"a.php", 1}, "x");
+    sink.add(Severity::kFatal, {"a.php", 9}, "y");
+    sink.add(Severity::kFatal, {"b.php", 2}, "z");
+    sink.add(Severity::kError, {"c.php", 3}, "not fatal");
+    const auto failed = sink.failed_files();
+    ASSERT_EQ(failed.size(), 2u);
+    EXPECT_EQ(failed[0], "a.php");
+    EXPECT_EQ(failed[1], "b.php");
+}
+
+TEST(StringsTest, AsciiLower) {
+    EXPECT_EQ(ascii_lower("MySQLQuery"), "mysqlquery");
+    EXPECT_EQ(ascii_lower(""), "");
+}
+
+TEST(StringsTest, IEquals) {
+    EXPECT_TRUE(iequals("WPDB", "wpdb"));
+    EXPECT_TRUE(iequals("", ""));
+    EXPECT_FALSE(iequals("a", "ab"));
+    EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("includes/utils.php", "includes/"));
+    EXPECT_FALSE(starts_with("a", "ab"));
+    EXPECT_TRUE(ends_with("includes/utils.php", ".php"));
+    EXPECT_FALSE(ends_with(".php", "x.php"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join({"x", "y", "z"}, "::"), "x::y::z");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ReplaceAll) {
+    EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+    EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+}  // namespace
+}  // namespace phpsafe
