@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_overlap.dir/bench_fig2_overlap.cpp.o"
+  "CMakeFiles/bench_fig2_overlap.dir/bench_fig2_overlap.cpp.o.d"
+  "bench_fig2_overlap"
+  "bench_fig2_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inertia.dir/bench_inertia.cpp.o"
+  "CMakeFiles/bench_inertia.dir/bench_inertia.cpp.o.d"
+  "bench_inertia"
+  "bench_inertia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inertia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_validation.cpp" "bench/CMakeFiles/bench_validation.dir/bench_validation.cpp.o" "gcc" "bench/CMakeFiles/bench_validation.dir/bench_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_php.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+<?php
+/* plugin-00 (2012) — admin/admin.php */
+$compat_probe_18 = new stdClass();
+
+$labels_c18_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c18_f0 as $key_c18_f0 => $val_c18_f0) {
+    echo '<option value="' . $key_c18_f0 . '">' . $val_c18_f0 . '</option>';
+}
+// Template for the email section.
+function header_markup_c18_f1() {
+    return '<div class="wrap email"><h1>Settings</h1></div>';
+}
+
+global $wpdb;
+$rows_s12_1 = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "posts_ext");
+foreach ($rows_s12_1 as $row_s12_1) {
+    echo '<li>' . $row_s12_1->title . '</li>';
+}
+
+// Template for the url section.
+function header_markup_c19_f0() {
+    return '<div class="wrap url"><h1>Settings</h1></div>';
+}
+function default_settings_c19_f1() {
+    return array(
+        'url_limit' => 10,
+        'url_order' => 'ASC',
+        'url_cache' => true,
+    );
+}
+
+global $wpdb;
+$id_s18_1 = $_GET['id'];
+$wpdb->query("DELETE FROM " . $wpdb->prefix . "posts_ext" . " WHERE id = $id_s18_1");
+
+function default_settings_c20_f0() {
+    return array(
+        'color_limit' => 10,
+        'color_order' => 'ASC',
+        'color_cache' => true,
+    );
+}

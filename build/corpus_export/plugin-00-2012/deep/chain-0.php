@@ -1,0 +1,217 @@
+<?php
+/* plugin-00 (2012) — deep/chain-0.php */
+$compat_probe_34 = new stdClass();
+require_once dirname(__FILE__) . '/chain-1.php';
+
+$labels_c34_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c34_f0 as $key_c34_f0 => $val_c34_f0) {
+    echo '<option value="' . $key_c34_f0 . '">' . $val_c34_f0 . '</option>';
+}
+// Template for the url section.
+function header_markup_c34_f1() {
+    return '<div class="wrap url"><h1>Settings</h1></div>';
+}
+
+$res_s8_0 = mysql_query("SELECT * FROM sml_legacy");
+$row_s8_0 = mysql_fetch_assoc($res_s8_0);
+echo '<div>' . $row_s8_0['msg'] . '</div>';
+
+// Template for the color section.
+function header_markup_c35_f0() {
+    return '<div class="wrap color"><h1>Settings</h1></div>';
+}
+function default_settings_c35_f1() {
+    return array(
+        'color_limit' => 10,
+        'color_order' => 'ASC',
+        'color_cache' => true,
+    );
+}
+
+$res_s8_1 = mysql_query("SELECT * FROM posts_ext_legacy");
+$row_s8_1 = mysql_fetch_assoc($res_s8_1);
+echo '<span>' . $row_s8_1['title'] . '</span>';
+
+function default_settings_c36_f0() {
+    return array(
+        'label_limit' => 10,
+        'label_order' => 'ASC',
+        'label_cache' => true,
+    );
+}
+
+$res_s8_2 = mysql_query("SELECT * FROM events_legacy");
+$row_s8_2 = mysql_fetch_assoc($res_s8_2);
+echo '<li>' . $row_s8_2['name'] . '</li>';
+
+function format_count_c37_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}
+
+$res_s8_3 = mysql_query("SELECT * FROM subscribers_legacy");
+$row_s8_3 = mysql_fetch_assoc($res_s8_3);
+echo '<p>' . $row_s8_3['email'] . '</p>';
+
+$labels_c38_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c38_f0 as $key_c38_f0 => $val_c38_f0) {
+    echo '<option value="' . $key_c38_f0 . '">' . $val_c38_f0 . '</option>';
+}
+// Template for the text section.
+function header_markup_c38_f1() {
+    return '<div class="wrap text"><h1>Settings</h1></div>';
+}
+
+$res_s8_4 = mysql_query("SELECT * FROM albums_legacy");
+$row_s8_4 = mysql_fetch_assoc($res_s8_4);
+echo '<td>' . $row_s8_4['url'] . '</td>';
+
+// Template for the slug section.
+function header_markup_c39_f0() {
+    return '<div class="wrap slug"><h1>Settings</h1></div>';
+}
+function default_settings_c39_f1() {
+    return array(
+        'slug_limit' => 10,
+        'slug_order' => 'ASC',
+        'slug_cache' => true,
+    );
+}
+
+$res_s8_5 = mysql_query("SELECT * FROM forms_legacy");
+$row_s8_5 = mysql_fetch_assoc($res_s8_5);
+echo '<h2>' . $row_s8_5['color'] . '</h2>';
+
+function default_settings_c40_f0() {
+    return array(
+        'page_limit' => 10,
+        'page_order' => 'ASC',
+        'page_cache' => true,
+    );
+}
+
+$res_s8_6 = mysql_query("SELECT * FROM stats_legacy");
+$row_s8_6 = mysql_fetch_assoc($res_s8_6);
+echo '<strong>' . $row_s8_6['label'] . '</strong>';
+
+function format_count_c41_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}
+
+$res_s8_7 = mysql_query("SELECT * FROM votes_legacy");
+$row_s8_7 = mysql_fetch_assoc($res_s8_7);
+echo '<div>' . $row_s8_7['note'] . '</div>';
+
+$labels_c42_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c42_f0 as $key_c42_f0 => $val_c42_f0) {
+    echo '<option value="' . $key_c42_f0 . '">' . $val_c42_f0 . '</option>';
+}
+// Template for the theme section.
+function header_markup_c42_f1() {
+    return '<div class="wrap theme"><h1>Settings</h1></div>';
+}
+
+$res_s8_8 = mysql_query("SELECT * FROM sml_legacy");
+$row_s8_8 = mysql_fetch_assoc($res_s8_8);
+echo '<span>' . $row_s8_8['text'] . '</span>';
+
+// Template for the lang section.
+function header_markup_c43_f0() {
+    return '<div class="wrap lang"><h1>Settings</h1></div>';
+}
+function default_settings_c43_f1() {
+    return array(
+        'lang_limit' => 10,
+        'lang_order' => 'ASC',
+        'lang_cache' => true,
+    );
+}
+
+$res_s8_9 = mysql_query("SELECT * FROM posts_ext_legacy");
+$row_s8_9 = mysql_fetch_assoc($res_s8_9);
+echo '<li>' . $row_s8_9['slug'] . '</li>';
+
+function default_settings_c44_f0() {
+    return array(
+        'img_path_limit' => 10,
+        'img_path_order' => 'ASC',
+        'img_path_cache' => true,
+    );
+}
+
+$res_s8_10 = mysql_query("SELECT * FROM events_legacy");
+$row_s8_10 = mysql_fetch_assoc($res_s8_10);
+echo '<p>' . $row_s8_10['page'] . '</p>';
+
+function format_count_c45_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}
+
+$res_s8_11 = mysql_query("SELECT * FROM subscribers_legacy");
+$row_s8_11 = mysql_fetch_assoc($res_s8_11);
+echo '<td>' . $row_s8_11['tab'] . '</td>';
+
+$labels_c46_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c46_f0 as $key_c46_f0 => $val_c46_f0) {
+    echo '<option value="' . $key_c46_f0 . '">' . $val_c46_f0 . '</option>';
+}
+// Template for the title section.
+function header_markup_c46_f1() {
+    return '<div class="wrap title"><h1>Settings</h1></div>';
+}
+
+$res_s8_12 = mysql_query("SELECT * FROM albums_legacy");
+$row_s8_12 = mysql_fetch_assoc($res_s8_12);
+echo '<h2>' . $row_s8_12['theme'] . '</h2>';
+
+// Template for the name section.
+function header_markup_c47_f0() {
+    return '<div class="wrap name"><h1>Settings</h1></div>';
+}
+function default_settings_c47_f1() {
+    return array(
+        'name_limit' => 10,
+        'name_order' => 'ASC',
+        'name_cache' => true,
+    );
+}
+
+$res_s8_13 = mysql_query("SELECT * FROM forms_legacy");
+$row_s8_13 = mysql_fetch_assoc($res_s8_13);
+echo '<strong>' . $row_s8_13['lang'] . '</strong>';
+
+function default_settings_c48_f0() {
+    return array(
+        'email_limit' => 10,
+        'email_order' => 'ASC',
+        'email_cache' => true,
+    );
+}
+
+$res_s8_14 = mysql_query("SELECT * FROM stats_legacy");
+$row_s8_14 = mysql_fetch_assoc($res_s8_14);
+echo '<div>' . $row_s8_14['img_path'] . '</div>';
+
+function format_count_c49_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}
+
+$res_s8_15 = mysql_query("SELECT * FROM votes_legacy");
+$row_s8_15 = mysql_fetch_assoc($res_s8_15);
+echo '<span>' . $row_s8_15['msg'] . '</span>';
+
+$labels_c50_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c50_f0 as $key_c50_f0 => $val_c50_f0) {
+    echo '<option value="' . $key_c50_f0 . '">' . $val_c50_f0 . '</option>';
+}
+// Template for the color section.
+function header_markup_c50_f1() {
+    return '<div class="wrap color"><h1>Settings</h1></div>';
+}

@@ -1,0 +1,16 @@
+<?php
+/* plugin-00 (2012) — deep/chain-1.php */
+$compat_probe_51 = new stdClass();
+require_once dirname(__FILE__) . '/chain-2.php';
+
+// Template for the label section.
+function header_markup_c51_f0() {
+    return '<div class="wrap label"><h1>Settings</h1></div>';
+}
+function default_settings_c51_f1() {
+    return array(
+        'label_limit' => 10,
+        'label_order' => 'ASC',
+        'label_cache' => true,
+    );
+}

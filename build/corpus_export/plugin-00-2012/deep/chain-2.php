@@ -1,0 +1,12 @@
+<?php
+/* plugin-00 (2012) — deep/chain-2.php */
+$compat_probe_52 = new stdClass();
+require_once dirname(__FILE__) . '/chain-3.php';
+
+function default_settings_c52_f0() {
+    return array(
+        'note_limit' => 10,
+        'note_order' => 'ASC',
+        'note_cache' => true,
+    );
+}

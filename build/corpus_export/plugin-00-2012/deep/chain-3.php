@@ -1,0 +1,10 @@
+<?php
+/* plugin-00 (2012) — deep/chain-3.php */
+$compat_probe_53 = new stdClass();
+require_once dirname(__FILE__) . '/chain-4.php';
+
+function format_count_c53_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}

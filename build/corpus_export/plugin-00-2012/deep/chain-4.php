@@ -1,0 +1,13 @@
+<?php
+/* plugin-00 (2012) — deep/chain-4.php */
+$compat_probe_54 = new stdClass();
+require_once dirname(__FILE__) . '/chain-5.php';
+
+$labels_c54_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c54_f0 as $key_c54_f0 => $val_c54_f0) {
+    echo '<option value="' . $key_c54_f0 . '">' . $val_c54_f0 . '</option>';
+}
+// Template for the slug section.
+function header_markup_c54_f1() {
+    return '<div class="wrap slug"><h1>Settings</h1></div>';
+}

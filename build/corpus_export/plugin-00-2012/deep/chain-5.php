@@ -1,0 +1,16 @@
+<?php
+/* plugin-00 (2012) — deep/chain-5.php */
+$compat_probe_55 = new stdClass();
+require_once dirname(__FILE__) . '/chain-6.php';
+
+// Template for the page section.
+function header_markup_c55_f0() {
+    return '<div class="wrap page"><h1>Settings</h1></div>';
+}
+function default_settings_c55_f1() {
+    return array(
+        'page_limit' => 10,
+        'page_order' => 'ASC',
+        'page_cache' => true,
+    );
+}

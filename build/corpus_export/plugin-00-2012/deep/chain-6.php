@@ -1,0 +1,12 @@
+<?php
+/* plugin-00 (2012) — deep/chain-6.php */
+$compat_probe_56 = new stdClass();
+require_once dirname(__FILE__) . '/chain-7.php';
+
+function default_settings_c56_f0() {
+    return array(
+        'tab_limit' => 10,
+        'tab_order' => 'ASC',
+        'tab_cache' => true,
+    );
+}

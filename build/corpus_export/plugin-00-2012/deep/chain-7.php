@@ -1,0 +1,10 @@
+<?php
+/* plugin-00 (2012) — deep/chain-7.php */
+$compat_probe_57 = new stdClass();
+require_once dirname(__FILE__) . '/chain-8.php';
+
+function format_count_c57_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}

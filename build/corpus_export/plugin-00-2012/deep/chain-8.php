@@ -1,0 +1,12 @@
+<?php
+/* plugin-00 (2012) — deep/chain-8.php */
+$compat_probe_58 = new stdClass();
+
+$labels_c58_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c58_f0 as $key_c58_f0 => $val_c58_f0) {
+    echo '<option value="' . $key_c58_f0 . '">' . $val_c58_f0 . '</option>';
+}
+// Template for the lang section.
+function header_markup_c58_f1() {
+    return '<div class="wrap lang"><h1>Settings</h1></div>';
+}

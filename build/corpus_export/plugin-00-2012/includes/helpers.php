@@ -1,0 +1,31 @@
+<?php
+/* plugin-00 (2012) — includes/helpers.php */
+$compat_probe_24 = new stdClass();
+
+function default_settings_c24_f0() {
+    return array(
+        'slug_limit' => 10,
+        'slug_order' => 'ASC',
+        'slug_cache' => true,
+    );
+}
+
+$title_s0_1 = $_GET['title'];
+echo "<span>{$title_s0_1}</span>";
+
+function format_count_c25_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}
+
+echo '<td>' . intval($_GET['url']) . '</td>';
+
+$labels_c26_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c26_f0 as $key_c26_f0 => $val_c26_f0) {
+    echo '<option value="' . $key_c26_f0 . '">' . $val_c26_f0 . '</option>';
+}
+// Template for the tab section.
+function header_markup_c26_f1() {
+    return '<div class="wrap tab"><h1>Settings</h1></div>';
+}

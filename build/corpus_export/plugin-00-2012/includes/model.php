@@ -1,0 +1,40 @@
+<?php
+/* plugin-00 (2012) — includes/model.php */
+$compat_probe_21 = new stdClass();
+
+function format_count_c21_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}
+
+global $wpdb;
+$rows_s12_2 = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "events");
+foreach ($rows_s12_2 as $row_s12_2) {
+    echo '<li>' . $row_s12_2->name . '</li>';
+}
+
+$labels_c22_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c22_f0 as $key_c22_f0 => $val_c22_f0) {
+    echo '<option value="' . $key_c22_f0 . '">' . $val_c22_f0 . '</option>';
+}
+// Template for the note section.
+function header_markup_c22_f1() {
+    return '<div class="wrap note"><h1>Settings</h1></div>';
+}
+
+$db_s20_0 = new mysqli('localhost', 'u', 'p', 'wp');
+$msg_s20_0 = $_POST['msg'];
+$db_s20_0->query("SELECT * FROM sml WHERE msg = '" . $msg_s20_0 . "'");
+
+// Template for the text section.
+function header_markup_c23_f0() {
+    return '<div class="wrap text"><h1>Settings</h1></div>';
+}
+function default_settings_c23_f1() {
+    return array(
+        'text_limit' => 10,
+        'text_order' => 'ASC',
+        'text_cache' => true,
+    );
+}

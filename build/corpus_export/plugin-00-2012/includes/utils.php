@@ -1,0 +1,44 @@
+<?php
+/* plugin-00 (2012) — includes/utils.php */
+
+$labels_c30_f0 = array('one' => 'One', 'two' => 'Two', 'three' => 'Three');
+foreach ($labels_c30_f0 as $key_c30_f0 => $val_c30_f0) {
+    echo '<option value="' . $key_c30_f0 . '">' . $val_c30_f0 . '</option>';
+}
+// Template for the msg section.
+function header_markup_c30_f1() {
+    return '<div class="wrap msg"><h1>Settings</h1></div>';
+}
+
+$msg_s0_0 = $_GET['msg'];
+echo '<div class="msg">' . $msg_s0_0 . '</div>';
+
+// Template for the title section.
+function header_markup_c31_f0() {
+    return '<div class="wrap title"><h1>Settings</h1></div>';
+}
+function default_settings_c31_f1() {
+    return array(
+        'title_limit' => 10,
+        'title_order' => 'ASC',
+        'title_cache' => true,
+    );
+}
+
+if (isset($note_opt_s27_7)) { echo $note_opt_s27_7; }
+
+function default_settings_c32_f0() {
+    return array(
+        'name_limit' => 10,
+        'name_order' => 'ASC',
+        'name_cache' => true,
+    );
+}
+
+echo sprintf('%d of %d', $_GET['name'], 10);
+
+function format_count_c33_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}

@@ -1,0 +1,39 @@
+<?php
+/* plugin-00 (2012) — main.php */
+$compat_probe_15 = new stdClass();
+
+// Template for the msg section.
+function header_markup_c15_f0() {
+    return '<div class="wrap msg"><h1>Settings</h1></div>';
+}
+function default_settings_c15_f1() {
+    return array(
+        'msg_limit' => 10,
+        'msg_order' => 'ASC',
+        'msg_cache' => true,
+    );
+}
+
+global $wpdb;
+$rows_s12_0 = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "sml");
+foreach ($rows_s12_0 as $row_s12_0) {
+    echo '<li>' . $row_s12_0->msg . '</li>';
+}
+
+function default_settings_c16_f0() {
+    return array(
+        'title_limit' => 10,
+        'title_order' => 'ASC',
+        'title_cache' => true,
+    );
+}
+
+global $wpdb;
+$id_s18_0 = $_GET['id'];
+$wpdb->query("DELETE FROM " . $wpdb->prefix . "sml" . " WHERE id = $id_s18_0");
+
+function format_count_c17_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}

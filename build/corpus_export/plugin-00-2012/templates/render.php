@@ -1,0 +1,37 @@
+<?php
+/* plugin-00 (2012) — templates/render.php */
+$compat_probe_27 = new stdClass();
+
+// Template for the theme section.
+function header_markup_c27_f0() {
+    return '<div class="wrap theme"><h1>Settings</h1></div>';
+}
+function default_settings_c27_f1() {
+    return array(
+        'theme_limit' => 10,
+        'theme_order' => 'ASC',
+        'theme_cache' => true,
+    );
+}
+
+$name_s0_2 = $_GET['name'];
+$out_s0_2 = '<li>';
+$out_s0_2 .= $name_s0_2;
+$out_s0_2 .= '</li>';
+echo $out_s0_2;
+
+function default_settings_c28_f0() {
+    return array(
+        'lang_limit' => 10,
+        'lang_order' => 'ASC',
+        'lang_cache' => true,
+    );
+}
+
+echo '<h2>' . intval($_GET['color']) . '</h2>';
+
+function format_count_c29_f0($count) {
+    $count = (int) $count;
+    if ($count < 0) { $count = 0; }
+    return number_format($count);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_gate.dir/ci_gate.cpp.o"
+  "CMakeFiles/ci_gate.dir/ci_gate.cpp.o.d"
+  "ci_gate"
+  "ci_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_corpus.dir/export_corpus.cpp.o"
+  "CMakeFiles/export_corpus.dir/export_corpus.cpp.o.d"
+  "export_corpus"
+  "export_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/other_cms.dir/other_cms.cpp.o"
+  "CMakeFiles/other_cms.dir/other_cms.cpp.o.d"
+  "other_cms"
+  "other_cms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/other_cms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_audit.dir/plugin_audit.cpp.o"
+  "CMakeFiles/plugin_audit.dir/plugin_audit.cpp.o.d"
+  "plugin_audit"
+  "plugin_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_directory.dir/scan_directory.cpp.o"
+  "CMakeFiles/scan_directory.dir/scan_directory.cpp.o.d"
+  "scan_directory"
+  "scan_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_comparison.dir/tool_comparison.cpp.o"
+  "CMakeFiles/tool_comparison.dir/tool_comparison.cpp.o.d"
+  "tool_comparison"
+  "tool_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

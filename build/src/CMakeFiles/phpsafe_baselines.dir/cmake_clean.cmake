@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_baselines.dir/baselines/pixy_like.cpp.o"
+  "CMakeFiles/phpsafe_baselines.dir/baselines/pixy_like.cpp.o.d"
+  "CMakeFiles/phpsafe_baselines.dir/baselines/rips_like.cpp.o"
+  "CMakeFiles/phpsafe_baselines.dir/baselines/rips_like.cpp.o.d"
+  "libphpsafe_baselines.a"
+  "libphpsafe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/cms_profiles.cpp" "src/CMakeFiles/phpsafe_config.dir/config/cms_profiles.cpp.o" "gcc" "src/CMakeFiles/phpsafe_config.dir/config/cms_profiles.cpp.o.d"
+  "/root/repo/src/config/knowledge.cpp" "src/CMakeFiles/phpsafe_config.dir/config/knowledge.cpp.o" "gcc" "src/CMakeFiles/phpsafe_config.dir/config/knowledge.cpp.o.d"
+  "/root/repo/src/config/profiles.cpp" "src/CMakeFiles/phpsafe_config.dir/config/profiles.cpp.o" "gcc" "src/CMakeFiles/phpsafe_config.dir/config/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_config.dir/config/cms_profiles.cpp.o"
+  "CMakeFiles/phpsafe_config.dir/config/cms_profiles.cpp.o.d"
+  "CMakeFiles/phpsafe_config.dir/config/knowledge.cpp.o"
+  "CMakeFiles/phpsafe_config.dir/config/knowledge.cpp.o.d"
+  "CMakeFiles/phpsafe_config.dir/config/profiles.cpp.o"
+  "CMakeFiles/phpsafe_config.dir/config/profiles.cpp.o.d"
+  "libphpsafe_config.a"
+  "libphpsafe_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

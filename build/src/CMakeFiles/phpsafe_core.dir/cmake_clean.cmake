@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_core.dir/core/engine.cpp.o"
+  "CMakeFiles/phpsafe_core.dir/core/engine.cpp.o.d"
+  "CMakeFiles/phpsafe_core.dir/core/finding.cpp.o"
+  "CMakeFiles/phpsafe_core.dir/core/finding.cpp.o.d"
+  "CMakeFiles/phpsafe_core.dir/core/oop.cpp.o"
+  "CMakeFiles/phpsafe_core.dir/core/oop.cpp.o.d"
+  "CMakeFiles/phpsafe_core.dir/core/summaries.cpp.o"
+  "CMakeFiles/phpsafe_core.dir/core/summaries.cpp.o.d"
+  "CMakeFiles/phpsafe_core.dir/core/taint.cpp.o"
+  "CMakeFiles/phpsafe_core.dir/core/taint.cpp.o.d"
+  "libphpsafe_core.a"
+  "libphpsafe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

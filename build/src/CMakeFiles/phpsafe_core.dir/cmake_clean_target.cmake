@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphpsafe_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cpp" "src/CMakeFiles/phpsafe_corpus.dir/corpus/generator.cpp.o" "gcc" "src/CMakeFiles/phpsafe_corpus.dir/corpus/generator.cpp.o.d"
+  "/root/repo/src/corpus/patterns.cpp" "src/CMakeFiles/phpsafe_corpus.dir/corpus/patterns.cpp.o" "gcc" "src/CMakeFiles/phpsafe_corpus.dir/corpus/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_php.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_corpus.dir/corpus/generator.cpp.o"
+  "CMakeFiles/phpsafe_corpus.dir/corpus/generator.cpp.o.d"
+  "CMakeFiles/phpsafe_corpus.dir/corpus/patterns.cpp.o"
+  "CMakeFiles/phpsafe_corpus.dir/corpus/patterns.cpp.o.d"
+  "libphpsafe_corpus.a"
+  "libphpsafe_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

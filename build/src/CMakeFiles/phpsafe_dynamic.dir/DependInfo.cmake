@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/interpreter.cpp" "src/CMakeFiles/phpsafe_dynamic.dir/dynamic/interpreter.cpp.o" "gcc" "src/CMakeFiles/phpsafe_dynamic.dir/dynamic/interpreter.cpp.o.d"
+  "/root/repo/src/dynamic/validator.cpp" "src/CMakeFiles/phpsafe_dynamic.dir/dynamic/validator.cpp.o" "gcc" "src/CMakeFiles/phpsafe_dynamic.dir/dynamic/validator.cpp.o.d"
+  "/root/repo/src/dynamic/value.cpp" "src/CMakeFiles/phpsafe_dynamic.dir/dynamic/value.cpp.o" "gcc" "src/CMakeFiles/phpsafe_dynamic.dir/dynamic/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_php.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

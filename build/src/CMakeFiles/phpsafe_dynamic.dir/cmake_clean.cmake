@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_dynamic.dir/dynamic/interpreter.cpp.o"
+  "CMakeFiles/phpsafe_dynamic.dir/dynamic/interpreter.cpp.o.d"
+  "CMakeFiles/phpsafe_dynamic.dir/dynamic/validator.cpp.o"
+  "CMakeFiles/phpsafe_dynamic.dir/dynamic/validator.cpp.o.d"
+  "CMakeFiles/phpsafe_dynamic.dir/dynamic/value.cpp.o"
+  "CMakeFiles/phpsafe_dynamic.dir/dynamic/value.cpp.o.d"
+  "libphpsafe_dynamic.a"
+  "libphpsafe_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

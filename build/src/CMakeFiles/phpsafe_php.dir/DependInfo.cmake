@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/php/ast.cpp" "src/CMakeFiles/phpsafe_php.dir/php/ast.cpp.o" "gcc" "src/CMakeFiles/phpsafe_php.dir/php/ast.cpp.o.d"
+  "/root/repo/src/php/lexer.cpp" "src/CMakeFiles/phpsafe_php.dir/php/lexer.cpp.o" "gcc" "src/CMakeFiles/phpsafe_php.dir/php/lexer.cpp.o.d"
+  "/root/repo/src/php/parser.cpp" "src/CMakeFiles/phpsafe_php.dir/php/parser.cpp.o" "gcc" "src/CMakeFiles/phpsafe_php.dir/php/parser.cpp.o.d"
+  "/root/repo/src/php/project.cpp" "src/CMakeFiles/phpsafe_php.dir/php/project.cpp.o" "gcc" "src/CMakeFiles/phpsafe_php.dir/php/project.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_php.dir/php/ast.cpp.o"
+  "CMakeFiles/phpsafe_php.dir/php/ast.cpp.o.d"
+  "CMakeFiles/phpsafe_php.dir/php/lexer.cpp.o"
+  "CMakeFiles/phpsafe_php.dir/php/lexer.cpp.o.d"
+  "CMakeFiles/phpsafe_php.dir/php/parser.cpp.o"
+  "CMakeFiles/phpsafe_php.dir/php/parser.cpp.o.d"
+  "CMakeFiles/phpsafe_php.dir/php/project.cpp.o"
+  "CMakeFiles/phpsafe_php.dir/php/project.cpp.o.d"
+  "libphpsafe_php.a"
+  "libphpsafe_php.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_php.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

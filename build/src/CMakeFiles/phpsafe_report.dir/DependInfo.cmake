@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/evaluation.cpp" "src/CMakeFiles/phpsafe_report.dir/report/evaluation.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/evaluation.cpp.o.d"
+  "/root/repo/src/report/export.cpp" "src/CMakeFiles/phpsafe_report.dir/report/export.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/export.cpp.o.d"
+  "/root/repo/src/report/history.cpp" "src/CMakeFiles/phpsafe_report.dir/report/history.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/history.cpp.o.d"
+  "/root/repo/src/report/inertia.cpp" "src/CMakeFiles/phpsafe_report.dir/report/inertia.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/inertia.cpp.o.d"
+  "/root/repo/src/report/matching.cpp" "src/CMakeFiles/phpsafe_report.dir/report/matching.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/matching.cpp.o.d"
+  "/root/repo/src/report/metrics.cpp" "src/CMakeFiles/phpsafe_report.dir/report/metrics.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/metrics.cpp.o.d"
+  "/root/repo/src/report/overlap.cpp" "src/CMakeFiles/phpsafe_report.dir/report/overlap.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/overlap.cpp.o.d"
+  "/root/repo/src/report/render.cpp" "src/CMakeFiles/phpsafe_report.dir/report/render.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/render.cpp.o.d"
+  "/root/repo/src/report/rootcause.cpp" "src/CMakeFiles/phpsafe_report.dir/report/rootcause.cpp.o" "gcc" "src/CMakeFiles/phpsafe_report.dir/report/rootcause.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_php.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_report.dir/report/evaluation.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/evaluation.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/export.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/export.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/history.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/history.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/inertia.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/inertia.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/matching.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/matching.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/metrics.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/metrics.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/overlap.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/overlap.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/render.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/render.cpp.o.d"
+  "CMakeFiles/phpsafe_report.dir/report/rootcause.cpp.o"
+  "CMakeFiles/phpsafe_report.dir/report/rootcause.cpp.o.d"
+  "libphpsafe_report.a"
+  "libphpsafe_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

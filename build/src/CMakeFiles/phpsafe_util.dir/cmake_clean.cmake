@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpsafe_util.dir/util/diagnostics.cpp.o"
+  "CMakeFiles/phpsafe_util.dir/util/diagnostics.cpp.o.d"
+  "CMakeFiles/phpsafe_util.dir/util/source.cpp.o"
+  "CMakeFiles/phpsafe_util.dir/util/source.cpp.o.d"
+  "CMakeFiles/phpsafe_util.dir/util/strings.cpp.o"
+  "CMakeFiles/phpsafe_util.dir/util/strings.cpp.o.d"
+  "libphpsafe_util.a"
+  "libphpsafe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpsafe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for phpsafe_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cms_profiles_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/cms_profiles_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/cms_profiles_test.cpp.o.d"
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/config_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/dynamic_value_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/dynamic_value_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/dynamic_value_test.cpp.o.d"
+  "/root/repo/tests/engine_semantics_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/engine_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/engine_semantics_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/evaluation_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/evaluation_test.cpp.o.d"
+  "/root/repo/tests/export_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/export_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/export_test.cpp.o.d"
+  "/root/repo/tests/golden_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/golden_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/golden_test.cpp.o.d"
+  "/root/repo/tests/history_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/history_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/history_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interpreter_semantics_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/interpreter_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/interpreter_semantics_test.cpp.o.d"
+  "/root/repo/tests/interpreter_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/oop_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/oop_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/oop_test.cpp.o.d"
+  "/root/repo/tests/parser_edge_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/parser_edge_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/parser_edge_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/project_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/project_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/project_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/stats_walk_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/stats_walk_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/stats_walk_test.cpp.o.d"
+  "/root/repo/tests/taint_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/taint_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/taint_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/validator_test.cpp" "tests/CMakeFiles/phpsafe_tests.dir/validator_test.cpp.o" "gcc" "tests/CMakeFiles/phpsafe_tests.dir/validator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpsafe_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_php.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/phpsafe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
