@@ -1,0 +1,242 @@
+// Scalability bench for the parse-once evaluation pipeline (paper §V.E:
+// analysis cost grows roughly linearly with LOC). Three arms per corpus
+// scale:
+//
+//   legacy    — the seed pipeline's structure: every (version, tool) pair
+//               re-parses every plugin before analyzing it (6 model
+//               constructions per plugin for the 3-tool × 2-version matrix).
+//   serial    — the parse-once pipeline, parallelism = 1.
+//   parallel  — the parse-once pipeline, auto parallelism (PHPSAFE_JOBS or
+//               hardware_concurrency).
+//
+// All arms compute identical statistics (asserted); what changes is wall
+// clock. Results are appended per scale and written as BENCH_scale.json at
+// the repo root so later PRs have a perf trajectory to compare against.
+//
+// Usage: bench_scale [max_scale] [timing_reps] [output.json]
+//   max_scale: largest corpus multiplier to run (default 4 → 1x, 2x, 4x)
+//   timing_reps: wall-clock repetitions per arm; best (minimum) is kept.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "report/evaluation.h"
+#include "report/matching.h"
+#include "util/timing.h"
+#include "util/worker_pool.h"
+
+#ifndef PHPSAFE_REPO_ROOT
+#define PHPSAFE_REPO_ROOT "."
+#endif
+
+using namespace phpsafe;
+
+namespace {
+
+struct StageTotals {
+    double parse_cpu = 0;    ///< model construction CPU (once per tool-stat)
+    double analyze_cpu = 0;  ///< taint analysis CPU
+    int tp = 0, fp = 0;
+};
+
+StageTotals totals_of(const Evaluation& evaluation) {
+    StageTotals totals;
+    for (const auto& [version, tools] : evaluation.stats) {
+        for (const auto& [tool, stats] : tools) {
+            totals.parse_cpu += stats.parse_seconds;
+            totals.analyze_cpu += stats.cpu_seconds - stats.parse_seconds;
+            totals.tp += stats.tp;
+            totals.fp += stats.fp;
+        }
+    }
+    return totals;
+}
+
+/// The seed pipeline, reproduced structurally: parse inside the per-tool
+/// loop, so each tool rebuilds every project. Serial, like the seed default.
+Evaluation run_legacy_pipeline(const std::vector<Tool>& tools, double scale) {
+    Evaluation evaluation;
+    corpus::CorpusOptions corpus_options;
+    corpus_options.scale = scale;
+    evaluation.corpus = corpus::generate_corpus(corpus_options);
+    for (const Tool& tool : tools) evaluation.tool_names.push_back(tool.name);
+
+    for (const auto& version : {std::string("2012"), std::string("2014")}) {
+        evaluation.truth[version] = evaluation.corpus.all_truth(version);
+        for (const Tool& tool : tools) {
+            EvaluationStats& stats = evaluation.stats[version][tool.name];
+            for (const corpus::GeneratedPlugin& plugin :
+                 evaluation.corpus.plugins) {
+                const corpus::PluginVersionSource& src =
+                    version == "2012" ? plugin.v2012 : plugin.v2014;
+                const double parse_start = thread_cpu_seconds();
+                DiagnosticSink sink;
+                const php::Project project =
+                    corpus::build_project(plugin, src, sink);
+                const double parse_seconds = thread_cpu_seconds() - parse_start;
+                const AnalysisResult result = run_tool(tool, project);
+                stats.parse_seconds += parse_seconds;
+                stats.cpu_seconds += result.cpu_seconds + parse_seconds;
+                // Stats beyond timing and tp/fp are not needed by this
+                // bench; tp/fp suffice for the equivalence check.
+                const MatchResult match =
+                    match_findings(result.findings, src.truth);
+                stats.tp += match.tp();
+                stats.fp += match.fp();
+            }
+        }
+    }
+    return evaluation;
+}
+
+struct ScaleResult {
+    double scale = 1;
+    int lines_2012 = 0, lines_2014 = 0;
+    double legacy_wall = 0;
+    double serial_wall = 0;
+    double parallel_wall = 0;
+    int parallel_workers = 1;
+    StageTotals legacy_stages;
+    StageTotals serial_stages;
+};
+
+template <typename Fn>
+double best_wall_of(int reps, Fn&& fn) {
+    double best = 0;
+    for (int i = 0; i < reps; ++i) {
+        const double start = wall_seconds();
+        fn();
+        const double elapsed = wall_seconds() - start;
+        if (i == 0 || elapsed < best) best = elapsed;
+    }
+    return best;
+}
+
+void write_json(const std::string& path, const std::vector<ScaleResult>& rows) {
+    std::ofstream out(path);
+    char buf[64];
+    auto num = [&](double v) {
+        std::snprintf(buf, sizeof buf, "%.4f", v);
+        return std::string(buf);
+    };
+    out << "{\n  \"bench\": \"bench_scale\",\n";
+    out << "  \"pipeline\": \"parse-once (project built once per plugin-version, "
+           "shared across tools)\",\n";
+    out << "  \"tools\": 3,\n";
+    out << "  \"hardware_concurrency\": "
+        << WorkerPool::resolve_parallelism(0) << ",\n";
+    out << "  \"scales\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ScaleResult& r = rows[i];
+        out << "    {\n";
+        out << "      \"corpus_scale\": " << num(r.scale) << ",\n";
+        out << "      \"lines_2012\": " << r.lines_2012 << ",\n";
+        out << "      \"lines_2014\": " << r.lines_2014 << ",\n";
+        out << "      \"legacy_serial_wall_seconds\": " << num(r.legacy_wall)
+            << ",\n";
+        out << "      \"parse_once_serial_wall_seconds\": " << num(r.serial_wall)
+            << ",\n";
+        out << "      \"parse_once_parallel_wall_seconds\": "
+            << num(r.parallel_wall) << ",\n";
+        out << "      \"parallel_workers\": " << r.parallel_workers << ",\n";
+        out << "      \"speedup_serial_vs_legacy\": "
+            << num(r.legacy_wall / r.serial_wall) << ",\n";
+        out << "      \"speedup_end_to_end\": "
+            << num(r.legacy_wall / r.parallel_wall) << ",\n";
+        out << "      \"stages\": {\n";
+        out << "        \"legacy\": {\"parse_cpu_seconds\": "
+            << num(r.legacy_stages.parse_cpu) << ", \"analyze_cpu_seconds\": "
+            << num(r.legacy_stages.analyze_cpu) << "},\n";
+        out << "        \"parse_once\": {\"parse_cpu_seconds\": "
+            << num(r.serial_stages.parse_cpu) << ", \"analyze_cpu_seconds\": "
+            << num(r.serial_stages.analyze_cpu) << "}\n";
+        out << "      }\n";
+        out << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double max_scale = 4.0;
+    if (argc > 1) {
+        char* end = nullptr;
+        max_scale = std::strtod(argv[1], &end);
+        if (end == argv[1] || *end != '\0' || max_scale <= 0) {
+            std::cerr << "usage: bench_scale [max_scale] [timing_reps] "
+                         "[output.json]\n  max_scale must be a positive "
+                         "number, got '" << argv[1] << "'\n";
+            return 2;
+        }
+    }
+    const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
+    const std::string out_path =
+        argc > 3 ? argv[3] : std::string(PHPSAFE_REPO_ROOT "/BENCH_scale.json");
+
+    const std::vector<Tool> tools = paper_tool_set();
+    std::vector<ScaleResult> rows;
+
+    for (double scale = 1.0; scale <= max_scale + 1e-9; scale *= 2.0) {
+        ScaleResult row;
+        row.scale = scale;
+
+        Evaluation legacy;
+        row.legacy_wall = best_wall_of(
+            reps, [&] { legacy = run_legacy_pipeline(tools, scale); });
+        row.legacy_stages = totals_of(legacy);
+        row.lines_2012 = legacy.corpus.total_lines("2012");
+        row.lines_2014 = legacy.corpus.total_lines("2014");
+
+        EvaluationOptions serial_options;
+        serial_options.corpus_scale = scale;
+        serial_options.parallelism = 1;
+        Evaluation serial;
+        row.serial_wall = best_wall_of(reps, [&] {
+            serial = run_corpus_evaluation(tools, serial_options);
+        });
+        row.serial_stages = totals_of(serial);
+        // Per Table III convention every tool's stats carry the shared parse
+        // cost; undo that attribution so the JSON reports CPU actually spent
+        // building models (once per plugin-version, not once per tool).
+        row.serial_stages.parse_cpu /= static_cast<double>(tools.size());
+
+        EvaluationOptions parallel_options = serial_options;
+        parallel_options.parallelism = 0;  // auto
+        row.parallel_workers = WorkerPool::resolve_parallelism(0);
+        Evaluation parallel;
+        row.parallel_wall = best_wall_of(reps, [&] {
+            parallel = run_corpus_evaluation(tools, parallel_options);
+        });
+
+        // All three arms must agree on the statistics; a fast wrong
+        // pipeline is not a speedup.
+        const StageTotals serial_totals = totals_of(serial);
+        const StageTotals parallel_totals = totals_of(parallel);
+        if (row.legacy_stages.tp != serial_totals.tp ||
+            row.legacy_stages.fp != serial_totals.fp ||
+            serial_totals.tp != parallel_totals.tp ||
+            serial_totals.fp != parallel_totals.fp) {
+            std::cerr << "FATAL: pipelines disagree on statistics at scale "
+                      << scale << "\n";
+            return 1;
+        }
+
+        std::cout << "scale " << scale << "x: legacy " << row.legacy_wall
+                  << "s, parse-once serial " << row.serial_wall
+                  << "s (x" << row.legacy_wall / row.serial_wall
+                  << "), parallel " << row.parallel_wall << "s (x"
+                  << row.legacy_wall / row.parallel_wall << " end-to-end, "
+                  << row.parallel_workers << " workers)\n";
+        rows.push_back(row);
+    }
+
+    write_json(out_path, rows);
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

@@ -27,6 +27,11 @@ inline EvalRun run_evaluation(double scale = 1.0, int repetitions = 1) {
     EvaluationOptions options;
     options.corpus_scale = scale;
     options.timing_repetitions = repetitions;
+    // Auto parallelism in the bench path: PHPSAFE_JOBS when set, otherwise
+    // hardware_concurrency(). Statistics are identical at any worker count
+    // and per-plugin times use a per-thread CPU clock, so parallel bench
+    // runs report the same tables, just sooner.
+    options.parallelism = 0;
     Evaluation evaluation = run_corpus_evaluation(paper_tool_set(), options);
 
     EvalRun run;

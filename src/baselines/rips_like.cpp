@@ -1,6 +1,6 @@
-#include <ctime>
-
 #include "baselines/analyzers.h"
+
+#include "util/timing.h"
 
 namespace phpsafe {
 
@@ -30,10 +30,12 @@ Tool make_rips_like_tool() {
 
 AnalysisResult run_tool(const Tool& tool, const php::Project& project) {
     Engine engine(tool.kb, tool.options);
-    const std::clock_t start = std::clock();
+    // Per-thread CPU clock: correct even when many run_tool calls execute
+    // concurrently on a parallel evaluation's worker pool (std::clock() is
+    // process-wide and would absorb the other workers' CPU time).
+    const double start = thread_cpu_seconds();
     AnalysisResult result = engine.analyze(project);
-    const std::clock_t end = std::clock();
-    result.cpu_seconds = static_cast<double>(end - start) / CLOCKS_PER_SEC;
+    result.cpu_seconds = thread_cpu_seconds() - start;
     return result;
 }
 

@@ -54,6 +54,8 @@ Engine::Engine(const KnowledgeBase& kb, AnalysisOptions options)
 
 AnalysisResult Engine::analyze(const php::Project& project) {
     project_ = &project;
+    symbols_.clear();
+    this_sym_ = symbols_.intern("$this");
     diagnostics_.clear();
     findings_.clear();
     globals_ = Scope{};
@@ -300,7 +302,8 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
         }
         case NodeKind::kGlobalStmt: {
             const auto& n = static_cast<const php::GlobalStmt&>(stmt);
-            for (const std::string& name : n.names) scope.global_aliases.insert(name);
+            for (const std::string& name : n.names)
+                scope.global_aliases.insert(sym(name));
             break;
         }
         case NodeKind::kStaticVarStmt: {
@@ -308,7 +311,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             for (const auto& [name, init] : n.vars) {
                 if (!init) continue;
                 TaintValue value = eval(*init, scope);
-                scope.vars[name] = std::move(value);
+                scope.vars[sym(name)] = std::move(value);
             }
             break;
         }
@@ -320,9 +323,10 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
                 if (!var) continue;
                 if (var->kind == NodeKind::kVariable) {
                     const auto& v = static_cast<const php::Variable&>(*var);
-                    if (scope.global_aliases.count(v.name) || scope.is_global)
-                        global_slot(v.name).reset();
-                    if (!scope.is_global) scope.vars[v.name].reset();
+                    const Symbol name_sym = sym(v.name);
+                    if (scope.global_aliases.contains(name_sym) || scope.is_global)
+                        global_slot(name_sym).reset();
+                    if (!scope.is_global) scope.vars[name_sym].reset();
                 } else if (var->kind == NodeKind::kPropertyAccess) {
                     // Weak store: resetting a property of one instance must
                     // not clear the merged class slot; drop the path slot.
@@ -330,7 +334,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
                     if (p.object && p.object->kind == NodeKind::kVariable &&
                         !p.property.empty()) {
                         const auto& base = static_cast<const php::Variable&>(*p.object);
-                        scope.vars.erase(base.name + "->" + p.property);
+                        scope.vars.erase(sym(base.name + "->" + p.property));
                     }
                 }
                 // unset($a['k']) leaves the whole-array taint untouched.
@@ -354,7 +358,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             const auto& n = static_cast<const php::TryStmt&>(stmt);
             exec_stmts(n.body, scope);
             for (const php::CatchClause& c : n.catches) {
-                if (!c.var.empty()) scope.vars[c.var] = TaintValue::clean();
+                if (!c.var.empty()) scope.vars[sym(c.var)] = TaintValue::clean();
                 exec_stmts(c.body, scope);
             }
             exec_stmts(n.finally_body, scope);
@@ -545,7 +549,9 @@ TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
                                   superglobal_display(name, nullptr));
     }
 
-    const bool is_global_var = scope.is_global || scope.global_aliases.count(name) > 0;
+    const Symbol name_sym = sym(name);
+    const bool is_global_var =
+        scope.is_global || scope.global_aliases.contains(name_sym);
     if (is_global_var) {
         TaintValue v = read_global(name, loc_of(var, scope));
         if (v.object_class.empty() && options_.track_object_types) {
@@ -554,20 +560,20 @@ TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
         }
         if (!v.tainted_any() && v.object_class.empty() &&
             kb_.model_register_globals && scope.is_global &&
-            !globals_.vars.count(name)) {
+            !globals_.vars.contains(name_sym)) {
             // register_globals=1 era: any unassigned global can be supplied
             // from the request (Pixy's signature detection class).
             TaintValue src = TaintValue::source(
                 kBothVulns, InputVector::kGet, loc_of(var, scope),
                 "register_globals variable " + name);
-            globals_.vars[name] = src;
+            globals_.vars[name_sym] = src;
             return src;
         }
         return v;
     }
 
-    const auto it = scope.vars.find(resolve_alias(name, scope));
-    if (it != scope.vars.end()) return it->second;
+    if (const TaintValue* found = scope.vars.find(resolve_alias(name_sym, scope)))
+        return *found;
     if (scope.extract_taint.tainted_any() || scope.extract_taint.depends_on_params()) {
         TaintValue injected = scope.extract_taint;
         injected.add_step(loc_of(var, scope), "variable " + name +
@@ -625,8 +631,9 @@ TaintValue Engine::eval_property_access(const php::PropertyAccess& access,
     // Path-keyed slot: "$obj->prop" tracked like a variable.
     if (access.object->kind == NodeKind::kVariable) {
         const auto& base = static_cast<const php::Variable&>(*access.object);
-        const auto it = scope.vars.find(base.name + "->" + access.property);
-        if (it != scope.vars.end()) out.merge(it->second);
+        if (const TaintValue* slot =
+                scope.vars.find(sym(base.name + "->" + access.property)))
+            out.merge(*slot);
     }
 
     // Class-level slot when the receiver class is known.
@@ -644,15 +651,14 @@ TaintValue Engine::eval_property_access(const php::PropertyAccess& access,
     return out;
 }
 
-const std::string& Engine::resolve_alias(const std::string& name,
-                                         const Scope& scope) const {
-    const std::string* current = &name;
+Symbol Engine::resolve_alias(Symbol name, const Scope& scope) const {
+    Symbol current = name;
     for (int depth = 0; depth < 8; ++depth) {
-        const auto it = scope.ref_aliases.find(*current);
-        if (it == scope.ref_aliases.end()) return *current;
-        current = &it->second;
+        const Symbol* next = scope.ref_aliases.find(current);
+        if (!next) return current;
+        current = *next;
     }
-    return *current;
+    return current;
 }
 
 TaintValue Engine::eval_assign(const php::Assign& assign, Scope& scope) {
@@ -663,10 +669,11 @@ TaintValue Engine::eval_assign(const php::Assign& assign, Scope& scope) {
         assign.value->kind == NodeKind::kVariable) {
         const auto& target = static_cast<const php::Variable&>(*assign.target);
         const auto& source = static_cast<const php::Variable&>(*assign.value);
-        const std::string canonical = resolve_alias(source.name, scope);
-        if (canonical != target.name) {
-            scope.ref_aliases[target.name] = canonical;
-            scope.vars.erase(target.name);
+        const Symbol canonical = resolve_alias(sym(source.name), scope);
+        const Symbol target_sym = sym(target.name);
+        if (canonical != target_sym) {
+            scope.ref_aliases[target_sym] = canonical;
+            scope.vars.erase(target_sym);
         }
         return eval(*assign.value, scope);
     }
@@ -702,11 +709,12 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
             if (kb_.superglobal(var.name)) return;  // writing into $_GET: ignore
             if (value.tainted_any() || value.depends_on_params())
                 value.add_step(loc_of(target, scope), "assigned to " + var.name);
+            const Symbol name_sym = sym(var.name);
             const bool is_global_var =
-                scope.is_global || scope.global_aliases.count(var.name) > 0;
+                scope.is_global || scope.global_aliases.contains(name_sym);
             TaintValue& slot = is_global_var
-                                   ? global_slot(var.name)
-                                   : scope.vars[resolve_alias(var.name, scope)];
+                                   ? global_slot(name_sym)
+                                   : scope.vars[resolve_alias(name_sym, scope)];
             if (weak)
                 slot.merge(value);
             else
@@ -748,7 +756,8 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
             value.via_oop = value.via_oop || value.tainted_any();
             if (access.object->kind == NodeKind::kVariable) {
                 const auto& base = static_cast<const php::Variable&>(*access.object);
-                TaintValue& slot = scope.vars[base.name + "->" + access.property];
+                TaintValue& slot =
+                    scope.vars[sym(base.name + "->" + access.property)];
                 if (weak)
                     slot.merge(value);
                 else
@@ -795,8 +804,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
 
 TaintValue Engine::read_global(const std::string& name, SourceLocation loc) {
     (void)loc;
-    const auto it = globals_.vars.find(name);
-    if (it != globals_.vars.end()) return it->second;
+    if (const TaintValue* found = globals_.vars.find(sym(name))) return *found;
     TaintValue v;
     if (const std::string* cls = kb_.known_global_class(name)) {
         if (options_.track_object_types && options_.oop_support) v.object_class = *cls;
@@ -805,8 +813,10 @@ TaintValue Engine::read_global(const std::string& name, SourceLocation loc) {
 }
 
 TaintValue& Engine::global_slot(const std::string& name) {
-    return globals_.vars[name];
+    return globals_.vars[sym(name)];
 }
+
+TaintValue& Engine::global_slot(Symbol name) { return globals_.vars[name]; }
 
 // ---------------------------------------------------------------------------
 // Calls
@@ -1194,12 +1204,12 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
         // properties and globals materializes.
         if (first_call_args && i < first_call_args->size())
             v.merge((*first_call_args)[i]);
-        fn_scope.vars[param.name] = std::move(v);
+        fn_scope.vars[sym(param.name)] = std::move(v);
     }
     if (ref.owner) {
         TaintValue self;
         self.object_class = ascii_lower(ref.owner->name);
-        fn_scope.vars["$this"] = std::move(self);
+        fn_scope.vars[this_sym_] = std::move(self);
     }
 
     exec_stmts(ref.decl->body, fn_scope);
@@ -1209,11 +1219,11 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
     for (size_t i = 0; i < ref.decl->params.size(); ++i) {
         const php::Param& param = ref.decl->params[i];
         if (!param.by_ref) continue;
-        const auto it = fn_scope.vars.find(param.name);
-        if (it == fn_scope.vars.end()) continue;
+        const TaintValue* final_value = fn_scope.vars.find(sym(param.name));
+        if (!final_value) continue;
         FunctionSummary::ParamOut out;
         out.param = static_cast<int>(i);
-        out.value = it->second;
+        out.value = *final_value;
         summary.param_outputs.push_back(std::move(out));
     }
 
@@ -1224,10 +1234,12 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
 }
 
 TaintValue Engine::lookup_var(const std::string& name, Scope& scope) {
-    const bool is_global_var = scope.is_global || scope.global_aliases.count(name) > 0;
+    const Symbol name_sym = sym(name);
+    const bool is_global_var =
+        scope.is_global || scope.global_aliases.contains(name_sym);
     if (is_global_var) return read_global(name, SourceLocation{});
-    const auto it = scope.vars.find(name);
-    return it != scope.vars.end() ? it->second : TaintValue::clean();
+    const TaintValue* found = scope.vars.find(name_sym);
+    return found ? *found : TaintValue::clean();
 }
 
 void Engine::eval_closure_body(const php::Closure& closure, Scope& scope) {
@@ -1237,14 +1249,14 @@ void Engine::eval_closure_body(const php::Closure& closure, Scope& scope) {
     body_scope.current_class = scope.current_class;
     body_scope.summary = scope.summary;  // propagate param deps of the enclosing fn
     for (const auto& [name, by_ref] : closure.uses)
-        body_scope.vars[name] = lookup_var(name, scope);
+        body_scope.vars[sym(name)] = lookup_var(name, scope);
     if (closure.is_arrow) {
         // Arrow functions capture the whole enclosing scope by value.
         body_scope.vars = scope.vars;
         if (scope.is_global) body_scope.vars = globals_.vars;
     }
-    const auto it = scope.vars.find("$this");
-    if (it != scope.vars.end()) body_scope.vars["$this"] = it->second;
+    if (const TaintValue* self = scope.vars.find(this_sym_))
+        body_scope.vars[this_sym_] = *self;
     exec_stmts(closure.body, body_scope);
 }
 
@@ -1329,7 +1341,9 @@ void Engine::report(VulnKind kind, SourceLocation loc, const std::string& sink_n
     f.variable = variable;
     f.vector = value.vector;
     f.via_oop = value.via_oop;
-    f.trace = value.trace;
+    // The COW trace is materialized into a flat vector only here, at the
+    // moment a finding is actually reported.
+    f.trace = value.trace.steps();
     f.trace.push_back(TaintStep{f.location, "reaches sink " + sink_name});
     findings_.push_back(std::move(f));
 }

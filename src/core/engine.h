@@ -23,6 +23,8 @@
 #include "core/summaries.h"
 #include "core/taint.h"
 #include "php/project.h"
+#include "util/flat_map.h"
+#include "util/interner.h"
 
 namespace phpsafe {
 
@@ -78,12 +80,15 @@ public:
     const AnalysisOptions& options() const noexcept { return options_; }
 
 private:
+    /// Scopes key their variable maps by interned Symbols (see
+    /// util/interner.h): one hash + flat probe per lookup instead of the
+    /// seed's O(log n) string-comparing std::map walk.
     struct Scope {
-        std::map<std::string, TaintValue> vars;
-        std::set<std::string> global_aliases;  ///< names bound by `global`
+        SymbolMap<TaintValue> vars;
+        SymbolSet global_aliases;  ///< names bound by `global`
         /// Reference aliases ($a =& $b): alias name → canonical name. The
         /// paper runs Pixy with "-A" to enable exactly this handling.
-        std::map<std::string, std::string> ref_aliases;
+        SymbolMap<Symbol> ref_aliases;
         /// Set after extract($tainted): reads of variables never assigned
         /// in this scope yield this taint (extract() can define any name).
         TaintValue extract_taint;
@@ -140,15 +145,18 @@ private:
     /// Variable lookup honoring global scope (used by closure capture).
     TaintValue lookup_var(const std::string& name, Scope& scope);
 
-    /// Resolves $a =& $b reference aliases to the canonical variable name.
-    const std::string& resolve_alias(const std::string& name,
-                                     const Scope& scope) const;
+    /// Interns a (case-sensitive) variable or path name for this run.
+    Symbol sym(std::string_view name) { return symbols_.intern(name); }
+
+    /// Resolves $a =& $b reference aliases to the canonical variable symbol.
+    Symbol resolve_alias(Symbol name, const Scope& scope) const;
 
     // -- lvalues / stores ------------------------------------------------------
     void assign_to(const php::Expr& target, TaintValue value, Scope& scope,
                    bool weak = false);
     TaintValue read_global(const std::string& name, SourceLocation loc);
     TaintValue& global_slot(const std::string& name);
+    TaintValue& global_slot(Symbol name);
 
     // -- sinks / findings -----------------------------------------------------
     void check_sink(VulnSet sink_kinds, const TaintValue& value,
@@ -167,6 +175,8 @@ private:
 
     // -- per-run state -----------------------------------------------------------
     const php::Project* project_ = nullptr;
+    SymbolTable symbols_;
+    Symbol this_sym_;  ///< interned "$this" (re-interned per run)
     DiagnosticSink diagnostics_;
     std::vector<Finding> findings_;
     Scope globals_;

@@ -4,6 +4,22 @@
 
 namespace phpsafe {
 
+void Trace::push(SourceLocation loc, std::string description) {
+    auto node = std::make_shared<Node>();
+    node->step = TaintStep{std::move(loc), std::move(description)};
+    node->depth = static_cast<uint32_t>(size()) + 1;
+    node->parent = std::move(head_);
+    head_ = std::move(node);
+}
+
+std::vector<TaintStep> Trace::steps() const {
+    std::vector<TaintStep> out(size());
+    size_t i = out.size();
+    for (const Node* node = head_.get(); node; node = node->parent.get())
+        out[--i] = node->step;
+    return out;
+}
+
 TaintValue TaintValue::source(VulnSet kinds, InputVector vec, SourceLocation loc,
                               std::string what) {
     TaintValue v;
@@ -11,7 +27,7 @@ TaintValue TaintValue::source(VulnSet kinds, InputVector vec, SourceLocation loc
     v.vector = vec;
     v.user_input = vec == InputVector::kGet || vec == InputVector::kPost ||
                    vec == InputVector::kCookie || vec == InputVector::kRequest;
-    v.trace.push_back(TaintStep{std::move(loc), "source: " + what});
+    v.trace.push(std::move(loc), "source: " + what);
     return v;
 }
 
@@ -31,7 +47,7 @@ void TaintValue::merge(const TaintValue& other) {
 
 void TaintValue::add_step(SourceLocation loc, std::string description) {
     if (trace.size() >= kMaxTraceSteps) return;
-    trace.push_back(TaintStep{std::move(loc), std::move(description)});
+    trace.push(std::move(loc), std::move(description));
 }
 
 void TaintValue::apply_sanitizer(VulnSet kinds, SourceLocation loc,

@@ -6,6 +6,8 @@
 // analysis), and the data-flow trace phpSAFE shows the reviewer.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,39 @@ namespace phpsafe {
 struct TaintStep {
     SourceLocation location;
     std::string description;
+};
+
+/// Copy-on-write data-flow trace. The engine copies TaintValues on every
+/// assignment, merge and argument pass; with an eager std::vector<TaintStep>
+/// each copy duplicated up to kMaxTraceSteps location strings. A Trace is
+/// instead an immutable cons list (each node holds one step and a shared
+/// pointer to its parent), so copying a trace — and therefore a TaintValue —
+/// is one refcount increment, and extending it never touches the copies
+/// already handed out. The flat step vector is materialized only when a
+/// finding is reported.
+class Trace {
+public:
+    bool empty() const noexcept { return head_ == nullptr; }
+    size_t size() const noexcept { return head_ ? head_->depth : 0; }
+    void clear() noexcept { head_.reset(); }
+
+    /// Appends a step. Shared suffixes are untouched: values that copied
+    /// this trace earlier keep their version.
+    void push(SourceLocation loc, std::string description);
+
+    /// The most recent step; trace must be non-empty.
+    const TaintStep& back() const noexcept { return head_->step; }
+
+    /// Materializes the steps in source order (oldest first).
+    std::vector<TaintStep> steps() const;
+
+private:
+    struct Node {
+        TaintStep step;
+        std::shared_ptr<const Node> parent;
+        uint32_t depth = 0;  ///< number of steps up to and including this one
+    };
+    std::shared_ptr<const Node> head_;
 };
 
 /// During function summarization, marks that a value depends on parameter
@@ -35,7 +70,7 @@ public:
     bool user_input = false;       ///< directly from GET/POST/COOKIE/REQUEST
     bool via_oop = false;          ///< flowed through an OOP construct
     std::string object_class;      ///< inferred class when the value is an object
-    std::vector<TaintStep> trace;
+    Trace trace;
     std::vector<ParamFlow> param_flows;
 
     /// Traces are capped so merges in loops cannot grow without bound.

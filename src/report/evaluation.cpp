@@ -1,12 +1,12 @@
 #include "report/evaluation.h"
 
-#include <atomic>
-#include <ctime>
-#include <future>
+#include <algorithm>
 #include <vector>
 
 #include "report/matching.h"
 #include "report/metrics.h"
+#include "util/timing.h"
+#include "util/worker_pool.h"
 
 namespace phpsafe {
 
@@ -58,83 +58,93 @@ Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
     for (const Tool& tool : tools) evaluation.tool_names.push_back(tool.name);
 
     const int reps = std::max(1, options.timing_repetitions);
-    const int workers = std::max(1, options.parallelism);
+    const int workers = WorkerPool::resolve_parallelism(options.parallelism);
 
-    // Per-plugin work unit: parse + analyze + match. Everything the worker
-    // touches is its own; merging happens in plugin order afterwards, so
-    // parallelism never changes the statistics.
-    struct PluginOutcome {
+    // Parse-once, analyze-many: the unit of parallel work is a
+    // (plugin, version). The worker builds the php::Project exactly once and
+    // runs every tool (and every timing repetition) against it const& —
+    // Engine::analyze resets all per-run state, so sharing is safe. The seed
+    // pipeline re-parsed each plugin once per tool per repetition (6×
+    // redundant model construction for the paper's 3-tool × 2-version
+    // matrix).
+    struct ToolOutcome {
         int tp = 0, fp = 0, tp_xss = 0, fp_xss = 0, tp_sqli = 0, fp_sqli = 0;
         int tp_oop = 0, files_failed = 0, error_messages = 0;
-        double cpu_seconds = 0;
+        double cpu_seconds = 0, parse_seconds = 0;
         std::vector<std::string> ids, ids_xss, ids_sqli;
     };
-    auto analyze_plugin = [reps](const Tool& tool,
-                                 const corpus::GeneratedPlugin& plugin,
-                                 const corpus::PluginVersionSource& src) {
-        PluginOutcome outcome;
-        // Table III scope: parse (model construction) + analysis.
-        const std::clock_t parse_start = std::clock();
-        DiagnosticSink sink;
-        const php::Project project = corpus::build_project(plugin, src, sink);
-        const double parse_seconds =
-            static_cast<double>(std::clock() - parse_start) / CLOCKS_PER_SEC;
-        AnalysisResult result = run_tool(tool, project);
-        for (int rep = 1; rep < reps; ++rep)
-            result.cpu_seconds += run_tool(tool, project).cpu_seconds;
-        outcome.cpu_seconds = result.cpu_seconds / reps + parse_seconds;
-
-        const MatchResult match = match_findings(result.findings, src.truth);
-        const MatchResult xss =
-            match_findings(result.findings, src.truth, VulnKind::kXss);
-        const MatchResult sqli =
-            match_findings(result.findings, src.truth, VulnKind::kSqli);
-        outcome.tp = match.tp();
-        outcome.fp = match.fp();
-        outcome.tp_xss = xss.tp();
-        outcome.fp_xss = xss.fp();
-        outcome.tp_sqli = sqli.tp();
-        outcome.fp_sqli = sqli.fp();
-        for (const Finding* f : match.true_positives)
-            if (f->via_oop) ++outcome.tp_oop;
-        outcome.files_failed = result.files_failed;
-        outcome.error_messages = result.error_messages;
-        for (const std::string& id : match.detected_ids) {
-            outcome.ids.push_back(id);
-            if (xss.detected_ids.count(id)) outcome.ids_xss.push_back(id);
-            if (sqli.detected_ids.count(id)) outcome.ids_sqli.push_back(id);
-        }
-        return outcome;
+    struct PluginVersionUnit {
+        const corpus::GeneratedPlugin* plugin = nullptr;
+        const corpus::PluginVersionSource* src = nullptr;
+        size_t version_index = 0;
     };
 
-    for (const auto& version : {std::string("2012"), std::string("2014")}) {
-        evaluation.truth[version] = evaluation.corpus.all_truth(version);
-        for (const Tool& tool : tools) {
-            EvaluationStats& stats = evaluation.stats[version][tool.name];
-            const auto& plugins = evaluation.corpus.plugins;
-            std::vector<PluginOutcome> outcomes(plugins.size());
-            if (workers <= 1) {
-                for (size_t i = 0; i < plugins.size(); ++i)
-                    outcomes[i] = analyze_plugin(
-                        tool, plugins[i],
-                        version == "2012" ? plugins[i].v2012 : plugins[i].v2014);
-            } else {
-                std::vector<std::future<void>> futures;
-                std::atomic<size_t> next{0};
-                for (int w = 0; w < workers; ++w) {
-                    futures.push_back(std::async(std::launch::async, [&] {
-                        for (size_t i = next.fetch_add(1); i < plugins.size();
-                             i = next.fetch_add(1)) {
-                            outcomes[i] = analyze_plugin(
-                                tool, plugins[i],
-                                version == "2012" ? plugins[i].v2012
-                                                  : plugins[i].v2014);
-                        }
-                    }));
-                }
-                for (std::future<void>& f : futures) f.get();
+    const std::vector<std::string> versions = {"2012", "2014"};
+    const auto& plugins = evaluation.corpus.plugins;
+    std::vector<PluginVersionUnit> units;
+    units.reserve(versions.size() * plugins.size());
+    for (size_t vi = 0; vi < versions.size(); ++vi)
+        for (const corpus::GeneratedPlugin& plugin : plugins)
+            units.push_back({&plugin,
+                             vi == 0 ? &plugin.v2012 : &plugin.v2014, vi});
+
+    // outcomes[unit][tool]; each worker writes only its own unit's row, and
+    // the merge below walks a fixed (version, tool, plugin) order, so any
+    // parallelism yields identical statistics.
+    std::vector<std::vector<ToolOutcome>> outcomes(
+        units.size(), std::vector<ToolOutcome>(tools.size()));
+
+    WorkerPool pool(workers);
+    pool.run(units.size(), [&](size_t u) {
+        const PluginVersionUnit& unit = units[u];
+        // Table III scope: parse (model construction) + analysis, measured
+        // on this thread's CPU clock only.
+        const double parse_start = thread_cpu_seconds();
+        DiagnosticSink sink;
+        const php::Project project =
+            corpus::build_project(*unit.plugin, *unit.src, sink);
+        const double parse_seconds = thread_cpu_seconds() - parse_start;
+
+        for (size_t t = 0; t < tools.size(); ++t) {
+            AnalysisResult result = run_tool(tools[t], project);
+            for (int rep = 1; rep < reps; ++rep)
+                result.cpu_seconds += run_tool(tools[t], project).cpu_seconds;
+
+            ToolOutcome& outcome = outcomes[u][t];
+            outcome.parse_seconds = parse_seconds;
+            outcome.cpu_seconds = result.cpu_seconds / reps + parse_seconds;
+
+            const MatchResult match = match_findings(result.findings, unit.src->truth);
+            const MatchResult xss =
+                match_findings(result.findings, unit.src->truth, VulnKind::kXss);
+            const MatchResult sqli =
+                match_findings(result.findings, unit.src->truth, VulnKind::kSqli);
+            outcome.tp = match.tp();
+            outcome.fp = match.fp();
+            outcome.tp_xss = xss.tp();
+            outcome.fp_xss = xss.fp();
+            outcome.tp_sqli = sqli.tp();
+            outcome.fp_sqli = sqli.fp();
+            for (const Finding* f : match.true_positives)
+                if (f->via_oop) ++outcome.tp_oop;
+            outcome.files_failed = result.files_failed;
+            outcome.error_messages = result.error_messages;
+            for (const std::string& id : match.detected_ids) {
+                outcome.ids.push_back(id);
+                if (xss.detected_ids.count(id)) outcome.ids_xss.push_back(id);
+                if (sqli.detected_ids.count(id)) outcome.ids_sqli.push_back(id);
             }
-            for (const PluginOutcome& outcome : outcomes) {
+        }
+    });
+
+    for (size_t vi = 0; vi < versions.size(); ++vi) {
+        const std::string& version = versions[vi];
+        evaluation.truth[version] = evaluation.corpus.all_truth(version);
+        for (size_t t = 0; t < tools.size(); ++t) {
+            EvaluationStats& stats = evaluation.stats[version][tools[t].name];
+            for (size_t u = 0; u < units.size(); ++u) {
+                if (units[u].version_index != vi) continue;
+                const ToolOutcome& outcome = outcomes[u][t];
                 stats.tp += outcome.tp;
                 stats.fp += outcome.fp;
                 stats.tp_xss += outcome.tp_xss;
@@ -145,6 +155,7 @@ Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
                 stats.files_failed += outcome.files_failed;
                 stats.error_messages += outcome.error_messages;
                 stats.cpu_seconds += outcome.cpu_seconds;
+                stats.parse_seconds += outcome.parse_seconds;
                 stats.detected_ids.insert(outcome.ids.begin(), outcome.ids.end());
                 stats.detected_ids_xss.insert(outcome.ids_xss.begin(),
                                               outcome.ids_xss.end());

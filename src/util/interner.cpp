@@ -1,0 +1,89 @@
+#include "util/interner.h"
+
+namespace phpsafe {
+
+namespace {
+
+constexpr size_t kInitialCapacity = 256;  // power of two
+
+uint32_t fnv1a(std::string_view s) noexcept {
+    uint32_t h = 2166136261u;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 16777619u;
+    }
+    return h;
+}
+
+char ascii_tolower_char(char c) noexcept {
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
+
+SymbolTable::SymbolTable() : slots_(kInitialCapacity) {}
+
+Symbol SymbolTable::intern(std::string_view name) {
+    return insert(name, fnv1a(name));
+}
+
+Symbol SymbolTable::intern_folded(std::string_view name) {
+    bool needs_fold = false;
+    for (const char c : name)
+        if (c >= 'A' && c <= 'Z') {
+            needs_fold = true;
+            break;
+        }
+    if (!needs_fold) return intern(name);
+    std::string folded;
+    folded.reserve(name.size());
+    for (const char c : name) folded.push_back(ascii_tolower_char(c));
+    return intern(folded);
+}
+
+std::string_view SymbolTable::name(Symbol symbol) const noexcept {
+    if (!symbol.valid() || symbol.id() >= names_.size()) return {};
+    return names_[symbol.id()];
+}
+
+void SymbolTable::clear() {
+    names_.clear();
+    slots_.assign(kInitialCapacity, Slot{});
+    used_ = 0;
+}
+
+Symbol SymbolTable::insert(std::string_view name, uint32_t hash) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    for (;;) {
+        Slot& slot = slots_[i];
+        if (slot.index == Symbol::kInvalidId) break;
+        if (slot.hash == hash && names_[slot.index] == name)
+            return Symbol{slot.index};
+        i = (i + 1) & mask;
+    }
+    // Not found: grow first if needed so the probe above stays short.
+    if ((used_ + 1) * 10 >= slots_.size() * 7) {
+        rehash(slots_.size() * 2);
+        return insert(name, hash);
+    }
+    const uint32_t index = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);
+    slots_[i] = Slot{hash, index};
+    ++used_;
+    return Symbol{index};
+}
+
+void SymbolTable::rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const size_t mask = new_capacity - 1;
+    for (const Slot& slot : old) {
+        if (slot.index == Symbol::kInvalidId) continue;
+        size_t i = slot.hash & mask;
+        while (slots_[i].index != Symbol::kInvalidId) i = (i + 1) & mask;
+        slots_[i] = slot;
+    }
+}
+
+}  // namespace phpsafe

@@ -1,0 +1,72 @@
+// String interning for the analysis hot path. The engine resolves variable,
+// function and class names millions of times per corpus run; interning turns
+// every repeated name into a small integer Symbol so scope maps can hash an
+// int instead of comparing strings. PHP name semantics are split: variables
+// are case-sensitive (intern), functions/classes are case-insensitive
+// (intern_folded lowercases before interning).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phpsafe {
+
+/// An interned string id. Valid symbols are dense, starting at 0, scoped to
+/// the SymbolTable that produced them.
+class Symbol {
+public:
+    static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+    constexpr Symbol() noexcept = default;
+    explicit constexpr Symbol(uint32_t id) noexcept : id_(id) {}
+
+    constexpr uint32_t id() const noexcept { return id_; }
+    constexpr bool valid() const noexcept { return id_ != kInvalidId; }
+
+    friend constexpr bool operator==(Symbol, Symbol) noexcept = default;
+    friend constexpr bool operator<(Symbol a, Symbol b) noexcept {
+        return a.id_ < b.id_;
+    }
+
+private:
+    uint32_t id_ = kInvalidId;
+};
+
+/// Open-addressed string → Symbol interner. Symbols are stable for the
+/// table's lifetime; name() views are stable too (backing storage is a
+/// deque, so strings never move on growth).
+class SymbolTable {
+public:
+    SymbolTable();
+
+    /// Interns `name` exactly (PHP variable semantics: case-sensitive).
+    Symbol intern(std::string_view name);
+
+    /// Interns the ASCII-lowercased form of `name` (PHP function/class
+    /// semantics: case-insensitive).
+    Symbol intern_folded(std::string_view name);
+
+    /// The string a symbol was interned from; empty view if invalid.
+    std::string_view name(Symbol symbol) const noexcept;
+
+    size_t size() const noexcept { return names_.size(); }
+    void clear();
+
+private:
+    struct Slot {
+        uint32_t hash = 0;
+        uint32_t index = Symbol::kInvalidId;  ///< kInvalidId = empty slot
+    };
+
+    Symbol insert(std::string_view name, uint32_t hash);
+    void rehash(size_t new_capacity);
+
+    std::deque<std::string> names_;
+    std::vector<Slot> slots_;  ///< power-of-two capacity
+    size_t used_ = 0;
+};
+
+}  // namespace phpsafe

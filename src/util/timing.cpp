@@ -1,0 +1,23 @@
+#include "util/timing.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace phpsafe {
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+double wall_seconds() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace phpsafe

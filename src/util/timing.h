@@ -1,0 +1,17 @@
+// Clocks for the evaluation pipeline. std::clock() measures process-wide
+// CPU, so under a parallel evaluation every worker's reading absorbs the
+// other threads' CPU time and the per-plugin Table III numbers inflate by
+// roughly the worker count. thread_cpu_seconds() measures only the calling
+// thread and is correct at any parallelism.
+#pragma once
+
+namespace phpsafe {
+
+/// CPU time consumed by the calling thread, in seconds. Falls back to
+/// process CPU time on platforms without a per-thread CPU clock.
+double thread_cpu_seconds();
+
+/// Monotonic wall-clock seconds (arbitrary epoch); for end-to-end timing.
+double wall_seconds();
+
+}  // namespace phpsafe

@@ -1,0 +1,96 @@
+#include "util/worker_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace phpsafe {
+
+WorkerPool::WorkerPool(int threads) {
+    const int extra = threads - 1;
+    threads_.reserve(extra > 0 ? static_cast<size_t>(extra) : 0);
+    for (int i = 0; i < extra; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(size_t count, const std::function<void(size_t)>& fn) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+        for (size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        job_count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        busy_workers_ = static_cast<int>(threads_.size());
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    drain(fn, count);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return busy_workers_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void WorkerPool::drain(const std::function<void(size_t)>& fn, size_t count) {
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_) error_ = std::current_exception();
+        }
+    }
+}
+
+void WorkerPool::worker_loop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(size_t)>* job = nullptr;
+        size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_) return;
+            seen_generation = generation_;
+            job = job_;
+            count = job_count_;
+        }
+        drain(*job, count);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --busy_workers_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+int WorkerPool::resolve_parallelism(int requested) {
+    if (requested >= 1) return requested;
+    if (const char* jobs = std::getenv("PHPSAFE_JOBS")) {
+        const int parsed = std::atoi(jobs);
+        if (parsed >= 1) return parsed;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace phpsafe

@@ -1,0 +1,61 @@
+// A reusable fixed-size worker pool for the evaluation driver. The seed
+// spawned a fresh std::async fan-out for every (version, tool) pair — up to
+// six thread-team launches per evaluation; this pool starts its threads
+// once and re-dispatches index ranges to them, so repeated runs (timing
+// repetitions, bench sweeps) pay thread start-up exactly once.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phpsafe {
+
+class WorkerPool {
+public:
+    /// `threads` is the total worker count including the calling thread;
+    /// values <= 1 mean run() executes inline with no threads started.
+    explicit WorkerPool(int threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    int thread_count() const noexcept {
+        return static_cast<int>(threads_.size()) + 1;
+    }
+
+    /// Calls fn(i) for every i in [0, count), distributing indices over all
+    /// workers (the calling thread participates). Blocks until every index
+    /// is done; rethrows the first worker exception. Reusable.
+    void run(size_t count, const std::function<void(size_t)>& fn);
+
+    /// Resolves a requested parallelism: values >= 1 pass through; 0 or
+    /// negative mean "auto" — the PHPSAFE_JOBS environment variable when
+    /// set, otherwise std::thread::hardware_concurrency().
+    static int resolve_parallelism(int requested);
+
+private:
+    void worker_loop();
+    void drain(const std::function<void(size_t)>& fn, size_t count);
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> threads_;
+
+    const std::function<void(size_t)>* job_ = nullptr;
+    size_t job_count_ = 0;
+    std::atomic<size_t> next_{0};
+    int busy_workers_ = 0;
+    uint64_t generation_ = 0;
+    bool shutdown_ = false;
+    std::exception_ptr error_;
+};
+
+}  // namespace phpsafe

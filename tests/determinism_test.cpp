@@ -1,0 +1,67 @@
+// Determinism of the parse-once evaluation pipeline: a parallel evaluation
+// must produce statistics byte-identical to a serial one — same counters,
+// same detected-id sets, same derived paper metrics. Timing fields are the
+// only machine-dependent outputs and are excluded. Run this test in a
+// -DPHPSAFE_SANITIZE=thread build to race-check the pipeline (ctest -R
+// Determinism).
+#include <gtest/gtest.h>
+
+#include "report/evaluation.h"
+
+namespace phpsafe {
+namespace {
+
+void expect_identical_stats(const Evaluation& a, const Evaluation& b) {
+    ASSERT_EQ(a.tool_names, b.tool_names);
+    for (const char* version : {"2012", "2014"}) {
+        ASSERT_TRUE(a.stats.count(version));
+        ASSERT_TRUE(b.stats.count(version));
+        for (const std::string& tool : a.tool_names) {
+            const EvaluationStats& sa = a.stats.at(version).at(tool);
+            const EvaluationStats& sb = b.stats.at(version).at(tool);
+            EXPECT_EQ(sa.tp, sb.tp) << version << "/" << tool;
+            EXPECT_EQ(sa.fp, sb.fp) << version << "/" << tool;
+            EXPECT_EQ(sa.tp_xss, sb.tp_xss) << version << "/" << tool;
+            EXPECT_EQ(sa.fp_xss, sb.fp_xss) << version << "/" << tool;
+            EXPECT_EQ(sa.tp_sqli, sb.tp_sqli) << version << "/" << tool;
+            EXPECT_EQ(sa.fp_sqli, sb.fp_sqli) << version << "/" << tool;
+            EXPECT_EQ(sa.tp_oop, sb.tp_oop) << version << "/" << tool;
+            EXPECT_EQ(sa.files_failed, sb.files_failed) << version << "/" << tool;
+            EXPECT_EQ(sa.error_messages, sb.error_messages)
+                << version << "/" << tool;
+            EXPECT_EQ(sa.detected_ids, sb.detected_ids) << version << "/" << tool;
+            EXPECT_EQ(sa.detected_ids_xss, sb.detected_ids_xss)
+                << version << "/" << tool;
+            EXPECT_EQ(sa.detected_ids_sqli, sb.detected_ids_sqli)
+                << version << "/" << tool;
+        }
+        EXPECT_EQ(a.union_detected(version), b.union_detected(version));
+        EXPECT_EQ(a.paper_false_negatives(version),
+                  b.paper_false_negatives(version));
+        ASSERT_TRUE(a.truth.count(version) && b.truth.count(version));
+        EXPECT_EQ(a.truth.at(version).size(), b.truth.at(version).size());
+    }
+}
+
+TEST(DeterminismTest, ParallelEvaluationMatchesSerial) {
+    EvaluationOptions serial;
+    serial.corpus_scale = 0.2;
+    serial.parallelism = 1;
+    EvaluationOptions parallel = serial;
+    parallel.parallelism = 4;
+    const Evaluation a = run_corpus_evaluation(paper_tool_set(), serial);
+    const Evaluation b = run_corpus_evaluation(paper_tool_set(), parallel);
+    expect_identical_stats(a, b);
+}
+
+TEST(DeterminismTest, RepeatedParallelRunsAreStable) {
+    EvaluationOptions options;
+    options.corpus_scale = 0.1;
+    options.parallelism = 3;
+    const Evaluation a = run_corpus_evaluation(paper_tool_set(), options);
+    const Evaluation b = run_corpus_evaluation(paper_tool_set(), options);
+    expect_identical_stats(a, b);
+}
+
+}  // namespace
+}  // namespace phpsafe

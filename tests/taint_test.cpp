@@ -89,6 +89,47 @@ TEST(TaintValueTest, SanitizeRecordsTraceStep) {
               std::string::npos);
 }
 
+TEST(TaintValueTest, TraceStepsMaterializeInSourceOrder) {
+    TaintValue v = tainted_get();
+    v.add_step({"a.php", 2}, "assigned to $x");
+    v.add_step({"a.php", 3}, "assigned to $y");
+    const std::vector<TaintStep> steps = v.trace.steps();
+    ASSERT_EQ(steps.size(), 3u);
+    EXPECT_NE(steps[0].description.find("source"), std::string::npos);
+    EXPECT_EQ(steps[1].description, "assigned to $x");
+    EXPECT_EQ(steps[2].description, "assigned to $y");
+}
+
+TEST(TaintValueTest, CowCopyIsolatesTraces) {
+    // The trace is copy-on-write: extending a copy must never change the
+    // original's reported trace (they share the common prefix internally).
+    TaintValue original = tainted_get();
+    original.add_step({"a.php", 2}, "assigned to $x");
+    const std::vector<TaintStep> before = original.trace.steps();
+
+    TaintValue copy = original;
+    copy.add_step({"a.php", 3}, "assigned to $y");
+    copy.add_step({"a.php", 4}, "assigned to $z");
+
+    const std::vector<TaintStep> after = original.trace.steps();
+    ASSERT_EQ(after.size(), before.size());
+    for (size_t i = 0; i < after.size(); ++i) {
+        EXPECT_EQ(after[i].location, before[i].location) << i;
+        EXPECT_EQ(after[i].description, before[i].description) << i;
+    }
+    EXPECT_EQ(copy.trace.size(), before.size() + 2);
+}
+
+TEST(TaintValueTest, CowMergeSharesWithoutAliasing) {
+    TaintValue a = TaintValue::clean();
+    TaintValue b = tainted_get();
+    a.merge(b);  // a adopts b's (tainted) trace
+    b.add_step({"a.php", 9}, "later step on b");
+    EXPECT_EQ(a.trace.size(), 1u);
+    EXPECT_EQ(b.trace.size(), 2u);
+    EXPECT_NE(a.trace.back().description.find("source"), std::string::npos);
+}
+
 TEST(TaintValueTest, TraceCapped) {
     TaintValue v = tainted_get();
     for (int i = 0; i < 100; ++i) v.add_step({"a.php", i}, "step");
@@ -146,7 +187,7 @@ TEST(TaintValueTest, MergePrefersTaintedTrace) {
     clean_with_trace.merge(tainted);
     // After the merge the value is tainted; its trace must lead to a source.
     bool has_source = false;
-    for (const TaintStep& step : clean_with_trace.trace)
+    for (const TaintStep& step : clean_with_trace.trace.steps())
         if (step.description.find("source") != std::string::npos) has_source = true;
     EXPECT_TRUE(has_source);
 }

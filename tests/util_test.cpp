@@ -1,9 +1,19 @@
-// Utility-layer tests: source files/locations, diagnostics, string helpers.
+// Utility-layer tests: source files/locations, diagnostics, string helpers,
+// the symbol interner and flat maps behind engine scopes, and the evaluation
+// worker pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
 #include "util/diagnostics.h"
+#include "util/flat_map.h"
+#include "util/interner.h"
 #include "util/source.h"
 #include "util/strings.h"
+#include "util/worker_pool.h"
 
 namespace phpsafe {
 namespace {
@@ -94,6 +104,131 @@ TEST(StringsTest, ReplaceAll) {
     EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
     EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
     EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+    SymbolTable table;
+    const Symbol a = table.intern("$user");
+    const Symbol b = table.intern("$user");
+    const Symbol c = table.intern("$other");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.id(), c.id());
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.name(a), "$user");
+    EXPECT_EQ(table.name(c), "$other");
+}
+
+TEST(SymbolTableTest, VariablesCaseSensitiveFunctionsFolded) {
+    SymbolTable table;
+    // PHP: $User and $user are distinct variables...
+    EXPECT_NE(table.intern("$User"), table.intern("$user"));
+    // ...but MyFunc and myfunc are the same function.
+    EXPECT_EQ(table.intern_folded("MyFunc"), table.intern_folded("myfunc"));
+}
+
+TEST(SymbolTableTest, SurvivesRehashWithStableNames) {
+    SymbolTable table;
+    std::vector<Symbol> symbols;
+    for (int i = 0; i < 500; ++i)
+        symbols.push_back(table.intern("$var" + std::to_string(i)));
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(table.name(symbols[i]), "$var" + std::to_string(i));
+        EXPECT_EQ(table.intern("$var" + std::to_string(i)), symbols[i]);
+    }
+    EXPECT_EQ(table.size(), 500u);
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SymbolMapTest, InsertFindErase) {
+    SymbolMap<int> map;
+    EXPECT_TRUE(map.empty());
+    map[Symbol{1}] = 10;
+    map[Symbol{2}] = 20;
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(Symbol{1}), nullptr);
+    EXPECT_EQ(*map.find(Symbol{1}), 10);
+    EXPECT_EQ(map.find(Symbol{3}), nullptr);
+    EXPECT_TRUE(map.erase(Symbol{1}));
+    EXPECT_FALSE(map.erase(Symbol{1}));
+    EXPECT_EQ(map.find(Symbol{1}), nullptr);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(SymbolMapTest, FindAfterEraseProbesPastTombstone) {
+    // Keys that collide under the initial capacity: ids 0 and 16 both land
+    // in slot 0 when mask == 15, so 16 probes past 0. Erasing 0 must leave
+    // a tombstone that keeps 16 reachable.
+    SymbolMap<int> map;
+    map[Symbol{0}] = 1;
+    map[Symbol{16}] = 2;
+    EXPECT_TRUE(map.erase(Symbol{0}));
+    ASSERT_NE(map.find(Symbol{16}), nullptr);
+    EXPECT_EQ(*map.find(Symbol{16}), 2);
+    // Re-inserting reuses capacity and finds the right slot again.
+    map[Symbol{0}] = 3;
+    EXPECT_EQ(*map.find(Symbol{0}), 3);
+    EXPECT_EQ(*map.find(Symbol{16}), 2);
+}
+
+TEST(SymbolMapTest, GrowthPreservesEntries) {
+    SymbolMap<int> map;
+    for (uint32_t i = 0; i < 300; ++i) map[Symbol{i}] = static_cast<int>(i * 7);
+    EXPECT_EQ(map.size(), 300u);
+    for (uint32_t i = 0; i < 300; ++i) {
+        ASSERT_NE(map.find(Symbol{i}), nullptr) << i;
+        EXPECT_EQ(*map.find(Symbol{i}), static_cast<int>(i * 7));
+    }
+    size_t visited = 0;
+    map.for_each([&](Symbol, int) { ++visited; });
+    EXPECT_EQ(visited, 300u);
+}
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.run(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+    // Reusable: a second dispatch on the same pool works.
+    std::atomic<int> total{0};
+    pool.run(257, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 257);
+}
+
+TEST(WorkerPoolTest, SingleThreadRunsInline) {
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.thread_count(), 1);
+    const auto caller = std::this_thread::get_id();
+    bool all_inline = true;
+    pool.run(16, [&](size_t) {
+        if (std::this_thread::get_id() != caller) all_inline = false;
+    });
+    EXPECT_TRUE(all_inline);
+}
+
+TEST(WorkerPoolTest, RethrowsWorkerException) {
+    WorkerPool pool(2);
+    EXPECT_THROW(
+        pool.run(8,
+                 [](size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                 }),
+        std::runtime_error);
+    // Pool is still usable after an exception.
+    std::atomic<int> total{0};
+    pool.run(4, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4);
+}
+
+TEST(WorkerPoolTest, ResolveParallelismHonorsEnv) {
+    EXPECT_EQ(WorkerPool::resolve_parallelism(3), 3);
+    setenv("PHPSAFE_JOBS", "5", 1);
+    EXPECT_EQ(WorkerPool::resolve_parallelism(0), 5);
+    setenv("PHPSAFE_JOBS", "garbage", 1);
+    EXPECT_GE(WorkerPool::resolve_parallelism(0), 1);
+    unsetenv("PHPSAFE_JOBS");
+    EXPECT_GE(WorkerPool::resolve_parallelism(-1), 1);
 }
 
 }  // namespace
