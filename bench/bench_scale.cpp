@@ -27,6 +27,7 @@
 #include "corpus/generator.h"
 #include "report/evaluation.h"
 #include "report/matching.h"
+#include "util/json_writer.h"
 #include "util/timing.h"
 #include "util/worker_pool.h"
 
@@ -39,8 +40,8 @@ using namespace phpsafe;
 namespace {
 
 struct StageTotals {
-    double parse_cpu = 0;    ///< model construction CPU (once per tool-stat)
-    double analyze_cpu = 0;  ///< taint analysis CPU
+    StageBreakdown stages;  ///< per-stage CPU, summed over versions/tools
+    obs::Counters counters;
     int tp = 0, fp = 0;
 };
 
@@ -48,8 +49,8 @@ StageTotals totals_of(const Evaluation& evaluation) {
     StageTotals totals;
     for (const auto& [version, tools] : evaluation.stats) {
         for (const auto& [tool, stats] : tools) {
-            totals.parse_cpu += stats.parse_seconds;
-            totals.analyze_cpu += stats.cpu_seconds - stats.parse_seconds;
+            totals.stages += stats.stages;
+            totals.counters += stats.counters;
             totals.tp += stats.tp;
             totals.fp += stats.fp;
         }
@@ -80,8 +81,10 @@ Evaluation run_legacy_pipeline(const std::vector<Tool>& tools, double scale) {
                     corpus::build_project(plugin, src, sink);
                 const double parse_seconds = thread_cpu_seconds() - parse_start;
                 const AnalysisResult result = run_tool(tool, project);
-                stats.parse_seconds += parse_seconds;
-                stats.cpu_seconds += result.cpu_seconds + parse_seconds;
+                // The legacy arm predates the stage split: model time all
+                // lands in parse, analysis time all in analyze.
+                stats.stages.parse += parse_seconds;
+                stats.stages.analyze += result.cpu_seconds;
                 // Stats beyond timing and tp/fp are not needed by this
                 // bench; tp/fp suffice for the equivalence check.
                 const MatchResult match =
@@ -119,46 +122,54 @@ double best_wall_of(int reps, Fn&& fn) {
 
 void write_json(const std::string& path, const std::vector<ScaleResult>& rows) {
     std::ofstream out(path);
-    char buf[64];
-    auto num = [&](double v) {
-        std::snprintf(buf, sizeof buf, "%.4f", v);
-        return std::string(buf);
-    };
-    out << "{\n  \"bench\": \"bench_scale\",\n";
-    out << "  \"pipeline\": \"parse-once (project built once per plugin-version, "
-           "shared across tools)\",\n";
-    out << "  \"tools\": 3,\n";
-    out << "  \"hardware_concurrency\": "
-        << WorkerPool::resolve_parallelism(0) << ",\n";
-    out << "  \"scales\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const ScaleResult& r = rows[i];
-        out << "    {\n";
-        out << "      \"corpus_scale\": " << num(r.scale) << ",\n";
-        out << "      \"lines_2012\": " << r.lines_2012 << ",\n";
-        out << "      \"lines_2014\": " << r.lines_2014 << ",\n";
-        out << "      \"legacy_serial_wall_seconds\": " << num(r.legacy_wall)
-            << ",\n";
-        out << "      \"parse_once_serial_wall_seconds\": " << num(r.serial_wall)
-            << ",\n";
-        out << "      \"parse_once_parallel_wall_seconds\": "
-            << num(r.parallel_wall) << ",\n";
-        out << "      \"parallel_workers\": " << r.parallel_workers << ",\n";
-        out << "      \"speedup_serial_vs_legacy\": "
-            << num(r.legacy_wall / r.serial_wall) << ",\n";
-        out << "      \"speedup_end_to_end\": "
-            << num(r.legacy_wall / r.parallel_wall) << ",\n";
-        out << "      \"stages\": {\n";
-        out << "        \"legacy\": {\"parse_cpu_seconds\": "
-            << num(r.legacy_stages.parse_cpu) << ", \"analyze_cpu_seconds\": "
-            << num(r.legacy_stages.analyze_cpu) << "},\n";
-        out << "        \"parse_once\": {\"parse_cpu_seconds\": "
-            << num(r.serial_stages.parse_cpu) << ", \"analyze_cpu_seconds\": "
-            << num(r.serial_stages.analyze_cpu) << "}\n";
-        out << "      }\n";
-        out << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    JsonWriter w(out, 2);
+    w.begin_object();
+    w.kv("bench", "bench_scale");
+    w.kv("pipeline",
+         "parse-once (project built once per plugin-version, shared across "
+         "tools)");
+    w.kv("tools", 3);
+    w.kv("hardware_concurrency", WorkerPool::resolve_parallelism(0));
+    w.key("scales").begin_array();
+    for (const ScaleResult& r : rows) {
+        w.begin_object();
+        w.kv("corpus_scale", r.scale);
+        w.kv("lines_2012", r.lines_2012);
+        w.kv("lines_2014", r.lines_2014);
+        w.kv("legacy_serial_wall_seconds", r.legacy_wall);
+        w.kv("parse_once_serial_wall_seconds", r.serial_wall);
+        w.kv("parse_once_parallel_wall_seconds", r.parallel_wall);
+        w.kv("parallel_workers", r.parallel_workers);
+        w.kv("speedup_serial_vs_legacy", r.legacy_wall / r.serial_wall);
+        w.kv("speedup_end_to_end", r.legacy_wall / r.parallel_wall);
+        // Per-stage CPU breakdown, sourced from the obs subsystem
+        // (StageBreakdown in EvaluationStats); the legacy arm predates the
+        // lex/include split so it only reports the two coarse stages.
+        w.key("stages").begin_object();
+        w.key("legacy").begin_object();
+        w.kv("parse_cpu_seconds", r.legacy_stages.stages.model());
+        w.kv("analyze_cpu_seconds", r.legacy_stages.stages.analysis());
+        w.end_object();
+        w.key("parse_once").begin_object();
+        w.kv("lex_cpu_seconds", r.serial_stages.stages.lex);
+        w.kv("parse_cpu_seconds", r.serial_stages.stages.parse);
+        w.kv("include_cpu_seconds", r.serial_stages.stages.include);
+        w.kv("analyze_cpu_seconds", r.serial_stages.stages.analyze);
+        w.end_object();
+        w.end_object();
+        // Work counters from obs::Counters, summed over versions and tools
+        // of the serial arm (model counters are credited to every tool,
+        // mirroring the Table III parse-time convention). Deterministic for
+        // a fixed corpus scale, unlike the timings.
+        w.key("counters").begin_object();
+        r.serial_stages.counters.for_each_field(
+            [&](const char* name, uint64_t value) { w.kv(name, value); });
+        w.end_object();
+        w.end_object();
     }
-    out << "  ]\n}\n";
+    w.end_array();
+    w.end_object();
+    out << "\n";
 }
 
 }  // namespace
@@ -201,10 +212,11 @@ int main(int argc, char** argv) {
             serial = run_corpus_evaluation(tools, serial_options);
         });
         row.serial_stages = totals_of(serial);
-        // Per Table III convention every tool's stats carry the shared parse
+        // Per Table III convention every tool's stats carry the shared model
         // cost; undo that attribution so the JSON reports CPU actually spent
         // building models (once per plugin-version, not once per tool).
-        row.serial_stages.parse_cpu /= static_cast<double>(tools.size());
+        row.serial_stages.stages.lex /= static_cast<double>(tools.size());
+        row.serial_stages.stages.parse /= static_cast<double>(tools.size());
 
         EvaluationOptions parallel_options = serial_options;
         parallel_options.parallelism = 0;  // auto

@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
     const double kloc_2014 = run.corpus.total_lines("2014") / 1000.0;
     for (const Tool& tool : run.tools) {
         std::ostringstream t12, t14, k12, k14;
-        const double s12 = run.stats["2012"][tool.name].cpu_seconds;
-        const double s14 = run.stats["2014"][tool.name].cpu_seconds;
+        const double s12 = run.stats["2012"][tool.name].cpu_seconds();
+        const double s14 = run.stats["2014"][tool.name].cpu_seconds();
         t12 << std::fixed << std::setprecision(2) << s12;
         t14 << std::fixed << std::setprecision(2) << s14;
         k12 << std::fixed << std::setprecision(4) << s12 / kloc_2012;

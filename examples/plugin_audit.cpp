@@ -9,10 +9,7 @@
 #include <iostream>
 #include <map>
 
-#include "baselines/analyzers.h"
-#include "corpus/generator.h"
-#include "report/matching.h"
-#include "report/render.h"
+#include "phpsafe.h"
 
 using namespace phpsafe;
 

@@ -4,8 +4,7 @@
 //   $ ./build/examples/quickstart
 #include <iostream>
 
-#include "baselines/analyzers.h"
-#include "php/project.h"
+#include "phpsafe.h"
 
 int main() {
     // A vulnerable mini-plugin modeled on the paper's examples: an XSS via

@@ -36,7 +36,10 @@ Tool make_rips_like_tool();
 /// analysis of functions never called from plugin code.
 Tool make_pixy_like_tool();
 
-/// Runs a tool on a parsed plugin, filling cpu_seconds with process CPU time.
-AnalysisResult run_tool(const Tool& tool, const php::Project& project);
+/// Runs a tool on a parsed plugin, filling cpu_seconds with the worker
+/// thread's CPU time and counters with the run's obs::Counters delta. An
+/// observer, when given, is attached to the engine for the run.
+AnalysisResult run_tool(const Tool& tool, const php::Project& project,
+                        Engine::Observer* observer = nullptr);
 
 }  // namespace phpsafe

@@ -6,12 +6,7 @@ Tool make_pixy_like_tool() {
     Tool tool;
     tool.name = "Pixy";
     tool.kb = make_pixy_era_kb();  // register_globals modeling, 2007 tables
-    tool.options.tool_name = tool.name;
-    tool.options.oop_support = false;
-    tool.options.fail_on_oop_file = true;  // predates PHP 5 OOP
-    tool.options.analyze_uncalled_functions = false;  // paper §V.A observation
-    tool.options.analyze_closures = false;            // closures are PHP 5.3
-    tool.options.max_include_depth = 16;
+    tool.options = AnalysisOptions::pixy_like();
     return tool;
 }
 

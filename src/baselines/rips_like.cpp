@@ -1,5 +1,6 @@
 #include "baselines/analyzers.h"
 
+#include "obs/counters.h"
 #include "util/timing.h"
 
 namespace phpsafe {
@@ -9,10 +10,7 @@ Tool make_phpsafe_tool() {
     tool.name = "phpSAFE";
     tool.kb = make_generic_php_kb();
     add_wordpress_profile(tool.kb);
-    tool.options.tool_name = tool.name;
-    tool.options.oop_support = true;
-    tool.options.analyze_uncalled_functions = true;
-    tool.options.max_include_depth = 8;
+    tool.options = AnalysisOptions::phpsafe();
     return tool;
 }
 
@@ -20,22 +18,23 @@ Tool make_rips_like_tool() {
     Tool tool;
     tool.name = "RIPS";
     tool.kb = make_generic_php_kb();  // no WordPress profile
-    tool.options.tool_name = tool.name;
-    tool.options.oop_support = false;
-    tool.options.analyze_uncalled_functions = true;
-    tool.options.max_include_depth = 64;  // completed every file in the paper
-    tool.options.analyze_closures = true;
+    tool.options = AnalysisOptions::rips_like();
     return tool;
 }
 
-AnalysisResult run_tool(const Tool& tool, const php::Project& project) {
+AnalysisResult run_tool(const Tool& tool, const php::Project& project,
+                        Engine::Observer* observer) {
     Engine engine(tool.kb, tool.options);
+    engine.set_observer(observer);
     // Per-thread CPU clock: correct even when many run_tool calls execute
     // concurrently on a parallel evaluation's worker pool (std::clock() is
-    // process-wide and would absorb the other workers' CPU time).
+    // process-wide and would absorb the other workers' CPU time). The
+    // counter delta is per-thread too, so it captures exactly this run.
+    const obs::CounterDelta delta;
     const double start = thread_cpu_seconds();
     AnalysisResult result = engine.analyze(project);
     result.cpu_seconds = thread_cpu_seconds() - start;
+    result.counters = delta.take();
     return result;
 }
 

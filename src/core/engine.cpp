@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
 #include "php/walk.h"
 #include "util/strings.h"
+#include "util/timing.h"
 
 namespace phpsafe {
 
@@ -49,6 +51,36 @@ std::string superglobal_display(const std::string& name, const php::Expr* index)
 
 }  // namespace
 
+AnalysisOptions AnalysisOptions::phpsafe() {
+    AnalysisOptions options;
+    options.tool_name = "phpSAFE";
+    options.oop_support = true;
+    options.analyze_uncalled_functions = true;
+    options.max_include_depth = 8;
+    return options;
+}
+
+AnalysisOptions AnalysisOptions::rips_like() {
+    AnalysisOptions options;
+    options.tool_name = "RIPS";
+    options.oop_support = false;
+    options.analyze_uncalled_functions = true;
+    options.max_include_depth = 64;  // completed every file in the paper
+    options.analyze_closures = true;
+    return options;
+}
+
+AnalysisOptions AnalysisOptions::pixy_like() {
+    AnalysisOptions options;
+    options.tool_name = "Pixy";
+    options.oop_support = false;
+    options.fail_on_oop_file = true;  // predates PHP 5 OOP
+    options.analyze_uncalled_functions = false;  // paper §V.A observation
+    options.analyze_closures = false;            // closures are PHP 5.3
+    options.max_include_depth = 16;
+    return options;
+}
+
 Engine::Engine(const KnowledgeBase& kb, AnalysisOptions options)
     : kb_(kb), options_(std::move(options)) {}
 
@@ -67,6 +99,7 @@ AnalysisResult Engine::analyze(const php::Project& project) {
     analyzed_closures_.clear();
     call_depth_ = 0;
     stats_ = AnalysisStats{};
+    include_cpu_seconds_ = 0;
 
     AnalysisResult result;
     result.tool = options_.tool_name;
@@ -81,8 +114,10 @@ AnalysisResult Engine::analyze(const php::Project& project) {
     // function", following the program flow (calls, includes) from there.
     std::set<std::string> failed_files;
     for (const php::ParsedFile& file : project.files()) {
+        if (observer_) observer_->on_file_begin(file);
         if (file.parse_failed) {
             failed_files.insert(file.source->name());
+            if (observer_) observer_->on_file_end(file, /*failed=*/true);
             continue;
         }
         if (options_.fail_on_oop_file && file_uses_oop(file)) {
@@ -90,11 +125,13 @@ AnalysisResult Engine::analyze(const php::Project& project) {
                              "cannot analyze file: object-oriented constructs "
                              "are not supported by this tool");
             failed_files.insert(file.source->name());
+            if (observer_) observer_->on_file_end(file, /*failed=*/true);
             continue;
         }
         current_file_failed_ = false;
         analyze_entry_file(file);
         if (current_file_failed_) failed_files.insert(file.source->name());
+        if (observer_) observer_->on_file_end(file, current_file_failed_);
     }
 
     // Stage 3: any function still without a summary (reached only through
@@ -115,6 +152,7 @@ AnalysisResult Engine::analyze(const php::Project& project) {
 
     deduplicate(findings_);
     result.findings = std::move(findings_);
+    result.include_cpu_seconds = include_cpu_seconds_;
     result.files_failed = static_cast<int>(failed_files.size());
     result.error_messages =
         diagnostics_.count(Severity::kError) + diagnostics_.count(Severity::kFatal);
@@ -536,6 +574,7 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
 
 TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
     const std::string& name = var.name;
+    ++obs::tls().scope_lookups;
 
     if (name == "$this") {
         TaintValue v;
@@ -545,6 +584,7 @@ TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
 
     if (const SuperglobalInfo* sg = kb_.superglobal(name)) {
         ++stats_.sources_seen;
+        ++obs::tls().sources_seen;
         return TaintValue::source(sg->taint, sg->vector, loc_of(var, scope),
                                   superglobal_display(name, nullptr));
     }
@@ -591,6 +631,7 @@ TaintValue Engine::eval_array_access(const php::ArrayAccess& access, Scope& scop
         if (const SuperglobalInfo* sg = kb_.superglobal(base.name)) {
             if (access.index) eval(*access.index, scope);
             ++stats_.sources_seen;
+            ++obs::tls().sources_seen;
             return TaintValue::source(
                 sg->taint, sg->vector, loc_of(access, scope),
                 superglobal_display(base.name, access.index.get()));
@@ -1039,6 +1080,7 @@ TaintValue Engine::apply_builtin(const FunctionInfo& info, const std::string& na
     // Result value.
     if (info.is_source) {
         ++stats_.sources_seen;
+        ++obs::tls().sources_seen;
         TaintValue out = TaintValue::source(info.source_taint, info.source_vector,
                                             loc, name + "()");
         out.via_oop = via_oop;
@@ -1177,11 +1219,15 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
                                    const std::vector<TaintValue>* first_call_args) {
     const std::string key = ascii_lower(ref.qualified_name());
     FunctionSummary& summary = summaries_.slot(key);
-    if (summary.analyzed || summary.in_progress) return summary;
+    if (summary.analyzed || summary.in_progress) {
+        ++obs::tls().summaries_reused;
+        return summary;
+    }
     if (!ref.decl || ref.decl->is_abstract) {
         summary.analyzed = true;
         return summary;
     }
+    ++obs::tls().summaries_computed;
 
     summary.in_progress = true;
     ++call_depth_;
@@ -1230,6 +1276,7 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
     --call_depth_;
     summary.in_progress = false;
     summary.analyzed = true;
+    if (observer_) observer_->on_function_summary(ref, summary);
     return summary;
 }
 
@@ -1267,6 +1314,7 @@ TaintValue Engine::eval_include(const php::IncludeExpr& inc, Scope& scope) {
     const std::string hint = static_path_hint(*inc.path);
     const php::ParsedFile* resolved = project_->resolve_include(hint);
     if (!resolved || resolved->parse_failed) return TaintValue::clean();
+    ++obs::tls().includes_resolved;
 
     // Cycle / repetition guards.
     for (const php::ParsedFile* active : include_stack_)
@@ -1289,13 +1337,19 @@ TaintValue Engine::eval_include(const php::IncludeExpr& inc, Scope& scope) {
         return TaintValue::clean();
     }
 
+    // Stage attribution: only the outermost include edge starts the clock,
+    // so nested includes are not double counted.
+    const bool outermost = include_stack_.size() <= 1;
+    const double include_start = outermost ? thread_cpu_seconds() : 0.0;
     include_stack_.push_back(resolved);
     ++stats_.includes_followed;
+    ++obs::tls().includes_followed;
     const std::string saved_file = scope.file;
     scope.file = resolved->source->name();
     exec_stmts(resolved->unit.statements, scope);
     scope.file = saved_file;
     include_stack_.pop_back();
+    if (outermost) include_cpu_seconds_ += thread_cpu_seconds() - include_start;
     return TaintValue::clean();
 }
 
@@ -1307,6 +1361,7 @@ void Engine::check_sink(VulnSet sink_kinds, const TaintValue& value,
                         SourceLocation loc, const std::string& sink_name,
                         const std::string& variable, Scope& scope, bool via_oop) {
     ++stats_.sink_checks;
+    ++obs::tls().sink_checks;
     for (int i = 0; i < kVulnKindCount; ++i) {
         const auto kind = static_cast<VulnKind>(i);
         if (!sink_kinds.contains(kind)) continue;
@@ -1345,6 +1400,11 @@ void Engine::report(VulnKind kind, SourceLocation loc, const std::string& sink_n
     // moment a finding is actually reported.
     f.trace = value.trace.steps();
     f.trace.push_back(TaintStep{f.location, "reaches sink " + sink_name});
+    if (kind == VulnKind::kSqli)
+        ++obs::tls().findings_sqli;
+    else
+        ++obs::tls().findings_xss;
+    if (observer_) observer_->on_finding(f);
     findings_.push_back(std::move(f));
 }
 

@@ -68,16 +68,61 @@ struct AnalysisOptions {
     /// Analyze closure bodies at their creation point (treats hooks
     /// registered as anonymous functions as reachable).
     bool analyze_closures = true;
+
+    // -- named presets (paper §IV.B.3 tool envelopes) -------------------------
+    // The single source of truth for each tool's capability envelope;
+    // baselines, benches, and tests all start from these instead of wiring
+    // individual flags by hand.
+
+    /// phpSAFE: OOP-aware, analyzes uncalled functions, include-depth
+    /// limited (paper §V.E: failed on very deep include chains).
+    static AnalysisOptions phpsafe();
+
+    /// RIPS-like: strong procedural analysis, no OOP member resolution;
+    /// robust on all files (the paper reports RIPS completed every file).
+    static AnalysisOptions rips_like();
+
+    /// Pixy-like: predates PHP 5 OOP (files using OOP fail), no analysis of
+    /// functions never called from plugin code.
+    static AnalysisOptions pixy_like();
 };
 
 class Engine {
 public:
+    /// Instrumentation hook interface — the supported way to watch a run
+    /// from outside (the obs tracer, progress UIs, and tests all plug in
+    /// here instead of patching private engine code). Callbacks fire on the
+    /// thread running analyze(), in deterministic order for a fixed
+    /// (project, options) pair. The default implementations do nothing, so
+    /// an Engine without an observer pays one null check per event.
+    class Observer {
+    public:
+        virtual ~Observer() = default;
+        /// The engine starts flow analysis of an entry file. Fired for
+        /// every project file, including ones that immediately fail.
+        virtual void on_file_begin(const php::ParsedFile&) {}
+        /// The entry file is done; `failed` is true when it counts toward
+        /// AnalysisResult::files_failed (parse failure, unsupported OOP,
+        /// include-depth abort).
+        virtual void on_file_end(const php::ParsedFile&, bool /*failed*/) {}
+        /// A function summary was computed (its body was just analyzed).
+        virtual void on_function_summary(const php::FunctionRef&,
+                                         const FunctionSummary&) {}
+        /// A finding was reported (before deduplication).
+        virtual void on_finding(const Finding&) {}
+    };
+
     Engine(const KnowledgeBase& kb, AnalysisOptions options = {});
 
     /// Analyzes a whole plugin. Repeatable: all run state is reset.
     AnalysisResult analyze(const php::Project& project);
 
     const AnalysisOptions& options() const noexcept { return options_; }
+
+    /// Installs an observer for subsequent analyze() calls (null detaches).
+    /// Not owned; must outlive the runs it observes.
+    void set_observer(Observer* observer) noexcept { observer_ = observer; }
+    Observer* observer() const noexcept { return observer_; }
 
 private:
     /// Scopes key their variable maps by interned Symbols (see
@@ -172,6 +217,7 @@ private:
     // -- configuration ---------------------------------------------------------
     const KnowledgeBase& kb_;
     AnalysisOptions options_;
+    Observer* observer_ = nullptr;
 
     // -- per-run state -----------------------------------------------------------
     const php::Project* project_ = nullptr;
@@ -188,6 +234,7 @@ private:
     int call_depth_ = 0;
     bool current_file_failed_ = false;
     AnalysisStats stats_;
+    double include_cpu_seconds_ = 0;  ///< CPU spent executing included files
 };
 
 }  // namespace phpsafe

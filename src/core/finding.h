@@ -9,6 +9,7 @@
 
 #include "config/knowledge.h"
 #include "core/taint.h"
+#include "obs/counters.h"
 #include "util/diagnostics.h"
 #include "util/source.h"
 
@@ -51,7 +52,12 @@ struct AnalysisResult {
     int files_failed = 0;     ///< robustness: files the tool could not analyze
     int error_messages = 0;   ///< error diagnostics raised during the run
     double cpu_seconds = 0.0; ///< filled by the harness
+    /// CPU spent inside included files (subset of cpu_seconds; filled by the
+    /// engine so the evaluation driver can attribute the include stage).
+    double include_cpu_seconds = 0.0;
     AnalysisStats stats;
+    /// Observability counters captured around the run (filled by run_tool).
+    obs::Counters counters;
     std::vector<Diagnostic> diagnostics;
 
     int count(VulnKind kind) const noexcept;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
+
 namespace phpsafe {
 
 void Trace::push(SourceLocation loc, std::string description) {
@@ -32,6 +34,7 @@ TaintValue TaintValue::source(VulnSet kinds, InputVector vec, SourceLocation loc
 }
 
 void TaintValue::merge(const TaintValue& other) {
+    ++obs::tls().taint_propagations;
     // Decide which trace to keep before the taint sets are unioned: prefer
     // the trace that actually carries taint (it leads back to a source).
     if (trace.empty() || (other.active.any() && !active.any()))

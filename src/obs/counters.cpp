@@ -1,0 +1,13 @@
+#include "obs/counters.h"
+
+namespace phpsafe::obs {
+
+namespace {
+// Trivially-destructible POD block: constinit thread-local, so touching it
+// never runs a guard check or allocates.
+constinit thread_local Counters tls_counters{};
+}  // namespace
+
+Counters& tls() noexcept { return tls_counters; }
+
+}  // namespace phpsafe::obs

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.h"
 #include "util/source.h"
 
 namespace phpsafe::php {
@@ -32,7 +33,7 @@ enum class NodeKind {
 const char* to_string(NodeKind kind);
 
 struct Node {
-    explicit Node(NodeKind k) : kind(k) {}
+    explicit Node(NodeKind k) : kind(k) { ++obs::tls().ast_nodes; }
     virtual ~Node() = default;
     Node(const Node&) = delete;
     Node& operator=(const Node&) = delete;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <unordered_set>
 
+#include "obs/counters.h"
 #include "util/strings.h"
 
 namespace phpsafe::php {
@@ -234,6 +235,7 @@ std::vector<Token> Lexer::tokenize() {
         }
     }
     out.push_back(make(TokenKind::kEndOfFile, ""));
+    obs::tls().tokens_lexed += out.size();
     return out;
 }
 

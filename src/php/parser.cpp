@@ -2,8 +2,10 @@
 
 #include <cassert>
 
+#include "obs/counters.h"
 #include "php/lexer.h"
 #include "util/strings.h"
+#include "util/timing.h"
 
 namespace phpsafe::php {
 
@@ -114,8 +116,10 @@ bool is_assignable(const Expr& e) noexcept {
 
 Parser::Parser(const SourceFile& file, DiagnosticSink& sink, Options options)
     : file_(file), sink_(sink), options_(options) {
+    const double lex_start = thread_cpu_seconds();
     Lexer lexer(file, sink);
     tokens_ = lexer.tokenize();
+    lex_cpu_seconds_ = thread_cpu_seconds() - lex_start;
 }
 
 const Token& Parser::peek(size_t ahead) const noexcept {
@@ -149,6 +153,7 @@ bool Parser::expect(TokenKind kind, std::string_view what) {
 
 void Parser::error_here(const std::string& message) {
     ++error_count_;
+    ++obs::tls().parse_errors;
     sink_.add(Severity::kError, loc_here(), message);
     if (options_.max_errors > 0 && error_count_ >= options_.max_errors && !aborted_) {
         aborted_ = true;

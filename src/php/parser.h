@@ -33,6 +33,10 @@ public:
     /// Lexes and parses the whole file.
     FileUnit parse();
 
+    /// CPU seconds the constructor spent lexing (the parser lexes eagerly);
+    /// lets Project::parse_all split its build time into lex vs parse.
+    double lex_cpu_seconds() const noexcept { return lex_cpu_seconds_; }
+
     /// Parses a standalone PHP expression (used for string-interpolation
     /// parts). Returns null on failure.
     static ExprPtr parse_expression_text(std::string_view php_expr,
@@ -108,6 +112,7 @@ private:
     size_t pos_ = 0;
     int error_count_ = 0;
     bool aborted_ = false;
+    double lex_cpu_seconds_ = 0;
 };
 
 }  // namespace phpsafe::php

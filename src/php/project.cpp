@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
 #include "php/parser.h"
 #include "php/walk.h"
 #include "util/strings.h"
+#include "util/timing.h"
 
 namespace phpsafe::php {
 
@@ -19,11 +21,15 @@ void Project::add_file(std::string file_name, std::string text) {
 }
 
 void Project::parse_all(DiagnosticSink& sink) {
+    const double build_start = thread_cpu_seconds();
+    double lex_seconds = 0;
     for (auto& [name, text] : pending_) {
         ParsedFile pf;
         pf.source = std::make_unique<SourceFile>(name, std::move(text));
         Parser parser(*pf.source, sink);
         pf.unit = parser.parse();
+        lex_seconds += parser.lex_cpu_seconds();
+        ++obs::tls().files_parsed;
         for (const std::string& failed : sink.failed_files())
             if (failed == name) pf.parse_failed = true;
         files_.push_back(std::move(pf));
@@ -35,6 +41,13 @@ void Project::parse_all(DiagnosticSink& sink) {
         for (const StmtPtr& s : pf.unit.statements)
             if (s) record_calls_stmt(*s);
     }
+
+    // Stage attribution: lex time is measured inside the parser; everything
+    // else in this call (parsing proper plus declaration indexing) counts as
+    // the parse stage of model construction.
+    build_stats_.lex_cpu_seconds += lex_seconds;
+    build_stats_.parse_cpu_seconds +=
+        thread_cpu_seconds() - build_start - lex_seconds;
 }
 
 int Project::total_lines() const noexcept {

@@ -37,6 +37,14 @@ struct FunctionRef {
 
 class Project {
 public:
+    /// CPU cost of model construction, split by stage. parse_all() adds to
+    /// these; lex covers tokenization, parse covers tree building plus
+    /// declaration indexing.
+    struct BuildStats {
+        double lex_cpu_seconds = 0;
+        double parse_cpu_seconds = 0;
+    };
+
     explicit Project(std::string name) : name_(std::move(name)) {}
 
     Project(Project&&) = default;
@@ -49,6 +57,8 @@ public:
 
     /// Parses every registered file and builds the declaration tables.
     void parse_all(DiagnosticSink& sink);
+
+    const BuildStats& build_stats() const noexcept { return build_stats_; }
 
     const std::vector<ParsedFile>& files() const noexcept { return files_; }
 
@@ -108,6 +118,7 @@ private:
     std::vector<FunctionRef> function_list_;
     std::set<std::string> called_functions_;
     std::set<std::string> called_methods_;  ///< "class::method" or "::method"
+    BuildStats build_stats_;
 };
 
 }  // namespace phpsafe::php

@@ -1,0 +1,41 @@
+// Umbrella header: the whole public phpSAFE API in one include. Embedders
+// and the examples/ programs write `#include "phpsafe.h"` and get the full
+// pipeline — PHP front end, taint engine, baseline tool set, corpus
+// generator, evaluation driver, report/export, and the observability
+// subsystem (obs::Counters, obs::Tracer, Engine::Observer).
+//
+// Internal headers (core/oop.h, util/flat_map.h, ...) are deliberately not
+// re-exported; they are implementation detail and reachable directly when
+// genuinely needed.
+#pragma once
+
+// Front end: lexing/parsing PHP into the project model.
+#include "php/parser.h"
+#include "php/project.h"
+
+// Knowledge base: sources, sinks, sanitizers, CMS profiles.
+#include "config/knowledge.h"
+
+// Analysis: taint engine, options/presets, findings, observer hooks.
+#include "core/engine.h"
+#include "core/finding.h"
+#include "core/taint.h"
+
+// The paper's tool set (phpSAFE / RIPS-like / Pixy-like) and run_tool.
+#include "baselines/analyzers.h"
+
+// Synthetic plugin corpus (paper §IV.A).
+#include "corpus/generator.h"
+
+// Evaluation driver, metrics, report rendering and exporters.
+#include "report/evaluation.h"
+#include "report/export.h"
+#include "report/matching.h"
+#include "report/metrics.h"
+#include "report/render.h"
+
+// Observability: stage counters, span tracing, JSON writing.
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/json_writer.h"
+#include "util/timing.h"

@@ -70,7 +70,8 @@ Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
     struct ToolOutcome {
         int tp = 0, fp = 0, tp_xss = 0, fp_xss = 0, tp_sqli = 0, fp_sqli = 0;
         int tp_oop = 0, files_failed = 0, error_messages = 0;
-        double cpu_seconds = 0, parse_seconds = 0;
+        StageBreakdown stages;
+        obs::Counters counters;
         std::vector<std::string> ids, ids_xss, ids_sqli;
     };
     struct PluginVersionUnit {
@@ -97,22 +98,59 @@ Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
     WorkerPool pool(workers);
     pool.run(units.size(), [&](size_t u) {
         const PluginVersionUnit& unit = units[u];
+        const std::string& version = versions[unit.version_index];
         // Table III scope: parse (model construction) + analysis, measured
-        // on this thread's CPU clock only.
+        // on this thread's CPU clock only. The counter delta is per-thread
+        // too, so it captures exactly this unit's model construction.
+        obs::Tracer::Span model_span;
+        if (options.tracer)
+            model_span = options.tracer->span(
+                "model", {{"plugin", unit.plugin->name}, {"version", version}});
+        const obs::CounterDelta model_delta;
         const double parse_start = thread_cpu_seconds();
         DiagnosticSink sink;
         const php::Project project =
             corpus::build_project(*unit.plugin, *unit.src, sink);
-        const double parse_seconds = thread_cpu_seconds() - parse_start;
+        const double build_seconds = thread_cpu_seconds() - parse_start;
+        const obs::Counters model_counters = model_delta.take();
+        model_span.end();
+
+        // Stage split of model construction: lexing is measured inside the
+        // parser; the remainder (parse proper, indexing, source assembly)
+        // counts as parse.
+        StageBreakdown model_stages;
+        model_stages.lex = project.build_stats().lex_cpu_seconds;
+        model_stages.parse = build_seconds - model_stages.lex;
 
         for (size_t t = 0; t < tools.size(); ++t) {
+            obs::Tracer::Span tool_span;
+            if (options.tracer)
+                tool_span = options.tracer->span("analyze",
+                                                {{"plugin", unit.plugin->name},
+                                                 {"version", version},
+                                                 {"tool", tools[t].name}});
             AnalysisResult result = run_tool(tools[t], project);
-            for (int rep = 1; rep < reps; ++rep)
-                result.cpu_seconds += run_tool(tools[t], project).cpu_seconds;
+            for (int rep = 1; rep < reps; ++rep) {
+                const AnalysisResult repeat = run_tool(tools[t], project);
+                result.cpu_seconds += repeat.cpu_seconds;
+                result.include_cpu_seconds += repeat.include_cpu_seconds;
+            }
+            if (tool_span.active()) {
+                tool_span.note("findings", std::to_string(result.findings.size()));
+                tool_span.end();
+            }
 
             ToolOutcome& outcome = outcomes[u][t];
-            outcome.parse_seconds = parse_seconds;
-            outcome.cpu_seconds = result.cpu_seconds / reps + parse_seconds;
+            outcome.stages = model_stages;
+            outcome.stages.include = result.include_cpu_seconds / reps;
+            outcome.stages.analyze =
+                result.cpu_seconds / reps - outcome.stages.include;
+            // Counters from the first repetition only (repetitions re-run
+            // identical work; summing them would make the totals depend on
+            // the timing configuration), plus the shared model counters —
+            // credited to every tool, like model CPU time.
+            outcome.counters = model_counters;
+            outcome.counters += result.counters;
 
             const MatchResult match = match_findings(result.findings, unit.src->truth);
             const MatchResult xss =
@@ -154,8 +192,8 @@ Evaluation run_corpus_evaluation(const std::vector<Tool>& tools,
                 stats.tp_oop += outcome.tp_oop;
                 stats.files_failed += outcome.files_failed;
                 stats.error_messages += outcome.error_messages;
-                stats.cpu_seconds += outcome.cpu_seconds;
-                stats.parse_seconds += outcome.parse_seconds;
+                stats.stages += outcome.stages;
+                stats.counters += outcome.counters;
                 stats.detected_ids.insert(outcome.ids.begin(), outcome.ids.end());
                 stats.detected_ids_xss.insert(outcome.ids_xss.begin(),
                                               outcome.ids_xss.end());

@@ -13,8 +13,37 @@
 
 #include "baselines/analyzers.h"
 #include "corpus/generator.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace phpsafe {
+
+/// Per-stage CPU time of a run (paper Table III scope, split by pipeline
+/// stage). The model stages (lex, parse) are measured once per
+/// (plugin, version) — the project is built once and shared by every tool —
+/// and credited to each tool's stats, preserving the Table III convention
+/// that a tool's time includes parsing.
+struct StageBreakdown {
+    double lex = 0.0;      ///< tokenization (inside model construction)
+    double parse = 0.0;    ///< tree building + declaration indexing
+    double include = 0.0;  ///< executing included files during analysis
+    double analyze = 0.0;  ///< taint analysis outside includes
+
+    /// Model-construction share (what the old parse_seconds reported).
+    double model() const noexcept { return lex + parse; }
+    /// Taint-analysis share.
+    double analysis() const noexcept { return include + analyze; }
+    /// Whole-run CPU (what the old cpu_seconds reported).
+    double total() const noexcept { return model() + analysis(); }
+
+    StageBreakdown& operator+=(const StageBreakdown& other) noexcept {
+        lex += other.lex;
+        parse += other.parse;
+        include += other.include;
+        analyze += other.analyze;
+        return *this;
+    }
+};
 
 /// Aggregated per-tool, per-version statistics.
 struct EvaluationStats {
@@ -25,17 +54,20 @@ struct EvaluationStats {
     int tp_oop = 0;  ///< true positives whose flow passes through OOP
     int files_failed = 0;
     int error_messages = 0;
-    /// Parse + analysis CPU time (paper Table III scope), measured with a
-    /// per-thread CPU clock so the numbers are correct at any parallelism.
-    double cpu_seconds = 0.0;
-    /// Model-construction share of cpu_seconds. The project is built once
-    /// per (plugin, version) and shared by every tool; each tool's stats
-    /// carry the same parse cost, preserving the Table III convention that
-    /// a tool's time includes parsing.
-    double parse_seconds = 0.0;
+    /// Per-stage CPU time, measured with a per-thread CPU clock so the
+    /// numbers are correct at any parallelism.
+    StageBreakdown stages;
+    /// Observability counters aggregated over the tool's runs (model
+    /// counters are credited to every tool, like model CPU time). Identical
+    /// for any worker count — tests/determinism_test.cpp proves it.
+    obs::Counters counters;
     std::set<std::string> detected_ids;
     std::set<std::string> detected_ids_xss;
     std::set<std::string> detected_ids_sqli;
+
+    // Compatibility accessors for the pre-StageBreakdown fields.
+    double cpu_seconds() const noexcept { return stages.total(); }
+    double parse_seconds() const noexcept { return stages.model(); }
 };
 
 struct Evaluation {
@@ -70,6 +102,10 @@ struct EvaluationOptions {
     /// the PHPSAFE_JOBS environment variable when set, otherwise
     /// std::thread::hardware_concurrency().
     int parallelism = 1;
+    /// Optional span tracer: when set (and enabled), the driver records a
+    /// "model" span per (plugin, version) and an "analyze" span per
+    /// (plugin, version, tool). Not owned; may be null.
+    obs::Tracer* tracer = nullptr;
 };
 
 /// Runs `tools` over the generated corpus. Deterministic for fixed options.

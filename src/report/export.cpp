@@ -20,29 +20,6 @@ std::string html_escape(std::string_view text) {
     return out;
 }
 
-std::string json_escape(std::string_view text) {
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    return out;
-}
-
 std::string render_html_report(const AnalysisResult& result) {
     std::ostringstream os;
     os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
@@ -88,31 +65,35 @@ std::string render_html_report(const AnalysisResult& result) {
 
 std::string render_json_report(const AnalysisResult& result) {
     std::ostringstream os;
-    os << "{\"tool\":\"" << json_escape(result.tool) << "\",";
-    os << "\"plugin\":\"" << json_escape(result.plugin) << "\",";
-    os << "\"files_total\":" << result.files_total << ",";
-    os << "\"files_failed\":" << result.files_failed << ",";
-    os << "\"findings\":[";
-    for (size_t i = 0; i < result.findings.size(); ++i) {
-        const Finding& f = result.findings[i];
-        if (i) os << ",";
-        os << "{\"kind\":\"" << json_escape(to_string(f.kind)) << "\",";
-        os << "\"file\":\"" << json_escape(f.location.file) << "\",";
-        os << "\"line\":" << f.location.line << ",";
-        os << "\"sink\":\"" << json_escape(f.sink) << "\",";
-        os << "\"variable\":\"" << json_escape(f.variable) << "\",";
-        os << "\"vector\":\"" << json_escape(to_string(f.vector)) << "\",";
-        os << "\"via_oop\":" << (f.via_oop ? "true" : "false") << ",";
-        os << "\"trace\":[";
-        for (size_t s = 0; s < f.trace.size(); ++s) {
-            if (s) os << ",";
-            os << "{\"file\":\"" << json_escape(f.trace[s].location.file)
-               << "\",\"line\":" << f.trace[s].location.line
-               << ",\"step\":\"" << json_escape(f.trace[s].description) << "\"}";
+    JsonWriter w(os);  // compact: the CI export is line-oriented
+    w.begin_object();
+    w.kv("tool", result.tool);
+    w.kv("plugin", result.plugin);
+    w.kv("files_total", result.files_total);
+    w.kv("files_failed", result.files_failed);
+    w.key("findings").begin_array();
+    for (const Finding& f : result.findings) {
+        w.begin_object();
+        w.kv("kind", to_string(f.kind));
+        w.kv("file", f.location.file);
+        w.kv("line", f.location.line);
+        w.kv("sink", f.sink);
+        w.kv("variable", f.variable);
+        w.kv("vector", to_string(f.vector));
+        w.kv("via_oop", f.via_oop);
+        w.key("trace").begin_array();
+        for (const TaintStep& step : f.trace) {
+            w.begin_object();
+            w.kv("file", step.location.file);
+            w.kv("line", step.location.line);
+            w.kv("step", step.description);
+            w.end_object();
         }
-        os << "]}";
+        w.end_array();
+        w.end_object();
     }
-    os << "]}";
+    w.end_array();
+    w.end_object();
     return os.str();
 }
 

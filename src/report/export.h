@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/finding.h"
+#include "util/json_writer.h"  // json_escape + the writer the exporter uses
 
 namespace phpsafe {
 
@@ -26,7 +27,7 @@ std::string render_json_report(const AnalysisResult& result);
 /// exposed for tests — ironically, the tool must not have XSS itself).
 std::string html_escape(std::string_view text);
 
-/// Escapes text for a JSON string literal (without surrounding quotes).
-std::string json_escape(std::string_view text);
+// json_escape lives in util/json_writer.h (shared with the bench JSON and
+// obs trace exporters) and is re-exported through this header.
 
 }  // namespace phpsafe

@@ -34,6 +34,13 @@ void expect_identical_stats(const Evaluation& a, const Evaluation& b) {
                 << version << "/" << tool;
             EXPECT_EQ(sa.detected_ids_sqli, sb.detected_ids_sqli)
                 << version << "/" << tool;
+            // Observability counters are exact event counts, captured as
+            // per-thread deltas and merged in a fixed order — they must be
+            // byte-identical at any parallelism (field-wise == via the
+            // X-macro-generated comparison).
+            EXPECT_TRUE(sa.counters == sb.counters)
+                << version << "/" << tool << ": counter totals differ ("
+                << sa.counters.total() << " vs " << sb.counters.total() << ")";
         }
         EXPECT_EQ(a.union_detected(version), b.union_detected(version));
         EXPECT_EQ(a.paper_false_negatives(version),

@@ -65,7 +65,8 @@ TEST_F(EvaluationApiTest, PaperFnConsistentWithUnion) {
 
 TEST_F(EvaluationApiTest, TimingAccumulated) {
     for (const std::string& tool : evaluation_->tool_names)
-        EXPECT_GT(evaluation_->stats.at("2014").at(tool).cpu_seconds, 0.0) << tool;
+        EXPECT_GT(evaluation_->stats.at("2014").at(tool).cpu_seconds(), 0.0)
+            << tool;
 }
 
 TEST_F(EvaluationApiTest, KindSplitsSumToGlobal) {
@@ -82,8 +83,40 @@ TEST_F(EvaluationApiTest, ParseSecondsIsPartOfCpuSeconds) {
     for (const char* version : {"2012", "2014"}) {
         for (const std::string& tool : evaluation_->tool_names) {
             const EvaluationStats& s = evaluation_->stats.at(version).at(tool);
-            EXPECT_GT(s.parse_seconds, 0.0) << version << "/" << tool;
-            EXPECT_LE(s.parse_seconds, s.cpu_seconds) << version << "/" << tool;
+            EXPECT_GT(s.parse_seconds(), 0.0) << version << "/" << tool;
+            EXPECT_LE(s.parse_seconds(), s.cpu_seconds())
+                << version << "/" << tool;
+        }
+    }
+}
+
+TEST_F(EvaluationApiTest, StageBreakdownIsConsistent) {
+    for (const char* version : {"2012", "2014"}) {
+        for (const std::string& tool : evaluation_->tool_names) {
+            const StageBreakdown& st =
+                evaluation_->stats.at(version).at(tool).stages;
+            EXPECT_GE(st.lex, 0.0) << version << "/" << tool;
+            EXPECT_GE(st.include, 0.0) << version << "/" << tool;
+            EXPECT_DOUBLE_EQ(st.total(), st.model() + st.analysis());
+            // The compatibility accessors are pure views over the stages.
+            const EvaluationStats& s = evaluation_->stats.at(version).at(tool);
+            EXPECT_DOUBLE_EQ(s.cpu_seconds(), st.total());
+            EXPECT_DOUBLE_EQ(s.parse_seconds(), st.model());
+        }
+    }
+}
+
+TEST_F(EvaluationApiTest, CountersAccumulated) {
+    for (const char* version : {"2012", "2014"}) {
+        for (const std::string& tool : evaluation_->tool_names) {
+            const obs::Counters& c =
+                evaluation_->stats.at(version).at(tool).counters;
+            // Model counters are credited to every tool, so even Pixy (which
+            // fails OOP files) reports lexed tokens and parsed files.
+            EXPECT_GT(c.tokens_lexed, 0u) << version << "/" << tool;
+            EXPECT_GT(c.ast_nodes, 0u) << version << "/" << tool;
+            EXPECT_GT(c.files_parsed, 0u) << version << "/" << tool;
+            EXPECT_GT(c.sink_checks, 0u) << version << "/" << tool;
         }
     }
 }
