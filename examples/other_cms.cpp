@@ -56,7 +56,7 @@ drupal_set_message('Saved ' . $_POST['note']);
     drupal2.add_file("guestbook.module", drupal.files().empty()
                                              ? ""
                                              : std::string(drupal.files()[0]
-                                                               .source->text()));
+                                                               ->source->text()));
     analyze_and_print("Same module, generic profile only (flows are missed)",
                       make_generic_php_kb(), drupal2);
 

@@ -81,11 +81,35 @@ AnalysisOptions AnalysisOptions::pixy_like() {
     return options;
 }
 
+std::string AnalysisOptions::fingerprint() const {
+    std::string fp = tool_name;
+    const auto flag = [&fp](bool value) { fp += value ? "|1" : "|0"; };
+    flag(oop_support);
+    flag(fail_on_oop_file);
+    flag(analyze_uncalled_functions);
+    flag(assume_params_tainted_in_uncalled);
+    flag(track_object_types);
+    flag(analyze_closures);
+    flag(hermetic_summaries);
+    fp += '|' + std::to_string(loop_iterations);
+    fp += '|' + std::to_string(max_include_depth);
+    fp += '|' + std::to_string(max_call_depth);
+    return fp;
+}
+
 Engine::Engine(const KnowledgeBase& kb, AnalysisOptions options)
     : kb_(kb), options_(std::move(options)) {}
 
 AnalysisResult Engine::analyze(const php::Project& project) {
+    return analyze(project, SummaryExchange{});
+}
+
+AnalysisResult Engine::analyze(const php::Project& project,
+                               const SummaryExchange& exchange) {
     project_ = &project;
+    exchange_ = exchange;
+    capture_stack_.clear();
+    run_artifacts_.clear();
     symbols_.clear();
     this_sym_ = symbols_.intern("$this");
     diagnostics_.clear();
@@ -107,13 +131,24 @@ AnalysisResult Engine::analyze(const php::Project& project) {
     result.files_total = static_cast<int>(project.files().size());
 
     // Stage 1 (paper §III.C): inter-procedural parsing of the functions that
-    // are not called from the source code of the plugin.
-    if (options_.analyze_uncalled_functions) summarize_uncalled();
+    // are not called from the source code of the plugin. Hermetic mode
+    // widens this to every declared function (in declaration order) so that
+    // which summaries exist — and what they contain — never depends on which
+    // caller reached them first.
+    if (options_.analyze_uncalled_functions) {
+        if (options_.hermetic_summaries) {
+            summarize_all_declared();
+            if (options_.assume_params_tainted_in_uncalled) summarize_uncalled();
+        } else {
+            summarize_uncalled();
+        }
+    }
 
     // Stage 2: inter-procedural analysis starting from each file's "main
     // function", following the program flow (calls, includes) from there.
     std::set<std::string> failed_files;
-    for (const php::ParsedFile& file : project.files()) {
+    for (const std::shared_ptr<const php::ParsedFile>& file_ptr : project.files()) {
+        const php::ParsedFile& file = *file_ptr;
         if (observer_) observer_->on_file_begin(file);
         if (file.parse_failed) {
             failed_files.insert(file.source->name());
@@ -158,6 +193,7 @@ AnalysisResult Engine::analyze(const php::Project& project) {
         diagnostics_.count(Severity::kError) + diagnostics_.count(Severity::kFatal);
     result.diagnostics = diagnostics_.diagnostics();
     findings_.clear();
+    exchange_ = SummaryExchange{};  // seed/capture pointers die with the call
     return result;
 }
 
@@ -178,6 +214,93 @@ void Engine::summarize_uncalled() {
             report(psf.vuln, psf.location, psf.sink_name, psf.variable, value);
         }
     }
+}
+
+void Engine::summarize_all_declared() {
+    // Hermetic stage 1' (service mode): summarize every declared function
+    // context-free before any entry file runs. Cold and warm runs therefore
+    // visit summaries in the same (declaration) order, and each summary is a
+    // pure function of the project content its computation observed — the
+    // property the cross-run seed/capture exchange relies on.
+    for (const php::FunctionRef& ref : project_->all_functions()) {
+        if (!ref.decl) continue;
+        summarize(ref);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-run summary capture
+// ---------------------------------------------------------------------------
+
+void Engine::note_dep(SummaryDep::Kind kind, std::string_view name,
+                      std::string_view file) {
+    if (capture_stack_.empty()) return;
+    SummaryDep dep;
+    dep.kind = kind;
+    dep.name.assign(name);
+    dep.file.assign(file);
+    capture_stack_.back().artifact.deps.push_back(std::move(dep));
+}
+
+void Engine::touch_shared_state() {
+    // Cheap no-op outside capture: the loop body never runs.
+    for (CaptureFrame& frame : capture_stack_) frame.reusable = false;
+}
+
+bool Engine::apply_summary_seed(const std::string& key, FunctionSummary& slot) {
+    if (!exchange_.seeds) return false;
+    const auto it = exchange_.seeds->find(key);
+    if (it == exchange_.seeds->end()) return false;
+    const SummaryArtifact* artifact = it->second;
+    slot = artifact->summary;
+    slot.analyzed = true;
+    slot.in_progress = false;
+    // Replay the findings the original computation reported, through the
+    // same counter and observer hooks a fresh analysis would hit.
+    for (const Finding& finding : artifact->findings) {
+        if (finding.kind == VulnKind::kSqli)
+            ++obs::tls().findings_sqli;
+        else
+            ++obs::tls().findings_xss;
+        if (observer_) observer_->on_finding(finding);
+        findings_.push_back(finding);
+    }
+    // An enclosing capture inherits everything the seeded summary's original
+    // computation observed: the caller's artifact embeds its content.
+    if (!capture_stack_.empty()) {
+        CaptureFrame& top = capture_stack_.back();
+        top.artifact.deps.insert(top.artifact.deps.end(), artifact->deps.begin(),
+                                 artifact->deps.end());
+    }
+    run_artifacts_[key] = artifact;
+    ++obs::tls().cache_summary_hits;
+    return true;
+}
+
+void Engine::finish_capture(const std::string& key,
+                            const FunctionSummary& summary) {
+    CaptureFrame frame = std::move(capture_stack_.back());
+    capture_stack_.pop_back();
+    frame.artifact.summary = summary;
+    // A body cut short by a failing file would yield a truncated summary;
+    // never offer it for reuse.
+    frame.artifact.reusable = frame.reusable && !current_file_failed_;
+    std::sort(frame.artifact.deps.begin(), frame.artifact.deps.end());
+    frame.artifact.deps.erase(std::unique(frame.artifact.deps.begin(),
+                                          frame.artifact.deps.end()),
+                              frame.artifact.deps.end());
+    if (!capture_stack_.empty()) {
+        // The caller transitively depends on everything this callee observed.
+        CaptureFrame& parent = capture_stack_.back();
+        parent.artifact.deps.insert(parent.artifact.deps.end(),
+                                    frame.artifact.deps.begin(),
+                                    frame.artifact.deps.end());
+        if (!frame.artifact.reusable) parent.reusable = false;
+    }
+    const auto [it, inserted] =
+        exchange_.capture->insert_or_assign(key, std::move(frame.artifact));
+    run_artifacts_[key] = &it->second;
+    (void)inserted;
 }
 
 bool Engine::file_uses_oop(const php::ParsedFile& file) const {
@@ -385,6 +508,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             for (const php::PropertyDecl& prop : n.properties) {
                 if (!prop.default_value) continue;
                 TaintValue value = eval(*prop.default_value, *outer);
+                touch_shared_state();
                 if (prop.is_static)
                     properties_.static_slot(n.name, prop.name).merge(value);
                 else
@@ -449,6 +573,7 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
             const std::string cls =
                 resolve_class_name(n.class_name, scope.current_class, *project_);
             if (cls.empty()) return TaintValue::clean();
+            touch_shared_state();
             if (const TaintValue* slot = properties_.find_static_slot(cls, n.property)) {
                 TaintValue out = *slot;
                 if (out.tainted_any()) out.via_oop = true;
@@ -679,6 +804,7 @@ TaintValue Engine::eval_property_access(const php::PropertyAccess& access,
 
     // Class-level slot when the receiver class is known.
     if (!object.object_class.empty()) {
+        touch_shared_state();
         if (const TaintValue* slot =
                 properties_.find_class_slot(object.object_class, access.property))
             out.merge(*slot);
@@ -806,6 +932,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
             }
             if (!object.object_class.empty()) {
                 // Class-level store is always weak (merged over instances).
+                touch_shared_state();
                 properties_.class_slot(object.object_class, access.property)
                     .merge(value);
             }
@@ -818,6 +945,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
                 resolve_class_name(access.class_name, scope.current_class, *project_);
             if (cls.empty()) return;
             value.via_oop = value.via_oop || value.tainted_any();
+            touch_shared_state();
             TaintValue& slot = properties_.static_slot(cls, access.property);
             if (weak)
                 slot.merge(value);
@@ -845,6 +973,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
 
 TaintValue Engine::read_global(const std::string& name, SourceLocation loc) {
     (void)loc;
+    touch_shared_state();
     if (const TaintValue* found = globals_.vars.find(sym(name))) return *found;
     TaintValue v;
     if (const std::string* cls = kb_.known_global_class(name)) {
@@ -854,10 +983,14 @@ TaintValue Engine::read_global(const std::string& name, SourceLocation loc) {
 }
 
 TaintValue& Engine::global_slot(const std::string& name) {
+    touch_shared_state();
     return globals_.vars[sym(name)];
 }
 
-TaintValue& Engine::global_slot(Symbol name) { return globals_.vars[name]; }
+TaintValue& Engine::global_slot(Symbol name) {
+    touch_shared_state();
+    return globals_.vars[name];
+}
 
 // ---------------------------------------------------------------------------
 // Calls
@@ -918,8 +1051,13 @@ TaintValue Engine::eval_function_call(const php::FunctionCall& call, Scope& scop
 
     // User-defined functions take priority (PHP forbids redefining
     // built-ins, and plugins guard declarations with function_exists).
-    if (const php::FunctionRef* ref = project_->find_function(call.name))
+    if (const php::FunctionRef* ref = project_->find_function(call.name)) {
+        note_dep(SummaryDep::Kind::kFunction, ascii_lower(call.name), ref->file);
         return apply_user_function(*ref, args, loc, scope, call.name, &call.args);
+    }
+    // Record the failed project lookup too: declaring this name later must
+    // invalidate summaries that resolved it to a built-in (or to nothing).
+    note_dep(SummaryDep::Kind::kFunction, ascii_lower(call.name), {});
 
     if (const FunctionInfo* info = kb_.function(call.name))
         return apply_builtin(*info, call.name, call.args, args, loc, scope,
@@ -974,11 +1112,16 @@ TaintValue Engine::eval_method_call(const php::MethodCall& call, Scope& scope) {
 
     const php::FunctionRef* ref =
         cls.empty() ? nullptr : project_->find_method(cls, call.method);
+    if (!cls.empty())
+        note_dep(SummaryDep::Kind::kMethod, cls + "::" + ascii_lower(call.method),
+                 ref ? ref->file : std::string_view());
     if (!ref) {
         if (const FunctionInfo* wildcard = kb_.method("", call.method))
             return apply_builtin(*wildcard, call.method, call.args, args, loc,
                                  scope, /*via_oop=*/true);
         ref = project_->find_method_any(call.method);
+        note_dep(SummaryDep::Kind::kMethodAny, ascii_lower(call.method),
+                 ref ? ref->file : std::string_view());
     }
     if (ref) {
         TaintValue out = apply_user_function(*ref, args, loc, scope,
@@ -1006,7 +1149,11 @@ TaintValue Engine::eval_static_call(const php::StaticCall& call, Scope& scope) {
         return apply_builtin(*info, cls + "::" + call.method, call.args, args, loc,
                              scope, /*via_oop=*/true);
 
-    if (const php::FunctionRef* ref = project_->find_method(cls, call.method)) {
+    const php::FunctionRef* ref = project_->find_method(cls, call.method);
+    if (!cls.empty())
+        note_dep(SummaryDep::Kind::kMethod, cls + "::" + ascii_lower(call.method),
+                 ref ? ref->file : std::string_view());
+    if (ref) {
         TaintValue out = apply_user_function(*ref, args, loc, scope,
                                              ref->qualified_name(), &call.args);
         if (out.tainted_any()) out.via_oop = true;
@@ -1030,17 +1177,24 @@ TaintValue Engine::eval_new(const php::New& expr, Scope& scope) {
         resolve_class_name(expr.class_name, scope.current_class, *project_);
     if (options_.track_object_types) out.object_class = cls;
 
-    if (const php::ClassDecl* decl = project_->find_class(cls)) {
+    const php::ClassDecl* decl = project_->find_class(cls);
+    note_dep(SummaryDep::Kind::kClass, cls,
+             decl ? project_->file_of_class(cls) : std::string());
+    if (decl) {
         // Initialize property defaults (lazily, merged — weak store).
         for (const php::PropertyDecl& prop : decl->properties) {
             if (!prop.default_value) continue;
             TaintValue dv = eval(*prop.default_value, scope);
+            touch_shared_state();
             if (prop.is_static)
                 properties_.static_slot(cls, prop.name).merge(dv);
             else
                 properties_.class_slot(cls, prop.name).merge(dv);
         }
-        if (const php::FunctionRef* ctor = project_->find_method(cls, "__construct"))
+        const php::FunctionRef* ctor = project_->find_method(cls, "__construct");
+        note_dep(SummaryDep::Kind::kMethod, cls + "::__construct",
+                 ctor ? ctor->file : std::string_view());
+        if (ctor)
             apply_user_function(*ctor, args, loc_of(expr, scope), scope,
                                 cls + "::__construct");
     }
@@ -1221,10 +1375,43 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
     FunctionSummary& summary = summaries_.slot(key);
     if (summary.analyzed || summary.in_progress) {
         ++obs::tls().summaries_reused;
+        // A capture in progress embeds the reused summary's content, so it
+        // absorbs that summary's dependency record too (or, if the record is
+        // unknown, gives up on reuse — conservative, should not happen).
+        if (summary.analyzed && !capture_stack_.empty()) {
+            const auto it = run_artifacts_.find(key);
+            if (it != run_artifacts_.end()) {
+                CaptureFrame& top = capture_stack_.back();
+                top.artifact.deps.insert(top.artifact.deps.end(),
+                                         it->second->deps.begin(),
+                                         it->second->deps.end());
+                if (!it->second->reusable) top.reusable = false;
+            } else {
+                capture_stack_.back().reusable = false;
+            }
+        }
         return summary;
     }
+    if (apply_summary_seed(key, summary)) {
+        if (observer_) observer_->on_function_summary(ref, summary);
+        return summary;
+    }
+
+    const bool capturing = exchange_.capture != nullptr;
+    if (capturing) {
+        ++obs::tls().cache_summary_misses;
+        CaptureFrame frame;
+        frame.key = key;
+        // Starting under an already-failing file is not a state a replay
+        // can reproduce.
+        frame.reusable = !current_file_failed_;
+        capture_stack_.push_back(std::move(frame));
+        if (!ref.file.empty()) note_dep(SummaryDep::Kind::kFile, ref.file, ref.file);
+    }
+
     if (!ref.decl || ref.decl->is_abstract) {
         summary.analyzed = true;
+        if (capturing) finish_capture(key, summary);
         return summary;
     }
     ++obs::tls().summaries_computed;
@@ -1247,8 +1434,10 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
             v.object_class = ascii_lower(param.type_hint);
         // First-call context (paper §III.C): the body is analyzed with the
         // arguments of the call that triggered it, so taint written into
-        // properties and globals materializes.
-        if (first_call_args && i < first_call_args->size())
+        // properties and globals materializes. Hermetic mode drops this —
+        // a summary must not depend on which caller reached it first.
+        if (!options_.hermetic_summaries && first_call_args &&
+            i < first_call_args->size())
             v.merge((*first_call_args)[i]);
         fn_scope.vars[sym(param.name)] = std::move(v);
     }
@@ -1276,6 +1465,7 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
     --call_depth_;
     summary.in_progress = false;
     summary.analyzed = true;
+    if (capturing) finish_capture(key, summary);
     if (observer_) observer_->on_function_summary(ref, summary);
     return summary;
 }
@@ -1300,7 +1490,10 @@ void Engine::eval_closure_body(const php::Closure& closure, Scope& scope) {
     if (closure.is_arrow) {
         // Arrow functions capture the whole enclosing scope by value.
         body_scope.vars = scope.vars;
-        if (scope.is_global) body_scope.vars = globals_.vars;
+        if (scope.is_global) {
+            touch_shared_state();
+            body_scope.vars = globals_.vars;
+        }
     }
     if (const TaintValue* self = scope.vars.find(this_sym_))
         body_scope.vars[this_sym_] = *self;
@@ -1313,8 +1506,16 @@ TaintValue Engine::eval_include(const php::IncludeExpr& inc, Scope& scope) {
 
     const std::string hint = static_path_hint(*inc.path);
     const php::ParsedFile* resolved = project_->resolve_include(hint);
+    if (!hint.empty())
+        note_dep(SummaryDep::Kind::kInclude, hint,
+                 resolved ? resolved->source->name() : std::string());
     if (!resolved || resolved->parse_failed) return TaintValue::clean();
     ++obs::tls().includes_resolved;
+    // From here on the include interacts with run-wide include state
+    // (included_once_, the include stack) and may execute the target file
+    // against the live global scope — none of which a seeded replay of a
+    // summarized body can reproduce.
+    touch_shared_state();
 
     // Cycle / repetition guards.
     for (const php::ParsedFile* active : include_stack_)
@@ -1405,6 +1606,11 @@ void Engine::report(VulnKind kind, SourceLocation loc, const std::string& sink_n
     else
         ++obs::tls().findings_xss;
     if (observer_) observer_->on_finding(f);
+    // A finding discovered while a summary is being captured belongs to that
+    // summary's artifact: a later run that seeds the artifact skips this
+    // body, so the artifact must replay the finding verbatim.
+    if (!capture_stack_.empty())
+        capture_stack_.back().artifact.findings.push_back(f);
     findings_.push_back(std::move(f));
 }
 

@@ -69,6 +69,21 @@ struct AnalysisOptions {
     /// registered as anonymous functions as reachable).
     bool analyze_closures = true;
 
+    /// Hermetic summaries (the incremental service's mode): every declared
+    /// function is summarized context-free, in declaration order, before any
+    /// entry file runs, and first-call argument context is ignored. This
+    /// makes a summary a pure function of the project content reachable from
+    /// it — the property that lets the service reuse summaries across runs —
+    /// at the cost of the paper's "context of the first call" side-effect
+    /// materialization. Requires analyze_uncalled_functions to change stage
+    /// order; without it the flag only disables call-context sensitivity.
+    bool hermetic_summaries = false;
+
+    /// Stable key of every field that changes analysis semantics. Two
+    /// engines with equal fingerprints produce identical results on equal
+    /// input — the analysis-preset component of the service's cache keys.
+    std::string fingerprint() const;
+
     // -- named presets (paper §IV.B.3 tool envelopes) -------------------------
     // The single source of truth for each tool's capability envelope;
     // baselines, benches, and tests all start from these instead of wiring
@@ -117,6 +132,15 @@ public:
     /// Analyzes a whole plugin. Repeatable: all run state is reset.
     AnalysisResult analyze(const php::Project& project);
 
+    /// Analyze with cross-run summary exchange (see core/summaries.h).
+    /// Seeded summaries are installed instead of analyzing their bodies and
+    /// their recorded findings are replayed; computed summaries are captured
+    /// with their dependency records. Findings are identical to an
+    /// exchange-free run for any valid seed set — tests/determinism_test.cpp
+    /// and tests/service_test.cpp prove it.
+    AnalysisResult analyze(const php::Project& project,
+                           const SummaryExchange& exchange);
+
     const AnalysisOptions& options() const noexcept { return options_; }
 
     /// Installs an observer for subsequent analyze() calls (null detaches).
@@ -146,7 +170,21 @@ private:
     // -- drivers -------------------------------------------------------------
     void analyze_entry_file(const php::ParsedFile& file);
     void summarize_uncalled();
+    void summarize_all_declared();
     bool file_uses_oop(const php::ParsedFile& file) const;
+
+    // -- cross-run summary capture ---------------------------------------------
+    /// Records a project observation on every active capture (no-op when the
+    /// capture stack is empty — the default-mode cost is one empty() check).
+    void note_dep(SummaryDep::Kind kind, std::string_view name,
+                  std::string_view file);
+    /// Marks every active capture non-reusable: the summarization touched
+    /// state (globals, properties, includes) a seed replay cannot reproduce.
+    void touch_shared_state();
+    /// Installs a seeded artifact for `key`; true when a seed was applied.
+    bool apply_summary_seed(const std::string& key, FunctionSummary& slot);
+    /// Pops the innermost capture frame and stores its artifact.
+    void finish_capture(const std::string& key, const FunctionSummary& summary);
 
     // -- statements ----------------------------------------------------------
     void exec_stmts(const std::vector<php::StmtPtr>& stmts, Scope& scope);
@@ -235,6 +273,22 @@ private:
     bool current_file_failed_ = false;
     AnalysisStats stats_;
     double include_cpu_seconds_ = 0;  ///< CPU spent executing included files
+
+    // -- cross-run summary exchange state ---------------------------------------
+    /// One frame per summarize() call currently on the stack while capture is
+    /// active. The innermost frame records findings and dependency
+    /// observations; when it pops, both propagate to the enclosing frame (a
+    /// caller transitively depends on everything its callees observed).
+    struct CaptureFrame {
+        std::string key;              ///< lowercased qualified name
+        SummaryArtifact artifact;     ///< deps + findings accumulate here
+        bool reusable = true;
+    };
+    SummaryExchange exchange_;
+    std::vector<CaptureFrame> capture_stack_;
+    /// Every summary this run installed (computed or seeded), so a later
+    /// reuse of it can absorb its dependency record into the active frame.
+    std::map<std::string, const SummaryArtifact*> run_artifacts_;
 };
 
 }  // namespace phpsafe

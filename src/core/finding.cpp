@@ -26,15 +26,41 @@ int AnalysisResult::count(VulnKind kind) const noexcept {
         [kind](const Finding& f) { return f.kind == kind; }));
 }
 
+namespace {
+
+/// Total order over findings: every field participates, so the sorted
+/// sequence is independent of insertion order. The incremental service
+/// replays cached findings in seed order rather than discovery order; a
+/// mere (file, line, kind) sort would let stable_sort preserve that replay
+/// order among ties and deduplicate() could then keep a different
+/// representative than a cold run — breaking the warm == cold byte-identity
+/// guarantee (tests/determinism_test.cpp).
+bool finding_less(const Finding& a, const Finding& b) {
+    if (a.location.file != b.location.file) return a.location.file < b.location.file;
+    if (a.location.line != b.location.line) return a.location.line < b.location.line;
+    if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.variable != b.variable) return a.variable < b.variable;
+    if (a.sink != b.sink) return a.sink < b.sink;
+    if (a.vector != b.vector)
+        return static_cast<int>(a.vector) < static_cast<int>(b.vector);
+    if (a.via_oop != b.via_oop) return a.via_oop < b.via_oop;
+    if (a.trace.size() != b.trace.size()) return a.trace.size() < b.trace.size();
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+        const TaintStep& sa = a.trace[i];
+        const TaintStep& sb = b.trace[i];
+        if (sa.location.file != sb.location.file)
+            return sa.location.file < sb.location.file;
+        if (sa.location.line != sb.location.line)
+            return sa.location.line < sb.location.line;
+        if (sa.description != sb.description) return sa.description < sb.description;
+    }
+    return false;
+}
+
+}  // namespace
+
 void deduplicate(std::vector<Finding>& findings) {
-    std::stable_sort(findings.begin(), findings.end(),
-                     [](const Finding& a, const Finding& b) {
-                         if (a.location.file != b.location.file)
-                             return a.location.file < b.location.file;
-                         if (a.location.line != b.location.line)
-                             return a.location.line < b.location.line;
-                         return static_cast<int>(a.kind) < static_cast<int>(b.kind);
-                     });
+    std::stable_sort(findings.begin(), findings.end(), finding_less);
     std::set<std::string> seen;
     std::vector<Finding> unique;
     unique.reserve(findings.size());

@@ -63,7 +63,8 @@ struct AnalysisResult {
     int count(VulnKind kind) const noexcept;
 };
 
-/// Sorts by (file, line, kind) and removes duplicate findings.
+/// Sorts findings into a total order (every field participates, so the
+/// result is independent of discovery order) and removes duplicates.
 void deduplicate(std::vector<Finding>& findings);
 
 }  // namespace phpsafe

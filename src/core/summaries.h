@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "config/knowledge.h"
+#include "core/finding.h"
 #include "core/taint.h"
 #include "util/source.h"
 
@@ -55,6 +56,63 @@ struct FunctionSummary {
         TaintValue value;
     };
     std::vector<ParamOut> param_outputs;
+};
+
+// ---------------------------------------------------------------------------
+// Cross-run summary reuse (the incremental analysis service)
+// ---------------------------------------------------------------------------
+
+/// One thing a summary's computation observed about the project. Reusing the
+/// summary in a later run is sound only while every observation still holds;
+/// the service re-checks them against the new project before seeding.
+struct SummaryDep {
+    enum class Kind {
+        kFile,       ///< read this file's content (body, callee, include)
+        kFunction,   ///< resolved a free-function name (file empty: unresolved)
+        kMethod,     ///< resolved "class::method" (file empty: unresolved)
+        kMethodAny,  ///< resolved a method by unique name across classes
+        kClass,      ///< resolved a class name (file empty: unresolved)
+        kInclude,    ///< resolved an include path hint (file empty: external)
+    };
+    Kind kind = Kind::kFile;
+    std::string name;  ///< lowercased symbol / path / file name
+    std::string file;  ///< file the name resolved to; empty when unresolved
+    /// For kFile deps: content hash of the file at capture time. The engine
+    /// leaves it 0 (it would cost a linear file lookup per summary); the
+    /// service fills it from the scanned project before caching.
+    uint64_t hash = 0;
+
+    friend bool operator<(const SummaryDep& a, const SummaryDep& b) {
+        if (a.kind != b.kind) return a.kind < b.kind;
+        if (a.name != b.name) return a.name < b.name;
+        return a.file < b.file;
+    }
+    friend bool operator==(const SummaryDep& a, const SummaryDep& b) {
+        return a.kind == b.kind && a.name == b.name && a.file == b.file;
+    }
+};
+
+/// A function summary packaged for reuse across engine runs: the summary
+/// itself, the findings that were reported while its body was analyzed
+/// (replayed verbatim on reuse, so a warm run reports exactly what a cold
+/// run would), and the dependency record that gates reuse. `reusable` is
+/// false when the computation touched state a replay cannot reproduce —
+/// globals, the property store, or an executed include — or ran under an
+/// abnormal engine state; such artifacts are recomputed every run.
+struct SummaryArtifact {
+    FunctionSummary summary;
+    std::vector<Finding> findings;
+    std::vector<SummaryDep> deps;
+    bool reusable = false;
+};
+
+/// Seeds and captures for one engine run. `seeds` maps lowercased qualified
+/// names to validated artifacts installed instead of analyzing the body;
+/// `capture` (when set) receives an artifact for every summary the run
+/// computes context-free. Both require AnalysisOptions::hermetic_summaries.
+struct SummaryExchange {
+    const std::map<std::string, const SummaryArtifact*>* seeds = nullptr;
+    std::map<std::string, SummaryArtifact>* capture = nullptr;
 };
 
 /// Keyed map of summaries ("function" or "class::method", lowercased).

@@ -35,7 +35,17 @@ namespace phpsafe::obs {
     X(sink_checks, "sensitive-argument checks performed")                     \
     X(sources_seen, "taint introductions (superglobals, source APIs)")        \
     X(findings_xss, "XSS findings reported (pre-dedup)")                      \
-    X(findings_sqli, "SQLi findings reported (pre-dedup)")
+    X(findings_sqli, "SQLi findings reported (pre-dedup)")                     \
+    X(cache_file_hits, "parsed files served from the content-addressed cache") \
+    X(cache_file_misses, "file lookups that had to lex+parse")                 \
+    X(cache_summary_hits, "function summaries seeded from the cache")          \
+    X(cache_summary_misses, "summary lookups that had to analyze the body")    \
+    X(cache_result_hits, "whole scan results served from the cache")           \
+    X(cache_evictions, "cache entries evicted by the LRU byte budget")         \
+    X(cache_invalidations, "cached summaries rejected: a dependency changed")  \
+    X(cache_bytes_inserted, "bytes admitted into the cache pools")             \
+    X(cache_bytes_evicted, "bytes released by eviction (resident = inserted "  \
+                           "minus evicted)")
 
 /// One block of stage counters. Plain additive uint64 fields only, so the
 /// struct is trivially copyable and two blocks compare/merge field-wise.

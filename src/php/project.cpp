@@ -10,6 +10,8 @@
 
 namespace phpsafe::php {
 
+uint64_t content_hash(std::string_view text) noexcept { return fnv1a64(text); }
+
 std::string FunctionRef::qualified_name() const {
     if (!decl) return "<null>";
     if (owner) return owner->name + "::" + decl->name;
@@ -17,28 +19,43 @@ std::string FunctionRef::qualified_name() const {
 }
 
 void Project::add_file(std::string file_name, std::string text) {
-    pending_.emplace_back(std::move(file_name), std::move(text));
+    PendingFile pending;
+    pending.slot = files_.size();
+    pending.name = std::move(file_name);
+    pending.text = std::move(text);
+    files_.push_back(nullptr);  // placeholder; parse_all() fills it
+    pending_.push_back(std::move(pending));
+}
+
+void Project::add_parsed(std::shared_ptr<const ParsedFile> file) {
+    ++build_stats_.files_reused;
+    files_.push_back(std::move(file));
 }
 
 void Project::parse_all(DiagnosticSink& sink) {
     const double build_start = thread_cpu_seconds();
     double lex_seconds = 0;
-    for (auto& [name, text] : pending_) {
-        ParsedFile pf;
-        pf.source = std::make_unique<SourceFile>(name, std::move(text));
-        Parser parser(*pf.source, sink);
-        pf.unit = parser.parse();
+    for (PendingFile& pending : pending_) {
+        auto pf = std::make_shared<ParsedFile>();
+        pf->content_hash = content_hash(pending.text);
+        pf->text_bytes = pending.text.size();
+        pf->source =
+            std::make_unique<SourceFile>(pending.name, std::move(pending.text));
+        const obs::CounterDelta delta;
+        Parser parser(*pf->source, sink);
+        pf->unit = parser.parse();
+        pf->ast_nodes = delta.take().ast_nodes;
         lex_seconds += parser.lex_cpu_seconds();
         ++obs::tls().files_parsed;
         for (const std::string& failed : sink.failed_files())
-            if (failed == name) pf.parse_failed = true;
-        files_.push_back(std::move(pf));
+            if (failed == pending.name) pf->parse_failed = true;
+        files_[pending.slot] = std::move(pf);
     }
     pending_.clear();
 
-    for (const ParsedFile& pf : files_) {
-        index_statements(pf.unit.statements, pf.unit.file_name);
-        for (const StmtPtr& s : pf.unit.statements)
+    for (const std::shared_ptr<const ParsedFile>& pf : files_) {
+        index_statements(pf->unit.statements, pf->unit.file_name);
+        for (const StmtPtr& s : pf->unit.statements)
             if (s) record_calls_stmt(*s);
     }
 
@@ -52,8 +69,14 @@ void Project::parse_all(DiagnosticSink& sink) {
 
 int Project::total_lines() const noexcept {
     int total = 0;
-    for (const ParsedFile& pf : files_) total += pf.source->line_count();
+    for (const auto& pf : files_) total += pf->source->line_count();
     return total;
+}
+
+const ParsedFile* Project::file_named(std::string_view name) const {
+    for (const auto& pf : files_)
+        if (pf && pf->source->name() == name) return pf.get();
+    return nullptr;
 }
 
 void Project::index_statements(const std::vector<StmtPtr>& stmts,
@@ -66,6 +89,7 @@ void Project::index_statements(const std::vector<StmtPtr>& stmts,
         if (s.kind != NodeKind::kClassDecl) return;
         const auto& cls = static_cast<const ClassDecl&>(s);
         classes_.emplace(ascii_lower(cls.name), &cls);
+        class_files_.emplace(ascii_lower(cls.name), file);
         for (const auto& method : cls.methods) {
             FunctionRef ref{method.get(), &cls, file};
             methods_.emplace(ascii_lower(cls.name) + "::" + ascii_lower(method->name),
@@ -166,6 +190,12 @@ const ClassDecl* Project::find_class(std::string_view name) const {
     return it == classes_.end() ? nullptr : it->second;
 }
 
+const std::string& Project::file_of_class(std::string_view class_name) const {
+    static const std::string kEmpty;
+    const auto it = class_files_.find(ascii_lower(class_name));
+    return it == class_files_.end() ? kEmpty : it->second;
+}
+
 const FunctionRef* Project::find_method(std::string_view class_name,
                                         std::string_view method_name) const {
     std::string cls = ascii_lower(class_name);
@@ -216,21 +246,21 @@ const ParsedFile* Project::resolve_include(std::string_view path) const {
     // Normalize leading "./".
     while (starts_with(path, "./")) path.remove_prefix(2);
 
-    for (const ParsedFile& pf : files_)
-        if (pf.source->name() == path) return &pf;
-    for (const ParsedFile& pf : files_)
-        if (ends_with(pf.source->name(), path)) return &pf;
+    for (const auto& pf : files_)
+        if (pf->source->name() == path) return pf.get();
+    for (const auto& pf : files_)
+        if (ends_with(pf->source->name(), path)) return pf.get();
     // Basename match as last resort.
     const size_t slash = path.rfind('/');
     const std::string_view base =
         slash == std::string_view::npos ? path : path.substr(slash + 1);
-    for (const ParsedFile& pf : files_) {
-        const std::string& name = pf.source->name();
+    for (const auto& pf : files_) {
+        const std::string& name = pf->source->name();
         const size_t s = name.rfind('/');
         const std::string_view file_base =
             s == std::string::npos ? std::string_view(name)
                                    : std::string_view(name).substr(s + 1);
-        if (file_base == base) return &pf;
+        if (file_base == base) return pf.get();
     }
     return nullptr;
 }

@@ -4,8 +4,16 @@
 // inside conditional blocks (`if (!function_exists(...))` guards are common
 // in WordPress plugins) — and records which functions are called from
 // plugin code so the engine can analyze the never-called ones too.
+//
+// Incremental-analysis hooks (service/): every file carries a stable
+// content hash (fnv1a64 of its text), parsed files are held by shared
+// pointer so an immutable AST can be shared between the project that parsed
+// it, the service's content-addressed cache, and any later project built
+// for a new version of the plugin, and `add_parsed()` lets a builder inject
+// an already-parsed file instead of re-lexing identical content.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -23,7 +31,14 @@ struct ParsedFile {
     std::unique_ptr<SourceFile> source;
     FileUnit unit;
     bool parse_failed = false;  ///< a kFatal diagnostic was recorded
+    uint64_t content_hash = 0;  ///< fnv1a64 of the source text
+    uint64_t text_bytes = 0;    ///< source text size
+    uint64_t ast_nodes = 0;     ///< AST nodes built for this file
 };
+
+/// Stable content hash of one file's text; the key of every file-level
+/// entry in the incremental service's cache.
+uint64_t content_hash(std::string_view text) noexcept;
 
 /// Where a function/method declaration lives.
 struct FunctionRef {
@@ -39,10 +54,11 @@ class Project {
 public:
     /// CPU cost of model construction, split by stage. parse_all() adds to
     /// these; lex covers tokenization, parse covers tree building plus
-    /// declaration indexing.
+    /// declaration indexing. Files injected via add_parsed() cost neither.
     struct BuildStats {
         double lex_cpu_seconds = 0;
         double parse_cpu_seconds = 0;
+        int files_reused = 0;  ///< files injected pre-parsed (cache hits)
     };
 
     explicit Project(std::string name) : name_(std::move(name)) {}
@@ -55,21 +71,34 @@ public:
     /// Registers a file; call parse_all() afterwards.
     void add_file(std::string file_name, std::string text);
 
+    /// Injects an already-parsed, immutable file (shared with whoever parsed
+    /// it — typically the service's AST cache). Keeps registration order
+    /// relative to add_file() calls; call parse_all() afterwards to index it.
+    void add_parsed(std::shared_ptr<const ParsedFile> file);
+
     /// Parses every registered file and builds the declaration tables.
     void parse_all(DiagnosticSink& sink);
 
     const BuildStats& build_stats() const noexcept { return build_stats_; }
 
-    const std::vector<ParsedFile>& files() const noexcept { return files_; }
+    const std::vector<std::shared_ptr<const ParsedFile>>& files() const noexcept {
+        return files_;
+    }
 
     /// Total lines across all files (the paper reports corpus KLOC).
     int total_lines() const noexcept;
+
+    /// Exact-name file lookup (used by the service's dependency validation).
+    const ParsedFile* file_named(std::string_view name) const;
 
     /// Free function lookup (case-insensitive, as in PHP).
     const FunctionRef* find_function(std::string_view name) const;
 
     /// Class lookup (case-insensitive).
     const ClassDecl* find_class(std::string_view name) const;
+
+    /// File declaring `class_name` (case-insensitive); empty when unknown.
+    const std::string& file_of_class(std::string_view class_name) const;
 
     /// Method lookup honoring single inheritance.
     const FunctionRef* find_method(std::string_view class_name,
@@ -110,10 +139,18 @@ private:
     void record_calls_stmt(const Stmt& s);
 
     std::string name_;
-    std::vector<ParsedFile> files_;
-    std::vector<std::pair<std::string, std::string>> pending_;  ///< (name, text)
+    /// Files in registration order. Slots for add_file() entries stay null
+    /// until parse_all() fills them; add_parsed() entries are set eagerly.
+    std::vector<std::shared_ptr<const ParsedFile>> files_;
+    struct PendingFile {
+        size_t slot = 0;  ///< index into files_
+        std::string name;
+        std::string text;
+    };
+    std::vector<PendingFile> pending_;
     std::map<std::string, FunctionRef> functions_;  ///< key: lowercase name
     std::map<std::string, const ClassDecl*> classes_;
+    std::map<std::string, std::string> class_files_;  ///< lowercase class → file
     std::map<std::string, FunctionRef> methods_;  ///< key: "class::method" lc
     std::vector<FunctionRef> function_list_;
     std::set<std::string> called_functions_;

@@ -24,6 +24,10 @@
 // The paper's tool set (phpSAFE / RIPS-like / Pixy-like) and run_tool.
 #include "baselines/analyzers.h"
 
+// Long-lived analysis service: request queue, content-addressed cache.
+#include "service/cache.h"
+#include "service/service.h"
+
 // Synthetic plugin corpus (paper §IV.A).
 #include "corpus/generator.h"
 

@@ -1,0 +1,279 @@
+#include "service/cache.h"
+
+#include <cstdio>
+
+#include "obs/counters.h"
+#include "util/strings.h"
+
+namespace phpsafe::service {
+
+namespace {
+
+/// Joins pool key components with a separator that cannot appear in file
+/// names or fingerprints.
+constexpr char kSep = '\x1f';
+
+std::string hex64(uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+uint64_t approx_bytes(const php::ParsedFile& file) {
+    // Text plus a flat per-node AST estimate; the constant only needs to be
+    // the right order of magnitude for the byte budget to bound memory.
+    return 64 + file.text_bytes + file.ast_nodes * 96;
+}
+
+uint64_t approx_bytes(const Finding& finding) {
+    uint64_t bytes = 96 + finding.location.file.size() + finding.sink.size() +
+                     finding.variable.size();
+    for (const TaintStep& step : finding.trace)
+        bytes += 48 + step.location.file.size() + step.description.size();
+    return bytes;
+}
+
+uint64_t approx_bytes(const SummaryArtifact& artifact) {
+    uint64_t bytes = 256;
+    for (const Finding& finding : artifact.findings) bytes += approx_bytes(finding);
+    for (const SummaryDep& dep : artifact.deps)
+        bytes += 56 + dep.name.size() + dep.file.size();
+    const FunctionSummary& s = artifact.summary;
+    bytes += s.param_to_return.size() * 24 + s.param_outputs.size() * 160;
+    for (const ParamSinkFlow& psf : s.param_sinks)
+        bytes += 96 + psf.location.file.size() + psf.sink_name.size() +
+                 psf.variable.size();
+    return bytes;
+}
+
+uint64_t approx_bytes(const AnalysisResult& result) {
+    uint64_t bytes = 256 + result.tool.size() + result.plugin.size();
+    for (const Finding& finding : result.findings) bytes += approx_bytes(finding);
+    for (const Diagnostic& d : result.diagnostics)
+        bytes += 64 + d.location.file.size() + d.message.size();
+    return bytes;
+}
+
+bool validate_deps(const SummaryArtifact& artifact, const php::Project& project) {
+    for (const SummaryDep& dep : artifact.deps) {
+        switch (dep.kind) {
+            case SummaryDep::Kind::kFile: {
+                const php::ParsedFile* file = project.file_named(dep.name);
+                if (!file || file->content_hash != dep.hash) return false;
+                break;
+            }
+            case SummaryDep::Kind::kFunction: {
+                const php::FunctionRef* ref = project.find_function(dep.name);
+                if ((ref ? ref->file : std::string()) != dep.file) return false;
+                break;
+            }
+            case SummaryDep::Kind::kMethod: {
+                const size_t sep = dep.name.find("::");
+                if (sep == std::string::npos) return false;
+                const php::FunctionRef* ref = project.find_method(
+                    std::string_view(dep.name).substr(0, sep),
+                    std::string_view(dep.name).substr(sep + 2));
+                if ((ref ? ref->file : std::string()) != dep.file) return false;
+                break;
+            }
+            case SummaryDep::Kind::kMethodAny: {
+                const php::FunctionRef* ref = project.find_method_any(dep.name);
+                if ((ref ? ref->file : std::string()) != dep.file) return false;
+                break;
+            }
+            case SummaryDep::Kind::kClass: {
+                const bool found = project.find_class(dep.name) != nullptr;
+                const std::string resolved =
+                    found ? project.file_of_class(dep.name) : std::string();
+                if (resolved != dep.file) return false;
+                break;
+            }
+            case SummaryDep::Kind::kInclude: {
+                const php::ParsedFile* resolved = project.resolve_include(dep.name);
+                if ((resolved ? resolved->source->name() : std::string()) !=
+                    dep.file)
+                    return false;
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+AnalysisCache::AnalysisCache(CacheBudgets budgets) {
+    files_.budget = budgets.file_bytes;
+    summaries_.budget = budgets.summary_bytes;
+    results_.budget = budgets.result_bytes;
+}
+
+std::shared_ptr<const void> AnalysisCache::find(Pool& pool,
+                                                const std::string& key) {
+    const auto it = pool.entries.find(key);
+    if (it == pool.entries.end()) return nullptr;
+    pool.lru.splice(pool.lru.begin(), pool.lru, it->second.lru_pos);
+    return it->second.payload;
+}
+
+void AnalysisCache::insert(Pool& pool, const std::string& key,
+                           std::shared_ptr<const void> payload, uint64_t bytes) {
+    if (bytes > pool.budget) return;  // would evict the whole pool for nothing
+    const auto it = pool.entries.find(key);
+    if (it != pool.entries.end()) {
+        // Refresh in place (same content key, so the payload is equivalent).
+        pool.lru.splice(pool.lru.begin(), pool.lru, it->second.lru_pos);
+        return;
+    }
+    pool.lru.push_front(key);
+    Entry entry;
+    entry.payload = std::move(payload);
+    entry.bytes = bytes;
+    entry.lru_pos = pool.lru.begin();
+    pool.entries.emplace(key, std::move(entry));
+    pool.bytes += bytes;
+    stats_.bytes_resident += bytes;
+    obs::tls().cache_bytes_inserted += bytes;
+    evict_over_budget(pool);
+}
+
+void AnalysisCache::evict_over_budget(Pool& pool) {
+    while (pool.bytes > pool.budget && !pool.lru.empty()) {
+        const std::string& victim = pool.lru.back();
+        const auto it = pool.entries.find(victim);
+        pool.bytes -= it->second.bytes;
+        stats_.bytes_resident -= it->second.bytes;
+        obs::tls().cache_bytes_evicted += it->second.bytes;
+        ++obs::tls().cache_evictions;
+        ++stats_.evictions;
+        pool.entries.erase(it);
+        pool.lru.pop_back();
+    }
+}
+
+std::shared_ptr<const php::ParsedFile> AnalysisCache::find_file(
+    std::string_view name, uint64_t content_hash) {
+    // The key includes the NAME, not just the content: findings embed file
+    // names, so the same bytes under a different name must parse separately
+    // (the stored SourceFile carries its name).
+    std::string key;
+    key.reserve(name.size() + 17);
+    key.assign(name);
+    key += kSep;
+    key += hex64(content_hash);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto payload = find(files_, key);
+    if (payload) {
+        ++obs::tls().cache_file_hits;
+        ++stats_.file_hits;
+    } else {
+        ++obs::tls().cache_file_misses;
+        ++stats_.file_misses;
+    }
+    return std::static_pointer_cast<const php::ParsedFile>(payload);
+}
+
+void AnalysisCache::insert_file(
+    const std::shared_ptr<const php::ParsedFile>& file) {
+    if (!file || !file->source) return;
+    std::string key = file->source->name();
+    key += kSep;
+    key += hex64(file->content_hash);
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert(files_, key, file, approx_bytes(*file));
+    stats_.file_entries = files_.entries.size();
+}
+
+std::shared_ptr<const SummaryArtifact> AnalysisCache::find_summary(
+    std::string_view preset, std::string_view qualified_lower,
+    uint64_t declaring_hash) {
+    std::string key;
+    key.reserve(preset.size() + qualified_lower.size() + 18);
+    key.assign(preset);
+    key += kSep;
+    key += qualified_lower;
+    key += kSep;
+    key += hex64(declaring_hash);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto payload = find(summaries_, key);
+    if (payload) {
+        ++stats_.summary_hits;
+    } else {
+        ++stats_.summary_misses;
+    }
+    return std::static_pointer_cast<const SummaryArtifact>(payload);
+}
+
+void AnalysisCache::insert_summary(std::string_view preset,
+                                   std::string_view qualified_lower,
+                                   uint64_t declaring_hash,
+                                   SummaryArtifact artifact) {
+    std::string key;
+    key.assign(preset);
+    key += kSep;
+    key += qualified_lower;
+    key += kSep;
+    key += hex64(declaring_hash);
+    auto shared = std::make_shared<const SummaryArtifact>(std::move(artifact));
+    const uint64_t bytes = approx_bytes(*shared);
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert(summaries_, key, std::move(shared), bytes);
+    stats_.summary_entries = summaries_.entries.size();
+}
+
+std::shared_ptr<const AnalysisResult> AnalysisCache::find_result(
+    std::string_view preset, uint64_t project_fingerprint) {
+    std::string key;
+    key.assign(preset);
+    key += kSep;
+    key += hex64(project_fingerprint);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto payload = find(results_, key);
+    if (payload) {
+        ++obs::tls().cache_result_hits;
+        ++stats_.result_hits;
+    }
+    return std::static_pointer_cast<const AnalysisResult>(payload);
+}
+
+void AnalysisCache::insert_result(std::string_view preset,
+                                  uint64_t project_fingerprint,
+                                  const AnalysisResult& result) {
+    std::string key;
+    key.assign(preset);
+    key += kSep;
+    key += hex64(project_fingerprint);
+    auto shared = std::make_shared<const AnalysisResult>(result);
+    const uint64_t bytes = approx_bytes(*shared);
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert(results_, key, std::move(shared), bytes);
+    stats_.result_entries = results_.entries.size();
+}
+
+void AnalysisCache::note_invalidation() {
+    ++obs::tls().cache_invalidations;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.invalidations;
+}
+
+CacheStats AnalysisCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats out = stats_;
+    out.file_entries = files_.entries.size();
+    out.summary_entries = summaries_.entries.size();
+    out.result_entries = results_.entries.size();
+    return out;
+}
+
+void AnalysisCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Pool* pool : {&files_, &summaries_, &results_}) {
+        pool->entries.clear();
+        pool->lru.clear();
+        pool->bytes = 0;
+    }
+    stats_.bytes_resident = 0;
+    stats_.file_entries = stats_.summary_entries = stats_.result_entries = 0;
+}
+
+}  // namespace phpsafe::service

@@ -1,0 +1,135 @@
+// Content-addressed cache for the long-lived analysis service. Three pools,
+// each with its own LRU byte budget:
+//
+//   - file pool: lexed+parsed files keyed by (file name, fnv1a64 of the
+//     text). A hit injects the shared immutable AST into the next project
+//     via php::Project::add_parsed(), skipping lexing and parsing — the two
+//     stages that dominate model-construction CPU (see BENCH_scale.json).
+//   - summary pool: reusable SummaryArtifacts (core/summaries.h) keyed by
+//     (analysis-preset fingerprint, lowercased qualified function name,
+//     content hash of the declaring file). Before an artifact seeds a new
+//     run, every recorded dependency is revalidated against the new project
+//     (validate_deps); a changed file therefore invalidates its dependents'
+//     summaries through the include/call graph while their ASTs — keyed by
+//     content alone — stay usable.
+//   - result pool: whole AnalysisResults keyed by (preset fingerprint,
+//     project fingerprint). A hit answers a scan without touching the
+//     engine at all.
+//
+// Eviction is strict LRU per pool: inserting over budget evicts the least
+// recently used entries until the pool fits. Byte sizes are estimates
+// (approx_bytes) — good enough to bound memory, not an allocator audit.
+// All pools bump the obs::Counters cache_* group on the calling thread and
+// keep an internal CacheStats snapshot under the same mutex that guards the
+// pools, so the cache is safe to share between concurrent scans.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/finding.h"
+#include "core/summaries.h"
+#include "php/project.h"
+
+namespace phpsafe::service {
+
+/// Per-pool LRU byte budgets. Zero disables a pool entirely (every lookup
+/// misses, nothing is admitted) — used by tests to exercise eviction.
+struct CacheBudgets {
+    uint64_t file_bytes = 64ull << 20;
+    uint64_t summary_bytes = 64ull << 20;
+    uint64_t result_bytes = 16ull << 20;
+};
+
+/// Point-in-time cache statistics (also mirrored into obs::Counters).
+struct CacheStats {
+    uint64_t file_entries = 0;
+    uint64_t summary_entries = 0;
+    uint64_t result_entries = 0;
+    uint64_t bytes_resident = 0;
+    uint64_t file_hits = 0;
+    uint64_t file_misses = 0;
+    uint64_t summary_hits = 0;
+    uint64_t summary_misses = 0;
+    uint64_t result_hits = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+};
+
+/// Rough resident-size estimates used for LRU byte accounting.
+uint64_t approx_bytes(const php::ParsedFile& file);
+uint64_t approx_bytes(const Finding& finding);
+uint64_t approx_bytes(const SummaryArtifact& artifact);
+uint64_t approx_bytes(const AnalysisResult& result);
+
+/// True when every dependency recorded by `artifact` still holds in
+/// `project`: kFile deps re-hash, resolution deps re-resolve to the same
+/// file. A false result means seeding the artifact would be unsound.
+bool validate_deps(const SummaryArtifact& artifact, const php::Project& project);
+
+class AnalysisCache {
+public:
+    explicit AnalysisCache(CacheBudgets budgets = {});
+
+    // -- file pool -----------------------------------------------------------
+    /// Returns the cached parse of (name, content_hash), or null on miss.
+    std::shared_ptr<const php::ParsedFile> find_file(std::string_view name,
+                                                     uint64_t content_hash);
+    void insert_file(const std::shared_ptr<const php::ParsedFile>& file);
+
+    // -- summary pool --------------------------------------------------------
+    /// `preset` is AnalysisOptions::fingerprint(); `declaring_hash` the
+    /// content hash of the file declaring the function. Returns a shared
+    /// handle so a concurrent eviction cannot free an artifact mid-scan.
+    std::shared_ptr<const SummaryArtifact> find_summary(
+        std::string_view preset, std::string_view qualified_lower,
+        uint64_t declaring_hash);
+    void insert_summary(std::string_view preset, std::string_view qualified_lower,
+                        uint64_t declaring_hash, SummaryArtifact artifact);
+
+    // -- result pool ---------------------------------------------------------
+    std::shared_ptr<const AnalysisResult> find_result(std::string_view preset,
+                                                      uint64_t project_fingerprint);
+    void insert_result(std::string_view preset, uint64_t project_fingerprint,
+                       const AnalysisResult& result);
+
+    /// Bumps the invalidation counters (a cached summary failed dependency
+    /// validation against a new project).
+    void note_invalidation();
+
+    CacheStats stats() const;
+    void clear();
+
+private:
+    /// One LRU pool: key → {payload, bytes}; lru_ front = most recent.
+    struct Entry {
+        std::shared_ptr<const void> payload;
+        uint64_t bytes = 0;
+        std::list<std::string>::iterator lru_pos;
+    };
+    struct Pool {
+        std::map<std::string, Entry> entries;
+        std::list<std::string> lru;
+        uint64_t bytes = 0;
+        uint64_t budget = 0;
+    };
+
+    std::shared_ptr<const void> find(Pool& pool, const std::string& key);
+    void insert(Pool& pool, const std::string& key,
+                std::shared_ptr<const void> payload, uint64_t bytes);
+    void evict_over_budget(Pool& pool);
+
+    mutable std::mutex mutex_;
+    Pool files_;
+    Pool summaries_;
+    Pool results_;
+    CacheStats stats_;
+};
+
+}  // namespace phpsafe::service

@@ -1,0 +1,310 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "util/strings.h"
+#include "util/timing.h"
+
+namespace phpsafe::service {
+
+/// One queued/running scan. Awaiters block on `cv` until `done`.
+struct PendingScan {
+    ScanRequest request;
+    uint64_t fingerprint = 0;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ScanResponse response;
+};
+
+uint64_t AnalysisService::request_fingerprint(const ScanRequest& request) {
+    uint64_t h = fnv1a64(request.plugin);
+    h = fnv1a64("\x1f", h);
+    h = fnv1a64(request.preset, h);
+    for (const SourceFileSpec& file : request.files) {
+        h = fnv1a64("\x1f", h);
+        h = fnv1a64(file.name, h);
+        h = fnv1a64("\x1f", h);
+        h = fnv1a64(file.text, h);
+    }
+    return h;
+}
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.budgets) {
+    // Every preset runs hermetic: summaries are computed context-free in
+    // declaration order, the property that makes cross-run reuse sound (see
+    // AnalysisOptions::hermetic_summaries).
+    Tool phpsafe = make_phpsafe_tool();
+    phpsafe.options.hermetic_summaries = true;
+    presets_.emplace("phpsafe", std::move(phpsafe));
+    Tool rips = make_rips_like_tool();
+    rips.options.hermetic_summaries = true;
+    presets_.emplace("rips", std::move(rips));
+    Tool pixy = make_pixy_like_tool();
+    pixy.options.hermetic_summaries = true;
+    presets_.emplace("pixy", std::move(pixy));
+
+    pool_ = std::make_unique<WorkerPool>(
+        WorkerPool::resolve_parallelism(options_.workers));
+    scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+AnalysisService::~AnalysisService() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    queue_cv_.notify_all();
+    scheduler_.join();
+}
+
+void AnalysisService::pause() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void AnalysisService::resume() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    queue_cv_.notify_all();
+}
+
+AnalysisService::Ticket AnalysisService::submit(ScanRequest request) {
+    const uint64_t fingerprint = request_fingerprint(request);
+    Ticket ticket;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = in_flight_.find(fingerprint);
+    if (it != in_flight_.end()) {
+        if (std::shared_ptr<PendingScan> existing = it->second.lock()) {
+            ticket.scan_ = std::move(existing);
+            ticket.coalesced = true;
+            return ticket;
+        }
+    }
+    auto scan = std::make_shared<PendingScan>();
+    scan->request = std::move(request);
+    scan->fingerprint = fingerprint;
+    in_flight_[fingerprint] = scan;
+    queue_.push_back(scan);
+    ticket.scan_ = std::move(scan);
+    queue_cv_.notify_all();
+    return ticket;
+}
+
+ScanResponse AnalysisService::await(const Ticket& ticket) {
+    if (!ticket.scan_) return {};
+    PendingScan& scan = *ticket.scan_;
+    std::unique_lock<std::mutex> lock(scan.mutex);
+    scan.cv.wait(lock, [&] { return scan.done; });
+    ScanResponse response = scan.response;
+    response.deduplicated = ticket.coalesced;
+    return response;
+}
+
+ScanResponse AnalysisService::scan(ScanRequest request) {
+    return await(submit(std::move(request)));
+}
+
+void AnalysisService::scheduler_loop() {
+    for (;;) {
+        std::vector<std::shared_ptr<PendingScan>> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock, [&] {
+                return stop_ || (!paused_ && !queue_.empty());
+            });
+            if (queue_.empty()) {
+                if (stop_) return;
+                continue;
+            }
+            batch.assign(queue_.begin(), queue_.end());
+            queue_.clear();
+        }
+        // The whole batch fans out onto one shared worker pool; identical
+        // requests were already coalesced at submit().
+        pool_->run(batch.size(), [&](size_t i) {
+            PendingScan& scan = *batch[i];
+            ScanResponse response;
+            try {
+                perform_scan(scan);
+                return;
+            } catch (const std::exception& e) {
+                response.result.plugin = scan.request.plugin;
+                response.result.diagnostics.push_back(Diagnostic{
+                    Severity::kFatal, SourceLocation{}, e.what()});
+            } catch (...) {
+                response.result.plugin = scan.request.plugin;
+                response.result.diagnostics.push_back(Diagnostic{
+                    Severity::kFatal, SourceLocation{}, "unknown scan failure"});
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                in_flight_.erase(scan.fingerprint);
+            }
+            {
+                std::lock_guard<std::mutex> lock(scan.mutex);
+                scan.response = std::move(response);
+                scan.done = true;
+            }
+            scan.cv.notify_all();
+        });
+    }
+}
+
+void AnalysisService::perform_scan(PendingScan& scan) {
+    const double wall_start = wall_seconds();
+    obs::Tracer inert(false);
+    obs::Tracer& tracer = options_.tracer ? *options_.tracer : inert;
+    auto scan_span = tracer.span("service.scan", {{"plugin", scan.request.plugin},
+                                                  {"preset", scan.request.preset}});
+    const obs::CounterDelta delta;
+    ScanResponse response;
+
+    const auto preset_it = presets_.find(scan.request.preset);
+    const Tool& tool =
+        preset_it != presets_.end() ? preset_it->second : presets_.at("phpsafe");
+    const std::string preset_fp = tool.options.fingerprint();
+
+    // Path 1: the exact (content, preset) pair was scanned before.
+    bool served = false;
+    if (options_.reuse_results) {
+        if (auto cached = cache_.find_result(preset_fp, scan.fingerprint)) {
+            response.result = *cached;
+            response.from_result_cache = true;
+            served = true;
+        }
+    }
+
+    if (!served) {
+        // Model construction, with per-file AST reuse.
+        php::Project project(scan.request.plugin);
+        {
+            auto build_span =
+                tracer.span("service.build", {{"plugin", scan.request.plugin}});
+            for (const SourceFileSpec& file : scan.request.files) {
+                const uint64_t hash = php::content_hash(file.text);
+                if (auto cached = cache_.find_file(file.name, hash))
+                    project.add_parsed(std::move(cached));
+                else
+                    project.add_file(file.name, file.text);
+            }
+            DiagnosticSink sink;
+            project.parse_all(sink);
+            for (const auto& parsed : project.files()) cache_.insert_file(parsed);
+        }
+        response.files_reused = project.build_stats().files_reused;
+
+        std::map<std::string, uint64_t> file_hashes;
+        for (const auto& parsed : project.files())
+            if (parsed) file_hashes[parsed->source->name()] = parsed->content_hash;
+
+        // Summary seeding: sound only for presets that pre-summarize every
+        // declared function ("pixy" skips uncalled functions, so its stage
+        // order — and therefore summary purity — is call-driven; it gets
+        // AST and result caching only).
+        const bool summary_reuse = options_.reuse_summaries &&
+                                   tool.options.hermetic_summaries &&
+                                   tool.options.analyze_uncalled_functions;
+        std::map<std::string, const SummaryArtifact*> seeds;
+        std::vector<std::shared_ptr<const SummaryArtifact>> pins;
+        if (summary_reuse) {
+            auto seed_span =
+                tracer.span("service.seed", {{"plugin", scan.request.plugin}});
+            for (const php::FunctionRef& ref : project.all_functions()) {
+                if (!ref.decl) continue;
+                const std::string key = ascii_lower(ref.qualified_name());
+                // Duplicate declarations: the project tables keep the first
+                // one, so only it may be seeded.
+                if (seeds.count(key)) continue;
+                const auto declaring = file_hashes.find(ref.file);
+                if (declaring == file_hashes.end()) continue;
+                auto artifact =
+                    cache_.find_summary(preset_fp, key, declaring->second);
+                if (!artifact) continue;
+                if (!validate_deps(*artifact, project)) {
+                    cache_.note_invalidation();
+                    ++response.summaries_invalidated;
+                    continue;
+                }
+                seeds.emplace(key, artifact.get());
+                pins.push_back(std::move(artifact));
+            }
+            response.summaries_seeded = static_cast<int>(seeds.size());
+        }
+
+        SummaryExchange exchange;
+        std::map<std::string, SummaryArtifact> capture;
+        if (summary_reuse) {
+            exchange.seeds = &seeds;
+            exchange.capture = &capture;
+        }
+
+        Engine engine(tool.kb, tool.options);
+        {
+            auto run_span =
+                tracer.span("service.analyze", {{"plugin", scan.request.plugin},
+                                                {"tool", tool.name}});
+            const double cpu_start = thread_cpu_seconds();
+            response.result = engine.analyze(project, exchange);
+            response.result.cpu_seconds = thread_cpu_seconds() - cpu_start;
+        }
+
+        // Admit this run's reusable summaries, pinning each kFile dep to
+        // the content hash it was computed against.
+        if (summary_reuse) {
+            std::map<std::string, const std::string*> declaring_file;
+            for (const php::FunctionRef& ref : project.all_functions()) {
+                if (!ref.decl) continue;
+                declaring_file.emplace(ascii_lower(ref.qualified_name()),
+                                       &ref.file);
+            }
+            for (auto& [key, artifact] : capture) {
+                if (!artifact.reusable) continue;
+                const auto owner = declaring_file.find(key);
+                if (owner == declaring_file.end()) continue;
+                const auto owner_hash = file_hashes.find(*owner->second);
+                if (owner_hash == file_hashes.end()) continue;
+                bool hashes_ok = true;
+                for (SummaryDep& dep : artifact.deps) {
+                    if (dep.kind != SummaryDep::Kind::kFile) continue;
+                    const auto file_hash = file_hashes.find(dep.name);
+                    if (file_hash == file_hashes.end()) {
+                        hashes_ok = false;
+                        break;
+                    }
+                    dep.hash = file_hash->second;
+                }
+                if (!hashes_ok) continue;
+                cache_.insert_summary(preset_fp, key, owner_hash->second,
+                                      std::move(artifact));
+            }
+        }
+
+        if (options_.reuse_results) {
+            response.result.counters = delta.take();
+            cache_.insert_result(preset_fp, scan.fingerprint, response.result);
+        }
+    }
+
+    response.counters = delta.take();
+    if (!response.from_result_cache) response.result.counters = response.counters;
+    response.wall_seconds = wall_seconds() - wall_start;
+    scan_span.note("result_cache", response.from_result_cache ? "hit" : "miss");
+    scan_span.end();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        in_flight_.erase(scan.fingerprint);
+    }
+    {
+        std::lock_guard<std::mutex> lock(scan.mutex);
+        scan.response = std::move(response);
+        scan.done = true;
+    }
+    scan.cv.notify_all();
+}
+
+}  // namespace phpsafe::service

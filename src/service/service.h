@@ -1,0 +1,154 @@
+// AnalysisService: a long-lived front door for the analysis engine. Where
+// the batch tools (baselines/run_tool, the evaluation driver) build a fresh
+// project and engine per scan, the service keeps an AnalysisCache across
+// scans and answers each request with the cheapest sound path:
+//
+//   1. result pool hit — the exact (plugin content, preset) was scanned
+//      before: the stored AnalysisResult is returned without running
+//      anything.
+//   2. warm scan — unchanged files come from the file pool pre-parsed, and
+//      function summaries whose dependency records still validate against
+//      the new project are seeded into the engine (core/summaries.h
+//      SummaryExchange); only summaries invalidated by the edit are
+//      recomputed.
+//   3. cold scan — everything misses; the scan also populates the cache.
+//
+// Every path returns byte-identical findings: the engine runs in hermetic-
+// summaries mode (AnalysisOptions::hermetic_summaries), seeded summaries
+// replay their recorded findings, and deduplicate() imposes a total order.
+// tests/determinism_test.cpp and tests/service_test.cpp assert equality
+// across cache states and worker counts.
+//
+// Concurrency: submit() enqueues a request and returns a ticket; a
+// scheduler thread drains the queue in batches onto a WorkerPool, so
+// concurrent submitters share one thread team instead of oversubscribing.
+// Identical in-flight requests (same plugin content + preset) are
+// deduplicated onto one scan. await() blocks until the ticket's scan is
+// done; scan() is the synchronous submit+await convenience.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/analyzers.h"
+#include "core/finding.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "service/cache.h"
+#include "util/worker_pool.h"
+
+namespace phpsafe::service {
+
+struct ServiceOptions {
+    /// Worker threads for batch fan-out; <= 0 means auto (PHPSAFE_JOBS or
+    /// hardware concurrency, via WorkerPool::resolve_parallelism).
+    int workers = 0;
+    CacheBudgets budgets;
+    /// Master switches for the summary and result pools (the file pool is
+    /// always on — AST reuse is unconditionally sound).
+    bool reuse_summaries = true;
+    bool reuse_results = true;
+    /// Optional span sink (not owned; must outlive the service).
+    obs::Tracer* tracer = nullptr;
+};
+
+/// One source file of a scan request.
+struct SourceFileSpec {
+    std::string name;
+    std::string text;
+};
+
+struct ScanRequest {
+    std::string plugin;
+    /// Analysis preset: "phpsafe" (default), "rips" or "pixy". The preset
+    /// picks the knowledge base and engine options; all presets run with
+    /// hermetic_summaries on. Summary seeding applies only to presets that
+    /// analyze uncalled functions ("pixy" gets AST caching only).
+    std::string preset = "phpsafe";
+    std::vector<SourceFileSpec> files;
+};
+
+struct ScanResponse {
+    AnalysisResult result;
+    /// obs counter delta of this scan (zero when served from the result
+    /// pool of a previous scan... the result hit itself is counted).
+    obs::Counters counters;
+    bool from_result_cache = false;
+    /// True when this request coalesced onto an identical in-flight scan.
+    bool deduplicated = false;
+    int files_reused = 0;          ///< parsed files injected from the cache
+    int summaries_seeded = 0;      ///< summaries installed without analysis
+    int summaries_invalidated = 0; ///< cache hits rejected by dep validation
+    double wall_seconds = 0;
+};
+
+class AnalysisService {
+public:
+    explicit AnalysisService(ServiceOptions options = {});
+    ~AnalysisService();
+
+    AnalysisService(const AnalysisService&) = delete;
+    AnalysisService& operator=(const AnalysisService&) = delete;
+
+    class Ticket {
+    public:
+        bool valid() const noexcept { return scan_ != nullptr; }
+
+    private:
+        friend class AnalysisService;
+        std::shared_ptr<struct PendingScan> scan_;
+        bool coalesced = false;
+    };
+
+    /// Enqueues a scan. Identical requests (same plugin name, preset and
+    /// file contents) already queued or running return a ticket onto the
+    /// same scan with `deduplicated` set in the eventual response.
+    Ticket submit(ScanRequest request);
+
+    /// Blocks until the ticket's scan completes and returns its response.
+    ScanResponse await(const Ticket& ticket);
+
+    /// submit() + await().
+    ScanResponse scan(ScanRequest request);
+
+    /// Test hook: while paused, the scheduler queues but does not dispatch —
+    /// lets tests submit identical requests that provably coalesce. Never
+    /// await() a ticket submitted under pause() before calling resume().
+    void pause();
+    void resume();
+
+    CacheStats cache_stats() const { return cache_.stats(); }
+    void clear_cache() { cache_.clear(); }
+
+    /// Stable fingerprint of a request's analysis input (plugin name,
+    /// preset, file names and contents) — the result-pool / dedup key.
+    static uint64_t request_fingerprint(const ScanRequest& request);
+
+private:
+    void scheduler_loop();
+    void perform_scan(PendingScan& scan);
+
+    ServiceOptions options_;
+    AnalysisCache cache_;
+    /// Preset name → fully configured tool, built once at construction.
+    std::map<std::string, Tool> presets_;
+
+    std::unique_ptr<WorkerPool> pool_;
+    std::thread scheduler_;
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<std::shared_ptr<PendingScan>> queue_;
+    /// fingerprint → queued or running scan (for in-flight dedup).
+    std::map<uint64_t, std::weak_ptr<PendingScan>> in_flight_;
+    bool paused_ = false;
+    bool stop_ = false;
+};
+
+}  // namespace phpsafe::service

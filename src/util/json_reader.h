@@ -1,0 +1,294 @@
+// Minimal DOM JSON parser — the read-side counterpart of json_writer.h,
+// used by the phpsafe_serve daemon to decode newline-delimited request
+// objects. Recursive descent over the JSON grammar into a small variant
+// (JsonValue); no allocator tricks, no SAX mode, no incremental input —
+// each parse() call consumes one complete document. Numbers are kept as
+// double (the daemon protocol only carries small integers); \uXXXX escapes
+// decode to UTF-8.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phpsafe {
+
+class JsonValue {
+public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Object members in document order (duplicate keys keep the last).
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool is_null() const noexcept { return kind == Kind::kNull; }
+    bool is_bool() const noexcept { return kind == Kind::kBool; }
+    bool is_number() const noexcept { return kind == Kind::kNumber; }
+    bool is_string() const noexcept { return kind == Kind::kString; }
+    bool is_array() const noexcept { return kind == Kind::kArray; }
+    bool is_object() const noexcept { return kind == Kind::kObject; }
+
+    /// Looks up an object member; null when absent or not an object.
+    const JsonValue* get(std::string_view key) const noexcept {
+        if (kind != Kind::kObject) return nullptr;
+        const JsonValue* found = nullptr;
+        for (const auto& [name, value] : object)
+            if (name == key) found = &value;
+        return found;
+    }
+
+    /// Member's string value, or `fallback` when absent / not a string.
+    std::string string_or(std::string_view key, std::string fallback) const {
+        const JsonValue* v = get(key);
+        return v && v->is_string() ? v->string : std::move(fallback);
+    }
+
+    /// Member's numeric value truncated to int64, or `fallback`.
+    int64_t int_or(std::string_view key, int64_t fallback) const noexcept {
+        const JsonValue* v = get(key);
+        return v && v->is_number() ? static_cast<int64_t>(v->number) : fallback;
+    }
+};
+
+/// Parses one JSON document. Returns false (and fills `error` when given)
+/// on malformed input or trailing non-whitespace.
+class JsonReader {
+public:
+    static bool parse(std::string_view text, JsonValue& out,
+                      std::string* error = nullptr) {
+        JsonReader reader(text);
+        reader.skip_ws();
+        if (!reader.parse_value(out)) {
+            if (error) *error = reader.describe_error();
+            return false;
+        }
+        reader.skip_ws();
+        if (reader.pos_ != text.size()) {
+            if (error)
+                *error = "trailing characters at offset " +
+                         std::to_string(reader.pos_);
+            return false;
+        }
+        return true;
+    }
+
+private:
+    explicit JsonReader(std::string_view text) : text_(text) {}
+
+    bool fail(const char* what) {
+        if (!error_) error_ = what;
+        return false;
+    }
+
+    std::string describe_error() const {
+        return std::string(error_ ? error_ : "malformed JSON") + " at offset " +
+               std::to_string(pos_);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parse_value(JsonValue& out) {
+        if (depth_ > 64) return fail("nesting too deep");
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case 'n': out.kind = JsonValue::Kind::kNull; return literal("null");
+            case 't':
+                out.kind = JsonValue::Kind::kBool;
+                out.boolean = true;
+                return literal("true");
+            case 'f':
+                out.kind = JsonValue::Kind::kBool;
+                out.boolean = false;
+                return literal("false");
+            case '"':
+                out.kind = JsonValue::Kind::kString;
+                return parse_string(out.string);
+            case '[': return parse_array(out);
+            case '{': return parse_object(out);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_array(JsonValue& out) {
+        out.kind = JsonValue::Kind::kArray;
+        ++pos_;  // '['
+        ++depth_;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        for (;;) {
+            JsonValue element;
+            if (!parse_value(element)) return false;
+            out.array.push_back(std::move(element));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated array");
+            const char c = text_[pos_++];
+            if (c == ']') break;
+            if (c != ',') return fail("expected ',' or ']'");
+            skip_ws();
+        }
+        --depth_;
+        return true;
+    }
+
+    bool parse_object(JsonValue& out) {
+        out.kind = JsonValue::Kind::kObject;
+        ++pos_;  // '{'
+        ++depth_;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        for (;;) {
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skip_ws();
+            JsonValue value;
+            if (!parse_value(value)) return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated object");
+            const char c = text_[pos_++];
+            if (c == '}') break;
+            if (c != ',') return fail("expected ',' or '}'");
+            skip_ws();
+        }
+        --depth_;
+        return true;
+    }
+
+    bool parse_string(std::string& out) {
+        ++pos_;  // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned code = 0;
+                    if (!parse_hex4(code)) return false;
+                    // Surrogate pair → one code point.
+                    if (code >= 0xD800 && code <= 0xDBFF &&
+                        text_.substr(pos_, 2) == "\\u") {
+                        pos_ += 2;
+                        unsigned low = 0;
+                        if (!parse_hex4(low)) return false;
+                        if (low >= 0xDC00 && low <= 0xDFFF)
+                            code = 0x10000 + ((code - 0xD800) << 10) +
+                                   (low - 0xDC00);
+                        else
+                            return fail("unpaired surrogate");
+                    }
+                    append_utf8(out, code);
+                    break;
+                }
+                default: return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_hex4(unsigned& out) {
+        if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+            else return fail("bad \\u escape");
+        }
+        return true;
+    }
+
+    static void append_utf8(std::string& out, unsigned code) {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    bool parse_number(JsonValue& out) {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::string_view("0123456789.eE+-").find(text_[pos_]) !=
+                std::string_view::npos))
+            ++pos_;
+        if (pos_ == start) return fail("expected value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0') {
+            pos_ = start;
+            return fail("bad number");
+        }
+        out.kind = JsonValue::Kind::kNumber;
+        return true;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    const char* error_ = nullptr;
+};
+
+}  // namespace phpsafe

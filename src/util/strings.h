@@ -4,6 +4,7 @@
 // knowledge base and the engine need.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,5 +31,19 @@ std::string_view trim(std::string_view s) noexcept;
 
 /// Replaces all occurrences of `from` (non-empty) with `to`.
 std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// FNV-1a 64-bit hash — the content-addressing primitive of the incremental
+/// analysis service (service/cache.h): file texts and cache keys are hashed
+/// with it. Stable across platforms and runs (no seed, no pointer mixing),
+/// which is what lets cache keys live beyond one process.
+constexpr uint64_t fnv1a64(std::string_view bytes,
+                           uint64_t seed = 0xcbf29ce484222325ull) noexcept {
+    uint64_t h = seed;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
 }  // namespace phpsafe

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "report/evaluation.h"
+#include "report/export.h"
+#include "service/service.h"
 
 namespace phpsafe {
 namespace {
@@ -68,6 +70,52 @@ TEST(DeterminismTest, RepeatedParallelRunsAreStable) {
     const Evaluation a = run_corpus_evaluation(paper_tool_set(), options);
     const Evaluation b = run_corpus_evaluation(paper_tool_set(), options);
     expect_identical_stats(a, b);
+}
+
+// The analysis service must be invisible in the output: findings are a
+// function of (plugin content, preset) alone — not of cache state and not
+// of the worker count. Serve the corpus's first plugins through services in
+// every combination of {cold, warm-after-edit} x {1 worker, 4 workers} and
+// require byte-identical reports.
+TEST(DeterminismTest, ServiceFindingsIndependentOfCacheStateAndWorkers) {
+    corpus::CorpusOptions corpus_options;
+    corpus_options.scale = 0.05;
+    const corpus::Corpus corpus = corpus::generate_corpus(corpus_options);
+
+    std::vector<service::ScanRequest> requests;
+    for (size_t i = 0; i < 3 && i < corpus.plugins.size(); ++i) {
+        service::ScanRequest request;
+        request.plugin = corpus.plugins[i].name;
+        for (const auto& [name, text] : corpus.plugins[i].v2014.files)
+            request.files.push_back({name, text});
+        // The edited revision every arm is judged on.
+        request.files[0].text += "\n// rev 2\n";
+        requests.push_back(std::move(request));
+    }
+
+    std::vector<std::vector<std::string>> arms;
+    for (const int workers : {1, 4}) {
+        for (const bool warm : {false, true}) {
+            service::ServiceOptions options;
+            options.workers = workers;
+            service::AnalysisService svc(options);
+            if (warm) {
+                // Prime with the pre-edit revision so the judged scan runs
+                // against populated file and summary pools.
+                for (service::ScanRequest request : requests) {
+                    request.files[0].text.resize(
+                        request.files[0].text.size() - 10);
+                    (void)svc.scan(std::move(request));
+                }
+            }
+            std::vector<std::string> reports;
+            for (const service::ScanRequest& request : requests)
+                reports.push_back(render_json_report(svc.scan(request).result));
+            arms.push_back(std::move(reports));
+        }
+    }
+    for (size_t i = 1; i < arms.size(); ++i)
+        EXPECT_EQ(arms[0], arms[i]) << "arm " << i << " diverged";
 }
 
 }  // namespace

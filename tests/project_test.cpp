@@ -150,7 +150,7 @@ TEST(ProjectTest, ParseFailureFlagged) {
     DiagnosticSink sink;
     project.parse_all(sink);
     ASSERT_EQ(project.files().size(), 1u);
-    EXPECT_TRUE(project.files()[0].parse_failed);
+    EXPECT_TRUE(project.files()[0]->parse_failed);
 }
 
 }  // namespace

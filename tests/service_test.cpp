@@ -1,0 +1,250 @@
+// AnalysisService + AnalysisCache behavior: cache-state independence of
+// findings (warm == cold, byte for byte), include-graph invalidation of
+// function summaries, LRU eviction under a tiny byte budget, in-flight
+// request deduplication, and the daemon's JSON reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "report/export.h"
+#include "service/cache.h"
+#include "service/service.h"
+#include "util/json_reader.h"
+
+namespace phpsafe {
+namespace {
+
+using service::AnalysisService;
+using service::CacheStats;
+using service::ScanRequest;
+using service::ScanResponse;
+using service::ServiceOptions;
+
+ScanRequest simple_request(std::string plugin,
+                           std::vector<service::SourceFileSpec> files) {
+    ScanRequest request;
+    request.plugin = std::move(plugin);
+    request.files = std::move(files);
+    return request;
+}
+
+/// The three-file project used by the invalidation tests: main echoes a GET
+/// value routed through wrap() (lib.php), which delegates to inner()
+/// (util.php). Whether the output is vulnerable depends only on inner().
+ScanRequest layered_request(const std::string& inner_body) {
+    return simple_request(
+        "layered",
+        {{"lib.php", "<?php function wrap($v) { return inner($v); }"},
+         {"util.php", "<?php function inner($v) { " + inner_body + " }"},
+         {"main.php",
+          "<?php include 'lib.php'; include 'util.php'; "
+          "echo wrap($_GET['x']);"}});
+}
+
+TEST(ServiceTest, FindsSimpleXss) {
+    AnalysisService service;
+    const ScanResponse response = service.scan(simple_request(
+        "demo", {{"a.php", "<?php echo $_GET['x'];"}}));
+    ASSERT_EQ(response.result.findings.size(), 1u);
+    EXPECT_EQ(response.result.findings[0].kind, VulnKind::kXss);
+    EXPECT_FALSE(response.from_result_cache);
+}
+
+TEST(ServiceTest, IdenticalRescanHitsResultPool) {
+    AnalysisService service;
+    const ScanRequest request =
+        simple_request("demo", {{"a.php", "<?php echo $_GET['x'];"}});
+    const ScanResponse cold = service.scan(request);
+    const ScanResponse warm = service.scan(request);
+    EXPECT_FALSE(cold.from_result_cache);
+    EXPECT_TRUE(warm.from_result_cache);
+    EXPECT_EQ(render_json_report(cold.result), render_json_report(warm.result));
+}
+
+TEST(ServiceTest, EditedFileReusesUnchangedAstsAndSummaries) {
+    AnalysisService service;
+    (void)service.scan(layered_request("return htmlentities($v);"));
+
+    // Touch only main.php; lib.php and util.php (and the summaries of the
+    // two functions they declare) must come from the cache.
+    ScanRequest edited = layered_request("return htmlentities($v);");
+    edited.files[2].text += " echo 'v2';";
+    const ScanResponse response = service.scan(edited);
+    EXPECT_FALSE(response.from_result_cache);
+    EXPECT_EQ(response.files_reused, 2);
+    EXPECT_EQ(response.summaries_seeded, 2);
+    EXPECT_EQ(response.summaries_invalidated, 0);
+    EXPECT_TRUE(response.result.findings.empty());
+}
+
+TEST(ServiceTest, ChangedDependencyInvalidatesDependentSummary) {
+    AnalysisService service;
+    const ScanResponse sanitized =
+        service.scan(layered_request("return htmlentities($v);"));
+    EXPECT_TRUE(sanitized.result.findings.empty());
+
+    // inner() loses its sanitization. wrap() lives in an unchanged file, so
+    // its cached summary is FOUND — but its recorded dependency on
+    // util.php's content no longer validates, so it must be recomputed (a
+    // stale summary would keep reporting the flow as sanitized).
+    const ScanRequest vulnerable = layered_request("return $v;");
+    const ScanResponse warm = service.scan(vulnerable);
+    EXPECT_GE(warm.summaries_invalidated, 1);
+    ASSERT_EQ(warm.result.findings.size(), 1u);
+    EXPECT_EQ(warm.result.findings[0].kind, VulnKind::kXss);
+
+    // And the warm findings are byte-identical to a cold service's.
+    AnalysisService cold_service;
+    const ScanResponse cold = cold_service.scan(vulnerable);
+    EXPECT_EQ(render_json_report(warm.result), render_json_report(cold.result));
+}
+
+TEST(ServiceTest, LruEvictsUnderTinyByteBudget) {
+    ServiceOptions options;
+    options.budgets.file_bytes = 2048;    // holds ~2 small parsed files
+    options.budgets.summary_bytes = 2048;
+    options.budgets.result_bytes = 0;     // result pool disabled entirely
+    AnalysisService service(options);
+
+    std::vector<service::SourceFileSpec> files;
+    for (int i = 0; i < 8; ++i) {
+        const std::string n = std::to_string(i);
+        files.push_back({"f" + n + ".php",
+                         "<?php function fn" + n + "($v) { return $v . '" + n +
+                             "'; } echo fn" + n + "($_GET['q" + n + "']);"});
+    }
+    const ScanRequest request = simple_request("evict", files);
+    const ScanResponse first = service.scan(request);
+    const CacheStats stats = service.cache_stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LT(stats.file_entries, files.size());
+    EXPECT_LE(stats.bytes_resident,
+              options.budgets.file_bytes + options.budgets.summary_bytes);
+    EXPECT_EQ(stats.result_entries, 0u);
+
+    // Eviction affects cost only: a re-scan under cache pressure returns
+    // the same findings.
+    const ScanResponse second = service.scan(request);
+    EXPECT_FALSE(second.from_result_cache);
+    EXPECT_EQ(render_json_report(first.result),
+              render_json_report(second.result));
+}
+
+TEST(ServiceTest, InFlightIdenticalRequestsCoalesce) {
+    AnalysisService service;
+    service.pause();  // hold the queue so both submits see the same scan
+    const ScanRequest request =
+        simple_request("dedup", {{"a.php", "<?php echo $_GET['x'];"}});
+    const AnalysisService::Ticket first = service.submit(request);
+    const AnalysisService::Ticket second = service.submit(request);
+    service.resume();
+    const ScanResponse a = service.await(first);
+    const ScanResponse b = service.await(second);
+    EXPECT_FALSE(a.deduplicated);
+    EXPECT_TRUE(b.deduplicated);
+    EXPECT_EQ(render_json_report(a.result), render_json_report(b.result));
+}
+
+TEST(ServiceTest, RequestFingerprintCoversNamesAndContent) {
+    const ScanRequest base =
+        simple_request("p", {{"a.php", "<?php echo 1;"}});
+    ScanRequest renamed = base;
+    renamed.files[0].name = "b.php";
+    ScanRequest edited = base;
+    edited.files[0].text += " ";
+    ScanRequest other_preset = base;
+    other_preset.preset = "rips";
+    const uint64_t fp = AnalysisService::request_fingerprint(base);
+    EXPECT_NE(fp, AnalysisService::request_fingerprint(renamed));
+    EXPECT_NE(fp, AnalysisService::request_fingerprint(edited));
+    EXPECT_NE(fp, AnalysisService::request_fingerprint(other_preset));
+    EXPECT_EQ(fp, AnalysisService::request_fingerprint(base));
+}
+
+TEST(ServiceTest, WarmScanOfCorpusPluginMatchesColdByteForByte) {
+    corpus::CorpusOptions corpus_options;
+    corpus_options.scale = 0.05;
+    const corpus::Corpus corpus = corpus::generate_corpus(corpus_options);
+    const corpus::GeneratedPlugin& plugin = corpus.plugins.front();
+
+    ScanRequest request;
+    request.plugin = plugin.name;
+    for (const auto& [name, text] : plugin.v2014.files)
+        request.files.push_back({name, text});
+
+    AnalysisService warm_service;
+    (void)warm_service.scan(request);  // prime
+    ScanRequest touched = request;
+    touched.files[0].text += "\n// touched\n";
+    const ScanResponse warm = warm_service.scan(touched);
+    EXPECT_GT(warm.files_reused, 0);
+    EXPECT_GT(warm.summaries_seeded, 0);
+
+    AnalysisService cold_service;
+    const ScanResponse cold = cold_service.scan(touched);
+    EXPECT_EQ(render_json_report(warm.result), render_json_report(cold.result));
+}
+
+// ---------------------------------------------------------------------------
+// JsonReader (the daemon's request decoder)
+// ---------------------------------------------------------------------------
+
+TEST(JsonReaderTest, ParsesDaemonRequestShape) {
+    JsonValue v;
+    ASSERT_TRUE(JsonReader::parse(
+        R"({"op":"scan","plugin":"p","files":[{"name":"a.php","text":"<?php\n"}]})",
+        v));
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.string_or("op", ""), "scan");
+    const JsonValue* files = v.get("files");
+    ASSERT_TRUE(files && files->is_array());
+    ASSERT_EQ(files->array.size(), 1u);
+    EXPECT_EQ(files->array[0].string_or("text", ""), "<?php\n");
+}
+
+TEST(JsonReaderTest, ParsesScalarsAndNesting) {
+    JsonValue v;
+    ASSERT_TRUE(JsonReader::parse(
+        R"({"a":-1.5e2,"b":true,"c":null,"d":[1,2,[3]],"e":{"f":"g"}})", v));
+    EXPECT_EQ(v.int_or("a", 0), -150);
+    EXPECT_TRUE(v.get("b")->boolean);
+    EXPECT_TRUE(v.get("c")->is_null());
+    EXPECT_EQ(v.get("d")->array[2].array[0].number, 3);
+    EXPECT_EQ(v.get("e")->string_or("f", ""), "g");
+}
+
+TEST(JsonReaderTest, DecodesEscapes) {
+    JsonValue v;
+    ASSERT_TRUE(JsonReader::parse(R"(["\"\\\n\tAé😀"])", v));
+    EXPECT_EQ(v.array[0].string, "\"\\\n\tA\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonReader::parse("{\"a\":}", v, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(JsonReader::parse("[1,2", v));
+    EXPECT_FALSE(JsonReader::parse("{} trailing", v));
+    EXPECT_FALSE(JsonReader::parse("\"unterminated", v));
+    EXPECT_FALSE(JsonReader::parse("nul", v));
+    EXPECT_FALSE(JsonReader::parse("", v));
+}
+
+TEST(JsonReaderTest, RoundTripsThroughJsonWriter) {
+    // The writer's escaping must always be parseable by the reader.
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.kv("text", "quote\" slash\\ tab\t nl\n ctl\x01");
+    w.end_object();
+    JsonValue v;
+    ASSERT_TRUE(JsonReader::parse(out.str(), v));
+    EXPECT_EQ(v.string_or("text", ""), "quote\" slash\\ tab\t nl\n ctl\x01");
+}
+
+}  // namespace
+}  // namespace phpsafe
