@@ -94,6 +94,14 @@ void KnowledgeBase::add_known_global_object(std::string_view var_name,
     known_globals_[std::string(var_name)] = ascii_lower(class_name);
 }
 
+void KnowledgeBase::remove_function(std::string_view name) {
+    functions_.erase(ascii_lower(name));
+}
+
+void KnowledgeBase::remove_superglobal(std::string_view var_name) {
+    superglobals_.erase(std::string(var_name));
+}
+
 const FunctionInfo* KnowledgeBase::function(std::string_view name) const {
     const auto it = functions_.find(ascii_lower(name));
     return it == functions_.end() ? nullptr : &it->second;

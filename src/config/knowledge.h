@@ -151,6 +151,12 @@ public:
     /// CMS class (e.g. "$wpdb" → "wpdb").
     void add_known_global_object(std::string_view var_name, std::string_view class_name);
 
+    /// Fault-injection seams: drop one configured rule, so the fuzz-oracle
+    /// tests can prove a deliberately broken tool is caught (a removed
+    /// source/revert shows up as an interpreter-agreement violation).
+    void remove_function(std::string_view name);
+    void remove_superglobal(std::string_view var_name);
+
     const FunctionInfo* function(std::string_view name) const;
     /// `class_name` may be empty when the receiver type is unknown.
     const FunctionInfo* method(std::string_view class_name,

@@ -13,6 +13,18 @@ using php::NodeKind;
 
 namespace {
 
+/// Expression-nesting limit for eval(). The parser admits ~500 nested
+/// expressions per file; each level costs two engine frames, which are an
+/// order of magnitude larger than parser frames under sanitizer builds, so
+/// taint evaluation truncates (returns clean) before the stack is at risk.
+constexpr int kMaxEvalDepth = 400;
+
+struct EvalDepthScope {
+    explicit EvalDepthScope(int& depth) : depth_(depth) { ++depth_; }
+    ~EvalDepthScope() { --depth_; }
+    int& depth_;
+};
+
 /// Best-effort static reconstruction of an include path: concatenates the
 /// literal fragments of concat chains / interpolated strings and ignores
 /// dynamic parts (dirname(__FILE__), constants, ...).
@@ -121,7 +133,9 @@ AnalysisResult Engine::analyze(const php::Project& project,
     included_once_.clear();
     include_stack_.clear();
     analyzed_closures_.clear();
+    constructing_classes_.clear();
     call_depth_ = 0;
+    eval_depth_ = 0;
     stats_ = AnalysisStats{};
     include_cpu_seconds_ = 0;
 
@@ -549,6 +563,14 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
 // ---------------------------------------------------------------------------
 
 TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
+    if (eval_depth_ >= kMaxEvalDepth) {
+        diagnostics_.add(Severity::kWarning, loc_of(expr, scope),
+                         "expression nesting exceeds " +
+                             std::to_string(kMaxEvalDepth) +
+                             " levels; taint evaluation truncated");
+        return TaintValue::clean();
+    }
+    const EvalDepthScope depth_scope(eval_depth_);
     switch (expr.kind) {
         case NodeKind::kLiteral:
         case NodeKind::kClassConstAccess:
@@ -592,16 +614,36 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
         case NodeKind::kAssign:
             return eval_assign(static_cast<const php::Assign&>(expr), scope);
         case NodeKind::kBinary: {
-            const auto& n = static_cast<const php::Binary&>(expr);
-            TaintValue lhs = n.lhs ? eval(*n.lhs, scope) : TaintValue::clean();
-            TaintValue rhs = n.rhs ? eval(*n.rhs, scope) : TaintValue::clean();
-            // String concatenation and null-coalescing keep taint; numeric,
-            // comparison and logical operators produce harmless values.
-            if (n.op == php::BinaryOp::kConcat || n.op == php::BinaryOp::kCoalesce) {
-                lhs.merge(rhs);
-                return lhs;
+            // The parser builds N-term operator chains left-deep, so
+            // recursing on lhs costs one frame per term — a 2000-part
+            // concatenation must not consume 2000 stack frames (or the
+            // eval-depth budget). Walk the left spine iteratively and fold
+            // operands in source order instead.
+            std::vector<const php::Binary*> spine;
+            const php::Expr* leftmost = &expr;
+            while (leftmost->kind == NodeKind::kBinary) {
+                const auto& b = static_cast<const php::Binary&>(*leftmost);
+                spine.push_back(&b);
+                if (!b.lhs) break;
+                leftmost = b.lhs.get();
             }
-            return TaintValue::clean();
+            TaintValue acc = leftmost->kind == NodeKind::kBinary
+                                 ? TaintValue::clean()
+                                 : eval(*leftmost, scope);
+            for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+                const php::Binary& b = **it;
+                TaintValue rhs = b.rhs ? eval(*b.rhs, scope) : TaintValue::clean();
+                // String concatenation and null-coalescing keep taint;
+                // numeric, comparison and logical operators produce
+                // harmless values.
+                if (b.op == php::BinaryOp::kConcat ||
+                    b.op == php::BinaryOp::kCoalesce) {
+                    acc.merge(rhs);
+                } else {
+                    acc = TaintValue::clean();
+                }
+            }
+            return acc;
         }
         case NodeKind::kUnary: {
             const auto& n = static_cast<const php::Unary&>(expr);
@@ -1180,7 +1222,11 @@ TaintValue Engine::eval_new(const php::New& expr, Scope& scope) {
     const php::ClassDecl* decl = project_->find_class(cls);
     note_dep(SummaryDep::Kind::kClass, cls,
              decl ? project_->file_of_class(cls) : std::string());
-    if (decl) {
+    // A property default can itself `new` this class (directly or through a
+    // cycle of classes); evaluating defaults re-entrantly would never
+    // terminate, so construction of a class already being constructed skips
+    // initialization.
+    if (decl && constructing_classes_.insert(cls).second) {
         // Initialize property defaults (lazily, merged — weak store).
         for (const php::PropertyDecl& prop : decl->properties) {
             if (!prop.default_value) continue;
@@ -1197,6 +1243,7 @@ TaintValue Engine::eval_new(const php::New& expr, Scope& scope) {
         if (ctor)
             apply_user_function(*ctor, args, loc_of(expr, scope), scope,
                                 cls + "::__construct");
+        constructing_classes_.erase(cls);
     }
     return out;
 }

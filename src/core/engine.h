@@ -269,7 +269,17 @@ private:
     std::set<std::string> included_once_;
     std::vector<const php::ParsedFile*> include_stack_;
     std::set<const php::Closure*> analyzed_closures_;
+    /// Classes whose `new` is currently being evaluated. A property default
+    /// may itself `new` the same class (directly or via a cycle), which
+    /// would re-enter default initialization forever; re-entrant
+    /// construction is skipped instead.
+    std::set<std::string> constructing_classes_;
     int call_depth_ = 0;
+    /// Expression-nesting depth across eval(). The parser bounds nesting per
+    /// file, but engine stack frames are far larger than parser ones
+    /// (sanitizer builds especially), so eval() truncates well before the
+    /// process stack is at risk.
+    int eval_depth_ = 0;
     bool current_file_failed_ = false;
     AnalysisStats stats_;
     double include_cpu_seconds_ = 0;  ///< CPU spent executing included files

@@ -132,6 +132,7 @@ ExecResult Interpreter::run_file(const std::string& file_name) {
     result_ = ExecResult{};
     steps_ = 0;
     call_depth_ = 0;
+    constructing_classes_.clear();
     pending_flow_ = Flow::kNormal;
     globals_.vars.clear();
     include_stack_.clear();
@@ -869,7 +870,10 @@ Value Interpreter::eval_new(const php::New& expr, Frame& frame) {
     if (cls == "self" && frame.current_class)
         cls = ascii_lower(frame.current_class->name);
     Value object = Value::object(cls);
-    if (const php::ClassDecl* decl = project_.find_class(cls)) {
+    const php::ClassDecl* decl = project_.find_class(cls);
+    // Re-entrant construction (a property default `new`ing its own class,
+    // directly or through a cycle) would recurse forever; skip it.
+    if (decl && constructing_classes_.insert(cls).second) {
         for (const php::PropertyDecl& prop : decl->properties)
             object.object_data()->properties[prop.name] =
                 prop.default_value ? eval(*prop.default_value, frame) : Value();
@@ -878,6 +882,7 @@ Value Interpreter::eval_new(const php::New& expr, Frame& frame) {
             args.push_back(a.value ? eval(*a.value, frame) : Value());
         if (const php::FunctionRef* ctor = project_.find_method(cls, "__construct"))
             call_user_function(*ctor, args, object, frame);
+        constructing_classes_.erase(cls);
     }
     return object;
 }

@@ -120,6 +120,10 @@ private:
     std::string cms_store_ = "option-value";
     int steps_ = 0;
     int call_depth_ = 0;
+    /// Classes currently inside eval_new: a property default that `new`s
+    /// its own class (directly or via a cycle) must not re-enter default
+    /// initialization forever.
+    std::set<std::string> constructing_classes_;
     std::vector<std::string> include_stack_;
     /// `static $x` slots persisting across calls, keyed by declaring
     /// statement pointer + variable name.

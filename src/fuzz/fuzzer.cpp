@@ -1,0 +1,246 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "fuzz/reducer.h"
+#include "fuzz/rng.h"
+#include "util/strings.h"
+
+namespace phpsafe::fuzz {
+
+namespace {
+
+constexpr std::string_view kHeader = "# phpsafe_fuzz regression v1";
+constexpr std::string_view kFileMark = "--8<-- file: ";
+
+std::string kind_name(VulnKind kind) { return to_string(kind); }
+
+bool kind_from_string(std::string_view text, VulnKind& out) {
+    if (text == "XSS") out = VulnKind::kXss;
+    else if (text == "SQLi") out = VulnKind::kSqli;
+    else return false;
+    return true;
+}
+
+bool vector_from_string(std::string_view text, InputVector& out) {
+    static const std::pair<const char*, InputVector> table[] = {
+        {"GET", InputVector::kGet},         {"POST", InputVector::kPost},
+        {"COOKIE", InputVector::kCookie},   {"REQUEST", InputVector::kRequest},
+        {"SERVER", InputVector::kServer},   {"FILES", InputVector::kFiles},
+        {"DB", InputVector::kDatabase},     {"File", InputVector::kFile},
+        {"Function", InputVector::kFunction}, {"Array", InputVector::kArray},
+        {"Unknown", InputVector::kUnknown},
+    };
+    for (const auto& [name, vector] : table) {
+        if (text == name) {
+            out = vector;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// The serialized case body (no oracle line) — what the trace hash chains.
+std::string case_payload(const FuzzCase& c) {
+    std::string out;
+    out += "# name: " + c.name + "\n";
+    out += "# flags:";
+    if (c.byte_level) out += " byte";
+    if (c.agreement_eligible) out += " agreement";
+    if (c.monotonic_eligible) out += " monotonic";
+    if (!c.byte_level && !c.agreement_eligible && !c.monotonic_eligible)
+        out += " -";
+    out += "\n";
+    for (const SinkSite& site : c.sinks)
+        out += "# sink: " + site.file + " " + std::to_string(site.line) + " " +
+               kind_name(site.kind) + " " + to_string(site.vector) + "\n";
+    for (const FuzzFile& file : c.files) {
+        out += std::string(kFileMark) + file.name +
+               " len=" + std::to_string(file.text.size()) + "\n";
+        out += file.text;
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string serialize_case(const FuzzCase& c, Oracle oracle) {
+    std::string out(kHeader);
+    out += "\n# oracle: " + to_string(oracle) + "\n";
+    out += case_payload(c);
+    return out;
+}
+
+bool parse_case(const std::string& text, FuzzCase& out, Oracle& oracle,
+                std::string* error) {
+    const auto fail = [&](const std::string& why) {
+        if (error) *error = why;
+        return false;
+    };
+    out = FuzzCase();
+    oracle = Oracle::kNoCrash;
+
+    size_t pos = 0;
+    const auto next_line = [&](std::string& line) {
+        if (pos >= text.size()) return false;
+        const size_t nl = text.find('\n', pos);
+        line = text.substr(pos, nl == std::string::npos ? nl : nl - pos);
+        pos = nl == std::string::npos ? text.size() : nl + 1;
+        return true;
+    };
+
+    std::string line;
+    if (!next_line(line) || line != kHeader) return fail("missing header");
+    while (pos < text.size()) {
+        if (text.compare(pos, kFileMark.size(), kFileMark) == 0) {
+            if (!next_line(line)) return fail("truncated file mark");
+            const size_t len_at = line.rfind(" len=");
+            if (len_at == std::string::npos) return fail("file mark without len");
+            FuzzFile file;
+            file.name = line.substr(kFileMark.size(), len_at - kFileMark.size());
+            const size_t len =
+                static_cast<size_t>(std::stoull(line.substr(len_at + 5)));
+            if (pos + len > text.size()) return fail("file body truncated");
+            file.text = text.substr(pos, len);
+            pos += len;
+            if (pos < text.size() && text[pos] == '\n') ++pos;  // separator
+            out.files.push_back(std::move(file));
+            continue;
+        }
+        if (!next_line(line)) break;
+        std::istringstream fields(line);
+        std::string hash, key;
+        fields >> hash >> key;
+        if (hash != "#") continue;
+        if (key == "oracle:") {
+            std::string name;
+            fields >> name;
+            if (!oracle_from_string(name, oracle))
+                return fail("unknown oracle '" + name + "'");
+        } else if (key == "name:") {
+            fields >> out.name;
+        } else if (key == "flags:") {
+            std::string flag;
+            while (fields >> flag) {
+                if (flag == "byte") out.byte_level = true;
+                else if (flag == "agreement") out.agreement_eligible = true;
+                else if (flag == "monotonic") out.monotonic_eligible = true;
+            }
+        } else if (key == "sink:") {
+            SinkSite site;
+            std::string kind, vector;
+            fields >> site.file >> site.line >> kind >> vector;
+            if (!kind_from_string(kind, site.kind))
+                return fail("unknown kind '" + kind + "'");
+            if (!vector_from_string(vector, site.vector))
+                return fail("unknown vector '" + vector + "'");
+            out.sinks.push_back(std::move(site));
+        }
+    }
+    if (out.files.empty()) return fail("case has no files");
+    return true;
+}
+
+FuzzStats replay_corpus(const std::string& dir, const OracleOptions& options) {
+    FuzzStats stats;
+    namespace fs = std::filesystem;
+    if (dir.empty() || !fs::is_directory(dir)) return stats;
+
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file() && entry.path().extension() == ".case")
+            paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+
+    OracleRunner runner(options);
+    for (const std::string& path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        FuzzCase c;
+        Oracle oracle;
+        std::string error;
+        if (!parse_case(buffer.str(), c, oracle, &error)) {
+            stats.corpus_violations.push_back(
+                {oracle, path + ": unreadable regression (" + error + ")"});
+            continue;
+        }
+        ++stats.corpus_replayed;
+        for (const Violation& v : runner.run(c))
+            stats.corpus_violations.push_back(
+                {v.oracle, path + ": " + v.detail});
+    }
+    return stats;
+}
+
+FuzzStats run_fuzz(const FuzzOptions& options) {
+    FuzzStats stats = replay_corpus(options.corpus_dir, options.oracles);
+    if (options.log && stats.corpus_replayed > 0)
+        *options.log << "replayed " << stats.corpus_replayed
+                     << " regression(s), "
+                     << stats.corpus_violations.size() << " violation(s)\n";
+
+    OracleRunner runner(options.oracles);
+    Mutator mutator(options.seed);
+    Rng driver(options.seed ^ 0xF0A2C0DEDB01DULL);
+    stats.case_trace_hash = fnv1a64("phpsafe_fuzz");
+
+    // Recent structure cases feed the byte mutator; never empty.
+    std::vector<FuzzCase> bases = {Mutator::seed_case()};
+
+    for (int i = 0; i < options.iterations; ++i) {
+        FuzzCase c;
+        if (driver.chance(options.byte_percent)) {
+            c = mutator.byte_case(bases[driver.below(bases.size())], i);
+            ++stats.byte_cases;
+        } else {
+            c = mutator.structure_case(i);
+            ++stats.structure_cases;
+            if (bases.size() >= 32) bases.erase(bases.begin());
+            bases.push_back(c);
+        }
+        const std::string payload = case_payload(c);
+        stats.case_trace_hash =
+            fnv1a64(payload, stats.case_trace_hash * 1099511628211ull);
+        ++stats.iterations_run;
+
+        const std::vector<Violation> found = runner.run(c);
+        if (found.empty()) continue;
+
+        // One regression per violating case: minimize against the first
+        // violated oracle, record every violation.
+        const Oracle oracle = found.front().oracle;
+        for (const Violation& v : found) stats.violations.push_back(v);
+        if (options.log)
+            *options.log << c.name << ": " << to_string(oracle) << " — "
+                         << found.front().detail << "\n";
+
+        if (!options.corpus_dir.empty() && options.write_regressions) {
+            const FuzzCase minimized = reduce_case(c, oracle, runner);
+            const std::string body = serialize_case(minimized, oracle);
+            char hash[17];
+            std::snprintf(hash, sizeof hash, "%016llx",
+                          static_cast<unsigned long long>(fnv1a64(body)));
+            const std::string path = options.corpus_dir + "/" +
+                                     to_string(oracle) + "-" + hash + ".case";
+            std::filesystem::create_directories(options.corpus_dir);
+            std::ofstream outfile(path, std::ios::binary);
+            outfile << body;
+            stats.regressions_written.push_back(path);
+            if (options.log)
+                *options.log << "  minimized to " << minimized.total_lines()
+                             << " line(s): " << path << "\n";
+        }
+        if (static_cast<int>(stats.violations.size()) >= options.max_violations)
+            break;
+    }
+    return stats;
+}
+
+}  // namespace phpsafe::fuzz

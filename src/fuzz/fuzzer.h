@@ -1,0 +1,68 @@
+// Fuzzing driver: replays the regression corpus, then generates mutated
+// cases (structure-aware and byte-level) for a fixed iteration budget,
+// running the oracle battery (oracles.h) on each. A violating case is
+// minimized by the reducer and serialized into the corpus directory, so
+// the corpus only grows and every past failure is replayed forever —
+// tests/fuzz_test.cpp and the CI fuzz-smoke job re-run it as ctest cases.
+//
+// The whole pipeline is deterministic for a fixed seed: the same seed
+// produces the same mutation sequence, which `FuzzStats::case_trace_hash`
+// (an FNV-1a chain over every generated case) makes checkable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.h"
+#include "fuzz/oracles.h"
+
+namespace phpsafe::fuzz {
+
+struct FuzzOptions {
+    uint64_t seed = 1;
+    int iterations = 2000;
+    /// Regression corpus directory: replayed before fuzzing, and minimized
+    /// repros of new violations are written here. Empty = neither.
+    std::string corpus_dir;
+    bool write_regressions = true;
+    /// Share of iterations spent on byte-level mutations (the rest are
+    /// structure-aware cases).
+    int byte_percent = 40;
+    /// Stop generating after this many violating cases.
+    int max_violations = 8;
+    OracleOptions oracles;
+    std::ostream* log = nullptr;  ///< optional progress stream
+};
+
+struct FuzzStats {
+    int corpus_replayed = 0;
+    std::vector<Violation> corpus_violations;
+    int iterations_run = 0;
+    int structure_cases = 0;
+    int byte_cases = 0;
+    std::vector<Violation> violations;
+    std::vector<std::string> regressions_written;  ///< file paths
+    /// FNV-1a chain over every generated case's serialized bytes —
+    /// identical across runs with the same seed and iteration count.
+    uint64_t case_trace_hash = 0;
+
+    bool clean() const {
+        return corpus_violations.empty() && violations.empty();
+    }
+};
+
+FuzzStats run_fuzz(const FuzzOptions& options);
+
+/// Replays every *.case file in `dir` through the oracle battery.
+FuzzStats replay_corpus(const std::string& dir, const OracleOptions& options);
+
+/// Serialization of a case (with the oracle it violated) — the regression
+/// corpus file format. File contents are length-prefixed raw bytes, so
+/// arbitrary byte-mutated inputs survive unescaped.
+std::string serialize_case(const FuzzCase& c, Oracle oracle);
+bool parse_case(const std::string& text, FuzzCase& out, Oracle& oracle,
+                std::string* error = nullptr);
+
+}  // namespace phpsafe::fuzz

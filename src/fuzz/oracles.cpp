@@ -1,0 +1,177 @@
+#include "fuzz/oracles.h"
+
+#include <set>
+
+#include "dynamic/validator.h"
+
+namespace phpsafe::fuzz {
+
+namespace {
+
+php::Project build_project(const FuzzCase& c, DiagnosticSink& sink) {
+    php::Project project("fuzz-" + c.name);
+    for (const FuzzFile& file : c.files) project.add_file(file.name, file.text);
+    project.parse_all(sink);
+    return project;
+}
+
+}  // namespace
+
+std::string to_string(Oracle oracle) {
+    switch (oracle) {
+        case Oracle::kNoCrash: return "no-crash";
+        case Oracle::kDeterminism: return "determinism";
+        case Oracle::kMonotonicity: return "monotonicity";
+        case Oracle::kAgreement: return "agreement";
+    }
+    return "?";
+}
+
+bool oracle_from_string(std::string_view text, Oracle& out) {
+    if (text == "no-crash") out = Oracle::kNoCrash;
+    else if (text == "determinism") out = Oracle::kDeterminism;
+    else if (text == "monotonicity") out = Oracle::kMonotonicity;
+    else if (text == "agreement") out = Oracle::kAgreement;
+    else return false;
+    return true;
+}
+
+OracleRunner::OracleRunner(OracleOptions options)
+    : options_(std::move(options)),
+      phpsafe_(options_.phpsafe_tool ? *options_.phpsafe_tool
+                                     : make_phpsafe_tool()),
+      rips_(options_.rips_tool ? *options_.rips_tool : make_rips_like_tool()) {}
+
+OracleRunner::~OracleRunner() = default;
+
+std::string OracleRunner::result_signature(const AnalysisResult& result) {
+    std::string sig = "files=" + std::to_string(result.files_total) +
+                      " failed=" + std::to_string(result.files_failed) + "\n";
+    for (const Finding& finding : result.findings) {
+        sig += to_string(finding);
+        sig += '\n';
+    }
+    return sig;
+}
+
+std::vector<Violation> OracleRunner::run(const FuzzCase& c) {
+    std::vector<Violation> out;
+
+    const bool needs_static = options_.check_no_crash ||
+                              (options_.check_monotonicity && c.monotonic_eligible) ||
+                              (options_.check_agreement && c.agreement_eligible);
+    if (needs_static) {
+        DiagnosticSink sink;
+        const php::Project project = build_project(c, sink);
+        const AnalysisResult result = run_tool(phpsafe_, project);
+        if (options_.check_no_crash) run_no_crash(c, result, out);
+        if (options_.check_monotonicity && c.monotonic_eligible)
+            run_monotonicity(c, result, project, out);
+        if (options_.check_agreement && c.agreement_eligible)
+            run_agreement(c, result, project, out);
+    }
+    if (options_.check_determinism) run_determinism(c, out);
+    return out;
+}
+
+void OracleRunner::run_no_crash(const FuzzCase& c, const AnalysisResult& result,
+                                std::vector<Violation>& out) const {
+    // Reaching this line already rules out aborts/crashes (a crash kills
+    // the fuzzer process; the CI smoke job runs under ASan to surface
+    // them). What is checkable in-process: the engine must account for
+    // every input file — analyzed or explicitly failed — in its result.
+    if (result.files_total != static_cast<int>(c.files.size()))
+        out.push_back(
+            {Oracle::kNoCrash,
+             "engine result covers " + std::to_string(result.files_total) +
+                 " of " + std::to_string(c.files.size()) + " input files"});
+}
+
+void OracleRunner::run_determinism(const FuzzCase& c,
+                                   std::vector<Violation>& out) {
+    if (!serial_) {
+        service::ServiceOptions one;
+        one.workers = 1;
+        // With the result pool on, a repeat scan would be answered from the
+        // stored result — trivially identical. Turning it off forces the
+        // second scan through the warm file/summary path under test.
+        one.reuse_results = false;
+        serial_ = std::make_unique<service::AnalysisService>(one);
+        service::ServiceOptions four = one;
+        four.workers = 4;
+        parallel_ = std::make_unique<service::AnalysisService>(four);
+    }
+
+    service::ScanRequest request;
+    request.plugin = "fuzz-" + c.name;
+    request.preset = "phpsafe";
+    for (const FuzzFile& file : c.files)
+        request.files.push_back({file.name, file.text});
+
+    serial_->clear_cache();
+    const std::string cold = result_signature(serial_->scan(request).result);
+    const std::string warm = result_signature(serial_->scan(request).result);
+    parallel_->clear_cache();
+    const std::string wide = result_signature(parallel_->scan(request).result);
+
+    if (cold != warm)
+        out.push_back({Oracle::kDeterminism,
+                       "cold-cache and warm-cache findings differ"});
+    if (cold != wide)
+        out.push_back({Oracle::kDeterminism,
+                       "1-worker and 4-worker findings differ"});
+}
+
+void OracleRunner::run_monotonicity(const FuzzCase& c,
+                                    const AnalysisResult& phpsafe_result,
+                                    const php::Project& project,
+                                    std::vector<Violation>& out) const {
+    const AnalysisResult rips_result = run_tool(rips_, project);
+    // The subset claim only holds when both presets analyzed every file
+    // (a failed file legitimately drops findings on one side).
+    if (phpsafe_result.files_failed != 0 || rips_result.files_failed != 0)
+        return;
+    std::set<std::string> phpsafe_keys;
+    for (const Finding& finding : phpsafe_result.findings)
+        phpsafe_keys.insert(finding.dedup_key());
+    for (const Finding& finding : rips_result.findings) {
+        if (!phpsafe_keys.count(finding.dedup_key()))
+            out.push_back({Oracle::kMonotonicity,
+                           "rips_like finding missing from phpsafe preset: " +
+                               to_string(finding)});
+    }
+    (void)c;
+}
+
+void OracleRunner::run_agreement(const FuzzCase& c,
+                                 const AnalysisResult& phpsafe_result,
+                                 const php::Project& project,
+                                 std::vector<Violation>& out) const {
+    if (phpsafe_result.files_failed != 0) return;
+    dynamic::Validator validator(project);
+    for (const SinkSite& site : c.sinks) {
+        Finding candidate;
+        candidate.kind = site.kind;
+        candidate.location = {site.file, site.line};
+        candidate.vector = site.vector;
+        const dynamic::ValidationResult proof = validator.validate(candidate);
+        if (!proof.confirmed) continue;
+        bool reported = false;
+        for (const Finding& finding : phpsafe_result.findings) {
+            if (finding.kind == site.kind && finding.location.file == site.file &&
+                finding.location.line == site.line) {
+                reported = true;
+                break;
+            }
+        }
+        if (!reported)
+            out.push_back(
+                {Oracle::kAgreement,
+                 "dynamically confirmed " + to_string(site.kind) + " at " +
+                     site.file + ":" + std::to_string(site.line) +
+                     " not reported by the static engine (evidence: " +
+                     proof.evidence + ")"});
+    }
+}
+
+}  // namespace phpsafe::fuzz

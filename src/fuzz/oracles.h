@@ -1,0 +1,90 @@
+// Oracle battery for the fuzzer. Each oracle is a property the analyzer
+// must hold on *every* input, checked per mutated case:
+//
+//   no-crash      — lexer/parser/engine return an AnalysisResult covering
+//                   every file (diagnostics, never aborts) on arbitrary
+//                   bytes.
+//   determinism   — AnalysisService findings are byte-identical between a
+//                   1-worker and a 4-worker service, and between a cold
+//                   and a warm cache (summary/file reuse re-scan).
+//   monotonicity  — on procedural generic-PHP code, rips_like() findings
+//                   are a subset of phpsafe() findings (the phpSAFE preset
+//                   only ever adds capability on that fragment).
+//   agreement     — when dynamic::Validator proves a concrete payload
+//                   reaches a candidate sink, the static engine must have
+//                   reported that sink: a validated miss is a real false
+//                   negative, the paper's key metric.
+//
+// OracleOptions lets tests inject a deliberately broken Tool (e.g. a
+// knowledge base with one source rule removed) to prove the battery
+// actually catches seeded faults.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/analyzers.h"
+#include "fuzz/mutator.h"
+#include "service/service.h"
+
+namespace phpsafe::fuzz {
+
+enum class Oracle { kNoCrash, kDeterminism, kMonotonicity, kAgreement };
+
+std::string to_string(Oracle oracle);
+bool oracle_from_string(std::string_view text, Oracle& out);
+
+struct OracleOptions {
+    bool check_no_crash = true;
+    bool check_determinism = true;
+    bool check_monotonicity = true;
+    bool check_agreement = true;
+    /// Static-analysis tool overrides (fault-injection seam for the tests;
+    /// unset = make_phpsafe_tool() / make_rips_like_tool()).
+    std::optional<Tool> phpsafe_tool;
+    std::optional<Tool> rips_tool;
+};
+
+struct Violation {
+    Oracle oracle = Oracle::kNoCrash;
+    std::string detail;
+};
+
+class OracleRunner {
+public:
+    explicit OracleRunner(OracleOptions options = {});
+    ~OracleRunner();
+
+    OracleRunner(const OracleRunner&) = delete;
+    OracleRunner& operator=(const OracleRunner&) = delete;
+
+    /// Runs every enabled oracle the case is eligible for.
+    std::vector<Violation> run(const FuzzCase& c);
+
+    /// Deterministic rendering of a result's findings — the byte string
+    /// the determinism oracle compares (timings excluded on purpose).
+    static std::string result_signature(const AnalysisResult& result);
+
+private:
+    void run_no_crash(const FuzzCase& c, const AnalysisResult& result,
+                      std::vector<Violation>& out) const;
+    void run_determinism(const FuzzCase& c, std::vector<Violation>& out);
+    void run_monotonicity(const FuzzCase& c, const AnalysisResult& phpsafe_result,
+                          const php::Project& project,
+                          std::vector<Violation>& out) const;
+    void run_agreement(const FuzzCase& c, const AnalysisResult& phpsafe_result,
+                       const php::Project& project,
+                       std::vector<Violation>& out) const;
+
+    OracleOptions options_;
+    Tool phpsafe_;
+    Tool rips_;
+    /// Long-lived services (cleared per case) so 2000 iterations do not pay
+    /// thread setup 6000 times.
+    std::unique_ptr<service::AnalysisService> serial_;
+    std::unique_ptr<service::AnalysisService> parallel_;
+};
+
+}  // namespace phpsafe::fuzz

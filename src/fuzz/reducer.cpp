@@ -1,0 +1,126 @@
+#include "fuzz/reducer.h"
+
+#include <algorithm>
+
+namespace phpsafe::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < text.size()) lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+    std::string text;
+    for (const std::string& line : lines) {
+        text += line;
+        text += '\n';
+    }
+    return text;
+}
+
+/// Candidate with lines [begin, end) of file `file_index` removed; sinks
+/// inside the removed span are dropped, later ones shifted up.
+FuzzCase without_span(const FuzzCase& base, size_t file_index, size_t begin,
+                      size_t end) {
+    FuzzCase candidate = base;
+    std::vector<std::string> lines =
+        split_lines(base.files[file_index].text);
+    lines.erase(lines.begin() + static_cast<long>(begin),
+                lines.begin() + static_cast<long>(end));
+    candidate.files[file_index].text = join_lines(lines);
+
+    const std::string& name = base.files[file_index].name;
+    const int removed = static_cast<int>(end - begin);
+    std::vector<SinkSite> kept;
+    for (SinkSite site : candidate.sinks) {
+        if (site.file != name) {
+            kept.push_back(site);
+            continue;
+        }
+        const size_t index = static_cast<size_t>(site.line - 1);
+        if (index >= begin && index < end) continue;  // sink removed
+        if (index >= end) site.line -= removed;
+        kept.push_back(site);
+    }
+    candidate.sinks = std::move(kept);
+    return candidate;
+}
+
+}  // namespace
+
+FuzzCase reduce_case(const FuzzCase& failing, Oracle oracle,
+                     OracleRunner& runner, int max_checks) {
+    int checks = 0;
+    const auto still_fails = [&](const FuzzCase& candidate) {
+        if (checks >= max_checks) return false;
+        ++checks;
+        for (const Violation& v : runner.run(candidate))
+            if (v.oracle == oracle) return true;
+        return false;
+    };
+
+    if (!still_fails(failing)) return failing;
+    FuzzCase current = failing;
+
+    // Whole-file drops first (multi-file cases).
+    for (size_t i = 0; current.files.size() > 1 && i < current.files.size();) {
+        FuzzCase candidate = current;
+        const std::string name = candidate.files[i].name;
+        candidate.files.erase(candidate.files.begin() + static_cast<long>(i));
+        candidate.sinks.erase(
+            std::remove_if(candidate.sinks.begin(), candidate.sinks.end(),
+                           [&](const SinkSite& s) { return s.file == name; }),
+            candidate.sinks.end());
+        if (still_fails(candidate))
+            current = std::move(candidate);
+        else
+            ++i;
+    }
+
+    // Per-file ddmin over lines.
+    for (size_t file_index = 0; file_index < current.files.size();
+         ++file_index) {
+        size_t granularity = 2;
+        for (;;) {
+            size_t len = split_lines(current.files[file_index].text).size();
+            if (len < 2) break;
+            const size_t chunk = std::max<size_t>(1, (len + granularity - 1) /
+                                                         granularity);
+            bool removed_any = false;
+            for (size_t begin = 0; begin < len;) {
+                const size_t end = std::min(begin + chunk, len);
+                FuzzCase candidate =
+                    without_span(current, file_index, begin, end);
+                if (still_fails(candidate)) {
+                    current = std::move(candidate);
+                    len -= end - begin;
+                    removed_any = true;
+                    // Re-test the same offset over the shorter file.
+                } else {
+                    begin = end;
+                }
+                if (checks >= max_checks) break;
+            }
+            if (checks >= max_checks) break;
+            if (!removed_any) {
+                if (chunk == 1) break;
+                granularity *= 2;
+            }
+        }
+    }
+    return current;
+}
+
+}  // namespace phpsafe::fuzz

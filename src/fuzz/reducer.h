@@ -1,0 +1,19 @@
+// Delta-debugging reducer: shrinks a violating case to a minimal repro
+// before it is written to the regression corpus. Line-granularity ddmin
+// per file (plus whole-file drops for multi-file cases), re-running the
+// violated oracle after each removal; candidate sink lines are tracked
+// through removals so the agreement oracle keeps validating the same sink.
+#pragma once
+
+#include "fuzz/mutator.h"
+#include "fuzz/oracles.h"
+
+namespace phpsafe::fuzz {
+
+/// Returns the smallest case found (in lines) that still violates
+/// `oracle` under `runner`. `max_checks` bounds the number of oracle
+/// re-runs; the input is returned unchanged if it does not violate.
+FuzzCase reduce_case(const FuzzCase& failing, Oracle oracle,
+                     OracleRunner& runner, int max_checks = 400);
+
+}  // namespace phpsafe::fuzz

@@ -1,0 +1,39 @@
+// Deterministic PRNG for the fuzzer. SplitMix64: tiny, fast, and — unlike
+// std::mt19937 + std::uniform_int_distribution — identical on every
+// platform and standard library, which the reproducibility guarantee
+// (same seed → same mutation sequence → same case_trace_hash) depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace phpsafe::fuzz {
+
+class Rng {
+public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t next() {
+        state_ += 0x9E3779B97F4A7C15ull;
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform-ish value in [0, bound). bound must be > 0.
+    uint64_t below(uint64_t bound) { return next() % bound; }
+
+    /// True with probability percent/100.
+    bool chance(int percent) { return below(100) < static_cast<uint64_t>(percent); }
+
+    template <typename T>
+    const T& pick(const std::vector<T>& pool) {
+        return pool[below(pool.size())];
+    }
+
+private:
+    uint64_t state_;
+};
+
+}  // namespace phpsafe::fuzz

@@ -151,6 +151,20 @@ bool Parser::expect(TokenKind kind, std::string_view what) {
     return false;
 }
 
+bool Parser::enter_depth() {
+    ++depth_;
+    if (aborted_) return false;  // fast-fail so recursion unwinds quickly
+    if (options_.max_depth > 0 && depth_ > options_.max_depth) {
+        aborted_ = true;
+        ++obs::tls().parse_errors;
+        sink_.add(Severity::kFatal, loc_here(),
+                  "nesting deeper than " + std::to_string(options_.max_depth) +
+                      " levels; aborting analysis of this file");
+        return false;
+    }
+    return true;
+}
+
 void Parser::error_here(const std::string& message) {
     ++error_count_;
     ++obs::tls().parse_errors;
@@ -198,6 +212,8 @@ ExprPtr Parser::parse_expression_text(std::string_view php_expr,
 StmtPtr Parser::parse_statement() {
     skip_tags();
     if (at_eof()) return nullptr;
+    DepthGuard depth(*this);
+    if (!depth) return nullptr;
 
     const Token& tok = current();
     switch (tok.kind) {
@@ -869,6 +885,8 @@ StmtPtr Parser::parse_expression_statement() {
 // ---------------------------------------------------------------------------
 
 ExprPtr Parser::parse_expression(int min_bp) {
+    DepthGuard depth(*this);
+    if (!depth) return nullptr;
     ExprPtr lhs = parse_unary();
     if (!lhs) return nullptr;
 
@@ -936,6 +954,8 @@ ExprPtr Parser::parse_expression(int min_bp) {
 }
 
 ExprPtr Parser::parse_unary() {
+    DepthGuard depth(*this);
+    if (!depth) return nullptr;
     const Token& tok = current();
     const int line = tok.line;
 

@@ -22,6 +22,14 @@ struct ParserOptions {
     /// Abort with a kFatal diagnostic after this many recovered parse
     /// errors in one file (robustness modelling; 0 = never abort).
     int max_errors = 200;
+    /// Combined statement/expression nesting limit. Exceeding it aborts the
+    /// file with an explicit kFatal diagnostic instead of letting recursive
+    /// descent overflow the stack on adversarial input like 100k nested
+    /// parentheses (0 = unlimited; the byte fuzzer runs with the default).
+    /// A block statement costs two levels (statement + enclosing block), so
+    /// 1000 admits ~500 nested blocks — far beyond real plugin code while
+    /// keeping worst-case stack use a few hundred KiB.
+    int max_depth = 1000;
 };
 
 class Parser {
@@ -56,6 +64,23 @@ private:
     bool accept_keyword(std::string_view kw);
     bool expect(TokenKind kind, std::string_view what);
     void error_here(const std::string& message);
+    /// Depth accounting for every recursive production. enter_depth()
+    /// returns false once the nesting limit tripped (or after any abort),
+    /// so in-flight recursion unwinds by returning null upward.
+    bool enter_depth();
+    void leave_depth() noexcept { --depth_; }
+    struct DepthGuard {
+        explicit DepthGuard(Parser& parser)
+            : parser_(parser), ok_(parser.enter_depth()) {}
+        ~DepthGuard() { parser_.leave_depth(); }
+        DepthGuard(const DepthGuard&) = delete;
+        DepthGuard& operator=(const DepthGuard&) = delete;
+        explicit operator bool() const noexcept { return ok_; }
+
+    private:
+        Parser& parser_;
+        bool ok_;
+    };
     bool at_eof() const noexcept { return current().kind == TokenKind::kEndOfFile; }
     SourceLocation loc_here() const;
     /// Skips open/close tags and inline HTML is NOT skipped (statement).
@@ -111,6 +136,7 @@ private:
     std::vector<Token> tokens_;
     size_t pos_ = 0;
     int error_count_ = 0;
+    int depth_ = 0;
     bool aborted_ = false;
     double lex_cpu_seconds_ = 0;
 };

@@ -1,0 +1,192 @@
+#include "service/ndjson.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/export.h"
+#include "service/service.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace phpsafe::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void reply_error(std::ostream& out, const std::string& message) {
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object().kv("ok", false).kv("error", message).end_object();
+    out << line.str() << "\n" << std::flush;
+}
+
+/// Loads all *.php files under `root` (recursively, path-sorted so the
+/// request fingerprint is stable across directory iteration order).
+bool load_directory(const std::string& root,
+                    std::vector<SourceFileSpec>& files, std::string& error) {
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+        error = "not a directory: " + root;
+        return false;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".php")
+            paths.push_back(entry.path());
+    }
+    if (ec) {
+        error = "cannot list " + root + ": " + ec.message();
+        return false;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            error = "cannot read " + path.string();
+            return false;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        files.push_back({fs::relative(path, root, ec).generic_string(),
+                         std::move(text).str()});
+    }
+    if (files.empty()) {
+        error = "no .php files under " + root;
+        return false;
+    }
+    return true;
+}
+
+bool build_request(const JsonValue& request, ScanRequest& scan,
+                   std::string& error) {
+    scan.preset = request.string_or("preset", "phpsafe");
+    const std::string path = request.string_or("path", "");
+    if (!path.empty()) {
+        if (!load_directory(path, scan.files, error)) return false;
+        scan.plugin =
+            request.string_or("plugin", fs::path(path).filename().string());
+        return true;
+    }
+    const JsonValue* files = request.get("files");
+    if (!files || !files->is_array() || files->array.empty()) {
+        error = "scan needs \"path\" or a non-empty \"files\" array";
+        return false;
+    }
+    for (const JsonValue& file : files->array) {
+        const JsonValue* name = file.get("name");
+        const JsonValue* text = file.get("text");
+        if (!name || !name->is_string() || !text || !text->is_string()) {
+            error = "each file needs string \"name\" and \"text\"";
+            return false;
+        }
+        scan.files.push_back({name->string, text->string});
+    }
+    scan.plugin = request.string_or("plugin", "stdin");
+    return true;
+}
+
+void reply_scan(std::ostream& out, const ScanResponse& response,
+                bool deterministic) {
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("from_result_cache", response.from_result_cache);
+    w.kv("deduplicated", response.deduplicated);
+    w.kv("files_reused", response.files_reused);
+    w.kv("summaries_seeded", response.summaries_seeded);
+    w.kv("summaries_invalidated", response.summaries_invalidated);
+    w.kv("wall_seconds", deterministic ? 0.0 : response.wall_seconds, 4);
+    w.key("report");
+    // render_json_report emits a complete compact object; splice it in as
+    // the final member rather than re-serializing every finding here.
+    line << render_json_report(response.result) << "}";
+    out << line.str() << "\n" << std::flush;
+}
+
+void reply_stats(std::ostream& out, const CacheStats& stats,
+                 bool deterministic) {
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("file_entries", stats.file_entries);
+    w.kv("summary_entries", stats.summary_entries);
+    w.kv("result_entries", stats.result_entries);
+    w.kv("bytes_resident", deterministic ? uint64_t{0} : stats.bytes_resident);
+    w.kv("file_hits", stats.file_hits);
+    w.kv("file_misses", stats.file_misses);
+    w.kv("summary_hits", stats.summary_hits);
+    w.kv("summary_misses", stats.summary_misses);
+    w.kv("result_hits", stats.result_hits);
+    w.kv("evictions", stats.evictions);
+    w.kv("invalidations", stats.invalidations);
+    w.end_object();
+    out << line.str() << "\n" << std::flush;
+}
+
+}  // namespace
+
+int serve_ndjson(std::istream& in, std::ostream& out,
+                 const ServeOptions& options) {
+    AnalysisService own_service;
+    AnalysisService& service =
+        options.service ? *options.service : own_service;
+    int served = 0;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        ++served;
+
+        JsonValue request;
+        std::string error;
+        if (!JsonReader::parse(line, request, &error) || !request.is_object()) {
+            reply_error(out,
+                        error.empty() ? "request must be a JSON object" : error);
+            continue;
+        }
+
+        const std::string op = request.string_or("op", "");
+        if (op == "quit" || op == "shutdown") {
+            std::ostringstream bye;
+            JsonWriter w(bye);
+            w.begin_object().kv("ok", true).kv("bye", true).end_object();
+            out << bye.str() << "\n" << std::flush;
+            break;
+        }
+        if (op == "stats") {
+            reply_stats(out, service.cache_stats(), options.deterministic);
+            continue;
+        }
+        if (op == "clear") {
+            service.clear_cache();
+            std::ostringstream ok;
+            JsonWriter w(ok);
+            w.begin_object().kv("ok", true).end_object();
+            out << ok.str() << "\n" << std::flush;
+            continue;
+        }
+        if (op != "scan") {
+            reply_error(out, "unknown op: \"" + op + "\"");
+            continue;
+        }
+
+        ScanRequest scan;
+        if (!build_request(request, scan, error)) {
+            reply_error(out, error);
+            continue;
+        }
+        reply_scan(out, service.scan(std::move(scan)), options.deterministic);
+    }
+    return served;
+}
+
+}  // namespace phpsafe::service

@@ -1,0 +1,41 @@
+// Newline-delimited JSON protocol for the AnalysisService — the transport
+// behind tools/phpsafe_serve. One JSON request object per input line, one
+// JSON response object per output line:
+//
+//   {"op":"scan","path":"/plugin/dir"}            scan *.php under a directory
+//   {"op":"scan","plugin":"p","files":[{"name":"a.php","text":"<?php ..."}]}
+//   {"op":"scan",...,"preset":"rips"}             preset: phpsafe|rips|pixy
+//   {"op":"stats"}                                cache statistics
+//   {"op":"clear"}                                drop all cache pools
+//   {"op":"quit"}                                 exit cleanly
+//
+// Scan responses carry the same report object render_json_report() emits
+// for the batch tools, plus cache effectiveness fields; errors are
+// {"ok":false,"error":"..."}. Living in the library (not the tool's main)
+// makes the protocol drivable from tests over string streams.
+#pragma once
+
+#include <iosfwd>
+
+namespace phpsafe::service {
+
+class AnalysisService;
+
+struct ServeOptions {
+    /// Service to drive (caller keeps ownership, caches persist across
+    /// calls); null = serve() runs a private service for the session.
+    AnalysisService* service = nullptr;
+
+    /// Zero the fields that vary run-to-run (wall_seconds, bytes_resident)
+    /// so a scripted session produces a byte-identical transcript — the
+    /// golden protocol test depends on this.
+    bool deterministic = false;
+};
+
+/// Serves requests from `in` until EOF or a quit op; responses go to
+/// `out`, one per line, flushed. Returns the number of lines processed
+/// (blank lines excluded).
+int serve_ndjson(std::istream& in, std::ostream& out,
+                 const ServeOptions& options = {});
+
+}  // namespace phpsafe::service

@@ -3,10 +3,12 @@
 // objects. Recursive descent over the JSON grammar into a small variant
 // (JsonValue); no allocator tricks, no SAX mode, no incremental input —
 // each parse() call consumes one complete document. Numbers are kept as
-// double (the daemon protocol only carries small integers); \uXXXX escapes
+// double, with the exact int64 value preserved alongside when the token
+// is an integer (doubles alone silently round above 2^53); \uXXXX escapes
 // decode to UTF-8.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -24,6 +26,10 @@ public:
     Kind kind = Kind::kNull;
     bool boolean = false;
     double number = 0;
+    /// Exact value when the document token was a plain integer in int64
+    /// range; `number` always carries the (possibly rounded) double.
+    bool number_is_integer = false;
+    int64_t integer = 0;
     std::string string;
     std::vector<JsonValue> array;
     /// Object members in document order (duplicate keys keep the last).
@@ -54,7 +60,9 @@ public:
     /// Member's numeric value truncated to int64, or `fallback`.
     int64_t int_or(std::string_view key, int64_t fallback) const noexcept {
         const JsonValue* v = get(key);
-        return v && v->is_number() ? static_cast<int64_t>(v->number) : fallback;
+        if (!v || !v->is_number()) return fallback;
+        return v->number_is_integer ? v->integer
+                                    : static_cast<int64_t>(v->number);
     }
 };
 
@@ -280,6 +288,18 @@ private:
         if (!end || *end != '\0') {
             pos_ = start;
             return fail("bad number");
+        }
+        // Integer tokens additionally keep their exact int64 value: strtod
+        // rounds past 2^53, which broke round-trips of hashes and byte
+        // counts emitted by json_writer.h.
+        if (token.find_first_of(".eE") == std::string_view::npos) {
+            errno = 0;
+            char* int_end = nullptr;
+            const long long exact = std::strtoll(token.c_str(), &int_end, 10);
+            if (int_end && *int_end == '\0' && errno != ERANGE) {
+                out.number_is_integer = true;
+                out.integer = exact;
+            }
         }
         out.kind = JsonValue::Kind::kNumber;
         return true;

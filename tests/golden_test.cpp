@@ -4,7 +4,12 @@
 // test fails — the reproduction contract is part of the test suite.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "report/evaluation.h"
+#include "service/ndjson.h"
 
 namespace phpsafe {
 namespace {
@@ -87,6 +92,41 @@ TEST_F(GoldenReproduction, CorpusVitals) {
     EXPECT_EQ(evaluation_->corpus.plugins.size(), 35u);
     EXPECT_EQ(evaluation_->truth.at("2012").size(), 394u);
     EXPECT_EQ(evaluation_->truth.at("2014").size(), 586u);
+}
+
+// -- NDJSON protocol transcript ----------------------------------------------
+
+// Drives the phpsafe_serve protocol (service/ndjson.h) with the scripted
+// session checked in at tests/golden/ndjson_session.in and compares every
+// response line against the checked-in transcript. Covers scan (cold +
+// result-cache hit + rips preset), stats before/after clear, malformed
+// JSON, unknown ops, and quit. Regenerate the fixture after an intentional
+// protocol change with:
+//   ./build/tools/phpsafe_serve --deterministic \
+//     < tests/golden/ndjson_session.in > tests/golden/ndjson_session.out
+TEST(GoldenNdjsonProtocol, SessionTranscriptMatches) {
+    const std::string dir = PHPSAFE_GOLDEN_DIR;
+    std::ifstream script(dir + "/ndjson_session.in", std::ios::binary);
+    std::ifstream expected(dir + "/ndjson_session.out", std::ios::binary);
+    ASSERT_TRUE(script) << "missing " << dir << "/ndjson_session.in";
+    ASSERT_TRUE(expected) << "missing " << dir << "/ndjson_session.out";
+
+    std::ostringstream actual;
+    service::ServeOptions options;
+    options.deterministic = true;
+    service::serve_ndjson(script, actual, options);
+
+    std::istringstream got(actual.str());
+    std::string want_line, got_line;
+    int line_no = 0;
+    while (std::getline(expected, want_line)) {
+        ++line_no;
+        ASSERT_TRUE(std::getline(got, got_line))
+            << "response ended early at transcript line " << line_no;
+        EXPECT_EQ(got_line, want_line) << "transcript line " << line_no;
+    }
+    EXPECT_FALSE(std::getline(got, got_line))
+        << "extra response beyond the transcript: " << got_line;
 }
 
 }  // namespace

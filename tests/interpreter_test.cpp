@@ -132,6 +132,18 @@ TEST(InterpreterTest, ObjectsAndMethods) {
     EXPECT_EQ(r.output, "hello ann");
 }
 
+// Mirrors the engine regression found by phpsafe_fuzz: a property default
+// that `new`s its own class must not re-enter construction forever.
+TEST(InterpreterTest, SelfReferentialPropertyDefaultTerminates) {
+    const ExecResult r = run(
+        "<?php\n"
+        "class C { public $p = new C(); }\n"
+        "$o = new C();\n"
+        "echo 'done';");
+    EXPECT_EQ(r.output, "done");
+    EXPECT_TRUE(r.completed);
+}
+
 TEST(InterpreterTest, StaticMethodAndSelf) {
     const ExecResult r = run(
         "<?php class M { public static function twice($x) { return $x * 2; } "

@@ -247,5 +247,88 @@ TEST(LexerEdgeTest, WindowsLineEndings) {
     EXPECT_EQ(tokens[1].line, 2);
 }
 
+// -- adversarial inputs the byte fuzzer surfaces first ----------------------
+
+/// Parses with default options and returns the collected diagnostics.
+std::vector<Diagnostic> parse_diags(const std::string& code,
+                                    ParserOptions options = {}) {
+    SourceFile file("edge.php", code);
+    DiagnosticSink sink;
+    Parser parser(file, sink, options);
+    (void)parser.parse();
+    return sink.diagnostics();
+}
+
+bool any_diag_contains(const std::vector<Diagnostic>& diags,
+                       std::string_view needle) {
+    for (const auto& d : diags)
+        if (d.message.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+TEST(ParserEdgeTest, UnterminatedSingleQuoteAtEofDiagnosed) {
+    EXPECT_TRUE(any_diag_contains(parse_diags("<?php $x = 'abc"),
+                                  "unterminated string literal"));
+}
+
+TEST(ParserEdgeTest, UnterminatedDoubleQuoteAtEofDiagnosed) {
+    EXPECT_TRUE(any_diag_contains(parse_diags("<?php echo \"hello $name"),
+                                  "unterminated string literal"));
+}
+
+TEST(ParserEdgeTest, UnterminatedHeredocAtEofDiagnosed) {
+    EXPECT_TRUE(any_diag_contains(parse_diags("<?php $x = <<<EOT\nbody text"),
+                                  "unterminated heredoc"));
+}
+
+TEST(ParserEdgeTest, UnterminatedBlockCommentAtEofDiagnosed) {
+    EXPECT_TRUE(any_diag_contains(parse_diags("<?php $a = 1; /* trailing"),
+                                  "unterminated block comment"));
+}
+
+TEST(ParserEdgeTest, NulBytesDoNotAbortParsing) {
+    std::string code = "<?php $a = 1; ";
+    code.push_back('\0');
+    code += " $b = 2;";
+    const FileUnit unit = parse(code);
+    // Both assignments around the nul byte must survive.
+    ASSERT_GE(unit.statements.size(), 2u);
+}
+
+TEST(ParserEdgeTest, NulByteInsideStringLiteralPreserved) {
+    std::string code = "<?php $x = 'a";
+    code.push_back('\0');
+    code += "b';";
+    const FileUnit unit = parse(code);
+    ASSERT_EQ(unit.statements.size(), 1u);
+}
+
+TEST(ParserEdgeTest, DeepParenNestingEmitsRecursionDiagnostic) {
+    std::string code = "<?php $x = ";
+    for (int i = 0; i < 5000; ++i) code += '(';
+    code += '1';
+    for (int i = 0; i < 5000; ++i) code += ')';
+    code += ';';
+    const auto diags = parse_diags(code);
+    EXPECT_TRUE(any_diag_contains(diags, "nesting deeper than"));
+}
+
+TEST(ParserEdgeTest, DeepUnaryChainEmitsRecursionDiagnostic) {
+    std::string code = "<?php $x = ";
+    code.append(5000, '!');
+    code += "$y;";
+    EXPECT_TRUE(any_diag_contains(parse_diags(code), "nesting deeper than"));
+}
+
+TEST(ParserEdgeTest, MaxDepthOptionIsConfigurable) {
+    ParserOptions tight;
+    tight.max_depth = 8;
+    const std::string code = "<?php $x = ((((((1))))));";
+    EXPECT_TRUE(any_diag_contains(parse_diags(code, tight),
+                                  "nesting deeper than 8 levels"));
+    // The default limit admits the same input without complaint.
+    EXPECT_FALSE(any_diag_contains(parse_diags(code), "nesting deeper than"));
+}
+
 }  // namespace
 }  // namespace phpsafe::php

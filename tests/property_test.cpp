@@ -8,9 +8,17 @@
 //     comments never changes the set of findings.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "baselines/analyzers.h"
 #include "core/engine.h"
 #include "php/project.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
 
 namespace phpsafe {
 namespace {
@@ -263,6 +271,217 @@ INSTANTIATE_TEST_SUITE_P(
                       "function_exists", "similar_text", "levenshtein", "min",
                       "floor", "round", "substr_count", "mb_strlen",
                       "is_readable", "strcmp", "strpos", "ord", "abs"));
+
+// -- json_writer.h ⇄ json_reader.h round trip ---------------------------------
+//
+// Random documents (strings with escapes / control bytes / UTF-8, nested
+// arrays and objects, int64 boundary values, fixed-point doubles) emitted
+// by JsonWriter must parse back byte-for-byte equivalent through JsonReader.
+
+/// SplitMix64 — tiny deterministic PRNG so failures reproduce exactly.
+struct Rng {
+    uint64_t state;
+    uint64_t next() {
+        state += 0x9E3779B97F4A7C15ull;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+    uint64_t below(uint64_t bound) { return next() % bound; }
+};
+
+std::string random_json_string(Rng& rng) {
+    static const std::vector<std::string> kAtoms = {
+        "a", "Z", "0", " ", "\"", "\\", "/", "\n", "\r", "\t",
+        std::string(1, '\0'), "\x01", "\x1f",
+        "é", "ß", "漢字", "🙂",  // 2-, 2-, 3-, 4-byte UTF-8
+        "<script>", "it's", "back\\slash", "line\nbreak"};
+    std::string out;
+    const size_t pieces = rng.below(12);
+    for (size_t i = 0; i < pieces; ++i) out += kAtoms[rng.below(kAtoms.size())];
+    return out;
+}
+
+int64_t random_int64(Rng& rng) {
+    switch (rng.below(6)) {
+        case 0: return 0;
+        case 1: return -1;
+        case 2: return std::numeric_limits<int64_t>::max();
+        case 3: return std::numeric_limits<int64_t>::min() + 1;
+        case 4: return (int64_t{1} << 53) + static_cast<int64_t>(rng.below(1000));
+        default: return static_cast<int64_t>(rng.next());
+    }
+}
+
+JsonValue random_document(Rng& rng, int depth) {
+    JsonValue v;
+    const uint64_t pick = rng.below(depth < 4 ? 7 : 5);
+    switch (pick) {
+        case 0: v.kind = JsonValue::Kind::kNull; break;
+        case 1:
+            v.kind = JsonValue::Kind::kBool;
+            v.boolean = rng.below(2) == 1;
+            break;
+        case 2:
+            v.kind = JsonValue::Kind::kNumber;
+            v.number_is_integer = true;
+            v.integer = random_int64(rng);
+            v.number = static_cast<double>(v.integer);
+            break;
+        case 3:
+            v.kind = JsonValue::Kind::kNumber;
+            // Fixed 4-decimal doubles (what value(double) emits).
+            v.number = static_cast<double>(static_cast<int64_t>(rng.below(2000000)) -
+                                           1000000) /
+                       10000.0;
+            break;
+        case 4:
+            v.kind = JsonValue::Kind::kString;
+            v.string = random_json_string(rng);
+            break;
+        case 5: {
+            v.kind = JsonValue::Kind::kArray;
+            const size_t n = rng.below(5);
+            for (size_t i = 0; i < n; ++i)
+                v.array.push_back(random_document(rng, depth + 1));
+            break;
+        }
+        default: {
+            v.kind = JsonValue::Kind::kObject;
+            const size_t n = rng.below(5);
+            for (size_t i = 0; i < n; ++i) {
+                std::string key = "k";
+                key += std::to_string(i);
+                key += random_json_string(rng);
+                v.object.emplace_back(std::move(key),
+                                      random_document(rng, depth + 1));
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+void emit(JsonWriter& w, const JsonValue& v) {
+    switch (v.kind) {
+        case JsonValue::Kind::kNull: w.null(); break;
+        case JsonValue::Kind::kBool: w.value(v.boolean); break;
+        case JsonValue::Kind::kNumber:
+            if (v.number_is_integer)
+                w.value(v.integer);
+            else
+                w.value(v.number);
+            break;
+        case JsonValue::Kind::kString: w.value(v.string); break;
+        case JsonValue::Kind::kArray:
+            w.begin_array();
+            for (const auto& e : v.array) emit(w, e);
+            w.end_array();
+            break;
+        case JsonValue::Kind::kObject:
+            w.begin_object();
+            for (const auto& [k, e] : v.object) {
+                w.key(k);
+                emit(w, e);
+            }
+            w.end_object();
+            break;
+    }
+}
+
+::testing::AssertionResult equivalent(const JsonValue& want,
+                                      const JsonValue& got) {
+    if (want.kind != got.kind)
+        return ::testing::AssertionFailure() << "kind mismatch";
+    switch (want.kind) {
+        case JsonValue::Kind::kNull: break;
+        case JsonValue::Kind::kBool:
+            if (want.boolean != got.boolean)
+                return ::testing::AssertionFailure() << "bool mismatch";
+            break;
+        case JsonValue::Kind::kNumber:
+            if (want.number_is_integer) {
+                if (!got.number_is_integer || got.integer != want.integer)
+                    return ::testing::AssertionFailure()
+                           << "int " << want.integer << " read back as "
+                           << (got.number_is_integer
+                                   ? std::to_string(got.integer)
+                                   : std::to_string(got.number));
+            } else if (got.number != want.number) {
+                // value(double) writes exactly 4 decimals, which every
+                // generated double represents exactly; reparse must match.
+                return ::testing::AssertionFailure()
+                       << "double " << want.number << " != " << got.number;
+            }
+            break;
+        case JsonValue::Kind::kString:
+            if (want.string != got.string)
+                return ::testing::AssertionFailure()
+                       << "string mismatch: want " << want.string << " got "
+                       << got.string;
+            break;
+        case JsonValue::Kind::kArray:
+            if (want.array.size() != got.array.size())
+                return ::testing::AssertionFailure() << "array size";
+            for (size_t i = 0; i < want.array.size(); ++i)
+                if (auto r = equivalent(want.array[i], got.array[i]); !r)
+                    return r;
+            break;
+        case JsonValue::Kind::kObject:
+            if (want.object.size() != got.object.size())
+                return ::testing::AssertionFailure() << "object size";
+            for (size_t i = 0; i < want.object.size(); ++i) {
+                if (want.object[i].first != got.object[i].first)
+                    return ::testing::AssertionFailure() << "key mismatch";
+                if (auto r = equivalent(want.object[i].second,
+                                        got.object[i].second);
+                    !r)
+                    return r;
+            }
+            break;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+TEST(JsonRoundTripProperty, RandomDocumentsSurviveWriteThenRead) {
+    Rng rng{0x5eed4a11};
+    for (int iter = 0; iter < 500; ++iter) {
+        const JsonValue doc = random_document(rng, 0);
+        for (const int indent : {0, 2}) {
+            std::ostringstream os;
+            JsonWriter w(os, indent);
+            emit(w, doc);
+            JsonValue parsed;
+            std::string error;
+            ASSERT_TRUE(JsonReader::parse(os.str(), parsed, &error))
+                << "iter " << iter << ": " << error << "\n" << os.str();
+            EXPECT_TRUE(equivalent(doc, parsed)) << "iter " << iter << "\n"
+                                                 << os.str();
+        }
+    }
+}
+
+TEST(JsonRoundTripProperty, Int64BoundariesExact) {
+    for (const int64_t v : {std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min() + 1,
+                            (int64_t{1} << 53) + 1, int64_t{0}}) {
+        std::ostringstream os;
+        JsonWriter w(os, 0);
+        w.begin_object().kv("n", v).end_object();
+        JsonValue parsed;
+        ASSERT_TRUE(JsonReader::parse(os.str(), parsed, nullptr)) << os.str();
+        EXPECT_EQ(parsed.int_or("n", -42), v);
+    }
+}
+
+TEST(JsonRoundTripProperty, NonIntegerTokensStillReadAsDouble) {
+    JsonValue parsed;
+    ASSERT_TRUE(JsonReader::parse("{\"x\":2.5,\"y\":1e3}", parsed, nullptr));
+    EXPECT_EQ(parsed.get("x")->number, 2.5);
+    EXPECT_FALSE(parsed.get("x")->number_is_integer);
+    EXPECT_EQ(parsed.int_or("y", 0), 1000);  // truncated double path
+}
 
 }  // namespace
 }  // namespace phpsafe

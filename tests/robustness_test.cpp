@@ -92,6 +92,36 @@ TEST(RobustnessTest, DeeplyNestedBlocksTerminate) {
     EXPECT_GE(r.findings.size(), 1u);
 }
 
+TEST(RobustnessTest, PathologicalNestingFailsTheFileNotTheProcess) {
+    // 100k nested parens would overflow the stack without the parser's
+    // recursion-depth limit; with it, the file is marked failed and the
+    // analysis still returns a result.
+    std::string code = "<?php $x = ";
+    code.append(100000, '(');
+    code += '1';
+    code.append(100000, ')');
+    code += ';';
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_EQ(r.files_failed, 1);
+}
+
+TEST(RobustnessTest, PathologicalBlockNestingFailsTheFileNotTheProcess) {
+    std::string code = "<?php ";
+    for (int i = 0; i < 50000; ++i) code += "if($a){";
+    code += "echo 1;";
+    for (int i = 0; i < 50000; ++i) code += '}';
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_EQ(r.files_failed, 1);
+}
+
+TEST(RobustnessTest, NulBytesInsideCodeStillFindTaint) {
+    std::string code = "<?php echo $_GET['x']; ";
+    code.push_back('\0');
+    code += " echo $_GET['y'];";
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_GE(r.findings.size(), 2u);
+}
+
 TEST(RobustnessTest, LongConcatenationChain) {
     std::string code = "<?php $s = $_GET['x']";
     for (int i = 0; i < 2000; ++i) code += " . 'part'";
@@ -155,6 +185,45 @@ TEST(RobustnessTest, ErrorCapAbortsPathologicalFile) {
     for (int i = 0; i < 500; ++i) garbage += ")( ";
     const AnalysisResult r = analyze_garbage(garbage);
     EXPECT_EQ(r.files_failed, 1);
+}
+
+// Found by phpsafe_fuzz (byte mutation, seed 2): a class whose property
+// default `new`s its own class re-entered default initialization forever
+// and blew the stack. Replayed from tests/fuzz_corpus/regressions/ too;
+// this is the direct engine-level form.
+TEST(RobustnessTest, SelfReferentialPropertyDefaultTerminates) {
+    const AnalysisResult r = analyze_garbage(
+        "<?php\n"
+        "class C { public $p = new C(); }\n"
+        "$o = new C();\n"
+        "echo $_GET['x'];\n");
+    EXPECT_EQ(r.files_failed, 0);
+    EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(RobustnessTest, MutuallyRecursivePropertyDefaultsTerminate) {
+    const AnalysisResult r = analyze_garbage(
+        "<?php\n"
+        "class A { public $p = new B(); }\n"
+        "class B { public $q = new A(); }\n"
+        "$o = new A();\n");
+    EXPECT_EQ(r.files_failed, 0);
+}
+
+// Expressions nested beyond the engine's eval budget are truncated with a
+// warning diagnostic instead of risking the process stack (engine frames
+// are far larger than parser frames, especially under sanitizers).
+TEST(RobustnessTest, EvalDepthBackstopTruncatesWithWarning) {
+    std::string code = "<?php\n$x = ";
+    const int depth = 450;  // parser admits this; engine truncates at 400
+    for (int i = 0; i < depth; ++i) code += "!";
+    code += "$_GET['q'];\n";
+    const AnalysisResult r = analyze_garbage(code);
+    EXPECT_EQ(r.files_failed, 0);
+    bool warned = false;
+    for (const Diagnostic& d : r.diagnostics)
+        warned |= d.message.find("taint evaluation truncated") != std::string::npos;
+    EXPECT_TRUE(warned);
 }
 
 TEST(RobustnessTest, AllToolsSurviveGarbageSweep) {

@@ -102,6 +102,92 @@ TEST(ServiceTest, ChangedDependencyInvalidatesDependentSummary) {
     EXPECT_EQ(render_json_report(warm.result), render_json_report(cold.result));
 }
 
+TEST(ServiceTest, FileDeletedBetweenScansInvalidatesDependents) {
+    AnalysisService service;
+    const ScanResponse sanitized =
+        service.scan(layered_request("return htmlentities($v);"));
+    EXPECT_TRUE(sanitized.result.findings.empty());
+
+    // util.php disappears from the plugin. wrap()'s cached summary records
+    // a dependency on util.php's content; a file that no longer exists must
+    // fail validation, not validate vacuously — otherwise wrap() would keep
+    // reporting the flow as sanitized by a function that is gone.
+    ScanRequest deleted = layered_request("return htmlentities($v);");
+    deleted.files.erase(deleted.files.begin() + 1);  // drop util.php
+    const ScanResponse warm = service.scan(deleted);
+    EXPECT_FALSE(warm.from_result_cache);
+    EXPECT_GE(warm.summaries_invalidated, 1);
+
+    AnalysisService cold_service;
+    const ScanResponse cold = cold_service.scan(deleted);
+    EXPECT_EQ(render_json_report(warm.result), render_json_report(cold.result));
+}
+
+TEST(ServiceTest, IncludeRenamedToShadowAnotherFile) {
+    // Every file's *content* stays byte-identical across the two scans —
+    // only the names swap, flipping which file `include 'inc.php'` picks
+    // up. The AST pool (content-addressed) may reuse everything; results
+    // and summaries must still track the include resolution by name.
+    const std::string sanitizes = "<?php $x = htmlentities($x);";
+    const std::string noop = "<?php $unused = 1;";
+    const std::string main_php =
+        "<?php $x = $_GET['q']; include 'inc.php'; echo $x;";
+
+    AnalysisService service;
+    const ScanResponse before = service.scan(simple_request(
+        "shadow",
+        {{"inc.php", sanitizes}, {"spare.php", noop}, {"main.php", main_php}}));
+    EXPECT_TRUE(before.result.findings.empty());
+
+    // "spare.php" is renamed over "inc.php" (and the sanitizer file moves
+    // aside): the include now resolves to the no-op shadow.
+    const ScanResponse after = service.scan(simple_request(
+        "shadow",
+        {{"inc.php", noop}, {"spare.php", sanitizes}, {"main.php", main_php}}));
+    EXPECT_FALSE(after.from_result_cache);
+    ASSERT_EQ(after.result.findings.size(), 1u);
+    EXPECT_EQ(after.result.findings[0].kind, VulnKind::kXss);
+
+    AnalysisService cold_service;
+    const ScanResponse cold = cold_service.scan(simple_request(
+        "shadow",
+        {{"inc.php", noop}, {"spare.php", sanitizes}, {"main.php", main_php}}));
+    EXPECT_EQ(render_json_report(after.result), render_json_report(cold.result));
+}
+
+TEST(ServiceTest, InvalidationCascadesTwoLevelsUpTheCallGraph) {
+    // outer() → mid() → inner(), one file each. Editing only inner()'s file
+    // must invalidate the summaries of *both* callers above it: mid()
+    // depends on inner()'s file directly, outer() only transitively
+    // (through mid()'s recorded dependencies).
+    const auto chain_request = [](const std::string& inner_body) {
+        return simple_request(
+            "chain",
+            {{"outer.php", "<?php function outer($v) { return mid($v); }"},
+             {"mid.php", "<?php function mid($v) { return inner($v); }"},
+             {"inner.php", "<?php function inner($v) { " + inner_body + " }"},
+             {"main.php",
+              "<?php include 'outer.php'; include 'mid.php'; "
+              "include 'inner.php'; echo outer($_GET['x']);"}});
+    };
+
+    AnalysisService service;
+    const ScanResponse sanitized =
+        service.scan(chain_request("return htmlentities($v);"));
+    EXPECT_TRUE(sanitized.result.findings.empty());
+
+    const ScanResponse warm = service.scan(chain_request("return $v;"));
+    EXPECT_GE(warm.summaries_invalidated, 2)
+        << "outer()'s summary must fall with mid()'s, not survive on its "
+           "unchanged file content";
+    ASSERT_EQ(warm.result.findings.size(), 1u);
+    EXPECT_EQ(warm.result.findings[0].kind, VulnKind::kXss);
+
+    AnalysisService cold_service;
+    const ScanResponse cold = cold_service.scan(chain_request("return $v;"));
+    EXPECT_EQ(render_json_report(warm.result), render_json_report(cold.result));
+}
+
 TEST(ServiceTest, LruEvictsUnderTinyByteBudget) {
     ServiceOptions options;
     options.budgets.file_bytes = 2048;    // holds ~2 small parsed files

@@ -1,203 +1,29 @@
 // phpsafe_serve — newline-delimited JSON front end for the AnalysisService.
 // Reads one JSON request object per stdin line, writes one JSON response
 // object per stdout line; editors/CI keep the process alive so consecutive
-// scans hit the warm AST/summary/result caches.
+// scans hit the warm AST/summary/result caches. The protocol itself lives
+// in service/ndjson.h (drivable from tests); this binary just binds it to
+// the standard streams.
 //
-// Requests:
-//   {"op":"scan","path":"/plugin/dir"}            scan *.php under a directory
-//   {"op":"scan","plugin":"p","files":[{"name":"a.php","text":"<?php ..."}]}
-//   {"op":"scan",...,"preset":"rips"}             preset: phpsafe|rips|pixy
-//   {"op":"stats"}                                cache statistics
-//   {"op":"clear"}                                drop all cache pools
-//   {"op":"quit"}                                 exit cleanly
-//
-// Scan responses carry the same report object render_json_report() emits
-// for the batch tools, plus cache effectiveness fields:
-//   {"ok":true,"from_result_cache":false,"files_reused":12,
-//    "summaries_seeded":80,"summaries_invalidated":2,"wall_seconds":0.0131,
-//    "report":{"tool":...,"plugin":...,"findings":[...]}}
-// Errors: {"ok":false,"error":"..."}.
-
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
+// --deterministic zeroes wall-clock/resident-byte fields so a scripted
+// session is byte-reproducible (used to regenerate the golden transcript
+// in tests/golden/).
+#include <cstring>
 #include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
 
-#include "report/export.h"
-#include "service/service.h"
-#include "util/json_reader.h"
-#include "util/json_writer.h"
+#include "service/ndjson.h"
 
-namespace fs = std::filesystem;
-using phpsafe::JsonReader;
-using phpsafe::JsonValue;
-using phpsafe::JsonWriter;
-
-namespace {
-
-void reply_error(const std::string& message) {
-    std::ostringstream out;
-    JsonWriter w(out);
-    w.begin_object().kv("ok", false).kv("error", message).end_object();
-    std::cout << out.str() << "\n" << std::flush;
-}
-
-/// Loads all *.php files under `root` (recursively, path-sorted so the
-/// request fingerprint is stable across directory iteration order).
-bool load_directory(const std::string& root,
-                    std::vector<phpsafe::service::SourceFileSpec>& files,
-                    std::string& error) {
-    std::error_code ec;
-    if (!fs::is_directory(root, ec)) {
-        error = "not a directory: " + root;
-        return false;
-    }
-    std::vector<fs::path> paths;
-    for (const auto& entry :
-         fs::recursive_directory_iterator(root, ec)) {
-        if (entry.is_regular_file() && entry.path().extension() == ".php")
-            paths.push_back(entry.path());
-    }
-    if (ec) {
-        error = "cannot list " + root + ": " + ec.message();
-        return false;
-    }
-    std::sort(paths.begin(), paths.end());
-    for (const fs::path& path : paths) {
-        std::ifstream in(path, std::ios::binary);
-        if (!in) {
-            error = "cannot read " + path.string();
-            return false;
-        }
-        std::ostringstream text;
-        text << in.rdbuf();
-        files.push_back({fs::relative(path, root, ec).generic_string(),
-                         std::move(text).str()});
-    }
-    if (files.empty()) {
-        error = "no .php files under " + root;
-        return false;
-    }
-    return true;
-}
-
-bool build_request(const JsonValue& request,
-                   phpsafe::service::ScanRequest& scan, std::string& error) {
-    scan.preset = request.string_or("preset", "phpsafe");
-    const std::string path = request.string_or("path", "");
-    if (!path.empty()) {
-        if (!load_directory(path, scan.files, error)) return false;
-        scan.plugin =
-            request.string_or("plugin", fs::path(path).filename().string());
-        return true;
-    }
-    const JsonValue* files = request.get("files");
-    if (!files || !files->is_array() || files->array.empty()) {
-        error = "scan needs \"path\" or a non-empty \"files\" array";
-        return false;
-    }
-    for (const JsonValue& file : files->array) {
-        const JsonValue* name = file.get("name");
-        const JsonValue* text = file.get("text");
-        if (!name || !name->is_string() || !text || !text->is_string()) {
-            error = "each file needs string \"name\" and \"text\"";
-            return false;
-        }
-        scan.files.push_back({name->string, text->string});
-    }
-    scan.plugin = request.string_or("plugin", "stdin");
-    return true;
-}
-
-void reply_scan(const phpsafe::service::ScanResponse& response) {
-    std::ostringstream out;
-    JsonWriter w(out);
-    w.begin_object();
-    w.kv("ok", true);
-    w.kv("from_result_cache", response.from_result_cache);
-    w.kv("deduplicated", response.deduplicated);
-    w.kv("files_reused", response.files_reused);
-    w.kv("summaries_seeded", response.summaries_seeded);
-    w.kv("summaries_invalidated", response.summaries_invalidated);
-    w.kv("wall_seconds", response.wall_seconds, 4);
-    w.key("report");
-    // render_json_report emits a complete compact object; splice it in as
-    // the final member rather than re-serializing every finding here.
-    out << phpsafe::render_json_report(response.result) << "}";
-    std::cout << out.str() << "\n" << std::flush;
-}
-
-void reply_stats(const phpsafe::service::CacheStats& stats) {
-    std::ostringstream out;
-    JsonWriter w(out);
-    w.begin_object();
-    w.kv("ok", true);
-    w.kv("file_entries", stats.file_entries);
-    w.kv("summary_entries", stats.summary_entries);
-    w.kv("result_entries", stats.result_entries);
-    w.kv("bytes_resident", stats.bytes_resident);
-    w.kv("file_hits", stats.file_hits);
-    w.kv("file_misses", stats.file_misses);
-    w.kv("summary_hits", stats.summary_hits);
-    w.kv("summary_misses", stats.summary_misses);
-    w.kv("result_hits", stats.result_hits);
-    w.kv("evictions", stats.evictions);
-    w.kv("invalidations", stats.invalidations);
-    w.end_object();
-    std::cout << out.str() << "\n" << std::flush;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
     std::ios::sync_with_stdio(false);
-    phpsafe::service::AnalysisService service;
-
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-        JsonValue request;
-        std::string error;
-        if (!JsonReader::parse(line, request, &error) || !request.is_object()) {
-            reply_error(error.empty() ? "request must be a JSON object" : error);
-            continue;
+    phpsafe::service::ServeOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--deterministic") == 0) {
+            options.deterministic = true;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--deterministic]\n";
+            return 2;
         }
-
-        const std::string op = request.string_or("op", "");
-        if (op == "quit" || op == "shutdown") {
-            std::ostringstream out;
-            JsonWriter w(out);
-            w.begin_object().kv("ok", true).kv("bye", true).end_object();
-            std::cout << out.str() << "\n" << std::flush;
-            break;
-        }
-        if (op == "stats") {
-            reply_stats(service.cache_stats());
-            continue;
-        }
-        if (op == "clear") {
-            service.clear_cache();
-            std::ostringstream out;
-            JsonWriter w(out);
-            w.begin_object().kv("ok", true).end_object();
-            std::cout << out.str() << "\n" << std::flush;
-            continue;
-        }
-        if (op != "scan") {
-            reply_error("unknown op: \"" + op + "\"");
-            continue;
-        }
-
-        phpsafe::service::ScanRequest scan;
-        if (!build_request(request, scan, error)) {
-            reply_error(error);
-            continue;
-        }
-        reply_scan(service.scan(std::move(scan)));
     }
+    phpsafe::service::serve_ndjson(std::cin, std::cout, options);
     return 0;
 }
