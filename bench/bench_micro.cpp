@@ -31,7 +31,8 @@ void BM_Lexer(benchmark::State& state) {
     phpsafe::SourceFile file("bench.php", code);
     for (auto _ : state) {
         phpsafe::DiagnosticSink sink;
-        phpsafe::php::Lexer lexer(file, sink);
+        phpsafe::Arena arena;
+        phpsafe::php::Lexer lexer(file, arena, sink);
         benchmark::DoNotOptimize(lexer.tokenize());
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * code.size());
@@ -43,7 +44,8 @@ void BM_Parser(benchmark::State& state) {
     phpsafe::SourceFile file("bench.php", code);
     for (auto _ : state) {
         phpsafe::DiagnosticSink sink;
-        phpsafe::php::Parser parser(file, sink);
+        phpsafe::Arena arena;
+        phpsafe::php::Parser parser(file, arena, sink);
         benchmark::DoNotOptimize(parser.parse());
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * code.size());

@@ -99,32 +99,42 @@ void KnowledgeBase::remove_function(std::string_view name) {
 }
 
 void KnowledgeBase::remove_superglobal(std::string_view var_name) {
-    superglobals_.erase(std::string(var_name));
+    const auto it = superglobals_.find(var_name);
+    if (it != superglobals_.end()) superglobals_.erase(it);
 }
 
 const FunctionInfo* KnowledgeBase::function(std::string_view name) const {
-    const auto it = functions_.find(ascii_lower(name));
+    const auto it = functions_.find(name);  // transparent folded compare
     return it == functions_.end() ? nullptr : &it->second;
 }
 
 const FunctionInfo* KnowledgeBase::method(std::string_view class_name,
                                           std::string_view method_name) const {
-    const std::string m = ascii_lower(method_name);
+    // Composite keys are assembled case-preserving; FoldedLess folds on
+    // probe, so no per-lookup ascii_lower temporaries.
+    std::string key;
     if (!class_name.empty()) {
-        const auto it = methods_.find(ascii_lower(class_name) + "::" + m);
+        key.reserve(class_name.size() + 2 + method_name.size());
+        key += class_name;
+        key += "::";
+        key += method_name;
+        const auto it = methods_.find(std::string_view(key));
         if (it != methods_.end()) return &it->second;
     }
-    const auto wildcard = methods_.find("::" + m);
+    key.clear();
+    key += "::";
+    key += method_name;
+    const auto wildcard = methods_.find(std::string_view(key));
     return wildcard == methods_.end() ? nullptr : &wildcard->second;
 }
 
 const SuperglobalInfo* KnowledgeBase::superglobal(std::string_view var_name) const {
-    const auto it = superglobals_.find(std::string(var_name));
+    const auto it = superglobals_.find(var_name);
     return it == superglobals_.end() ? nullptr : &it->second;
 }
 
 const std::string* KnowledgeBase::known_global_class(std::string_view var_name) const {
-    const auto it = known_globals_.find(std::string(var_name));
+    const auto it = known_globals_.find(var_name);
     return it == known_globals_.end() ? nullptr : &it->second;
 }
 

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/strings.h"
+
 namespace phpsafe {
 
 /// Vulnerability classes the tool detects (paper scope: XSS and SQLi).
@@ -176,10 +178,15 @@ public:
     size_t method_count() const noexcept { return methods_.size(); }
 
 private:
-    std::map<std::string, FunctionInfo> functions_;
-    std::map<std::string, FunctionInfo> methods_;  ///< "class::m" or "::m"
-    std::map<std::string, SuperglobalInfo> superglobals_;
-    std::map<std::string, std::string> known_globals_;
+    /// Keys are stored lowercase; the transparent FoldedLess comparator lets
+    /// hot-path lookups probe with mixed-case string_views straight from AST
+    /// nodes without allocating a folded temporary.
+    std::map<std::string, FunctionInfo, FoldedLess> functions_;
+    std::map<std::string, FunctionInfo, FoldedLess> methods_;  ///< "class::m" or "::m"
+    /// Superglobal names are case-sensitive in PHP ($_get is not $_GET);
+    /// std::less<> keeps exact comparison but allows string_view probes.
+    std::map<std::string, SuperglobalInfo, std::less<>> superglobals_;
+    std::map<std::string, std::string, std::less<>> known_globals_;
 };
 
 /// Generic PHP profile: superglobals, PHP built-in sources/sanitizers/

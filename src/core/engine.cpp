@@ -32,7 +32,8 @@ std::string static_path_hint(const php::Expr& expr) {
     switch (expr.kind) {
         case NodeKind::kLiteral: {
             const auto& lit = static_cast<const php::Literal&>(expr);
-            return lit.type == php::Literal::Type::kString ? lit.value : std::string();
+            return lit.type == php::Literal::Type::kString ? std::string(lit.value)
+                                                           : std::string();
         }
         case NodeKind::kInterpString: {
             std::string out;
@@ -52,13 +53,18 @@ std::string static_path_hint(const php::Expr& expr) {
 }
 
 /// Extracts "$_GET['key']"-style display text for a superglobal access.
-std::string superglobal_display(const std::string& name, const php::Expr* index) {
-    if (!index) return name;
+std::string superglobal_display(std::string_view name, const php::Expr* index) {
+    std::string out(name);
+    if (!index) return out;
     if (index->kind == NodeKind::kLiteral) {
         const auto& lit = static_cast<const php::Literal&>(*index);
-        return name + "['" + lit.value + "']";
+        out += "['";
+        out += lit.value;
+        out += "']";
+        return out;
     }
-    return name + "[...]";
+    out += "[...]";
+    return out;
 }
 
 }  // namespace
@@ -361,7 +367,7 @@ void Engine::analyze_entry_file(const php::ParsedFile& file) {
 // Statements
 // ---------------------------------------------------------------------------
 
-void Engine::exec_stmts(const std::vector<php::StmtPtr>& stmts, Scope& scope) {
+void Engine::exec_stmts(const ArenaVector<php::StmtPtr>& stmts, Scope& scope) {
     for (const php::StmtPtr& stmt : stmts) {
         if (current_file_failed_) return;
         if (stmt) exec_stmt(*stmt, scope);
@@ -477,7 +483,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
         }
         case NodeKind::kGlobalStmt: {
             const auto& n = static_cast<const php::GlobalStmt&>(stmt);
-            for (const std::string& name : n.names)
+            for (const std::string_view name : n.names)
                 scope.global_aliases.insert(sym(name));
             break;
         }
@@ -509,7 +515,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
                     if (p.object && p.object->kind == NodeKind::kVariable &&
                         !p.property.empty()) {
                         const auto& base = static_cast<const php::Variable&>(*p.object);
-                        scope.vars.erase(sym(base.name + "->" + p.property));
+                        scope.vars.erase(path_sym(base.name, p.property));
                     }
                 }
                 // unset($a['k']) leaves the whole-array taint untouched.
@@ -625,7 +631,7 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
                 const auto& b = static_cast<const php::Binary&>(*leftmost);
                 spine.push_back(&b);
                 if (!b.lhs) break;
-                leftmost = b.lhs.get();
+                leftmost = b.lhs;
             }
             TaintValue acc = leftmost->kind == NodeKind::kBinary
                                  ? TaintValue::clean()
@@ -659,7 +665,10 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
             if (n.type == "int" || n.type == "integer" || n.type == "float" ||
                 n.type == "double" || n.type == "real" || n.type == "bool" ||
                 n.type == "boolean" || n.type == "unset") {
-                v.apply_sanitizer(kBothVulns, loc_of(expr, scope), "(" + n.type + ") cast");
+                std::string label = "(";
+                label += n.type;
+                label += ") cast";
+                v.apply_sanitizer(kBothVulns, loc_of(expr, scope), label);
             }
             return v;
         }
@@ -740,7 +749,7 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
 }
 
 TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
-    const std::string& name = var.name;
+    const std::string_view name = var.name;
     ++obs::tls().scope_lookups;
 
     if (name == "$this") {
@@ -770,9 +779,10 @@ TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
             !globals_.vars.contains(name_sym)) {
             // register_globals=1 era: any unassigned global can be supplied
             // from the request (Pixy's signature detection class).
+            std::string what = "register_globals variable ";
+            what += name;
             TaintValue src = TaintValue::source(
-                kBothVulns, InputVector::kGet, loc_of(var, scope),
-                "register_globals variable " + name);
+                kBothVulns, InputVector::kGet, loc_of(var, scope), std::move(what));
             globals_.vars[name_sym] = src;
             return src;
         }
@@ -783,8 +793,10 @@ TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
         return *found;
     if (scope.extract_taint.tainted_any() || scope.extract_taint.depends_on_params()) {
         TaintValue injected = scope.extract_taint;
-        injected.add_step(loc_of(var, scope), "variable " + name +
-                                                  " injectable via extract()");
+        std::string step = "variable ";
+        step += name;
+        step += " injectable via extract()";
+        injected.add_step(loc_of(var, scope), std::move(step));
         return injected;
     }
     return TaintValue::clean();
@@ -801,12 +813,14 @@ TaintValue Engine::eval_array_access(const php::ArrayAccess& access, Scope& scop
             ++obs::tls().sources_seen;
             return TaintValue::source(
                 sg->taint, sg->vector, loc_of(access, scope),
-                superglobal_display(base.name, access.index.get()));
+                superglobal_display(base.name, access.index));
         }
         if (base.name == "$GLOBALS" && access.index &&
             access.index->kind == NodeKind::kLiteral) {
             const auto& lit = static_cast<const php::Literal&>(*access.index);
-            return read_global("$" + lit.value, loc_of(access, scope));
+            std::string gname = "$";
+            gname += lit.value;
+            return read_global(gname, loc_of(access, scope));
         }
     }
 
@@ -840,7 +854,7 @@ TaintValue Engine::eval_property_access(const php::PropertyAccess& access,
     if (access.object->kind == NodeKind::kVariable) {
         const auto& base = static_cast<const php::Variable&>(*access.object);
         if (const TaintValue* slot =
-                scope.vars.find(sym(base.name + "->" + access.property)))
+                scope.vars.find(path_sym(base.name, access.property)))
             out.merge(*slot);
     }
 
@@ -916,8 +930,11 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
         case NodeKind::kVariable: {
             const auto& var = static_cast<const php::Variable&>(target);
             if (kb_.superglobal(var.name)) return;  // writing into $_GET: ignore
-            if (value.tainted_any() || value.depends_on_params())
-                value.add_step(loc_of(target, scope), "assigned to " + var.name);
+            if (value.tainted_any() || value.depends_on_params()) {
+                std::string step = "assigned to ";
+                step += var.name;
+                value.add_step(loc_of(target, scope), std::move(step));
+            }
             const Symbol name_sym = sym(var.name);
             const bool is_global_var =
                 scope.is_global || scope.global_aliases.contains(name_sym);
@@ -942,7 +959,9 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
                 if (base.name == "$GLOBALS" && access.index &&
                     access.index->kind == NodeKind::kLiteral) {
                     const auto& lit = static_cast<const php::Literal&>(*access.index);
-                    global_slot("$" + lit.value).merge(value);
+                    std::string gname = "$";
+                    gname += lit.value;
+                    global_slot(gname).merge(value);
                     return;
                 }
             }
@@ -966,7 +985,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
             if (access.object->kind == NodeKind::kVariable) {
                 const auto& base = static_cast<const php::Variable&>(*access.object);
                 TaintValue& slot =
-                    scope.vars[sym(base.name + "->" + access.property)];
+                    scope.vars[path_sym(base.name, access.property)];
                 if (weak)
                     slot.merge(value);
                 else
@@ -1013,7 +1032,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
     }
 }
 
-TaintValue Engine::read_global(const std::string& name, SourceLocation loc) {
+TaintValue Engine::read_global(std::string_view name, SourceLocation loc) {
     (void)loc;
     touch_shared_state();
     if (const TaintValue* found = globals_.vars.find(sym(name))) return *found;
@@ -1024,7 +1043,7 @@ TaintValue Engine::read_global(const std::string& name, SourceLocation loc) {
     return v;
 }
 
-TaintValue& Engine::global_slot(const std::string& name) {
+TaintValue& Engine::global_slot(std::string_view name) {
     touch_shared_state();
     return globals_.vars[sym(name)];
 }
@@ -1038,7 +1057,7 @@ TaintValue& Engine::global_slot(Symbol name) {
 // Calls
 // ---------------------------------------------------------------------------
 
-std::vector<TaintValue> Engine::eval_args(const std::vector<php::Argument>& args,
+std::vector<TaintValue> Engine::eval_args(const ArenaVector<php::Argument>& args,
                                           Scope& scope) {
     std::vector<TaintValue> values;
     values.reserve(args.size());
@@ -1148,9 +1167,13 @@ TaintValue Engine::eval_method_call(const php::MethodCall& call, Scope& scope) {
     // kb_.method falls back to the wildcard internally; only accept the
     // class-exact match at this step.
     if (exact && kb_.method("", call.method) == exact) exact = nullptr;
-    if (exact)
-        return apply_builtin(*exact, cls + "::" + call.method, call.args, args,
-                             loc, scope, /*via_oop=*/true);
+    if (exact) {
+        std::string display = cls;
+        display += "::";
+        display += call.method;
+        return apply_builtin(*exact, display, call.args, args, loc, scope,
+                             /*via_oop=*/true);
+    }
 
     const php::FunctionRef* ref =
         cls.empty() ? nullptr : project_->find_method(cls, call.method);
@@ -1187,9 +1210,13 @@ TaintValue Engine::eval_static_call(const php::StaticCall& call, Scope& scope) {
     const std::string cls =
         resolve_class_name(call.class_name, scope.current_class, *project_);
 
-    if (const FunctionInfo* info = kb_.method(cls, call.method))
-        return apply_builtin(*info, cls + "::" + call.method, call.args, args, loc,
-                             scope, /*via_oop=*/true);
+    if (const FunctionInfo* info = kb_.method(cls, call.method)) {
+        std::string display = cls;
+        display += "::";
+        display += call.method;
+        return apply_builtin(*info, display, call.args, args, loc, scope,
+                             /*via_oop=*/true);
+    }
 
     const php::FunctionRef* ref = project_->find_method(cls, call.method);
     if (!cls.empty())
@@ -1248,8 +1275,8 @@ TaintValue Engine::eval_new(const php::New& expr, Scope& scope) {
     return out;
 }
 
-TaintValue Engine::apply_builtin(const FunctionInfo& info, const std::string& name,
-                                 const std::vector<php::Argument>& arg_exprs,
+TaintValue Engine::apply_builtin(const FunctionInfo& info, std::string_view name,
+                                 const ArenaVector<php::Argument>& arg_exprs,
                                  std::vector<TaintValue>& args, SourceLocation loc,
                                  Scope& scope, bool via_oop) {
     // Sink role: check the sensitive argument positions.
@@ -1273,8 +1300,12 @@ TaintValue Engine::apply_builtin(const FunctionInfo& info, const std::string& na
         if (to < 0 || static_cast<size_t>(to) >= arg_exprs.size()) continue;
         if (!arg_exprs[to].value) continue;
         TaintValue flowed = args[from];
-        if (flowed.tainted_any())
-            flowed.add_step(loc, "written by " + name + " into by-ref argument");
+        if (flowed.tainted_any()) {
+            std::string step = "written by ";
+            step += name;
+            step += " into by-ref argument";
+            flowed.add_step(loc, std::move(step));
+        }
         assign_to(*arg_exprs[to].value, std::move(flowed), scope);
     }
 
@@ -1282,8 +1313,10 @@ TaintValue Engine::apply_builtin(const FunctionInfo& info, const std::string& na
     if (info.is_source) {
         ++stats_.sources_seen;
         ++obs::tls().sources_seen;
+        std::string what(name);
+        what += "()";
         TaintValue out = TaintValue::source(info.source_taint, info.source_vector,
-                                            loc, name + "()");
+                                            loc, std::move(what));
         out.via_oop = via_oop;
         out.object_class = info.returns_class;
         return out;
@@ -1307,8 +1340,10 @@ TaintValue Engine::apply_builtin(const FunctionInfo& info, const std::string& na
         case FunctionInfo::Return::kSafe:
             return TaintValue::clean();
         case FunctionInfo::Return::kTainted: {
+            std::string what(name);
+            what += "()";
             TaintValue out = TaintValue::source(kBothVulns, InputVector::kFunction,
-                                                loc, name + "()");
+                                                loc, std::move(what));
             out.via_oop = via_oop;
             return out;
         }
@@ -1325,8 +1360,8 @@ TaintValue Engine::apply_builtin(const FunctionInfo& info, const std::string& na
 TaintValue Engine::apply_user_function(const php::FunctionRef& ref,
                                        const std::vector<TaintValue>& args,
                                        SourceLocation loc, Scope& scope,
-                                       const std::string& display_name,
-                                       const std::vector<php::Argument>* arg_exprs) {
+                                       std::string_view display_name,
+                                       const ArenaVector<php::Argument>* arg_exprs) {
     if (call_depth_ >= options_.max_call_depth) {
         TaintValue out;
         for (const TaintValue& a : args) out.merge(a);
@@ -1347,8 +1382,11 @@ TaintValue Engine::apply_user_function(const php::FunctionRef& ref,
         const TaintValue& arg = args[psf.param];
         if (arg.tainted(psf.vuln) && psf.kinds.contains(psf.vuln)) {
             TaintValue value = arg;
-            value.add_step(loc, "passed to " + display_name + "() argument #" +
-                                    std::to_string(psf.param + 1));
+            std::string step = "passed to ";
+            step += display_name;
+            step += "() argument #";
+            step += std::to_string(psf.param + 1);
+            value.add_step(loc, std::move(step));
             value.add_step(psf.location, "reaches sink " + psf.sink_name);
             value.via_oop = value.via_oop || psf.via_oop;
             report(psf.vuln, psf.location, psf.sink_name, psf.variable, value);
@@ -1386,8 +1424,10 @@ TaintValue Engine::apply_user_function(const php::FunctionRef& ref,
             }
             written.param_flows.clear();
             if (written.tainted_any()) {
-                written.add_step(loc, "written back by " + display_name +
-                                          "() through by-ref parameter");
+                std::string step = "written back by ";
+                step += display_name;
+                step += "() through by-ref parameter";
+                written.add_step(loc, std::move(step));
                 assign_to(*argument.value, std::move(written), scope);
             }
         }
@@ -1395,8 +1435,12 @@ TaintValue Engine::apply_user_function(const php::FunctionRef& ref,
 
     // Return value: internal taint plus filtered per-parameter flows.
     TaintValue out = summary.return_base;
-    if (out.tainted_any())
-        out.add_step(loc, "returned from " + display_name + "()");
+    if (out.tainted_any()) {
+        std::string step = "returned from ";
+        step += display_name;
+        step += "()";
+        out.add_step(loc, std::move(step));
+    }
     for (const ParamFlow& pf : summary.param_to_return) {
         if (pf.param < 0 || static_cast<size_t>(pf.param) >= args.size()) continue;
         TaintValue filtered = args[pf.param];
@@ -1409,7 +1453,10 @@ TaintValue Engine::apply_user_function(const php::FunctionRef& ref,
             filtered.param_flows.end());
         if (filtered.active.any() || filtered.latent.any() ||
             !filtered.param_flows.empty()) {
-            filtered.add_step(loc, "through " + display_name + "()");
+            std::string step = "through ";
+            step += display_name;
+            step += "()";
+            filtered.add_step(loc, std::move(step));
             out.merge(filtered);
         }
     }
@@ -1475,8 +1522,11 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
         const php::Param& param = ref.decl->params[i];
         TaintValue v;
         v.add_param_flow(static_cast<int>(i), kBothVulns);
-        v.add_step({ref.file, ref.decl->line},
-                   "parameter " + param.name + " of " + ref.qualified_name());
+        std::string step = "parameter ";
+        step += param.name;
+        step += " of ";
+        step += ref.qualified_name();
+        v.add_step({std::string(ref.file), ref.decl->line}, std::move(step));
         if (!param.type_hint.empty() && options_.track_object_types)
             v.object_class = ascii_lower(param.type_hint);
         // First-call context (paper §III.C): the body is analyzed with the
@@ -1517,7 +1567,7 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
     return summary;
 }
 
-TaintValue Engine::lookup_var(const std::string& name, Scope& scope) {
+TaintValue Engine::lookup_var(std::string_view name, Scope& scope) {
     const Symbol name_sym = sym(name);
     const bool is_global_var =
         scope.is_global || scope.global_aliases.contains(name_sym);
@@ -1606,7 +1656,7 @@ TaintValue Engine::eval_include(const php::IncludeExpr& inc, Scope& scope) {
 // ---------------------------------------------------------------------------
 
 void Engine::check_sink(VulnSet sink_kinds, const TaintValue& value,
-                        SourceLocation loc, const std::string& sink_name,
+                        SourceLocation loc, std::string_view sink_name,
                         const std::string& variable, Scope& scope, bool via_oop) {
     ++stats_.sink_checks;
     ++obs::tls().sink_checks;
@@ -1635,7 +1685,7 @@ void Engine::check_sink(VulnSet sink_kinds, const TaintValue& value,
     }
 }
 
-void Engine::report(VulnKind kind, SourceLocation loc, const std::string& sink_name,
+void Engine::report(VulnKind kind, SourceLocation loc, std::string_view sink_name,
                     const std::string& variable, const TaintValue& value) {
     Finding f;
     f.kind = kind;
@@ -1647,7 +1697,9 @@ void Engine::report(VulnKind kind, SourceLocation loc, const std::string& sink_n
     // The COW trace is materialized into a flat vector only here, at the
     // moment a finding is actually reported.
     f.trace = value.trace.steps();
-    f.trace.push_back(TaintStep{f.location, "reaches sink " + sink_name});
+    std::string last = "reaches sink ";
+    last += sink_name;
+    f.trace.push_back(TaintStep{f.location, std::move(last)});
     if (kind == VulnKind::kSqli)
         ++obs::tls().findings_sqli;
     else

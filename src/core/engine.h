@@ -187,7 +187,7 @@ private:
     void finish_capture(const std::string& key, const FunctionSummary& summary);
 
     // -- statements ----------------------------------------------------------
-    void exec_stmts(const std::vector<php::StmtPtr>& stmts, Scope& scope);
+    void exec_stmts(const ArenaVector<php::StmtPtr>& stmts, Scope& scope);
     void exec_stmt(const php::Stmt& stmt, Scope& scope);
 
     // -- expressions ---------------------------------------------------------
@@ -204,17 +204,17 @@ private:
     void eval_closure_body(const php::Closure& closure, Scope& scope);
 
     // -- calls ---------------------------------------------------------------
-    std::vector<TaintValue> eval_args(const std::vector<php::Argument>& args,
+    std::vector<TaintValue> eval_args(const ArenaVector<php::Argument>& args,
                                       Scope& scope);
-    TaintValue apply_builtin(const FunctionInfo& info, const std::string& name,
-                             const std::vector<php::Argument>& arg_exprs,
+    TaintValue apply_builtin(const FunctionInfo& info, std::string_view name,
+                             const ArenaVector<php::Argument>& arg_exprs,
                              std::vector<TaintValue>& args, SourceLocation loc,
                              Scope& scope, bool via_oop);
     TaintValue apply_user_function(const php::FunctionRef& ref,
                                    const std::vector<TaintValue>& args,
                                    SourceLocation loc, Scope& scope,
-                                   const std::string& display_name,
-                                   const std::vector<php::Argument>* arg_exprs =
+                                   std::string_view display_name,
+                                   const ArenaVector<php::Argument>* arg_exprs =
                                        nullptr);
     /// Computes the function's summary on first use. When `first_call_args`
     /// is provided (a real call site), parameters carry the caller's actual
@@ -226,10 +226,20 @@ private:
                                const std::vector<TaintValue>* first_call_args = nullptr);
 
     /// Variable lookup honoring global scope (used by closure capture).
-    TaintValue lookup_var(const std::string& name, Scope& scope);
+    TaintValue lookup_var(std::string_view name, Scope& scope);
 
     /// Interns a (case-sensitive) variable or path name for this run.
     Symbol sym(std::string_view name) { return symbols_.intern(name); }
+
+    /// Interns the "$obj->prop" path slot for a property access without a
+    /// per-call allocation (the composite is built into a reused buffer).
+    Symbol path_sym(std::string_view base, std::string_view prop) {
+        path_buf_.clear();
+        path_buf_ += base;
+        path_buf_ += "->";
+        path_buf_ += prop;
+        return symbols_.intern(path_buf_);
+    }
 
     /// Resolves $a =& $b reference aliases to the canonical variable symbol.
     Symbol resolve_alias(Symbol name, const Scope& scope) const;
@@ -237,15 +247,15 @@ private:
     // -- lvalues / stores ------------------------------------------------------
     void assign_to(const php::Expr& target, TaintValue value, Scope& scope,
                    bool weak = false);
-    TaintValue read_global(const std::string& name, SourceLocation loc);
-    TaintValue& global_slot(const std::string& name);
+    TaintValue read_global(std::string_view name, SourceLocation loc);
+    TaintValue& global_slot(std::string_view name);
     TaintValue& global_slot(Symbol name);
 
     // -- sinks / findings -----------------------------------------------------
     void check_sink(VulnSet sink_kinds, const TaintValue& value,
-                    SourceLocation loc, const std::string& sink_name,
+                    SourceLocation loc, std::string_view sink_name,
                     const std::string& variable, Scope& scope, bool via_oop);
-    void report(VulnKind kind, SourceLocation loc, const std::string& sink_name,
+    void report(VulnKind kind, SourceLocation loc, std::string_view sink_name,
                 const std::string& variable, const TaintValue& value);
 
     SourceLocation loc_of(const php::Node& node, const Scope& scope) const {
@@ -260,7 +270,8 @@ private:
     // -- per-run state -----------------------------------------------------------
     const php::Project* project_ = nullptr;
     SymbolTable symbols_;
-    Symbol this_sym_;  ///< interned "$this" (re-interned per run)
+    Symbol this_sym_;     ///< interned "$this" (re-interned per run)
+    std::string path_buf_;  ///< scratch for path_sym() composite keys
     DiagnosticSink diagnostics_;
     std::vector<Finding> findings_;
     Scope globals_;

@@ -54,7 +54,7 @@ void TaintValue::add_step(SourceLocation loc, std::string description) {
 }
 
 void TaintValue::apply_sanitizer(VulnSet kinds, SourceLocation loc,
-                                 const std::string& fn) {
+                                 std::string_view fn) {
     const VulnSet removed = active & kinds;
     active -= kinds;
     latent |= removed;
@@ -62,20 +62,32 @@ void TaintValue::apply_sanitizer(VulnSet kinds, SourceLocation loc,
     param_flows.erase(std::remove_if(param_flows.begin(), param_flows.end(),
                                      [](const ParamFlow& pf) { return pf.kinds.empty(); }),
                       param_flows.end());
-    if (removed.any() || depends_on_params())
-        add_step(loc, "sanitized by " + fn + " (" + to_string(kinds) + ")");
+    if (removed.any() || depends_on_params()) {
+        std::string step = "sanitized by ";
+        step += fn;
+        step += " (";
+        step += to_string(kinds);
+        step += ')';
+        add_step(loc, std::move(step));
+    }
 }
 
 void TaintValue::apply_revert(VulnSet kinds, SourceLocation loc,
-                              const std::string& fn) {
+                              std::string_view fn) {
     const VulnSet revived = latent & kinds;
     active |= revived;
     latent -= revived;
     // Parameter flows: a revert can undo a sanitizer applied before the call
     // boundary, so conservatively restore those kinds on all flows.
     for (ParamFlow& pf : param_flows) pf.kinds |= kinds;
-    if (revived.any() || depends_on_params())
-        add_step(loc, "sanitization reverted by " + fn + " (" + to_string(kinds) + ")");
+    if (revived.any() || depends_on_params()) {
+        std::string step = "sanitization reverted by ";
+        step += fn;
+        step += " (";
+        step += to_string(kinds);
+        step += ')';
+        add_step(loc, std::move(step));
+    }
 }
 
 void TaintValue::add_param_flow(int param, VulnSet kinds) {

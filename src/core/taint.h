@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/knowledge.h"
@@ -92,11 +93,11 @@ public:
 
     /// Applies a sanitizer: `kinds` move from active to latent; parameter
     /// flows lose those kinds.
-    void apply_sanitizer(VulnSet kinds, SourceLocation loc, const std::string& fn);
+    void apply_sanitizer(VulnSet kinds, SourceLocation loc, std::string_view fn);
 
     /// Applies a revert function: latent kinds in `kinds` become active
     /// again; parameter flows conservatively regain them.
-    void apply_revert(VulnSet kinds, SourceLocation loc, const std::string& fn);
+    void apply_revert(VulnSet kinds, SourceLocation loc, std::string_view fn);
 
     /// Adds/unions a parameter dependency.
     void add_param_flow(int param, VulnSet kinds);

@@ -159,7 +159,7 @@ ExecResult Interpreter::run_file(const std::string& file_name) {
 // Statements
 // ---------------------------------------------------------------------------
 
-Interpreter::Flow Interpreter::exec_stmts(const std::vector<php::StmtPtr>& stmts,
+Interpreter::Flow Interpreter::exec_stmts(const ArenaVector<php::StmtPtr>& stmts,
                                           Frame& frame) {
     for (const php::StmtPtr& stmt : stmts) {
         if (!stmt) continue;
@@ -292,7 +292,8 @@ Interpreter::Flow Interpreter::exec_stmt(const php::Stmt& stmt, Frame& frame) {
         }
         case NodeKind::kGlobalStmt: {
             const auto& n = static_cast<const php::GlobalStmt&>(stmt);
-            for (const std::string& name : n.names) frame.global_aliases.insert(name);
+            for (const std::string_view name : n.names)
+                frame.global_aliases.emplace(name);
             return Flow::kNormal;
         }
         case NodeKind::kStaticVarStmt: {
@@ -302,14 +303,15 @@ Interpreter::Flow Interpreter::exec_stmt(const php::Stmt& stmt, Frame& frame) {
             // the next call (value-copy approximation refreshed per call).
             const auto& n = static_cast<const php::StaticVarStmt&>(stmt);
             for (const auto& [name, init] : n.vars) {
-                const auto key = std::make_pair(static_cast<const void*>(&stmt), name);
+                const auto key =
+                    std::make_pair(static_cast<const void*>(&stmt), std::string(name));
                 auto slot = static_slots_.find(key);
                 if (slot == static_slots_.end()) {
                     Value initial = init ? eval(*init, frame) : Value();
                     slot = static_slots_.emplace(key, std::move(initial)).first;
                 }
-                frame.vars[name] = slot->second;
-                frame.static_bindings[name] = &slot->second;
+                frame.vars[std::string(name)] = slot->second;
+                frame.static_bindings[std::string(name)] = &slot->second;
             }
             return Flow::kNormal;
         }
@@ -318,9 +320,12 @@ Interpreter::Flow Interpreter::exec_stmt(const php::Stmt& stmt, Frame& frame) {
             for (const php::ExprPtr& var : n.vars) {
                 if (var && var->kind == NodeKind::kVariable) {
                     const auto& v = static_cast<const php::Variable&>(*var);
-                    frame.vars.erase(v.name);
-                    if (frame.is_global || frame.global_aliases.count(v.name))
-                        globals_.vars.erase(v.name);
+                    const auto vit = frame.vars.find(v.name);
+                    if (vit != frame.vars.end()) frame.vars.erase(vit);
+                    if (frame.is_global || frame.global_aliases.count(v.name)) {
+                        const auto git = globals_.vars.find(v.name);
+                        if (git != globals_.vars.end()) globals_.vars.erase(git);
+                    }
                 }
             }
             return Flow::kNormal;
@@ -357,11 +362,14 @@ Value Interpreter::eval(const php::Expr& expr, Frame& frame) {
         case NodeKind::kLiteral: {
             const auto& n = static_cast<const php::Literal&>(expr);
             switch (n.type) {
-                case php::Literal::Type::kString: return Value::string(n.value);
+                case php::Literal::Type::kString:
+                    return Value::string(std::string(n.value));
                 case php::Literal::Type::kInt:
-                    return Value::integer(std::strtol(n.value.c_str(), nullptr, 0));
+                    return Value::integer(
+                        std::strtol(std::string(n.value).c_str(), nullptr, 0));
                 case php::Literal::Type::kFloat:
-                    return Value::real(std::strtod(n.value.c_str(), nullptr));
+                    return Value::real(
+                        std::strtod(std::string(n.value).c_str(), nullptr));
                 case php::Literal::Type::kBool:
                     return Value::boolean(n.value == "true");
                 case php::Literal::Type::kNull: return Value();
@@ -421,8 +429,11 @@ Value Interpreter::eval(const php::Expr& expr, Frame& frame) {
         }
         case NodeKind::kStaticPropertyAccess: {
             const auto& n = static_cast<const php::StaticPropertyAccess&>(expr);
-            const auto it = globals_.vars.find("::" + ascii_lower(n.class_name) +
-                                               "::$" + n.property);
+            std::string skey = "::";
+            skey += ascii_lower(n.class_name);
+            skey += "::$";
+            skey += n.property;
+            const auto it = globals_.vars.find(skey);
             return it != globals_.vars.end() ? it->second : Value();
         }
         case NodeKind::kClassConstAccess:
@@ -537,7 +548,8 @@ Value Interpreter::eval(const php::Expr& expr, Frame& frame) {
             c.object_data()->closure_node = &n;
             for (const auto& [name, by_ref] : n.uses) {
                 Value* slot = lvalue_variable(name, frame);
-                c.object_data()->properties[name] = slot ? *slot : Value();
+                c.object_data()->properties[std::string(name)] =
+                    slot ? *slot : Value();
             }
             return c;
         }
@@ -606,10 +618,12 @@ Value Interpreter::eval_variable(const php::Variable& var, Frame& frame) {
     return it != target.vars.end() ? it->second : Value();
 }
 
-Value* Interpreter::lvalue_variable(const std::string& name, Frame& frame) {
+Value* Interpreter::lvalue_variable(std::string_view name, Frame& frame) {
     Frame& target =
         frame.is_global || frame.global_aliases.count(name) ? globals_ : frame;
-    return &target.vars[name];
+    const auto it = target.vars.find(name);
+    if (it != target.vars.end()) return &it->second;
+    return &target.vars.emplace(std::string(name), Value()).first->second;
 }
 
 void Interpreter::assign_to(const php::Expr& target, Value value, Frame& frame) {
@@ -638,14 +652,18 @@ void Interpreter::assign_to(const php::Expr& target, Value value, Frame& frame) 
             if (!access.object || access.property.empty()) return;
             const Value object = eval(*access.object, frame);
             if (object.is_object())
-                object.object_data()->properties[access.property] = std::move(value);
+                object.object_data()->properties[std::string(access.property)] =
+                    std::move(value);
             return;
         }
         case NodeKind::kStaticPropertyAccess: {
             const auto& access =
                 static_cast<const php::StaticPropertyAccess&>(target);
-            globals_.vars["::" + ascii_lower(access.class_name) + "::$" +
-                          access.property] = std::move(value);
+            std::string skey = "::";
+            skey += ascii_lower(access.class_name);
+            skey += "::$";
+            skey += access.property;
+            globals_.vars[std::move(skey)] = std::move(value);
             return;
         }
         case NodeKind::kListExpr: {
@@ -755,9 +773,9 @@ Value Interpreter::call_user_function(const php::FunctionRef& ref,
     for (size_t i = 0; i < ref.decl->params.size(); ++i) {
         const php::Param& param = ref.decl->params[i];
         if (i < args.size())
-            frame.vars[param.name] = args[i];
+            frame.vars[std::string(param.name)] = args[i];
         else if (param.default_value)
-            frame.vars[param.name] = eval(*param.default_value, frame);
+            frame.vars[std::string(param.name)] = eval(*param.default_value, frame);
     }
     return_value_ = Value();
     const Flow flow = exec_stmts(ref.decl->body, frame);
@@ -799,7 +817,7 @@ Value Interpreter::eval_call(const php::FunctionCall& call, Frame& frame) {
             for (const auto& [name, value] : callee.object_data()->properties)
                 body.vars[name] = value;
             for (size_t i = 0; i < closure->params.size() && i < args.size(); ++i)
-                body.vars[closure->params[i].name] = args[i];
+                body.vars[std::string(closure->params[i].name)] = args[i];
             return_value_ = Value();
             const Flow flow = exec_stmts(closure->body, body);
             --call_depth_;
@@ -875,7 +893,7 @@ Value Interpreter::eval_new(const php::New& expr, Frame& frame) {
     // directly or through a cycle) would recurse forever; skip it.
     if (decl && constructing_classes_.insert(cls).second) {
         for (const php::PropertyDecl& prop : decl->properties)
-            object.object_data()->properties[prop.name] =
+            object.object_data()->properties[std::string(prop.name)] =
                 prop.default_value ? eval(*prop.default_value, frame) : Value();
         std::vector<Value> args;
         for (const php::Argument& a : expr.args)

@@ -17,6 +17,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dynamic/value.h"
@@ -64,10 +65,12 @@ public:
 
 private:
     struct Frame {
-        std::map<std::string, Value> vars;
-        std::set<std::string> global_aliases;
+        // Transparent comparators: AST names are string_views into the
+        // parsed file's arena; lookups must not allocate a key temporary.
+        std::map<std::string, Value, std::less<>> vars;
+        std::set<std::string, std::less<>> global_aliases;
         /// `static $x` declarations seen in this frame → persistent slot.
-        std::map<std::string, Value*> static_bindings;
+        std::map<std::string, Value*, std::less<>> static_bindings;
         /// Values produced by `yield` in this frame (generator semantics:
         /// the call returns the collected values as an array).
         std::vector<Value> yielded;
@@ -79,7 +82,7 @@ private:
     enum class Flow { kNormal, kBreak, kContinue, kReturn, kExit };
 
     // Statements.
-    Flow exec_stmts(const std::vector<php::StmtPtr>& stmts, Frame& frame);
+    Flow exec_stmts(const ArenaVector<php::StmtPtr>& stmts, Frame& frame);
     Flow exec_stmt(const php::Stmt& stmt, Frame& frame);
 
     // Expressions.
@@ -92,7 +95,7 @@ private:
     Value eval_binary(const php::Binary& bin, Frame& frame);
     Value eval_assign(const php::Assign& assign, Frame& frame);
     void assign_to(const php::Expr& target, Value value, Frame& frame);
-    Value* lvalue_variable(const std::string& name, Frame& frame);
+    Value* lvalue_variable(std::string_view name, Frame& frame);
 
     // Calls.
     Value call_user_function(const php::FunctionRef& ref,
@@ -106,14 +109,14 @@ private:
     Value make_db_row();
 
     bool step();  ///< consumes budget; false when exhausted
-    void emit(const std::string& text) { result_.output += text; }
+    void emit(std::string_view text) { result_.output += text; }
 
     const php::Project& project_;
     ExecOptions options_;
     ExecResult result_;
     Frame globals_;
-    std::map<std::string, Value> superglobals_;
-    std::map<std::string, std::string> superglobal_defaults_;
+    std::map<std::string, Value, std::less<>> superglobals_;
+    std::map<std::string, std::string, std::less<>> superglobal_defaults_;
     std::string db_cell_ = "db-value";
     int db_rows_ = 2;
     std::string file_contents_ = "file-contents";

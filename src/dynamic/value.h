@@ -24,7 +24,7 @@ struct ArrayData {
 
 struct ObjectData {
     std::string class_name;  ///< lowercased
-    std::map<std::string, Value> properties;
+    std::map<std::string, Value, std::less<>> properties;
     /// Internal cursor for result-set stub objects (mysql result handles).
     size_t cursor = 0;
     /// Set for closure values ("__closure" objects): the AST node to run.

@@ -45,7 +45,16 @@ namespace phpsafe::obs {
     X(cache_invalidations, "cached summaries rejected: a dependency changed")  \
     X(cache_bytes_inserted, "bytes admitted into the cache pools")             \
     X(cache_bytes_evicted, "bytes released by eviction (resident = inserted "  \
-                           "minus evicted)")
+                           "minus evicted)")                                    \
+    X(cache_bytes_parsed, "bytes charged for parsed-file entries "              \
+                          "(arena bytes + retained source text)")               \
+    X(alloc_arena_bytes, "bytes handed out by per-file AST arenas")             \
+    X(alloc_arena_blocks, "heap blocks backing AST arenas (the model's "        \
+                          "entire malloc traffic)")                             \
+    X(alloc_string_bytes, "string bytes copied into arenas (decoded escapes, "  \
+                          "folded keywords, synthesized names)")                \
+    X(alloc_string_bytes_saved, "string bytes served zero-copy as views into "  \
+                                "the retained source text")
 
 /// One block of stage counters. Plain additive uint64 fields only, so the
 /// struct is trivially copyable and two blocks compare/merge field-wise.

@@ -141,7 +141,7 @@ void dump_child(const Node* node, std::ostringstream& os) {
     else os << "<null>";
 }
 
-void dump_args(const std::vector<Argument>& args, std::ostringstream& os) {
+void dump_args(const ArenaVector<Argument>& args, std::ostringstream& os) {
     for (const Argument& a : args) {
         os << ' ';
         if (a.by_ref) os << '&';
@@ -150,7 +150,7 @@ void dump_args(const std::vector<Argument>& args, std::ostringstream& os) {
     }
 }
 
-void dump_stmts(const std::vector<StmtPtr>& stmts, std::ostringstream& os) {
+void dump_stmts(const ArenaVector<StmtPtr>& stmts, std::ostringstream& os) {
     for (const StmtPtr& s : stmts) {
         os << ' ';
         dump_node(*s, os);
@@ -241,25 +241,25 @@ void dump_node(const Node& node, std::ostringstream& os) {
         case NodeKind::kAssign: {
             const auto& n = static_cast<const Assign&>(node);
             os << '(' << to_string(n.op) << (n.by_ref ? "& " : " ");
-            dump_child(n.target.get(), os);
+            dump_child(n.target, os);
             os << ' ';
-            dump_child(n.value.get(), os);
+            dump_child(n.value, os);
             os << ')';
             return;
         }
         case NodeKind::kBinary: {
             const auto& n = static_cast<const Binary&>(node);
             os << '(' << to_string(n.op) << ' ';
-            dump_child(n.lhs.get(), os);
+            dump_child(n.lhs, os);
             os << ' ';
-            dump_child(n.rhs.get(), os);
+            dump_child(n.rhs, os);
             os << ')';
             return;
         }
         case NodeKind::kUnary: {
             const auto& n = static_cast<const Unary&>(node);
             os << '(' << to_string(n.op) << ' ';
-            dump_child(n.operand.get(), os);
+            dump_child(n.operand, os);
             os << ')';
             return;
         }
@@ -273,12 +273,12 @@ void dump_node(const Node& node, std::ostringstream& os) {
         case NodeKind::kTernary: {
             const auto& n = static_cast<const Ternary&>(node);
             os << "(?: ";
-            dump_child(n.cond.get(), os);
+            dump_child(n.cond, os);
             os << ' ';
             if (n.then_expr) dump_node(*n.then_expr, os);
             else os << "<elvis>";
             os << ' ';
-            dump_child(n.else_expr.get(), os);
+            dump_child(n.else_expr, os);
             os << ')';
             return;
         }
@@ -488,7 +488,7 @@ void dump_node(const Node& node, std::ostringstream& os) {
         case NodeKind::kGlobalStmt: {
             const auto& n = static_cast<const GlobalStmt&>(node);
             os << "(global";
-            for (const std::string& name : n.names) os << ' ' << name;
+            for (const std::string_view name : n.names) os << ' ' << name;
             os << ')';
             return;
         }
@@ -600,11 +600,16 @@ std::string dump(const Node& node) {
 std::string to_php_source(const Expr& expr) {
     switch (expr.kind) {
         case NodeKind::kVariable:
-            return static_cast<const Variable&>(expr).name;
+            return std::string(static_cast<const Variable&>(expr).name);
         case NodeKind::kLiteral: {
             const auto& n = static_cast<const Literal&>(expr);
-            if (n.type == Literal::Type::kString) return "'" + n.value + "'";
-            return n.value;
+            if (n.type == Literal::Type::kString) {
+                std::string s = "'";
+                s += n.value;
+                s += '\'';
+                return s;
+            }
+            return std::string(n.value);
         }
         case NodeKind::kArrayAccess: {
             const auto& n = static_cast<const ArrayAccess&>(expr);
@@ -616,16 +621,21 @@ std::string to_php_source(const Expr& expr) {
         }
         case NodeKind::kPropertyAccess: {
             const auto& n = static_cast<const PropertyAccess&>(expr);
-            return to_php_source(*n.object) + "->" +
-                   (n.property.empty() ? "{...}" : n.property);
+            std::string s = to_php_source(*n.object);
+            s += "->";
+            s += n.property.empty() ? std::string_view("{...}") : n.property;
+            return s;
         }
         case NodeKind::kStaticPropertyAccess: {
             const auto& n = static_cast<const StaticPropertyAccess&>(expr);
-            return n.class_name + "::$" + n.property;
+            std::string s(n.class_name);
+            s += "::$";
+            s += n.property;
+            return s;
         }
         case NodeKind::kFunctionCall: {
             const auto& n = static_cast<const FunctionCall&>(expr);
-            std::string s = n.name.empty() ? std::string("{expr}") : n.name;
+            std::string s(n.name.empty() ? std::string_view("{expr}") : n.name);
             s += "(";
             for (size_t i = 0; i < n.args.size(); ++i) {
                 if (i) s += ", ";
@@ -636,8 +646,10 @@ std::string to_php_source(const Expr& expr) {
         }
         case NodeKind::kMethodCall: {
             const auto& n = static_cast<const MethodCall&>(expr);
-            std::string s = to_php_source(*n.object) + "->" +
-                            (n.method.empty() ? "{...}" : n.method) + "(";
+            std::string s = to_php_source(*n.object);
+            s += "->";
+            s += n.method.empty() ? std::string_view("{...}") : n.method;
+            s += "(";
             for (size_t i = 0; i < n.args.size(); ++i) {
                 if (i) s += ", ";
                 s += to_php_source(*n.args[i].value);
@@ -647,7 +659,10 @@ std::string to_php_source(const Expr& expr) {
         }
         case NodeKind::kStaticCall: {
             const auto& n = static_cast<const StaticCall&>(expr);
-            std::string s = n.class_name + "::" + n.method + "(";
+            std::string s(n.class_name);
+            s += "::";
+            s += n.method;
+            s += "(";
             for (size_t i = 0; i < n.args.size(); ++i) {
                 if (i) s += ", ";
                 s += to_php_source(*n.args[i].value);
@@ -674,11 +689,17 @@ std::string to_php_source(const Expr& expr) {
         }
         case NodeKind::kCast: {
             const auto& n = static_cast<const Cast&>(expr);
-            return "(" + n.type + ") " + to_php_source(*n.operand);
+            std::string s = "(";
+            s += n.type;
+            s += ") ";
+            s += to_php_source(*n.operand);
+            return s;
         }
         case NodeKind::kNew: {
             const auto& n = static_cast<const New&>(expr);
-            return "new " + (n.class_name.empty() ? std::string("{expr}") : n.class_name);
+            std::string s = "new ";
+            s += n.class_name.empty() ? std::string_view("{expr}") : n.class_name;
+            return s;
         }
         default:
             return dump(expr);

@@ -2,14 +2,26 @@
 // object-oriented constructs (classes, properties, methods, static calls,
 // `new`, `$this`). The taint engine consumes this model; the paper builds
 // the same model on top of token_get_all (model-construction stage).
+//
+// Allocation model: every node lives in the per-file Arena owned by its
+// ParsedFile (util/arena.h). Child links (`ExprPtr`/`StmtPtr`) are raw
+// non-owning pointers into the same arena, all identifier-like fields are
+// string_views into either the retained source text or the arena, and the
+// child lists themselves are ArenaVectors whose buffers live in the same
+// arena — nothing in the tree owns heap memory. Consumers may hold node
+// pointers and string_views only while the owning ParsedFile is alive;
+// anything that outlives the file (findings, summaries, cache keys) must
+// copy.
 #pragma once
 
-#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/counters.h"
+#include "util/arena.h"
 #include "util/source.h"
 
 namespace phpsafe::php {
@@ -32,9 +44,11 @@ enum class NodeKind {
 
 const char* to_string(NodeKind kind);
 
+/// Base of every AST node. Not polymorphic: dispatch is by `kind`, and the
+/// owning Arena destroys each node through its exact type, so no vtable is
+/// needed — which keeps most leaf nodes trivially destructible.
 struct Node {
     explicit Node(NodeKind k) : kind(k) { ++obs::tls().ast_nodes; }
-    virtual ~Node() = default;
     Node(const Node&) = delete;
     Node& operator=(const Node&) = delete;
 
@@ -49,8 +63,9 @@ struct Stmt : Node {
     using Node::Node;
 };
 
-using ExprPtr = std::unique_ptr<Expr>;
-using StmtPtr = std::unique_ptr<Stmt>;
+/// Raw non-owning pointers into the ParsedFile's arena.
+using ExprPtr = Expr*;
+using StmtPtr = Stmt*;
 
 // ---------------------------------------------------------------------------
 // Expressions
@@ -60,78 +75,78 @@ struct Literal final : Expr {
     enum class Type { kString, kInt, kFloat, kBool, kNull };
     Literal() : Expr(NodeKind::kLiteral) {}
     Type type = Type::kString;
-    std::string value;  ///< decoded string / number text / "true"/"false"
+    std::string_view value;  ///< decoded string / number text / "true"/"false"
 };
 
 /// "text $a more {$b->c}" — concatenation of literal and expression parts.
 struct InterpString final : Expr {
     InterpString() : Expr(NodeKind::kInterpString) {}
-    std::vector<ExprPtr> parts;  ///< Literal or arbitrary expression nodes
+    ArenaVector<ExprPtr> parts;  ///< Literal or arbitrary expression nodes
 };
 
 struct Variable final : Expr {
     Variable() : Expr(NodeKind::kVariable) {}
-    std::string name;  ///< includes the '$', e.g. "$_GET", "$this"
+    std::string_view name;  ///< includes the '$', e.g. "$_GET", "$this"
 };
 
 struct ArrayAccess final : Expr {
     ArrayAccess() : Expr(NodeKind::kArrayAccess) {}
-    ExprPtr base;
-    ExprPtr index;  ///< null for "$a[] = ..." push syntax
+    ExprPtr base = nullptr;
+    ExprPtr index = nullptr;  ///< null for "$a[] = ..." push syntax
 };
 
 struct PropertyAccess final : Expr {
     PropertyAccess() : Expr(NodeKind::kPropertyAccess) {}
-    ExprPtr object;
-    std::string property;  ///< empty if dynamic ({$expr} / $$var)
-    ExprPtr property_expr; ///< set when dynamic
+    ExprPtr object = nullptr;
+    std::string_view property;       ///< empty if dynamic ({$expr} / $$var)
+    ExprPtr property_expr = nullptr; ///< set when dynamic
 };
 
 struct StaticPropertyAccess final : Expr {
     StaticPropertyAccess() : Expr(NodeKind::kStaticPropertyAccess) {}
-    std::string class_name;  ///< "self"/"static"/"parent" preserved verbatim
-    std::string property;    ///< without '$'
+    std::string_view class_name;  ///< "self"/"static"/"parent" verbatim
+    std::string_view property;    ///< without '$'
 };
 
 struct ClassConstAccess final : Expr {
     ClassConstAccess() : Expr(NodeKind::kClassConstAccess) {}
-    std::string class_name;
-    std::string constant;
+    std::string_view class_name;
+    std::string_view constant;
 };
 
 struct Argument {
-    ExprPtr value;
+    ExprPtr value = nullptr;
     bool by_ref = false;
     bool spread = false;
 };
 
 struct FunctionCall final : Expr {
     FunctionCall() : Expr(NodeKind::kFunctionCall) {}
-    std::string name;   ///< empty when called through an expression
-    ExprPtr callee;     ///< e.g. $fn(...) — set when name is empty
-    std::vector<Argument> args;
+    std::string_view name;    ///< empty when called through an expression
+    ExprPtr callee = nullptr; ///< e.g. $fn(...) — set when name is empty
+    ArenaVector<Argument> args;
 };
 
 struct MethodCall final : Expr {
     MethodCall() : Expr(NodeKind::kMethodCall) {}
-    ExprPtr object;
-    std::string method;     ///< empty if dynamic
-    ExprPtr method_expr;    ///< set when dynamic
-    std::vector<Argument> args;
+    ExprPtr object = nullptr;
+    std::string_view method;        ///< empty if dynamic
+    ExprPtr method_expr = nullptr;  ///< set when dynamic
+    ArenaVector<Argument> args;
 };
 
 struct StaticCall final : Expr {
     StaticCall() : Expr(NodeKind::kStaticCall) {}
-    std::string class_name;  ///< "self"/"static"/"parent" preserved verbatim
-    std::string method;
-    std::vector<Argument> args;
+    std::string_view class_name;  ///< "self"/"static"/"parent" verbatim
+    std::string_view method;
+    ArenaVector<Argument> args;
 };
 
 struct New final : Expr {
     New() : Expr(NodeKind::kNew) {}
-    std::string class_name;  ///< empty when dynamic (new $cls)
-    ExprPtr class_expr;
-    std::vector<Argument> args;
+    std::string_view class_name;  ///< empty when dynamic (new $cls)
+    ExprPtr class_expr = nullptr;
+    ArenaVector<Argument> args;
 };
 
 enum class AssignOp {
@@ -142,8 +157,8 @@ const char* to_string(AssignOp op);
 
 struct Assign final : Expr {
     Assign() : Expr(NodeKind::kAssign) {}
-    ExprPtr target;
-    ExprPtr value;
+    ExprPtr target = nullptr;
+    ExprPtr value = nullptr;
     AssignOp op = AssignOp::kAssign;
     bool by_ref = false;  ///< $a =& $b
 };
@@ -158,8 +173,8 @@ const char* to_string(BinaryOp op);
 struct Binary final : Expr {
     Binary() : Expr(NodeKind::kBinary) {}
     BinaryOp op = BinaryOp::kConcat;
-    ExprPtr lhs;
-    ExprPtr rhs;
+    ExprPtr lhs = nullptr;
+    ExprPtr rhs = nullptr;
 };
 
 enum class UnaryOp { kNot, kMinus, kPlus, kBitNot, kSuppress /* @ */ };
@@ -168,64 +183,64 @@ const char* to_string(UnaryOp op);
 struct Unary final : Expr {
     Unary() : Expr(NodeKind::kUnary) {}
     UnaryOp op = UnaryOp::kNot;
-    ExprPtr operand;
+    ExprPtr operand = nullptr;
 };
 
 struct Cast final : Expr {
     Cast() : Expr(NodeKind::kCast) {}
-    std::string type;  ///< lowercase: "int", "string", ...
-    ExprPtr operand;
+    std::string_view type;  ///< lowercase: "int", "string", ...
+    ExprPtr operand = nullptr;
 };
 
 struct Ternary final : Expr {
     Ternary() : Expr(NodeKind::kTernary) {}
-    ExprPtr cond;
-    ExprPtr then_expr;  ///< null for the short form `?:`
-    ExprPtr else_expr;
+    ExprPtr cond = nullptr;
+    ExprPtr then_expr = nullptr;  ///< null for the short form `?:`
+    ExprPtr else_expr = nullptr;
 };
 
 struct ArrayItem {
-    ExprPtr key;    ///< may be null
-    ExprPtr value;
+    ExprPtr key = nullptr;    ///< may be null
+    ExprPtr value = nullptr;
     bool by_ref = false;
     bool spread = false;
 };
 
 struct ArrayLiteral final : Expr {
     ArrayLiteral() : Expr(NodeKind::kArrayLiteral) {}
-    std::vector<ArrayItem> items;
+    ArenaVector<ArrayItem> items;
 };
 
 struct IssetExpr final : Expr {
     IssetExpr() : Expr(NodeKind::kIssetExpr) {}
-    std::vector<ExprPtr> vars;
+    ArenaVector<ExprPtr> vars;
 };
 
 struct EmptyExpr final : Expr {
     EmptyExpr() : Expr(NodeKind::kEmptyExpr) {}
-    ExprPtr operand;
+    ExprPtr operand = nullptr;
 };
 
 struct IncDec final : Expr {
     IncDec() : Expr(NodeKind::kIncDec) {}
     bool increment = true;
     bool prefix = false;
-    ExprPtr operand;
+    ExprPtr operand = nullptr;
 };
 
 struct Param {
-    std::string name;      ///< with '$'
-    std::string type_hint; ///< "" if none; class name or scalar hint
-    ExprPtr default_value; ///< may be null
+    std::string_view name;      ///< with '$'
+    std::string_view type_hint; ///< "" if none; class name or scalar hint
+    ExprPtr default_value = nullptr; ///< may be null
     bool by_ref = false;
     bool variadic = false;
 };
 
 struct Closure final : Expr {
     Closure() : Expr(NodeKind::kClosure) {}
-    std::vector<Param> params;
-    std::vector<std::pair<std::string, bool>> uses;  ///< (name, by_ref)
-    std::vector<StmtPtr> body;
+    ArenaVector<Param> params;
+    ArenaVector<std::pair<std::string_view, bool>> uses;  ///< (name, by_ref)
+    ArenaVector<StmtPtr> body;
     bool is_arrow = false;  ///< fn() => expr (body holds a single return)
 };
 
@@ -235,28 +250,28 @@ const char* to_string(IncludeKind kind);
 struct IncludeExpr final : Expr {
     IncludeExpr() : Expr(NodeKind::kIncludeExpr) {}
     IncludeKind include_kind = IncludeKind::kInclude;
-    ExprPtr path;
+    ExprPtr path = nullptr;
 };
 
 struct ListExpr final : Expr {
     ListExpr() : Expr(NodeKind::kListExpr) {}
-    std::vector<ExprPtr> elements;  ///< entries may be null (skipped slots)
+    ArenaVector<ExprPtr> elements;  ///< entries may be null (skipped slots)
 };
 
 struct InstanceOf final : Expr {
     InstanceOf() : Expr(NodeKind::kInstanceOf) {}
-    ExprPtr object;
-    std::string class_name;
+    ExprPtr object = nullptr;
+    std::string_view class_name;
 };
 
 struct PrintExpr final : Expr {
     PrintExpr() : Expr(NodeKind::kPrintExpr) {}
-    ExprPtr operand;
+    ExprPtr operand = nullptr;
 };
 
 struct ExitExpr final : Expr {
     ExitExpr() : Expr(NodeKind::kExitExpr) {}
-    ExprPtr operand;  ///< may be null; `die($msg)` outputs $msg (XSS sink)
+    ExprPtr operand = nullptr;  ///< may be null; `die($msg)` outputs $msg
 };
 
 // ---------------------------------------------------------------------------
@@ -265,65 +280,65 @@ struct ExitExpr final : Expr {
 
 struct ExprStmt final : Stmt {
     ExprStmt() : Stmt(NodeKind::kExprStmt) {}
-    ExprPtr expr;
+    ExprPtr expr = nullptr;
 };
 
 struct EchoStmt final : Stmt {
     EchoStmt() : Stmt(NodeKind::kEchoStmt) {}
-    std::vector<ExprPtr> args;
+    ArenaVector<ExprPtr> args;
     bool from_open_tag = false;  ///< came from `<?= ... ?>`
 };
 
 struct Block final : Stmt {
     Block() : Stmt(NodeKind::kBlock) {}
-    std::vector<StmtPtr> statements;
+    ArenaVector<StmtPtr> statements;
 };
 
 struct IfStmt final : Stmt {
     IfStmt() : Stmt(NodeKind::kIfStmt) {}
-    ExprPtr cond;
-    StmtPtr then_branch;
-    StmtPtr else_branch;  ///< may be another IfStmt (elseif) or null
+    ExprPtr cond = nullptr;
+    StmtPtr then_branch = nullptr;
+    StmtPtr else_branch = nullptr;  ///< may be another IfStmt (elseif) or null
 };
 
 struct WhileStmt final : Stmt {
     WhileStmt() : Stmt(NodeKind::kWhileStmt) {}
-    ExprPtr cond;
-    StmtPtr body;
+    ExprPtr cond = nullptr;
+    StmtPtr body = nullptr;
 };
 
 struct DoWhileStmt final : Stmt {
     DoWhileStmt() : Stmt(NodeKind::kDoWhileStmt) {}
-    StmtPtr body;
-    ExprPtr cond;
+    StmtPtr body = nullptr;
+    ExprPtr cond = nullptr;
 };
 
 struct ForStmt final : Stmt {
     ForStmt() : Stmt(NodeKind::kForStmt) {}
-    std::vector<ExprPtr> init;
-    std::vector<ExprPtr> cond;
-    std::vector<ExprPtr> update;
-    StmtPtr body;
+    ArenaVector<ExprPtr> init;
+    ArenaVector<ExprPtr> cond;
+    ArenaVector<ExprPtr> update;
+    StmtPtr body = nullptr;
 };
 
 struct ForeachStmt final : Stmt {
     ForeachStmt() : Stmt(NodeKind::kForeachStmt) {}
-    ExprPtr iterable;
-    ExprPtr key_var;    ///< may be null
-    ExprPtr value_var;  ///< Variable / PropertyAccess / ListExpr
+    ExprPtr iterable = nullptr;
+    ExprPtr key_var = nullptr;    ///< may be null
+    ExprPtr value_var = nullptr;  ///< Variable / PropertyAccess / ListExpr
     bool by_ref = false;
-    StmtPtr body;
+    StmtPtr body = nullptr;
 };
 
 struct SwitchCase {
-    ExprPtr match;  ///< null for `default:`
-    std::vector<StmtPtr> body;
+    ExprPtr match = nullptr;  ///< null for `default:`
+    ArenaVector<StmtPtr> body;
 };
 
 struct SwitchStmt final : Stmt {
     SwitchStmt() : Stmt(NodeKind::kSwitchStmt) {}
-    ExprPtr subject;
-    std::vector<SwitchCase> cases;
+    ExprPtr subject = nullptr;
+    ArenaVector<SwitchCase> cases;
 };
 
 struct BreakStmt final : Stmt {
@@ -335,47 +350,48 @@ struct ContinueStmt final : Stmt {
 
 struct ReturnStmt final : Stmt {
     ReturnStmt() : Stmt(NodeKind::kReturnStmt) {}
-    ExprPtr value;  ///< may be null
+    ExprPtr value = nullptr;  ///< may be null
 };
 
 struct GlobalStmt final : Stmt {
     GlobalStmt() : Stmt(NodeKind::kGlobalStmt) {}
-    std::vector<std::string> names;  ///< with '$'
+    ArenaVector<std::string_view> names;  ///< with '$'
 };
 
 struct StaticVarStmt final : Stmt {
     StaticVarStmt() : Stmt(NodeKind::kStaticVarStmt) {}
-    std::vector<std::pair<std::string, ExprPtr>> vars;  ///< (name, init-or-null)
+    ArenaVector<std::pair<std::string_view, ExprPtr>> vars;  ///< (name, init)
 };
 
 struct UnsetStmt final : Stmt {
     UnsetStmt() : Stmt(NodeKind::kUnsetStmt) {}
-    std::vector<ExprPtr> vars;
+    ArenaVector<ExprPtr> vars;
 };
 
 struct FunctionDecl final : Stmt {
     FunctionDecl() : Stmt(NodeKind::kFunctionDecl) {}
-    std::string name;
-    std::vector<Param> params;
-    std::vector<StmtPtr> body;
+    std::string_view name;
+    ArenaVector<Param> params;
+    ArenaVector<StmtPtr> body;
     bool by_ref_return = false;
     // Method-only attributes (unused for free functions).
+    bool is_method = false;  ///< declared inside a class body
     bool is_static = false;
     bool is_abstract = false;
-    std::string visibility;  ///< "public"/"protected"/"private"/"" (free fn)
+    std::string_view visibility;  ///< "public"/"protected"/"private"/"" (free)
 };
 
 struct PropertyDecl {
-    std::string name;  ///< without '$'
-    ExprPtr default_value;
+    std::string_view name;  ///< without '$'
+    ExprPtr default_value = nullptr;
     bool is_static = false;
-    std::string visibility;
+    std::string_view visibility;
     int line = 0;
 };
 
 struct ClassConstDecl {
-    std::string name;
-    ExprPtr value;
+    std::string_view name;
+    ExprPtr value = nullptr;
     int line = 0;
 };
 
@@ -383,54 +399,55 @@ struct ClassDecl final : Stmt {
     enum class Kind { kClass, kInterface, kTrait };
     ClassDecl() : Stmt(NodeKind::kClassDecl) {}
     Kind class_kind = Kind::kClass;
-    std::string name;
-    std::string parent;                   ///< "" if none
-    std::vector<std::string> interfaces;  ///< also trait `use`s
-    std::vector<PropertyDecl> properties;
-    std::vector<ClassConstDecl> constants;
-    std::vector<std::unique_ptr<FunctionDecl>> methods;
+    std::string_view name;
+    std::string_view parent;                   ///< "" if none
+    ArenaVector<std::string_view> interfaces;  ///< also trait `use`s
+    ArenaVector<PropertyDecl> properties;
+    ArenaVector<ClassConstDecl> constants;
+    ArenaVector<FunctionDecl*> methods;
     bool is_abstract = false;
     bool is_final = false;
 };
 
 struct InlineHtmlStmt final : Stmt {
     InlineHtmlStmt() : Stmt(NodeKind::kInlineHtmlStmt) {}
-    std::string html;
+    std::string_view html;  ///< view into the source text
 };
 
 struct CatchClause {
-    std::vector<std::string> types;
-    std::string var;  ///< with '$'; may be empty (PHP 8 catch without var)
-    std::vector<StmtPtr> body;
+    ArenaVector<std::string_view> types;
+    std::string_view var;  ///< with '$'; may be empty (PHP 8 catch w/o var)
+    ArenaVector<StmtPtr> body;
 };
 
 struct TryStmt final : Stmt {
     TryStmt() : Stmt(NodeKind::kTryStmt) {}
-    std::vector<StmtPtr> body;
-    std::vector<CatchClause> catches;
-    std::vector<StmtPtr> finally_body;
+    ArenaVector<StmtPtr> body;
+    ArenaVector<CatchClause> catches;
+    ArenaVector<StmtPtr> finally_body;
     bool has_finally = false;
 };
 
 struct ThrowStmt final : Stmt {
     ThrowStmt() : Stmt(NodeKind::kThrowStmt) {}
-    ExprPtr value;
+    ExprPtr value = nullptr;
 };
 
 struct NamespaceStmt final : Stmt {
     NamespaceStmt() : Stmt(NodeKind::kNamespaceStmt) {}
-    std::string name;
-    std::vector<StmtPtr> body;  ///< empty for the `namespace X;` form
+    std::string_view name;
+    ArenaVector<StmtPtr> body;  ///< empty for the `namespace X;` form
 };
 
 struct UseStmt final : Stmt {
     UseStmt() : Stmt(NodeKind::kUseStmt) {}
-    std::vector<std::pair<std::string, std::string>> imports;  ///< (fqn, alias)
+    /// (fqn, alias)
+    ArenaVector<std::pair<std::string_view, std::string_view>> imports;
 };
 
 struct ConstStmt final : Stmt {
     ConstStmt() : Stmt(NodeKind::kConstStmt) {}
-    std::vector<std::pair<std::string, ExprPtr>> constants;
+    ArenaVector<std::pair<std::string_view, ExprPtr>> constants;
 };
 
 // ---------------------------------------------------------------------------
@@ -438,22 +455,12 @@ struct ConstStmt final : Stmt {
 // ---------------------------------------------------------------------------
 
 /// Parse result of one PHP file: top-level statements (the "main function"
-/// in the paper's terminology) plus the flat lists of declarations the
-/// model-construction stage collects for the whole-plugin analysis.
+/// in the paper's terminology). Statements are non-owning pointers into the
+/// ParsedFile's arena.
 struct FileUnit {
     std::string file_name;
-    std::vector<StmtPtr> statements;
+    ArenaVector<StmtPtr> statements;
 };
-
-/// Downcast helper: `as<Variable>(expr)` → typed pointer or nullptr.
-template <typename T>
-const T* as(const Node* n) noexcept {
-    return dynamic_cast<const T*>(n);
-}
-template <typename T>
-T* as(Node* n) noexcept {
-    return dynamic_cast<T*>(n);
-}
 
 /// Renders a compact single-line s-expression of a node (for tests/debug).
 std::string dump(const Node& node);

@@ -20,6 +20,12 @@ bool is_ident_char(char c) noexcept {
     return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
 }
 
+bool has_upper(std::string_view s) noexcept {
+    for (const char c : s)
+        if (c >= 'A' && c <= 'Z') return true;
+    return false;
+}
+
 const std::unordered_set<std::string_view>& keyword_set() {
     static const std::unordered_set<std::string_view> kKeywords = {
         "abstract", "and", "array", "as", "break", "callable", "case", "catch",
@@ -198,8 +204,13 @@ const char* to_string(TokenKind kind) {
     return "?";
 }
 
-Lexer::Lexer(const SourceFile& file, DiagnosticSink& sink, Options options)
-    : file_(file), text_(file.text()), sink_(sink), options_(options) {}
+Lexer::Lexer(const SourceFile& file, Arena& arena, DiagnosticSink& sink,
+             Options options)
+    : file_(file),
+      text_(file.text()),
+      arena_(arena),
+      sink_(sink),
+      options_(options) {}
 
 char Lexer::advance() noexcept {
     const char c = text_[pos_++];
@@ -217,16 +228,20 @@ bool Lexer::match(std::string_view s) noexcept {
     return true;
 }
 
-Token Lexer::make(TokenKind kind, std::string text) const {
+Token Lexer::make(TokenKind kind, std::string_view text) const {
     Token t;
     t.kind = kind;
-    t.text = std::move(text);
+    t.text = text;
     t.line = line_;
     return t;
 }
 
 std::vector<Token> Lexer::tokenize() {
     std::vector<Token> out;
+    // Plugin code averages one token per ~6 source bytes; one up-front
+    // reservation replaces the dozen-plus geometric growth reallocations a
+    // multi-thousand-token file would otherwise pay.
+    out.reserve(text_.size() / 6 + 16);
     while (!at_end()) {
         if (mode_ == Mode::kHtml) {
             lex_html(out);
@@ -241,17 +256,17 @@ std::vector<Token> Lexer::tokenize() {
 
 void Lexer::lex_html(std::vector<Token>& out) {
     const int start_line = line_;
-    std::string html;
+    const size_t start = pos_;
     while (!at_end()) {
-        if (looking_at("<?")) {
-            break;
-        }
-        html.push_back(advance());
+        if (looking_at("<?")) break;
+        advance();
     }
+    const std::string_view html = slice(start);
     if (!html.empty()) {
-        Token t = make(TokenKind::kInlineHtml, std::move(html));
+        Token t = make(TokenKind::kInlineHtml, html);
         t.line = start_line;
         out.push_back(std::move(t));
+        obs::tls().alloc_string_bytes_saved += html.size();
     }
     if (at_end()) return;
     const int tag_line = line_;
@@ -346,24 +361,35 @@ void Lexer::lex_php_token(std::vector<Token>& out) {
 
 Token Lexer::lex_variable() {
     const int start_line = line_;
-    std::string text;
-    text.push_back(advance());  // '$'
-    while (!at_end() && is_ident_char(peek())) text.push_back(advance());
-    Token t = make(TokenKind::kVariable, std::move(text));
+    const size_t start = pos_;
+    advance();  // '$'
+    while (!at_end() && is_ident_char(peek())) advance();
+    Token t = make(TokenKind::kVariable, slice(start));
     t.line = start_line;
+    obs::tls().alloc_string_bytes_saved += t.text.size();
     return t;
 }
 
 Token Lexer::lex_identifier_or_keyword() {
     const int start_line = line_;
-    std::string text;
-    while (!at_end() && is_ident_char(peek())) text.push_back(advance());
-    const std::string lower = ascii_lower(text);
+    const size_t start = pos_;
+    while (!at_end() && is_ident_char(peek())) advance();
+    const std::string_view raw = slice(start);
     Token t;
-    if (is_php_keyword(lower)) {
-        t = make(TokenKind::kKeyword, lower);
+    if (!has_upper(raw)) {
+        // Already lowercase: keyword and identifier text are both zero-copy.
+        t = make(is_php_keyword(raw) ? TokenKind::kKeyword
+                                     : TokenKind::kIdentifier,
+                 raw);
+        obs::tls().alloc_string_bytes_saved += raw.size();
     } else {
-        t = make(TokenKind::kIdentifier, std::move(text));
+        const std::string lower = ascii_lower(raw);
+        if (is_php_keyword(lower)) {
+            t = make(TokenKind::kKeyword, arena_.store(lower));
+        } else {
+            t = make(TokenKind::kIdentifier, raw);
+            obs::tls().alloc_string_bytes_saved += raw.size();
+        }
     }
     t.line = start_line;
     return t;
@@ -371,94 +397,109 @@ Token Lexer::lex_identifier_or_keyword() {
 
 Token Lexer::lex_number() {
     const int start_line = line_;
-    std::string text;
+    const size_t start = pos_;
     bool is_float = false;
     if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
-        text.push_back(advance());
-        text.push_back(advance());
+        advance();
+        advance();
         while (!at_end() && (std::isxdigit(static_cast<unsigned char>(peek())) || peek() == '_'))
-            text.push_back(advance());
+            advance();
     } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
-        text.push_back(advance());
-        text.push_back(advance());
+        advance();
+        advance();
         while (!at_end() && (peek() == '0' || peek() == '1' || peek() == '_'))
-            text.push_back(advance());
+            advance();
     } else {
         while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_'))
-            text.push_back(advance());
+            advance();
         if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
             is_float = true;
-            text.push_back(advance());
+            advance();
             while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
-                text.push_back(advance());
+                advance();
         }
         if (peek() == 'e' || peek() == 'E') {
             size_t look = 1;
             if (peek(1) == '+' || peek(1) == '-') look = 2;
             if (std::isdigit(static_cast<unsigned char>(peek(look)))) {
                 is_float = true;
-                text.push_back(advance());
-                if (peek() == '+' || peek() == '-') text.push_back(advance());
+                advance();
+                if (peek() == '+' || peek() == '-') advance();
                 while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
-                    text.push_back(advance());
+                    advance();
             }
         }
     }
     Token t = make(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
-                   std::move(text));
+                   slice(start));
     t.line = start_line;
     return t;
 }
 
 Token Lexer::lex_single_quoted() {
     const int start_line = line_;
+    const size_t tok_start = pos_;
     advance();  // opening quote
-    std::string body;
+    const size_t body_start = pos_;
+    bool terminated = false;
     while (!at_end()) {
         const char c = peek();
         if (c == '\\' && (peek(1) == '\\' || peek(1) == '\'')) {
-            body.push_back(advance());
-            body.push_back(advance());
+            advance();
+            advance();
             continue;
         }
         if (c == '\'') {
-            advance();
-            Token t = make(TokenKind::kSingleQuotedString, "'" + body + "'");
-            t.value = decode_single_quoted(body);
-            t.line = start_line;
-            return t;
+            terminated = true;
+            break;
         }
-        body.push_back(advance());
+        advance();
     }
-    sink_.add(Severity::kError, {file_.name(), start_line}, "unterminated string literal");
-    Token t = make(TokenKind::kSingleQuotedString, "'" + body);
-    t.value = decode_single_quoted(body);
+    const std::string_view body = slice(body_start);
+    if (terminated) {
+        advance();  // closing quote
+    } else {
+        sink_.add(Severity::kError, {file_.name(), start_line},
+                  "unterminated string literal");
+    }
+    Token t = make(TokenKind::kSingleQuotedString, slice(tok_start));
+    if (body.find('\\') == std::string_view::npos) {
+        t.value = body;  // nothing to decode: reuse the source bytes
+        obs::tls().alloc_string_bytes_saved += body.size();
+    } else {
+        t.value = arena_.store(decode_single_quoted(body));
+    }
     t.line = start_line;
     return t;
 }
 
 Token Lexer::lex_double_quoted(char quote, TokenKind kind) {
     const int start_line = line_;
+    const size_t tok_start = pos_;
     advance();  // opening quote
-    std::string body;
+    const size_t body_start = pos_;
     bool terminated = false;
     while (!at_end()) {
         const char c = peek();
         if (c == '\\' && pos_ + 1 < text_.size()) {
-            body.push_back(advance());
-            body.push_back(advance());
+            advance();
+            advance();
             continue;
         }
         if (c == quote) {
-            advance();
             terminated = true;
             break;
         }
-        body.push_back(advance());
+        advance();
     }
-    if (!terminated)
-        sink_.add(Severity::kError, {file_.name(), start_line}, "unterminated string literal");
-    Token t = make(kind, std::string(1, quote) + body + std::string(1, quote));
+    const std::string_view body = slice(body_start);
+    if (terminated) {
+        advance();  // closing quote
+    } else {
+        sink_.add(Severity::kError, {file_.name(), start_line},
+                  "unterminated string literal");
+    }
+    Token t = make(kind, slice(tok_start));
     t.line = start_line;
     scan_interpolation(body, t);
     return t;
@@ -477,14 +518,16 @@ Token Lexer::lex_heredoc() {
         quoted = true;
         advance();
     }
-    std::string label;
-    while (!at_end() && is_ident_char(peek())) label.push_back(advance());
+    const size_t label_start = pos_;
+    while (!at_end() && is_ident_char(peek())) advance();
+    const std::string_view label = slice(label_start);
     if ((nowdoc && peek() == '\'') || (quoted && peek() == '"')) advance();
     // Skip to end of line.
     while (!at_end() && peek() != '\n') advance();
     if (!at_end()) advance();
 
-    std::string body;
+    const size_t body_start = pos_;
+    size_t body_end = pos_;
     bool terminated = false;
     while (!at_end()) {
         // Check for terminator at line start (PHP 7.3 allows indentation).
@@ -494,27 +537,30 @@ Token Lexer::lex_heredoc() {
             const size_t after = probe + label.size();
             const char next = after < text_.size() ? text_[after] : '\n';
             if (!is_ident_char(next)) {
+                body_end = pos_;
                 // Consume up to and including the label.
                 while (pos_ < after) advance();
                 terminated = true;
                 break;
             }
         }
-        // Copy one full line into the body.
+        // Scan past one full line.
         while (!at_end()) {
-            const char c = advance();
-            body.push_back(c);
-            if (c == '\n') break;
+            if (advance() == '\n') break;
         }
+        body_end = pos_;
     }
     if (!terminated)
-        sink_.add(Severity::kError, {file_.name(), start_line}, "unterminated heredoc '" + label + "'");
-    if (!body.empty() && body.back() == '\n') body.pop_back();
+        sink_.add(Severity::kError, {file_.name(), start_line},
+                  "unterminated heredoc '" + std::string(label) + "'");
+    std::string_view body = text_.substr(body_start, body_end - body_start);
+    if (!body.empty() && body.back() == '\n') body.remove_suffix(1);
 
     Token t = make(nowdoc ? TokenKind::kNowdoc : TokenKind::kHeredoc, body);
     t.line = start_line;
     if (nowdoc) {
         t.value = body;
+        obs::tls().alloc_string_bytes_saved += body.size();
     } else {
         scan_interpolation(body, t);
     }
@@ -522,28 +568,36 @@ Token Lexer::lex_heredoc() {
 }
 
 void Lexer::scan_interpolation(std::string_view body, Token& token) {
-    std::string literal;
-    auto flush_literal = [&] {
-        if (literal.empty()) return;
+    // `body` is a slice of the retained source buffer, so literal runs and
+    // embedded-expression sources that need no transformation are kept as
+    // subviews; only decoded escapes and synthesized expressions (${name},
+    // re-quoted indexes) are copied into the arena.
+    size_t seg_start = 0;
+    auto flush_literal = [&](size_t end_pos) {
+        if (end_pos <= seg_start) return;
+        const std::string_view raw = body.substr(seg_start, end_pos - seg_start);
         StringPart part;
         part.kind = StringPart::Kind::kLiteral;
-        part.text = decode_double_quoted(literal);
-        token.parts.push_back(std::move(part));
-        literal.clear();
+        if (raw.find('\\') == std::string_view::npos) {
+            part.text = raw;
+            obs::tls().alloc_string_bytes_saved += raw.size();
+        } else {
+            part.text = arena_.store(decode_double_quoted(raw));
+        }
+        token.parts.push_back(part);
     };
-    auto add_expr = [&](std::string expr) {
-        flush_literal();
+    auto add_expr = [&](size_t lit_end, std::string_view expr) {
+        flush_literal(lit_end);
         StringPart part;
         part.kind = StringPart::Kind::kExpression;
-        part.text = std::move(expr);
-        token.parts.push_back(std::move(part));
+        part.text = expr;
+        token.parts.push_back(part);
     };
 
-    for (size_t i = 0; i < body.size();) {
+    size_t i = 0;
+    while (i < body.size()) {
         const char c = body[i];
         if (c == '\\' && i + 1 < body.size()) {
-            literal.push_back(c);
-            literal.push_back(body[i + 1]);
             i += 2;
             continue;
         }
@@ -551,98 +605,130 @@ void Lexer::scan_interpolation(std::string_view body, Token& token) {
         if (c == '{' && i + 1 < body.size() && body[i + 1] == '$') {
             size_t j = i + 1;
             int depth = 1;
-            std::string expr;
             while (j < body.size() && depth > 0) {
                 if (body[j] == '{') ++depth;
                 if (body[j] == '}') {
                     --depth;
                     if (depth == 0) break;
                 }
-                expr.push_back(body[j]);
                 ++j;
             }
-            add_expr(std::move(expr));
-            i = (j < body.size()) ? j + 1 : j;
+            add_expr(i, body.substr(i + 1, j - (i + 1)));
+            obs::tls().alloc_string_bytes_saved += j - (i + 1);
+            seg_start = i = (j < body.size()) ? j + 1 : j;
             continue;
         }
         // ${name} syntax.
         if (c == '$' && i + 1 < body.size() && body[i + 1] == '{') {
             size_t j = i + 2;
-            std::string name;
-            while (j < body.size() && body[j] != '}') name.push_back(body[j++]);
-            add_expr("$" + name);
-            i = (j < body.size()) ? j + 1 : j;
+            while (j < body.size() && body[j] != '}') ++j;
+            std::string synth = "$";
+            synth += body.substr(i + 2, j - (i + 2));
+            add_expr(i, arena_.store(synth));
+            seg_start = i = (j < body.size()) ? j + 1 : j;
             continue;
         }
         // Simple syntax: $name, $name->prop, $name[index]
         if (c == '$' && i + 1 < body.size() && is_ident_start(body[i + 1])) {
             size_t j = i + 1;
-            std::string expr = "$";
-            while (j < body.size() && is_ident_char(body[j])) expr.push_back(body[j++]);
+            while (j < body.size() && is_ident_char(body[j])) ++j;
+            size_t expr_end = j;
+            bool synthesized = false;
+            std::string synth;
             if (j + 1 < body.size() && body[j] == '-' && body[j + 1] == '>' &&
                 j + 2 < body.size() && is_ident_start(body[j + 2])) {
-                expr += "->";
                 j += 2;
-                while (j < body.size() && is_ident_char(body[j])) expr.push_back(body[j++]);
+                while (j < body.size() && is_ident_char(body[j])) ++j;
+                expr_end = j;
             } else if (j < body.size() && body[j] == '[') {
-                std::string index;
                 size_t k = j + 1;
-                while (k < body.size() && body[k] != ']') index.push_back(body[k++]);
+                while (k < body.size() && body[k] != ']') ++k;
                 if (k < body.size()) {
-                    // PHP's simple syntax allows unquoted string keys.
-                    std::string_view idx = trim(index);
+                    const std::string_view index = body.substr(j + 1, k - (j + 1));
+                    const std::string_view idx = trim(index);
                     bool numeric = !idx.empty();
-                    for (char d : idx)
+                    for (const char d : idx)
                         if (!std::isdigit(static_cast<unsigned char>(d))) numeric = false;
                     if (!idx.empty() && (idx.front() == '\'' || idx.front() == '"' ||
                                          idx.front() == '$' || numeric)) {
-                        expr += "[" + std::string(idx) + "]";
+                        if (idx.size() == index.size()) {
+                            // "$name[idx]" is already verbatim in the source.
+                            expr_end = k + 1;
+                        } else {
+                            synth.assign(body.substr(i, j - i));
+                            synth += '[';
+                            synth += idx;
+                            synth += ']';
+                            synthesized = true;
+                        }
                     } else {
-                        expr += "['" + std::string(idx) + "']";
+                        // PHP's simple syntax allows unquoted string keys.
+                        synth.assign(body.substr(i, j - i));
+                        synth += "['";
+                        synth += idx;
+                        synth += "']";
+                        synthesized = true;
                     }
                     j = k + 1;
                 }
             }
-            add_expr(std::move(expr));
-            i = j;
+            if (synthesized) {
+                add_expr(i, arena_.store(synth));
+            } else {
+                add_expr(i, body.substr(i, expr_end - i));
+                obs::tls().alloc_string_bytes_saved += expr_end - i;
+            }
+            seg_start = i = j;
             continue;
         }
-        literal.push_back(c);
         ++i;
     }
-    flush_literal();
+    flush_literal(body.size());
+
     // The decoded value is the concatenation of literal parts (expressions
-    // contribute nothing to the static value).
-    std::string value;
-    for (const StringPart& p : token.parts)
-        if (p.kind == StringPart::Kind::kLiteral) value += p.text;
-    token.value = std::move(value);
+    // contribute nothing to the static value). Single-literal tokens — the
+    // overwhelmingly common case — reuse the part's view.
+    size_t literal_count = 0;
+    std::string_view single;
+    for (const StringPart& p : token.parts) {
+        if (p.kind != StringPart::Kind::kLiteral) continue;
+        ++literal_count;
+        single = p.text;
+    }
+    if (literal_count == 0) {
+        token.value = {};
+    } else if (literal_count == 1) {
+        token.value = single;
+    } else {
+        std::string value;
+        for (const StringPart& p : token.parts)
+            if (p.kind == StringPart::Kind::kLiteral) value += p.text;
+        token.value = arena_.store(value);
+    }
 }
 
 void Lexer::lex_comment(std::vector<Token>& out) {
     const int start_line = line_;
-    std::string text;
+    const size_t start = pos_;
     if (looking_at("/*")) {
-        text += "/*";
         match("/*");
-        while (!at_end() && !looking_at("*/")) text.push_back(advance());
-        if (match("*/")) text += "*/";
-        else
-            sink_.add(Severity::kWarning, {file_.name(), start_line}, "unterminated block comment");
+        while (!at_end() && !looking_at("*/")) advance();
+        if (!match("*/"))
+            sink_.add(Severity::kWarning, {file_.name(), start_line},
+                      "unterminated block comment");
     } else {
         // Line comment: ends at newline or before '?>'.
         if (looking_at("//")) {
-            text += "//";
             match("//");
         } else {
-            text += "#";
             match("#");
         }
-        while (!at_end() && peek() != '\n' && !looking_at("?>")) text.push_back(advance());
+        while (!at_end() && peek() != '\n' && !looking_at("?>")) advance();
     }
     if (options_.keep_comments) {
-        Token t = make(TokenKind::kComment, std::move(text));
+        Token t = make(TokenKind::kComment, slice(start));
         t.line = start_line;
+        obs::tls().alloc_string_bytes_saved += t.text.size();
         out.push_back(std::move(t));
     }
 }
@@ -653,18 +739,20 @@ bool Lexer::try_lex_cast(std::vector<Token>& out) {
     while (probe < text_.size() &&
            (text_[probe] == ' ' || text_[probe] == '\t'))
         ++probe;
-    std::string name;
+    const size_t name_start = probe;
     while (probe < text_.size() && std::isalpha(static_cast<unsigned char>(text_[probe])))
-        name.push_back(text_[probe++]);
+        ++probe;
+    const std::string_view name = text_.substr(name_start, probe - name_start);
     while (probe < text_.size() && (text_[probe] == ' ' || text_[probe] == '\t')) ++probe;
     if (probe >= text_.size() || text_[probe] != ')') return false;
-    const std::string lower = ascii_lower(name);
+    const std::string lower = ascii_lower(name);  // short: stays in SSO
     if (!cast_name_set().count(lower)) return false;
 
     const int start_line = line_;
+    const size_t tok_start = pos_;
     while (pos_ <= probe) advance();
-    Token t = make(TokenKind::kCast, "(" + name + ")");
-    t.value = lower;
+    Token t = make(TokenKind::kCast, slice(tok_start));
+    t.value = has_upper(name) ? arena_.store(lower) : name;
     t.line = start_line;
     out.push_back(std::move(t));
     return true;
@@ -702,14 +790,14 @@ Token Lexer::lex_operator() {
 
     for (const OpEntry& e : kMulti) {
         if (match(e.text)) {
-            Token t = make(e.kind, std::string(e.text));
+            Token t = make(e.kind, e.text);
             t.line = start_line;
             return t;
         }
     }
     for (const OpEntry& e : kMulti2) {
         if (match(e.text)) {
-            Token t = make(e.kind, std::string(e.text));
+            Token t = make(e.kind, e.text);
             t.line = start_line;
             return t;
         }
@@ -720,6 +808,7 @@ Token Lexer::lex_operator() {
         return t;
     }
 
+    const size_t start = pos_;
     const char c = advance();
     TokenKind kind;
     switch (c) {
@@ -756,7 +845,7 @@ Token Lexer::lex_operator() {
                       std::string("unexpected character '") + c + "'");
             kind = TokenKind::kAt;  // benign placeholder
     }
-    Token t = make(kind, std::string(1, c));
+    Token t = make(kind, slice(start));
     t.line = start_line;
     return t;
 }

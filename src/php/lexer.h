@@ -3,12 +3,19 @@
 // lexer understands inline HTML, open/close tags, all literal forms
 // (including heredoc/nowdoc and interpolated strings), comments and the
 // full operator set used by PHP 5/7 plugin code.
+//
+// Zero-copy: token text and values are string_view slices of the source
+// buffer whenever the lexeme needs no transformation; only decoded escape
+// sequences, case-folded keywords and synthesized interpolation expressions
+// are materialized — into the caller-supplied Arena, never onto the general
+// heap. The SourceFile and Arena must outlive every token produced.
 #pragma once
 
 #include <string_view>
 #include <vector>
 
 #include "php/token.h"
+#include "util/arena.h"
 #include "util/diagnostics.h"
 #include "util/source.h"
 
@@ -27,7 +34,8 @@ class Lexer {
 public:
     using Options = LexerOptions;
 
-    Lexer(const SourceFile& file, DiagnosticSink& sink, Options options = {});
+    Lexer(const SourceFile& file, Arena& arena, DiagnosticSink& sink,
+          Options options = {});
 
     /// Tokenizes the whole file. Always ends with a kEndOfFile token.
     std::vector<Token> tokenize();
@@ -56,13 +64,20 @@ private:
     Token lex_operator();
 
     /// Scans interpolation inside a double-quoted/heredoc body and fills
-    /// token parts; `body` is the raw contents (escapes not yet decoded).
+    /// token parts; `body` is the raw contents (escapes not yet decoded), a
+    /// slice of the source buffer.
     void scan_interpolation(std::string_view body, Token& token);
 
-    Token make(TokenKind kind, std::string text) const;
+    /// The source bytes scanned since `start` — the zero-copy token text.
+    std::string_view slice(size_t start) const noexcept {
+        return text_.substr(start, pos_ - start);
+    }
+
+    Token make(TokenKind kind, std::string_view text) const;
 
     const SourceFile& file_;
     std::string_view text_;
+    Arena& arena_;
     DiagnosticSink& sink_;
     Options options_;
     size_t pos_ = 0;

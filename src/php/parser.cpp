@@ -114,10 +114,11 @@ bool is_assignable(const Expr& e) noexcept {
 
 }  // namespace
 
-Parser::Parser(const SourceFile& file, DiagnosticSink& sink, Options options)
-    : file_(file), sink_(sink), options_(options) {
+Parser::Parser(const SourceFile& file, Arena& arena, DiagnosticSink& sink,
+               Options options)
+    : file_(file), arena_(arena), sink_(sink), options_(options) {
     const double lex_start = thread_cpu_seconds();
-    Lexer lexer(file, sink);
+    Lexer lexer(file, arena, sink);
     tokens_ = lexer.tokenize();
     lex_cpu_seconds_ = thread_cpu_seconds() - lex_start;
 }
@@ -127,8 +128,8 @@ const Token& Parser::peek(size_t ahead) const noexcept {
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
 }
 
-Token Parser::consume() {
-    Token t = tokens_[pos_];
+const Token& Parser::consume() {
+    const Token& t = tokens_[pos_];
     if (pos_ + 1 < tokens_.size()) ++pos_;
     return t;
 }
@@ -147,7 +148,8 @@ bool Parser::accept_keyword(std::string_view kw) {
 
 bool Parser::expect(TokenKind kind, std::string_view what) {
     if (accept(kind)) return true;
-    error_here("expected " + std::string(what) + " before '" + current().text + "'");
+    error_here("expected " + std::string(what) + " before '" +
+               std::string(current().text) + "'");
     return false;
 }
 
@@ -195,10 +197,17 @@ FileUnit Parser::parse() {
 }
 
 ExprPtr Parser::parse_expression_text(std::string_view php_expr,
-                                      const std::string& file_name, int line,
-                                      DiagnosticSink& sink) {
-    SourceFile snippet(file_name, "<?php " + std::string(php_expr) + ";");
-    Parser parser(snippet, sink);
+                                      std::string_view file_name, int line,
+                                      DiagnosticSink& sink, Arena& arena) {
+    // The snippet's text backs string_views in the parsed expression, so it
+    // must live as long as the arena: allocate the SourceFile from it (its
+    // destructor is registered on the arena's teardown list).
+    std::string text = "<?php ";
+    text += php_expr;
+    text += ';';
+    auto* snippet =
+        arena.create<SourceFile>(std::string(file_name), std::move(text));
+    Parser parser(*snippet, arena, sink);
     parser.skip_tags();
     ExprPtr expr = parser.parse_expression();
     if (expr) expr->line = line;
@@ -218,7 +227,7 @@ StmtPtr Parser::parse_statement() {
     const Token& tok = current();
     switch (tok.kind) {
         case TokenKind::kInlineHtml: {
-            auto html = std::make_unique<InlineHtmlStmt>();
+            auto* html = arena_.create<InlineHtmlStmt>();
             html->line = tok.line;
             html->html = consume().text;
             return html;
@@ -231,7 +240,7 @@ StmtPtr Parser::parse_statement() {
             return nullptr;
         case TokenKind::kLBrace: {
             consume();
-            auto block = std::make_unique<Block>();
+            auto* block = arena_.create<Block>();
             block->line = tok.line;
             while (!at_eof() && !check(TokenKind::kRBrace) && !aborted_) {
                 const size_t before = pos_;
@@ -266,7 +275,7 @@ StmtPtr Parser::parse_statement() {
             if (tok.text == "unset") return parse_unset();
             if (tok.text == "break") {
                 consume();
-                auto s = std::make_unique<BreakStmt>();
+                auto* s = arena_.create<BreakStmt>();
                 s->line = tok.line;
                 if (check(TokenKind::kIntLiteral)) consume();
                 accept(TokenKind::kSemicolon);
@@ -274,7 +283,7 @@ StmtPtr Parser::parse_statement() {
             }
             if (tok.text == "continue") {
                 consume();
-                auto s = std::make_unique<ContinueStmt>();
+                auto* s = arena_.create<ContinueStmt>();
                 s->line = tok.line;
                 if (check(TokenKind::kIntLiteral)) consume();
                 accept(TokenKind::kSemicolon);
@@ -315,7 +324,7 @@ StmtPtr Parser::parse_statement() {
             if (tok.text == "try") return parse_try();
             if (tok.text == "throw") {
                 consume();
-                auto s = std::make_unique<ThrowStmt>();
+                auto* s = arena_.create<ThrowStmt>();
                 s->line = tok.line;
                 s->value = parse_expression();
                 accept(TokenKind::kSemicolon);
@@ -354,14 +363,14 @@ StmtPtr Parser::parse_block_or_statement() {
     if (check(TokenKind::kLBrace)) return parse_statement();
     StmtPtr s = parse_statement();
     if (s) return s;
-    auto empty = std::make_unique<Block>();
+    auto* empty = arena_.create<Block>();
     empty->line = current().line;
     return empty;
 }
 
-std::vector<StmtPtr> Parser::parse_statement_list_until(
+ArenaVector<StmtPtr> Parser::parse_statement_list_until(
     const std::vector<std::string_view>& end_keywords) {
-    std::vector<StmtPtr> stmts;
+    ArenaVector<StmtPtr> stmts;
     while (!at_eof() && !aborted_) {
         skip_tags();
         bool at_end = false;
@@ -377,7 +386,7 @@ std::vector<StmtPtr> Parser::parse_statement_list_until(
 }
 
 StmtPtr Parser::parse_if() {
-    auto stmt = std::make_unique<IfStmt>();
+    auto* stmt = arena_.create<IfStmt>();
     stmt->line = current().line;
     consume();  // if
     expect(TokenKind::kLParen, "'('");
@@ -386,7 +395,7 @@ StmtPtr Parser::parse_if() {
 
     if (accept(TokenKind::kColon)) {
         // Alternative syntax: if (...): ... [elseif/else] endif;
-        auto then_block = std::make_unique<Block>();
+        auto* then_block = arena_.create<Block>();
         then_block->line = stmt->line;
         then_block->statements =
             parse_statement_list_until({"elseif", "else", "endif"});
@@ -398,7 +407,7 @@ StmtPtr Parser::parse_if() {
         }
         if (accept_keyword("else")) {
             accept(TokenKind::kColon);
-            auto else_block = std::make_unique<Block>();
+            auto* else_block = arena_.create<Block>();
             else_block->line = current().line;
             else_block->statements = parse_statement_list_until({"endif"});
             stmt->else_branch = std::move(else_block);
@@ -424,14 +433,14 @@ StmtPtr Parser::parse_if() {
 }
 
 StmtPtr Parser::parse_while() {
-    auto stmt = std::make_unique<WhileStmt>();
+    auto* stmt = arena_.create<WhileStmt>();
     stmt->line = current().line;
     consume();  // while
     expect(TokenKind::kLParen, "'('");
     stmt->cond = parse_expression();
     expect(TokenKind::kRParen, "')'");
     if (accept(TokenKind::kColon)) {
-        auto body = std::make_unique<Block>();
+        auto* body = arena_.create<Block>();
         body->line = stmt->line;
         body->statements = parse_statement_list_until({"endwhile"});
         accept_keyword("endwhile");
@@ -444,7 +453,7 @@ StmtPtr Parser::parse_while() {
 }
 
 StmtPtr Parser::parse_do_while() {
-    auto stmt = std::make_unique<DoWhileStmt>();
+    auto* stmt = arena_.create<DoWhileStmt>();
     stmt->line = current().line;
     consume();  // do
     stmt->body = parse_block_or_statement();
@@ -460,7 +469,7 @@ StmtPtr Parser::parse_do_while() {
 }
 
 StmtPtr Parser::parse_for() {
-    auto stmt = std::make_unique<ForStmt>();
+    auto* stmt = arena_.create<ForStmt>();
     stmt->line = current().line;
     consume();  // for
     expect(TokenKind::kLParen, "'('");
@@ -483,7 +492,7 @@ StmtPtr Parser::parse_for() {
     }
     expect(TokenKind::kRParen, "')'");
     if (accept(TokenKind::kColon)) {
-        auto body = std::make_unique<Block>();
+        auto* body = arena_.create<Block>();
         body->line = stmt->line;
         body->statements = parse_statement_list_until({"endfor"});
         accept_keyword("endfor");
@@ -496,7 +505,7 @@ StmtPtr Parser::parse_for() {
 }
 
 StmtPtr Parser::parse_foreach() {
-    auto stmt = std::make_unique<ForeachStmt>();
+    auto* stmt = arena_.create<ForeachStmt>();
     stmt->line = current().line;
     consume();  // foreach
     expect(TokenKind::kLParen, "'('");
@@ -514,7 +523,7 @@ StmtPtr Parser::parse_foreach() {
     }
     expect(TokenKind::kRParen, "')'");
     if (accept(TokenKind::kColon)) {
-        auto body = std::make_unique<Block>();
+        auto* body = arena_.create<Block>();
         body->line = stmt->line;
         body->statements = parse_statement_list_until({"endforeach"});
         accept_keyword("endforeach");
@@ -527,7 +536,7 @@ StmtPtr Parser::parse_foreach() {
 }
 
 StmtPtr Parser::parse_switch() {
-    auto stmt = std::make_unique<SwitchStmt>();
+    auto* stmt = arena_.create<SwitchStmt>();
     stmt->line = current().line;
     consume();  // switch
     expect(TokenKind::kLParen, "'('");
@@ -569,7 +578,7 @@ StmtPtr Parser::parse_switch() {
 }
 
 StmtPtr Parser::parse_return() {
-    auto stmt = std::make_unique<ReturnStmt>();
+    auto* stmt = arena_.create<ReturnStmt>();
     stmt->line = current().line;
     consume();  // return
     if (!check(TokenKind::kSemicolon) && !check(TokenKind::kCloseTag) && !at_eof())
@@ -579,7 +588,7 @@ StmtPtr Parser::parse_return() {
 }
 
 StmtPtr Parser::parse_echo(bool from_open_tag) {
-    auto stmt = std::make_unique<EchoStmt>();
+    auto* stmt = arena_.create<EchoStmt>();
     stmt->line = current().line;
     stmt->from_open_tag = from_open_tag;
     do {
@@ -590,7 +599,7 @@ StmtPtr Parser::parse_echo(bool from_open_tag) {
 }
 
 StmtPtr Parser::parse_global() {
-    auto stmt = std::make_unique<GlobalStmt>();
+    auto* stmt = arena_.create<GlobalStmt>();
     stmt->line = current().line;
     consume();  // global
     do {
@@ -606,7 +615,7 @@ StmtPtr Parser::parse_global() {
 }
 
 StmtPtr Parser::parse_static_var() {
-    auto stmt = std::make_unique<StaticVarStmt>();
+    auto* stmt = arena_.create<StaticVarStmt>();
     stmt->line = current().line;
     consume();  // static
     do {
@@ -614,17 +623,17 @@ StmtPtr Parser::parse_static_var() {
             error_here("expected variable in static declaration");
             break;
         }
-        std::string name = consume().text;
-        ExprPtr init;
+        const std::string_view name = consume().text;
+        ExprPtr init = nullptr;
         if (accept(TokenKind::kAssign)) init = parse_expression(kBpAssign + 1);
-        stmt->vars.emplace_back(std::move(name), std::move(init));
+        stmt->vars.emplace_back(name, init);
     } while (accept(TokenKind::kComma));
     accept(TokenKind::kSemicolon);
     return stmt;
 }
 
 StmtPtr Parser::parse_unset() {
-    auto stmt = std::make_unique<UnsetStmt>();
+    auto* stmt = arena_.create<UnsetStmt>();
     stmt->line = current().line;
     consume();  // unset
     expect(TokenKind::kLParen, "'('");
@@ -639,7 +648,7 @@ StmtPtr Parser::parse_unset() {
 }
 
 StmtPtr Parser::parse_function_decl() {
-    auto fn = std::make_unique<FunctionDecl>();
+    auto* fn = arena_.create<FunctionDecl>();
     fn->line = current().line;
     consume();  // function
     fn->by_ref_return = accept(TokenKind::kAmp);
@@ -654,7 +663,7 @@ StmtPtr Parser::parse_function_decl() {
     if (check(TokenKind::kLBrace)) {
         StmtPtr body = parse_statement();  // parses the block
         if (body && body->kind == NodeKind::kBlock)
-            fn->body = std::move(static_cast<Block*>(body.get())->statements);
+            fn->body = std::move(static_cast<Block*>(body)->statements);
     } else {
         accept(TokenKind::kSemicolon);  // abstract/interface method
     }
@@ -663,10 +672,10 @@ StmtPtr Parser::parse_function_decl() {
 
 void Parser::parse_class_member(ClassDecl& cls) {
     bool is_static = false, is_abstract = false;
-    std::string visibility;
+    std::string_view visibility;
     // Modifier run.
     while (check(TokenKind::kKeyword)) {
-        const std::string& kw = current().text;
+        const std::string_view kw = current().text;
         if (kw == "public" || kw == "protected" || kw == "private") {
             visibility = kw;
             consume();
@@ -687,12 +696,12 @@ void Parser::parse_class_member(ClassDecl& cls) {
     if (check_keyword("function")) {
         StmtPtr decl = parse_function_decl();
         if (decl && decl->kind == NodeKind::kFunctionDecl) {
-            auto method = std::unique_ptr<FunctionDecl>(
-                static_cast<FunctionDecl*>(decl.release()));
+            auto* method = static_cast<FunctionDecl*>(decl);
+            method->is_method = true;
             method->is_static = is_static;
             method->is_abstract = is_abstract;
             method->visibility = visibility.empty() ? "public" : visibility;
-            cls.methods.push_back(std::move(method));
+            cls.methods.push_back(method);
         }
         return;
     }
@@ -736,7 +745,7 @@ void Parser::parse_class_member(ClassDecl& cls) {
         do {
             PropertyDecl prop;
             prop.line = current().line;
-            std::string name = consume().text;
+            const std::string_view name = consume().text;
             prop.name = name.size() > 1 ? name.substr(1) : name;
             prop.is_static = is_static;
             prop.visibility = visibility.empty() ? "public" : visibility;
@@ -747,13 +756,14 @@ void Parser::parse_class_member(ClassDecl& cls) {
         accept(TokenKind::kSemicolon);
         return;
     }
-    error_here("unexpected token in class body: '" + current().text + "'");
+    error_here("unexpected token in class body: '" +
+               std::string(current().text) + "'");
     consume();
 }
 
 StmtPtr Parser::parse_class_decl(ClassDecl::Kind kind, bool is_abstract,
                                  bool is_final) {
-    auto cls = std::make_unique<ClassDecl>();
+    auto* cls = arena_.create<ClassDecl>();
     cls->class_kind = kind;
     cls->is_abstract = is_abstract;
     cls->is_final = is_final;
@@ -784,12 +794,12 @@ StmtPtr Parser::parse_class_decl(ClassDecl::Kind kind, bool is_abstract,
 }
 
 StmtPtr Parser::parse_try() {
-    auto stmt = std::make_unique<TryStmt>();
+    auto* stmt = arena_.create<TryStmt>();
     stmt->line = current().line;
     consume();  // try
     StmtPtr body = parse_statement();
     if (body && body->kind == NodeKind::kBlock)
-        stmt->body = std::move(static_cast<Block*>(body.get())->statements);
+        stmt->body = std::move(static_cast<Block*>(body)->statements);
     while (check_keyword("catch")) {
         consume();
         CatchClause clause;
@@ -801,20 +811,20 @@ StmtPtr Parser::parse_try() {
         expect(TokenKind::kRParen, "')'");
         StmtPtr cbody = parse_statement();
         if (cbody && cbody->kind == NodeKind::kBlock)
-            clause.body = std::move(static_cast<Block*>(cbody.get())->statements);
+            clause.body = std::move(static_cast<Block*>(cbody)->statements);
         stmt->catches.push_back(std::move(clause));
     }
     if (accept_keyword("finally")) {
         stmt->has_finally = true;
         StmtPtr fbody = parse_statement();
         if (fbody && fbody->kind == NodeKind::kBlock)
-            stmt->finally_body = std::move(static_cast<Block*>(fbody.get())->statements);
+            stmt->finally_body = std::move(static_cast<Block*>(fbody)->statements);
     }
     return stmt;
 }
 
 StmtPtr Parser::parse_namespace() {
-    auto stmt = std::make_unique<NamespaceStmt>();
+    auto* stmt = arena_.create<NamespaceStmt>();
     stmt->line = current().line;
     consume();  // namespace
     if (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash))
@@ -834,45 +844,45 @@ StmtPtr Parser::parse_namespace() {
 }
 
 StmtPtr Parser::parse_use() {
-    auto stmt = std::make_unique<UseStmt>();
+    auto* stmt = arena_.create<UseStmt>();
     stmt->line = current().line;
     consume();  // use
     // `use function`/`use const` prefixes.
     if (check_keyword("function") || check_keyword("const")) consume();
     do {
-        std::string fqn = parse_qualified_name();
-        std::string alias;
+        const std::string_view fqn = parse_qualified_name();
+        std::string_view alias;
         if (accept_keyword("as")) {
             if (check(TokenKind::kIdentifier)) alias = consume().text;
         }
         if (alias.empty()) {
             const size_t slash = fqn.rfind('\\');
-            alias = slash == std::string::npos ? fqn : fqn.substr(slash + 1);
+            alias = slash == std::string_view::npos ? fqn : fqn.substr(slash + 1);
         }
-        stmt->imports.emplace_back(std::move(fqn), std::move(alias));
+        stmt->imports.emplace_back(fqn, alias);
     } while (accept(TokenKind::kComma));
     accept(TokenKind::kSemicolon);
     return stmt;
 }
 
 StmtPtr Parser::parse_const() {
-    auto stmt = std::make_unique<ConstStmt>();
+    auto* stmt = arena_.create<ConstStmt>();
     stmt->line = current().line;
     consume();  // const
     do {
-        std::string name;
+        std::string_view name;
         if (check(TokenKind::kIdentifier)) name = consume().text;
-        ExprPtr value;
+        ExprPtr value = nullptr;
         if (accept(TokenKind::kAssign)) value = parse_expression(kBpAssign + 1);
         if (!name.empty() && value)
-            stmt->constants.emplace_back(std::move(name), std::move(value));
+            stmt->constants.emplace_back(name, value);
     } while (accept(TokenKind::kComma));
     accept(TokenKind::kSemicolon);
     return stmt;
 }
 
 StmtPtr Parser::parse_expression_statement() {
-    auto stmt = std::make_unique<ExprStmt>();
+    auto* stmt = arena_.create<ExprStmt>();
     stmt->line = current().line;
     stmt->expr = parse_expression();
     accept(TokenKind::kSemicolon);
@@ -896,7 +906,7 @@ ExprPtr Parser::parse_expression(int min_bp) {
             aop && min_bp <= kBpAssign && is_assignable(*lhs)) {
             const int line = current().line;
             consume();
-            auto assign = std::make_unique<Assign>();
+            auto* assign = arena_.create<Assign>();
             assign->line = line;
             assign->op = *aop;
             if (*aop == AssignOp::kAssign && accept(TokenKind::kAmp))
@@ -910,7 +920,7 @@ ExprPtr Parser::parse_expression(int min_bp) {
         if (check(TokenKind::kQuestion) && min_bp <= kBpTernary) {
             const int line = current().line;
             consume();
-            auto ternary = std::make_unique<Ternary>();
+            auto* ternary = arena_.create<Ternary>();
             ternary->line = line;
             ternary->cond = std::move(lhs);
             if (!check(TokenKind::kColon))
@@ -924,7 +934,7 @@ ExprPtr Parser::parse_expression(int min_bp) {
         if (check_keyword("instanceof") && min_bp <= kBpInstanceof) {
             const int line = current().line;
             consume();
-            auto inst = std::make_unique<InstanceOf>();
+            auto* inst = arena_.create<InstanceOf>();
             inst->line = line;
             inst->object = std::move(lhs);
             inst->class_name = parse_qualified_name();
@@ -935,14 +945,14 @@ ExprPtr Parser::parse_expression(int min_bp) {
         if (!op || op->bp < min_bp) break;
         const int line = current().line;
         consume();
-        auto bin = std::make_unique<Binary>();
+        auto* bin = arena_.create<Binary>();
         bin->line = line;
         bin->op = op->op;
         bin->lhs = std::move(lhs);
         bin->rhs = parse_expression(op->right_assoc ? op->bp : op->bp + 1);
         if (!bin->rhs) {
             error_here("expected expression after operator");
-            auto empty = std::make_unique<Literal>();
+            auto* empty = arena_.create<Literal>();
             empty->type = Literal::Type::kNull;
             empty->value = "null";
             empty->line = line;
@@ -961,7 +971,7 @@ ExprPtr Parser::parse_unary() {
 
     auto make_unary = [&](UnaryOp op) -> ExprPtr {
         consume();
-        auto node = std::make_unique<Unary>();
+        auto* node = arena_.create<Unary>();
         node->line = line;
         node->op = op;
         node->operand = parse_unary();
@@ -977,7 +987,7 @@ ExprPtr Parser::parse_unary() {
         case TokenKind::kAt: return make_unary(UnaryOp::kSuppress);
         case TokenKind::kCast: {
             consume();
-            auto node = std::make_unique<Cast>();
+            auto* node = arena_.create<Cast>();
             node->line = line;
             node->type = tok.value;
             node->operand = parse_unary();
@@ -987,7 +997,7 @@ ExprPtr Parser::parse_unary() {
         case TokenKind::kInc:
         case TokenKind::kDec: {
             consume();
-            auto node = std::make_unique<IncDec>();
+            auto* node = arena_.create<IncDec>();
             node->line = line;
             node->increment = tok.kind == TokenKind::kInc;
             node->prefix = true;
@@ -1002,10 +1012,10 @@ ExprPtr Parser::parse_unary() {
             return parse_unary();
         }
         case TokenKind::kKeyword: {
-            const std::string& kw = tok.text;
+            const std::string_view kw = tok.text;
             if (kw == "print") {
                 consume();
-                auto node = std::make_unique<PrintExpr>();
+                auto* node = arena_.create<PrintExpr>();
                 node->line = line;
                 node->operand = parse_expression(kBpAssign);
                 return node;
@@ -1013,7 +1023,7 @@ ExprPtr Parser::parse_unary() {
             if (kw == "new") return parse_new();
             if (kw == "clone") {
                 consume();
-                auto call = std::make_unique<FunctionCall>();
+                auto* call = arena_.create<FunctionCall>();
                 call->line = line;
                 call->name = "clone";
                 Argument arg;
@@ -1025,7 +1035,7 @@ ExprPtr Parser::parse_unary() {
             if (kw == "include" || kw == "include_once" || kw == "require" ||
                 kw == "require_once") {
                 consume();
-                auto node = std::make_unique<IncludeExpr>();
+                auto* node = arena_.create<IncludeExpr>();
                 node->line = line;
                 node->include_kind =
                     kw == "include" ? IncludeKind::kInclude
@@ -1040,7 +1050,7 @@ ExprPtr Parser::parse_unary() {
                 // __yield marker call; the engine folds the value into the
                 // function's return flow (foreach over the generator sees it).
                 consume();
-                auto call = std::make_unique<FunctionCall>();
+                auto* call = arena_.create<FunctionCall>();
                 call->line = line;
                 call->name = "__yield";
                 if (!check(TokenKind::kSemicolon) && !check(TokenKind::kRParen) &&
@@ -1060,7 +1070,7 @@ ExprPtr Parser::parse_unary() {
             }
             if (kw == "exit" || kw == "die") {
                 consume();
-                auto node = std::make_unique<ExitExpr>();
+                auto* node = arena_.create<ExitExpr>();
                 node->line = line;
                 if (accept(TokenKind::kLParen)) {
                     if (!check(TokenKind::kRParen)) node->operand = parse_expression();
@@ -1087,16 +1097,16 @@ ExprPtr Parser::parse_primary() {
             // $$var / ${expr}: dynamic variable name.
             consume();
             if (check(TokenKind::kVariable)) {
-                auto var = std::make_unique<Variable>();
+                auto* var = arena_.create<Variable>();
                 var->line = line;
-                var->name = "$" + consume().text;  // "$$x"
-                return parse_postfix(std::move(var));
+                var->name = arena_.store("$" + std::string(consume().text));  // "$$x"
+                return parse_postfix(var);
             }
             if (accept(TokenKind::kLBrace)) {
                 parse_expression();
                 expect(TokenKind::kRBrace, "'}'");
             }
-            auto var = std::make_unique<Variable>();
+            auto* var = arena_.create<Variable>();
             var->line = line;
             var->name = "$<dynamic>";
             return parse_postfix(std::move(var));
@@ -1105,7 +1115,7 @@ ExprPtr Parser::parse_primary() {
             return parse_identifier_expr();
         case TokenKind::kIntLiteral: {
             consume();
-            auto lit = std::make_unique<Literal>();
+            auto* lit = arena_.create<Literal>();
             lit->line = line;
             lit->type = Literal::Type::kInt;
             lit->value = tok.text;
@@ -1113,7 +1123,7 @@ ExprPtr Parser::parse_primary() {
         }
         case TokenKind::kFloatLiteral: {
             consume();
-            auto lit = std::make_unique<Literal>();
+            auto* lit = arena_.create<Literal>();
             lit->line = line;
             lit->type = Literal::Type::kFloat;
             lit->value = tok.text;
@@ -1139,7 +1149,7 @@ ExprPtr Parser::parse_primary() {
         case TokenKind::kLBracket:
             return parse_postfix(parse_array_literal(TokenKind::kRBracket));
         case TokenKind::kKeyword: {
-            const std::string& kw = tok.text;
+            const std::string_view kw = tok.text;
             if (kw == "array" && peek(1).kind == TokenKind::kLParen) {
                 consume();
                 consume();
@@ -1149,7 +1159,7 @@ ExprPtr Parser::parse_primary() {
                 return parse_list_expr();
             if (kw == "isset") {
                 consume();
-                auto node = std::make_unique<IssetExpr>();
+                auto* node = arena_.create<IssetExpr>();
                 node->line = line;
                 expect(TokenKind::kLParen, "'('");
                 if (!check(TokenKind::kRParen)) {
@@ -1162,7 +1172,7 @@ ExprPtr Parser::parse_primary() {
             }
             if (kw == "empty") {
                 consume();
-                auto node = std::make_unique<EmptyExpr>();
+                auto* node = arena_.create<EmptyExpr>();
                 node->line = line;
                 expect(TokenKind::kLParen, "'('");
                 node->operand = parse_expression();
@@ -1177,31 +1187,31 @@ ExprPtr Parser::parse_primary() {
                 if (check_keyword("fn")) return parse_arrow_fn(true);
                 // static:: access
                 if (check(TokenKind::kDoubleColon)) {
-                    auto fake = std::make_unique<Variable>();
+                    auto* fake = arena_.create<Variable>();
                     fake->line = line;
                     fake->name = "static";
                     // Reuse the identifier path by synthesizing a class name.
                     consume();  // ::
                     if (check(TokenKind::kVariable)) {
-                        auto sp = std::make_unique<StaticPropertyAccess>();
+                        auto* sp = arena_.create<StaticPropertyAccess>();
                         sp->line = line;
                         sp->class_name = "static";
-                        std::string v = consume().text;
+                        const std::string_view v = consume().text;
                         sp->property = v.size() > 1 ? v.substr(1) : v;
-                        return parse_postfix(std::move(sp));
+                        return parse_postfix(sp);
                     }
-                    std::string member;
+                    std::string_view member;
                     if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword))
                         member = consume().text;
                     if (check(TokenKind::kLParen)) {
-                        auto call = std::make_unique<StaticCall>();
+                        auto* call = arena_.create<StaticCall>();
                         call->line = line;
                         call->class_name = "static";
                         call->method = member;
                         call->args = parse_call_args();
                         return parse_postfix(std::move(call));
                     }
-                    auto cc = std::make_unique<ClassConstAccess>();
+                    auto* cc = arena_.create<ClassConstAccess>();
                     cc->line = line;
                     cc->class_name = "static";
                     cc->constant = member;
@@ -1212,7 +1222,7 @@ ExprPtr Parser::parse_primary() {
             }
             if (kw == "eval") {
                 consume();
-                auto call = std::make_unique<FunctionCall>();
+                auto* call = arena_.create<FunctionCall>();
                 call->line = line;
                 call->name = "eval";
                 call->args = parse_call_args();
@@ -1221,7 +1231,7 @@ ExprPtr Parser::parse_primary() {
             if (kw == "match") {
                 // PHP 8 match: parse as opaque; evaluate arms for side effects.
                 consume();
-                auto call = std::make_unique<FunctionCall>();
+                auto* call = arena_.create<FunctionCall>();
                 call->line = line;
                 call->name = "match";
                 expect(TokenKind::kLParen, "'('");
@@ -1248,12 +1258,12 @@ ExprPtr Parser::parse_primary() {
         default:
             break;
     }
-    error_here("unexpected token '" + tok.text + "' in expression");
+    error_here("unexpected token '" + std::string(tok.text) + "' in expression");
     return nullptr;
 }
 
 ExprPtr Parser::parse_variable_expr() {
-    auto var = std::make_unique<Variable>();
+    auto* var = arena_.create<Variable>();
     var->line = current().line;
     var->name = consume().text;
     return var;
@@ -1261,18 +1271,17 @@ ExprPtr Parser::parse_variable_expr() {
 
 ExprPtr Parser::parse_identifier_expr() {
     const int line = current().line;
-    std::string name = parse_qualified_name();
-    const std::string lower = ascii_lower(name);
+    const std::string_view name = parse_qualified_name();
 
-    if (lower == "true" || lower == "false") {
-        auto lit = std::make_unique<Literal>();
+    if (iequals(name, "true") || iequals(name, "false")) {
+        auto* lit = arena_.create<Literal>();
         lit->line = line;
         lit->type = Literal::Type::kBool;
-        lit->value = lower;
+        lit->value = iequals(name, "true") ? "true" : "false";
         return lit;
     }
-    if (lower == "null") {
-        auto lit = std::make_unique<Literal>();
+    if (iequals(name, "null")) {
+        auto* lit = arena_.create<Literal>();
         lit->line = line;
         lit->type = Literal::Type::kNull;
         lit->value = "null";
@@ -1280,35 +1289,35 @@ ExprPtr Parser::parse_identifier_expr() {
     }
 
     if (check(TokenKind::kLParen)) {
-        auto call = std::make_unique<FunctionCall>();
+        auto* call = arena_.create<FunctionCall>();
         call->line = line;
-        call->name = std::move(name);
+        call->name = name;
         call->args = parse_call_args();
-        return parse_postfix(std::move(call));
+        return parse_postfix(call);
     }
 
     if (check(TokenKind::kDoubleColon)) {
         consume();
         if (check(TokenKind::kVariable)) {
-            auto sp = std::make_unique<StaticPropertyAccess>();
+            auto* sp = arena_.create<StaticPropertyAccess>();
             sp->line = line;
             sp->class_name = name;
-            std::string v = consume().text;
+            const std::string_view v = consume().text;
             sp->property = v.size() > 1 ? v.substr(1) : v;
-            return parse_postfix(std::move(sp));
+            return parse_postfix(sp);
         }
-        std::string member;
+        std::string_view member;
         if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword))
             member = consume().text;
         if (check(TokenKind::kLParen)) {
-            auto call = std::make_unique<StaticCall>();
+            auto* call = arena_.create<StaticCall>();
             call->line = line;
             call->class_name = name;
             call->method = std::move(member);
             call->args = parse_call_args();
             return parse_postfix(std::move(call));
         }
-        auto cc = std::make_unique<ClassConstAccess>();
+        auto* cc = arena_.create<ClassConstAccess>();
         cc->line = line;
         cc->class_name = name;
         cc->constant = std::move(member);
@@ -1316,7 +1325,7 @@ ExprPtr Parser::parse_identifier_expr() {
     }
 
     // Bare constant: untainted literal from the analysis's point of view.
-    auto lit = std::make_unique<Literal>();
+    auto* lit = arena_.create<Literal>();
     lit->line = line;
     lit->type = Literal::Type::kString;
     lit->value = "";
@@ -1329,8 +1338,8 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
         const int line = current().line;
         if (check(TokenKind::kArrow) || check(TokenKind::kNullsafeArrow)) {
             consume();
-            std::string member;
-            ExprPtr member_expr;
+            std::string_view member;
+            ExprPtr member_expr = nullptr;
             if (check(TokenKind::kIdentifier) || check(TokenKind::kKeyword)) {
                 member = consume().text;
             } else if (check(TokenKind::kVariable)) {
@@ -1343,7 +1352,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
                 return base;
             }
             if (check(TokenKind::kLParen)) {
-                auto call = std::make_unique<MethodCall>();
+                auto* call = arena_.create<MethodCall>();
                 call->line = line;
                 call->object = std::move(base);
                 call->method = std::move(member);
@@ -1351,7 +1360,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
                 call->args = parse_call_args();
                 base = std::move(call);
             } else {
-                auto prop = std::make_unique<PropertyAccess>();
+                auto* prop = arena_.create<PropertyAccess>();
                 prop->line = line;
                 prop->object = std::move(base);
                 prop->property = std::move(member);
@@ -1362,7 +1371,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
         }
         if (check(TokenKind::kLBracket)) {
             consume();
-            auto access = std::make_unique<ArrayAccess>();
+            auto* access = arena_.create<ArrayAccess>();
             access->line = line;
             access->base = std::move(base);
             if (!check(TokenKind::kRBracket)) access->index = parse_expression();
@@ -1384,7 +1393,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
                 n2.kind == TokenKind::kRBrace;
             if (!offset_like) break;
             consume();
-            auto access = std::make_unique<ArrayAccess>();
+            auto* access = arena_.create<ArrayAccess>();
             access->line = line;
             access->base = std::move(base);
             access->index = parse_expression();
@@ -1394,7 +1403,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
         }
         if (check(TokenKind::kLParen)) {
             // Calling an arbitrary expression: $fn(), ($obj->cb)(), closures.
-            auto call = std::make_unique<FunctionCall>();
+            auto* call = arena_.create<FunctionCall>();
             call->line = line;
             call->callee = std::move(base);
             call->args = parse_call_args();
@@ -1402,7 +1411,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
             continue;
         }
         if (check(TokenKind::kInc) || check(TokenKind::kDec)) {
-            auto node = std::make_unique<IncDec>();
+            auto* node = arena_.create<IncDec>();
             node->line = line;
             node->increment = check(TokenKind::kInc);
             node->prefix = false;
@@ -1416,8 +1425,8 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
     return base;
 }
 
-std::vector<Argument> Parser::parse_call_args() {
-    std::vector<Argument> args;
+ArenaVector<Argument> Parser::parse_call_args() {
+    ArenaVector<Argument> args;
     if (!expect(TokenKind::kLParen, "'('")) return args;
     if (accept(TokenKind::kRParen)) return args;
     do {
@@ -1442,7 +1451,7 @@ std::vector<Argument> Parser::parse_call_args() {
 
 ExprPtr Parser::parse_array_literal(TokenKind closer) {
     // The opener has already been consumed by the caller.
-    auto arr = std::make_unique<ArrayLiteral>();
+    auto* arr = arena_.create<ArrayLiteral>();
     arr->line = current().line;
     if (closer == TokenKind::kRBracket) consume();  // the caller left '[' intact
     if (accept(closer)) return arr;
@@ -1468,7 +1477,7 @@ ExprPtr Parser::parse_array_literal(TokenKind closer) {
 }
 
 ExprPtr Parser::parse_list_expr() {
-    auto list = std::make_unique<ListExpr>();
+    auto* list = arena_.create<ListExpr>();
     list->line = current().line;
     consume();  // list
     expect(TokenKind::kLParen, "'('");
@@ -1486,7 +1495,7 @@ ExprPtr Parser::parse_list_expr() {
 }
 
 ExprPtr Parser::parse_closure(bool is_static) {
-    auto closure = std::make_unique<Closure>();
+    auto* closure = arena_.create<Closure>();
     closure->line = current().line;
     consume();  // function
     accept(TokenKind::kAmp);  // by-ref return
@@ -1507,14 +1516,14 @@ ExprPtr Parser::parse_closure(bool is_static) {
     if (check(TokenKind::kLBrace)) {
         StmtPtr body = parse_statement();
         if (body && body->kind == NodeKind::kBlock)
-            closure->body = std::move(static_cast<Block*>(body.get())->statements);
+            closure->body = std::move(static_cast<Block*>(body)->statements);
     }
     (void)is_static;
     return closure;
 }
 
 ExprPtr Parser::parse_arrow_fn(bool is_static) {
-    auto closure = std::make_unique<Closure>();
+    auto* closure = arena_.create<Closure>();
     closure->line = current().line;
     closure->is_arrow = true;
     consume();  // fn
@@ -1522,7 +1531,7 @@ ExprPtr Parser::parse_arrow_fn(bool is_static) {
     closure->params = parse_params();
     if (accept(TokenKind::kColon)) parse_type_hint();
     if (accept(TokenKind::kDoubleArrow)) {
-        auto ret = std::make_unique<ReturnStmt>();
+        auto* ret = arena_.create<ReturnStmt>();
         ret->line = current().line;
         ret->value = parse_expression(kBpAssign);
         closure->body.push_back(std::move(ret));
@@ -1532,7 +1541,7 @@ ExprPtr Parser::parse_arrow_fn(bool is_static) {
 }
 
 ExprPtr Parser::parse_new() {
-    auto node = std::make_unique<New>();
+    auto* node = arena_.create<New>();
     node->line = current().line;
     consume();  // new
     if (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash)) {
@@ -1573,21 +1582,22 @@ ExprPtr Parser::parse_new() {
 
 ExprPtr Parser::parse_string_token(const Token& tok) {
     if (!tok.has_interpolation()) return make_string_literal(tok.value, tok.line);
-    auto interp = std::make_unique<InterpString>();
+    auto* interp = arena_.create<InterpString>();
     interp->line = tok.line;
     for (const StringPart& part : tok.parts) {
         if (part.kind == StringPart::Kind::kLiteral) {
             interp->parts.push_back(make_string_literal(part.text, tok.line));
         } else {
-            ExprPtr e = parse_expression_text(part.text, file_.name(), tok.line, sink_);
+            ExprPtr e = parse_expression_text(part.text, file_.name(), tok.line,
+                                              sink_, arena_);
             if (e) interp->parts.push_back(std::move(e));
         }
     }
     return interp;
 }
 
-std::vector<Param> Parser::parse_params() {
-    std::vector<Param> params;
+ArenaVector<Param> Parser::parse_params() {
+    ArenaVector<Param> params;
     if (!expect(TokenKind::kLParen, "'('")) return params;
     if (accept(TokenKind::kRParen)) return params;
     do {
@@ -1616,52 +1626,88 @@ std::vector<Param> Parser::parse_params() {
     return params;
 }
 
-std::string Parser::parse_type_hint() {
-    std::string hint;
+std::string_view Parser::parse_type_hint() {
+    // Single-name hints (the overwhelmingly common case) are returned as the
+    // token's own view; unions are materialized into the arena.
+    std::string_view single;
+    std::string multi;
+    bool is_multi = false;
+    bool any = false;
     accept(TokenKind::kQuestion);  // nullable
     while (true) {
         if (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash) ||
             check_keyword("array") || check_keyword("callable") ||
             check_keyword("static")) {
-            hint += parse_qualified_name();
+            const std::string_view part = parse_qualified_name();
+            if (!any) {
+                single = part;
+                any = true;
+            } else {
+                multi += part;
+            }
         } else {
             break;
         }
         if (accept(TokenKind::kPipe) || accept(TokenKind::kAmp)) {
-            hint += "|";
+            if (!is_multi) {
+                multi.assign(single);
+                is_multi = true;
+            }
+            multi += "|";
             continue;
         }
         break;
     }
-    return hint;
+    if (!is_multi) return single;
+    return arena_.store(multi);
 }
 
-std::string Parser::parse_qualified_name() {
-    std::string name;
-    if (accept(TokenKind::kBackslash)) name = "\\";
+std::string_view Parser::parse_qualified_name() {
+    // Unqualified names — nearly every name in plugin code — are views into
+    // the source; namespaced paths are joined into the arena.
+    const bool rooted = accept(TokenKind::kBackslash);
+    std::string_view single;
+    std::string multi;
+    bool is_multi = rooted;
+    if (rooted) multi = "\\";
     while (check(TokenKind::kIdentifier) || check_keyword("array") ||
            check_keyword("callable") || check_keyword("static") ||
            check_keyword("class")) {
-        name += consume().text;
+        const std::string_view part = consume().text;
+        if (is_multi)
+            multi += part;
+        else
+            single = part;
         if (check(TokenKind::kBackslash) && peek(1).kind == TokenKind::kIdentifier) {
             consume();
-            name += "\\";
+            if (!is_multi) {
+                multi.assign(single);
+                is_multi = true;
+            }
+            multi += "\\";
             continue;
         }
         break;
     }
-    if (name.empty() || name == "\\") {
-        error_here("expected identifier");
-        return name.empty() ? "<error>" : name;
+    if (!is_multi) {
+        if (single.empty()) {
+            error_here("expected identifier");
+            return "<error>";
+        }
+        return single;
     }
-    return name;
+    if (multi == "\\") {
+        error_here("expected identifier");
+        return "\\";
+    }
+    return arena_.store(multi);
 }
 
-ExprPtr Parser::make_string_literal(std::string value, int line) {
-    auto lit = std::make_unique<Literal>();
+ExprPtr Parser::make_string_literal(std::string_view value, int line) {
+    auto* lit = arena_.create<Literal>();
     lit->line = line;
     lit->type = Literal::Type::kString;
-    lit->value = std::move(value);
+    lit->value = value;
     return lit;
 }
 

@@ -7,12 +7,12 @@
 // robustness behaviour the paper measures in Section V.E.
 #pragma once
 
-#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "php/ast.h"
 #include "php/token.h"
+#include "util/arena.h"
 #include "util/diagnostics.h"
 #include "util/source.h"
 
@@ -36,7 +36,10 @@ class Parser {
 public:
     using Options = ParserOptions;
 
-    Parser(const SourceFile& file, DiagnosticSink& sink, Options options = {});
+    /// All AST nodes, decoded strings and synthesized names are allocated
+    /// from `arena`, which must outlive the returned FileUnit.
+    Parser(const SourceFile& file, Arena& arena, DiagnosticSink& sink,
+           Options options = {});
 
     /// Lexes and parses the whole file.
     FileUnit parse();
@@ -46,16 +49,17 @@ public:
     double lex_cpu_seconds() const noexcept { return lex_cpu_seconds_; }
 
     /// Parses a standalone PHP expression (used for string-interpolation
-    /// parts). Returns null on failure.
+    /// parts). Returns null on failure. The expression's nodes AND its
+    /// backing snippet text live in `arena`.
     static ExprPtr parse_expression_text(std::string_view php_expr,
-                                         const std::string& file_name, int line,
-                                         DiagnosticSink& sink);
+                                         std::string_view file_name, int line,
+                                         DiagnosticSink& sink, Arena& arena);
 
 private:
     // -- token cursor ------------------------------------------------------
     const Token& peek(size_t ahead = 0) const noexcept;
     const Token& current() const noexcept { return peek(0); }
-    Token consume();
+    const Token& consume();
     bool check(TokenKind kind) const noexcept { return current().kind == kind; }
     bool check_keyword(std::string_view kw) const noexcept {
         return current().is_keyword(kw);
@@ -89,7 +93,7 @@ private:
     // -- statements --------------------------------------------------------
     StmtPtr parse_statement();
     StmtPtr parse_block_or_statement();
-    std::vector<StmtPtr> parse_statement_list_until(
+    ArenaVector<StmtPtr> parse_statement_list_until(
         const std::vector<std::string_view>& end_keywords);
     StmtPtr parse_if();
     StmtPtr parse_while();
@@ -124,13 +128,18 @@ private:
     ExprPtr parse_arrow_fn(bool is_static);
     ExprPtr parse_new();
     ExprPtr parse_string_token(const Token& tok);
-    std::vector<Argument> parse_call_args();
-    std::vector<Param> parse_params();
-    std::string parse_type_hint();
-    std::string parse_qualified_name();
-    ExprPtr make_string_literal(std::string value, int line);
+    ArenaVector<Argument> parse_call_args();
+    ArenaVector<Param> parse_params();
+    std::string_view parse_type_hint();
+    std::string_view parse_qualified_name();
+    ExprPtr make_string_literal(std::string_view value, int line);
 
     const SourceFile& file_;
+    Arena& arena_;
+    /// Declared right after arena_: binds the thread's current arena for
+    /// the parser's whole lifetime, so every ArenaVector child list any
+    /// parse method constructs lands in the file's arena.
+    Arena::Bind arena_bind_{arena_};
     DiagnosticSink& sink_;
     Options options_;
     std::vector<Token> tokens_;

@@ -14,8 +14,13 @@ uint64_t content_hash(std::string_view text) noexcept { return fnv1a64(text); }
 
 std::string FunctionRef::qualified_name() const {
     if (!decl) return "<null>";
-    if (owner) return owner->name + "::" + decl->name;
-    return decl->name;
+    if (owner) {
+        std::string out(owner->name);
+        out += "::";
+        out += decl->name;
+        return out;
+    }
+    return std::string(decl->name);
 }
 
 void Project::add_file(std::string file_name, std::string text) {
@@ -42,11 +47,14 @@ void Project::parse_all(DiagnosticSink& sink) {
         pf->source =
             std::make_unique<SourceFile>(pending.name, std::move(pending.text));
         const obs::CounterDelta delta;
-        Parser parser(*pf->source, sink);
+        Parser parser(*pf->source, pf->arena, sink);
         pf->unit = parser.parse();
         pf->ast_nodes = delta.take().ast_nodes;
         lex_seconds += parser.lex_cpu_seconds();
         ++obs::tls().files_parsed;
+        obs::tls().alloc_arena_bytes += pf->arena.bytes_allocated();
+        obs::tls().alloc_arena_blocks += pf->arena.block_count();
+        obs::tls().alloc_string_bytes += pf->arena.string_bytes();
         for (const std::string& failed : sink.failed_files())
             if (failed == pending.name) pf->parse_failed = true;
         files_[pending.slot] = std::move(pf);
@@ -79,36 +87,35 @@ const ParsedFile* Project::file_named(std::string_view name) const {
     return nullptr;
 }
 
-void Project::index_statements(const std::vector<StmtPtr>& stmts,
+void Project::index_statements(const ArenaVector<StmtPtr>& stmts,
                                const std::string& file) {
-    // Pass 1: register classes and their methods (walk_stmt also visits
-    // method FunctionDecls; remember them so pass 2 can tell free functions
-    // apart from methods).
-    std::set<const FunctionDecl*> method_decls;
+    // Pass 1: register classes and their methods. Keys are views of the
+    // declaration names in the file's arena; `file` is the stable
+    // unit.file_name of the declaring ParsedFile — indexing a declaration
+    // costs one tree-node allocation and nothing else.
     auto visit = [&](const Stmt& s) {
         if (s.kind != NodeKind::kClassDecl) return;
         const auto& cls = static_cast<const ClassDecl&>(s);
-        classes_.emplace(ascii_lower(cls.name), &cls);
-        class_files_.emplace(ascii_lower(cls.name), file);
-        for (const auto& method : cls.methods) {
-            FunctionRef ref{method.get(), &cls, file};
-            methods_.emplace(ascii_lower(cls.name) + "::" + ascii_lower(method->name),
-                             ref);
+        classes_.emplace(cls.name, &cls);
+        class_files_.emplace(cls.name, &file);
+        for (const FunctionDecl* method : cls.methods) {
+            FunctionRef ref{method, &cls, file};
+            methods_.emplace(MethodKey{cls.name, method->name}, ref);
             function_list_.push_back(ref);
-            method_decls.insert(method.get());
         }
     };
     for (const StmtPtr& stmt : stmts)
         if (stmt) walk_stmt(*stmt, [](const Expr&) {}, visit);
 
     // Pass 2: free functions, wherever declared (top level, inside
-    // conditional guards, nested in other functions).
+    // conditional guards, nested in other functions). walk_stmt also visits
+    // method FunctionDecls; the parser marks those with is_method.
     auto visit_fn = [&](const Stmt& s) {
         if (s.kind != NodeKind::kFunctionDecl) return;
         const auto& fn = static_cast<const FunctionDecl&>(s);
-        if (method_decls.count(&fn)) return;
+        if (fn.is_method) return;
         FunctionRef ref{&fn, nullptr, file};
-        functions_.emplace(ascii_lower(fn.name), ref);
+        functions_.emplace(fn.name, ref);
         function_list_.push_back(ref);
     };
     for (const StmtPtr& stmt : stmts)
@@ -120,11 +127,26 @@ void Project::record_calls_stmt(const Stmt& s) {
         s, [this](const Expr& e) { record_calls_expr(e); }, [](const Stmt&) {});
 }
 
+void Project::note_called_function(std::string_view name) {
+    call_key_.clear();
+    append_folded(call_key_, name);
+    if (!called_functions_.count(call_key_)) called_functions_.insert(call_key_);
+}
+
+void Project::note_called_method(std::string_view class_name,
+                                 std::string_view method) {
+    call_key_.clear();
+    append_folded(call_key_, class_name);
+    call_key_ += "::";
+    append_folded(call_key_, method);
+    if (!called_methods_.count(call_key_)) called_methods_.insert(call_key_);
+}
+
 void Project::record_calls_expr(const Expr& e) {
     switch (e.kind) {
         case NodeKind::kFunctionCall: {
             const auto& call = static_cast<const FunctionCall&>(e);
-            if (!call.name.empty()) called_functions_.insert(ascii_lower(call.name));
+            if (!call.name.empty()) note_called_function(call.name);
             // Callback registration APIs make the named function "called":
             // add_action('init', 'my_handler') etc. keep handlers reachable.
             static const char* kCallbackApis[] = {
@@ -139,7 +161,7 @@ void Project::record_calls_expr(const Expr& e) {
                     if (arg.value->kind == NodeKind::kLiteral) {
                         const auto& lit = static_cast<const Literal&>(*arg.value);
                         if (lit.type == Literal::Type::kString && !lit.value.empty())
-                            called_functions_.insert(ascii_lower(lit.value));
+                            note_called_function(lit.value);
                     }
                     // array($obj, 'method') / array('Class', 'method')
                     if (arg.value->kind == NodeKind::kArrayLiteral) {
@@ -149,7 +171,7 @@ void Project::record_calls_expr(const Expr& e) {
                             const auto& lit =
                                 static_cast<const Literal&>(*arr.items[1].value);
                             if (lit.type == Literal::Type::kString)
-                                called_methods_.insert("::" + ascii_lower(lit.value));
+                                note_called_method("", lit.value);
                         }
                     }
                 }
@@ -159,20 +181,19 @@ void Project::record_calls_expr(const Expr& e) {
         case NodeKind::kMethodCall: {
             const auto& call = static_cast<const MethodCall&>(e);
             if (!call.method.empty())
-                called_methods_.insert("::" + ascii_lower(call.method));
+                note_called_method("", call.method);
             break;
         }
         case NodeKind::kStaticCall: {
             const auto& call = static_cast<const StaticCall&>(e);
-            called_methods_.insert(ascii_lower(call.class_name) + "::" +
-                                   ascii_lower(call.method));
-            called_methods_.insert("::" + ascii_lower(call.method));
+            note_called_method(call.class_name, call.method);
+            note_called_method("", call.method);
             break;
         }
         case NodeKind::kNew: {
             const auto& n = static_cast<const New&>(e);
             if (!n.class_name.empty())
-                called_methods_.insert(ascii_lower(n.class_name) + "::__construct");
+                note_called_method(n.class_name, "__construct");
             break;
         }
         default:
@@ -181,41 +202,40 @@ void Project::record_calls_expr(const Expr& e) {
 }
 
 const FunctionRef* Project::find_function(std::string_view name) const {
-    const auto it = functions_.find(ascii_lower(name));
+    const auto it = functions_.find(name);  // transparent folded compare
     return it == functions_.end() ? nullptr : &it->second;
 }
 
 const ClassDecl* Project::find_class(std::string_view name) const {
-    const auto it = classes_.find(ascii_lower(name));
+    const auto it = classes_.find(name);
     return it == classes_.end() ? nullptr : it->second;
 }
 
 const std::string& Project::file_of_class(std::string_view class_name) const {
     static const std::string kEmpty;
-    const auto it = class_files_.find(ascii_lower(class_name));
-    return it == class_files_.end() ? kEmpty : it->second;
+    const auto it = class_files_.find(class_name);
+    return it == class_files_.end() ? kEmpty : *it->second;
 }
 
 const FunctionRef* Project::find_method(std::string_view class_name,
                                         std::string_view method_name) const {
-    std::string cls = ascii_lower(class_name);
-    const std::string method = ascii_lower(method_name);
-    // Walk the inheritance chain (single inheritance, as in PHP).
+    std::string_view cls = class_name;
+    // Walk the inheritance chain (single inheritance, as in PHP). The
+    // composite key probes case-preserving; MethodKeyLess folds per part.
     for (int depth = 0; depth < 16; ++depth) {
-        const auto it = methods_.find(cls + "::" + method);
+        const auto it = methods_.find(MethodKey{cls, method_name});
         if (it != methods_.end()) return &it->second;
         const auto cit = classes_.find(cls);
         if (cit == classes_.end() || cit->second->parent.empty()) return nullptr;
-        cls = ascii_lower(cit->second->parent);
+        cls = cit->second->parent;
     }
     return nullptr;
 }
 
 const FunctionRef* Project::find_method_any(std::string_view method_name) const {
-    const std::string suffix = "::" + ascii_lower(method_name);
     const FunctionRef* found = nullptr;
     for (const auto& [key, ref] : methods_) {
-        if (!ends_with(key, suffix)) continue;
+        if (folded_compare(key.method, method_name) != 0) continue;
         if (found) return nullptr;  // ambiguous
         found = &ref;
     }

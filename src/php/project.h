@@ -22,13 +22,22 @@
 #include <vector>
 
 #include "php/ast.h"
+#include "util/arena.h"
 #include "util/diagnostics.h"
 #include "util/source.h"
+#include "util/strings.h"
 
 namespace phpsafe::php {
 
+/// One immutable parsed file. The AST's nodes and every string_view hanging
+/// off them point into `arena` or `source`; member order matters — `unit` is
+/// destroyed first, then the arena, then the source text, so nothing dangles
+/// during teardown. Holders of node pointers (engine scopes, summaries,
+/// findings) must either keep the owning shared_ptr alive or copy/intern the
+/// strings they retain (see docs/performance.md).
 struct ParsedFile {
     std::unique_ptr<SourceFile> source;
+    Arena arena;  ///< backs all AST nodes + decoded/synthesized strings
     FileUnit unit;
     bool parse_failed = false;  ///< a kFatal diagnostic was recorded
     uint64_t content_hash = 0;  ///< fnv1a64 of the source text
@@ -40,11 +49,14 @@ struct ParsedFile {
 /// entry in the incremental service's cache.
 uint64_t content_hash(std::string_view text) noexcept;
 
-/// Where a function/method declaration lives.
+/// Where a function/method declaration lives. `file` is a view of the
+/// declaring ParsedFile's unit.file_name — valid as long as the Project
+/// (which pins every ParsedFile by shared_ptr) is alive, and copying a
+/// FunctionRef never touches the heap.
 struct FunctionRef {
     const FunctionDecl* decl = nullptr;
     const ClassDecl* owner = nullptr;  ///< null for free functions
-    std::string file;
+    std::string_view file;
 
     /// "name" for free functions, "Class::name" for methods.
     std::string qualified_name() const;
@@ -134,9 +146,15 @@ public:
     const ParsedFile* resolve_include(std::string_view path) const;
 
 private:
-    void index_statements(const std::vector<StmtPtr>& stmts, const std::string& file);
+    void index_statements(const ArenaVector<StmtPtr>& stmts, const std::string& file);
     void record_calls_expr(const Expr& e);
     void record_calls_stmt(const Stmt& s);
+    /// Folds `name` into the reused scratch key and records it; allocates
+    /// only the first time a given name is seen (call sites vastly outnumber
+    /// unique callees, so the hot path stays allocation-free).
+    void note_called_function(std::string_view name);
+    /// Records "class::method" (or "::method" when the class is unknown).
+    void note_called_method(std::string_view class_name, std::string_view method);
 
     std::string name_;
     /// Files in registration order. Slots for add_file() entries stay null
@@ -148,13 +166,34 @@ private:
         std::string text;
     };
     std::vector<PendingFile> pending_;
-    std::map<std::string, FunctionRef> functions_;  ///< key: lowercase name
-    std::map<std::string, const ClassDecl*> classes_;
-    std::map<std::string, std::string> class_files_;  ///< lowercase class → file
-    std::map<std::string, FunctionRef> methods_;  ///< key: "class::method" lc
+    /// Declaration tables. Keys are views of the declaration names, which
+    /// live in the owning file's arena (pinned by files_), under the
+    /// transparent FoldedLess comparator — so indexing a declaration costs
+    /// one tree-node allocation and lookups pass mixed-case string_views
+    /// straight from AST nodes without allocating a folded temporary.
+    std::map<std::string_view, FunctionRef, FoldedLess> functions_;
+    std::map<std::string_view, const ClassDecl*, FoldedLess> classes_;
+    /// Values point at the declaring file's unit.file_name (stable).
+    std::map<std::string_view, const std::string*, FoldedLess> class_files_;
+    /// Methods are keyed (class, method) — both views — folded per part.
+    struct MethodKey {
+        std::string_view class_name;
+        std::string_view method;
+    };
+    struct MethodKeyLess {
+        using is_transparent = void;
+        constexpr bool operator()(const MethodKey& a,
+                                  const MethodKey& b) const noexcept {
+            const int c = folded_compare(a.class_name, b.class_name);
+            if (c != 0) return c < 0;
+            return folded_compare(a.method, b.method) < 0;
+        }
+    };
+    std::map<MethodKey, FunctionRef, MethodKeyLess> methods_;
     std::vector<FunctionRef> function_list_;
     std::set<std::string> called_functions_;
     std::set<std::string> called_methods_;  ///< "class::method" or "::method"
+    std::string call_key_;  ///< scratch buffer for note_called_* key folding
     BuildStats build_stats_;
 };
 

@@ -4,9 +4,15 @@
 //  * interpolated double-quoted strings / heredocs are one token carrying a
 //    structured part list instead of an ENCAPSED token run;
 //  * one-character punctuation is a kind per character family.
+//
+// Tokens are zero-copy: `text` and `value` are string_views into the
+// SourceFile's retained text whenever the lexeme needs no transformation,
+// and into the per-file Arena when it does (decoded escapes, case-folded
+// keywords, synthesized interpolation expressions). Either way the bytes
+// live exactly as long as the ParsedFile that owns source and arena.
 #pragma once
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/source.h"
@@ -30,7 +36,6 @@ enum class TokenKind {
     kDoubleQuotedString, ///< may carry interpolation parts
     kHeredoc,            ///< behaves like kDoubleQuotedString
     kNowdoc,             ///< behaves like kSingleQuotedString
-
     kComment,            ///< only emitted when Lexer::Options::keep_comments
 
     kCast,               ///< "(int)" etc.; value() holds the cast name
@@ -70,13 +75,13 @@ const char* to_string(TokenKind kind);
 /// expression kept as raw PHP source (re-parsed by the parser on demand).
 struct StringPart {
     enum class Kind { kLiteral, kExpression } kind = Kind::kLiteral;
-    std::string text;  ///< literal contents or raw expression source
+    std::string_view text;  ///< literal contents or raw expression source
 };
 
 struct Token {
     TokenKind kind = TokenKind::kEndOfFile;
-    std::string text;               ///< raw lexeme (keyword text is lowercased)
-    std::string value;              ///< decoded value for strings / cast name
+    std::string_view text;          ///< raw lexeme (keyword text is lowercased)
+    std::string_view value;         ///< decoded value for strings / cast name
     std::vector<StringPart> parts;  ///< interpolation parts (strings only)
     int line = 0;
 

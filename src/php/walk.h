@@ -29,7 +29,7 @@ inline void for_each_child_expr(const Expr& e, const ExprVisitor& ec) {
     auto visit = [&](const ExprPtr& p) {
         if (p) ec(*p);
     };
-    auto visit_args = [&](const std::vector<Argument>& args) {
+    auto visit_args = [&](const ArenaVector<Argument>& args) {
         for (const Argument& a : args) visit(a.value);
     };
     switch (e.kind) {
@@ -137,7 +137,7 @@ inline void for_each_child(const Stmt& s, const ExprVisitor& ec, const StmtVisit
     auto visit_s = [&](const StmtPtr& p) {
         if (p) sc(*p);
     };
-    auto visit_list = [&](const std::vector<StmtPtr>& stmts) {
+    auto visit_list = [&](const ArenaVector<StmtPtr>& stmts) {
         for (const StmtPtr& p : stmts) visit_s(p);
     };
     switch (s.kind) {

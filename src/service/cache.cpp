@@ -22,9 +22,9 @@ std::string hex64(uint64_t v) {
 }  // namespace
 
 uint64_t approx_bytes(const php::ParsedFile& file) {
-    // Text plus a flat per-node AST estimate; the constant only needs to be
-    // the right order of magnitude for the byte budget to bound memory.
-    return 64 + file.text_bytes + file.ast_nodes * 96;
+    // Exact, not an estimate: the model is arena-allocated, so the arena's
+    // own ledger plus the retained source text IS the entry's footprint.
+    return 64 + file.arena.bytes_allocated() + file.text_bytes;
 }
 
 uint64_t approx_bytes(const Finding& finding) {
@@ -66,7 +66,7 @@ bool validate_deps(const SummaryArtifact& artifact, const php::Project& project)
             }
             case SummaryDep::Kind::kFunction: {
                 const php::FunctionRef* ref = project.find_function(dep.name);
-                if ((ref ? ref->file : std::string()) != dep.file) return false;
+                if ((ref ? ref->file : std::string_view()) != dep.file) return false;
                 break;
             }
             case SummaryDep::Kind::kMethod: {
@@ -75,12 +75,12 @@ bool validate_deps(const SummaryArtifact& artifact, const php::Project& project)
                 const php::FunctionRef* ref = project.find_method(
                     std::string_view(dep.name).substr(0, sep),
                     std::string_view(dep.name).substr(sep + 2));
-                if ((ref ? ref->file : std::string()) != dep.file) return false;
+                if ((ref ? ref->file : std::string_view()) != dep.file) return false;
                 break;
             }
             case SummaryDep::Kind::kMethodAny: {
                 const php::FunctionRef* ref = project.find_method_any(dep.name);
-                if ((ref ? ref->file : std::string()) != dep.file) return false;
+                if ((ref ? ref->file : std::string_view()) != dep.file) return false;
                 break;
             }
             case SummaryDep::Kind::kClass: {
@@ -180,7 +180,9 @@ void AnalysisCache::insert_file(
     key += kSep;
     key += hex64(file->content_hash);
     std::lock_guard<std::mutex> lock(mutex_);
-    insert(files_, key, file, approx_bytes(*file));
+    const uint64_t bytes = approx_bytes(*file);
+    obs::tls().cache_bytes_parsed += bytes;
+    insert(files_, key, file, bytes);
     stats_.file_entries = files_.entries.size();
 }
 

@@ -197,7 +197,7 @@ void AnalysisService::perform_scan(PendingScan& scan) {
         }
         response.files_reused = project.build_stats().files_reused;
 
-        std::map<std::string, uint64_t> file_hashes;
+        std::map<std::string, uint64_t, std::less<>> file_hashes;
         for (const auto& parsed : project.files())
             if (parsed) file_hashes[parsed->source->name()] = parsed->content_hash;
 
@@ -255,7 +255,7 @@ void AnalysisService::perform_scan(PendingScan& scan) {
         // Admit this run's reusable summaries, pinning each kFile dep to
         // the content hash it was computed against.
         if (summary_reuse) {
-            std::map<std::string, const std::string*> declaring_file;
+            std::map<std::string, const std::string_view*> declaring_file;
             for (const php::FunctionRef& ref : project.all_functions()) {
                 if (!ref.decl) continue;
                 declaring_file.emplace(ascii_lower(ref.qualified_name()),

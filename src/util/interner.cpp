@@ -28,17 +28,42 @@ Symbol SymbolTable::intern(std::string_view name) {
 }
 
 Symbol SymbolTable::intern_folded(std::string_view name) {
+    // Hash the folded form without materializing it; for already-lowercase
+    // input this equals fnv1a(name), so all spellings share one slot.
     bool needs_fold = false;
-    for (const char c : name)
-        if (c >= 'A' && c <= 'Z') {
-            needs_fold = true;
-            break;
+    uint32_t hash = 2166136261u;
+    for (const char c : name) {
+        const char f = ascii_tolower_char(c);
+        if (f != c) needs_fold = true;
+        hash ^= static_cast<unsigned char>(f);
+        hash *= 16777619u;
+    }
+    if (!needs_fold) return insert(name, hash);
+    // No-alloc probe: stored names are already folded, so compare them
+    // against the folded view of `name` character by character.
+    const size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    for (;;) {
+        const Slot& slot = slots_[i];
+        if (slot.index == Symbol::kInvalidId) break;
+        if (slot.hash == hash && names_[slot.index].size() == name.size()) {
+            const std::string& stored = names_[slot.index];
+            bool equal = true;
+            for (size_t k = 0; k < name.size(); ++k)
+                if (stored[k] != ascii_tolower_char(name[k])) {
+                    equal = false;
+                    break;
+                }
+            if (equal) return Symbol{slot.index};
         }
-    if (!needs_fold) return intern(name);
+        i = (i + 1) & mask;
+    }
+    // First sighting of this spelling class: materialize the folded key once
+    // and take the normal insert path (which re-probes after any rehash).
     std::string folded;
     folded.reserve(name.size());
     for (const char c : name) folded.push_back(ascii_tolower_char(c));
-    return intern(folded);
+    return insert(folded, hash);
 }
 
 std::string_view SymbolTable::name(Symbol symbol) const noexcept {

@@ -118,5 +118,48 @@ TEST(DeterminismTest, ServiceFindingsIndependentOfCacheStateAndWorkers) {
         EXPECT_EQ(arms[0], arms[i]) << "arm " << i << " diverged";
 }
 
+// Arena-lifetime probe: with a parsed-file pool too small to hold anything,
+// every scan's arenas (and all string_views into them) are destroyed as soon
+// as the scan finishes, while the summary pool keeps artifacts computed from
+// those arenas alive across scans. Re-editing only the entry file forces the
+// next scan to re-resolve includes and validate those surviving summaries
+// against hashes and names captured during the evicted scan — anything a
+// summary or finding kept by view instead of by copy dangles here, which a
+// -DPHPSAFE_SANITIZE=address build turns into a hard failure. Findings must
+// also stay byte-identical to an eviction-free service.
+TEST(DeterminismTest, SummariesSurviveParsedFileEviction) {
+    const std::vector<service::SourceFileSpec> files = {
+        {"lib.php", "<?php function wrap($v) { return inner($v); }"},
+        {"util.php", "<?php function inner($v) { return $v; }"},
+        {"main.php",
+         "<?php include 'lib.php'; include 'util.php'; "
+         "echo wrap($_GET['x']);"}};
+    auto make_request = [&](int rev) {
+        service::ScanRequest request;
+        request.plugin = "evict-probe";
+        request.files = files;
+        request.files.back().text += "\n// rev " + std::to_string(rev) + "\n";
+        return request;
+    };
+
+    service::ServiceOptions starved;
+    // Holds roughly one parsed file: admitting the next file evicts the
+    // previous one, so arenas churn constantly while summaries persist.
+    starved.budgets.file_bytes = 768;
+    starved.budgets.result_bytes = 0;  // force the full pipeline every scan
+    service::AnalysisService churn(starved);
+    service::AnalysisService reference;
+
+    std::vector<std::string> churn_reports, reference_reports;
+    for (int rev = 0; rev < 4; ++rev) {
+        const service::ScanRequest request = make_request(rev);
+        churn_reports.push_back(render_json_report(churn.scan(request).result));
+        reference_reports.push_back(
+            render_json_report(reference.scan(request).result));
+    }
+    EXPECT_GT(churn.cache_stats().evictions, 0u);
+    EXPECT_EQ(churn_reports, reference_reports);
+}
+
 }  // namespace
 }  // namespace phpsafe

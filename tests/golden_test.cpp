@@ -102,8 +102,9 @@ TEST_F(GoldenReproduction, CorpusVitals) {
 // result-cache hit + rips preset), stats before/after clear, malformed
 // JSON, unknown ops, and quit. Regenerate the fixture after an intentional
 // protocol change with:
-//   ./build/tools/phpsafe_serve --deterministic \
+//   ./build/tools/phpsafe_serve --deterministic
 //     < tests/golden/ndjson_session.in > tests/golden/ndjson_session.out
+// (one command; wrapped here for line length)
 TEST(GoldenNdjsonProtocol, SessionTranscriptMatches) {
     const std::string dir = PHPSAFE_GOLDEN_DIR;
     std::ifstream script(dir + "/ndjson_session.in", std::ios::binary);

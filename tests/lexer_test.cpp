@@ -3,16 +3,30 @@
 // heredocs, comments, operators, casts).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "php/lexer.h"
 #include "util/source.h"
 
 namespace phpsafe::php {
 namespace {
 
+/// Owns the source text and arena the returned tokens' views point into;
+/// kept alive for the whole test run so token text never dangles.
+struct LexKeeper {
+    explicit LexKeeper(std::string code)
+        : file("test.php", std::move(code)) {}
+    SourceFile file;
+    Arena arena;
+};
+
 std::vector<Token> lex(const std::string& code, Lexer::Options options = {}) {
-    SourceFile file("test.php", code);
+    static std::vector<std::unique_ptr<LexKeeper>> keepers;
+    keepers.push_back(std::make_unique<LexKeeper>(code));
+    LexKeeper& k = *keepers.back();
     DiagnosticSink sink;
-    Lexer lexer(file, sink, options);
+    Lexer lexer(k.file, k.arena, sink, options);
     return lexer.tokenize();
 }
 
@@ -236,7 +250,8 @@ TEST(LexerTest, LineNumbersTracked) {
 TEST(LexerTest, UnterminatedStringRecordsError) {
     SourceFile file("bad.php", "<?php $x = 'oops");
     DiagnosticSink sink;
-    Lexer lexer(file, sink);
+    Arena arena;
+    Lexer lexer(file, arena, sink);
     lexer.tokenize();
     EXPECT_GE(sink.count(Severity::kError), 1);
 }

@@ -3,6 +3,9 @@
 // casts vs parens, and precedence corners.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "php/lexer.h"
 #include "php/parser.h"
 #include "util/source.h"
@@ -10,10 +13,21 @@
 namespace phpsafe::php {
 namespace {
 
+/// Owns the source text and arena a parsed unit's nodes point into; kept
+/// alive for the whole test run so returned FileUnits never dangle.
+struct ParseKeeper {
+    explicit ParseKeeper(std::string code)
+        : file("edge.php", std::move(code)) {}
+    SourceFile file;
+    Arena arena;
+};
+
 FileUnit parse(const std::string& code) {
-    SourceFile file("edge.php", code);
+    static std::vector<std::unique_ptr<ParseKeeper>> keepers;
+    keepers.push_back(std::make_unique<ParseKeeper>(code));
+    ParseKeeper& k = *keepers.back();
     DiagnosticSink sink;
-    Parser parser(file, sink);
+    Parser parser(k.file, k.arena, sink);
     return parser.parse();
 }
 
@@ -213,7 +227,8 @@ TEST(ParserEdgeTest, ClosureImmediatelyInvoked) {
 TEST(LexerEdgeTest, DollarBraceInterpolation) {
     SourceFile file("t.php", "<?php \"pre ${name} post\";");
     DiagnosticSink sink;
-    Lexer lexer(file, sink);
+    Arena arena;
+    Lexer lexer(file, arena, sink);
     const auto tokens = lexer.tokenize();
     ASSERT_TRUE(tokens[1].has_interpolation());
     EXPECT_EQ(tokens[1].parts[1].text, "$name");
@@ -222,7 +237,8 @@ TEST(LexerEdgeTest, DollarBraceInterpolation) {
 TEST(LexerEdgeTest, ConsecutiveInterpolations) {
     SourceFile file("t.php", "<?php \"$a$b\";");
     DiagnosticSink sink;
-    Lexer lexer(file, sink);
+    Arena arena;
+    Lexer lexer(file, arena, sink);
     const auto tokens = lexer.tokenize();
     ASSERT_EQ(tokens[1].parts.size(), 2u);
     EXPECT_EQ(tokens[1].parts[0].text, "$a");
@@ -232,7 +248,8 @@ TEST(LexerEdgeTest, ConsecutiveInterpolations) {
 TEST(LexerEdgeTest, DollarWithoutNameIsLiteral) {
     SourceFile file("t.php", "<?php \"costs $5\";");
     DiagnosticSink sink;
-    Lexer lexer(file, sink);
+    Arena arena;
+    Lexer lexer(file, arena, sink);
     const auto tokens = lexer.tokenize();
     EXPECT_FALSE(tokens[1].has_interpolation());
     EXPECT_EQ(tokens[1].value, "costs $5");
@@ -241,7 +258,8 @@ TEST(LexerEdgeTest, DollarWithoutNameIsLiteral) {
 TEST(LexerEdgeTest, WindowsLineEndings) {
     SourceFile file("t.php", "<?php\r\n$a = 1;\r\n$b = 2;\r\n");
     DiagnosticSink sink;
-    Lexer lexer(file, sink);
+    Arena arena;
+    Lexer lexer(file, arena, sink);
     const auto tokens = lexer.tokenize();
     EXPECT_EQ(tokens[1].text, "$a");
     EXPECT_EQ(tokens[1].line, 2);
@@ -254,7 +272,8 @@ std::vector<Diagnostic> parse_diags(const std::string& code,
                                     ParserOptions options = {}) {
     SourceFile file("edge.php", code);
     DiagnosticSink sink;
-    Parser parser(file, sink, options);
+    Arena arena;
+    Parser parser(file, arena, sink, options);
     (void)parser.parse();
     return sink.diagnostics();
 }

@@ -2,16 +2,30 @@
 // verified through compact s-expression dumps.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "php/parser.h"
 #include "util/source.h"
 
 namespace phpsafe::php {
 namespace {
 
+/// Owns the source text and arena a parsed unit's nodes point into; kept
+/// alive for the whole test run so returned FileUnits never dangle.
+struct ParseKeeper {
+    explicit ParseKeeper(std::string code)
+        : file("test.php", std::move(code)) {}
+    SourceFile file;
+    Arena arena;
+};
+
 FileUnit parse(const std::string& code, DiagnosticSink* sink_out = nullptr) {
-    SourceFile file("test.php", code);
+    static std::vector<std::unique_ptr<ParseKeeper>> keepers;
+    keepers.push_back(std::make_unique<ParseKeeper>(code));
+    ParseKeeper& k = *keepers.back();
     DiagnosticSink sink;
-    Parser parser(file, sink);
+    Parser parser(k.file, k.arena, sink);
     FileUnit unit = parser.parse();
     if (sink_out) *sink_out = sink;
     return unit;
@@ -316,7 +330,9 @@ TEST(ParserTest, NestedFunctionInsideIf) {
 
 TEST(ParserTest, ParseExpressionText) {
     DiagnosticSink sink;
-    ExprPtr expr = Parser::parse_expression_text("$a->b['c']", "f.php", 7, sink);
+    Arena arena;
+    ExprPtr expr =
+        Parser::parse_expression_text("$a->b['c']", "f.php", 7, sink, arena);
     ASSERT_NE(expr, nullptr);
     EXPECT_EQ(dump(*expr), "(index (prop $a b) \"c\")");
     EXPECT_EQ(expr->line, 7);

@@ -64,6 +64,23 @@ TEST(ServiceTest, IdenticalRescanHitsResultPool) {
     EXPECT_EQ(render_json_report(cold.result), render_json_report(warm.result));
 }
 
+TEST(ServiceTest, ColdScanChargesParsedBytesGauge) {
+    AnalysisService service;
+    const std::string code = "<?php echo $_GET['x'];";
+    const ScanRequest request = simple_request("demo", {{"a.php", code}});
+    const ScanResponse cold = service.scan(request);
+    // The parsed-file pool charges the arena ledger plus the retained source
+    // (plus a fixed entry header), so the gauge must reconcile exactly with
+    // the arena counter for a single freshly parsed file.
+    EXPECT_EQ(cold.counters.cache_bytes_parsed,
+              64 + cold.counters.alloc_arena_bytes + code.size());
+    EXPECT_GT(cold.counters.alloc_arena_bytes, 0u);
+    // A byte-identical rescan is served from the result pool: nothing is
+    // parsed, so nothing new is charged.
+    const ScanResponse warm = service.scan(request);
+    EXPECT_EQ(warm.counters.cache_bytes_parsed, 0u);
+}
+
 TEST(ServiceTest, EditedFileReusesUnchangedAstsAndSummaries) {
     AnalysisService service;
     (void)service.scan(layered_request("return htmlentities($v);"));

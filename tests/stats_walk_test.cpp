@@ -71,11 +71,16 @@ TEST(StatsTest, StatsResetBetweenRuns) {
 // -- walkers -------------------------------------------------------------------
 
 php::FileUnit parse_unit(const std::string& code) {
+    // The returned unit's nodes and name views live in the arena/source, so
+    // both must outlive the caller's use; keep the latest pair alive.
     static phpsafe::SourceFile* file = nullptr;
+    static phpsafe::Arena* arena = nullptr;
     delete file;
+    delete arena;
     file = new phpsafe::SourceFile("w.php", code);
+    arena = new phpsafe::Arena();
     DiagnosticSink sink;
-    php::Parser parser(*file, sink);
+    php::Parser parser(*file, *arena, sink);
     return parser.parse();
 }
 
