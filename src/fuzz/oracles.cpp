@@ -1,8 +1,12 @@
 #include "fuzz/oracles.h"
 
+#include <atomic>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "dynamic/validator.h"
+#include "util/strings.h"
 
 namespace phpsafe::fuzz {
 
@@ -23,6 +27,7 @@ std::string to_string(Oracle oracle) {
         case Oracle::kDeterminism: return "determinism";
         case Oracle::kMonotonicity: return "monotonicity";
         case Oracle::kAgreement: return "agreement";
+        case Oracle::kConcurrency: return "concurrency";
     }
     return "?";
 }
@@ -32,6 +37,7 @@ bool oracle_from_string(std::string_view text, Oracle& out) {
     else if (text == "determinism") out = Oracle::kDeterminism;
     else if (text == "monotonicity") out = Oracle::kMonotonicity;
     else if (text == "agreement") out = Oracle::kAgreement;
+    else if (text == "concurrency") out = Oracle::kConcurrency;
     else return false;
     return true;
 }
@@ -71,6 +77,7 @@ std::vector<Violation> OracleRunner::run(const FuzzCase& c) {
             run_agreement(c, result, project, out);
     }
     if (options_.check_determinism) run_determinism(c, out);
+    if (options_.check_concurrency) run_concurrency(c, out);
     return out;
 }
 
@@ -87,20 +94,23 @@ void OracleRunner::run_no_crash(const FuzzCase& c, const AnalysisResult& result,
                  " of " + std::to_string(c.files.size()) + " input files"});
 }
 
+void OracleRunner::ensure_services() {
+    if (serial_) return;
+    service::ServiceOptions one;
+    one.workers = 1;
+    // With the result pool on, a repeat scan would be answered from the
+    // stored result — trivially identical. Turning it off forces the
+    // second scan through the warm file/summary path under test.
+    one.reuse_results = false;
+    serial_ = std::make_unique<service::AnalysisService>(one);
+    service::ServiceOptions four = one;
+    four.workers = 4;
+    parallel_ = std::make_unique<service::AnalysisService>(four);
+}
+
 void OracleRunner::run_determinism(const FuzzCase& c,
                                    std::vector<Violation>& out) {
-    if (!serial_) {
-        service::ServiceOptions one;
-        one.workers = 1;
-        // With the result pool on, a repeat scan would be answered from the
-        // stored result — trivially identical. Turning it off forces the
-        // second scan through the warm file/summary path under test.
-        one.reuse_results = false;
-        serial_ = std::make_unique<service::AnalysisService>(one);
-        service::ServiceOptions four = one;
-        four.workers = 4;
-        parallel_ = std::make_unique<service::AnalysisService>(four);
-    }
+    ensure_services();
 
     service::ScanRequest request;
     request.plugin = "fuzz-" + c.name;
@@ -120,6 +130,82 @@ void OracleRunner::run_determinism(const FuzzCase& c,
     if (cold != wide)
         out.push_back({Oracle::kDeterminism,
                        "1-worker and 4-worker findings differ"});
+}
+
+void OracleRunner::run_concurrency(const FuzzCase& c,
+                                   std::vector<Violation>& out) {
+    ensure_services();
+
+    // Three request variants with DISTINCT findings: the base case and two
+    // edits each appending a uniquely-named extra source→sink file. Were
+    // the variants identical, a scheduler bug that swapped responses
+    // between them would be invisible to the oracle.
+    constexpr int kVariants = 3;
+    std::vector<service::ScanRequest> variants;
+    for (int v = 0; v < kVariants; ++v) {
+        service::ScanRequest request;
+        request.plugin = "fuzz-" + c.name;
+        request.preset = "phpsafe";
+        for (const FuzzFile& file : c.files)
+            request.files.push_back({file.name, file.text});
+        if (v > 0)
+            request.files.push_back(
+                {"fz_concurrency_" + std::to_string(v) + ".php",
+                 "<?php echo $_GET['fzc" + std::to_string(v) + "'];"});
+        variants.push_back(std::move(request));
+    }
+
+    // Serial replay on the 1-worker service defines the expected bytes.
+    serial_->clear_cache();
+    std::vector<std::string> expected;
+    expected.reserve(variants.size());
+    for (const service::ScanRequest& request : variants)
+        expected.push_back(result_signature(serial_->scan(request).result));
+
+    // N clients submit every variant in a seed-derived order with mixed
+    // priorities, pipelined (submit everything, then await), so requests
+    // genuinely overlap: coalescing, priority dispatch and shard locking
+    // all engage on the shared 4-worker service.
+    parallel_->clear_cache();
+    constexpr int kClients = 3;
+    std::mutex failures_mutex;
+    std::vector<int> failures;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            uint64_t state = fnv1a64(c.name) + static_cast<uint64_t>(t);
+            std::vector<int> order(static_cast<size_t>(kVariants));
+            for (int v = 0; v < kVariants; ++v) order[static_cast<size_t>(v)] = v;
+            for (size_t i = order.size(); i > 1; --i) {
+                state = state * 6364136223846793005ull + 1442695040888963407ull;
+                std::swap(order[i - 1], order[(state >> 33) % i]);
+            }
+            std::vector<std::pair<int, service::AnalysisService::Ticket>>
+                tickets;
+            tickets.reserve(order.size());
+            for (int v : order) {
+                service::ScanRequest request = variants[static_cast<size_t>(v)];
+                request.priority = static_cast<int>(state % 3);
+                tickets.emplace_back(v, parallel_->submit(std::move(request)));
+            }
+            for (auto& [v, ticket] : tickets) {
+                const std::string got =
+                    result_signature(parallel_->await(ticket).result);
+                if (got != expected[static_cast<size_t>(v)]) {
+                    std::lock_guard<std::mutex> lock(failures_mutex);
+                    failures.push_back(v);
+                }
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+
+    for (int v : failures)
+        out.push_back({Oracle::kConcurrency,
+                       "response for variant " + std::to_string(v) +
+                           " under " + std::to_string(kClients) +
+                           "-client interleaving differs from serial replay"});
 }
 
 void OracleRunner::run_monotonicity(const FuzzCase& c,

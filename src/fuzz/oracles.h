@@ -14,6 +14,14 @@
 //                   reaches a candidate sink, the static engine must have
 //                   reported that sink: a validated miss is a real false
 //                   negative, the paper's key metric.
+//   concurrency   — N client threads submit randomized interleavings of
+//                   request variants (base case plus distinct edits, mixed
+//                   priorities) to one shared multi-worker service; every
+//                   response must be byte-identical to the same variant
+//                   replayed serially on a single-worker service. This is
+//                   the server's scheduling-independence invariant under
+//                   fuzz pressure: dedup, priorities and shard locking may
+//                   move WHEN a scan runs, never what it reports.
 //
 // OracleOptions lets tests inject a deliberately broken Tool (e.g. a
 // knowledge base with one source rule removed) to prove the battery
@@ -31,7 +39,13 @@
 
 namespace phpsafe::fuzz {
 
-enum class Oracle { kNoCrash, kDeterminism, kMonotonicity, kAgreement };
+enum class Oracle {
+    kNoCrash,
+    kDeterminism,
+    kMonotonicity,
+    kAgreement,
+    kConcurrency
+};
 
 std::string to_string(Oracle oracle);
 bool oracle_from_string(std::string_view text, Oracle& out);
@@ -41,6 +55,10 @@ struct OracleOptions {
     bool check_determinism = true;
     bool check_monotonicity = true;
     bool check_agreement = true;
+    /// Off by default in the per-case battery: it spawns client threads per
+    /// case, which the smoke loop cannot afford for every mutation. The
+    /// dedicated fuzz-smoke stage and tests/fuzz_test.cpp turn it on.
+    bool check_concurrency = false;
     /// Static-analysis tool overrides (fault-injection seam for the tests;
     /// unset = make_phpsafe_tool() / make_rips_like_tool()).
     std::optional<Tool> phpsafe_tool;
@@ -71,6 +89,8 @@ private:
     void run_no_crash(const FuzzCase& c, const AnalysisResult& result,
                       std::vector<Violation>& out) const;
     void run_determinism(const FuzzCase& c, std::vector<Violation>& out);
+    void run_concurrency(const FuzzCase& c, std::vector<Violation>& out);
+    void ensure_services();
     void run_monotonicity(const FuzzCase& c, const AnalysisResult& phpsafe_result,
                           const php::Project& project,
                           std::vector<Violation>& out) const;

@@ -21,6 +21,7 @@ Tracer::Span::Span(
         record_.args.emplace_back(std::string(key), std::string(value));
     record_.wall_start = wall_seconds() - tracer->epoch_;
     cpu_start_ = thread_cpu_seconds();
+    counters_start_ = tls();
 }
 
 void Tracer::Span::note(std::string_view key, std::string_view value) {
@@ -30,6 +31,7 @@ void Tracer::Span::note(std::string_view key, std::string_view value) {
 
 void Tracer::Span::end() {
     if (!tracer_) return;
+    record_.counters = tls() - counters_start_;
     record_.cpu_seconds = thread_cpu_seconds() - cpu_start_;
     record_.wall_seconds =
         wall_seconds() - tracer_->epoch_ - record_.wall_start;
@@ -109,6 +111,13 @@ std::string Tracer::flat_json() const {
         w.kv("wall_start_ms", span.wall_start * 1e3, 3);
         w.kv("wall_ms", span.wall_seconds * 1e3, 3);
         w.kv("cpu_ms", span.cpu_seconds * 1e3, 3);
+        // Only the counters the span actually moved: a scan span shows its
+        // cache traffic and shard contention without 30 zero fields.
+        w.key("counters").begin_object();
+        span.counters.for_each_field([&](const char* name, uint64_t value) {
+            if (value) w.kv(name, value);
+        });
+        w.end_object();
         w.end_object();
     }
     w.end_array();

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
+
 namespace phpsafe::obs {
 
 /// True when the build was configured with -DPHPSAFE_TRACE=ON, i.e. when
@@ -46,6 +48,10 @@ struct SpanRecord {
     double wall_seconds = 0;    ///< wall-clock duration
     double cpu_seconds = 0;     ///< CPU consumed by the recording thread
     int thread = 0;             ///< dense per-tracer thread index
+    /// Counter increments the recording thread performed inside the span
+    /// (a CounterDelta over its lifetime) — shard lock contention, cache
+    /// traffic, taint work. The flat exporter emits the nonzero fields.
+    Counters counters;
 };
 
 class Tracer {
@@ -66,6 +72,7 @@ public:
                 tracer_ = other.tracer_;
                 record_ = std::move(other.record_);
                 cpu_start_ = other.cpu_start_;
+                counters_start_ = other.counters_start_;
                 other.tracer_ = nullptr;
             }
             return *this;
@@ -91,6 +98,7 @@ public:
         Tracer* tracer_ = nullptr;
         SpanRecord record_;
         double cpu_start_ = 0;
+        Counters counters_start_;
     };
 
     /// Opens a span. Arguments are string_views so a disabled tracer copies
@@ -106,7 +114,8 @@ public:
     /// Chrome trace-event JSON ({"traceEvents":[...]}; ts/dur in µs).
     std::string chrome_trace_json() const;
 
-    /// Flat JSON: {"spans":[{name, args..., wall_ms, cpu_ms}, ...]}.
+    /// Flat JSON: {"spans":[{name, args..., wall_ms, cpu_ms,
+    /// counters:{...nonzero deltas...}}, ...]}.
     std::string flat_json() const;
 
     /// Writes an exporter's output to `path`; returns false on I/O error.

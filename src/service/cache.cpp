@@ -1,5 +1,6 @@
 #include "service/cache.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/counters.h"
@@ -13,11 +14,18 @@ namespace {
 /// names or fingerprints.
 constexpr char kSep = '\x1f';
 
+/// Minimum budget slice worth giving its own lock: below this a pool runs
+/// fewer shards so per-shard LRU still behaves like the whole-pool LRU the
+/// small-budget eviction tests rely on.
+constexpr uint64_t kMinShardBudget = 64ull << 10;
+
 std::string hex64(uint64_t v) {
     char buf[17];
     std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
     return buf;
 }
+
+constexpr auto relaxed = std::memory_order_relaxed;
 
 }  // namespace
 
@@ -102,53 +110,131 @@ bool validate_deps(const SummaryArtifact& artifact, const php::Project& project)
     return true;
 }
 
-AnalysisCache::AnalysisCache(CacheBudgets budgets) {
-    files_.budget = budgets.file_bytes;
-    summaries_.budget = budgets.summary_bytes;
-    results_.budget = budgets.result_bytes;
+void AnalysisCache::init_pool(Pool& pool, uint64_t budget, int shards) {
+    int count = std::max(1, shards);
+    // Don't split a small budget into slices too tiny to hold an entry:
+    // collapse to however many >= 64 KiB slices fit, floor one.
+    if (budget / static_cast<uint64_t>(count) < kMinShardBudget)
+        count = std::max<int>(
+            1, static_cast<int>(budget / kMinShardBudget));
+    pool.shards.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->budget = budget / static_cast<uint64_t>(count);
+        pool.shards.push_back(std::move(shard));
+    }
 }
 
-std::shared_ptr<const void> AnalysisCache::find(Pool& pool,
+AnalysisCache::AnalysisCache(CacheBudgets budgets) {
+    init_pool(files_, budgets.file_bytes, budgets.shards);
+    init_pool(summaries_, budgets.summary_bytes, budgets.shards);
+    init_pool(results_, budgets.result_bytes, budgets.shards);
+}
+
+AnalysisCache::Shard& AnalysisCache::shard_for(Pool& pool,
+                                               std::string_view key) {
+    const size_t index = pool.shards.size() == 1
+                             ? 0
+                             : fnv1a64(key) % pool.shards.size();
+    return *pool.shards[index];
+}
+
+namespace {
+
+/// Takes a shard lock, counting acquisitions and the ones that had to
+/// wait — the contention signal bench_serve reports per worker count.
+template <typename Mutex>
+std::unique_lock<Mutex> lock_shard(Mutex& mutex) {
+    ++obs::tls().cache_shard_probes;
+    std::unique_lock<Mutex> lock(mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        ++obs::tls().cache_shard_contention;
+        lock.lock();
+    }
+    return lock;
+}
+
+}  // namespace
+
+std::shared_ptr<const void> AnalysisCache::find(Shard& shard,
                                                 const std::string& key) {
-    const auto it = pool.entries.find(key);
-    if (it == pool.entries.end()) return nullptr;
-    pool.lru.splice(pool.lru.begin(), pool.lru, it->second.lru_pos);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) return nullptr;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     return it->second.payload;
 }
 
-void AnalysisCache::insert(Pool& pool, const std::string& key,
+void AnalysisCache::insert(Shard& shard, const std::string& key,
                            std::shared_ptr<const void> payload, uint64_t bytes) {
-    if (bytes > pool.budget) return;  // would evict the whole pool for nothing
-    const auto it = pool.entries.find(key);
-    if (it != pool.entries.end()) {
+    if (bytes > shard.budget) return;  // would evict the whole shard for nothing
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
         // Refresh in place (same content key, so the payload is equivalent).
-        pool.lru.splice(pool.lru.begin(), pool.lru, it->second.lru_pos);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
         return;
     }
-    pool.lru.push_front(key);
+    shard.lru.push_front(key);
     Entry entry;
     entry.payload = std::move(payload);
     entry.bytes = bytes;
-    entry.lru_pos = pool.lru.begin();
-    pool.entries.emplace(key, std::move(entry));
-    pool.bytes += bytes;
-    stats_.bytes_resident += bytes;
+    entry.lru_pos = shard.lru.begin();
+    shard.entries.emplace(key, std::move(entry));
+    shard.bytes += bytes;
+    shard.entries_gauge.store(shard.entries.size(), relaxed);
+    shard.bytes_gauge.store(shard.bytes, relaxed);
+    bytes_resident_.fetch_add(bytes, relaxed);
     obs::tls().cache_bytes_inserted += bytes;
-    evict_over_budget(pool);
+    evict_over_budget(shard);
 }
 
-void AnalysisCache::evict_over_budget(Pool& pool) {
-    while (pool.bytes > pool.budget && !pool.lru.empty()) {
-        const std::string& victim = pool.lru.back();
-        const auto it = pool.entries.find(victim);
-        pool.bytes -= it->second.bytes;
-        stats_.bytes_resident -= it->second.bytes;
+void AnalysisCache::evict_over_budget(Shard& shard) {
+    while (shard.bytes > shard.budget && !shard.lru.empty()) {
+        const std::string& victim = shard.lru.back();
+        const auto it = shard.entries.find(victim);
+        shard.bytes -= it->second.bytes;
+        bytes_resident_.fetch_sub(it->second.bytes, relaxed);
         obs::tls().cache_bytes_evicted += it->second.bytes;
         ++obs::tls().cache_evictions;
-        ++stats_.evictions;
-        pool.entries.erase(it);
-        pool.lru.pop_back();
+        evictions_.fetch_add(1, relaxed);
+        shard.entries.erase(it);
+        shard.lru.pop_back();
     }
+    shard.entries_gauge.store(shard.entries.size(), relaxed);
+    shard.bytes_gauge.store(shard.bytes, relaxed);
+}
+
+uint64_t AnalysisCache::shed_from(Shard& shard, uint64_t target) {
+    auto lock = lock_shard(shard.mutex);
+    uint64_t freed = 0;
+    while (freed < target && !shard.lru.empty()) {
+        const std::string& victim = shard.lru.back();
+        const auto it = shard.entries.find(victim);
+        freed += it->second.bytes;
+        shard.bytes -= it->second.bytes;
+        bytes_resident_.fetch_sub(it->second.bytes, relaxed);
+        obs::tls().cache_bytes_evicted += it->second.bytes;
+        ++obs::tls().cache_shed_entries;
+        shed_entries_.fetch_add(1, relaxed);
+        shard.entries.erase(it);
+        shard.lru.pop_back();
+    }
+    shard.entries_gauge.store(shard.entries.size(), relaxed);
+    shard.bytes_gauge.store(shard.bytes, relaxed);
+    obs::tls().cache_shed_bytes += freed;
+    return freed;
+}
+
+uint64_t AnalysisCache::shed(uint64_t target_bytes) {
+    uint64_t freed = 0;
+    // Results first (pure cost savers), summaries second, parsed files
+    // last — the warm model pools are what keep a deep queue draining.
+    for (Pool* pool : {&results_, &summaries_, &files_}) {
+        for (const auto& shard : pool->shards) {
+            if (freed >= target_bytes) return freed;
+            freed += shed_from(*shard, target_bytes - freed);
+        }
+    }
+    return freed;
 }
 
 std::shared_ptr<const php::ParsedFile> AnalysisCache::find_file(
@@ -161,14 +247,18 @@ std::shared_ptr<const php::ParsedFile> AnalysisCache::find_file(
     key.assign(name);
     key += kSep;
     key += hex64(content_hash);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto payload = find(files_, key);
+    Shard& shard = shard_for(files_, key);
+    std::shared_ptr<const void> payload;
+    {
+        auto lock = lock_shard(shard.mutex);
+        payload = find(shard, key);
+    }
     if (payload) {
         ++obs::tls().cache_file_hits;
-        ++stats_.file_hits;
+        file_hits_.fetch_add(1, relaxed);
     } else {
         ++obs::tls().cache_file_misses;
-        ++stats_.file_misses;
+        file_misses_.fetch_add(1, relaxed);
     }
     return std::static_pointer_cast<const php::ParsedFile>(payload);
 }
@@ -179,11 +269,11 @@ void AnalysisCache::insert_file(
     std::string key = file->source->name();
     key += kSep;
     key += hex64(file->content_hash);
-    std::lock_guard<std::mutex> lock(mutex_);
     const uint64_t bytes = approx_bytes(*file);
     obs::tls().cache_bytes_parsed += bytes;
-    insert(files_, key, file, bytes);
-    stats_.file_entries = files_.entries.size();
+    Shard& shard = shard_for(files_, key);
+    auto lock = lock_shard(shard.mutex);
+    insert(shard, key, file, bytes);
 }
 
 std::shared_ptr<const SummaryArtifact> AnalysisCache::find_summary(
@@ -196,12 +286,16 @@ std::shared_ptr<const SummaryArtifact> AnalysisCache::find_summary(
     key += qualified_lower;
     key += kSep;
     key += hex64(declaring_hash);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto payload = find(summaries_, key);
+    Shard& shard = shard_for(summaries_, key);
+    std::shared_ptr<const void> payload;
+    {
+        auto lock = lock_shard(shard.mutex);
+        payload = find(shard, key);
+    }
     if (payload) {
-        ++stats_.summary_hits;
+        summary_hits_.fetch_add(1, relaxed);
     } else {
-        ++stats_.summary_misses;
+        summary_misses_.fetch_add(1, relaxed);
     }
     return std::static_pointer_cast<const SummaryArtifact>(payload);
 }
@@ -218,9 +312,9 @@ void AnalysisCache::insert_summary(std::string_view preset,
     key += hex64(declaring_hash);
     auto shared = std::make_shared<const SummaryArtifact>(std::move(artifact));
     const uint64_t bytes = approx_bytes(*shared);
-    std::lock_guard<std::mutex> lock(mutex_);
-    insert(summaries_, key, std::move(shared), bytes);
-    stats_.summary_entries = summaries_.entries.size();
+    Shard& shard = shard_for(summaries_, key);
+    auto lock = lock_shard(shard.mutex);
+    insert(shard, key, std::move(shared), bytes);
 }
 
 std::shared_ptr<const AnalysisResult> AnalysisCache::find_result(
@@ -229,11 +323,15 @@ std::shared_ptr<const AnalysisResult> AnalysisCache::find_result(
     key.assign(preset);
     key += kSep;
     key += hex64(project_fingerprint);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto payload = find(results_, key);
+    Shard& shard = shard_for(results_, key);
+    std::shared_ptr<const void> payload;
+    {
+        auto lock = lock_shard(shard.mutex);
+        payload = find(shard, key);
+    }
     if (payload) {
         ++obs::tls().cache_result_hits;
-        ++stats_.result_hits;
+        result_hits_.fetch_add(1, relaxed);
     }
     return std::static_pointer_cast<const AnalysisResult>(payload);
 }
@@ -247,35 +345,62 @@ void AnalysisCache::insert_result(std::string_view preset,
     key += hex64(project_fingerprint);
     auto shared = std::make_shared<const AnalysisResult>(result);
     const uint64_t bytes = approx_bytes(*shared);
-    std::lock_guard<std::mutex> lock(mutex_);
-    insert(results_, key, std::move(shared), bytes);
-    stats_.result_entries = results_.entries.size();
+    Shard& shard = shard_for(results_, key);
+    auto lock = lock_shard(shard.mutex);
+    insert(shard, key, std::move(shared), bytes);
 }
 
 void AnalysisCache::note_invalidation() {
     ++obs::tls().cache_invalidations;
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.invalidations;
+    invalidations_.fetch_add(1, relaxed);
 }
 
 CacheStats AnalysisCache::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    CacheStats out = stats_;
-    out.file_entries = files_.entries.size();
-    out.summary_entries = summaries_.entries.size();
-    out.result_entries = results_.entries.size();
+    // Entirely lock-free: totals come from the cache-level atomics,
+    // occupancy from the per-shard gauges. The snapshot is not a single
+    // linearization point — gauges written under different shard locks may
+    // be microseconds apart — which is exactly the usual contract for
+    // monitoring counters.
+    CacheStats out;
+    out.file_hits = file_hits_.load(relaxed);
+    out.file_misses = file_misses_.load(relaxed);
+    out.summary_hits = summary_hits_.load(relaxed);
+    out.summary_misses = summary_misses_.load(relaxed);
+    out.result_hits = result_hits_.load(relaxed);
+    out.evictions = evictions_.load(relaxed);
+    out.invalidations = invalidations_.load(relaxed);
+    out.shed_entries = shed_entries_.load(relaxed);
+    out.bytes_resident = bytes_resident_.load(relaxed);
+    const Pool* pools[] = {&files_, &summaries_, &results_};
+    uint64_t* entry_totals[] = {&out.file_entries, &out.summary_entries,
+                                &out.result_entries};
+    size_t width = 0;
+    for (const Pool* pool : pools) width = std::max(width, pool->shards.size());
+    out.shards.resize(width);
+    for (size_t p = 0; p < 3; ++p) {
+        for (size_t i = 0; i < pools[p]->shards.size(); ++i) {
+            const Shard& shard = *pools[p]->shards[i];
+            const uint64_t entries = shard.entries_gauge.load(relaxed);
+            *entry_totals[p] += entries;
+            out.shards[i].entries += entries;
+            out.shards[i].bytes += shard.bytes_gauge.load(relaxed);
+        }
+    }
     return out;
 }
 
 void AnalysisCache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
     for (Pool* pool : {&files_, &summaries_, &results_}) {
-        pool->entries.clear();
-        pool->lru.clear();
-        pool->bytes = 0;
+        for (const auto& shard : pool->shards) {
+            auto lock = lock_shard(shard->mutex);
+            bytes_resident_.fetch_sub(shard->bytes, relaxed);
+            shard->entries.clear();
+            shard->lru.clear();
+            shard->bytes = 0;
+            shard->entries_gauge.store(0, relaxed);
+            shard->bytes_gauge.store(0, relaxed);
+        }
     }
-    stats_.bytes_resident = 0;
-    stats_.file_entries = stats_.summary_entries = stats_.result_entries = 0;
 }
 
 }  // namespace phpsafe::service

@@ -16,14 +16,25 @@
 //     project fingerprint). A hit answers a scan without touching the
 //     engine at all.
 //
-// Eviction is strict LRU per pool: inserting over budget evicts the least
-// recently used entries until the pool fits. Byte sizes are estimates
+// Concurrency model: each pool is split into up to CacheBudgets::shards
+// independently-locked shards, selected by hashing the entry key, so a
+// server's worker threads only contend when they touch the same slice of
+// the key space. Each shard owns an equal slice of the pool's byte budget
+// and runs strict LRU within itself: inserting over the shard budget
+// evicts that shard's least recently used entries until it fits. A pool
+// whose whole budget is smaller than 64 KiB per shard collapses to fewer
+// shards (floor one), so tiny test budgets keep the exact single-LRU
+// semantics the eviction tests pin down. Byte sizes are estimates
 // (approx_bytes) — good enough to bound memory, not an allocator audit.
-// All pools bump the obs::Counters cache_* group on the calling thread and
-// keep an internal CacheStats snapshot under the same mutex that guards the
-// pools, so the cache is safe to share between concurrent scans.
+//
+// Statistics are kept in relaxed atomics (hit/miss/eviction totals at the
+// cache level, occupancy gauges per shard), so stats() assembles its
+// snapshot without taking a single shard lock — a monitoring thread never
+// stalls the scan path. Shard lock acquisitions bump the obs::Counters
+// cache_shard_probes / cache_shard_contention pair on the calling thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -45,6 +56,16 @@ struct CacheBudgets {
     uint64_t file_bytes = 64ull << 20;
     uint64_t summary_bytes = 64ull << 20;
     uint64_t result_bytes = 16ull << 20;
+    /// Upper bound on lock shards per pool. Each shard gets an equal slice
+    /// of the pool budget, but never less than 64 KiB — pools with small
+    /// budgets use fewer shards rather than uselessly tiny ones.
+    int shards = 8;
+};
+
+/// Occupancy of one lock shard (aggregated across the three pools).
+struct CacheShardStats {
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
 };
 
 /// Point-in-time cache statistics (also mirrored into obs::Counters).
@@ -60,6 +81,11 @@ struct CacheStats {
     uint64_t result_hits = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;
+    /// Entries dropped by shed() — admission-control pressure relief.
+    uint64_t shed_entries = 0;
+    /// Per-shard occupancy, indexed by shard; sized by the file pool's
+    /// shard count (the widest pool).
+    std::vector<CacheShardStats> shards;
 };
 
 /// Rough resident-size estimates used for LRU byte accounting.
@@ -103,33 +129,73 @@ public:
     /// validation against a new project).
     void note_invalidation();
 
+    /// Pressure relief for admission control: releases at least
+    /// `target_bytes` of resident payload (or everything, whichever is
+    /// smaller), shedding whole-result entries first, then summaries, and
+    /// parsed files only as a last resort — results are pure cost savers
+    /// while a warm file/summary pool is what keeps the queue draining
+    /// fast. Returns the bytes actually released.
+    uint64_t shed(uint64_t target_bytes);
+
     CacheStats stats() const;
     void clear();
 
+    /// Lock shards per pool actually in use (after the budget floor):
+    /// {file, summary, result}.
+    int file_shards() const { return static_cast<int>(files_.shards.size()); }
+    int summary_shards() const {
+        return static_cast<int>(summaries_.shards.size());
+    }
+    int result_shards() const { return static_cast<int>(results_.shards.size()); }
+
 private:
-    /// One LRU pool: key → {payload, bytes}; lru_ front = most recent.
+    /// One LRU entry: key → {payload, bytes}; lru front = most recent.
     struct Entry {
         std::shared_ptr<const void> payload;
         uint64_t bytes = 0;
         std::list<std::string>::iterator lru_pos;
     };
-    struct Pool {
+    /// One independently-locked slice of a pool.
+    struct Shard {
+        mutable std::mutex mutex;
         std::map<std::string, Entry> entries;
         std::list<std::string> lru;
-        uint64_t bytes = 0;
-        uint64_t budget = 0;
+        uint64_t bytes = 0;       ///< guarded by mutex
+        uint64_t budget = 0;      ///< immutable after construction
+        /// Lock-free mirrors of entries.size() / bytes for stats().
+        std::atomic<uint64_t> entries_gauge{0};
+        std::atomic<uint64_t> bytes_gauge{0};
+    };
+    /// A pool = its shards (unique_ptr: Shard is neither movable nor
+    /// copyable because of the mutex and atomics).
+    struct Pool {
+        std::vector<std::unique_ptr<Shard>> shards;
     };
 
-    std::shared_ptr<const void> find(Pool& pool, const std::string& key);
-    void insert(Pool& pool, const std::string& key,
+    static void init_pool(Pool& pool, uint64_t budget, int shards);
+    Shard& shard_for(Pool& pool, std::string_view key);
+    /// find/insert run under the shard lock taken by the caller.
+    std::shared_ptr<const void> find(Shard& shard, const std::string& key);
+    void insert(Shard& shard, const std::string& key,
                 std::shared_ptr<const void> payload, uint64_t bytes);
-    void evict_over_budget(Pool& pool);
+    void evict_over_budget(Shard& shard);
+    /// Evicts `shard`'s LRU tail until `freed` grows by up to `target`.
+    uint64_t shed_from(Shard& shard, uint64_t target);
 
-    mutable std::mutex mutex_;
     Pool files_;
     Pool summaries_;
     Pool results_;
-    CacheStats stats_;
+
+    // Cache-level statistics: relaxed atomics so stats() never locks.
+    std::atomic<uint64_t> bytes_resident_{0};
+    std::atomic<uint64_t> file_hits_{0};
+    std::atomic<uint64_t> file_misses_{0};
+    std::atomic<uint64_t> summary_hits_{0};
+    std::atomic<uint64_t> summary_misses_{0};
+    std::atomic<uint64_t> result_hits_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> invalidations_{0};
+    std::atomic<uint64_t> shed_entries_{0};
 };
 
 }  // namespace phpsafe::service

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "report/export.h"
-#include "service/service.h"
 #include "util/json_reader.h"
 #include "util/json_writer.h"
 
@@ -19,13 +18,6 @@ namespace phpsafe::service {
 namespace fs = std::filesystem;
 
 namespace {
-
-void reply_error(std::ostream& out, const std::string& message) {
-    std::ostringstream line;
-    JsonWriter w(line);
-    w.begin_object().kv("ok", false).kv("error", message).end_object();
-    out << line.str() << "\n" << std::flush;
-}
 
 /// Loads all *.php files under `root` (recursively, path-sorted so the
 /// request fingerprint is stable across directory iteration order).
@@ -67,6 +59,7 @@ bool load_directory(const std::string& root,
 bool build_request(const JsonValue& request, ScanRequest& scan,
                    std::string& error) {
     scan.preset = request.string_or("preset", "phpsafe");
+    scan.priority = static_cast<int>(request.int_or("priority", 0));
     const std::string path = request.string_or("path", "");
     if (!path.empty()) {
         if (!load_directory(path, scan.files, error)) return false;
@@ -92,8 +85,98 @@ bool build_request(const JsonValue& request, ScanRequest& scan,
     return true;
 }
 
-void reply_scan(std::ostream& out, const ScanResponse& response,
-                bool deterministic) {
+}  // namespace
+
+LineStatus read_ndjson_line(std::istream& in, std::string& line,
+                            size_t max_bytes) {
+    line.clear();
+    if (max_bytes == 0) {
+        if (!std::getline(in, line)) return LineStatus::kEof;
+        return LineStatus::kOk;
+    }
+    bool read_any = false;
+    bool oversized = false;
+    char c;
+    while (in.get(c)) {
+        read_any = true;
+        if (c == '\n')
+            return oversized ? LineStatus::kOversized : LineStatus::kOk;
+        if (line.size() < max_bytes)
+            line.push_back(c);
+        else
+            oversized = true;  // keep consuming, stop buffering
+    }
+    if (!read_any) return LineStatus::kEof;
+    return oversized ? LineStatus::kOversized : LineStatus::kOk;
+}
+
+NdjsonRequest parse_ndjson_request(const std::string& line) {
+    NdjsonRequest request;
+    JsonValue json;
+    std::string error;
+    if (!JsonReader::parse(line, json, &error) || !json.is_object()) {
+        request.error =
+            error.empty() ? "request must be a JSON object" : error;
+        return request;
+    }
+    const std::string op = json.string_or("op", "");
+    if (op == "quit" || op == "shutdown") {
+        request.op = NdjsonRequest::Op::kQuit;
+        return request;
+    }
+    if (op == "stats") {
+        request.op = NdjsonRequest::Op::kStats;
+        return request;
+    }
+    if (op == "clear") {
+        request.op = NdjsonRequest::Op::kClear;
+        return request;
+    }
+    if (op != "scan") {
+        request.error = "unknown op: \"" + op + "\"";
+        return request;
+    }
+    if (!build_request(json, request.scan, request.error)) return request;
+    request.slot = json.string_or("slot", "");
+    request.op = NdjsonRequest::Op::kScan;
+    return request;
+}
+
+std::string render_error_line(const std::string& message) {
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object().kv("ok", false).kv("error", message).end_object();
+    return line.str();
+}
+
+std::string render_ok_line() {
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object().kv("ok", true).end_object();
+    return line.str();
+}
+
+std::string render_bye_line() {
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object().kv("ok", true).kv("bye", true).end_object();
+    return line.str();
+}
+
+std::string render_scan_line(const ScanResponse& response,
+                             bool deterministic) {
+    if (response.cancelled) {
+        std::ostringstream line;
+        JsonWriter w(line);
+        w.begin_object().kv("ok", false).kv("cancelled", true).end_object();
+        return line.str();
+    }
+    if (response.rejected) {
+        std::ostringstream line;
+        JsonWriter w(line);
+        w.begin_object().kv("ok", false).kv("rejected", true).end_object();
+        return line.str();
+    }
     std::ostringstream line;
     JsonWriter w(line);
     w.begin_object();
@@ -108,11 +191,10 @@ void reply_scan(std::ostream& out, const ScanResponse& response,
     // render_json_report emits a complete compact object; splice it in as
     // the final member rather than re-serializing every finding here.
     line << render_json_report(response.result) << "}";
-    out << line.str() << "\n" << std::flush;
+    return line.str();
 }
 
-void reply_stats(std::ostream& out, const CacheStats& stats,
-                 bool deterministic) {
+std::string render_stats_line(const CacheStats& stats, bool deterministic) {
     std::ostringstream line;
     JsonWriter w(line);
     w.begin_object();
@@ -128,11 +210,11 @@ void reply_stats(std::ostream& out, const CacheStats& stats,
     w.kv("result_hits", stats.result_hits);
     w.kv("evictions", stats.evictions);
     w.kv("invalidations", stats.invalidations);
+    w.kv("shed_entries", stats.shed_entries);
+    w.kv("shards", static_cast<uint64_t>(stats.shards.size()));
     w.end_object();
-    out << line.str() << "\n" << std::flush;
+    return line.str();
 }
-
-}  // namespace
 
 int serve_ndjson(std::istream& in, std::ostream& out,
                  const ServeOptions& options) {
@@ -142,49 +224,49 @@ int serve_ndjson(std::istream& in, std::ostream& out,
     int served = 0;
 
     std::string line;
-    while (std::getline(in, line)) {
+    for (;;) {
+        const LineStatus status =
+            read_ndjson_line(in, line, options.max_line_bytes);
+        if (status == LineStatus::kEof) break;
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
         ++served;
-
-        JsonValue request;
-        std::string error;
-        if (!JsonReader::parse(line, request, &error) || !request.is_object()) {
-            reply_error(out,
-                        error.empty() ? "request must be a JSON object" : error);
+        if (status == LineStatus::kOversized) {
+            out << render_error_line("request line exceeds " +
+                                     std::to_string(options.max_line_bytes) +
+                                     " bytes")
+                << "\n"
+                << std::flush;
             continue;
         }
 
-        const std::string op = request.string_or("op", "");
-        if (op == "quit" || op == "shutdown") {
-            std::ostringstream bye;
-            JsonWriter w(bye);
-            w.begin_object().kv("ok", true).kv("bye", true).end_object();
-            out << bye.str() << "\n" << std::flush;
+        const NdjsonRequest request = parse_ndjson_request(line);
+        switch (request.op) {
+        case NdjsonRequest::Op::kQuit:
+            out << render_bye_line() << "\n" << std::flush;
+            return served;
+        case NdjsonRequest::Op::kStats:
+            out << render_stats_line(service.cache_stats(),
+                                     options.deterministic)
+                << "\n"
+                << std::flush;
+            continue;
+        case NdjsonRequest::Op::kClear:
+            service.clear_cache();
+            out << render_ok_line() << "\n" << std::flush;
+            continue;
+        case NdjsonRequest::Op::kInvalid:
+            out << render_error_line(request.error) << "\n" << std::flush;
+            continue;
+        case NdjsonRequest::Op::kScan:
             break;
         }
-        if (op == "stats") {
-            reply_stats(out, service.cache_stats(), options.deterministic);
-            continue;
-        }
-        if (op == "clear") {
-            service.clear_cache();
-            std::ostringstream ok;
-            JsonWriter w(ok);
-            w.begin_object().kv("ok", true).end_object();
-            out << ok.str() << "\n" << std::flush;
-            continue;
-        }
-        if (op != "scan") {
-            reply_error(out, "unknown op: \"" + op + "\"");
-            continue;
-        }
-
-        ScanRequest scan;
-        if (!build_request(request, scan, error)) {
-            reply_error(out, error);
-            continue;
-        }
-        reply_scan(out, service.scan(std::move(scan)), options.deterministic);
+        // The synchronous loop runs one scan at a time, so a slot's
+        // previous request is always already answered — supersede slots
+        // only matter to the pipelined sessions in service/server.h.
+        out << render_scan_line(service.scan(request.scan),
+                                options.deterministic)
+            << "\n"
+            << std::flush;
     }
     return served;
 }

@@ -5,21 +5,33 @@
 //   {"op":"scan","path":"/plugin/dir"}            scan *.php under a directory
 //   {"op":"scan","plugin":"p","files":[{"name":"a.php","text":"<?php ..."}]}
 //   {"op":"scan",...,"preset":"rips"}             preset: phpsafe|rips|pixy
+//   {"op":"scan",...,"priority":5}                higher dispatches sooner
+//   {"op":"scan",...,"slot":"editor"}             supersedes the slot's
+//                                                 previous still-queued scan
 //   {"op":"stats"}                                cache statistics
 //   {"op":"clear"}                                drop all cache pools
-//   {"op":"quit"}                                 exit cleanly
+//   {"op":"quit"}                                 end the session cleanly
 //
 // Scan responses carry the same report object render_json_report() emits
 // for the batch tools, plus cache effectiveness fields; errors are
 // {"ok":false,"error":"..."}. Living in the library (not the tool's main)
 // makes the protocol drivable from tests over string streams.
+//
+// The file splits into three layers so the single-client loop and the
+// multi-session server (service/server.h) share one wire format:
+//   - read_ndjson_line: a byte-capped line reader (bounded request memory),
+//   - parse_ndjson_request / render_*_line: framing in both directions,
+//   - serve_ndjson: the synchronous read-execute-reply loop over one stream
+//     pair, which the golden protocol test drives.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <string>
+
+#include "service/service.h"
 
 namespace phpsafe::service {
-
-class AnalysisService;
 
 struct ServeOptions {
     /// Service to drive (caller keeps ownership, caches persist across
@@ -30,7 +42,49 @@ struct ServeOptions {
     /// so a scripted session produces a byte-identical transcript — the
     /// golden protocol test depends on this.
     bool deterministic = false;
+
+    /// Longest accepted request line in bytes; longer lines are answered
+    /// with an error and skipped without being buffered whole. 0 means
+    /// unbounded (stdin tools); the multi-session server sets a bound.
+    size_t max_line_bytes = 0;
 };
+
+/// Outcome of one capped line read.
+enum class LineStatus {
+    kOk,        ///< a complete line (or a truncated final line at EOF)
+    kEof,       ///< end of input, nothing read
+    kOversized  ///< line exceeded the cap; its remainder was discarded
+};
+
+/// Reads one newline-terminated line into `line`, buffering at most
+/// `max_bytes` of it (0 = unbounded). An oversized line is consumed to its
+/// terminator but only the first `max_bytes` are kept. A final line without
+/// a trailing newline is returned as kOk — partial trailing requests are
+/// the sender's problem, not a reason to drop them silently.
+LineStatus read_ndjson_line(std::istream& in, std::string& line,
+                            size_t max_bytes);
+
+/// One decoded request line.
+struct NdjsonRequest {
+    enum class Op { kScan, kStats, kClear, kQuit, kInvalid };
+    Op op = Op::kInvalid;
+    ScanRequest scan;   ///< populated for kScan
+    std::string slot;   ///< optional supersede key for kScan ("" = none)
+    std::string error;  ///< populated for kInvalid
+};
+
+/// Parses one request line (JSON object with an "op"). Never throws; bad
+/// input yields Op::kInvalid with `error` set.
+NdjsonRequest parse_ndjson_request(const std::string& line);
+
+/// Response renderers. Each returns one complete JSON line WITHOUT the
+/// trailing newline, so callers control write atomicity (the multi-session
+/// server appends the newline inside its synchronized line writer).
+std::string render_error_line(const std::string& message);
+std::string render_ok_line();
+std::string render_bye_line();
+std::string render_scan_line(const ScanResponse& response, bool deterministic);
+std::string render_stats_line(const CacheStats& stats, bool deterministic);
 
 /// Serves requests from `in` until EOF or a quit op; responses go to
 /// `out`, one per line, flushed. Returns the number of lines processed

@@ -7,10 +7,16 @@
 
 namespace phpsafe::service {
 
-/// One queued/running scan. Awaiters block on `cv` until `done`.
+/// One queued/running scan. Awaiters block on `cv` until `done`. The
+/// lifecycle field makes cancellation race-free: a worker claims the scan
+/// with a kQueued→kRunning CAS, cancel() with kQueued→kCancelled — exactly
+/// one of them wins.
 struct PendingScan {
+    enum State { kQueued = 0, kRunning, kCancelled };
+
     ScanRequest request;
     uint64_t fingerprint = 0;
+    std::atomic<int> state{kQueued};
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
@@ -45,52 +51,62 @@ AnalysisService::AnalysisService(ServiceOptions options)
     pixy.options.hermetic_summaries = true;
     presets_.emplace("pixy", std::move(pixy));
 
-    pool_ = std::make_unique<WorkerPool>(
+    team_ = std::make_unique<TaskTeam>(
         WorkerPool::resolve_parallelism(options_.workers));
-    scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
-AnalysisService::~AnalysisService() {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
-    }
-    queue_cv_.notify_all();
-    scheduler_.join();
-}
+// ~team_ (declared last, destroyed first) resumes a paused queue and runs
+// every remaining scan to completion, so no awaiter is left hanging.
+AnalysisService::~AnalysisService() = default;
 
-void AnalysisService::pause() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    paused_ = true;
-}
+void AnalysisService::pause() { team_->pause(); }
 
-void AnalysisService::resume() {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        paused_ = false;
-    }
-    queue_cv_.notify_all();
-}
+void AnalysisService::resume() { team_->resume(); }
+
+size_t AnalysisService::queue_depth() const { return team_->depth(); }
 
 AnalysisService::Ticket AnalysisService::submit(ScanRequest request) {
     const uint64_t fingerprint = request_fingerprint(request);
+    const int priority = request.priority;
     Ticket ticket;
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = in_flight_.find(fingerprint);
-    if (it != in_flight_.end()) {
-        if (std::shared_ptr<PendingScan> existing = it->second.lock()) {
-            ticket.scan_ = std::move(existing);
-            ticket.coalesced = true;
+    std::shared_ptr<PendingScan> scan;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = in_flight_.find(fingerprint);
+        if (it != in_flight_.end()) {
+            std::shared_ptr<PendingScan> existing = it->second.lock();
+            if (existing &&
+                existing->state.load(std::memory_order_acquire) !=
+                    PendingScan::kCancelled) {
+                ticket.scan_ = std::move(existing);
+                ticket.coalesced = true;
+                return ticket;
+            }
+        }
+        if (options_.max_queue_depth != 0 &&
+            team_->depth() >= options_.max_queue_depth) {
+            // Admission control: answer immediately instead of queueing.
+            // The rejected scan never enters the dedup map.
+            auto rejected = std::make_shared<PendingScan>();
+            rejected->request = std::move(request);
+            rejected->response.rejected = true;
+            rejected->response.result.plugin = rejected->request.plugin;
+            rejected->response.result.diagnostics.push_back(Diagnostic{
+                Severity::kFatal, SourceLocation{},
+                "scan rejected: queue depth limit reached"});
+            rejected->done = true;
+            ticket.scan_ = std::move(rejected);
             return ticket;
         }
+        scan = std::make_shared<PendingScan>();
+        scan->request = std::move(request);
+        scan->fingerprint = fingerprint;
+        in_flight_[fingerprint] = scan;
     }
-    auto scan = std::make_shared<PendingScan>();
-    scan->request = std::move(request);
-    scan->fingerprint = fingerprint;
-    in_flight_[fingerprint] = scan;
-    queue_.push_back(scan);
+    maybe_shed();
+    team_->post(priority,
+                [this, scan] { run_scan(scan); });
     ticket.scan_ = std::move(scan);
-    queue_cv_.notify_all();
     return ticket;
 }
 
@@ -108,53 +124,93 @@ ScanResponse AnalysisService::scan(ScanRequest request) {
     return await(submit(std::move(request)));
 }
 
-void AnalysisService::scheduler_loop() {
-    for (;;) {
-        std::vector<std::shared_ptr<PendingScan>> batch;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queue_cv_.wait(lock, [&] {
-                return stop_ || (!paused_ && !queue_.empty());
-            });
-            if (queue_.empty()) {
-                if (stop_) return;
-                continue;
-            }
-            batch.assign(queue_.begin(), queue_.end());
-            queue_.clear();
-        }
-        // The whole batch fans out onto one shared worker pool; identical
-        // requests were already coalesced at submit().
-        pool_->run(batch.size(), [&](size_t i) {
-            PendingScan& scan = *batch[i];
-            ScanResponse response;
-            try {
-                perform_scan(scan);
-                return;
-            } catch (const std::exception& e) {
-                response.result.plugin = scan.request.plugin;
-                response.result.diagnostics.push_back(Diagnostic{
-                    Severity::kFatal, SourceLocation{}, e.what()});
-            } catch (...) {
-                response.result.plugin = scan.request.plugin;
-                response.result.diagnostics.push_back(Diagnostic{
-                    Severity::kFatal, SourceLocation{}, "unknown scan failure"});
-            }
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                in_flight_.erase(scan.fingerprint);
-            }
-            {
-                std::lock_guard<std::mutex> lock(scan.mutex);
-                scan.response = std::move(response);
-                scan.done = true;
-            }
-            scan.cv.notify_all();
-        });
-    }
+bool AnalysisService::cancel(const Ticket& ticket) {
+    if (!ticket.scan_) return false;
+    int expected = PendingScan::kQueued;
+    if (!ticket.scan_->state.compare_exchange_strong(
+            expected, PendingScan::kCancelled, std::memory_order_acq_rel))
+        return false;
+    // Release the fingerprint immediately: a new identical submit must run
+    // fresh rather than coalesce onto a corpse. The queued task still runs
+    // (cheaply) to deliver the cancelled response to awaiters.
+    release_fingerprint(ticket.scan_);
+    return true;
 }
 
-void AnalysisService::perform_scan(PendingScan& scan) {
+void AnalysisService::maybe_shed() {
+    const size_t watermark = options_.pressure_queue_depth != 0
+                                 ? options_.pressure_queue_depth
+                                 : options_.max_queue_depth / 2;
+    if (watermark == 0) return;
+    if (team_->depth() < watermark) {
+        shed_armed_.store(true, std::memory_order_relaxed);
+        return;
+    }
+    // Rising edge only: a sustained deep queue sheds once, then re-arms
+    // after it drains. Target half the resident bytes — AnalysisCache::shed
+    // takes whole results first and parsed files last.
+    if (shed_armed_.exchange(false, std::memory_order_relaxed))
+        cache_.shed(cache_.stats().bytes_resident / 2);
+}
+
+void AnalysisService::release_fingerprint(
+    const std::shared_ptr<PendingScan>& scan) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = in_flight_.find(scan->fingerprint);
+    if (it == in_flight_.end()) return;
+    // Only erase our own registration: a cancelled scan's slot may already
+    // be occupied by a fresh identical submit.
+    const std::shared_ptr<PendingScan> current = it->second.lock();
+    if (!current || current == scan) in_flight_.erase(it);
+}
+
+void AnalysisService::finish(const std::shared_ptr<PendingScan>& scan,
+                             ScanResponse response) {
+    // The two critical sections here are deliberately tiny and disjoint:
+    // the dedup map entry is released under the service mutex, the done
+    // flag is flipped under the scan's own mutex — a slow scan completing
+    // never holds the service-wide lock while awaiters wake up.
+    release_fingerprint(scan);
+    {
+        std::lock_guard<std::mutex> lock(scan->mutex);
+        scan->response = std::move(response);
+        scan->done = true;
+    }
+    scan->cv.notify_all();
+}
+
+void AnalysisService::run_scan(const std::shared_ptr<PendingScan>& scan) {
+    int expected = PendingScan::kQueued;
+    if (!scan->state.compare_exchange_strong(expected, PendingScan::kRunning,
+                                             std::memory_order_acq_rel)) {
+        // cancel() won the race while the scan was queued.
+        ScanResponse response;
+        response.cancelled = true;
+        response.result.plugin = scan->request.plugin;
+        finish(scan, std::move(response));
+        return;
+    }
+    scan->response.dispatch_seq =
+        dispatch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ScanResponse response;
+    try {
+        response = perform_scan(*scan);
+    } catch (const std::exception& e) {
+        response = {};
+        response.result.plugin = scan->request.plugin;
+        response.result.diagnostics.push_back(
+            Diagnostic{Severity::kFatal, SourceLocation{}, e.what()});
+    } catch (...) {
+        response = {};
+        response.result.plugin = scan->request.plugin;
+        response.result.diagnostics.push_back(Diagnostic{
+            Severity::kFatal, SourceLocation{}, "unknown scan failure"});
+    }
+    response.dispatch_seq = scan->response.dispatch_seq;
+    finish(scan, std::move(response));
+}
+
+ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
     const double wall_start = wall_seconds();
     obs::Tracer inert(false);
     obs::Tracer& tracer = options_.tracer ? *options_.tracer : inert;
@@ -294,17 +350,7 @@ void AnalysisService::perform_scan(PendingScan& scan) {
     response.wall_seconds = wall_seconds() - wall_start;
     scan_span.note("result_cache", response.from_result_cache ? "hit" : "miss");
     scan_span.end();
-
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        in_flight_.erase(scan.fingerprint);
-    }
-    {
-        std::lock_guard<std::mutex> lock(scan.mutex);
-        scan.response = std::move(response);
-        scan.done = true;
-    }
-    scan.cv.notify_all();
+    return response;
 }
 
 }  // namespace phpsafe::service

@@ -17,24 +17,32 @@
 // summaries mode (AnalysisOptions::hermetic_summaries), seeded summaries
 // replay their recorded findings, and deduplicate() imposes a total order.
 // tests/determinism_test.cpp and tests/service_test.cpp assert equality
-// across cache states and worker counts.
+// across cache states, worker counts and request interleavings.
 //
 // Concurrency: submit() enqueues a request and returns a ticket; a
-// scheduler thread drains the queue in batches onto a WorkerPool, so
-// concurrent submitters share one thread team instead of oversubscribing.
-// Identical in-flight requests (same plugin content + preset) are
-// deduplicated onto one scan. await() blocks until the ticket's scan is
-// done; scan() is the synchronous submit+await convenience.
+// TaskTeam of worker threads drains the queue continuously, highest
+// priority first — there is no batch barrier, so a slow scan never delays
+// the dispatch of an unrelated later one. Identical in-flight requests
+// (same plugin content + preset) are deduplicated onto one scan; the
+// coalesced request keeps the first submitter's priority. A queued (not
+// yet started) scan can be cancel()ed; its awaiters get a response with
+// `cancelled` set and no result. When `max_queue_depth` is configured,
+// submit() applies admission control: requests beyond the depth limit are
+// rejected immediately (`rejected` in the response) instead of growing the
+// queue without bound, and crossing the pressure watermark sheds cache
+// bytes — whole-result entries first, parsed files last (AnalysisCache::
+// shed) — so a request wave doesn't meet a memory-squeezed engine.
+// await() blocks until the ticket's scan is done; scan() is the
+// synchronous submit+await convenience.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "baselines/analyzers.h"
@@ -47,7 +55,7 @@
 namespace phpsafe::service {
 
 struct ServiceOptions {
-    /// Worker threads for batch fan-out; <= 0 means auto (PHPSAFE_JOBS or
+    /// Worker threads for scan dispatch; <= 0 means auto (PHPSAFE_JOBS or
     /// hardware concurrency, via WorkerPool::resolve_parallelism).
     int workers = 0;
     CacheBudgets budgets;
@@ -55,6 +63,13 @@ struct ServiceOptions {
     /// always on — AST reuse is unconditionally sound).
     bool reuse_summaries = true;
     bool reuse_results = true;
+    /// Admission control: submit() rejects once this many scans are queued
+    /// and not yet started. 0 = unbounded (library default; the NDJSON
+    /// server configures a bound).
+    size_t max_queue_depth = 0;
+    /// Queue depth at which cache pressure shedding kicks in; 0 derives
+    /// half of max_queue_depth (so it stays off when that is unbounded).
+    size_t pressure_queue_depth = 0;
     /// Optional span sink (not owned; must outlive the service).
     obs::Tracer* tracer = nullptr;
 };
@@ -72,6 +87,10 @@ struct ScanRequest {
     /// hermetic_summaries on. Summary seeding applies only to presets that
     /// analyze uncalled functions ("pixy" gets AST caching only).
     std::string preset = "phpsafe";
+    /// Scheduling priority: higher runs sooner; never affects results or
+    /// the request fingerprint (identical content at different priorities
+    /// still coalesces).
+    int priority = 0;
     std::vector<SourceFileSpec> files;
 };
 
@@ -83,10 +102,18 @@ struct ScanResponse {
     bool from_result_cache = false;
     /// True when this request coalesced onto an identical in-flight scan.
     bool deduplicated = false;
+    /// True when the scan was cancelled before it started (no result).
+    bool cancelled = false;
+    /// True when admission control refused the request (no result).
+    bool rejected = false;
     int files_reused = 0;          ///< parsed files injected from the cache
     int summaries_seeded = 0;      ///< summaries installed without analysis
     int summaries_invalidated = 0; ///< cache hits rejected by dep validation
     double wall_seconds = 0;
+    /// 1-based order in which a worker picked this scan off the queue
+    /// (0 for rejected/cancelled-before-dispatch responses) — observable
+    /// scheduling, used by the priority tests.
+    uint64_t dispatch_seq = 0;
 };
 
 class AnalysisService {
@@ -118,37 +145,56 @@ public:
     /// submit() + await().
     ScanResponse scan(ScanRequest request);
 
-    /// Test hook: while paused, the scheduler queues but does not dispatch —
-    /// lets tests submit identical requests that provably coalesce. Never
-    /// await() a ticket submitted under pause() before calling resume().
+    /// Cancels a scan that has not started yet: its awaiters receive a
+    /// response with `cancelled` set, and the fingerprint is released so a
+    /// later identical submit runs fresh. Returns false when the scan
+    /// already started (or finished) — a running scan is never torn down.
+    /// Cancelling affects every ticket coalesced onto the scan.
+    bool cancel(const Ticket& ticket);
+
+    /// Scans queued and not yet picked up by a worker.
+    size_t queue_depth() const;
+
+    /// Test hook: while paused, workers finish their current scan and then
+    /// idle, so tests can build a provable backlog (coalescing, priority
+    /// order, cancellation). Never await() a ticket submitted under
+    /// pause() before calling resume().
     void pause();
     void resume();
 
     CacheStats cache_stats() const { return cache_.stats(); }
     void clear_cache() { cache_.clear(); }
+    AnalysisCache& cache() { return cache_; }
 
     /// Stable fingerprint of a request's analysis input (plugin name,
     /// preset, file names and contents) — the result-pool / dedup key.
+    /// Scheduling fields (priority) are excluded on purpose.
     static uint64_t request_fingerprint(const ScanRequest& request);
 
 private:
-    void scheduler_loop();
-    void perform_scan(PendingScan& scan);
+    void run_scan(const std::shared_ptr<PendingScan>& scan);
+    ScanResponse perform_scan(PendingScan& scan);
+    void finish(const std::shared_ptr<PendingScan>& scan,
+                ScanResponse response);
+    void release_fingerprint(const std::shared_ptr<PendingScan>& scan);
+    void maybe_shed();
 
     ServiceOptions options_;
     AnalysisCache cache_;
     /// Preset name → fully configured tool, built once at construction.
     std::map<std::string, Tool> presets_;
 
-    std::unique_ptr<WorkerPool> pool_;
-    std::thread scheduler_;
     mutable std::mutex mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<std::shared_ptr<PendingScan>> queue_;
     /// fingerprint → queued or running scan (for in-flight dedup).
     std::map<uint64_t, std::weak_ptr<PendingScan>> in_flight_;
-    bool paused_ = false;
-    bool stop_ = false;
+    std::atomic<uint64_t> dispatch_counter_{0};
+    /// Rising-edge latch for pressure shedding: re-arms when the queue
+    /// drains below the watermark, so a sustained deep queue sheds once.
+    std::atomic<bool> shed_armed_{true};
+    /// Declared last: destroyed first, so worker threads have finished
+    /// (running every queued scan to completion) before any state above
+    /// goes away.
+    std::unique_ptr<TaskTeam> team_;
 };
 
 }  // namespace phpsafe::service

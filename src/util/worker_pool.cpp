@@ -83,6 +83,77 @@ void WorkerPool::worker_loop() {
     }
 }
 
+TaskTeam::TaskTeam(int threads) {
+    const int count = threads >= 1 ? threads : 1;
+    threads_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        threads_.emplace_back([this] { thread_loop(); });
+}
+
+TaskTeam::~TaskTeam() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void TaskTeam::post(int priority, std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_[priority].push_back(std::move(task));
+        ++depth_;
+    }
+    cv_.notify_one();
+}
+
+size_t TaskTeam::depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+}
+
+void TaskTeam::pause() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void TaskTeam::resume() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    cv_.notify_all();
+}
+
+std::function<void()> TaskTeam::pop_locked() {
+    const auto bucket = queue_.begin();  // highest priority (greater<int>)
+    std::function<void()> task = std::move(bucket->second.front());
+    bucket->second.pop_front();
+    if (bucket->second.empty()) queue_.erase(bucket);
+    --depth_;
+    return task;
+}
+
+void TaskTeam::thread_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return (!paused_ && depth_ > 0) || (shutdown_ && depth_ == 0);
+            });
+            if (depth_ == 0) return;  // shutdown with a drained queue
+            task = pop_locked();
+            // The pop that empties the queue must wake siblings blocked on
+            // the shutdown predicate, or they would sleep forever.
+            if (shutdown_ && depth_ == 0) cv_.notify_all();
+        }
+        task();
+    }
+}
+
 int WorkerPool::resolve_parallelism(int requested) {
     if (requested >= 1) return requested;
     if (const char* jobs = std::getenv("PHPSAFE_JOBS")) {

@@ -1,15 +1,26 @@
-// A reusable fixed-size worker pool for the evaluation driver. The seed
-// spawned a fresh std::async fan-out for every (version, tool) pair — up to
-// six thread-team launches per evaluation; this pool starts its threads
-// once and re-dispatches index ranges to them, so repeated runs (timing
-// repetitions, bench sweeps) pay thread start-up exactly once.
+// Thread teams for the two fan-out shapes in the codebase.
+//
+// WorkerPool is the barrier shape used by the evaluation driver: run(count,
+// fn) distributes indices over all workers and blocks until every index is
+// done. The seed spawned a fresh std::async fan-out for every (version,
+// tool) pair — up to six thread-team launches per evaluation; the pool
+// starts its threads once and re-dispatches ranges to them, so repeated
+// runs (timing repetitions, bench sweeps) pay thread start-up exactly once.
+//
+// TaskTeam is the streaming shape used by the analysis service: post() a
+// task with a priority and return immediately; team threads continuously
+// drain the queue highest-priority-first (FIFO within a priority), so a
+// long-running task never blocks the dispatch of unrelated later ones the
+// way a batch barrier does.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,6 +67,56 @@ private:
     uint64_t generation_ = 0;
     bool shutdown_ = false;
     std::exception_ptr error_;
+};
+
+/// A persistent team of threads draining a priority task queue. Unlike
+/// WorkerPool::run there is no barrier: post() enqueues and returns, and
+/// each team thread picks the highest-priority queued task (FIFO within a
+/// priority) as soon as it frees up. Tasks must not throw — they run user
+/// completion logic that owns its own error channel; an escaping exception
+/// terminates (std::terminate) rather than being silently dropped.
+class TaskTeam {
+public:
+    /// Starts `threads` (floored at 1) dedicated threads. Tasks always run
+    /// on a team thread, never on the caller.
+    explicit TaskTeam(int threads);
+
+    /// Resumes a paused queue and runs every remaining task to completion
+    /// before joining — queued work is a promise to its submitter.
+    ~TaskTeam();
+
+    TaskTeam(const TaskTeam&) = delete;
+    TaskTeam& operator=(const TaskTeam&) = delete;
+
+    int thread_count() const noexcept {
+        return static_cast<int>(threads_.size());
+    }
+
+    /// Enqueues a task. Higher priority runs sooner; equal priorities run
+    /// in post order.
+    void post(int priority, std::function<void()> task);
+
+    /// Tasks queued but not yet started.
+    size_t depth() const;
+
+    /// While paused, threads finish their current task and then idle; the
+    /// queue only accumulates. Used by tests to build provable backlogs.
+    void pause();
+    void resume();
+
+private:
+    void thread_loop();
+    std::function<void()> pop_locked();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::thread> threads_;
+    /// priority → FIFO of tasks at that priority; iteration order is
+    /// descending priority via the comparator.
+    std::map<int, std::deque<std::function<void()>>, std::greater<int>> queue_;
+    size_t depth_ = 0;
+    bool paused_ = false;
+    bool shutdown_ = false;
 };
 
 }  // namespace phpsafe

@@ -126,6 +126,35 @@ TEST(FuzzSeededFault, RemovedSanitizerStaysConservative) {
         EXPECT_NE(v.oracle, Oracle::kAgreement) << v.detail;
 }
 
+// The concurrency oracle holds on a vulnerable multi-file case: randomized
+// multi-client interleavings of the request variants reproduce the serial
+// replay byte-for-byte.
+TEST(FuzzOracles, ConcurrencyOracleCleanOnVulnerableCase) {
+    OracleOptions options;
+    options.check_no_crash = false;
+    options.check_determinism = false;
+    options.check_monotonicity = false;
+    options.check_agreement = false;
+    options.check_concurrency = true;
+    OracleRunner runner(options);
+
+    FuzzCase c;
+    c.name = "concurrency-clean";
+    c.files.push_back({"lib.php", "<?php function fwd($v) { return $v; }"});
+    c.files.push_back(
+        {"main.php",
+         "<?php include 'lib.php'; echo fwd($_GET['q']);"});
+    for (const Violation& v : runner.run(c))
+        ADD_FAILURE() << "[" << to_string(v.oracle) << "] " << v.detail;
+}
+
+TEST(FuzzOracles, ConcurrencyOracleNameRoundTrips) {
+    EXPECT_EQ(to_string(Oracle::kConcurrency), "concurrency");
+    Oracle oracle = Oracle::kNoCrash;
+    ASSERT_TRUE(oracle_from_string("concurrency", oracle));
+    EXPECT_EQ(oracle, Oracle::kConcurrency);
+}
+
 // -- regression file format ---------------------------------------------------
 
 TEST(FuzzCaseFormat, RoundTripsArbitraryBytes) {

@@ -6,6 +6,11 @@
 //
 //   phpsafe_fuzz [--iterations N] [--seed S] [--corpus DIR]
 //                [--byte-percent P] [--replay-only] [--no-write]
+//                [--concurrency]
+//
+// --concurrency additionally runs the multi-client interleaving oracle on
+// every case (3 client threads against a shared 4-worker service) — slower
+// per case, so it is opt-in for dedicated CI stages.
 //
 // Exit status: 0 = clean, 1 = oracle violations, 2 = usage error.
 #include <cstdint>
@@ -21,7 +26,8 @@ namespace {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--iterations N] [--seed S] [--corpus DIR]"
-                 " [--byte-percent P] [--replay-only] [--no-write]\n";
+                 " [--byte-percent P] [--replay-only] [--no-write]"
+                 " [--concurrency]\n";
     return 2;
 }
 
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (!v) return usage(argv[0]);
             options.byte_percent = std::atoi(v);
+        } else if (arg == "--concurrency") {
+            options.oracles.check_concurrency = true;
         } else if (arg == "--replay-only") {
             replay_only = true;
         } else if (arg == "--no-write") {
