@@ -6,6 +6,7 @@
 #include <string>
 
 #include "baselines/analyzers.h"
+#include "core/analyzer.h"
 #include "php/lexer.h"
 #include "php/parser.h"
 #include "corpus/generator.h"
@@ -59,9 +60,10 @@ void BM_EngineAnalyze(benchmark::State& state) {
     phpsafe::DiagnosticSink sink;
     project.parse_all(sink);
     const phpsafe::Tool tool = phpsafe::make_phpsafe_tool();
-    phpsafe::Engine engine(tool.kb, tool.options);
+    const phpsafe::Analyzer analyzer =
+        phpsafe::Analyzer::borrowing(tool.kb, tool.options);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(engine.analyze(project));
+        benchmark::DoNotOptimize(analyzer.scan(project).result);
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * code.size());
 }
@@ -87,9 +89,10 @@ void BM_SummaryReuse(benchmark::State& state) {
     phpsafe::DiagnosticSink sink;
     project.parse_all(sink);
     const phpsafe::Tool tool = phpsafe::make_phpsafe_tool();
-    phpsafe::Engine engine(tool.kb, tool.options);
+    const phpsafe::Analyzer analyzer =
+        phpsafe::Analyzer::borrowing(tool.kb, tool.options);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(engine.analyze(project));
+        benchmark::DoNotOptimize(analyzer.scan(project).result);
     }
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * call_sites);
 }

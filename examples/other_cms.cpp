@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "baselines/analyzers.h"
+#include "core/analyzer.h"
 #include "php/project.h"
 
 using namespace phpsafe;
@@ -17,8 +18,8 @@ void analyze_and_print(const char* title, const KnowledgeBase& kb,
                        php::Project& project) {
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(kb, AnalysisOptions{});
-    const AnalysisResult result = engine.analyze(project);
+    const AnalysisResult result =
+        Analyzer::borrowing(kb, AnalysisOptions{}).scan(project).result;
     std::cout << "=== " << title << " ===\n";
     for (const Finding& finding : result.findings)
         std::cout << "  " << to_string(finding) << "\n";

@@ -1,7 +1,6 @@
 #include "baselines/analyzers.h"
 
-#include "obs/counters.h"
-#include "util/timing.h"
+#include "core/analyzer.h"
 
 namespace phpsafe {
 
@@ -24,18 +23,12 @@ Tool make_rips_like_tool() {
 
 AnalysisResult run_tool(const Tool& tool, const php::Project& project,
                         Engine::Observer* observer) {
-    Engine engine(tool.kb, tool.options);
-    engine.set_observer(observer);
-    // Per-thread CPU clock: correct even when many run_tool calls execute
-    // concurrently on a parallel evaluation's worker pool (std::clock() is
-    // process-wide and would absorb the other workers' CPU time). The
-    // counter delta is per-thread too, so it captures exactly this run.
-    const obs::CounterDelta delta;
-    const double start = thread_cpu_seconds();
-    AnalysisResult result = engine.analyze(project);
-    result.cpu_seconds = thread_cpu_seconds() - start;
-    result.counters = delta.take();
-    return result;
+    // Thin shim over the Analyzer facade (core/analyzer.h), kept for source
+    // compatibility; new code should construct an Analyzer directly. The
+    // borrowing constructor keeps the old zero-copy semantics for tool.kb.
+    const Analyzer analyzer = Analyzer::borrowing(tool.kb, tool.options);
+    return analyzer.scan(project, tool.options, SummaryExchange{}, observer)
+        .result;
 }
 
 }  // namespace phpsafe

@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
+#include "core/ir.h"
 #include "obs/counters.h"
 #include "php/walk.h"
 #include "util/strings.h"
@@ -69,6 +72,48 @@ std::string superglobal_display(std::string_view name, const php::Expr* index) {
 
 }  // namespace
 
+std::string_view to_string(EngineBackend backend) noexcept {
+    switch (backend) {
+        case EngineBackend::kAst:
+            return "ast";
+        case EngineBackend::kIr:
+            return "ir";
+        case EngineBackend::kDifferential:
+            return "differential";
+    }
+    return "ast";
+}
+
+bool backend_from_string(std::string_view text, EngineBackend& out) noexcept {
+    if (text == "ast") {
+        out = EngineBackend::kAst;
+        return true;
+    }
+    if (text == "ir") {
+        out = EngineBackend::kIr;
+        return true;
+    }
+    if (text == "differential") {
+        out = EngineBackend::kDifferential;
+        return true;
+    }
+    return false;
+}
+
+EngineBackend default_engine_backend() {
+    static const EngineBackend cached = [] {
+        EngineBackend backend = EngineBackend::kAst;
+        if (const char* env = std::getenv("PHPSAFE_BACKEND");
+            env && *env && !backend_from_string(env, backend))
+            std::fprintf(stderr,
+                         "phpsafe: ignoring unknown PHPSAFE_BACKEND=%s "
+                         "(expected ast|ir|differential)\n",
+                         env);
+        return backend;
+    }();
+    return cached;
+}
+
 AnalysisOptions AnalysisOptions::phpsafe() {
     AnalysisOptions options;
     options.tool_name = "phpSAFE";
@@ -112,11 +157,15 @@ std::string AnalysisOptions::fingerprint() const {
     fp += '|' + std::to_string(loop_iterations);
     fp += '|' + std::to_string(max_include_depth);
     fp += '|' + std::to_string(max_call_depth);
+    fp += '|';
+    fp += to_string(engine_backend);
     return fp;
 }
 
 Engine::Engine(const KnowledgeBase& kb, AnalysisOptions options)
     : kb_(kb), options_(std::move(options)) {}
+
+Engine::~Engine() = default;  // out-of-line: ir::Module is incomplete in the header
 
 AnalysisResult Engine::analyze(const php::Project& project) {
     return analyze(project, SummaryExchange{});
@@ -124,6 +173,8 @@ AnalysisResult Engine::analyze(const php::Project& project) {
 
 AnalysisResult Engine::analyze(const php::Project& project,
                                const SummaryExchange& exchange) {
+    if (options_.engine_backend == EngineBackend::kDifferential)
+        return analyze_differential(project, exchange);
     project_ = &project;
     exchange_ = exchange;
     capture_stack_.clear();
@@ -144,6 +195,10 @@ AnalysisResult Engine::analyze(const php::Project& project,
     eval_depth_ = 0;
     stats_ = AnalysisStats{};
     include_cpu_seconds_ = 0;
+    lower_cpu_seconds_ = 0;
+    ir_module_.reset();
+    if (options_.engine_backend == EngineBackend::kIr)
+        ir_module_ = std::make_unique<ir::Module>();
 
     AnalysisResult result;
     result.tool = options_.tool_name;
@@ -208,12 +263,60 @@ AnalysisResult Engine::analyze(const php::Project& project,
     deduplicate(findings_);
     result.findings = std::move(findings_);
     result.include_cpu_seconds = include_cpu_seconds_;
+    result.lower_cpu_seconds = lower_cpu_seconds_;
     result.files_failed = static_cast<int>(failed_files.size());
     result.error_messages =
         diagnostics_.count(Severity::kError) + diagnostics_.count(Severity::kFatal);
     result.diagnostics = diagnostics_.diagnostics();
     findings_.clear();
     exchange_ = SummaryExchange{};  // seed/capture pointers die with the call
+    return result;
+}
+
+AnalysisResult Engine::analyze_differential(const php::Project& project,
+                                            const SummaryExchange& exchange) {
+    // The IR run goes first and is seed-only: it must see the same warm
+    // state as the AST run, but only the AST run may produce the captures
+    // (and observer events) the caller consumes — otherwise a differential
+    // run would double-report or overwrite artifacts.
+    Engine ir_engine(
+        kb_, options_.to_builder().engine_backend(EngineBackend::kIr).build());
+    SummaryExchange seed_only;
+    seed_only.seeds = exchange.seeds;
+    const obs::CounterDelta ir_delta;
+    const AnalysisResult ir_result = ir_engine.analyze(project, seed_only);
+    // Roll the IR sub-run's counter increments back out of the thread's
+    // block, keeping only the ir_* group: the caller's counters must stay
+    // consistent with the (AST) result it receives — findings_xss equal to
+    // the XSS findings in it, sink_checks describing one run's work — while
+    // still surfacing the IR telemetry only this sub-run can produce.
+    obs::Counters rollback = ir_delta.take();
+    rollback.ir_bodies_lowered = 0;
+    rollback.ir_insts_lowered = 0;
+    rollback.ir_blocks_lowered = 0;
+    rollback.ir_body_runs = 0;
+    rollback.ir_fallbacks = 0;
+    rollback.ir_mismatches = 0;
+    obs::tls() = obs::tls() - rollback;
+
+    Engine ast_engine(
+        kb_, options_.to_builder().engine_backend(EngineBackend::kAst).build());
+    ast_engine.set_observer(observer_);
+    AnalysisResult result = ast_engine.analyze(project, exchange);
+    result.lower_cpu_seconds = ir_result.lower_cpu_seconds;
+
+    if (result_signature(ir_result) != result_signature(result)) {
+        ++obs::tls().ir_mismatches;
+        Diagnostic diag;
+        diag.severity = Severity::kError;
+        diag.location = SourceLocation{project.name(), 0};
+        diag.message = std::string(kBackendMismatchMarker);
+        diag.message += ": IR findings are not byte-identical to the AST "
+                        "oracle for plugin ";
+        diag.message += project.name();
+        result.diagnostics.push_back(std::move(diag));
+        ++result.error_messages;
+    }
     return result;
 }
 
@@ -357,7 +460,7 @@ void Engine::analyze_entry_file(const php::ParsedFile& file) {
     include_stack_.push_back(&file);
     included_once_.clear();
     included_once_.insert(file.source->name());
-    exec_stmts(file.unit.statements, scope);
+    run_body(file.unit.statements, scope);
     // Keep taint written to global variables visible to later entry files
     // analyzed in this run only through the shared property/summary stores;
     // plain globals are per-entry (each file is its own request context).
@@ -366,6 +469,29 @@ void Engine::analyze_entry_file(const php::ParsedFile& file) {
 // ---------------------------------------------------------------------------
 // Statements
 // ---------------------------------------------------------------------------
+
+void Engine::run_body(const ArenaVector<php::StmtPtr>& stmts, Scope& scope) {
+    if (!ir_module_) {
+        exec_stmts(stmts, scope);
+        return;
+    }
+    const ir::Body* body = ir_module_->find(stmts);
+    if (!body) {
+        const double lower_start = thread_cpu_seconds();
+        body = &ir_module_->lower(kb_, options_, symbols_, stmts);
+        lower_cpu_seconds_ += thread_cpu_seconds() - lower_start;
+    }
+    // The IR stream carries no truncation guard (lowered ops cannot bail
+    // mid-expression); it is only allowed to run when no lowered node could
+    // have reached the evaluator's depth limit. Bodies entered too deep run
+    // on the AST path, whose truncation diagnostics are the semantics.
+    if (eval_depth_ + body->max_depth <= kMaxEvalDepth) {
+        run_ir_body(*body, scope);
+    } else {
+        ++obs::tls().ir_fallbacks;
+        exec_stmts(stmts, scope);
+    }
+}
 
 void Engine::exec_stmts(const ArenaVector<php::StmtPtr>& stmts, Scope& scope) {
     for (const php::StmtPtr& stmt : stmts) {
@@ -385,9 +511,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             for (const php::ExprPtr& arg : n.args) {
                 if (!arg) continue;
                 const TaintValue value = eval(*arg, scope);
-                check_sink(kXssOnly, value, loc_of(*arg, scope),
-                           n.from_open_tag ? "<?=" : "echo", to_php_source(*arg),
-                           scope, value.via_oop);
+                check_echo_arg(n, *arg, value, scope);
             }
             break;
         }
@@ -434,10 +558,9 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
         }
         case NodeKind::kForeachStmt: {
             const auto& n = static_cast<const php::ForeachStmt&>(stmt);
-            TaintValue iterable =
-                n.iterable ? eval(*n.iterable, scope) : TaintValue::clean();
-            if (iterable.tainted_any())
-                iterable.add_step(loc_of(stmt, scope), "iterated by foreach");
+            TaintValue iterable = foreach_prepare(
+                n, n.iterable ? eval(*n.iterable, scope) : TaintValue::clean(),
+                scope);
             for (int i = 0; i < std::max(1, options_.loop_iterations); ++i) {
                 if (n.key_var) assign_to(*n.key_var, iterable, scope);
                 if (n.value_var) assign_to(*n.value_var, iterable, scope);
@@ -462,31 +585,14 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             break;
         case NodeKind::kReturnStmt: {
             const auto& n = static_cast<const php::ReturnStmt&>(stmt);
-            TaintValue value = n.value ? eval(*n.value, scope) : TaintValue::clean();
-            if (scope.summary) {
-                // Split the value into parameter-dependent flows and base taint.
-                for (const ParamFlow& pf : value.param_flows) {
-                    bool merged = false;
-                    for (ParamFlow& existing : scope.summary->param_to_return) {
-                        if (existing.param == pf.param) {
-                            existing.kinds |= pf.kinds;
-                            merged = true;
-                        }
-                    }
-                    if (!merged) scope.summary->param_to_return.push_back(pf);
-                }
-                TaintValue base = value;
-                base.param_flows.clear();
-                scope.summary->return_base.merge(base);
-            }
+            const TaintValue value =
+                n.value ? eval(*n.value, scope) : TaintValue::clean();
+            finish_return(value, scope);
             break;
         }
-        case NodeKind::kGlobalStmt: {
-            const auto& n = static_cast<const php::GlobalStmt&>(stmt);
-            for (const std::string_view name : n.names)
-                scope.global_aliases.insert(sym(name));
+        case NodeKind::kGlobalStmt:
+            exec_global_decl(static_cast<const php::GlobalStmt&>(stmt), scope);
             break;
-        }
         case NodeKind::kStaticVarStmt: {
             const auto& n = static_cast<const php::StaticVarStmt&>(stmt);
             for (const auto& [name, init] : n.vars) {
@@ -496,32 +602,9 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             }
             break;
         }
-        case NodeKind::kUnsetStmt: {
-            // Paper: unsetting destroys the variable; it becomes untainted
-            // and non-vulnerable.
-            const auto& n = static_cast<const php::UnsetStmt&>(stmt);
-            for (const php::ExprPtr& var : n.vars) {
-                if (!var) continue;
-                if (var->kind == NodeKind::kVariable) {
-                    const auto& v = static_cast<const php::Variable&>(*var);
-                    const Symbol name_sym = sym(v.name);
-                    if (scope.global_aliases.contains(name_sym) || scope.is_global)
-                        global_slot(name_sym).reset();
-                    if (!scope.is_global) scope.vars[name_sym].reset();
-                } else if (var->kind == NodeKind::kPropertyAccess) {
-                    // Weak store: resetting a property of one instance must
-                    // not clear the merged class slot; drop the path slot.
-                    const auto& p = static_cast<const php::PropertyAccess&>(*var);
-                    if (p.object && p.object->kind == NodeKind::kVariable &&
-                        !p.property.empty()) {
-                        const auto& base = static_cast<const php::Variable&>(*p.object);
-                        scope.vars.erase(path_sym(base.name, p.property));
-                    }
-                }
-                // unset($a['k']) leaves the whole-array taint untouched.
-            }
+        case NodeKind::kUnsetStmt:
+            exec_unset(static_cast<const php::UnsetStmt&>(stmt), scope);
             break;
-        }
         case NodeKind::kClassDecl: {
             const auto& n = static_cast<const php::ClassDecl&>(stmt);
             Scope* outer = &scope;
@@ -540,7 +623,7 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             const auto& n = static_cast<const php::TryStmt&>(stmt);
             exec_stmts(n.body, scope);
             for (const php::CatchClause& c : n.catches) {
-                if (!c.var.empty()) scope.vars[sym(c.var)] = TaintValue::clean();
+                bind_catch_var(c, scope);
                 exec_stmts(c.body, scope);
             }
             exec_stmts(n.finally_body, scope);
@@ -562,6 +645,72 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
         default:
             break;
     }
+}
+
+void Engine::check_echo_arg(const php::EchoStmt& echo, const php::Expr& arg,
+                            const TaintValue& value, Scope& scope) {
+    check_sink(kXssOnly, value, loc_of(arg, scope),
+               echo.from_open_tag ? "<?=" : "echo", to_php_source(arg), scope,
+               value.via_oop);
+}
+
+TaintValue Engine::foreach_prepare(const php::ForeachStmt& stmt,
+                                   TaintValue iterable, Scope& scope) {
+    if (iterable.tainted_any())
+        iterable.add_step(loc_of(stmt, scope), "iterated by foreach");
+    return iterable;
+}
+
+void Engine::finish_return(const TaintValue& value, Scope& scope) {
+    if (!scope.summary) return;
+    // Split the value into parameter-dependent flows and base taint.
+    for (const ParamFlow& pf : value.param_flows) {
+        bool merged = false;
+        for (ParamFlow& existing : scope.summary->param_to_return) {
+            if (existing.param == pf.param) {
+                existing.kinds |= pf.kinds;
+                merged = true;
+            }
+        }
+        if (!merged) scope.summary->param_to_return.push_back(pf);
+    }
+    TaintValue base = value;
+    base.param_flows.clear();
+    scope.summary->return_base.merge(base);
+}
+
+void Engine::exec_global_decl(const php::GlobalStmt& stmt, Scope& scope) {
+    for (const std::string_view name : stmt.names)
+        scope.global_aliases.insert(sym(name));
+}
+
+void Engine::exec_unset(const php::UnsetStmt& stmt, Scope& scope) {
+    // Paper: unsetting destroys the variable; it becomes untainted and
+    // non-vulnerable.
+    for (const php::ExprPtr& var : stmt.vars) {
+        if (!var) continue;
+        if (var->kind == NodeKind::kVariable) {
+            const auto& v = static_cast<const php::Variable&>(*var);
+            const Symbol name_sym = sym(v.name);
+            if (scope.global_aliases.contains(name_sym) || scope.is_global)
+                global_slot(name_sym).reset();
+            if (!scope.is_global) scope.vars[name_sym].reset();
+        } else if (var->kind == NodeKind::kPropertyAccess) {
+            // Weak store: resetting a property of one instance must not
+            // clear the merged class slot; drop the path slot.
+            const auto& p = static_cast<const php::PropertyAccess&>(*var);
+            if (p.object && p.object->kind == NodeKind::kVariable &&
+                !p.property.empty()) {
+                const auto& base = static_cast<const php::Variable&>(*p.object);
+                scope.vars.erase(path_sym(base.name, p.property));
+            }
+        }
+        // unset($a['k']) leaves the whole-array taint untouched.
+    }
+}
+
+void Engine::bind_catch_var(const php::CatchClause& clause, Scope& scope) {
+    if (!clause.var.empty()) scope.vars[sym(clause.var)] = TaintValue::clean();
 }
 
 // ---------------------------------------------------------------------------
@@ -595,20 +744,10 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
         case NodeKind::kPropertyAccess:
             return eval_property_access(static_cast<const php::PropertyAccess&>(expr),
                                         scope);
-        case NodeKind::kStaticPropertyAccess: {
+        case NodeKind::kStaticPropertyAccess:
             if (!options_.oop_support) return TaintValue::clean();
-            const auto& n = static_cast<const php::StaticPropertyAccess&>(expr);
-            const std::string cls =
-                resolve_class_name(n.class_name, scope.current_class, *project_);
-            if (cls.empty()) return TaintValue::clean();
-            touch_shared_state();
-            if (const TaintValue* slot = properties_.find_static_slot(cls, n.property)) {
-                TaintValue out = *slot;
-                if (out.tainted_any()) out.via_oop = true;
-                return out;
-            }
-            return TaintValue::clean();
-        }
+            return read_static_property(
+                static_cast<const php::StaticPropertyAccess&>(expr), scope);
         case NodeKind::kFunctionCall:
             return eval_function_call(static_cast<const php::FunctionCall&>(expr), scope);
         case NodeKind::kMethodCall:
@@ -661,16 +800,7 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
         case NodeKind::kCast: {
             const auto& n = static_cast<const php::Cast&>(expr);
             TaintValue v = n.operand ? eval(*n.operand, scope) : TaintValue::clean();
-            // Numeric/bool casts are sanitizers for both vulnerability kinds.
-            if (n.type == "int" || n.type == "integer" || n.type == "float" ||
-                n.type == "double" || n.type == "real" || n.type == "bool" ||
-                n.type == "boolean" || n.type == "unset") {
-                std::string label = "(";
-                label += n.type;
-                label += ") cast";
-                v.apply_sanitizer(kBothVulns, loc_of(expr, scope), label);
-            }
-            return v;
+            return apply_cast(n, std::move(v), scope);
         }
         case NodeKind::kTernary: {
             const auto& n = static_cast<const php::Ternary&>(expr);
@@ -709,13 +839,9 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
                 eval(*n.operand, scope);
             return TaintValue::clean();
         }
-        case NodeKind::kClosure: {
-            const auto& n = static_cast<const php::Closure&>(expr);
-            if (options_.analyze_closures) eval_closure_body(n, scope);
-            TaintValue out;
-            out.object_class = "closure";
-            return out;
-        }
+        case NodeKind::kClosure:
+            return make_closure_value(static_cast<const php::Closure&>(expr),
+                                      scope);
         case NodeKind::kIncludeExpr:
             return eval_include(static_cast<const php::IncludeExpr&>(expr), scope);
         case NodeKind::kListExpr:
@@ -758,12 +884,8 @@ TaintValue Engine::eval_variable(const php::Variable& var, Scope& scope) {
         return v;
     }
 
-    if (const SuperglobalInfo* sg = kb_.superglobal(name)) {
-        ++stats_.sources_seen;
-        ++obs::tls().sources_seen;
-        return TaintValue::source(sg->taint, sg->vector, loc_of(var, scope),
-                                  superglobal_display(name, nullptr));
-    }
+    if (const SuperglobalInfo* sg = kb_.superglobal(name))
+        return superglobal_source(*sg, loc_of(var, scope), name, nullptr);
 
     const Symbol name_sym = sym(name);
     const bool is_global_var =
@@ -809,11 +931,8 @@ TaintValue Engine::eval_array_access(const php::ArrayAccess& access, Scope& scop
         const auto& base = static_cast<const php::Variable&>(*access.base);
         if (const SuperglobalInfo* sg = kb_.superglobal(base.name)) {
             if (access.index) eval(*access.index, scope);
-            ++stats_.sources_seen;
-            ++obs::tls().sources_seen;
-            return TaintValue::source(
-                sg->taint, sg->vector, loc_of(access, scope),
-                superglobal_display(base.name, access.index));
+            return superglobal_source(*sg, loc_of(access, scope), base.name,
+                                      access.index);
         }
         if (base.name == "$GLOBALS" && access.index &&
             access.index->kind == NodeKind::kLiteral) {
@@ -842,7 +961,11 @@ TaintValue Engine::eval_property_access(const php::PropertyAccess& access,
     TaintValue object = eval(*access.object, scope);
     if (access.property_expr) eval(*access.property_expr, scope);
     if (access.property.empty()) return TaintValue::clean();
+    return finish_property_read(access, object, scope);
+}
 
+TaintValue Engine::finish_property_read(const php::PropertyAccess& access,
+                                        const TaintValue& object, Scope& scope) {
     TaintValue out;
     // A property of a tainted value (e.g. a row object fetched from the
     // database) carries the value's taint — the paper's mail-subscribe-list
@@ -874,6 +997,61 @@ TaintValue Engine::eval_property_access(const php::PropertyAccess& access,
     return out;
 }
 
+TaintValue Engine::read_static_property(const php::StaticPropertyAccess& access,
+                                        Scope& scope) {
+    const std::string cls =
+        resolve_class_name(access.class_name, scope.current_class, *project_);
+    if (cls.empty()) return TaintValue::clean();
+    touch_shared_state();
+    if (const TaintValue* slot = properties_.find_static_slot(cls, access.property)) {
+        TaintValue out = *slot;
+        if (out.tainted_any()) out.via_oop = true;
+        return out;
+    }
+    return TaintValue::clean();
+}
+
+TaintValue Engine::superglobal_source(const SuperglobalInfo& sg,
+                                      SourceLocation loc, std::string_view name,
+                                      const php::Expr* index) {
+    ++stats_.sources_seen;
+    ++obs::tls().sources_seen;
+    return TaintValue::source(sg.taint, sg.vector, std::move(loc),
+                              superglobal_display(name, index));
+}
+
+TaintValue Engine::apply_cast(const php::Cast& cast, TaintValue value,
+                              Scope& scope) {
+    // Numeric/bool casts are sanitizers for both vulnerability kinds.
+    if (cast.type == "int" || cast.type == "integer" || cast.type == "float" ||
+        cast.type == "double" || cast.type == "real" || cast.type == "bool" ||
+        cast.type == "boolean" || cast.type == "unset") {
+        std::string label = "(";
+        label += cast.type;
+        label += ") cast";
+        value.apply_sanitizer(kBothVulns, loc_of(cast, scope), label);
+    }
+    return value;
+}
+
+TaintValue Engine::make_closure_value(const php::Closure& closure, Scope& scope) {
+    if (options_.analyze_closures) eval_closure_body(closure, scope);
+    TaintValue out;
+    out.object_class = "closure";
+    return out;
+}
+
+void Engine::bind_ref_alias(const php::Assign& assign, Scope& scope) {
+    const auto& target = static_cast<const php::Variable&>(*assign.target);
+    const auto& source = static_cast<const php::Variable&>(*assign.value);
+    const Symbol canonical = resolve_alias(sym(source.name), scope);
+    const Symbol target_sym = sym(target.name);
+    if (canonical != target_sym) {
+        scope.ref_aliases[target_sym] = canonical;
+        scope.vars.erase(target_sym);
+    }
+}
+
 Symbol Engine::resolve_alias(Symbol name, const Scope& scope) const {
     Symbol current = name;
     for (int depth = 0; depth < 8; ++depth) {
@@ -890,14 +1068,7 @@ TaintValue Engine::eval_assign(const php::Assign& assign, Scope& scope) {
     // Reference assignment $a =& $b: both names share one slot from now on.
     if (assign.by_ref && assign.target->kind == NodeKind::kVariable &&
         assign.value->kind == NodeKind::kVariable) {
-        const auto& target = static_cast<const php::Variable&>(*assign.target);
-        const auto& source = static_cast<const php::Variable&>(*assign.value);
-        const Symbol canonical = resolve_alias(sym(source.name), scope);
-        const Symbol target_sym = sym(target.name);
-        if (canonical != target_sym) {
-            scope.ref_aliases[target_sym] = canonical;
-            scope.vars.erase(target_sym);
-        }
+        bind_ref_alias(assign, scope);
         return eval(*assign.value, scope);
     }
 
@@ -1078,6 +1249,12 @@ TaintValue Engine::eval_function_call(const php::FunctionCall& call, Scope& scop
     }
 
     std::vector<TaintValue> args = eval_args(call.args, scope);
+    return dispatch_function_call(call, args, scope);
+}
+
+TaintValue Engine::dispatch_function_call(const php::FunctionCall& call,
+                                          std::vector<TaintValue>& args,
+                                          Scope& scope) {
     const SourceLocation loc = loc_of(call, scope);
 
     // extract($arr) defines a variable for every array key: any name read
@@ -1143,6 +1320,13 @@ TaintValue Engine::eval_method_call(const php::MethodCall& call, Scope& scope) {
     TaintValue object = eval(*call.object, scope);
     if (call.method_expr) eval(*call.method_expr, scope);
     std::vector<TaintValue> args = eval_args(call.args, scope);
+    return dispatch_method_call(call, object, args, scope);
+}
+
+TaintValue Engine::dispatch_method_call(const php::MethodCall& call,
+                                        const TaintValue& object,
+                                        std::vector<TaintValue>& args,
+                                        Scope& scope) {
     const SourceLocation loc = loc_of(call, scope);
 
     if (call.method.empty()) {  // dynamic method name
@@ -1206,6 +1390,12 @@ TaintValue Engine::eval_method_call(const php::MethodCall& call, Scope& scope) {
 TaintValue Engine::eval_static_call(const php::StaticCall& call, Scope& scope) {
     std::vector<TaintValue> args = eval_args(call.args, scope);
     if (!options_.oop_support) return TaintValue::clean();
+    return dispatch_static_call(call, args, scope);
+}
+
+TaintValue Engine::dispatch_static_call(const php::StaticCall& call,
+                                        std::vector<TaintValue>& args,
+                                        Scope& scope) {
     const SourceLocation loc = loc_of(call, scope);
     const std::string cls =
         resolve_class_name(call.class_name, scope.current_class, *project_);
@@ -1239,7 +1429,11 @@ TaintValue Engine::eval_new(const php::New& expr, Scope& scope) {
     if (expr.class_expr) eval(*expr.class_expr, scope);
     std::vector<TaintValue> args = eval_args(expr.args, scope);
     if (!options_.oop_support) return TaintValue::clean();
+    return dispatch_new(expr, args, scope);
+}
 
+TaintValue Engine::dispatch_new(const php::New& expr,
+                                std::vector<TaintValue>& args, Scope& scope) {
     TaintValue out;
     if (expr.class_name.empty()) return out;
     const std::string cls =
@@ -1544,7 +1738,7 @@ FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
         fn_scope.vars[this_sym_] = std::move(self);
     }
 
-    exec_stmts(ref.decl->body, fn_scope);
+    run_body(ref.decl->body, fn_scope);
 
     // Capture the final taint of by-reference parameters for write-back at
     // call sites.
@@ -1594,13 +1788,16 @@ void Engine::eval_closure_body(const php::Closure& closure, Scope& scope) {
     }
     if (const TaintValue* self = scope.vars.find(this_sym_))
         body_scope.vars[this_sym_] = *self;
-    exec_stmts(closure.body, body_scope);
+    run_body(closure.body, body_scope);
 }
 
 TaintValue Engine::eval_include(const php::IncludeExpr& inc, Scope& scope) {
     if (!inc.path) return TaintValue::clean();
     eval(*inc.path, scope);
+    return finish_include(inc, scope);
+}
 
+TaintValue Engine::finish_include(const php::IncludeExpr& inc, Scope& scope) {
     const std::string hint = static_path_hint(*inc.path);
     const php::ParsedFile* resolved = project_->resolve_include(hint);
     if (!hint.empty())
@@ -1644,7 +1841,7 @@ TaintValue Engine::eval_include(const php::IncludeExpr& inc, Scope& scope) {
     ++obs::tls().includes_followed;
     const std::string saved_file = scope.file;
     scope.file = resolved->source->name();
-    exec_stmts(resolved->unit.statements, scope);
+    run_body(resolved->unit.statements, scope);
     scope.file = saved_file;
     include_stack_.pop_back();
     if (outermost) include_cpu_seconds_ += thread_cpu_seconds() - include_start;

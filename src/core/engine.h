@@ -13,8 +13,10 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/knowledge.h"
@@ -27,6 +29,39 @@
 #include "util/interner.h"
 
 namespace phpsafe {
+
+namespace ir {
+struct Body;
+class Module;
+}  // namespace ir
+
+/// Which execution substrate runs taint propagation.
+///
+///   kAst          — recursive evaluation over the AST (the original
+///                   engine; the semantic oracle).
+///   kIr           — each body is lowered once into the flat dataflow IR
+///                   (core/ir.h) and executed as a linear instruction
+///                   stream over dense value slots. Findings are
+///                   byte-identical to kAst; bodies the lowering cannot
+///                   prove truncation-free fall back to the AST path.
+///   kDifferential — runs both, returns the AST result, and raises an
+///                   error diagnostic (kBackendMismatchMarker) when the IR
+///                   result is not byte-identical. The fuzz battery and the
+///                   differential test suite run in this mode.
+enum class EngineBackend { kAst, kIr, kDifferential };
+
+std::string_view to_string(EngineBackend backend) noexcept;
+/// Parses "ast" | "ir" | "differential"; false (out untouched) otherwise.
+bool backend_from_string(std::string_view text, EngineBackend& out) noexcept;
+/// Process-wide default: EngineBackend::kAst unless the PHPSAFE_BACKEND
+/// environment variable selects another backend (read once, cached). An
+/// unparseable value warns on stderr once and falls back to kAst.
+EngineBackend default_engine_backend();
+
+/// Substring present in the diagnostic raised by a kDifferential run whose
+/// two backends disagreed — the marker the fuzz no-crash oracle greps for.
+inline constexpr std::string_view kBackendMismatchMarker =
+    "engine backend mismatch";
 
 struct AnalysisOptions {
     std::string tool_name = "phpSAFE";
@@ -79,10 +114,25 @@ struct AnalysisOptions {
     /// order; without it the flag only disables call-context sensitivity.
     bool hermetic_summaries = false;
 
+    /// Taint-propagation substrate (see EngineBackend). Defaults to the
+    /// process default (kAst unless PHPSAFE_BACKEND overrides), so the
+    /// whole test suite can be flipped onto the IR path from the
+    /// environment without touching call sites.
+    EngineBackend engine_backend = default_engine_backend();
+
     /// Stable key of every field that changes analysis semantics. Two
     /// engines with equal fingerprints produce identical results on equal
     /// input — the analysis-preset component of the service's cache keys.
+    /// The backend participates: kIr and kAst are byte-identical by
+    /// construction, but a cache key must never assert that equivalence.
     std::string fingerprint() const;
+
+    /// Fluent construction (see Builder below). `AnalysisOptions` values
+    /// are treated as immutable once an Engine/Analyzer holds them; the
+    /// builder is the supported way to derive a modified copy.
+    class Builder;
+    static Builder builder();
+    Builder to_builder() const;
 
     // -- named presets (paper §IV.B.3 tool envelopes) -------------------------
     // The single source of truth for each tool's capability envelope;
@@ -101,6 +151,40 @@ struct AnalysisOptions {
     /// functions never called from plugin code.
     static AnalysisOptions pixy_like();
 };
+
+/// Immutable-style builder over AnalysisOptions: each setter returns the
+/// builder, build() yields the finished value. Start from defaults
+/// (AnalysisOptions::builder()), from a preset
+/// (AnalysisOptions::phpsafe().to_builder()) or from any existing options
+/// value.
+class AnalysisOptions::Builder {
+public:
+    Builder() = default;
+    explicit Builder(AnalysisOptions base) : options_(std::move(base)) {}
+
+    Builder& tool_name(std::string v) { options_.tool_name = std::move(v); return *this; }
+    Builder& oop_support(bool v) { options_.oop_support = v; return *this; }
+    Builder& fail_on_oop_file(bool v) { options_.fail_on_oop_file = v; return *this; }
+    Builder& analyze_uncalled_functions(bool v) { options_.analyze_uncalled_functions = v; return *this; }
+    Builder& assume_params_tainted_in_uncalled(bool v) { options_.assume_params_tainted_in_uncalled = v; return *this; }
+    Builder& loop_iterations(int v) { options_.loop_iterations = v; return *this; }
+    Builder& max_include_depth(int v) { options_.max_include_depth = v; return *this; }
+    Builder& max_call_depth(int v) { options_.max_call_depth = v; return *this; }
+    Builder& track_object_types(bool v) { options_.track_object_types = v; return *this; }
+    Builder& analyze_closures(bool v) { options_.analyze_closures = v; return *this; }
+    Builder& hermetic_summaries(bool v) { options_.hermetic_summaries = v; return *this; }
+    Builder& engine_backend(EngineBackend v) { options_.engine_backend = v; return *this; }
+
+    AnalysisOptions build() const { return options_; }
+
+private:
+    AnalysisOptions options_;
+};
+
+inline AnalysisOptions::Builder AnalysisOptions::builder() { return Builder(); }
+inline AnalysisOptions::Builder AnalysisOptions::to_builder() const {
+    return Builder(*this);
+}
 
 class Engine {
 public:
@@ -128,6 +212,7 @@ public:
     };
 
     Engine(const KnowledgeBase& kb, AnalysisOptions options = {});
+    ~Engine();
 
     /// Analyzes a whole plugin. Repeatable: all run state is reset.
     AnalysisResult analyze(const php::Project& project);
@@ -168,10 +253,27 @@ private:
     };
 
     // -- drivers -------------------------------------------------------------
+    /// kDifferential driver: runs the IR and AST backends on the same input
+    /// and compares their result signatures (core/finding.h).
+    AnalysisResult analyze_differential(const php::Project& project,
+                                        const SummaryExchange& exchange);
     void analyze_entry_file(const php::ParsedFile& file);
     void summarize_uncalled();
     void summarize_all_declared();
     bool file_uses_oop(const php::ParsedFile& file) const;
+
+    // -- body execution seam ---------------------------------------------------
+    /// Every body entry point (entry files, function bodies, closures,
+    /// included files) runs through here. The AST backend recurses through
+    /// exec_stmts; the IR backend lowers the body once (cached per run) and
+    /// executes the flat instruction stream — falling back to the AST path
+    /// for bodies whose static expression depth could hit the eval()
+    /// truncation guard, where only the recursive evaluator reproduces the
+    /// truncation diagnostics byte-for-byte.
+    void run_body(const ArenaVector<php::StmtPtr>& stmts, Scope& scope);
+    /// The IR interpreter (core/ir_taint.cpp): linear walk over the body's
+    /// instruction stream with dense per-instruction TaintValue slots.
+    void run_ir_body(const ir::Body& body, Scope& scope);
 
     // -- cross-run summary capture ---------------------------------------------
     /// Records a project observation on every active capture (no-op when the
@@ -202,6 +304,45 @@ private:
     TaintValue eval_assign(const php::Assign& assign, Scope& scope);
     TaintValue eval_include(const php::IncludeExpr& inc, Scope& scope);
     void eval_closure_body(const php::Closure& closure, Scope& scope);
+
+    // -- dispatch/finish helpers ----------------------------------------------
+    // The operand-free second halves of the eval_* methods above. Both
+    // backends call exactly these (the AST path after recursively
+    // evaluating operands, the IR path after reading operand value slots),
+    // which is what makes IR findings byte-identical to AST findings.
+    TaintValue dispatch_function_call(const php::FunctionCall& call,
+                                      std::vector<TaintValue>& args, Scope& scope);
+    TaintValue dispatch_method_call(const php::MethodCall& call,
+                                    const TaintValue& object,
+                                    std::vector<TaintValue>& args, Scope& scope);
+    TaintValue dispatch_static_call(const php::StaticCall& call,
+                                    std::vector<TaintValue>& args, Scope& scope);
+    TaintValue dispatch_new(const php::New& expr, std::vector<TaintValue>& args,
+                            Scope& scope);
+    /// $a =& $b alias binding — everything in eval_assign's by-ref branch
+    /// before the value is (re)evaluated.
+    void bind_ref_alias(const php::Assign& assign, Scope& scope);
+    TaintValue finish_property_read(const php::PropertyAccess& access,
+                                    const TaintValue& object, Scope& scope);
+    TaintValue read_static_property(const php::StaticPropertyAccess& access,
+                                    Scope& scope);
+    /// Taint introduction for a superglobal read ($_GET or $_GET['k']).
+    TaintValue superglobal_source(const SuperglobalInfo& sg, SourceLocation loc,
+                                  std::string_view name, const php::Expr* index);
+    TaintValue apply_cast(const php::Cast& cast, TaintValue value, Scope& scope);
+    /// Folds a return (or __yield) value into the enclosing summary.
+    void finish_return(const TaintValue& value, Scope& scope);
+    TaintValue make_closure_value(const php::Closure& closure, Scope& scope);
+    /// Everything eval_include does after evaluating the path expression.
+    TaintValue finish_include(const php::IncludeExpr& inc, Scope& scope);
+    void check_echo_arg(const php::EchoStmt& echo, const php::Expr& arg,
+                        const TaintValue& value, Scope& scope);
+    /// Adds the foreach trace step to the iterable's value.
+    TaintValue foreach_prepare(const php::ForeachStmt& stmt, TaintValue iterable,
+                               Scope& scope);
+    void exec_global_decl(const php::GlobalStmt& stmt, Scope& scope);
+    void exec_unset(const php::UnsetStmt& stmt, Scope& scope);
+    void bind_catch_var(const php::CatchClause& clause, Scope& scope);
 
     // -- calls ---------------------------------------------------------------
     std::vector<TaintValue> eval_args(const ArenaVector<php::Argument>& args,
@@ -294,6 +435,10 @@ private:
     bool current_file_failed_ = false;
     AnalysisStats stats_;
     double include_cpu_seconds_ = 0;  ///< CPU spent executing included files
+    double lower_cpu_seconds_ = 0;    ///< CPU spent lowering bodies to IR
+    /// Per-run lowering cache (IR/differential backends only): statement
+    /// list → flat body, arena-backed, built on first execution.
+    std::unique_ptr<ir::Module> ir_module_;
 
     // -- cross-run summary exchange state ---------------------------------------
     /// One frame per summarize() call currently on the stack while capture is

@@ -55,6 +55,10 @@ struct AnalysisResult {
     /// CPU spent inside included files (subset of cpu_seconds; filled by the
     /// engine so the evaluation driver can attribute the include stage).
     double include_cpu_seconds = 0.0;
+    /// CPU spent lowering bodies to the flat IR (subset of cpu_seconds;
+    /// zero on the AST backend). Lets the evaluation driver split the
+    /// analyze stage into lowering vs propagation.
+    double lower_cpu_seconds = 0.0;
     AnalysisStats stats;
     /// Observability counters captured around the run (filled by run_tool).
     obs::Counters counters;
@@ -66,5 +70,13 @@ struct AnalysisResult {
 /// Sorts findings into a total order (every field participates, so the
 /// result is independent of discovery order) and removes duplicates.
 void deduplicate(std::vector<Finding>& findings);
+
+/// Canonical byte rendering of everything analysis semantics determine:
+/// findings (every field, including the full trace), failure counts and
+/// diagnostics. Two results with equal signatures are byte-identical for
+/// reporting purposes — the comparison the differential backend and the
+/// IR-vs-AST test suite are built on. Deliberately excludes timings and
+/// counters (they measure the run, not the analysis).
+std::string result_signature(const AnalysisResult& result);
 
 }  // namespace phpsafe

@@ -1,0 +1,626 @@
+// Lowering from the AST to the flat dataflow IR (see core/ir.h). The
+// lowering mirrors Engine::eval / Engine::exec_stmt exactly: operands are
+// emitted in the evaluation order of the recursive evaluator, every op
+// carries the expression-nesting depth its node would have evaluated at,
+// and statement lists get failed-file gates at precisely the points
+// exec_stmts checks current_file_failed_. Anything rarely executed and
+// structurally awkward (class declarations) escapes to the AST interpreter
+// as a single kEscapeStmt op instead of growing special cases here.
+#include "core/ir.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/counters.h"
+
+namespace phpsafe::ir {
+
+using php::NodeKind;
+
+namespace {
+
+class Lowerer {
+public:
+    Lowerer(const KnowledgeBase& kb, const AnalysisOptions& options,
+            SymbolTable& symbols)
+        : kb_(kb),
+          options_(options),
+          symbols_(symbols),
+          trips_(std::max(1, options.loop_iterations)) {}
+
+    void lower_list(const ArenaVector<php::StmtPtr>& stmts) {
+        // One gate per statement, matching the per-iteration
+        // current_file_failed_ check in Engine::exec_stmts. A gate jumps to
+        // the end of its own list; nested lists chain naturally (the outer
+        // list's next gate fires immediately after the jump).
+        std::vector<uint32_t> gates;
+        for (const php::StmtPtr& stmt : stmts) {
+            if (!stmt) continue;
+            gates.push_back(emit(Op::kStmtGate, 0, stmt));
+            lower_stmt(*stmt);
+        }
+        const uint32_t end = static_cast<uint32_t>(insts_.size());
+        for (uint32_t gate : gates) insts_[gate].c = end;
+    }
+
+    const Body* finish(Arena& arena) {
+        build_blocks();
+        ++obs::tls().ir_bodies_lowered;
+        obs::tls().ir_insts_lowered += insts_.size();
+        obs::tls().ir_blocks_lowered += blocks_.size();
+        Body* body = arena.create<Body>();
+        body->insts = copy_out(arena, insts_);
+        body->inst_count = static_cast<uint32_t>(insts_.size());
+        body->pool = copy_out(arena, pool_);
+        body->pool_count = static_cast<uint32_t>(pool_.size());
+        body->blocks = copy_out(arena, blocks_);
+        body->block_count = static_cast<uint32_t>(blocks_.size());
+        body->facts = copy_out(arena, facts_);
+        body->fact_count = static_cast<uint32_t>(facts_.size());
+        body->max_depth = max_depth_;
+        return body;
+    }
+
+private:
+    // -- emission --------------------------------------------------------------
+    uint32_t emit(Op op, int depth, const php::Node* node = nullptr,
+                  uint32_t a = kNoValue, uint32_t b = kNoValue,
+                  uint32_t c = kNoValue, uint8_t flags = 0) {
+        Inst inst;
+        inst.op = op;
+        inst.flags = flags;
+        inst.depth = static_cast<uint16_t>(depth);
+        inst.a = a;
+        inst.b = b;
+        inst.c = c;
+        inst.node = node;
+        if (inst.depth > max_depth_) max_depth_ = inst.depth;
+        insts_.push_back(inst);
+        return static_cast<uint32_t>(insts_.size() - 1);
+    }
+
+    uint32_t emit_call(Op op, const php::Node* node,
+                       const std::vector<uint32_t>& arg_ids, int depth,
+                       uint32_t a = kNoValue) {
+        const uint32_t offset = static_cast<uint32_t>(pool_.size());
+        pool_.insert(pool_.end(), arg_ids.begin(), arg_ids.end());
+        return emit(op, depth, node, a, offset,
+                    static_cast<uint32_t>(arg_ids.size()));
+    }
+
+    void note_use(uint32_t inst, std::string_view name) {
+        uses_.emplace_back(inst, symbols_.intern(name));
+    }
+    void note_def(uint32_t inst, std::string_view name) {
+        defs_.emplace_back(inst, symbols_.intern(name));
+    }
+
+    // -- expressions -----------------------------------------------------------
+    std::vector<uint32_t> lower_args(const ArenaVector<php::Argument>& args,
+                                     int depth) {
+        std::vector<uint32_t> ids;
+        ids.reserve(args.size());
+        for (const php::Argument& arg : args)
+            ids.push_back(arg.value ? lower_expr(*arg.value, depth)
+                                    : emit(Op::kClean, depth));
+        return ids;
+    }
+
+    uint32_t lower_expr(const php::Expr& e, int depth) {
+        switch (e.kind) {
+            case NodeKind::kLiteral:
+            case NodeKind::kClassConstAccess:
+            case NodeKind::kListExpr:
+                return emit(Op::kClean, depth, &e);
+            case NodeKind::kInterpString: {
+                const auto& n = static_cast<const php::InterpString&>(e);
+                std::vector<uint32_t> ids;
+                for (const php::ExprPtr& part : n.parts)
+                    if (part) ids.push_back(lower_expr(*part, depth + 1));
+                return emit_call(Op::kMerge, &e, ids, depth);
+            }
+            case NodeKind::kVariable: {
+                const auto& var = static_cast<const php::Variable&>(e);
+                const uint32_t id = emit(Op::kVarRead, depth, &e);
+                note_use(id, var.name);
+                return id;
+            }
+            case NodeKind::kArrayAccess: {
+                const auto& access = static_cast<const php::ArrayAccess&>(e);
+                if (!access.base) return emit(Op::kClean, depth, &e);
+                if (access.base->kind == NodeKind::kVariable) {
+                    const auto& base =
+                        static_cast<const php::Variable&>(*access.base);
+                    if (kb_.superglobal(base.name)) {
+                        if (access.index) lower_expr(*access.index, depth + 1);
+                        return emit(Op::kSgArrayRead, depth, &e);
+                    }
+                    if (base.name == "$GLOBALS" && access.index &&
+                        access.index->kind == NodeKind::kLiteral)
+                        return emit(Op::kGlobalsRead, depth, &e);
+                }
+                const uint32_t base_id = lower_expr(*access.base, depth + 1);
+                if (access.index) lower_expr(*access.index, depth + 1);
+                // Whole-array granularity: an element read yields the
+                // array's merged taint.
+                return emit(Op::kCopy, depth, &e, base_id);
+            }
+            case NodeKind::kPropertyAccess: {
+                const auto& access = static_cast<const php::PropertyAccess&>(e);
+                if (!access.object) return emit(Op::kClean, depth, &e);
+                if (!options_.oop_support) {
+                    lower_expr(*access.object, depth + 1);
+                    return emit(Op::kClean, depth, &e);
+                }
+                const uint32_t object = lower_expr(*access.object, depth + 1);
+                if (access.property_expr)
+                    lower_expr(*access.property_expr, depth + 1);
+                if (access.property.empty()) return emit(Op::kClean, depth, &e);
+                return emit(Op::kPropRead, depth, &e, object);
+            }
+            case NodeKind::kStaticPropertyAccess:
+                if (!options_.oop_support) return emit(Op::kClean, depth, &e);
+                return emit(Op::kStaticPropRead, depth, &e);
+            case NodeKind::kFunctionCall: {
+                const auto& call = static_cast<const php::FunctionCall&>(e);
+                if (call.name.empty()) {
+                    // Dynamic call through an expression: the result merges
+                    // the arguments' taint (not the callee's).
+                    if (call.callee) lower_expr(*call.callee, depth + 1);
+                    const std::vector<uint32_t> ids =
+                        lower_args(call.args, depth + 1);
+                    return emit_call(Op::kMerge, &e, ids, depth);
+                }
+                const std::vector<uint32_t> ids = lower_args(call.args, depth + 1);
+                return emit_call(Op::kCallFunc, &e, ids, depth);
+            }
+            case NodeKind::kMethodCall: {
+                const auto& call = static_cast<const php::MethodCall&>(e);
+                if (!call.object) return emit(Op::kClean, depth, &e);
+                if (!options_.oop_support) {
+                    lower_expr(*call.object, depth + 1);
+                    lower_args(call.args, depth + 1);
+                    return emit(Op::kClean, depth, &e);
+                }
+                const uint32_t object = lower_expr(*call.object, depth + 1);
+                if (call.method_expr) lower_expr(*call.method_expr, depth + 1);
+                const std::vector<uint32_t> ids = lower_args(call.args, depth + 1);
+                return emit_call(Op::kCallMethod, &e, ids, depth, object);
+            }
+            case NodeKind::kStaticCall: {
+                const auto& call = static_cast<const php::StaticCall&>(e);
+                const std::vector<uint32_t> ids = lower_args(call.args, depth + 1);
+                if (!options_.oop_support) return emit(Op::kClean, depth, &e);
+                return emit_call(Op::kCallStatic, &e, ids, depth);
+            }
+            case NodeKind::kNew: {
+                const auto& n = static_cast<const php::New&>(e);
+                if (n.class_expr) lower_expr(*n.class_expr, depth + 1);
+                const std::vector<uint32_t> ids = lower_args(n.args, depth + 1);
+                if (!options_.oop_support) return emit(Op::kClean, depth, &e);
+                return emit_call(Op::kNewObj, &e, ids, depth);
+            }
+            case NodeKind::kAssign:
+                return lower_assign(static_cast<const php::Assign&>(e), depth);
+            case NodeKind::kBinary: {
+                // Mirror of the evaluator's iterative left-spine fold: the
+                // whole spine evaluates inside the root's depth scope, so
+                // every operand sits at depth+1 and every fold at depth.
+                std::vector<const php::Binary*> spine;
+                const php::Expr* leftmost = &e;
+                while (leftmost->kind == NodeKind::kBinary) {
+                    const auto& b = static_cast<const php::Binary&>(*leftmost);
+                    spine.push_back(&b);
+                    if (!b.lhs) break;
+                    leftmost = b.lhs;
+                }
+                uint32_t acc = leftmost->kind == NodeKind::kBinary
+                                   ? emit(Op::kClean, depth, leftmost)
+                                   : lower_expr(*leftmost, depth + 1);
+                for (auto it = spine.rbegin(); it != spine.rend(); ++it) {
+                    const php::Binary& b = **it;
+                    const uint32_t rhs = b.rhs
+                                             ? lower_expr(*b.rhs, depth + 1)
+                                             : emit(Op::kClean, depth, &b);
+                    const bool keep = b.op == php::BinaryOp::kConcat ||
+                                      b.op == php::BinaryOp::kCoalesce;
+                    acc = emit(Op::kBinFold, depth, &b, acc, rhs, kNoValue,
+                               keep ? kKeepTaint : 0);
+                }
+                return acc;
+            }
+            case NodeKind::kUnary: {
+                const auto& n = static_cast<const php::Unary&>(e);
+                const uint32_t v = n.operand ? lower_expr(*n.operand, depth + 1)
+                                             : emit(Op::kClean, depth, &e);
+                if (n.op == php::UnaryOp::kSuppress)
+                    return emit(Op::kCopy, depth, &e, v);
+                return emit(Op::kClean, depth, &e);
+            }
+            case NodeKind::kCast: {
+                const auto& n = static_cast<const php::Cast&>(e);
+                const uint32_t v = n.operand ? lower_expr(*n.operand, depth + 1)
+                                             : emit(Op::kClean, depth, &e);
+                return emit(Op::kCast, depth, &e, v);
+            }
+            case NodeKind::kTernary: {
+                const auto& n = static_cast<const php::Ternary&>(e);
+                const uint32_t cond = n.cond ? lower_expr(*n.cond, depth + 1)
+                                             : emit(Op::kClean, depth, &e);
+                // Elvis `?:` yields the condition value itself.
+                const uint32_t a =
+                    n.then_expr ? lower_expr(*n.then_expr, depth + 1) : cond;
+                const uint32_t b =
+                    n.else_expr ? lower_expr(*n.else_expr, depth + 1) : kNoValue;
+                return emit(Op::kTernary, depth, &e, a, b);
+            }
+            case NodeKind::kArrayLiteral: {
+                const auto& n = static_cast<const php::ArrayLiteral&>(e);
+                std::vector<uint32_t> ids;
+                for (const php::ArrayItem& item : n.items) {
+                    if (item.key) ids.push_back(lower_expr(*item.key, depth + 1));
+                    if (item.value)
+                        ids.push_back(lower_expr(*item.value, depth + 1));
+                }
+                return emit_call(Op::kMerge, &e, ids, depth);
+            }
+            case NodeKind::kIssetExpr: {
+                const auto& n = static_cast<const php::IssetExpr&>(e);
+                for (const php::ExprPtr& v : n.vars)
+                    if (v) lower_expr(*v, depth + 1);
+                return emit(Op::kClean, depth, &e);
+            }
+            case NodeKind::kEmptyExpr: {
+                if (const auto& n = static_cast<const php::EmptyExpr&>(e);
+                    n.operand)
+                    lower_expr(*n.operand, depth + 1);
+                return emit(Op::kClean, depth, &e);
+            }
+            case NodeKind::kIncDec: {
+                if (const auto& n = static_cast<const php::IncDec&>(e); n.operand)
+                    lower_expr(*n.operand, depth + 1);
+                return emit(Op::kClean, depth, &e);
+            }
+            case NodeKind::kInstanceOf: {
+                if (const auto& n = static_cast<const php::InstanceOf&>(e);
+                    n.object)
+                    lower_expr(*n.object, depth + 1);
+                return emit(Op::kClean, depth, &e);
+            }
+            case NodeKind::kClosure:
+                return emit(Op::kClosure, depth, &e);
+            case NodeKind::kIncludeExpr: {
+                const auto& n = static_cast<const php::IncludeExpr&>(e);
+                if (!n.path) return emit(Op::kClean, depth, &e);
+                lower_expr(*n.path, depth + 1);
+                return emit(Op::kInclude, depth, &e);
+            }
+            case NodeKind::kPrintExpr: {
+                const auto& n = static_cast<const php::PrintExpr&>(e);
+                if (!n.operand) return emit(Op::kClean, depth, &e);
+                const uint32_t v = lower_expr(*n.operand, depth + 1);
+                return emit(Op::kPrintSink, depth, &e, v);
+            }
+            case NodeKind::kExitExpr: {
+                const auto& n = static_cast<const php::ExitExpr&>(e);
+                if (!n.operand) return emit(Op::kClean, depth, &e);
+                const uint32_t v = lower_expr(*n.operand, depth + 1);
+                return emit(Op::kExitSink, depth, &e, v);
+            }
+            default:
+                return emit(Op::kClean, depth, &e);
+        }
+    }
+
+    uint32_t lower_assign(const php::Assign& assign, int depth) {
+        if (!assign.target || !assign.value)
+            return emit(Op::kClean, depth, &assign);
+        if (assign.by_ref && assign.target->kind == NodeKind::kVariable &&
+            assign.value->kind == NodeKind::kVariable) {
+            // Alias binding happens BEFORE the value is (re)read — binding
+            // erases the target's old slot, which changes what the read of
+            // an aliased name observes.
+            const uint32_t bind = emit(Op::kRefBind, depth, &assign);
+            note_def(bind,
+                     static_cast<const php::Variable&>(*assign.target).name);
+            return lower_expr(*assign.value, depth + 1);
+        }
+        const uint32_t value = lower_expr(*assign.value, depth + 1);
+        uint8_t flags = 0;
+        uint32_t target_rvalue = kNoValue;
+        switch (assign.op) {
+            case php::AssignOp::kAssign:
+                break;
+            case php::AssignOp::kConcat:
+            case php::AssignOp::kCoalesce:
+                target_rvalue = lower_expr(*assign.target, depth + 1);
+                flags = kMergeTarget;
+                break;
+            default:
+                // Arithmetic compound assignment: the target is still read
+                // (for its side effects) but the stored value is clean.
+                lower_expr(*assign.target, depth + 1);
+                flags = kCleanValue;
+                break;
+        }
+        const uint32_t id = emit(Op::kAssignFinish, depth, &assign, value,
+                                 target_rvalue, kNoValue, flags);
+        if (assign.target->kind == NodeKind::kVariable)
+            note_def(id,
+                     static_cast<const php::Variable&>(*assign.target).name);
+        return id;
+    }
+
+    // -- statements ------------------------------------------------------------
+    void lower_loop(const php::Node* node, const std::function<void()>& body) {
+        if (trips_ <= 1) {
+            body();
+            return;
+        }
+        const uint32_t begin =
+            emit(Op::kLoopBegin, 0, node, kNoValue, static_cast<uint32_t>(trips_));
+        body();
+        emit(Op::kLoopEnd, 0, node, kNoValue, begin + 1);
+    }
+
+    void lower_stmt(const php::Stmt& stmt) {
+        switch (stmt.kind) {
+            case NodeKind::kExprStmt:
+                if (const auto& n = static_cast<const php::ExprStmt&>(stmt);
+                    n.expr)
+                    lower_expr(*n.expr, 1);
+                break;
+            case NodeKind::kEchoStmt: {
+                const auto& n = static_cast<const php::EchoStmt&>(stmt);
+                for (size_t i = 0; i < n.args.size(); ++i) {
+                    if (!n.args[i]) continue;
+                    const uint32_t v = lower_expr(*n.args[i], 1);
+                    emit(Op::kEchoSink, 0, &n, v, static_cast<uint32_t>(i));
+                }
+                break;
+            }
+            case NodeKind::kBlock:
+                lower_list(static_cast<const php::Block&>(stmt).statements);
+                break;
+            case NodeKind::kIfStmt: {
+                // Paper §III.C: branches are processed sequentially in the
+                // same environment — the IR is simply straight-line here.
+                const auto& n = static_cast<const php::IfStmt&>(stmt);
+                if (n.cond) lower_expr(*n.cond, 1);
+                if (n.then_branch) lower_stmt(*n.then_branch);
+                if (n.else_branch) lower_stmt(*n.else_branch);
+                break;
+            }
+            case NodeKind::kWhileStmt: {
+                const auto& n = static_cast<const php::WhileStmt&>(stmt);
+                lower_loop(&n, [&] {
+                    if (n.cond) lower_expr(*n.cond, 1);
+                    if (n.body) lower_stmt(*n.body);
+                });
+                break;
+            }
+            case NodeKind::kDoWhileStmt: {
+                const auto& n = static_cast<const php::DoWhileStmt&>(stmt);
+                lower_loop(&n, [&] {
+                    if (n.body) lower_stmt(*n.body);
+                    if (n.cond) lower_expr(*n.cond, 1);
+                });
+                break;
+            }
+            case NodeKind::kForStmt: {
+                const auto& n = static_cast<const php::ForStmt&>(stmt);
+                for (const php::ExprPtr& e : n.init)
+                    if (e) lower_expr(*e, 1);
+                lower_loop(&n, [&] {
+                    for (const php::ExprPtr& e : n.cond)
+                        if (e) lower_expr(*e, 1);
+                    if (n.body) lower_stmt(*n.body);
+                    for (const php::ExprPtr& e : n.update)
+                        if (e) lower_expr(*e, 1);
+                });
+                break;
+            }
+            case NodeKind::kForeachStmt: {
+                const auto& n = static_cast<const php::ForeachStmt&>(stmt);
+                const uint32_t iterable =
+                    n.iterable ? lower_expr(*n.iterable, 1) : kNoValue;
+                const uint32_t prepped =
+                    emit(Op::kForeachPrep, 0, &n, iterable);
+                lower_loop(&n, [&] {
+                    if (n.key_var) {
+                        const uint32_t id =
+                            emit(Op::kBindTarget, 0, n.key_var, prepped);
+                        if (n.key_var->kind == NodeKind::kVariable)
+                            note_def(id, static_cast<const php::Variable&>(
+                                             *n.key_var)
+                                             .name);
+                    }
+                    if (n.value_var) {
+                        const uint32_t id =
+                            emit(Op::kBindTarget, 0, n.value_var, prepped);
+                        if (n.value_var->kind == NodeKind::kVariable)
+                            note_def(id, static_cast<const php::Variable&>(
+                                             *n.value_var)
+                                             .name);
+                    }
+                    if (n.body) lower_stmt(*n.body);
+                });
+                break;
+            }
+            case NodeKind::kSwitchStmt: {
+                const auto& n = static_cast<const php::SwitchStmt&>(stmt);
+                if (n.subject) lower_expr(*n.subject, 1);
+                for (const php::SwitchCase& c : n.cases) {
+                    if (c.match) lower_expr(*c.match, 1);
+                    lower_list(c.body);
+                }
+                break;
+            }
+            case NodeKind::kReturnStmt: {
+                const auto& n = static_cast<const php::ReturnStmt&>(stmt);
+                const uint32_t v = n.value ? lower_expr(*n.value, 1) : kNoValue;
+                emit(Op::kReturn, 0, &n, v);
+                break;
+            }
+            case NodeKind::kGlobalStmt:
+                emit(Op::kGlobalDecl, 0, &stmt);
+                break;
+            case NodeKind::kStaticVarStmt: {
+                const auto& n = static_cast<const php::StaticVarStmt&>(stmt);
+                for (size_t i = 0; i < n.vars.size(); ++i) {
+                    const auto& [name, init] = n.vars[i];
+                    if (!init) continue;
+                    const uint32_t v = lower_expr(*init, 1);
+                    const uint32_t id = emit(Op::kStaticBind, 0, &n, v,
+                                             static_cast<uint32_t>(i));
+                    note_def(id, name);
+                }
+                break;
+            }
+            case NodeKind::kUnsetStmt:
+                emit(Op::kUnset, 0, &stmt);
+                break;
+            case NodeKind::kClassDecl:
+                // Rare, structurally heavy (property-default evaluation with
+                // shared-state stores): one escape op, AST semantics.
+                emit(Op::kEscapeStmt, 0, &stmt);
+                break;
+            case NodeKind::kTryStmt: {
+                const auto& n = static_cast<const php::TryStmt&>(stmt);
+                lower_list(n.body);
+                for (size_t i = 0; i < n.catches.size(); ++i) {
+                    const php::CatchClause& c = n.catches[i];
+                    const uint32_t id = emit(Op::kCatchBind, 0, &n, kNoValue,
+                                             static_cast<uint32_t>(i));
+                    if (!c.var.empty()) note_def(id, c.var);
+                    lower_list(c.body);
+                }
+                lower_list(n.finally_body);
+                break;
+            }
+            case NodeKind::kThrowStmt:
+                if (const auto& n = static_cast<const php::ThrowStmt&>(stmt);
+                    n.value)
+                    lower_expr(*n.value, 1);
+                break;
+            case NodeKind::kNamespaceStmt:
+                lower_list(static_cast<const php::NamespaceStmt&>(stmt).body);
+                break;
+            case NodeKind::kConstStmt: {
+                const auto& n = static_cast<const php::ConstStmt&>(stmt);
+                for (const auto& [name, value] : n.constants)
+                    if (value) lower_expr(*value, 1);
+                break;
+            }
+            case NodeKind::kBreakStmt:
+            case NodeKind::kContinueStmt:
+            case NodeKind::kInlineHtmlStmt:
+            case NodeKind::kFunctionDecl:  // indexed during model construction
+            case NodeKind::kUseStmt:
+            default:
+                break;
+        }
+    }
+
+    // -- basic blocks ----------------------------------------------------------
+    void build_blocks() {
+        const uint32_t end = static_cast<uint32_t>(insts_.size());
+        std::vector<uint32_t> leaders;
+        leaders.push_back(0);
+        leaders.push_back(end);
+        for (uint32_t i = 0; i < end; ++i) {
+            const Inst& inst = insts_[i];
+            switch (inst.op) {
+                case Op::kStmtGate:
+                    leaders.push_back(i + 1);
+                    leaders.push_back(inst.c);
+                    break;
+                case Op::kLoopBegin:
+                    leaders.push_back(i + 1);
+                    break;
+                case Op::kLoopEnd:
+                    leaders.push_back(i + 1);
+                    leaders.push_back(inst.b);
+                    break;
+                default:
+                    break;
+            }
+        }
+        std::sort(leaders.begin(), leaders.end());
+        leaders.erase(std::unique(leaders.begin(), leaders.end()),
+                      leaders.end());
+
+        // uses_/defs_ were appended in instruction order, so a two-pointer
+        // sweep partitions them per block without re-sorting.
+        size_t use_at = 0, def_at = 0;
+        for (size_t i = 0; i + 1 < leaders.size(); ++i) {
+            Block block;
+            block.first = leaders[i];
+            block.count = leaders[i + 1] - leaders[i];
+            if (block.count == 0) continue;
+            block.uses_first = static_cast<uint32_t>(facts_.size());
+            use_at = append_facts(uses_, use_at, leaders[i + 1]);
+            block.uses_count =
+                static_cast<uint32_t>(facts_.size()) - block.uses_first;
+            block.defs_first = static_cast<uint32_t>(facts_.size());
+            def_at = append_facts(defs_, def_at, leaders[i + 1]);
+            block.defs_count =
+                static_cast<uint32_t>(facts_.size()) - block.defs_first;
+            blocks_.push_back(block);
+        }
+    }
+
+    /// Appends the symbols of facts with inst index < `limit` (starting at
+    /// `from`), deduplicated within the appended range; returns the new
+    /// cursor.
+    size_t append_facts(const std::vector<std::pair<uint32_t, Symbol>>& facts,
+                        size_t from, uint32_t limit) {
+        const size_t begin = facts_.size();
+        while (from < facts.size() && facts[from].first < limit)
+            facts_.push_back(facts[from++].second);
+        std::sort(facts_.begin() + begin, facts_.end());
+        facts_.erase(std::unique(facts_.begin() + begin, facts_.end()),
+                     facts_.end());
+        return from;
+    }
+
+    template <typename T>
+    static const T* copy_out(Arena& arena, const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (v.empty()) return nullptr;
+        T* mem =
+            static_cast<T*>(arena.allocate(v.size() * sizeof(T), alignof(T)));
+        std::memcpy(mem, v.data(), v.size() * sizeof(T));
+        return mem;
+    }
+
+    const KnowledgeBase& kb_;
+    const AnalysisOptions& options_;
+    SymbolTable& symbols_;
+    const int trips_;
+    std::vector<Inst> insts_;
+    std::vector<uint32_t> pool_;
+    std::vector<Block> blocks_;
+    std::vector<Symbol> facts_;
+    std::vector<std::pair<uint32_t, Symbol>> uses_;
+    std::vector<std::pair<uint32_t, Symbol>> defs_;
+    uint16_t max_depth_ = 0;
+};
+
+}  // namespace
+
+const Body& Module::lower(const KnowledgeBase& kb,
+                          const AnalysisOptions& options, SymbolTable& symbols,
+                          const ArenaVector<php::StmtPtr>& stmts) {
+    if (const Body* existing = find(stmts)) return *existing;
+    Lowerer lowerer(kb, options, symbols);
+    lowerer.lower_list(stmts);
+    const Body* body = lowerer.finish(arena_);
+    bodies_.emplace(static_cast<const void*>(&stmts), body);
+    return *body;
+}
+
+}  // namespace phpsafe::ir

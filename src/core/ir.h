@@ -1,0 +1,168 @@
+// Flat, arena-backed dataflow IR for taint propagation (ROADMAP: "lower
+// the taint engine onto a flat IR"). Each body — an entry file, a function
+// body, a closure body, an included file — is compiled ONCE per run into a
+// linear instruction stream:
+//
+//   - expressions are linearized into ops over dense integer value ids
+//     (an op's result lives in the slot with its own instruction index),
+//   - control flow is flattened the way the paper's semantics already
+//     dictate (§III.C: branches are processed sequentially in the same
+//     environment; loops run a fixed trip count), leaving only two jump
+//     forms: bounded loop back-edges and failed-file statement gates,
+//   - basic blocks with explicit def/use sets over interned symbol ids are
+//     derived per body — the structural facts the block-level summary and
+//     scheduling work builds on.
+//
+// Taint propagation then runs as a linear walk over the stream
+// (Engine::run_ir_body in core/ir_taint.cpp) instead of recursive AST
+// evaluation in Engine::eval. Findings are byte-identical to the AST
+// backend: every op's side effects are performed by the same Engine
+// dispatch/finish helpers the recursive evaluator calls, in the same order
+// and at the same eval-depth, and bodies that could hit the evaluator's
+// nesting-truncation guard are not executed on the IR path at all
+// (Engine::run_body falls back to the AST for them).
+//
+// Lowering needs only the knowledge base, the options and the run's symbol
+// table — never engine state — so it is testable in isolation
+// (tests/ir_test.cpp lowers bodies directly and inspects the stream).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "config/knowledge.h"
+#include "php/ast.h"
+#include "util/arena.h"
+#include "util/interner.h"
+
+namespace phpsafe {
+
+struct AnalysisOptions;
+
+namespace ir {
+
+/// "No operand / no value" marker for Inst::a/b/c.
+inline constexpr uint32_t kNoValue = 0xFFFFFFFFu;
+
+enum class Op : uint8_t {
+    // -- value producers -----------------------------------------------------
+    kClean,          ///< result := clean (literals, opaque constructs)
+    kCopy,           ///< result := values[a] (@-suppression, element reads)
+    kVarRead,        ///< node: Variable → Engine::eval_variable
+    kSgArrayRead,    ///< node: ArrayAccess with a superglobal base
+    kGlobalsRead,    ///< node: ArrayAccess "$GLOBALS['name']"
+    kPropRead,       ///< node: PropertyAccess; a = object value
+    kStaticPropRead, ///< node: StaticPropertyAccess
+    kMerge,          ///< result := merge of values[pool[b .. b+c)]
+    kBinFold,        ///< result := values[a] ∪ values[b] (kKeepTaint) | clean
+    kCast,           ///< node: Cast; a = operand value (sanitizing casts)
+    kTernary,        ///< result := values[a], merged with values[b] if set
+    kRefBind,        ///< node: Assign; $a =& $b alias binding (no value)
+    kAssignFinish,   ///< node: Assign; a = value, b = target rvalue | kNoValue
+    kCallFunc,       ///< node: FunctionCall; args = values[pool[b .. b+c)]
+    kCallMethod,     ///< node: MethodCall; a = object, args in pool
+    kCallStatic,     ///< node: StaticCall; args in pool
+    kNewObj,         ///< node: New; args in pool
+    kClosure,        ///< node: Closure → closure-body analysis + value
+    kInclude,        ///< node: IncludeExpr; path value ops precede
+    kForeachPrep,    ///< node: ForeachStmt; a = iterable value | kNoValue
+    // -- sinks / effects -----------------------------------------------------
+    kEchoSink,       ///< node: EchoStmt; a = value, b = argument index
+    kPrintSink,      ///< node: PrintExpr; a = value (result := clean)
+    kExitSink,       ///< node: ExitExpr; a = value (result := clean)
+    kBindTarget,     ///< node: lvalue Expr; a = value (foreach bindings)
+    kReturn,         ///< node: ReturnStmt; a = value | kNoValue
+    kGlobalDecl,     ///< node: GlobalStmt
+    kStaticBind,     ///< node: StaticVarStmt; a = value, b = var index
+    kUnset,          ///< node: UnsetStmt
+    kCatchBind,      ///< node: TryStmt; b = catch clause index
+    kEscapeStmt,     ///< node: Stmt → Engine::exec_stmt (rare kinds)
+    // -- control -------------------------------------------------------------
+    kStmtGate,       ///< jump to c when the current file has failed
+    kLoopBegin,      ///< b = trip count (max(1, loop_iterations))
+    kLoopEnd         ///< b = ip of the first body instruction (back edge)
+};
+
+/// Inst flags (per-op meaning).
+inline constexpr uint8_t kKeepTaint = 1;    ///< kBinFold: concat/coalesce
+inline constexpr uint8_t kMergeTarget = 1;  ///< kAssignFinish: .= / ??=
+inline constexpr uint8_t kCleanValue = 2;   ///< kAssignFinish: arithmetic
+
+/// One instruction. 24 bytes; the stream is cache-resident for typical
+/// bodies. `depth` is the node's expression-nesting level — the executor
+/// keeps Engine::eval_depth_ at entry + depth so shared helpers (which may
+/// recurse back into eval, e.g. assign_to on compound lvalues) observe
+/// exactly the recursion depth the AST path would have had.
+struct Inst {
+    Op op = Op::kClean;
+    uint8_t flags = 0;
+    uint16_t depth = 0;
+    uint32_t a = kNoValue;  ///< primary operand value id (or symbol)
+    uint32_t b = kNoValue;  ///< pool offset / index / secondary operand
+    uint32_t c = kNoValue;  ///< pool count / jump target / symbol
+    const php::Node* node = nullptr;
+};
+
+/// Half-open instruction range with its def/use facts (symbol ranges into
+/// Body::facts). Block boundaries sit at the only places control transfers:
+/// loop edges and failed-file gates.
+struct Block {
+    uint32_t first = 0;
+    uint32_t count = 0;
+    uint32_t uses_first = 0;
+    uint32_t uses_count = 0;
+    uint32_t defs_first = 0;
+    uint32_t defs_count = 0;
+};
+
+/// One lowered body. All arrays live in the owning Module's arena; a Body
+/// is immutable after lowering and valid for the run.
+struct Body {
+    const Inst* insts = nullptr;
+    uint32_t inst_count = 0;
+    const uint32_t* pool = nullptr;  ///< operand id lists (args, parts)
+    uint32_t pool_count = 0;
+    const Block* blocks = nullptr;
+    uint32_t block_count = 0;
+    const Symbol* facts = nullptr;   ///< def/use symbol pool for blocks
+    uint32_t fact_count = 0;
+    /// Deepest expression nesting of any lowered node. A body executes on
+    /// the IR path only when entry_depth + max_depth clears the evaluator's
+    /// truncation guard, which is what makes the guard unreachable (and the
+    /// two backends byte-identical) on every lowered op.
+    uint16_t max_depth = 0;
+};
+
+/// Per-run lowering cache: statement list address → lowered Body. The AST
+/// is arena-pinned by the project for the whole run, so the list address is
+/// a stable identity. Not thread-safe; an Engine (and thus a Module) is
+/// single-threaded by contract.
+class Module {
+public:
+    Module() = default;
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    /// The already-lowered body for `stmts`, or null.
+    const Body* find(const ArenaVector<php::StmtPtr>& stmts) const {
+        const auto it = bodies_.find(static_cast<const void*>(&stmts));
+        return it == bodies_.end() ? nullptr : it->second;
+    }
+
+    /// Lowers `stmts` (idempotent: returns the cached body when present).
+    /// `symbols` is the engine run's interner — def/use facts must use the
+    /// same symbol ids the scopes key their maps with.
+    const Body& lower(const KnowledgeBase& kb, const AnalysisOptions& options,
+                      SymbolTable& symbols,
+                      const ArenaVector<php::StmtPtr>& stmts);
+
+    size_t body_count() const noexcept { return bodies_.size(); }
+
+private:
+    Arena arena_;
+    std::map<const void*, const Body*> bodies_;
+};
+
+}  // namespace ir
+}  // namespace phpsafe

@@ -1,0 +1,229 @@
+// Taint propagation over the flat dataflow IR (core/ir.h): a linear walk
+// of the instruction stream with dense per-instruction TaintValue slots,
+// replacing the recursive descent of Engine::eval for lowered bodies.
+//
+// Byte-identity with the AST backend is structural, not incidental: every
+// op's semantics consist of reading already-computed operand slots and then
+// invoking the same Engine dispatch/finish helper the recursive evaluator
+// calls, at the same eval_depth_ (entry + inst.depth). The only control
+// transfers are bounded loop back-edges and failed-file statement gates —
+// the exact two places Engine::exec_stmts's control flow can deviate from
+// straight-line order.
+#include "core/engine.h"
+#include "core/ir.h"
+#include "obs/counters.h"
+
+namespace phpsafe {
+
+using php::NodeKind;
+
+void Engine::run_ir_body(const ir::Body& body, Scope& scope) {
+    ++obs::tls().ir_body_runs;
+    std::vector<TaintValue> values(body.inst_count);
+    std::vector<uint32_t> loop_trips;  // remaining trips, innermost last
+    std::vector<TaintValue> args;      // scratch operand list for call ops
+
+    const int entry_depth = eval_depth_;
+    const auto pool_args = [&](const ir::Inst& inst) -> std::vector<TaintValue>& {
+        args.clear();
+        args.reserve(inst.c);
+        for (uint32_t i = 0; i < inst.c; ++i)
+            args.push_back(values[body.pool[inst.b + i]]);
+        return args;
+    };
+
+    for (uint32_t ip = 0; ip < body.inst_count; ++ip) {
+        const ir::Inst& inst = body.insts[ip];
+        eval_depth_ = entry_depth + inst.depth;
+        switch (inst.op) {
+            case ir::Op::kClean:
+                break;  // slots default to clean
+            case ir::Op::kCopy:
+                values[ip] = values[inst.a];
+                break;
+            case ir::Op::kVarRead:
+                values[ip] = eval_variable(
+                    static_cast<const php::Variable&>(*inst.node), scope);
+                break;
+            case ir::Op::kSgArrayRead: {
+                const auto& access =
+                    static_cast<const php::ArrayAccess&>(*inst.node);
+                const auto& base =
+                    static_cast<const php::Variable&>(*access.base);
+                const SuperglobalInfo* sg = kb_.superglobal(base.name);
+                values[ip] = superglobal_source(*sg, loc_of(access, scope),
+                                                base.name, access.index);
+                break;
+            }
+            case ir::Op::kGlobalsRead: {
+                const auto& access =
+                    static_cast<const php::ArrayAccess&>(*inst.node);
+                const auto& lit =
+                    static_cast<const php::Literal&>(*access.index);
+                std::string gname = "$";
+                gname += lit.value;
+                values[ip] = read_global(gname, loc_of(access, scope));
+                break;
+            }
+            case ir::Op::kPropRead:
+                values[ip] = finish_property_read(
+                    static_cast<const php::PropertyAccess&>(*inst.node),
+                    values[inst.a], scope);
+                break;
+            case ir::Op::kStaticPropRead:
+                values[ip] = read_static_property(
+                    static_cast<const php::StaticPropertyAccess&>(*inst.node),
+                    scope);
+                break;
+            case ir::Op::kMerge: {
+                TaintValue out;
+                for (uint32_t i = 0; i < inst.c; ++i)
+                    out.merge(values[body.pool[inst.b + i]]);
+                values[ip] = std::move(out);
+                break;
+            }
+            case ir::Op::kBinFold:
+                if (inst.flags & ir::kKeepTaint) {
+                    TaintValue out = values[inst.a];
+                    out.merge(values[inst.b]);
+                    values[ip] = std::move(out);
+                }
+                // else: the fold yields a harmless value — slot stays clean.
+                break;
+            case ir::Op::kCast:
+                values[ip] =
+                    apply_cast(static_cast<const php::Cast&>(*inst.node),
+                               values[inst.a], scope);
+                break;
+            case ir::Op::kTernary: {
+                TaintValue out = values[inst.a];
+                if (inst.b != ir::kNoValue) out.merge(values[inst.b]);
+                values[ip] = std::move(out);
+                break;
+            }
+            case ir::Op::kRefBind:
+                bind_ref_alias(static_cast<const php::Assign&>(*inst.node),
+                               scope);
+                break;
+            case ir::Op::kAssignFinish: {
+                const auto& assign =
+                    static_cast<const php::Assign&>(*inst.node);
+                TaintValue value = values[inst.a];
+                if (inst.flags & ir::kMergeTarget)
+                    value.merge(values[inst.b]);
+                else if (inst.flags & ir::kCleanValue)
+                    value = TaintValue::clean();
+                assign_to(*assign.target, value, scope);
+                values[ip] = std::move(value);
+                break;
+            }
+            case ir::Op::kCallFunc:
+                values[ip] = dispatch_function_call(
+                    static_cast<const php::FunctionCall&>(*inst.node),
+                    pool_args(inst), scope);
+                break;
+            case ir::Op::kCallMethod: {
+                // Read the receiver before pool_args clobbers the scratch
+                // vector (inst.a indexes values, so a reference stays valid).
+                const TaintValue& object = values[inst.a];
+                values[ip] = dispatch_method_call(
+                    static_cast<const php::MethodCall&>(*inst.node), object,
+                    pool_args(inst), scope);
+                break;
+            }
+            case ir::Op::kCallStatic:
+                values[ip] = dispatch_static_call(
+                    static_cast<const php::StaticCall&>(*inst.node),
+                    pool_args(inst), scope);
+                break;
+            case ir::Op::kNewObj:
+                values[ip] =
+                    dispatch_new(static_cast<const php::New&>(*inst.node),
+                                 pool_args(inst), scope);
+                break;
+            case ir::Op::kClosure:
+                values[ip] = make_closure_value(
+                    static_cast<const php::Closure&>(*inst.node), scope);
+                break;
+            case ir::Op::kInclude:
+                values[ip] = finish_include(
+                    static_cast<const php::IncludeExpr&>(*inst.node), scope);
+                break;
+            case ir::Op::kForeachPrep:
+                values[ip] = foreach_prepare(
+                    static_cast<const php::ForeachStmt&>(*inst.node),
+                    inst.a != ir::kNoValue ? values[inst.a]
+                                           : TaintValue::clean(),
+                    scope);
+                break;
+            case ir::Op::kEchoSink: {
+                const auto& echo =
+                    static_cast<const php::EchoStmt&>(*inst.node);
+                check_echo_arg(echo, *echo.args[inst.b], values[inst.a], scope);
+                break;
+            }
+            case ir::Op::kPrintSink: {
+                const auto& n = static_cast<const php::PrintExpr&>(*inst.node);
+                const TaintValue& value = values[inst.a];
+                check_sink(kXssOnly, value, loc_of(n, scope), "print",
+                           to_php_source(*n.operand), scope, value.via_oop);
+                break;
+            }
+            case ir::Op::kExitSink: {
+                const auto& n = static_cast<const php::ExitExpr&>(*inst.node);
+                const TaintValue& value = values[inst.a];
+                check_sink(kXssOnly, value, loc_of(n, scope), "exit",
+                           to_php_source(*n.operand), scope, value.via_oop);
+                break;
+            }
+            case ir::Op::kBindTarget:
+                assign_to(*static_cast<const php::Expr*>(inst.node),
+                          values[inst.a], scope);
+                break;
+            case ir::Op::kReturn:
+                finish_return(inst.a != ir::kNoValue ? values[inst.a]
+                                                     : TaintValue::clean(),
+                              scope);
+                break;
+            case ir::Op::kGlobalDecl:
+                exec_global_decl(static_cast<const php::GlobalStmt&>(*inst.node),
+                                 scope);
+                break;
+            case ir::Op::kStaticBind: {
+                const auto& n =
+                    static_cast<const php::StaticVarStmt&>(*inst.node);
+                const auto& [name, init] = n.vars[inst.b];
+                (void)init;
+                scope.vars[sym(name)] = values[inst.a];
+                break;
+            }
+            case ir::Op::kUnset:
+                exec_unset(static_cast<const php::UnsetStmt&>(*inst.node),
+                           scope);
+                break;
+            case ir::Op::kCatchBind:
+                bind_catch_var(static_cast<const php::TryStmt&>(*inst.node)
+                                   .catches[inst.b],
+                               scope);
+                break;
+            case ir::Op::kEscapeStmt:
+                exec_stmt(*static_cast<const php::Stmt*>(inst.node), scope);
+                break;
+            case ir::Op::kStmtGate:
+                if (current_file_failed_) ip = inst.c - 1;  // ++ lands on target
+                break;
+            case ir::Op::kLoopBegin:
+                loop_trips.push_back(inst.b);
+                break;
+            case ir::Op::kLoopEnd:
+                if (--loop_trips.back() > 0)
+                    ip = inst.b - 1;  // ++ lands on the first body inst
+                else
+                    loop_trips.pop_back();
+                break;
+        }
+    }
+    eval_depth_ = entry_depth;
+}
+
+}  // namespace phpsafe

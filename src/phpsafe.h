@@ -16,7 +16,9 @@
 // Knowledge base: sources, sinks, sanitizers, CMS profiles.
 #include "config/knowledge.h"
 
-// Analysis: taint engine, options/presets, findings, observer hooks.
+// Analysis: the Analyzer facade (the one entry point — scan(project) →
+// ScanResult), taint engine, options/presets, findings, observer hooks.
+#include "core/analyzer.h"
 #include "core/engine.h"
 #include "core/finding.h"
 #include "core/taint.h"

@@ -59,6 +59,17 @@ bool load_directory(const std::string& root,
 bool build_request(const JsonValue& request, ScanRequest& scan,
                    std::string& error) {
     scan.preset = request.string_or("preset", "phpsafe");
+    scan.backend = request.string_or("backend", "");
+    if (!scan.backend.empty()) {
+        // Validate at the protocol boundary so a typo'd backend is one
+        // structured error line, not a queued scan that fails later.
+        EngineBackend backend = EngineBackend::kAst;
+        if (!backend_from_string(scan.backend, backend)) {
+            error = "unknown backend \"" + scan.backend +
+                    "\" (expected ast, ir or differential)";
+            return false;
+        }
+    }
     scan.priority = static_cast<int>(request.int_or("priority", 0));
     const std::string path = request.string_or("path", "");
     if (!path.empty()) {

@@ -27,6 +27,8 @@ uint64_t AnalysisService::request_fingerprint(const ScanRequest& request) {
     uint64_t h = fnv1a64(request.plugin);
     h = fnv1a64("\x1f", h);
     h = fnv1a64(request.preset, h);
+    h = fnv1a64("\x1f", h);
+    h = fnv1a64(request.backend, h);
     for (const SourceFileSpec& file : request.files) {
         h = fnv1a64("\x1f", h);
         h = fnv1a64(file.name, h);
@@ -222,7 +224,24 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
     const auto preset_it = presets_.find(scan.request.preset);
     const Tool& tool =
         preset_it != presets_.end() ? preset_it->second : presets_.at("phpsafe");
-    const std::string preset_fp = tool.options.fingerprint();
+    // Per-request backend override. The effective options' fingerprint keys
+    // the summary and result pools, so an "ir" scan never serves (or seeds)
+    // an "ast" scan's cached artifacts.
+    AnalysisOptions options = tool.options;
+    if (!scan.request.backend.empty()) {
+        EngineBackend backend = EngineBackend::kAst;
+        if (!backend_from_string(scan.request.backend, backend)) {
+            response.result.plugin = scan.request.plugin;
+            response.result.diagnostics.push_back(Diagnostic{
+                Severity::kFatal, SourceLocation{},
+                "unknown backend \"" + scan.request.backend +
+                    "\" (expected ast, ir or differential)"});
+            response.wall_seconds = wall_seconds() - wall_start;
+            return response;
+        }
+        options = options.to_builder().engine_backend(backend).build();
+    }
+    const std::string preset_fp = options.fingerprint();
 
     // Path 1: the exact (content, preset) pair was scanned before.
     bool served = false;
@@ -262,8 +281,8 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
         // order — and therefore summary purity — is call-driven; it gets
         // AST and result caching only).
         const bool summary_reuse = options_.reuse_summaries &&
-                                   tool.options.hermetic_summaries &&
-                                   tool.options.analyze_uncalled_functions;
+                                   options.hermetic_summaries &&
+                                   options.analyze_uncalled_functions;
         std::map<std::string, const SummaryArtifact*> seeds;
         std::vector<std::shared_ptr<const SummaryArtifact>> pins;
         if (summary_reuse) {
@@ -298,7 +317,7 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
             exchange.capture = &capture;
         }
 
-        Engine engine(tool.kb, tool.options);
+        Engine engine(tool.kb, options);
         {
             auto run_span =
                 tracer.span("service.analyze", {{"plugin", scan.request.plugin},

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
+#include "core/analyzer.h"
 
 namespace phpsafe {
 namespace {
@@ -101,9 +102,9 @@ TEST(EngineOptionsTest, MaxCallDepthGuards) {
                      "echo a($_GET['q']);");
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(tool.kb, tool.options);
     // Must terminate; detection may degrade to conservative propagation.
-    const AnalysisResult r = engine.analyze(project);
+    const AnalysisResult r =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     EXPECT_GE(r.findings.size(), 1u);
 }
 
@@ -115,9 +116,9 @@ TEST(EngineOptionsTest, TrackObjectTypesOffStillSafe) {
                      "<?php global $wpdb; echo $wpdb->get_var('q');");
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(tool.kb, tool.options);
     // Without type tracking the wildcard method entry still matches.
-    const AnalysisResult r = engine.analyze(project);
+    const AnalysisResult r =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     EXPECT_EQ(r.findings.size(), 1u);
 }
 

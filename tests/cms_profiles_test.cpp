@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
-#include "core/engine.h"
+#include "core/analyzer.h"
 #include "php/project.h"
 
 namespace phpsafe {
@@ -16,8 +16,7 @@ AnalysisResult analyze_with(const KnowledgeBase& kb, const std::string& code) {
     project.add_file("module.php", code);
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(kb, AnalysisOptions{});
-    return engine.analyze(project);
+    return Analyzer::borrowing(kb, AnalysisOptions{}).scan(project).result;
 }
 
 KnowledgeBase drupal_kb() {

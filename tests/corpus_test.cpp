@@ -7,6 +7,7 @@
 #include <map>
 
 #include "baselines/analyzers.h"
+#include "core/analyzer.h"
 #include "corpus/generator.h"
 #include "corpus/patterns.h"
 #include "php/project.h"
@@ -115,8 +116,8 @@ int run_count(const std::string& code, const Tool& tool) {
     project.add_file("main.php", code);
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(tool.kb, tool.options);
-    return static_cast<int>(engine.analyze(project).findings.size());
+    const Analyzer analyzer = Analyzer::borrowing(tool.kb, tool.options);
+    return static_cast<int>(analyzer.scan(project).result.findings.size());
 }
 
 TEST_P(DetectionMatrixTest, ToolsDetectPerCapabilities) {
@@ -159,8 +160,8 @@ TEST_P(VariantSweepTest, AllVariantsDetected) {
         DiagnosticSink sink;
         project.parse_all(sink);
         const Tool tool = make_phpsafe_tool();
-        Engine engine(tool.kb, tool.options);
-        const auto result = engine.analyze(project);
+        const auto result =
+            Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
         ASSERT_EQ(result.findings.size(), 1u);
         ASSERT_EQ(snippet.sink_line_offsets.size(), 1u);
         EXPECT_EQ(result.findings[0].location.line,
@@ -279,13 +280,13 @@ TEST(GeneratorTest, DeepChainMakesPhpSafeFailOneFilePerChain) {
     DiagnosticSink sink;
     const php::Project project = build_project(plugin, plugin.v2012, sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const auto result = engine.analyze(project);
+    const auto result =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     EXPECT_EQ(result.files_failed, 1);
 
     const Tool rips = make_rips_like_tool();
-    Engine rips_engine(rips.kb, rips.options);
-    EXPECT_EQ(rips_engine.analyze(project).files_failed, 0);
+    const Analyzer rips_analyzer = Analyzer::borrowing(rips.kb, rips.options);
+    EXPECT_EQ(rips_analyzer.scan(project).result.files_failed, 0);
 }
 
 TEST(GeneratorTest, ScaleChangesVolume) {

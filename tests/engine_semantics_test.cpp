@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
-#include "core/engine.h"
+#include "core/analyzer.h"
 #include "php/project.h"
 
 namespace phpsafe {
@@ -17,8 +17,7 @@ AnalysisResult analyze(const std::string& code, const Tool& tool) {
     project.add_file("main.php", code);
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(tool.kb, tool.options);
-    return engine.analyze(project);
+    return Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 }
 
 AnalysisResult analyze(const std::string& code) {
@@ -214,8 +213,8 @@ TEST(EngineSemanticsTest, FilesFailedCountsParseFailures) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const auto r = engine.analyze(project);
+    const AnalysisResult r =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     EXPECT_EQ(r.files_failed, 1);
     EXPECT_EQ(r.findings.size(), 1u);  // the good file is still analyzed
 }

@@ -1,0 +1,296 @@
+// Tests for the flat dataflow IR (core/ir.h): structural assertions on the
+// lowered instruction stream — statement gates, loop markers, def/use
+// blocks, depth bookkeeping, the per-run lowering cache — plus behavioral
+// equivalence of the IR taint backend against the recursive AST evaluator
+// it replaces. The full-corpus byte-identity battery lives in
+// tests/differential_test.cpp; here the comparisons are small and targeted
+// so a failure points at one lowering rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/ir.h"
+#include "phpsafe.h"
+
+namespace phpsafe {
+namespace {
+
+/// Parses one source file into a project (must parse cleanly).
+php::Project parse_one(const std::string& text) {
+    php::Project project("ir-test");
+    project.add_file("a.php", text);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    EXPECT_FALSE(project.files().empty());
+    EXPECT_FALSE(project.files()[0]->parse_failed);
+    return project;
+}
+
+/// Lowers the entry file's statement list with the given options.
+struct Lowered {
+    php::Project project;
+    KnowledgeBase kb;
+    SymbolTable symbols;
+    ir::Module module;
+    const ir::Body* body = nullptr;
+
+    explicit Lowered(const std::string& text,
+                     AnalysisOptions options = AnalysisOptions::phpsafe())
+        : project(parse_one(text)), kb(make_generic_php_kb()) {
+        body = &module.lower(kb, options, symbols,
+                             project.files()[0]->unit.statements);
+    }
+};
+
+std::vector<ir::Op> ops_of(const ir::Body& body) {
+    std::vector<ir::Op> ops;
+    for (uint32_t i = 0; i < body.inst_count; ++i)
+        ops.push_back(body.insts[i].op);
+    return ops;
+}
+
+int count_op(const ir::Body& body, ir::Op op) {
+    int n = 0;
+    for (uint32_t i = 0; i < body.inst_count; ++i)
+        if (body.insts[i].op == op) ++n;
+    return n;
+}
+
+TEST(IrLoweringTest, InstStaysCacheFriendly) {
+    // The executor walks the stream linearly; the 24-byte layout is what
+    // keeps typical bodies inside a few cache lines.
+    static_assert(sizeof(ir::Inst) == 24);
+    static_assert(std::is_trivially_copyable_v<ir::Inst>);
+}
+
+TEST(IrLoweringTest, StraightLineLowersToGatedStatements) {
+    const Lowered low("<?php $x = $_GET['q']; echo $x;\n");
+    const ir::Body& body = *low.body;
+    ASSERT_GT(body.inst_count, 0u);
+
+    // The file body is a statement list, so every statement is preceded by
+    // one failed-file gate — and nothing else jumps.
+    EXPECT_EQ(count_op(body, ir::Op::kStmtGate), 2);
+    EXPECT_EQ(count_op(body, ir::Op::kLoopBegin), 0);
+
+    // The taint-relevant ops appear in source order.
+    const std::vector<ir::Op> ops = ops_of(body);
+    const auto sg = std::find(ops.begin(), ops.end(), ir::Op::kSgArrayRead);
+    const auto assign = std::find(ops.begin(), ops.end(), ir::Op::kAssignFinish);
+    const auto read = std::find(ops.begin(), ops.end(), ir::Op::kVarRead);
+    const auto echo = std::find(ops.begin(), ops.end(), ir::Op::kEchoSink);
+    ASSERT_NE(sg, ops.end());
+    ASSERT_NE(assign, ops.end());
+    ASSERT_NE(read, ops.end());
+    ASSERT_NE(echo, ops.end());
+    EXPECT_LT(sg, assign);
+    EXPECT_LT(assign, read);
+    EXPECT_LT(read, echo);
+}
+
+TEST(IrLoweringTest, GatesSkipToTheEndOfTheirList) {
+    // exec_stmts breaks out of the WHOLE list once the file has failed, so
+    // every gate of a flat file body jumps to the same place: past the
+    // last instruction of the list.
+    const Lowered low("<?php $a = 1; $b = 2; echo $b;\n");
+    const ir::Body& body = *low.body;
+    int gates = 0;
+    for (uint32_t i = 0; i < body.inst_count; ++i) {
+        if (body.insts[i].op != ir::Op::kStmtGate) continue;
+        ++gates;
+        EXPECT_GT(body.insts[i].c, i + 1);  // always forward past something
+        EXPECT_EQ(body.insts[i].c, body.inst_count);
+    }
+    EXPECT_EQ(gates, 3);
+}
+
+TEST(IrLoweringTest, SingleTripLoopsLowerInlineWithoutMarkers) {
+    // AnalysisOptions::phpsafe() runs loop bodies once, so the lowered
+    // stream needs no loop machinery at all — the body is inline.
+    const Lowered low("<?php while ($x) { echo $_GET['q']; }\n");
+    EXPECT_EQ(count_op(*low.body, ir::Op::kLoopBegin), 0);
+    EXPECT_EQ(count_op(*low.body, ir::Op::kLoopEnd), 0);
+    EXPECT_EQ(count_op(*low.body, ir::Op::kEchoSink), 1);
+}
+
+TEST(IrLoweringTest, MultiTripLoopsGetBoundedBackEdges) {
+    const AnalysisOptions options =
+        AnalysisOptions::phpsafe().to_builder().loop_iterations(3).build();
+    const Lowered low("<?php while ($x) { $y = $y . $_GET['q']; }\n", options);
+    const ir::Body& body = *low.body;
+    ASSERT_EQ(count_op(body, ir::Op::kLoopBegin), 1);
+    ASSERT_EQ(count_op(body, ir::Op::kLoopEnd), 1);
+    uint32_t begin = 0, end = 0;
+    for (uint32_t i = 0; i < body.inst_count; ++i) {
+        if (body.insts[i].op == ir::Op::kLoopBegin) begin = i;
+        if (body.insts[i].op == ir::Op::kLoopEnd) end = i;
+    }
+    EXPECT_LT(begin, end);
+    EXPECT_EQ(body.insts[begin].b, 3u);          // trip count
+    EXPECT_EQ(body.insts[end].b, begin + 1);     // back edge to first body op
+}
+
+TEST(IrLoweringTest, BlocksPartitionTheStreamAndCarryDefUse) {
+    Lowered low("<?php $x = $_GET['q']; $y = $x; echo $y;\n");
+    const ir::Body& body = *low.body;
+    ASSERT_GT(body.block_count, 0u);
+
+    // Blocks tile [0, inst_count) without gaps or overlap.
+    uint32_t covered = 0;
+    for (uint32_t b = 0; b < body.block_count; ++b) {
+        EXPECT_EQ(body.blocks[b].first, covered);
+        covered += body.blocks[b].count;
+    }
+    EXPECT_EQ(covered, body.inst_count);
+
+    // The union of the per-block facts names both assigned variables as
+    // defs and both read variables as uses, as interned symbol ids.
+    const Symbol x = low.symbols.intern("$x");
+    const Symbol y = low.symbols.intern("$y");
+    std::vector<Symbol> defs, uses;
+    for (uint32_t b = 0; b < body.block_count; ++b) {
+        const ir::Block& block = body.blocks[b];
+        for (uint32_t i = 0; i < block.defs_count; ++i)
+            defs.push_back(body.facts[block.defs_first + i]);
+        for (uint32_t i = 0; i < block.uses_count; ++i)
+            uses.push_back(body.facts[block.uses_first + i]);
+    }
+    EXPECT_NE(std::find(defs.begin(), defs.end(), x), defs.end());
+    EXPECT_NE(std::find(defs.begin(), defs.end(), y), defs.end());
+    EXPECT_NE(std::find(uses.begin(), uses.end(), x), uses.end());
+    EXPECT_NE(std::find(uses.begin(), uses.end(), y), uses.end());
+}
+
+TEST(IrLoweringTest, MaxDepthTracksExpressionNesting) {
+    const Lowered flat("<?php echo $x;\n");
+    const Lowered nested("<?php echo f(g(h($x . $y)));\n");
+    EXPECT_GT(nested.body->max_depth, flat.body->max_depth);
+    // Statement-root expressions sit at depth 1; no op is deeper than the
+    // recorded maximum.
+    for (uint32_t i = 0; i < nested.body->inst_count; ++i)
+        EXPECT_LE(nested.body->insts[i].depth, nested.body->max_depth);
+}
+
+TEST(IrLoweringTest, ModuleCachesBodiesByListIdentity) {
+    Lowered low("<?php echo $_GET['q'];\n");
+    const ir::Body* again = &low.module.lower(
+        low.kb, AnalysisOptions::phpsafe(), low.symbols,
+        low.project.files()[0]->unit.statements);
+    EXPECT_EQ(again, low.body);  // same Body object, not a re-lowering
+    EXPECT_EQ(low.module.body_count(), 1u);
+    EXPECT_EQ(low.module.find(low.project.files()[0]->unit.statements),
+              low.body);
+}
+
+/// Runs one source file through a phpSAFE-preset engine on the given
+/// backend and renders the canonical result signature.
+std::string signature_on(const std::string& text, EngineBackend backend) {
+    php::Project project("ir-equiv");
+    project.add_file("a.php", text);
+    DiagnosticSink sink;
+    project.parse_all(sink);
+    Tool tool = make_phpsafe_tool();
+    tool.options = tool.options.to_builder().engine_backend(backend).build();
+    return result_signature(run_tool(tool, project));
+}
+
+TEST(IrBackendTest, FindingsAreByteIdenticalOnRepresentativeFlows) {
+    const char* cases[] = {
+        // direct superglobal → sink
+        "<?php echo $_GET['q'];\n",
+        // assignment chain + concat
+        "<?php $a = $_POST['x']; $b = 'p' . $a; echo $b;\n",
+        // sanitizer kills the flow
+        "<?php echo htmlspecialchars($_GET['q']);\n",
+        // inter-procedural via summary
+        "<?php function f($v) { echo $v; } f($_COOKIE['c']);\n",
+        // branch-insensitive join
+        "<?php if ($c) { $x = $_GET['a']; } else { $x = 'safe'; } echo $x;\n",
+        // loop with compound concat assignment
+        "<?php $s = ''; for ($i = 0; $i < 3; $i++) { $s .= $_GET['q']; } "
+        "echo $s;\n",
+        // OOP property flow
+        "<?php class C { public $p; } $o = new C(); $o->p = $_GET['q']; "
+        "echo $o->p;\n",
+        // print/exit sinks and ternary
+        "<?php $v = $_REQUEST['r']; print $v ?: 'none';\n",
+    };
+    for (const char* source : cases) {
+        EXPECT_EQ(signature_on(source, EngineBackend::kAst),
+                  signature_on(source, EngineBackend::kIr))
+            << "diverging source:\n"
+            << source;
+    }
+}
+
+TEST(IrBackendTest, IrRunsExerciseTheIrCountersOnly) {
+    const std::string source = "<?php echo $_GET['q'];\n";
+    const obs::CounterDelta ast_delta;
+    signature_on(source, EngineBackend::kAst);
+    const obs::Counters ast = ast_delta.take();
+    EXPECT_EQ(ast.ir_body_runs, 0u);
+    EXPECT_EQ(ast.ir_bodies_lowered, 0u);
+
+    const obs::CounterDelta ir_delta;
+    signature_on(source, EngineBackend::kIr);
+    const obs::Counters ir = ir_delta.take();
+    EXPECT_GT(ir.ir_body_runs, 0u);
+    EXPECT_GT(ir.ir_bodies_lowered, 0u);
+    EXPECT_GT(ir.ir_insts_lowered, ir.ir_bodies_lowered);
+    EXPECT_GT(ir.ir_blocks_lowered, 0u);
+}
+
+TEST(IrBackendTest, DeepNestingFallsBackToTheAstPathIdentically) {
+    // A 300-deep expression inside f() plus a 150-deep call site: the
+    // function body is entered at eval depth ~150, so entry + max_depth
+    // crosses the evaluator's truncation guard. The IR backend must refuse
+    // to run that body (ir_fallbacks) and the recursive path must produce
+    // the result — including any truncation diagnostics — byte-for-byte.
+    // (Both nestings parse cleanly on their own; only their sum trips the
+    // guard.)
+    std::string inner = "$_GET['q']";
+    for (int i = 0; i < 300; ++i) inner = "($a . " + inner + ")";
+    std::string call = "f()";
+    for (int i = 0; i < 150; ++i) call = "('x' . " + call + ")";
+    const std::string source =
+        "<?php function f() { echo " + inner + "; }\n$r = " + call + ";\n";
+
+    const obs::CounterDelta delta;
+    const std::string ir_sig = signature_on(source, EngineBackend::kIr);
+    EXPECT_GT(delta.take().ir_fallbacks, 0u);
+    EXPECT_EQ(signature_on(source, EngineBackend::kAst), ir_sig);
+}
+
+TEST(IrBackendTest, BackendIsPartOfTheOptionsFingerprint) {
+    // Pin both backends explicitly: the unadorned default follows
+    // PHPSAFE_BACKEND, and this test must pass under any process default
+    // (CI runs the whole suite with PHPSAFE_BACKEND=ir).
+    const AnalysisOptions ast = AnalysisOptions::phpsafe()
+                                    .to_builder()
+                                    .engine_backend(EngineBackend::kAst)
+                                    .build();
+    const AnalysisOptions ir =
+        ast.to_builder().engine_backend(EngineBackend::kIr).build();
+    EXPECT_NE(ast.fingerprint(), ir.fingerprint());
+    EXPECT_NE(ast.fingerprint().find("ast"), std::string::npos);
+    EXPECT_NE(ir.fingerprint().find("ir"), std::string::npos);
+}
+
+TEST(IrBackendTest, BackendParsingRoundTrips) {
+    EngineBackend backend = EngineBackend::kAst;
+    EXPECT_TRUE(backend_from_string("ir", backend));
+    EXPECT_EQ(backend, EngineBackend::kIr);
+    EXPECT_TRUE(backend_from_string("differential", backend));
+    EXPECT_EQ(backend, EngineBackend::kDifferential);
+    EXPECT_TRUE(backend_from_string("ast", backend));
+    EXPECT_EQ(backend, EngineBackend::kAst);
+    backend = EngineBackend::kIr;
+    EXPECT_FALSE(backend_from_string("bogus", backend));
+    EXPECT_EQ(backend, EngineBackend::kIr);  // out untouched on failure
+    EXPECT_EQ(to_string(EngineBackend::kIr), "ir");
+}
+
+}  // namespace
+}  // namespace phpsafe

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
-#include "core/engine.h"
+#include "core/analyzer.h"
 #include "php/project.h"
 
 namespace phpsafe {
@@ -15,8 +15,7 @@ AnalysisResult analyze(const std::string& code, const Tool& tool) {
     project.add_file("main.php", code);
     DiagnosticSink sink;
     project.parse_all(sink);
-    Engine engine(tool.kb, tool.options);
-    return engine.analyze(project);
+    return Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 }
 
 AnalysisResult analyze(const std::string& code) {

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "baselines/analyzers.h"
-#include "core/engine.h"
+#include "core/analyzer.h"
 #include "php/project.h"
 #include "util/json_reader.h"
 #include "util/json_writer.h"
@@ -29,8 +29,7 @@ AnalysisResult analyze(const std::string& code) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    return engine.analyze(project);
+    return Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 }
 
 // -- sanitizers ----------------------------------------------------------------

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
-#include "core/engine.h"
+#include "core/analyzer.h"
 #include "php/parser.h"
 #include "php/project.h"
 
@@ -21,8 +21,7 @@ AnalysisResult analyze_garbage(const std::string& code) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    return engine.analyze(project);
+    return Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 }
 
 class MalformedInputSweep : public ::testing::TestWithParam<const char*> {};
@@ -155,8 +154,8 @@ TEST(RobustnessTest, SelfIncludeDoesNotLoop) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const AnalysisResult r = engine.analyze(project);
+    const AnalysisResult r =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     EXPECT_EQ(r.findings.size(), 1u);
 }
 
@@ -167,8 +166,8 @@ TEST(RobustnessTest, MutualIncludesDoNotLoop) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const AnalysisResult r = engine.analyze(project);
+    const AnalysisResult r =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     EXPECT_EQ(r.findings.size(), 2u);
 }
 
@@ -235,8 +234,7 @@ TEST(RobustnessTest, AllToolsSurviveGarbageSweep) {
             project.add_file("main.php", code);
             DiagnosticSink sink;
             project.parse_all(sink);
-            Engine engine(tool.kb, tool.options);
-            engine.analyze(project);
+            Analyzer::borrowing(tool.kb, tool.options).scan(project);
         }
     }
     SUCCEED();

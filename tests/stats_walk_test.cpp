@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
-#include "core/engine.h"
+#include "core/analyzer.h"
 #include "php/parser.h"
 #include "php/project.h"
 #include "php/walk.h"
@@ -17,8 +17,7 @@ AnalysisResult analyze(const std::string& code) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    return engine.analyze(project);
+    return Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 }
 
 TEST(StatsTest, CountsFunctionsSummarized) {
@@ -44,8 +43,8 @@ TEST(StatsTest, CountsIncludesFollowed) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const auto r = engine.analyze(project);
+    const AnalysisResult r =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
     // main includes x and y; when x / y run as entries no further includes.
     EXPECT_EQ(r.stats.includes_followed, 2);
 }
@@ -61,9 +60,9 @@ TEST(StatsTest, StatsResetBetweenRuns) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const auto r1 = engine.analyze(project);
-    const auto r2 = engine.analyze(project);
+    const Analyzer analyzer = Analyzer::borrowing(tool.kb, tool.options);
+    const auto r1 = analyzer.scan(project).result;
+    const auto r2 = analyzer.scan(project).result;
     EXPECT_EQ(r1.stats.sink_checks, r2.stats.sink_checks);
     EXPECT_EQ(r1.stats.sources_seen, r2.stats.sources_seen);
 }

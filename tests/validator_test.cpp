@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/analyzers.h"
+#include "core/analyzer.h"
 #include "corpus/patterns.h"
 #include "dynamic/validator.h"
 #include "php/project.h"
@@ -23,8 +24,8 @@ Pipeline analyze(const std::string& code) {
     DiagnosticSink sink;
     p.project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    p.analysis = engine.analyze(p.project);
+    p.analysis =
+        Analyzer::borrowing(tool.kb, tool.options).scan(p.project).result;
     return p;
 }
 
@@ -194,8 +195,8 @@ TEST_P(DynamicFamilySweep, MatchesExpectation) {
     DiagnosticSink sink;
     project.parse_all(sink);
     const Tool tool = make_phpsafe_tool();
-    Engine engine(tool.kb, tool.options);
-    const AnalysisResult analysis = engine.analyze(project);
+    const AnalysisResult analysis =
+        Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 
     Validator validator(project);
     bool any_confirmed = false;
@@ -275,8 +276,8 @@ TEST_P(DifferentialVariantSweep, StaticAndDynamicAgree) {
         DiagnosticSink sink;
         project.parse_all(sink);
         const Tool tool = make_phpsafe_tool();
-        Engine engine(tool.kb, tool.options);
-        const AnalysisResult analysis = engine.analyze(project);
+        const AnalysisResult analysis =
+            Analyzer::borrowing(tool.kb, tool.options).scan(project).result;
 
         Validator validator(project);
         bool any_confirmed = false;
