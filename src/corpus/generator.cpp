@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/strings.h"
 
@@ -385,6 +386,182 @@ Corpus generate_corpus(const CorpusOptions& options) {
         }
     }
     return corpus;
+}
+
+namespace {
+
+constexpr int kMonorepoLibs = 6;
+
+std::string monorepo_plugin_name(int index) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "plugin-%03d", index);
+    return buf;
+}
+
+}  // namespace
+
+MonorepoSource generate_monorepo(const MonorepoOptions& options) {
+    MonorepoSource repo;
+    const int plugins =
+        std::max(1, static_cast<int>(std::lround(32 * options.scale)));
+    const int parts = std::max(1, options.files_per_plugin - 1);
+    const int orphans =
+        std::max(2, static_cast<int>(std::lround(4 * options.scale)));
+
+    auto add_file = [&](std::string name, std::vector<std::string> lines) {
+        std::string text;
+        for (const std::string& l : lines) {
+            text += l;
+            text += '\n';
+        }
+        repo.total_lines += static_cast<int>(lines.size());
+        repo.files.emplace_back(std::move(name), std::move(text));
+    };
+
+    // Shared framework: libraries + the include hub that loads them all.
+    for (int k = 0; k < kMonorepoLibs; ++k) {
+        const std::string ks = std::to_string(k);
+        add_file("framework/lib-" + ks + ".php",
+                 {"<?php",
+                  "/* framework library " + ks + " — shared by every plugin */",
+                  "function fw_helper_" + ks + "($value) {",
+                  "    return htmlspecialchars($value);",
+                  "}",
+                  "function fw_tag_" + ks + "() { return 'fw-" + ks + "'; }"});
+    }
+    {
+        std::vector<std::string> lines = {
+            "<?php", "/* framework loader — the include hub */"};
+        for (int k = 0; k < kMonorepoLibs; ++k)
+            lines.push_back("require_once 'framework/lib-" +
+                            std::to_string(k) + ".php';");
+        lines.push_back("function fw_boot() { return fw_tag_0(); }");
+        add_file("framework/core.php", std::move(lines));
+    }
+    repo.truth.hub_files = {"framework/core.php"};
+    repo.truth.vendor_dirs = {"framework"};
+
+    // A deliberate include cycle (a → b → c → a).
+    {
+        const char* names[] = {"a", "b", "c"};
+        for (int i = 0; i < 3; ++i) {
+            const std::string next = names[(i + 1) % 3];
+            add_file(std::string("framework/cycle/") + names[i] + ".php",
+                     {"<?php",
+                      "require_once 'framework/cycle/" + next + ".php';",
+                      "function cycle_" + std::string(names[i]) +
+                          "() { return 1; }"});
+        }
+        repo.truth.include_cycles = {{"framework/cycle/a.php",
+                                      "framework/cycle/b.php",
+                                      "framework/cycle/c.php"}};
+    }
+
+    // Planted orphans: subdirectory files nothing includes and nothing
+    // uses (unique function names nothing calls).
+    for (int n = 0; n < orphans; ++n) {
+        const std::string ns = std::to_string(n);
+        const std::string name = "framework/unused/orphan-" + ns + ".php";
+        add_file(name, {"<?php",
+                        "/* experimental helper, never wired up */",
+                        "function orphan_probe_" + ns + "() { return " + ns +
+                            "; }"});
+        repo.truth.orphan_files.push_back(name);
+    }
+
+    // Plugins: main.php requires the framework core and every part by its
+    // exact repo path; parts call framework helpers (use edges into the
+    // vendor dir). Every fourth plugin hides one seeded vulnerability.
+    static constexpr Family kSeededFamilies[] = {
+        Family::kXssGetEcho, Family::kXssPostEcho, Family::kXssCookieEcho,
+        Family::kSqliWpdbQuery};
+    std::string plugin0_main;  // backup-file source, captured below
+    std::string plugin0_part;
+    int vuln_ordinal = 0;
+    for (int p = 0; p < plugins; ++p) {
+        const std::string pname = monorepo_plugin_name(p);
+        std::vector<std::string> main_lines = {
+            "<?php", "/* " + pname + " — entry point */",
+            "require_once 'framework/core.php';"};
+        for (int k = 0; k < parts; ++k) {
+            const std::string ks = std::to_string(k);
+            const std::string part_name = pname + "/inc/part-" + ks + ".php";
+            main_lines.push_back("require_once '" + part_name + "';");
+
+            const std::string fn =
+                "p" + std::to_string(p) + "_part" + ks + "_render";
+            std::vector<std::string> part_lines = {
+                "<?php",
+                "function " + fn + "($value) {",
+                "    return fw_helper_" + std::to_string(k % kMonorepoLibs) +
+                    "($value);",
+                "}"};
+            if (p % 4 == 2 && k == 1) {
+                const Family family =
+                    kSeededFamilies[(p / 4) %
+                                    (sizeof kSeededFamilies /
+                                     sizeof kSeededFamilies[0])];
+                const std::string tag = "m" + std::to_string(p);
+                Snippet snippet = emit(
+                    family, tag,
+                    static_cast<int>(options.seed % 97) + p);
+                const int base = static_cast<int>(part_lines.size());
+                part_lines.push_back("");
+                for (std::string& l : snippet.lines)
+                    part_lines.push_back(std::move(l));
+                const FamilyTraits t = traits(family);
+                for (int offset : snippet.sink_line_offsets) {
+                    SeededVuln vuln;
+                    vuln.id = pname + "/" + to_string(family) + "/" +
+                              std::to_string(vuln_ordinal);
+                    vuln.family = family;
+                    vuln.kind = t.kind;
+                    vuln.file = part_name;
+                    vuln.line = base + 1 + offset + 1;  // after the blank
+                    vuln.vector = t.vector;
+                    vuln.via_oop = t.via_oop;
+                    vuln.easy_exploit = t.easy_exploit;
+                    repo.seeded_vulns.push_back(std::move(vuln));
+                }
+                ++vuln_ordinal;
+            }
+            std::string part_text;
+            for (const std::string& l : part_lines) {
+                part_text += l;
+                part_text += '\n';
+            }
+            if (p == 0 && k == 0) plugin0_part = part_text;
+            repo.total_lines += static_cast<int>(part_lines.size());
+            repo.files.emplace_back(part_name, std::move(part_text));
+        }
+        main_lines.push_back("fw_boot();");
+        main_lines.push_back(
+            "p" + std::to_string(p) + "_part0_render('ready');");
+        std::string main_text;
+        for (const std::string& l : main_lines) {
+            main_text += l;
+            main_text += '\n';
+        }
+        if (p == 0) plugin0_main = main_text;
+        repo.total_lines += static_cast<int>(main_lines.size());
+        repo.files.emplace_back(pname + "/main.php", std::move(main_text));
+    }
+
+    // Shipped backups: byte copies under leftover names — a real
+    // plugin-audit finding (servers execute them).
+    auto add_text = [&](std::string name, const std::string& text) {
+        repo.total_lines +=
+            static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+        repo.files.emplace_back(std::move(name), text);
+    };
+    add_text("plugin-000/main.php.bak", plugin0_main);
+    add_text("plugin-000/inc/part-0.php~", plugin0_part);
+    repo.truth.backup_files = {"plugin-000/inc/part-0.php~",
+                               "plugin-000/main.php.bak"};
+
+    std::sort(repo.files.begin(), repo.files.end());
+    std::sort(repo.truth.orphan_files.begin(), repo.truth.orphan_files.end());
+    return repo;
 }
 
 php::Project build_project(const GeneratedPlugin& plugin,

@@ -89,4 +89,51 @@ std::map<Family, int> family_budget(const std::string& version, double scale);
 /// Share of a family's 2012 instances that survive (unfixed) into 2014.
 double carry_ratio(Family family);
 
+// ---------------------------------------------------------------------------
+// Vendored-monorepo corpus — the shape the graph subsystem and watch mode
+// are benchmarked against (docs/graph.md): many small plugins sharing one
+// framework directory, plus the structural defects a plugin review should
+// surface (orphans, an include cycle, shipped backup files).
+// ---------------------------------------------------------------------------
+
+struct MonorepoOptions {
+    /// Scales the plugin count: plugins = round(32 * scale), so scale 8
+    /// crosses 10k files at the default files_per_plugin.
+    double scale = 1.0;
+    /// Files per plugin: one main.php plus (files_per_plugin - 1) include
+    /// parts, every part included from main by its exact repo path.
+    int files_per_plugin = 40;
+    /// Deterministic seed for cosmetic variation.
+    unsigned seed = 2015;
+};
+
+/// Structural ground truth of the generated tree, in the vocabulary of
+/// graph::ProjectGraph::Analytics. All lists are name-sorted.
+struct MonorepoTruth {
+    std::vector<std::string> orphan_files;   ///< nothing includes or uses
+    std::vector<std::string> backup_files;   ///< *.bak / *~ leftovers
+    std::vector<std::vector<std::string>> include_cycles;
+    std::vector<std::string> vendor_dirs;    ///< shared framework dirs
+    std::vector<std::string> hub_files;      ///< top include fan-in
+};
+
+struct MonorepoSource {
+    std::vector<std::pair<std::string, std::string>> files;  ///< name-sorted
+    MonorepoTruth truth;
+    std::vector<SeededVuln> seeded_vulns;  ///< planted findings (file/line)
+    int total_lines = 0;
+};
+
+/// Generates the monorepo. Deterministic for fixed options: same options,
+/// byte-identical tree. Layout:
+///   framework/core.php           include hub, required by every plugin
+///   framework/lib-K.php          shared helpers, required by core
+///   framework/cycle/{a,b,c}.php  a deliberate include cycle
+///   framework/unused/orphan-N.php  planted orphans
+///   plugin-NNN/main.php          requires core + every part (exact paths)
+///   plugin-NNN/inc/part-K.php    helpers calling framework functions;
+///                                every fourth plugin hides one seeded vuln
+///   plugin-000/main.php.bak, plugin-000/inc/part-0.php~  shipped backups
+MonorepoSource generate_monorepo(const MonorepoOptions& options = {});
+
 }  // namespace phpsafe::corpus

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "dynamic/validator.h"
+#include "service/watch.h"
 #include "util/strings.h"
 
 namespace phpsafe::fuzz {
@@ -17,6 +18,27 @@ php::Project build_project(const FuzzCase& c, DiagnosticSink& sink) {
     for (const FuzzFile& file : c.files) project.add_file(file.name, file.text);
     project.parse_all(sink);
     return project;
+}
+
+// Deterministic byte rendering of a watch-edit delta: the structural
+// numbers (cone size is graph-derived, hence scheduling-independent), the
+// added/removed findings and the underlying full-scan signature. Timings
+// are excluded, error deltas render as their message.
+std::string delta_signature(const service::WatchDelta& delta) {
+    if (!delta.ok) return "error: " + delta.error + "\n";
+    std::string sig = "changed=" + std::to_string(delta.changed_files) +
+                      " cone=" + std::to_string(delta.cone_files) + "/" +
+                      std::to_string(delta.cone_functions) + "\n";
+    for (const Finding& finding : delta.added) {
+        sig += "+ " + to_string(finding);
+        sig += '\n';
+    }
+    for (const Finding& finding : delta.removed) {
+        sig += "- " + to_string(finding);
+        sig += '\n';
+    }
+    sig += OracleRunner::result_signature(delta.response.result);
+    return sig;
 }
 
 }  // namespace
@@ -161,21 +183,48 @@ void OracleRunner::run_concurrency(const FuzzCase& c,
         variants.push_back(std::move(request));
     }
 
-    // Serial replay on the 1-worker service defines the expected bytes.
+    // The two watch-edit batches every client will replay: batch 1 turns
+    // the session's file set into variant 1's, batch 2 swaps the extra
+    // file so the set becomes variant 2's. Their scans therefore share
+    // fingerprints with the pipelined variant submissions — coalescing
+    // engages across watch and plain scans.
+    service::WatchEditBatch edit1;
+    edit1.upserts.emplace_back(variants[1].files.back().name,
+                               variants[1].files.back().text);
+    service::WatchEditBatch edit2;
+    edit2.removals.push_back(variants[1].files.back().name);
+    edit2.upserts.emplace_back(variants[2].files.back().name,
+                               variants[2].files.back().text);
+
+    // Serial replay on the 1-worker service defines the expected bytes —
+    // for the three scan variants and for the watch open/edit/edit
+    // sequence alike.
     serial_->clear_cache();
     std::vector<std::string> expected;
     expected.reserve(variants.size());
     for (const service::ScanRequest& request : variants)
         expected.push_back(result_signature(serial_->scan(request).result));
+    service::WatchSession replay(*serial_);
+    const std::string expected_open =
+        result_signature(replay.open(variants[0]).result);
+    const std::string expected_edit1 = delta_signature(replay.edit(edit1));
+    const std::string expected_edit2 = delta_signature(replay.edit(edit2));
 
     // N clients submit every variant in a seed-derived order with mixed
     // priorities, pipelined (submit everything, then await), so requests
     // genuinely overlap: coalescing, priority dispatch and shard locking
-    // all engage on the shared 4-worker service.
+    // all engage on the shared 4-worker service. Each client additionally
+    // drives its own watch session on that service, with the edit batches
+    // interleaved between submission and the awaits — incremental deltas
+    // must be byte-identical to serial replay under the same pressure.
     parallel_->clear_cache();
     constexpr int kClients = 3;
     std::mutex failures_mutex;
-    std::vector<int> failures;
+    std::vector<std::string> failures;
+    const auto record = [&](std::string detail) {
+        std::lock_guard<std::mutex> lock(failures_mutex);
+        failures.push_back(std::move(detail));
+    };
     std::vector<std::thread> clients;
     clients.reserve(kClients);
     for (int t = 0; t < kClients; ++t) {
@@ -187,6 +236,10 @@ void OracleRunner::run_concurrency(const FuzzCase& c,
                 state = state * 6364136223846793005ull + 1442695040888963407ull;
                 std::swap(order[i - 1], order[(state >> 33) % i]);
             }
+            service::WatchSession watch(*parallel_);
+            if (result_signature(watch.open(variants[0]).result) !=
+                expected_open)
+                record("watch open differs from serial replay");
             std::vector<std::pair<int, service::AnalysisService::Ticket>>
                 tickets;
             tickets.reserve(order.size());
@@ -195,23 +248,29 @@ void OracleRunner::run_concurrency(const FuzzCase& c,
                 request.priority = static_cast<int>(state % 3);
                 tickets.emplace_back(v, parallel_->submit(std::move(request)));
             }
+            if (delta_signature(watch.edit(edit1)) != expected_edit1)
+                record("watch edit 1 delta differs from serial replay");
+            bool first_await = true;
             for (auto& [v, ticket] : tickets) {
                 const std::string got =
                     result_signature(parallel_->await(ticket).result);
-                if (got != expected[static_cast<size_t>(v)]) {
-                    std::lock_guard<std::mutex> lock(failures_mutex);
-                    failures.push_back(v);
+                if (got != expected[static_cast<size_t>(v)])
+                    record("response for variant " + std::to_string(v) +
+                           " under " + std::to_string(kClients) +
+                           "-client interleaving differs from serial replay");
+                if (first_await) {
+                    first_await = false;
+                    if (delta_signature(watch.edit(edit2)) != expected_edit2)
+                        record(
+                            "watch edit 2 delta differs from serial replay");
                 }
             }
         });
     }
     for (std::thread& t : clients) t.join();
 
-    for (int v : failures)
-        out.push_back({Oracle::kConcurrency,
-                       "response for variant " + std::to_string(v) +
-                           " under " + std::to_string(kClients) +
-                           "-client interleaving differs from serial replay"});
+    for (std::string& detail : failures)
+        out.push_back({Oracle::kConcurrency, std::move(detail)});
 }
 
 void OracleRunner::run_monotonicity(const FuzzCase& c,

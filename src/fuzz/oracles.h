@@ -16,12 +16,15 @@
 //                   negative, the paper's key metric.
 //   concurrency   — N client threads submit randomized interleavings of
 //                   request variants (base case plus distinct edits, mixed
-//                   priorities) to one shared multi-worker service; every
-//                   response must be byte-identical to the same variant
-//                   replayed serially on a single-worker service. This is
-//                   the server's scheduling-independence invariant under
-//                   fuzz pressure: dedup, priorities and shard locking may
-//                   move WHEN a scan runs, never what it reports.
+//                   priorities) to one shared multi-worker service, each
+//                   also driving its own WatchSession (open + edit batches
+//                   interleaved with the pipelined scans); every response
+//                   and every incremental delta must be byte-identical to
+//                   the same sequence replayed serially on a single-worker
+//                   service. This is the server's scheduling-independence
+//                   invariant under fuzz pressure: dedup, priorities and
+//                   shard locking may move WHEN a scan runs, never what it
+//                   reports.
 //
 // OracleOptions lets tests inject a deliberately broken Tool (e.g. a
 // knowledge base with one source rule removed) to prove the battery

@@ -54,6 +54,15 @@ namespace phpsafe::obs {
     X(cache_shed_entries, "cache entries dropped by admission-control "         \
                           "pressure shedding (results before parsed files)")    \
     X(cache_shed_bytes, "bytes released by pressure shedding")                  \
+    X(cache_dep_walks, "summary dependency lists walked by warm-scan "          \
+                       "validation")                                            \
+    X(cache_dep_walk_steps, "dependency records resolved against the project "  \
+                            "tables (the expensive lookups)")                   \
+    X(cache_dep_walk_memo_hits, "dependency records answered by the "           \
+                                "per-request memo without a project walk")      \
+    X(watch_edits, "file-change events applied to watch sessions")              \
+    X(watch_cone_files, "files inside the invalidated cone of watch edits")     \
+    X(graph_builds, "project graphs linked from file facts")                    \
     X(alloc_arena_bytes, "bytes handed out by per-file AST arenas")             \
     X(alloc_arena_blocks, "heap blocks backing AST arenas (the model's "        \
                           "entire malloc traffic)")                             \

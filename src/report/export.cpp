@@ -72,28 +72,37 @@ std::string render_json_report(const AnalysisResult& result) {
     w.kv("files_total", result.files_total);
     w.kv("files_failed", result.files_failed);
     w.key("findings").begin_array();
-    for (const Finding& f : result.findings) {
+    for (const Finding& f : result.findings) render_finding_json(w, f);
+    w.end_array();
+    w.end_object();
+    return os.str();
+}
+
+void render_finding_json(JsonWriter& w, const Finding& f) {
+    w.begin_object();
+    w.kv("kind", to_string(f.kind));
+    w.kv("file", f.location.file);
+    w.kv("line", f.location.line);
+    w.kv("sink", f.sink);
+    w.kv("variable", f.variable);
+    w.kv("vector", to_string(f.vector));
+    w.kv("via_oop", f.via_oop);
+    w.key("trace").begin_array();
+    for (const TaintStep& step : f.trace) {
         w.begin_object();
-        w.kv("kind", to_string(f.kind));
-        w.kv("file", f.location.file);
-        w.kv("line", f.location.line);
-        w.kv("sink", f.sink);
-        w.kv("variable", f.variable);
-        w.kv("vector", to_string(f.vector));
-        w.kv("via_oop", f.via_oop);
-        w.key("trace").begin_array();
-        for (const TaintStep& step : f.trace) {
-            w.begin_object();
-            w.kv("file", step.location.file);
-            w.kv("line", step.location.line);
-            w.kv("step", step.description);
-            w.end_object();
-        }
-        w.end_array();
+        w.kv("file", step.location.file);
+        w.kv("line", step.location.line);
+        w.kv("step", step.description);
         w.end_object();
     }
     w.end_array();
     w.end_object();
+}
+
+std::string finding_json(const Finding& finding) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    render_finding_json(w, finding);
     return os.str();
 }
 

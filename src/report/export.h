@@ -23,6 +23,17 @@ std::string render_html_report(const AnalysisResult& result);
 /// {"tool":...,"plugin":...,"findings":[{"kind":...,"file":...,...}]}
 std::string render_json_report(const AnalysisResult& result);
 
+/// Writes one finding object (the element shape of render_json_report's
+/// "findings" array) into an open writer. Shared with the NDJSON watch
+/// protocol, whose delta responses carry individual findings.
+void render_finding_json(JsonWriter& w, const Finding& finding);
+
+/// The same object as one compact string — the canonical serialized
+/// identity of a finding, used as the diff key for watch-mode deltas
+/// (service/watch.h): two findings are "the same" exactly when their
+/// canonical serializations are byte-identical.
+std::string finding_json(const Finding& finding);
+
 /// Escapes text for embedding in HTML (used by the report renderer and
 /// exposed for tests — ironically, the tool must not have XSS itself).
 std::string html_escape(std::string_view text);

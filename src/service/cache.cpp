@@ -110,6 +110,81 @@ bool validate_deps(const SummaryArtifact& artifact, const php::Project& project)
     return true;
 }
 
+DepCheckMemo::DepCheckMemo(const php::Project& project) : project_(project) {
+    // emplace keeps the first file of a duplicated name, matching the
+    // first-match semantics of Project::file_named.
+    for (const auto& parsed : project.files())
+        if (parsed) file_hashes_.emplace(parsed->source->name(),
+                                         parsed->content_hash);
+}
+
+bool DepCheckMemo::validate(const SummaryArtifact& artifact) {
+    ++obs::tls().cache_dep_walks;
+    for (const SummaryDep& dep : artifact.deps) {
+        if (dep.kind == SummaryDep::Kind::kFile) {
+            // The hash map built at construction is the memo for file deps.
+            ++obs::tls().cache_dep_walk_memo_hits;
+            const auto it = file_hashes_.find(dep.name);
+            if (it == file_hashes_.end() || it->second != dep.hash)
+                return false;
+            continue;
+        }
+        auto key = std::make_pair(static_cast<int>(dep.kind), dep.name);
+        auto memo = resolutions_.find(key);
+        if (memo == resolutions_.end()) {
+            ++obs::tls().cache_dep_walk_steps;
+            std::string resolved;
+            switch (dep.kind) {
+                case SummaryDep::Kind::kFunction: {
+                    const php::FunctionRef* ref =
+                        project_.find_function(dep.name);
+                    if (ref) resolved.assign(ref->file);
+                    break;
+                }
+                case SummaryDep::Kind::kMethod: {
+                    const size_t sep = dep.name.find("::");
+                    if (sep == std::string::npos) {
+                        // A malformed record never validates (same as the
+                        // free function); the sentinel cannot be a file.
+                        resolved = "\x1f<malformed>";
+                        break;
+                    }
+                    const php::FunctionRef* ref = project_.find_method(
+                        std::string_view(dep.name).substr(0, sep),
+                        std::string_view(dep.name).substr(sep + 2));
+                    if (ref) resolved.assign(ref->file);
+                    break;
+                }
+                case SummaryDep::Kind::kMethodAny: {
+                    const php::FunctionRef* ref =
+                        project_.find_method_any(dep.name);
+                    if (ref) resolved.assign(ref->file);
+                    break;
+                }
+                case SummaryDep::Kind::kClass: {
+                    if (project_.find_class(dep.name))
+                        resolved = project_.file_of_class(dep.name);
+                    break;
+                }
+                case SummaryDep::Kind::kInclude: {
+                    const php::ParsedFile* file =
+                        project_.resolve_include(dep.name);
+                    if (file) resolved = file->source->name();
+                    break;
+                }
+                case SummaryDep::Kind::kFile:
+                    break;  // handled above
+            }
+            memo = resolutions_.emplace(std::move(key), std::move(resolved))
+                       .first;
+        } else {
+            ++obs::tls().cache_dep_walk_memo_hits;
+        }
+        if (memo->second != dep.file) return false;
+    }
+    return true;
+}
+
 void AnalysisCache::init_pool(Pool& pool, uint64_t budget, int shards) {
     int count = std::max(1, shards);
     // Don't split a small budget into slices too tiny to hold an entry:

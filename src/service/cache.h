@@ -99,6 +99,34 @@ uint64_t approx_bytes(const AnalysisResult& result);
 /// file. A false result means seeding the artifact would be unsound.
 bool validate_deps(const SummaryArtifact& artifact, const php::Project& project);
 
+/// Memoized validate_deps for one scan request. The free function above
+/// re-walks the project tables per dependency per summary — with a linear
+/// file_named() scan per kFile record, that is O(summaries × deps × files)
+/// on every warm hit. The memo front-loads one file→hash map (first
+/// declaration wins, matching file_named) and resolves each distinct
+/// (kind, name) against the project exactly once per request; every later
+/// summary whose dependency list mentions the same name is answered from
+/// the memo. Validation decisions are identical to the free function on
+/// every input — only the lookup count changes, which the
+/// cache_dep_walk_* obs counters record (cache_dep_walks lists walked,
+/// cache_dep_walk_steps project lookups performed, cache_dep_walk_memo_hits
+/// records answered without one). Not thread-safe; one memo per request.
+class DepCheckMemo {
+public:
+    explicit DepCheckMemo(const php::Project& project);
+
+    /// validate_deps(artifact, project) with memoized lookups.
+    bool validate(const SummaryArtifact& artifact);
+
+private:
+    const php::Project& project_;
+    std::map<std::string, uint64_t, std::less<>> file_hashes_;
+    /// (dep kind, name) → the file the name currently resolves to; ""
+    /// when unresolved, so "still unresolved" validates like the free
+    /// function.
+    std::map<std::pair<int, std::string>, std::string> resolutions_;
+};
+
 class AnalysisCache {
 public:
     explicit AnalysisCache(CacheBudgets budgets = {});

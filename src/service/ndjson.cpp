@@ -46,8 +46,10 @@ bool load_directory(const std::string& root,
         }
         std::ostringstream text;
         text << in.rdbuf();
-        files.push_back({fs::relative(path, root, ec).generic_string(),
-                         std::move(text).str()});
+        SourceFileSpec spec;
+        spec.name = fs::relative(path, root, ec).generic_string();
+        spec.text = std::move(text).str();
+        files.push_back(std::move(spec));
     }
     if (files.empty()) {
         error = "no .php files under " + root;
@@ -90,9 +92,75 @@ bool build_request(const JsonValue& request, ScanRequest& scan,
             error = "each file needs string \"name\" and \"text\"";
             return false;
         }
-        scan.files.push_back({name->string, text->string});
+        SourceFileSpec spec;
+        spec.name = name->string;
+        spec.text = text->string;
+        scan.files.push_back(std::move(spec));
     }
     scan.plugin = request.string_or("plugin", "stdin");
+    return true;
+}
+
+/// Strict key validation: a request carrying a key its op does not define
+/// is rejected with a structured error, not silently ignored. `allowed` is
+/// a null-terminated array of accepted key names.
+bool check_keys(const JsonValue& request, const char* op,
+                const char* const* allowed, std::string& error) {
+    for (const auto& [key, value] : request.object) {
+        bool known = false;
+        for (const char* const* a = allowed; *a; ++a) {
+            if (key == *a) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            error = "unknown key \"" + key + "\" for op \"" + op + "\"";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool parse_edit_batch(const JsonValue& request, WatchEditBatch& batch,
+                      std::string& error) {
+    const JsonValue* files = request.get("files");
+    if (files) {
+        if (!files->is_array()) {
+            error = "edit \"files\" must be an array";
+            return false;
+        }
+        for (const JsonValue& file : files->array) {
+            const JsonValue* name = file.get("name");
+            const JsonValue* text = file.get("text");
+            if (!name || !name->is_string() || !text || !text->is_string()) {
+                error = "each file needs string \"name\" and \"text\"";
+                return false;
+            }
+            SourceFileSpec spec;
+            spec.name = name->string;
+            spec.text = text->string;
+            batch.upserts.push_back(std::move(spec));
+        }
+    }
+    const JsonValue* remove = request.get("remove");
+    if (remove) {
+        if (!remove->is_array()) {
+            error = "edit \"remove\" must be an array of file names";
+            return false;
+        }
+        for (const JsonValue& name : remove->array) {
+            if (!name.is_string()) {
+                error = "edit \"remove\" must be an array of file names";
+                return false;
+            }
+            batch.removals.push_back(name.string);
+        }
+    }
+    if (batch.upserts.empty() && batch.removals.empty()) {
+        error = "edit needs \"files\" and/or \"remove\"";
+        return false;
+    }
     return true;
 }
 
@@ -130,26 +198,79 @@ NdjsonRequest parse_ndjson_request(const std::string& line) {
             error.empty() ? "request must be a JSON object" : error;
         return request;
     }
+    static const char* const kBareKeys[] = {"op", nullptr};
+    static const char* const kScanKeys[] = {
+        "op", "path", "files", "plugin", "preset",
+        "backend", "priority", "slot", nullptr};
+    static const char* const kWatchKeys[] = {
+        "op", "path", "files", "plugin", "preset",
+        "backend", "priority", nullptr};
+    static const char* const kEditKeys[] = {"op", "files", "remove", nullptr};
+    static const char* const kGraphKeys[] = {
+        "op", "path", "files", "plugin", "detail", nullptr};
+
     const std::string op = json.string_or("op", "");
     if (op == "quit" || op == "shutdown") {
+        if (!check_keys(json, op.c_str(), kBareKeys, request.error))
+            return request;
         request.op = NdjsonRequest::Op::kQuit;
         return request;
     }
     if (op == "stats") {
+        if (!check_keys(json, "stats", kBareKeys, request.error))
+            return request;
         request.op = NdjsonRequest::Op::kStats;
         return request;
     }
     if (op == "clear") {
+        if (!check_keys(json, "clear", kBareKeys, request.error))
+            return request;
         request.op = NdjsonRequest::Op::kClear;
         return request;
     }
-    if (op != "scan") {
-        request.error = "unknown op: \"" + op + "\"";
+    if (op == "scan") {
+        if (!check_keys(json, "scan", kScanKeys, request.error))
+            return request;
+        if (!build_request(json, request.scan, request.error)) return request;
+        request.slot = json.string_or("slot", "");
+        request.op = NdjsonRequest::Op::kScan;
         return request;
     }
-    if (!build_request(json, request.scan, request.error)) return request;
-    request.slot = json.string_or("slot", "");
-    request.op = NdjsonRequest::Op::kScan;
+    if (op == "watch") {
+        if (!check_keys(json, "watch", kWatchKeys, request.error))
+            return request;
+        if (!build_request(json, request.scan, request.error)) return request;
+        request.op = NdjsonRequest::Op::kWatch;
+        return request;
+    }
+    if (op == "edit") {
+        if (!check_keys(json, "edit", kEditKeys, request.error))
+            return request;
+        if (!parse_edit_batch(json, request.edit, request.error))
+            return request;
+        request.op = NdjsonRequest::Op::kEdit;
+        return request;
+    }
+    if (op == "graph") {
+        if (!check_keys(json, "graph", kGraphKeys, request.error))
+            return request;
+        const JsonValue* detail = json.get("detail");
+        if (detail) {
+            if (!detail->is_bool()) {
+                request.error = "graph \"detail\" must be a boolean";
+                return request;
+            }
+            request.graph_detail = detail->boolean;
+        }
+        if (json.get("path") || json.get("files")) {
+            if (!build_request(json, request.scan, request.error))
+                return request;
+            request.graph_has_payload = true;
+        }
+        request.op = NdjsonRequest::Op::kGraph;
+        return request;
+    }
+    request.error = "unknown op: \"" + op + "\"";
     return request;
 }
 
@@ -227,11 +348,78 @@ std::string render_stats_line(const CacheStats& stats, bool deterministic) {
     return line.str();
 }
 
+std::string render_watch_line(const ScanResponse& response, int files,
+                              bool deterministic) {
+    if (response.cancelled || response.rejected)
+        return render_scan_line(response, deterministic);
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("watch", true);
+    w.kv("files", files);
+    w.kv("from_result_cache", response.from_result_cache);
+    w.kv("deduplicated", response.deduplicated);
+    w.kv("files_reused", response.files_reused);
+    w.kv("summaries_seeded", response.summaries_seeded);
+    w.kv("summaries_invalidated", response.summaries_invalidated);
+    w.kv("wall_seconds", deterministic ? 0.0 : response.wall_seconds, 4);
+    w.key("report");
+    line << render_json_report(response.result) << "}";
+    return line.str();
+}
+
+std::string render_edit_line(const WatchDelta& delta, bool deterministic) {
+    // A failed edit — bad batch, no session, or a rejected/cancelled
+    // re-scan — is the one structured error shape like every other error.
+    if (!delta.ok) return render_error_line(delta.error);
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("changed_files", delta.changed_files);
+    w.kv("cone_files", delta.cone_files);
+    w.kv("cone_functions", delta.cone_functions);
+    w.kv("files_reused", delta.response.files_reused);
+    w.kv("summaries_seeded", delta.response.summaries_seeded);
+    w.kv("summaries_invalidated", delta.response.summaries_invalidated);
+    w.kv("wall_seconds",
+         deterministic ? 0.0 : delta.response.wall_seconds, 4);
+    w.key("added").begin_array();
+    for (const Finding& f : delta.added) render_finding_json(w, f);
+    w.end_array();
+    w.key("removed").begin_array();
+    for (const Finding& f : delta.removed) render_finding_json(w, f);
+    w.end_array();
+    w.end_object();
+    return line.str();
+}
+
+std::string render_graph_line(const graph::ProjectGraph& g, bool detail) {
+    const graph::ProjectGraph::Analytics analytics = g.analyze();
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("files", g.file_count());
+    w.kv("functions", g.function_count());
+    w.kv("include_edges", g.include_edge_count());
+    w.kv("use_edges", g.use_edge_count());
+    w.key("analytics");
+    // Both payloads arrive pre-serialized; splice them in like the scan
+    // renderer splices its report.
+    line << graph::render_graph_analytics(g, analytics);
+    if (detail) line << ",\"detail\":" << g.to_json();
+    line << "}";
+    return line.str();
+}
+
 int serve_ndjson(std::istream& in, std::ostream& out,
                  const ServeOptions& options) {
     AnalysisService own_service;
     AnalysisService& service =
         options.service ? *options.service : own_service;
+    WatchSession watch(service);  // per-call, like a server session's
     int served = 0;
 
     std::string line;
@@ -268,6 +456,42 @@ int serve_ndjson(std::istream& in, std::ostream& out,
         case NdjsonRequest::Op::kInvalid:
             out << render_error_line(request.error) << "\n" << std::flush;
             continue;
+        case NdjsonRequest::Op::kWatch: {
+            // Sequence open() before file_count() — as arguments the calls
+            // would be unsequenced relative to each other.
+            const ScanResponse response = watch.open(request.scan);
+            out << render_watch_line(response, watch.file_count(),
+                                     options.deterministic)
+                << "\n"
+                << std::flush;
+            continue;
+        }
+        case NdjsonRequest::Op::kEdit:
+            out << render_edit_line(watch.edit(request.edit),
+                                    options.deterministic)
+                << "\n"
+                << std::flush;
+            continue;
+        case NdjsonRequest::Op::kGraph: {
+            if (request.graph_has_payload) {
+                out << render_graph_line(
+                           build_request_graph(service, request.scan),
+                           request.graph_detail)
+                    << "\n"
+                    << std::flush;
+            } else if (watch.graph()) {
+                out << render_graph_line(*watch.graph(), request.graph_detail)
+                    << "\n"
+                    << std::flush;
+            } else {
+                out << render_error_line(
+                           "graph needs an open watch session or a "
+                           "\"path\"/\"files\" payload")
+                    << "\n"
+                    << std::flush;
+            }
+            continue;
+        }
         case NdjsonRequest::Op::kScan:
             break;
         }

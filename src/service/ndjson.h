@@ -15,10 +15,27 @@
 //   {"op":"clear"}                                drop all cache pools
 //   {"op":"quit"}                                 end the session cleanly
 //
+// Watch mode (docs/graph.md) — per-session incremental state:
+//   {"op":"watch",...}                            scan + open a watch
+//                                                 session (same keys as
+//                                                 scan, minus "slot")
+//   {"op":"edit","files":[...],"remove":[...]}    apply a change batch;
+//                                                 answers delta findings
+//                                                 ("added"/"removed") plus
+//                                                 the invalidated cone size
+//   {"op":"graph"}                                analytics of the watch
+//                                                 session's project graph
+//   {"op":"graph","path":...} / "files":[...]     ... of a standalone tree
+//   {"op":"graph",...,"detail":true}              + full nodes and edges
+//
 // Scan responses carry the same report object render_json_report() emits
-// for the batch tools, plus cache effectiveness fields; errors are
-// {"ok":false,"error":"..."}. Living in the library (not the tool's main)
-// makes the protocol drivable from tests over string streams.
+// for the batch tools, plus cache effectiveness fields. Every error —
+// malformed JSON, unknown op, unknown key, bad payload, oversized line —
+// is the ONE structured shape {"ok":false,"error":"..."} regardless of
+// which loop (serve_ndjson or the multi-session server) parsed the
+// request; requests carrying keys their op does not define are rejected,
+// not silently ignored. Living in the library (not the tool's main) makes
+// the protocol drivable from tests over string streams.
 //
 // The file splits into three layers so the single-client loop and the
 // multi-session server (service/server.h) share one wire format:
@@ -32,7 +49,9 @@
 #include <iosfwd>
 #include <string>
 
+#include "graph/project_graph.h"
 #include "service/service.h"
+#include "service/watch.h"
 
 namespace phpsafe::service {
 
@@ -69,11 +88,16 @@ LineStatus read_ndjson_line(std::istream& in, std::string& line,
 
 /// One decoded request line.
 struct NdjsonRequest {
-    enum class Op { kScan, kStats, kClear, kQuit, kInvalid };
+    enum class Op {
+        kScan, kWatch, kEdit, kGraph, kStats, kClear, kQuit, kInvalid
+    };
     Op op = Op::kInvalid;
-    ScanRequest scan;   ///< populated for kScan
-    std::string slot;   ///< optional supersede key for kScan ("" = none)
-    std::string error;  ///< populated for kInvalid
+    ScanRequest scan;    ///< populated for kScan/kWatch/kGraph-with-payload
+    std::string slot;    ///< optional supersede key for kScan ("" = none)
+    WatchEditBatch edit; ///< populated for kEdit
+    bool graph_detail = false;     ///< kGraph: include full nodes + edges
+    bool graph_has_payload = false;  ///< kGraph: "path"/"files" present
+    std::string error;   ///< populated for kInvalid
 };
 
 /// Parses one request line (JSON object with an "op"). Never throws; bad
@@ -88,6 +112,15 @@ std::string render_ok_line();
 std::string render_bye_line();
 std::string render_scan_line(const ScanResponse& response, bool deterministic);
 std::string render_stats_line(const CacheStats& stats, bool deterministic);
+/// The scan response of a watch open, tagged "watch":true with the
+/// session's tracked file count.
+std::string render_watch_line(const ScanResponse& response, int files,
+                              bool deterministic);
+/// One edit batch's answer: cone size + delta findings (or the structured
+/// error when the delta is not ok).
+std::string render_edit_line(const WatchDelta& delta, bool deterministic);
+/// Graph analytics, optionally with the full serialized graph.
+std::string render_graph_line(const graph::ProjectGraph& g, bool detail);
 
 /// Serves requests from `in` until EOF or a quit op; responses go to
 /// `out`, one per line, flushed. Returns the number of lines processed

@@ -87,6 +87,10 @@ int AnalysisServer::serve_session(std::istream& in, SyncLineWriter& out,
     AnalysisService& service = *service_;
     const bool deterministic = options_.deterministic;
 
+    // Per-session watch state. Touched only from the writer thread (watch
+    // ops are barrier items), so no lock of its own is needed.
+    WatchSession watch(service);
+
     SessionQueue queue;
     std::thread writer([&] {
         SessionItem item;
@@ -153,6 +157,64 @@ int AnalysisServer::serve_session(std::istream& in, SyncLineWriter& out,
         case NdjsonRequest::Op::kInvalid: {
             const std::string message = render_error_line(request.error);
             queue.push({{}, [message] { return message; }});
+            break;
+        }
+        // Watch ops are barriers like stats/clear: their renderer runs the
+        // scan and mutates the session state on the writer thread, after
+        // every earlier response and before any later request is admitted —
+        // exactly the serial serve_ndjson order, so watch transcripts are
+        // byte-identical between the two loops.
+        case NdjsonRequest::Op::kWatch: {
+            auto rendered = std::make_shared<std::promise<void>>();
+            std::future<void> barrier = rendered->get_future();
+            queue.push({{}, [&watch, deterministic, rendered,
+                             scan = std::move(request.scan)]() mutable {
+                            // Sequence open() before file_count().
+                            const ScanResponse response =
+                                watch.open(std::move(scan));
+                            std::string reply = render_watch_line(
+                                response, watch.file_count(), deterministic);
+                            rendered->set_value();
+                            return reply;
+                        }});
+            barrier.wait();
+            break;
+        }
+        case NdjsonRequest::Op::kEdit: {
+            auto rendered = std::make_shared<std::promise<void>>();
+            std::future<void> barrier = rendered->get_future();
+            queue.push({{}, [&watch, deterministic, rendered,
+                             edit = std::move(request.edit)] {
+                            std::string reply = render_edit_line(
+                                watch.edit(edit), deterministic);
+                            rendered->set_value();
+                            return reply;
+                        }});
+            barrier.wait();
+            break;
+        }
+        case NdjsonRequest::Op::kGraph: {
+            auto rendered = std::make_shared<std::promise<void>>();
+            std::future<void> barrier = rendered->get_future();
+            queue.push(
+                {{}, [&watch, &service, rendered,
+                      has_payload = request.graph_has_payload,
+                      detail = request.graph_detail,
+                      scan = std::move(request.scan)] {
+                     std::string reply;
+                     if (has_payload)
+                         reply = render_graph_line(
+                             build_request_graph(service, scan), detail);
+                     else if (watch.graph())
+                         reply = render_graph_line(*watch.graph(), detail);
+                     else
+                         reply = render_error_line(
+                             "graph needs an open watch session or a "
+                             "\"path\"/\"files\" payload");
+                     rendered->set_value();
+                     return reply;
+                 }});
+            barrier.wait();
             break;
         }
         case NdjsonRequest::Op::kScan: {

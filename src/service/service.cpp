@@ -23,6 +23,12 @@ struct PendingScan {
     ScanResponse response;
 };
 
+uint64_t AnalysisService::spec_content_hash(const SourceFileSpec& spec) {
+    if (spec.parsed) return spec.parsed->content_hash;
+    if (spec.known_hash != 0) return spec.known_hash;
+    return php::content_hash(spec.text);
+}
+
 uint64_t AnalysisService::request_fingerprint(const ScanRequest& request) {
     uint64_t h = fnv1a64(request.plugin);
     h = fnv1a64("\x1f", h);
@@ -33,7 +39,13 @@ uint64_t AnalysisService::request_fingerprint(const ScanRequest& request) {
         h = fnv1a64("\x1f", h);
         h = fnv1a64(file.name, h);
         h = fnv1a64("\x1f", h);
-        h = fnv1a64(file.text, h);
+        uint64_t content = spec_content_hash(file);
+        char bytes[8];
+        for (char& b : bytes) {
+            b = static_cast<char>(content & 0xff);
+            content >>= 8;
+        }
+        h = fnv1a64(std::string_view(bytes, sizeof bytes), h);
     }
     return h;
 }
@@ -260,7 +272,15 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
             auto build_span =
                 tracer.span("service.build", {{"plugin", scan.request.plugin}});
             for (const SourceFileSpec& file : scan.request.files) {
-                const uint64_t hash = php::content_hash(file.text);
+                if (file.parsed) {
+                    // Pinned by the requester (watch sessions): no hash, no
+                    // cache probe — the shared_ptr alone keeps it alive.
+                    project.add_parsed(file.parsed);
+                    continue;
+                }
+                const uint64_t hash = file.known_hash != 0
+                                          ? file.known_hash
+                                          : php::content_hash(file.text);
                 if (auto cached = cache_.find_file(file.name, hash))
                     project.add_parsed(std::move(cached));
                 else
@@ -268,7 +288,14 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
             }
             DiagnosticSink sink;
             project.parse_all(sink);
-            for (const auto& parsed : project.files()) cache_.insert_file(parsed);
+            // Pinned files skip (re)insertion: they bypassed the probe on
+            // the way in, and their owner keeps them resident regardless.
+            const auto& parsed_files = project.files();
+            for (size_t i = 0; i < parsed_files.size(); ++i) {
+                if (i < scan.request.files.size() && scan.request.files[i].parsed)
+                    continue;
+                cache_.insert_file(parsed_files[i]);
+            }
         }
         response.files_reused = project.build_stats().files_reused;
 
@@ -288,6 +315,10 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
         if (summary_reuse) {
             auto seed_span =
                 tracer.span("service.seed", {{"plugin", scan.request.plugin}});
+            // One memo per request: distinct dependency names resolve
+            // against the project tables once, not once per summary
+            // mentioning them (see DepCheckMemo).
+            DepCheckMemo dep_memo(project);
             for (const php::FunctionRef& ref : project.all_functions()) {
                 if (!ref.decl) continue;
                 const std::string key = ascii_lower(ref.qualified_name());
@@ -299,7 +330,7 @@ ScanResponse AnalysisService::perform_scan(PendingScan& scan) {
                 auto artifact =
                     cache_.find_summary(preset_fp, key, declaring->second);
                 if (!artifact) continue;
-                if (!validate_deps(*artifact, project)) {
+                if (!dep_memo.validate(*artifact)) {
                     cache_.note_invalidation();
                     ++response.summaries_invalidated;
                     continue;

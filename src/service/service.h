@@ -74,10 +74,27 @@ struct ServiceOptions {
     obs::Tracer* tracer = nullptr;
 };
 
-/// One source file of a scan request.
+/// One source file of a scan request. Callers that already know the file
+/// (the watch sessions of service/watch.h) can skip re-hashing and even
+/// re-parsing:
+///   - `known_hash` non-zero pre-computes content_hash(text) — the scan
+///     trusts it instead of hashing the text again,
+///   - `parsed` non-null pins an immutable AST that is injected directly
+///     (php::Project::add_parsed), so neither text nor hash are needed and
+///     the per-file cache probe is skipped entirely.
+/// Either way the request fingerprint is computed from the per-file
+/// content hashes, so a pinned, a pre-hashed and a plain-text spec of the
+/// same content are the same request (they coalesce and share result-pool
+/// entries).
 struct SourceFileSpec {
+    SourceFileSpec() = default;
+    SourceFileSpec(std::string name, std::string text)
+        : name(std::move(name)), text(std::move(text)) {}
+
     std::string name;
     std::string text;
+    uint64_t known_hash = 0;
+    std::shared_ptr<const php::ParsedFile> parsed;
 };
 
 struct ScanRequest {
@@ -174,9 +191,17 @@ public:
     AnalysisCache& cache() { return cache_; }
 
     /// Stable fingerprint of a request's analysis input (plugin name,
-    /// preset, file names and contents) — the result-pool / dedup key.
-    /// Scheduling fields (priority) are excluded on purpose.
+    /// preset, backend, file names and per-file content hashes) — the
+    /// result-pool / dedup key. Hashing content hashes rather than full
+    /// texts keeps the fingerprint identical across the three
+    /// SourceFileSpec forms (text, pre-hashed, pinned AST) and makes
+    /// fingerprinting O(names) for watch-mode requests. Scheduling fields
+    /// (priority) are excluded on purpose.
     static uint64_t request_fingerprint(const ScanRequest& request);
+
+    /// The content hash a spec contributes to the fingerprint: the pinned
+    /// AST's hash, the pre-computed hash, or a fresh hash of the text.
+    static uint64_t spec_content_hash(const SourceFileSpec& spec);
 
 private:
     void run_scan(const std::shared_ptr<PendingScan>& scan);

@@ -105,12 +105,12 @@ TEST_F(GoldenReproduction, CorpusVitals) {
 //   ./build/tools/phpsafe_serve --deterministic
 //     < tests/golden/ndjson_session.in > tests/golden/ndjson_session.out
 // (one command; wrapped here for line length)
-TEST(GoldenNdjsonProtocol, SessionTranscriptMatches) {
+void expect_transcript_matches(const std::string& stem) {
     const std::string dir = PHPSAFE_GOLDEN_DIR;
-    std::ifstream script(dir + "/ndjson_session.in", std::ios::binary);
-    std::ifstream expected(dir + "/ndjson_session.out", std::ios::binary);
-    ASSERT_TRUE(script) << "missing " << dir << "/ndjson_session.in";
-    ASSERT_TRUE(expected) << "missing " << dir << "/ndjson_session.out";
+    std::ifstream script(dir + "/" + stem + ".in", std::ios::binary);
+    std::ifstream expected(dir + "/" + stem + ".out", std::ios::binary);
+    ASSERT_TRUE(script) << "missing " << dir << "/" << stem << ".in";
+    ASSERT_TRUE(expected) << "missing " << dir << "/" << stem << ".out";
 
     std::ostringstream actual;
     service::ServeOptions options;
@@ -128,6 +128,19 @@ TEST(GoldenNdjsonProtocol, SessionTranscriptMatches) {
     }
     EXPECT_FALSE(std::getline(got, got_line))
         << "extra response beyond the transcript: " << got_line;
+}
+
+TEST(GoldenNdjsonProtocol, SessionTranscriptMatches) {
+    expect_transcript_matches("ndjson_session");
+}
+
+// The watch-mode transcript: edit before watch, open, delta after a
+// sanitizer regression, graph analytics (± detail), a new-file edit, a
+// mixed upsert+remove batch, the error shapes (unknown remove target,
+// unknown key, slot on watch), and a standalone graph payload with a
+// self-include cycle and a dead file. Regenerate like ndjson_session.
+TEST(GoldenNdjsonProtocol, WatchTranscriptMatches) {
+    expect_transcript_matches("ndjson_watch");
 }
 
 }  // namespace

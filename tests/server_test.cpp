@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "service/ndjson.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "service/watch.h"
 #include "util/json_reader.h"
 
 namespace phpsafe {
@@ -443,6 +445,188 @@ TEST(ServerSessionTest, ConcurrentClientsMatchSerialReferenceReports) {
     }
     for (std::thread& t : clients) t.join();
     for (int t = 0; t < 4; ++t) EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0);
+}
+
+// ----------------------------------------------------------- watch mode
+
+std::vector<std::string> finding_keys(const std::vector<Finding>& findings) {
+    std::vector<std::string> keys;
+    for (const Finding& f : findings) keys.push_back(finding_json(f));
+    return keys;
+}
+
+/// The delta oracle: diff two full reports by canonical serialization,
+/// honoring multiplicity, added in new order / removed in old order —
+/// exactly what a client diffing two cold re-scans would compute.
+void cold_diff(const std::vector<Finding>& before,
+               const std::vector<Finding>& after,
+               std::vector<std::string>& added,
+               std::vector<std::string>& removed) {
+    std::multiset<std::string> old_keys, new_keys;
+    for (const Finding& f : before) old_keys.insert(finding_json(f));
+    for (const Finding& f : after) new_keys.insert(finding_json(f));
+    for (const Finding& f : after) {
+        const auto it = old_keys.find(finding_json(f));
+        if (it != old_keys.end())
+            old_keys.erase(it);
+        else
+            added.push_back(finding_json(f));
+    }
+    for (const Finding& f : before) {
+        const auto it = new_keys.find(finding_json(f));
+        if (it != new_keys.end())
+            new_keys.erase(it);
+        else
+            removed.push_back(finding_json(f));
+    }
+}
+
+/// Watch-mode byte-identity: the delta an edit answers must equal the diff
+/// of two *cold* scans on fresh services — at any worker count and any
+/// backend, with a mixed upsert + remove batch.
+void expect_delta_matches_cold_rescan(int workers, const std::string& backend) {
+    using FileSet = std::vector<std::pair<std::string, std::string>>;
+    const FileSet before = {
+        {"app.php",
+         "<?php include 'lib.php'; echo wrap($_GET['q']); echo $_GET['r'];"},
+        {"lib.php", "<?php function wrap($x) { return htmlentities($x); }"},
+        {"other.php", "<?php echo $_COOKIE['c'];"},
+    };
+    const FileSet after = {
+        {"app.php",
+         "<?php include 'lib.php'; echo wrap($_GET['q']); echo $_GET['r'];"},
+        {"lib.php", "<?php function wrap($x) { return $x; }"},
+    };
+
+    auto cold_scan = [&](const FileSet& files) {
+        ServiceOptions so;
+        so.workers = 1;
+        AnalysisService fresh(so);
+        ScanRequest request;
+        request.plugin = "delta";
+        request.backend = backend;
+        for (const auto& [name, text] : files)
+            request.files.push_back({name, text});
+        return fresh.scan(request).result.findings;
+    };
+    const std::vector<Finding> cold_before = cold_scan(before);
+    const std::vector<Finding> cold_after = cold_scan(after);
+    std::vector<std::string> want_added, want_removed;
+    cold_diff(cold_before, cold_after, want_added, want_removed);
+    ASSERT_FALSE(want_added.empty());    // the sanitizer regression
+    ASSERT_FALSE(want_removed.empty());  // the removed file's finding
+
+    ServiceOptions so;
+    so.workers = workers;
+    AnalysisService service(so);
+    service::WatchSession watch(service);
+    ScanRequest open;
+    open.plugin = "delta";
+    open.backend = backend;
+    for (const auto& [name, text] : before)
+        open.files.push_back({name, text});
+    const ScanResponse opened = watch.open(std::move(open));
+    ASSERT_FALSE(opened.rejected);
+    EXPECT_EQ(finding_keys(opened.result.findings), finding_keys(cold_before));
+
+    service::WatchEditBatch batch;
+    batch.upserts.push_back(
+        {"lib.php", "<?php function wrap($x) { return $x; }"});
+    batch.removals.push_back("other.php");
+    const service::WatchDelta delta = watch.edit(batch);
+    ASSERT_TRUE(delta.ok) << delta.error;
+    EXPECT_EQ(delta.changed_files, 2);
+    EXPECT_GE(delta.cone_files, 3);  // lib + app (includes it) + other
+    EXPECT_EQ(finding_keys(delta.added), want_added);
+    EXPECT_EQ(finding_keys(delta.removed), want_removed);
+    // The warm re-scan's full report equals the cold one, not just the diff.
+    EXPECT_EQ(finding_keys(delta.response.result.findings),
+              finding_keys(cold_after));
+}
+
+TEST(WatchModeTest, DeltaMatchesColdRescanDiffSerial) {
+    expect_delta_matches_cold_rescan(1, "");
+}
+
+TEST(WatchModeTest, DeltaMatchesColdRescanDiffParallel) {
+    expect_delta_matches_cold_rescan(4, "");
+}
+
+TEST(WatchModeTest, DeltaMatchesColdRescanDiffIrBackend) {
+    expect_delta_matches_cold_rescan(4, "ir");
+}
+
+TEST(ServerSessionTest, PipelinedWatchSessionMatchesSerialLoopByteForByte) {
+    const std::string script =
+        "{\"op\":\"watch\",\"plugin\":\"w\",\"files\":[{\"name\":\"a.php\","
+        "\"text\":\"<?php include 'b.php'; echo esc($_GET['x']);\"},"
+        "{\"name\":\"b.php\",\"text\":\"<?php function esc($v) { return "
+        "htmlentities($v); }\"}]}\n"
+        "{\"op\":\"edit\",\"files\":[{\"name\":\"b.php\",\"text\":\"<?php "
+        "function esc($v) { return $v; }\"}]}\n"
+        "{\"op\":\"graph\"}\n"
+        "{\"op\":\"edit\",\"remove\":[\"b.php\"]}\n"
+        "{\"op\":\"stats\"}\n"
+        "{\"op\":\"quit\"}\n";
+
+    std::ostringstream serial_out;
+    {
+        ServeOptions options;
+        options.deterministic = true;
+        std::istringstream in(script);
+        service::serve_ndjson(in, serial_out, options);
+    }
+
+    std::ostringstream session_out;
+    {
+        ServerOptions options;
+        options.service.workers = 4;
+        options.deterministic = true;
+        AnalysisServer server(options);
+        std::istringstream in(script);
+        EXPECT_EQ(server.serve_session(in, session_out), 6);
+    }
+    EXPECT_EQ(session_out.str(), serial_out.str());
+}
+
+TEST(NdjsonFramingTest, UnknownKeysRejectedWithUniformErrorShape) {
+    // Every unknown-key rejection — whichever loop parses it — must be the
+    // one structured {"ok":false,"error":...} shape with the same message.
+    const std::string script =
+        "{\"op\":\"stats\",\"extra\":1}\n"
+        "{\"op\":\"clear\",\"slot\":\"x\"}\n"
+        "{\"op\":\"scan\",\"plugin\":\"p\",\"detail\":true,"
+        "\"files\":[{\"name\":\"a.php\",\"text\":\"<?php\"}]}\n"
+        "{\"op\":\"graph\",\"slot\":\"x\"}\n"
+        "{\"op\":\"quit\"}\n";
+    const std::string expected =
+        service::render_error_line("unknown key \"extra\" for op \"stats\"") +
+        "\n" +
+        service::render_error_line("unknown key \"slot\" for op \"clear\"") +
+        "\n" +
+        service::render_error_line("unknown key \"detail\" for op \"scan\"") +
+        "\n" +
+        service::render_error_line("unknown key \"slot\" for op \"graph\"") +
+        "\n" + service::render_bye_line() + "\n";
+
+    std::ostringstream serial_out;
+    {
+        ServeOptions options;
+        options.deterministic = true;
+        std::istringstream in(script);
+        service::serve_ndjson(in, serial_out, options);
+    }
+    EXPECT_EQ(serial_out.str(), expected);
+
+    std::ostringstream session_out;
+    {
+        ServerOptions options;
+        options.deterministic = true;
+        AnalysisServer server(options);
+        std::istringstream in(script);
+        server.serve_session(in, session_out);
+    }
+    EXPECT_EQ(session_out.str(), expected);
 }
 
 // ------------------------------------------------------ multi-client golden

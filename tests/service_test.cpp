@@ -291,6 +291,42 @@ TEST(ServiceTest, WarmScanOfCorpusPluginMatchesColdByteForByte) {
     EXPECT_EQ(render_json_report(warm.result), render_json_report(cold.result));
 }
 
+TEST(ServiceTest, DepValidationMemoCollapsesRepeatedWalks) {
+    // Twenty summaries all depending on the same helper function: summary
+    // seeding validates each one, but the memo must resolve "shared_h" and
+    // each file hash once — repeat checks are map hits, not re-walks of
+    // the project (the cache_dep_walk_* counters prove it).
+    ScanRequest request;
+    request.plugin = "memo";
+    request.files.push_back(
+        {"helper.php",
+         "<?php function shared_h($v) { return htmlentities($v); }"});
+    for (int i = 0; i < 20; ++i) {
+        const std::string n = std::to_string(i);
+        request.files.push_back(
+            {"f" + n + ".php",
+             "<?php function leaf_" + n +
+                 "($v) { return shared_h($v); } echo leaf_" + n +
+                 "($_GET['x']);"});
+    }
+
+    ServiceOptions options;
+    options.workers = 1;
+    AnalysisService service(options);
+    (void)service.scan(request);  // prime the summary pool
+
+    ScanRequest touched = request;
+    touched.files[1].text += " // touched";
+    const ScanResponse warm = service.scan(touched);
+    EXPECT_GT(warm.summaries_seeded, 0);
+    EXPECT_GT(warm.counters.cache_dep_walks, 0u);
+    EXPECT_GT(warm.counters.cache_dep_walk_memo_hits, 0u);
+    // Unique resolutions (misses) must be strictly rarer than memoized
+    // ones: every artifact re-checks shared_h and the same file hashes.
+    EXPECT_LT(warm.counters.cache_dep_walk_steps,
+              warm.counters.cache_dep_walk_memo_hits);
+}
+
 // ---------------------------------------------------------------------------
 // JsonReader (the daemon's request decoder)
 // ---------------------------------------------------------------------------
