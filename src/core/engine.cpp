@@ -28,6 +28,29 @@ struct EvalDepthScope {
     int& depth_;
 };
 
+void append_ascii_lower(std::string& out, std::string_view s) {
+    for (char c : s)
+        out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + ('a' - 'A'))
+                                           : c);
+}
+
+/// Summary-store key for a function: ascii_lower(ref.qualified_name()) in a
+/// single allocation. Stage 1 recomputes this for every declared function on
+/// every scan, so the two-allocation spelling shows up in seeded rescans.
+std::string lowered_key(const php::FunctionRef& ref) {
+    std::string key;
+    if (!ref.decl) return "<null>";
+    if (ref.owner) {
+        key.reserve(ref.owner->name.size() + ref.decl->name.size() + 2);
+        append_ascii_lower(key, ref.owner->name);
+        key += "::";
+    } else {
+        key.reserve(ref.decl->name.size());
+    }
+    append_ascii_lower(key, ref.decl->name);
+    return key;
+}
+
 /// Best-effort static reconstruction of an include path: concatenates the
 /// literal fragments of concat chains / interpolated strings and ignores
 /// dynamic parts (dirname(__FILE__), constants, ...).
@@ -154,6 +177,7 @@ std::string AnalysisOptions::fingerprint() const {
     flag(track_object_types);
     flag(analyze_closures);
     flag(hermetic_summaries);
+    flag(capture_entry_files);
     fp += '|' + std::to_string(loop_iterations);
     fp += '|' + std::to_string(max_include_depth);
     fp += '|' + std::to_string(max_call_depth);
@@ -221,6 +245,12 @@ AnalysisResult Engine::analyze(const php::Project& project,
 
     // Stage 2: inter-procedural analysis starting from each file's "main
     // function", following the program flow (calls, includes) from there.
+    // With capture_entry_files on, each walk runs inside an entry capture
+    // frame (keyed "file:<name>" — a name no function key can collide with)
+    // and a seeded run replays reusable entry artifacts instead of walking.
+    const bool entry_exchange = options_.capture_entry_files &&
+                                options_.hermetic_summaries &&
+                                (exchange_.seeds || exchange_.capture);
     std::set<std::string> failed_files;
     for (const std::shared_ptr<const php::ParsedFile>& file_ptr : project.files()) {
         const php::ParsedFile& file = *file_ptr;
@@ -238,8 +268,28 @@ AnalysisResult Engine::analyze(const php::Project& project,
             if (observer_) observer_->on_file_end(file, /*failed=*/true);
             continue;
         }
+        const std::string entry_key = "file:" + file.source->name();
         current_file_failed_ = false;
+        if (entry_exchange && apply_entry_seed(entry_key)) {
+            // apply_entry_seed replayed the walk's diagnostics and failure
+            // state (a deterministic include-depth abort seeds like any
+            // other walk).
+            if (current_file_failed_) failed_files.insert(file.source->name());
+            if (observer_) observer_->on_file_end(file, current_file_failed_);
+            continue;
+        }
+        const bool capture_entry = entry_exchange && exchange_.capture;
+        if (capture_entry) {
+            CaptureFrame frame;
+            frame.key = entry_key;
+            frame.entry = true;
+            frame.diag_mark = diagnostics_.diagnostics().size();
+            capture_stack_.push_back(std::move(frame));
+            note_dep(SummaryDep::Kind::kFile, file.source->name(),
+                     file.source->name());
+        }
         analyze_entry_file(file);
+        if (capture_entry) finish_capture(entry_key, FunctionSummary{});
         if (current_file_failed_) failed_files.insert(file.source->name());
         if (observer_) observer_->on_file_end(file, current_file_failed_);
     }
@@ -249,7 +299,7 @@ AnalysisResult Engine::analyze(const php::Project& project,
     if (options_.analyze_uncalled_functions) {
         for (const php::FunctionRef& ref : project.all_functions()) {
             if (!ref.decl) continue;
-            const std::string key = ascii_lower(ref.qualified_name());
+            const std::string key = lowered_key(ref);
             const FunctionSummary* s = summaries_.find(key);
             if (!s || !s->analyzed) summarize(ref);
         }
@@ -370,8 +420,57 @@ void Engine::touch_shared_state() {
     for (CaptureFrame& frame : capture_stack_) frame.reusable = false;
 }
 
+const TaintValue* Engine::find_shared_slot(Symbol name) {
+    const std::string_view text = symbols_.name(name);
+    if (!text.empty() && text.front() == '$') return globals_.vars.find(name);
+    return properties_.find_slot(text);
+}
+
+void Engine::note_shared_read(Symbol name) {
+    for (CaptureFrame& frame : capture_stack_) {
+        if (!frame.entry) {
+            // A summary replay cannot reproduce shared state.
+            frame.reusable = false;
+            continue;
+        }
+        // Foreign read: the value came from another computation's write (or
+        // the deterministic default). Record what was observed — the seed
+        // applies later only while the slot still matches — instead of
+        // disqualifying outright. Only the first touch matters: within one
+        // walk nothing else runs, so the pre-walk value is stable.
+        if (frame.slots_written.contains(name) ||
+            frame.foreign_observed.contains(name))
+            continue;
+        const TaintValue* value = find_shared_slot(name);
+        frame.foreign_observed.emplace(name,
+                                       value ? value_fingerprint(*value) : 0);
+    }
+}
+
+void Engine::note_shared_write(Symbol name, bool strong) {
+    // Call BEFORE mutating the store: a weak merge observes the prior state
+    // like a read, and the observation must capture the pre-write value.
+    for (CaptureFrame& frame : capture_stack_) {
+        if (!frame.entry) {
+            frame.reusable = false;  // summary replay cannot re-execute it
+            continue;
+        }
+        if (!strong && !frame.slots_written.contains(name) &&
+            !frame.foreign_observed.contains(name)) {
+            const TaintValue* value = find_shared_slot(name);
+            frame.foreign_observed.emplace(
+                name, value ? value_fingerprint(*value) : 0);
+        }
+        // Strong or weak, the final value is snapshotted at finish_capture
+        // and replayed on seeding (a weak merge's prior-state input is
+        // pinned by the observation above).
+        frame.slots_written.insert(name);
+    }
+}
+
 bool Engine::apply_summary_seed(const std::string& key, FunctionSummary& slot) {
     if (!exchange_.seeds) return false;
+    if (exchange_.seed_block && exchange_.seed_block->count(key)) return false;
     const auto it = exchange_.seeds->find(key);
     if (it == exchange_.seeds->end()) return false;
     const SummaryArtifact* artifact = it->second;
@@ -400,14 +499,94 @@ bool Engine::apply_summary_seed(const std::string& key, FunctionSummary& slot) {
     return true;
 }
 
+bool Engine::apply_entry_seed(const std::string& key) {
+    if (!exchange_.seeds) return false;
+    if (exchange_.seed_block && exchange_.seed_block->count(key)) return false;
+    const auto it = exchange_.seeds->find(key);
+    if (it == exchange_.seeds->end()) return false;
+    const SummaryArtifact* artifact = it->second;
+    // The walk's cross-entry inputs must be unchanged: every shared slot it
+    // observed must still hold a value with the captured fingerprint.
+    // Checked against the live stores — state left by whatever mix of
+    // seeded and re-walked entries ran before this one — so no mutation may
+    // happen before all checks pass.
+    for (const auto& [name, expected] : artifact->foreign_reads) {
+        const TaintValue* value = find_shared_slot(sym(name));
+        if ((value ? value_fingerprint(*value) : 0) != expected) return false;
+    }
+    // Replay the walk's findings through the same counter and observer
+    // hooks a fresh walk would hit, then re-apply its final shared-slot
+    // writes (plain globals and persistent property slots) so later entry
+    // files observe the state the walk would have left.
+    for (const Finding& finding : artifact->findings) {
+        if (finding.kind == VulnKind::kSqli)
+            ++obs::tls().findings_sqli;
+        else
+            ++obs::tls().findings_xss;
+        if (observer_) observer_->on_finding(finding);
+        findings_.push_back(finding);
+    }
+    for (const auto& [name, value] : artifact->shared_writes) {
+        if (!name.empty() && name.front() == '$')
+            globals_.vars[sym(name)] = value;
+        else
+            properties_.slot(name) = value;
+    }
+    for (const Diagnostic& d : artifact->diagnostics)
+        diagnostics_.add(d.severity, d.location, d.message);
+    current_file_failed_ = artifact->file_failed;
+    run_artifacts_[key] = artifact;
+    ++obs::tls().cache_summary_hits;
+    return true;
+}
+
 void Engine::finish_capture(const std::string& key,
                             const FunctionSummary& summary) {
     CaptureFrame frame = std::move(capture_stack_.back());
     capture_stack_.pop_back();
     frame.artifact.summary = summary;
-    // A body cut short by a failing file would yield a truncated summary;
-    // never offer it for reuse.
-    frame.artifact.reusable = frame.reusable && !current_file_failed_;
+    if (frame.entry) {
+        // Snapshot the final value of every shared slot the walk wrote —
+        // plain globals from globals_, property slots from the persistent
+        // store; apply_entry_seed replays these. Name-sorted so the
+        // artifact's bytes do not depend on this run's interning order.
+        frame.artifact.shared_writes.reserve(frame.slots_written.size());
+        for (const Symbol name : frame.slots_written) {
+            const std::string_view text = symbols_.name(name);
+            const TaintValue* value = (!text.empty() && text.front() == '$')
+                                          ? globals_.vars.find(name)
+                                          : properties_.find_slot(text);
+            frame.artifact.shared_writes.emplace_back(
+                std::string(text), value ? *value : TaintValue::clean());
+        }
+        std::sort(frame.artifact.shared_writes.begin(),
+                  frame.artifact.shared_writes.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    if (frame.entry) {
+        // The walk's observed cross-entry inputs become the seed-time
+        // validity check (apply_entry_seed). Name-sorted like the writes.
+        frame.artifact.foreign_reads.reserve(frame.foreign_observed.size());
+        for (const auto& [name, sig] : frame.foreign_observed)
+            frame.artifact.foreign_reads.emplace_back(
+                std::string(symbols_.name(name)), sig);
+        std::sort(frame.artifact.foreign_reads.begin(),
+                  frame.artifact.foreign_reads.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    if (frame.entry) {
+        // The walk's diagnostic stream and failure state replay on seeding
+        // (a deterministic abort is as replayable as a clean walk).
+        const auto& all = diagnostics_.diagnostics();
+        frame.artifact.diagnostics.assign(all.begin() + frame.diag_mark,
+                                          all.end());
+        frame.artifact.file_failed = current_file_failed_;
+    }
+    // A function body cut short by a failing file would yield a truncated
+    // summary; never offer it for reuse. Entry artifacts instead record the
+    // failure and stay seedable.
+    frame.artifact.reusable =
+        frame.reusable && (frame.entry || !current_file_failed_);
     std::sort(frame.artifact.deps.begin(), frame.artifact.deps.end());
     frame.artifact.deps.erase(std::unique(frame.artifact.deps.begin(),
                                           frame.artifact.deps.end()),
@@ -461,9 +640,11 @@ void Engine::analyze_entry_file(const php::ParsedFile& file) {
     included_once_.clear();
     included_once_.insert(file.source->name());
     run_body(file.unit.statements, scope);
-    // Keep taint written to global variables visible to later entry files
-    // analyzed in this run only through the shared property/summary stores;
-    // plain globals are per-entry (each file is its own request context).
+    // The file-level scope dies here, but `global $x` statements alias into
+    // globals_, which persists across entry files: taint written to a plain
+    // global by one entry is visible to every later entry in the run (the
+    // entry-capture machinery tracks those reads/writes for exactly that
+    // reason).
 }
 
 // ---------------------------------------------------------------------------
@@ -611,7 +792,9 @@ void Engine::exec_stmt(const php::Stmt& stmt, Scope& scope) {
             for (const php::PropertyDecl& prop : n.properties) {
                 if (!prop.default_value) continue;
                 TaintValue value = eval(*prop.default_value, *outer);
-                touch_shared_state();
+                // Defaults merge into the persistent store (weak write).
+                note_shared_write(slot_sym(n.name, prop.is_static, prop.name),
+                                  /*strong=*/false);
                 if (prop.is_static)
                     properties_.static_slot(n.name, prop.name).merge(value);
                 else
@@ -692,8 +875,12 @@ void Engine::exec_unset(const php::UnsetStmt& stmt, Scope& scope) {
         if (var->kind == NodeKind::kVariable) {
             const auto& v = static_cast<const php::Variable&>(*var);
             const Symbol name_sym = sym(v.name);
-            if (scope.global_aliases.contains(name_sym) || scope.is_global)
+            if (scope.global_aliases.contains(name_sym) || scope.is_global) {
+                // Destroying the variable is a strong write of the clean
+                // state.
+                note_shared_write(name_sym, /*strong=*/true);
                 global_slot(name_sym).reset();
+            }
             if (!scope.is_global) scope.vars[name_sym].reset();
         } else if (var->kind == NodeKind::kPropertyAccess) {
             // Weak store: resetting a property of one instance must not
@@ -723,6 +910,12 @@ TaintValue Engine::eval(const php::Expr& expr, Scope& scope) {
                          "expression nesting exceeds " +
                              std::to_string(kMaxEvalDepth) +
                              " levels; taint evaluation truncated");
+        // Entry frames capture the walk's diagnostics and replay them on
+        // seeding; a function-summary seed replays only findings, so a
+        // warning emitted during summarization would be dropped — don't
+        // reuse function frames that saw one.
+        for (CaptureFrame& frame : capture_stack_)
+            if (!frame.entry) frame.reusable = false;
         return TaintValue::clean();
     }
     const EvalDepthScope depth_scope(eval_depth_);
@@ -983,7 +1176,8 @@ TaintValue Engine::finish_property_read(const php::PropertyAccess& access,
 
     // Class-level slot when the receiver class is known.
     if (!object.object_class.empty()) {
-        touch_shared_state();
+        note_shared_read(
+            slot_sym(object.object_class, /*is_static=*/false, access.property));
         if (const TaintValue* slot =
                 properties_.find_class_slot(object.object_class, access.property))
             out.merge(*slot);
@@ -1002,7 +1196,7 @@ TaintValue Engine::read_static_property(const php::StaticPropertyAccess& access,
     const std::string cls =
         resolve_class_name(access.class_name, scope.current_class, *project_);
     if (cls.empty()) return TaintValue::clean();
-    touch_shared_state();
+    note_shared_read(slot_sym(cls, /*is_static=*/true, access.property));
     if (const TaintValue* slot = properties_.find_static_slot(cls, access.property)) {
         TaintValue out = *slot;
         if (out.tainted_any()) out.via_oop = true;
@@ -1109,6 +1303,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
             const Symbol name_sym = sym(var.name);
             const bool is_global_var =
                 scope.is_global || scope.global_aliases.contains(name_sym);
+            if (is_global_var) note_shared_write(name_sym, /*strong=*/!weak);
             TaintValue& slot = is_global_var
                                    ? global_slot(name_sym)
                                    : scope.vars[resolve_alias(name_sym, scope)];
@@ -1132,6 +1327,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
                     const auto& lit = static_cast<const php::Literal&>(*access.index);
                     std::string gname = "$";
                     gname += lit.value;
+                    note_shared_write(sym(gname), /*strong=*/false);
                     global_slot(gname).merge(value);
                     return;
                 }
@@ -1164,7 +1360,9 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
             }
             if (!object.object_class.empty()) {
                 // Class-level store is always weak (merged over instances).
-                touch_shared_state();
+                note_shared_write(slot_sym(object.object_class,
+                                           /*is_static=*/false, access.property),
+                                  /*strong=*/false);
                 properties_.class_slot(object.object_class, access.property)
                     .merge(value);
             }
@@ -1177,7 +1375,8 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
                 resolve_class_name(access.class_name, scope.current_class, *project_);
             if (cls.empty()) return;
             value.via_oop = value.via_oop || value.tainted_any();
-            touch_shared_state();
+            note_shared_write(slot_sym(cls, /*is_static=*/true, access.property),
+                              /*strong=*/!weak);
             TaintValue& slot = properties_.static_slot(cls, access.property);
             if (weak)
                 slot.merge(value);
@@ -1205,7 +1404,7 @@ void Engine::assign_to(const php::Expr& target, TaintValue value, Scope& scope,
 
 TaintValue Engine::read_global(std::string_view name, SourceLocation loc) {
     (void)loc;
-    touch_shared_state();
+    note_shared_read(sym(name));
     if (const TaintValue* found = globals_.vars.find(sym(name))) return *found;
     TaintValue v;
     if (const std::string* cls = kb_.known_global_class(name)) {
@@ -1214,13 +1413,15 @@ TaintValue Engine::read_global(std::string_view name, SourceLocation loc) {
     return v;
 }
 
+// Callers must report the access through note_shared_write (or
+// note_shared_read for read-modify uses) before taking the slot — the
+// strong/weak distinction only the call site knows decides whether an
+// entry capture stays reusable.
 TaintValue& Engine::global_slot(std::string_view name) {
-    touch_shared_state();
     return globals_.vars[sym(name)];
 }
 
 TaintValue& Engine::global_slot(Symbol name) {
-    touch_shared_state();
     return globals_.vars[name];
 }
 
@@ -1452,7 +1653,8 @@ TaintValue Engine::dispatch_new(const php::New& expr,
         for (const php::PropertyDecl& prop : decl->properties) {
             if (!prop.default_value) continue;
             TaintValue dv = eval(*prop.default_value, scope);
-            touch_shared_state();
+            note_shared_write(slot_sym(cls, prop.is_static, prop.name),
+                              /*strong=*/false);
             if (prop.is_static)
                 properties_.static_slot(cls, prop.name).merge(dv);
             else
@@ -1659,7 +1861,7 @@ TaintValue Engine::apply_user_function(const php::FunctionRef& ref,
 
 FunctionSummary& Engine::summarize(const php::FunctionRef& ref,
                                    const std::vector<TaintValue>* first_call_args) {
-    const std::string key = ascii_lower(ref.qualified_name());
+    const std::string key = lowered_key(ref);
     FunctionSummary& summary = summaries_.slot(key);
     if (summary.analyzed || summary.in_progress) {
         ++obs::tls().summaries_reused;
@@ -1771,6 +1973,15 @@ TaintValue Engine::lookup_var(std::string_view name, Scope& scope) {
 }
 
 void Engine::eval_closure_body(const php::Closure& closure, Scope& scope) {
+    // Closure dedup (analyzed_closures_) is run-wide: whether THIS walk or
+    // an earlier entry's walk analyzes a closure shared through an include
+    // is an ordering fact a seeded replay would shift, so an entry frame
+    // that even reaches a closure is not reusable. Function frames need no
+    // extra handling here: a closure shared across bodies is only reachable
+    // through an include, which already disqualifies them in
+    // finish_include.
+    for (CaptureFrame& frame : capture_stack_)
+        if (frame.entry) frame.reusable = false;
     if (!analyzed_closures_.insert(&closure).second) return;
     Scope body_scope;
     body_scope.file = scope.file;
@@ -1808,8 +2019,13 @@ TaintValue Engine::finish_include(const php::IncludeExpr& inc, Scope& scope) {
     // From here on the include interacts with run-wide include state
     // (included_once_, the include stack) and may execute the target file
     // against the live global scope — none of which a seeded replay of a
-    // summarized body can reproduce.
-    touch_shared_state();
+    // summarized body can reproduce. An entry-file frame, by contrast, owns
+    // the include state (reset per entry) and captures the included file's
+    // effects — its findings land in the frame, its global writes are
+    // tracked, and the kInclude dep above pins the content — so it stays
+    // reusable.
+    for (CaptureFrame& frame : capture_stack_)
+        if (!frame.entry) frame.reusable = false;
 
     // Cycle / repetition guards.
     for (const php::ParsedFile* active : include_stack_)

@@ -114,6 +114,21 @@ struct AnalysisOptions {
     /// order; without it the flag only disables call-context sensitivity.
     bool hermetic_summaries = false;
 
+    /// Capture/seed each entry file's top-level walk (its "main function",
+    /// paper §III.C) as an artifact alongside the function summaries, keyed
+    /// "file:<name>". An entry artifact is reusable only when the walk
+    /// observed nothing another entry file could change: a plain-global
+    /// read must be preceded by the entry's own strong write of that name
+    /// (the final written values are stored in the artifact and replayed on
+    /// seeding, so later entry files see the same global state a fresh walk
+    /// would have left), and any persistent-store touch — properties,
+    /// statics, closure dedup — disqualifies it. Off by default; only the
+    /// validation pipeline's fix-verification rescans opt in, so service
+    /// cache contents and counters are unaffected. Requires
+    /// hermetic_summaries (stage-1' ordering is what makes the walk a pure
+    /// function of file content + replayed globals).
+    bool capture_entry_files = false;
+
     /// Taint-propagation substrate (see EngineBackend). Defaults to the
     /// process default (kAst unless PHPSAFE_BACKEND overrides), so the
     /// whole test suite can be flipped onto the IR path from the
@@ -173,6 +188,7 @@ public:
     Builder& track_object_types(bool v) { options_.track_object_types = v; return *this; }
     Builder& analyze_closures(bool v) { options_.analyze_closures = v; return *this; }
     Builder& hermetic_summaries(bool v) { options_.hermetic_summaries = v; return *this; }
+    Builder& capture_entry_files(bool v) { options_.capture_entry_files = v; return *this; }
     Builder& engine_backend(EngineBackend v) { options_.engine_backend = v; return *this; }
 
     AnalysisOptions build() const { return options_; }
@@ -281,10 +297,30 @@ private:
     void note_dep(SummaryDep::Kind kind, std::string_view name,
                   std::string_view file);
     /// Marks every active capture non-reusable: the summarization touched
-    /// state (globals, properties, includes) a seed replay cannot reproduce.
+    /// state a seed replay cannot reproduce and the shared-slot machinery
+    /// below cannot pin (truncation diagnostics, whole-scope captures).
     void touch_shared_state();
+    /// Records a read of a shared slot — a plain global ("$x"), a
+    /// class-level property ("cls::prop") or a static property
+    /// ("cls::$prop"), all interned into one keyspace (variables carry the
+    /// '$' sigil, class names cannot). Function frames die (a summary
+    /// replay cannot reproduce shared state); an entry frame records the
+    /// observed value's signature unless it wrote the slot first, and the
+    /// artifact seeds later only while the slot still matches.
+    void note_shared_read(Symbol name);
+    /// Records a write to a shared slot. Function frames die as above; an
+    /// entry frame tracks the write (the final value is captured and
+    /// replayed on seeding), a weak write to a slot it does not own also
+    /// observing the prior state like a read (the merge consumes it).
+    void note_shared_write(Symbol name, bool strong);
+    /// The current value of a shared slot by interned key, or null when the
+    /// slot is absent from its store.
+    const TaintValue* find_shared_slot(Symbol name);
     /// Installs a seeded artifact for `key`; true when a seed was applied.
     bool apply_summary_seed(const std::string& key, FunctionSummary& slot);
+    /// Replays a seeded entry-file artifact (findings + final shared-slot
+    /// writes); true when a seed was applied and the walk can be skipped.
+    bool apply_entry_seed(const std::string& key);
     /// Pops the innermost capture frame and stores its artifact.
     void finish_capture(const std::string& key, const FunctionSummary& summary);
 
@@ -382,6 +418,20 @@ private:
         return symbols_.intern(path_buf_);
     }
 
+    /// Interns the shared-slot key of a class-level ("cls::prop") or static
+    /// ("cls::$prop") property — byte-identical to the PropertyStore's own
+    /// key, class lowercased, so every call site maps one store slot to one
+    /// symbol. One keyspace with plain globals: variable names carry the
+    /// '$' sigil, class names cannot, so the forms never collide.
+    Symbol slot_sym(std::string_view cls, bool is_static, std::string_view prop) {
+        path_buf_.clear();
+        for (const char c : cls)
+            path_buf_ += (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c;
+        path_buf_ += is_static ? "::$" : "::";
+        path_buf_ += prop;
+        return symbols_.intern(path_buf_);
+    }
+
     /// Resolves $a =& $b reference aliases to the canonical variable symbol.
     Symbol resolve_alias(Symbol name, const Scope& scope) const;
 
@@ -449,6 +499,18 @@ private:
         std::string key;              ///< lowercased qualified name
         SummaryArtifact artifact;     ///< deps + findings accumulate here
         bool reusable = true;
+        bool entry = false;           ///< entry-file frame (stack bottom)
+        /// Entry frames: diagnostics_ size at frame push — everything the
+        /// sink accumulates past this mark was emitted by the walk and is
+        /// captured into the artifact for replay.
+        size_t diag_mark = 0;
+        /// Shared slots this entry wrote (see note_shared_read for the
+        /// keyspace); reads of these slots stay self-contained.
+        std::set<Symbol> slots_written;
+        /// Shared slots read (or weak-merged) before any own write, with
+        /// the value_fingerprint observed at first touch (0 = absent slot).
+        /// Becomes the artifact's seed-time validity check.
+        std::map<Symbol, uint64_t> foreign_observed;
     };
     SummaryExchange exchange_;
     std::vector<CaptureFrame> capture_stack_;

@@ -11,6 +11,16 @@ std::string Finding::dedup_key() const {
            std::to_string(location.line) + "|" + variable;
 }
 
+std::string to_string(Confidence confidence) {
+    switch (confidence) {
+        case Confidence::kUnchecked: return "unchecked";
+        case Confidence::kValidated: return "validated";
+        case Confidence::kUnvalidated: return "unvalidated";
+        case Confidence::kInconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
 std::string to_string(const Finding& finding) {
     std::ostringstream os;
     os << to_string(finding.kind) << " at " << to_string(finding.location)

@@ -15,6 +15,22 @@
 
 namespace phpsafe {
 
+/// Dynamic-confirmation tier of a finding (paper §III.E / §IV.B.5: the
+/// authors confirmed reports by executing the attack; validate/ automates
+/// that). kUnchecked means the validation pipeline never ran — the state
+/// every engine-produced finding starts in. Deliberately NOT part of a
+/// finding's analysis identity: dedup_key(), result_signature() and the
+/// deduplicate() total order ignore it, so tiering a result never changes
+/// which findings it contains or their order.
+enum class Confidence : uint8_t {
+    kUnchecked = 0,   ///< dynamic validation was not attempted
+    kValidated,       ///< the replayed payload broke out at the sink
+    kUnvalidated,     ///< the replay ran but the payload never surfaced
+    kInconclusive,    ///< the replay could not run (error, missing entry)
+};
+
+std::string to_string(Confidence confidence);
+
 struct Finding {
     VulnKind kind = VulnKind::kXss;
     SourceLocation location;   ///< where the sink fires
@@ -22,6 +38,7 @@ struct Finding {
     std::string variable;      ///< source text of the vulnerable expression
     InputVector vector = InputVector::kUnknown;
     bool via_oop = false;      ///< flow involved OOP constructs (paper §V.A)
+    Confidence confidence = Confidence::kUnchecked;  ///< validate/ tier
     std::vector<TaintStep> trace;
 
     /// Two findings are the same vulnerability when kind, sink location and

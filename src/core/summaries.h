@@ -7,13 +7,16 @@
 // `in_progress` marker, matching the paper's endless-loop guard.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "config/knowledge.h"
 #include "core/finding.h"
 #include "core/taint.h"
+#include "util/diagnostics.h"
 #include "util/source.h"
 
 namespace phpsafe {
@@ -103,6 +106,28 @@ struct SummaryArtifact {
     FunctionSummary summary;
     std::vector<Finding> findings;
     std::vector<SummaryDep> deps;
+    /// Entry-file artifacts only (AnalysisOptions::capture_entry_files):
+    /// the final value of every shared slot — plain global ("$x"),
+    /// class-level property ("Cls->prop") or static property ("Cls::prop")
+    /// — the entry's top-level walk wrote, name-sorted. Replayed on seeding
+    /// so later entry files observe the same shared state a fresh walk
+    /// would have left behind.
+    std::vector<std::pair<std::string, TaintValue>> shared_writes;
+    /// Entry-file artifacts only: shared slots this walk read (or
+    /// weak-merged) before writing them, paired with the value_fingerprint
+    /// of the value observed (0 marks an absent slot), name-sorted. A seed
+    /// applies only while every slot still holds a value with the same
+    /// fingerprint, checked against the live stores at seed time — so
+    /// cross-entry state flows need no writer analysis: when any input
+    /// changed, the check fails and the walk re-runs.
+    std::vector<std::pair<std::string, uint64_t>> foreign_reads;
+    /// Entry-file artifacts only: diagnostics the walk emitted, replayed on
+    /// seeding (a warm run's diagnostic stream must match a cold run's),
+    /// and whether the walk aborted the file (the include-depth failure of
+    /// paper §V.E). A deterministic abort is as replayable as a clean walk:
+    /// the dependency record covers everything read up to the abort point.
+    std::vector<Diagnostic> diagnostics;
+    bool file_failed = false;
     bool reusable = false;
 };
 
@@ -112,6 +137,12 @@ struct SummaryArtifact {
 /// computes context-free. Both require AnalysisOptions::hermetic_summaries.
 struct SummaryExchange {
     const std::map<std::string, const SummaryArtifact*>* seeds = nullptr;
+    /// Keys in `seeds` to ignore this run, checked before either seed kind
+    /// applies. Lets a caller build one immutable seed map and share it
+    /// across many rescans, supplying only each rescan's invalidation set
+    /// (batch fix verification blocks the artifacts whose computation read
+    /// the patched file this way, without rebuilding the map per fix).
+    const std::set<std::string>* seed_block = nullptr;
     std::map<std::string, SummaryArtifact>* capture = nullptr;
 };
 

@@ -19,6 +19,10 @@ size_t ifind(const std::string& haystack, const std::string& needle) {
 Validator::Validator(const php::Project& project, ExecOptions options)
     : project_(project), options_(options) {}
 
+std::string Validator::payload_for(VulnKind kind) {
+    return kind == VulnKind::kXss ? xss_payload() : sqli_payload();
+}
+
 void Validator::seed_vector(Interpreter& interpreter, InputVector vector,
                             const std::string& payload) {
     switch (vector) {
@@ -59,24 +63,35 @@ void Validator::seed_vector(Interpreter& interpreter, InputVector vector,
     }
 }
 
-ValidationResult Validator::validate(const Finding& finding) {
-    ValidationResult result;
-    result.payload_used =
-        finding.kind == VulnKind::kXss ? xss_payload() : sqli_payload();
+InputVector Validator::seed_class(InputVector vector) {
+    switch (vector) {
+        case InputVector::kRequest:
+        case InputVector::kServer:
+        case InputVector::kFiles:
+            return InputVector::kRequest;
+        case InputVector::kFunction:
+        case InputVector::kArray:
+        case InputVector::kUnknown:
+            return InputVector::kUnknown;
+        default:
+            return vector;
+    }
+}
 
-    Interpreter interpreter(project_, options_);
-    seed_vector(interpreter, finding.vector, result.payload_used);
-    const ExecResult run = interpreter.run_file(finding.location.file);
+ValidationResult Validator::judge(const Finding& finding, const ExecResult& run,
+                                  const std::string& payload) {
+    ValidationResult result;
+    result.payload_used = payload;
     result.executed = run.error.empty();
 
     if (finding.kind == VulnKind::kXss) {
-        const size_t pos = ifind(run.output, result.payload_used);
+        const size_t pos = ifind(run.output, payload);
         if (pos != std::string::npos) {
             result.confirmed = true;
             const size_t begin = pos > 30 ? pos - 30 : 0;
             result.evidence = run.output.substr(
                 begin, std::min<size_t>(run.output.size() - begin,
-                                        result.payload_used.size() + 60));
+                                        payload.size() + 60));
         }
         return result;
     }
@@ -86,13 +101,21 @@ ValidationResult Validator::validate(const Finding& finding) {
     // wpdb::prepare quotes and escapes, so only a truly unguarded flow
     // still contains the raw payload substring.
     for (const std::string& query : run.queries) {
-        if (query.find(result.payload_used) != std::string::npos) {
+        if (query.find(payload) != std::string::npos) {
             result.confirmed = true;
             result.evidence = query.substr(0, 120);
             return result;
         }
     }
     return result;
+}
+
+ValidationResult Validator::validate(const Finding& finding) {
+    const std::string payload = payload_for(finding.kind);
+    Interpreter interpreter(project_, options_);
+    seed_vector(interpreter, finding.vector, payload);
+    const ExecResult run = interpreter.run_file(finding.location.file);
+    return judge(finding, run, payload);
 }
 
 }  // namespace phpsafe::dynamic

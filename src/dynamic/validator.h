@@ -14,6 +14,14 @@
 // dynamic execution disposes — statically-reported flows that a runtime
 // guard actually stops (is_numeric + exit, whitelists, (int) casts) are
 // rejected as false alarms.
+//
+// The class splits into reusable pieces on purpose: one replay execution is
+// fully determined by (entry file, payload, seeded vectors), and the
+// verdict is a pure function of the finding and the captured ExecResult.
+// The batch pipeline in validate/validate.h exploits exactly this split —
+// findings that share an execution key run the interpreter once and judge
+// the shared ExecResult per finding, byte-identical to one-at-a-time
+// replay by construction.
 #pragma once
 
 #include <string>
@@ -43,10 +51,30 @@ public:
     static std::string xss_payload() { return "<script>alert(31337)</script>"; }
     static std::string sqli_payload() { return "1' OR '1337'='1337"; }
 
-private:
-    void seed_vector(Interpreter& interpreter, InputVector vector,
-                     const std::string& payload);
+    /// The attack payload a finding of this kind replays with.
+    static std::string payload_for(VulnKind kind);
 
+    /// Seeds one interpreter with `payload` on every entry point the vector
+    /// covers. Pure function of (vector, payload) — two vectors in the same
+    /// seed class produce identical interpreter state.
+    static void seed_vector(Interpreter& interpreter, InputVector vector,
+                            const std::string& payload);
+
+    /// Canonical representative of a vector's seeding behaviour: vectors
+    /// with the same seed class are indistinguishable to seed_vector, so
+    /// their replays may share one execution (the batch pipeline's dedup
+    /// key). kRequest/kServer/kFiles collapse onto kRequest and
+    /// kFunction/kArray/kUnknown onto kUnknown; every other vector is its
+    /// own class.
+    static InputVector seed_class(InputVector vector);
+
+    /// The verdict for one finding given a completed replay: pure function
+    /// of (finding kind, run, payload), shared between validate() and the
+    /// batch pipeline so the two can never disagree.
+    static ValidationResult judge(const Finding& finding, const ExecResult& run,
+                                  const std::string& payload);
+
+private:
     const php::Project& project_;
     ExecOptions options_;
 };

@@ -8,6 +8,7 @@
 #include "dynamic/validator.h"
 #include "service/watch.h"
 #include "util/strings.h"
+#include "validate/validate.h"
 
 namespace phpsafe::fuzz {
 
@@ -50,6 +51,7 @@ std::string to_string(Oracle oracle) {
         case Oracle::kMonotonicity: return "monotonicity";
         case Oracle::kAgreement: return "agreement";
         case Oracle::kConcurrency: return "concurrency";
+        case Oracle::kQuickfixSoundness: return "quickfix-soundness";
     }
     return "?";
 }
@@ -60,6 +62,7 @@ bool oracle_from_string(std::string_view text, Oracle& out) {
     else if (text == "monotonicity") out = Oracle::kMonotonicity;
     else if (text == "agreement") out = Oracle::kAgreement;
     else if (text == "concurrency") out = Oracle::kConcurrency;
+    else if (text == "quickfix-soundness") out = Oracle::kQuickfixSoundness;
     else return false;
     return true;
 }
@@ -87,7 +90,8 @@ std::vector<Violation> OracleRunner::run(const FuzzCase& c) {
 
     const bool needs_static = options_.check_no_crash ||
                               (options_.check_monotonicity && c.monotonic_eligible) ||
-                              (options_.check_agreement && c.agreement_eligible);
+                              (options_.check_agreement && c.agreement_eligible) ||
+                              options_.check_quickfix;
     if (needs_static) {
         DiagnosticSink sink;
         const php::Project project = build_project(c, sink);
@@ -97,6 +101,7 @@ std::vector<Violation> OracleRunner::run(const FuzzCase& c) {
             run_monotonicity(c, result, project, out);
         if (options_.check_agreement && c.agreement_eligible)
             run_agreement(c, result, project, out);
+        if (options_.check_quickfix) run_quickfix(c, result, project, out);
     }
     if (options_.check_determinism) run_determinism(c, out);
     if (options_.check_concurrency) run_concurrency(c, out);
@@ -271,6 +276,95 @@ void OracleRunner::run_concurrency(const FuzzCase& c,
 
     for (std::string& detail : failures)
         out.push_back({Oracle::kConcurrency, std::move(detail)});
+}
+
+void OracleRunner::run_quickfix(const FuzzCase& c,
+                                const AnalysisResult& phpsafe_result,
+                                const php::Project& project,
+                                std::vector<Violation>& out) const {
+    // The soundness claim is about fixes on analyzable code; a case the
+    // engine could not fully parse has no verified fixes to check.
+    if (phpsafe_result.files_failed != 0) return;
+
+    validate::ValidateOptions vopts;
+    vopts.workers = 1;
+    vopts.propose_fixes = true;
+    const validate::ValidationReport report = validate::validate_result(
+        project, phpsafe_.kb, phpsafe_.options, phpsafe_result, vopts);
+
+    for (size_t i = 0; i < report.cases.size(); ++i) {
+        const validate::CaseOutcome& outcome = report.cases[i];
+        if (!outcome.fix) continue;
+        const Finding& target = phpsafe_result.findings[i];
+        const std::string label =
+            to_string(outcome.fix->kind) + " fix for " + to_string(target);
+
+        // Every emitted fix must carry the verified flag (the pipeline's
+        // contract: unverified proposals are dropped, not surfaced).
+        if (!outcome.fix->verified) {
+            out.push_back({Oracle::kQuickfixSoundness,
+                           "unverified proposal emitted: " + label});
+            continue;
+        }
+
+        // Re-check the verification gates INDEPENDENTLY of the pipeline's
+        // own loop: apply the edit, rebuild the patched project from plain
+        // text (no shared-AST shortcut), and rescan from scratch.
+        const std::optional<std::string> patched_text =
+            validate::apply_quickfix(project, *outcome.fix);
+        if (!patched_text) {
+            out.push_back({Oracle::kQuickfixSoundness,
+                           "verified fix does not apply to its own source: " +
+                               label});
+            continue;
+        }
+        php::Project patched("quickfix-" + c.name);
+        for (const auto& file : project.files()) {
+            const std::string name(file->source->name());
+            patched.add_file(name, name == outcome.fix->file
+                                       ? *patched_text
+                                       : std::string(file->source->text()));
+        }
+        DiagnosticSink sink;
+        patched.parse_all(sink);
+        bool reparse_clean = true;
+        for (const auto& file : patched.files())
+            if (file->parse_failed) reparse_clean = false;
+        if (!reparse_clean) {
+            out.push_back({Oracle::kQuickfixSoundness,
+                           "patched unit no longer parses: " + label});
+            continue;
+        }
+
+        const AnalysisResult rescan = run_tool(phpsafe_, patched);
+        const std::string target_key = target.dedup_key();
+        std::vector<std::string> before_others;
+        for (size_t j = 0; j < phpsafe_result.findings.size(); ++j)
+            if (j != i)
+                before_others.push_back(to_string(phpsafe_result.findings[j]));
+        std::vector<std::string> after_all;
+        bool target_alive = false;
+        for (const Finding& finding : rescan.findings) {
+            if (finding.dedup_key() == target_key) {
+                target_alive = true;
+                continue;
+            }
+            after_all.push_back(to_string(finding));
+        }
+        if (target_alive)
+            out.push_back({Oracle::kQuickfixSoundness,
+                           "targeted flow survives the fix: " + label});
+        if (after_all != before_others)
+            out.push_back({Oracle::kQuickfixSoundness,
+                           "fix perturbs unrelated findings: " + label});
+
+        // And the exploit replay on the patched unit must be dead.
+        dynamic::Validator validator(patched);
+        if (validator.validate(target).confirmed)
+            out.push_back({Oracle::kQuickfixSoundness,
+                           "exploit replay still confirms after the fix: " +
+                               label});
+    }
 }
 
 void OracleRunner::run_monotonicity(const FuzzCase& c,

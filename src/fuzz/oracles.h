@@ -14,6 +14,14 @@
 //                   reaches a candidate sink, the static engine must have
 //                   reported that sink: a validated miss is a real false
 //                   negative, the paper's key metric.
+//   quickfix-soundness — every quickfix the validation pipeline emits as
+//                   `verified` must hold up under independent re-checking:
+//                   applying the edit reparses clean, kills the targeted
+//                   flow (the finding's dedup key vanishes from a fresh
+//                   rescan and the exploit replay no longer confirms), and
+//                   leaves every OTHER finding byte-identical. A fix that
+//                   breaks the parse, misses its flow, or perturbs an
+//                   unrelated finding is a violation.
 //   concurrency   — N client threads submit randomized interleavings of
 //                   request variants (base case plus distinct edits, mixed
 //                   priorities) to one shared multi-worker service, each
@@ -47,7 +55,8 @@ enum class Oracle {
     kDeterminism,
     kMonotonicity,
     kAgreement,
-    kConcurrency
+    kConcurrency,
+    kQuickfixSoundness
 };
 
 std::string to_string(Oracle oracle);
@@ -62,6 +71,10 @@ struct OracleOptions {
     /// case, which the smoke loop cannot afford for every mutation. The
     /// dedicated fuzz-smoke stage and tests/fuzz_test.cpp turn it on.
     bool check_concurrency = false;
+    /// Off by default for the same budget reason: each case pays a full
+    /// validation pipeline plus one rescan per emitted fix. The dedicated
+    /// fuzz-smoke batch and tests/fuzz_test.cpp turn it on.
+    bool check_quickfix = false;
     /// Static-analysis tool overrides (fault-injection seam for the tests;
     /// unset = make_phpsafe_tool() / make_rips_like_tool()).
     std::optional<Tool> phpsafe_tool;
@@ -94,6 +107,9 @@ private:
     void run_determinism(const FuzzCase& c, std::vector<Violation>& out);
     void run_concurrency(const FuzzCase& c, std::vector<Violation>& out);
     void ensure_services();
+    void run_quickfix(const FuzzCase& c, const AnalysisResult& phpsafe_result,
+                      const php::Project& project,
+                      std::vector<Violation>& out) const;
     void run_monotonicity(const FuzzCase& c, const AnalysisResult& phpsafe_result,
                           const php::Project& project,
                           std::vector<Violation>& out) const;

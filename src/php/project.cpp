@@ -37,35 +37,48 @@ void Project::add_parsed(std::shared_ptr<const ParsedFile> file) {
     files_.push_back(std::move(file));
 }
 
+std::shared_ptr<const ParsedFile> Project::parse_file(std::string name,
+                                                      std::string text,
+                                                      DiagnosticSink& sink,
+                                                      double& lex_seconds) {
+    auto pf = std::make_shared<ParsedFile>();
+    pf->content_hash = content_hash(text);
+    pf->text_bytes = text.size();
+    pf->source = std::make_unique<SourceFile>(name, std::move(text));
+    const obs::CounterDelta delta;
+    Parser parser(*pf->source, pf->arena, sink);
+    pf->unit = parser.parse();
+    pf->ast_nodes = delta.take().ast_nodes;
+    lex_seconds += parser.lex_cpu_seconds();
+    ++obs::tls().files_parsed;
+    obs::tls().alloc_arena_bytes += pf->arena.bytes_allocated();
+    obs::tls().alloc_arena_blocks += pf->arena.block_count();
+    obs::tls().alloc_string_bytes += pf->arena.string_bytes();
+    for (const std::string& failed : sink.failed_files())
+        if (failed == name) pf->parse_failed = true;
+    return pf;
+}
+
 void Project::parse_all(DiagnosticSink& sink) {
     const double build_start = thread_cpu_seconds();
     double lex_seconds = 0;
     for (PendingFile& pending : pending_) {
-        auto pf = std::make_shared<ParsedFile>();
-        pf->content_hash = content_hash(pending.text);
-        pf->text_bytes = pending.text.size();
-        pf->source =
-            std::make_unique<SourceFile>(pending.name, std::move(pending.text));
-        const obs::CounterDelta delta;
-        Parser parser(*pf->source, pf->arena, sink);
-        pf->unit = parser.parse();
-        pf->ast_nodes = delta.take().ast_nodes;
-        lex_seconds += parser.lex_cpu_seconds();
-        ++obs::tls().files_parsed;
-        obs::tls().alloc_arena_bytes += pf->arena.bytes_allocated();
-        obs::tls().alloc_arena_blocks += pf->arena.block_count();
-        obs::tls().alloc_string_bytes += pf->arena.string_bytes();
-        for (const std::string& failed : sink.failed_files())
-            if (failed == pending.name) pf->parse_failed = true;
-        files_[pending.slot] = std::move(pf);
+        files_[pending.slot] = parse_file(std::move(pending.name),
+                                          std::move(pending.text), sink,
+                                          lex_seconds);
     }
     pending_.clear();
 
-    for (const std::shared_ptr<const ParsedFile>& pf : files_) {
+    file_calls_.assign(files_.size(), FileCalls{});
+    for (size_t i = 0; i < files_.size(); ++i) {
+        const std::shared_ptr<const ParsedFile>& pf = files_[i];
         index_statements(pf->unit.statements, pf->unit.file_name);
+        current_calls_ = &file_calls_[i];
         for (const StmtPtr& s : pf->unit.statements)
             if (s) record_calls_stmt(*s);
     }
+    current_calls_ = nullptr;
+    merge_calls();
 
     // Stage attribution: lex time is measured inside the parser; everything
     // else in this call (parsing proper plus declaration indexing) counts as
@@ -73,6 +86,134 @@ void Project::parse_all(DiagnosticSink& sink) {
     build_stats_.lex_cpu_seconds += lex_seconds;
     build_stats_.parse_cpu_seconds +=
         thread_cpu_seconds() - build_start - lex_seconds;
+}
+
+std::optional<Project> Project::fork_with_replacement(
+    std::string_view file_name, std::string text, DiagnosticSink& sink) const {
+    size_t slot = files_.size();
+    for (size_t i = 0; i < files_.size(); ++i)
+        if (files_[i] && files_[i]->unit.file_name == file_name) {
+            slot = i;
+            break;
+        }
+    // Refuse when the file is unknown or this project was never fully built
+    // (unparsed pending files, or no per-file call provenance to subtract).
+    if (slot == files_.size() || !pending_.empty() ||
+        file_calls_.size() != files_.size())
+        return std::nullopt;
+
+    Project fork(name_);
+    const double build_start = thread_cpu_seconds();
+    double lex_seconds = 0;
+    fork.files_ = files_;
+    const std::shared_ptr<const ParsedFile> replacement =
+        parse_file(std::string(file_name), std::move(text), sink, lex_seconds);
+    fork.files_[slot] = replacement;
+    fork.build_stats_.files_reused = static_cast<int>(files_.size()) - 1;
+
+    // Index the replacement alone, then capture its entries for splicing.
+    fork.index_statements(replacement->unit.statements,
+                          replacement->unit.file_name);
+    const std::vector<FunctionRef> repl_functions =
+        std::move(fork.function_list_);
+    const std::vector<std::pair<const ClassDecl*, const std::string*>>
+        repl_classes = std::move(fork.class_list_);
+    fork.functions_.clear();
+    fork.methods_.clear();
+    fork.classes_.clear();
+    fork.class_files_.clear();
+    fork.function_list_.clear();
+    fork.class_list_.clear();
+
+    // Splice declaration order: parse_all() indexes file by file, so each
+    // list is a sequence of per-file blocks in registration order. Keep the
+    // unchanged files' blocks (their views stay valid — the fork shares
+    // those ParsedFiles), drop the replaced file's, and put the
+    // replacement's block where the old one was.
+    std::map<std::string_view, size_t> file_order;
+    for (size_t i = 0; i < files_.size(); ++i)
+        file_order.emplace(files_[i]->unit.file_name, i);
+    const auto order_of = [&](std::string_view file) {
+        const auto it = file_order.find(file);
+        return it == file_order.end() ? files_.size() : it->second;
+    };
+    bool fn_spliced = false;
+    for (const FunctionRef& ref : function_list_) {
+        const size_t ord = order_of(ref.file);
+        if (ord == slot) continue;
+        if (!fn_spliced && ord > slot) {
+            fork.function_list_.insert(fork.function_list_.end(),
+                                       repl_functions.begin(),
+                                       repl_functions.end());
+            fn_spliced = true;
+        }
+        fork.function_list_.push_back(ref);
+    }
+    if (!fn_spliced)
+        fork.function_list_.insert(fork.function_list_.end(),
+                                   repl_functions.begin(),
+                                   repl_functions.end());
+    bool cls_spliced = false;
+    for (const auto& entry : class_list_) {
+        const size_t ord = order_of(*entry.second);
+        if (ord == slot) continue;
+        if (!cls_spliced && ord > slot) {
+            fork.class_list_.insert(fork.class_list_.end(),
+                                    repl_classes.begin(), repl_classes.end());
+            cls_spliced = true;
+        }
+        fork.class_list_.push_back(entry);
+    }
+    if (!cls_spliced)
+        fork.class_list_.insert(fork.class_list_.end(), repl_classes.begin(),
+                                repl_classes.end());
+
+    // Rebuild the lookup maps from the spliced lists. Iterating in
+    // declaration order reproduces parse_all()'s emplace order exactly, so
+    // duplicate declarations resolve to the same winners a full rebuild of
+    // the patched file set would pick.
+    for (const FunctionRef& ref : fork.function_list_) {
+        if (ref.owner)
+            fork.methods_.emplace(MethodKey{ref.owner->name, ref.decl->name},
+                                  ref);
+        else
+            fork.functions_.emplace(ref.decl->name, ref);
+    }
+    for (const auto& [decl, file] : fork.class_list_) {
+        fork.classes_.emplace(decl->name, decl);
+        fork.class_files_.emplace(decl->name, file);
+    }
+
+    // Called-name sets: keep the unchanged files' per-file contributions,
+    // re-record only the replacement's, and re-merge.
+    fork.file_calls_ = file_calls_;
+    fork.file_calls_[slot] = FileCalls{};
+    fork.current_calls_ = &fork.file_calls_[slot];
+    for (const StmtPtr& s : replacement->unit.statements)
+        if (s) fork.record_calls_stmt(*s);
+    fork.current_calls_ = nullptr;
+    fork.merge_calls();
+
+    fork.build_stats_.lex_cpu_seconds = lex_seconds;
+    fork.build_stats_.parse_cpu_seconds =
+        thread_cpu_seconds() - build_start - lex_seconds;
+    return fork;
+}
+
+std::string Project::declaration_fingerprint(std::string_view file) const {
+    std::string fp;
+    for (const auto& [decl, from] : class_list_) {
+        if (*from != file) continue;
+        fp += "class ";
+        fp += decl->name;
+        fp += ';';
+    }
+    for (const FunctionRef& ref : function_list_) {
+        if (ref.file != file) continue;
+        fp += ref.qualified_name();
+        fp += ';';
+    }
+    return fp;
 }
 
 int Project::total_lines() const noexcept {
@@ -98,6 +239,7 @@ void Project::index_statements(const ArenaVector<StmtPtr>& stmts,
         const auto& cls = static_cast<const ClassDecl&>(s);
         classes_.emplace(cls.name, &cls);
         class_files_.emplace(cls.name, &file);
+        class_list_.emplace_back(&cls, &file);
         for (const FunctionDecl* method : cls.methods) {
             FunctionRef ref{method, &cls, file};
             methods_.emplace(MethodKey{cls.name, method->name}, ref);
@@ -130,7 +272,9 @@ void Project::record_calls_stmt(const Stmt& s) {
 void Project::note_called_function(std::string_view name) {
     call_key_.clear();
     append_folded(call_key_, name);
-    if (!called_functions_.count(call_key_)) called_functions_.insert(call_key_);
+    std::set<std::string>& into =
+        current_calls_ ? current_calls_->functions : called_functions_;
+    if (!into.count(call_key_)) into.insert(call_key_);
 }
 
 void Project::note_called_method(std::string_view class_name,
@@ -139,7 +283,18 @@ void Project::note_called_method(std::string_view class_name,
     append_folded(call_key_, class_name);
     call_key_ += "::";
     append_folded(call_key_, method);
-    if (!called_methods_.count(call_key_)) called_methods_.insert(call_key_);
+    std::set<std::string>& into =
+        current_calls_ ? current_calls_->methods : called_methods_;
+    if (!into.count(call_key_)) into.insert(call_key_);
+}
+
+void Project::merge_calls() {
+    called_functions_.clear();
+    called_methods_.clear();
+    for (const FileCalls& calls : file_calls_) {
+        called_functions_.insert(calls.functions.begin(), calls.functions.end());
+        called_methods_.insert(calls.methods.begin(), calls.methods.end());
+    }
 }
 
 void Project::record_calls_expr(const Expr& e) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -91,6 +92,20 @@ public:
     /// Parses every registered file and builds the declaration tables.
     void parse_all(DiagnosticSink& sink);
 
+    /// Parses `text` as a replacement for the existing file `file_name` and
+    /// returns a project equal to the one add_file()+parse_all() would build
+    /// over the patched file set — same files, same declaration tables in
+    /// the same declaration order, same called-name sets — without re-lexing
+    /// or re-walking any unchanged file. Every other ParsedFile is shared
+    /// with this project (both pin them by shared_ptr, so neither project's
+    /// lifetime depends on the other's). This is the model-construction fast
+    /// path of batch quickfix verification (validate/): a single-file patch
+    /// re-parses one file instead of re-indexing the whole plugin. Returns
+    /// nullopt when `file_name` names no file of this project.
+    std::optional<Project> fork_with_replacement(std::string_view file_name,
+                                                 std::string text,
+                                                 DiagnosticSink& sink) const;
+
     const BuildStats& build_stats() const noexcept { return build_stats_; }
 
     const std::vector<std::shared_ptr<const ParsedFile>>& files() const noexcept {
@@ -126,6 +141,13 @@ public:
         return function_list_;
     }
 
+    /// Rendering of every declaration the named file contributes (classes,
+    /// then functions/methods), in declaration order. Two projects agreeing
+    /// on a file's declaration fingerprint resolve every name outside that
+    /// file identically — the soundness gate for reusing function summaries
+    /// across a single-file patch (validate/).
+    std::string declaration_fingerprint(std::string_view file) const;
+
     /// Names of free functions called anywhere in plugin code (lowercased).
     const std::set<std::string>& called_function_names() const noexcept {
         return called_functions_;
@@ -149,6 +171,14 @@ private:
     void index_statements(const ArenaVector<StmtPtr>& stmts, const std::string& file);
     void record_calls_expr(const Expr& e);
     void record_calls_stmt(const Stmt& s);
+    /// Lexes + parses one file into an immutable ParsedFile (the body of the
+    /// parse_all() pending loop, shared with fork_with_replacement()).
+    static std::shared_ptr<const ParsedFile> parse_file(std::string name,
+                                                        std::string text,
+                                                        DiagnosticSink& sink,
+                                                        double& lex_seconds);
+    /// Rebuilds the merged called-name sets from the per-file sets.
+    void merge_calls();
     /// Folds `name` into the reused scratch key and records it; allocates
     /// only the first time a given name is seen (call sites vastly outnumber
     /// unique callees, so the hot path stays allocation-free).
@@ -191,8 +221,23 @@ private:
     };
     std::map<MethodKey, FunctionRef, MethodKeyLess> methods_;
     std::vector<FunctionRef> function_list_;
+    /// Every class declaration in declaration order with its declaring
+    /// file's stable unit.file_name. Like function_list_, this keeps full
+    /// provenance (the maps above drop duplicate declarations), so
+    /// fork_with_replacement() can rebuild the class tables exactly.
+    std::vector<std::pair<const ClassDecl*, const std::string*>> class_list_;
     std::set<std::string> called_functions_;
     std::set<std::string> called_methods_;  ///< "class::method" or "::method"
+    /// Per-file contribution to the called-name sets, parallel to files_.
+    /// parse_all() fills it and merges into the global sets; recording
+    /// provenance is what lets fork_with_replacement() subtract exactly the
+    /// replaced file's calls without re-walking every other file's AST.
+    struct FileCalls {
+        std::set<std::string> functions;
+        std::set<std::string> methods;
+    };
+    std::vector<FileCalls> file_calls_;
+    FileCalls* current_calls_ = nullptr;  ///< target of note_called_* during indexing
     std::string call_key_;  ///< scratch buffer for note_called_* key folding
     BuildStats build_stats_;
 };

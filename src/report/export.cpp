@@ -32,6 +32,10 @@ std::string render_html_report(const AnalysisResult& result) {
        << ".trace{font-family:monospace;font-size:90%;color:#444;"
           "margin:.4em 0 0 1em}\n"
        << ".meta{color:#666;font-size:90%}\n"
+       << ".badge{display:inline-block;padding:0 .5em;border-radius:.7em;"
+          "font-size:85%;color:#fff;background:#7f8c8d}\n"
+       << ".badge.validated{background:#c0392b}\n"
+       << ".badge.unvalidated{background:#27ae60}\n"
        << "</style></head><body>\n";
 
     os << "<h1>" << html_escape(result.tool) << " report</h1>\n";
@@ -52,7 +56,12 @@ std::string render_html_report(const AnalysisResult& result) {
         os << "<br>\n";
         os << "vulnerable expression: <code>" << html_escape(finding.variable)
            << "</code> &middot; input vector: "
-           << html_escape(to_string(finding.vector)) << "\n";
+           << html_escape(to_string(finding.vector));
+        if (finding.confidence != Confidence::kUnchecked)
+            os << " &middot; <span class=\"badge "
+               << html_escape(to_string(finding.confidence)) << "\">"
+               << html_escape(to_string(finding.confidence)) << "</span>";
+        os << "\n";
         os << "<div class=\"trace\">\n";
         for (const TaintStep& step : finding.trace)
             os << html_escape(to_string(step.location)) << " &mdash; "
@@ -87,6 +96,11 @@ void render_finding_json(JsonWriter& w, const Finding& f) {
     w.kv("variable", f.variable);
     w.kv("vector", to_string(f.vector));
     w.kv("via_oop", f.via_oop);
+    // Emitted only when the validation pipeline tiered the finding, so
+    // untiered reports — and the canonical finding_json identity the watch
+    // deltas diff — keep their exact pre-validation byte shape.
+    if (f.confidence != Confidence::kUnchecked)
+        w.kv("confidence", to_string(f.confidence));
     w.key("trace").begin_array();
     for (const TaintStep& step : f.trace) {
         w.begin_object();

@@ -208,6 +208,9 @@ NdjsonRequest parse_ndjson_request(const std::string& line) {
     static const char* const kEditKeys[] = {"op", "files", "remove", nullptr};
     static const char* const kGraphKeys[] = {
         "op", "path", "files", "plugin", "detail", nullptr};
+    static const char* const kValidateKeys[] = {
+        "op", "path", "files", "plugin", "preset",
+        "backend", "priority", nullptr};
 
     const std::string op = json.string_or("op", "");
     if (op == "quit" || op == "shutdown") {
@@ -249,6 +252,23 @@ NdjsonRequest parse_ndjson_request(const std::string& line) {
         if (!parse_edit_batch(json, request.edit, request.error))
             return request;
         request.op = NdjsonRequest::Op::kEdit;
+        return request;
+    }
+    if (op == "validate") {
+        if (!check_keys(json, "validate", kValidateKeys, request.error))
+            return request;
+        if (json.get("path") || json.get("files")) {
+            if (!build_request(json, request.scan, request.error))
+                return request;
+            request.validate_has_payload = true;
+        } else if (!json.object.empty() && json.object.size() > 1) {
+            // Payload-less validate targets the watch session; stray
+            // request keys there would be silently meaningless.
+            request.error =
+                "validate without \"path\"/\"files\" takes no other keys";
+            return request;
+        }
+        request.op = NdjsonRequest::Op::kValidate;
         return request;
     }
     if (op == "graph") {
@@ -395,6 +415,45 @@ std::string render_edit_line(const WatchDelta& delta, bool deterministic) {
     return line.str();
 }
 
+std::string render_validate_line(const ValidateResponse& response,
+                                 bool deterministic) {
+    if (response.scan.cancelled || response.scan.rejected)
+        return render_scan_line(response.scan, deterministic);
+    std::ostringstream line;
+    JsonWriter w(line);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("validate", true);
+    w.kv("from_result_cache", response.scan.from_result_cache);
+    w.kv("from_validate_cache", response.from_validate_cache);
+    w.kv("executions", response.report.executions);
+    w.kv("validated", response.report.validated);
+    w.kv("unvalidated", response.report.unvalidated);
+    w.kv("inconclusive", response.report.inconclusive);
+    w.kv("fixes_proposed", response.report.fixes_proposed);
+    w.kv("fixes_verified", response.report.fixes_verified);
+    w.kv("wall_seconds", deterministic ? 0.0 : response.wall_seconds, 4);
+    w.key("quickfixes").begin_array();
+    for (const validate::CaseOutcome& outcome : response.report.cases) {
+        if (!outcome.fix) continue;
+        const validate::Quickfix& fix = *outcome.fix;
+        w.begin_object();
+        w.kv("kind", to_string(fix.kind));
+        w.kv("file", fix.file);
+        w.kv("line", fix.line);
+        w.kv("before", fix.before);
+        w.kv("after", fix.after);
+        w.kv("note", fix.note);
+        w.kv("verified", fix.verified);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("report");
+    // The tiered result: every finding carries its "confidence" member.
+    line << render_json_report(response.tiered) << "}";
+    return line.str();
+}
+
 std::string render_graph_line(const graph::ProjectGraph& g, bool detail) {
     const graph::ProjectGraph::Analytics analytics = g.analyze();
     std::ostringstream line;
@@ -486,6 +545,27 @@ int serve_ndjson(std::istream& in, std::ostream& out,
             } else {
                 out << render_error_line(
                            "graph needs an open watch session or a "
+                           "\"path\"/\"files\" payload")
+                    << "\n"
+                    << std::flush;
+            }
+            continue;
+        }
+        case NdjsonRequest::Op::kValidate: {
+            if (request.validate_has_payload) {
+                out << render_validate_line(service.validate(request.scan),
+                                            options.deterministic)
+                    << "\n"
+                    << std::flush;
+            } else if (watch.active()) {
+                out << render_validate_line(
+                           service.validate(watch.request()),
+                           options.deterministic)
+                    << "\n"
+                    << std::flush;
+            } else {
+                out << render_error_line(
+                           "validate needs an open watch session or a "
                            "\"path\"/\"files\" payload")
                     << "\n"
                     << std::flush;

@@ -28,6 +28,14 @@
 //   {"op":"graph","path":...} / "files":[...]     ... of a standalone tree
 //   {"op":"graph",...,"detail":true}              + full nodes and edges
 //
+// Validation (docs/validation.md) — batch exploit confirmation + fixes:
+//   {"op":"validate",...}                         scan + tier every finding
+//                                                 (same payload keys as
+//                                                 watch); cached by request
+//                                                 fingerprint
+//   {"op":"validate"}                             ... of the open watch
+//                                                 session's file set
+//
 // Scan responses carry the same report object render_json_report() emits
 // for the batch tools, plus cache effectiveness fields. Every error —
 // malformed JSON, unknown op, unknown key, bad payload, oversized line —
@@ -89,14 +97,17 @@ LineStatus read_ndjson_line(std::istream& in, std::string& line,
 /// One decoded request line.
 struct NdjsonRequest {
     enum class Op {
-        kScan, kWatch, kEdit, kGraph, kStats, kClear, kQuit, kInvalid
+        kScan, kWatch, kEdit, kGraph, kValidate, kStats, kClear, kQuit,
+        kInvalid
     };
     Op op = Op::kInvalid;
-    ScanRequest scan;    ///< populated for kScan/kWatch/kGraph-with-payload
+    ScanRequest scan;    ///< populated for kScan/kWatch/kGraph/kValidate
+                         ///< when the request carries a payload
     std::string slot;    ///< optional supersede key for kScan ("" = none)
     WatchEditBatch edit; ///< populated for kEdit
     bool graph_detail = false;     ///< kGraph: include full nodes + edges
     bool graph_has_payload = false;  ///< kGraph: "path"/"files" present
+    bool validate_has_payload = false;  ///< kValidate: "path"/"files" present
     std::string error;   ///< populated for kInvalid
 };
 
@@ -121,6 +132,10 @@ std::string render_watch_line(const ScanResponse& response, int files,
 std::string render_edit_line(const WatchDelta& delta, bool deterministic);
 /// Graph analytics, optionally with the full serialized graph.
 std::string render_graph_line(const graph::ProjectGraph& g, bool detail);
+/// One validate response: tier counts, verified quickfixes and the tiered
+/// report (each finding carrying its "confidence").
+std::string render_validate_line(const ValidateResponse& response,
+                                 bool deterministic);
 
 /// Serves requests from `in` until EOF or a quit op; responses go to
 /// `out`, one per line, flushed. Returns the number of lines processed

@@ -217,6 +217,31 @@ int AnalysisServer::serve_session(std::istream& in, SyncLineWriter& out,
             barrier.wait();
             break;
         }
+        case NdjsonRequest::Op::kValidate: {
+            auto rendered = std::make_shared<std::promise<void>>();
+            std::future<void> barrier = rendered->get_future();
+            queue.push(
+                {{}, [&watch, &service, deterministic, rendered,
+                      has_payload = request.validate_has_payload,
+                      scan = std::move(request.scan)] {
+                     std::string reply;
+                     if (has_payload)
+                         reply = render_validate_line(service.validate(scan),
+                                                      deterministic);
+                     else if (watch.active())
+                         reply = render_validate_line(
+                             service.validate(watch.request()),
+                             deterministic);
+                     else
+                         reply = render_error_line(
+                             "validate needs an open watch session or a "
+                             "\"path\"/\"files\" payload");
+                     rendered->set_value();
+                     return reply;
+                 }});
+            barrier.wait();
+            break;
+        }
         case NdjsonRequest::Op::kScan: {
             request.scan.priority += base_priority;
             AnalysisService::Ticket ticket =

@@ -138,6 +138,84 @@ ScanResponse AnalysisService::scan(ScanRequest request) {
     return await(submit(std::move(request)));
 }
 
+void AnalysisService::clear_cache() {
+    cache_.clear();
+    std::lock_guard<std::mutex> lock(validate_mutex_);
+    validate_cache_.clear();
+    validate_order_.clear();
+}
+
+ValidateResponse AnalysisService::validate(const ScanRequest& request) {
+    const double wall_start = wall_seconds();
+    const uint64_t fingerprint = request_fingerprint(request);
+    {
+        std::lock_guard<std::mutex> lock(validate_mutex_);
+        const auto it = validate_cache_.find(fingerprint);
+        if (it != validate_cache_.end()) {
+            ValidateResponse response = *it->second;
+            response.from_validate_cache = true;
+            response.wall_seconds = wall_seconds() - wall_start;
+            return response;
+        }
+    }
+
+    ValidateResponse response;
+    response.scan = scan(request);
+    if (response.scan.cancelled || response.scan.rejected) {
+        response.wall_seconds = wall_seconds() - wall_start;
+        return response;
+    }
+
+    // The replay needs the concrete project, which the scan path does not
+    // hand out: rebuild it from the request's specs. Pinned ASTs (watch
+    // sessions) ride through without re-parsing; plain texts parse fresh.
+    php::Project project(request.plugin);
+    for (const SourceFileSpec& file : request.files) {
+        if (file.parsed)
+            project.add_parsed(file.parsed);
+        else
+            project.add_file(file.name, file.text);
+    }
+    DiagnosticSink sink;
+    project.parse_all(sink);
+
+    // Same preset + backend resolution as perform_scan, so the analyzer
+    // configuration fix verification re-runs is exactly the one that
+    // produced the findings.
+    const auto preset_it = presets_.find(request.preset);
+    const Tool& tool =
+        preset_it != presets_.end() ? preset_it->second : presets_.at("phpsafe");
+    AnalysisOptions options = tool.options;
+    if (!request.backend.empty()) {
+        EngineBackend backend = EngineBackend::kAst;
+        if (backend_from_string(request.backend, backend))
+            options = options.to_builder().engine_backend(backend).build();
+    }
+
+    validate::ValidateOptions vopts;  // workers auto: PHPSAFE_JOBS aware
+    response.report = validate::validate_result(project, tool.kb, options,
+                                                response.scan.result, vopts);
+    response.tiered = response.scan.result;
+    validate::apply_confidence(response.tiered, response.report);
+
+    {
+        std::lock_guard<std::mutex> lock(validate_mutex_);
+        constexpr size_t kValidateCacheCap = 32;
+        if (validate_cache_
+                .emplace(fingerprint,
+                         std::make_shared<const ValidateResponse>(response))
+                .second) {
+            validate_order_.push_back(fingerprint);
+            if (validate_order_.size() > kValidateCacheCap) {
+                validate_cache_.erase(validate_order_.front());
+                validate_order_.erase(validate_order_.begin());
+            }
+        }
+    }
+    response.wall_seconds = wall_seconds() - wall_start;
+    return response;
+}
+
 bool AnalysisService::cancel(const Ticket& ticket) {
     if (!ticket.scan_) return false;
     int expected = PendingScan::kQueued;

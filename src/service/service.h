@@ -51,6 +51,7 @@
 #include "obs/trace.h"
 #include "service/cache.h"
 #include "util/worker_pool.h"
+#include "validate/validate.h"
 
 namespace phpsafe::service {
 
@@ -140,6 +141,20 @@ struct ScanResponse {
     uint64_t dispatch_seq = 0;
 };
 
+/// Answer to one validate request: the underlying scan (cache-aware like
+/// any other scan), the validation report, and the tiered copy of the
+/// result with per-finding confidence stamped in.
+struct ValidateResponse {
+    ScanResponse scan;
+    /// scan.result with Finding::confidence applied from the report.
+    AnalysisResult tiered;
+    validate::ValidationReport report;
+    /// True when the whole tiered response was replayed from the
+    /// validate cache (same request fingerprint validated before).
+    bool from_validate_cache = false;
+    double wall_seconds = 0;
+};
+
 class AnalysisService {
 public:
     explicit AnalysisService(ServiceOptions options = {});
@@ -169,6 +184,13 @@ public:
     /// submit() + await().
     ScanResponse scan(ScanRequest request);
 
+    /// Scan (through the normal queue and caches) + batch-validate every
+    /// finding through the exploit-confirmation pipeline, with verified
+    /// quickfixes. Responses are cached by request fingerprint like scan
+    /// results: an identical request replays the stored tiered response
+    /// with `from_validate_cache` set.
+    ValidateResponse validate(const ScanRequest& request);
+
     /// Cancels a scan that has not started yet: its awaiters receive a
     /// response with `cancelled` set, and the fingerprint is released so a
     /// later identical submit runs fresh. Returns false when the scan
@@ -187,7 +209,8 @@ public:
     void resume();
 
     CacheStats cache_stats() const { return cache_.stats(); }
-    void clear_cache() { cache_.clear(); }
+    /// Drops every cache pool, including stored validate responses.
+    void clear_cache();
     AnalysisCache& cache() { return cache_; }
 
     /// Stable fingerprint of a request's analysis input (plugin name,
@@ -215,6 +238,14 @@ private:
     AnalysisCache cache_;
     /// Preset name → fully configured tool, built once at construction.
     std::map<std::string, Tool> presets_;
+
+    /// Validate-response cache: request fingerprint → stored tiered
+    /// response, FIFO-capped. Guarded by its own mutex (validate() runs
+    /// outside the scan queue).
+    mutable std::mutex validate_mutex_;
+    std::map<uint64_t, std::shared_ptr<const ValidateResponse>>
+        validate_cache_;
+    std::vector<uint64_t> validate_order_;
 
     mutable std::mutex mutex_;
     /// fingerprint → queued or running scan (for in-flight dedup).

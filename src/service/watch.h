@@ -95,6 +95,15 @@ public:
         return baseline_;
     }
 
+    /// Snapshot of the session's current full request — plugin, preset,
+    /// backend and the complete file set with pinned ASTs. The session-
+    /// aware "validate" op replays this through AnalysisService::validate,
+    /// fingerprint-compatible with the session's own scans. Empty (no
+    /// files) before open().
+    ScanRequest request() const {
+        return active_ ? assemble_request() : ScanRequest{};
+    }
+
 private:
     struct FileState {
         uint64_t hash = 0;

@@ -4,19 +4,26 @@
 
 namespace phpsafe {
 
+namespace {
+
+// Locale-free A-Z fold: these helpers run once per identifier character on
+// the analysis hot path, where std::tolower's locale indirection shows up.
+constexpr char fold(char c) noexcept {
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
+}  // namespace
+
 std::string ascii_lower(std::string_view s) {
-    std::string out;
-    out.reserve(s.size());
-    for (unsigned char c : s) out.push_back(static_cast<char>(std::tolower(c)));
+    std::string out(s);
+    for (char& c : out) c = fold(c);
     return out;
 }
 
 bool iequals(std::string_view a, std::string_view b) noexcept {
     if (a.size() != b.size()) return false;
     for (size_t i = 0; i < a.size(); ++i) {
-        if (std::tolower(static_cast<unsigned char>(a[i])) !=
-            std::tolower(static_cast<unsigned char>(b[i])))
-            return false;
+        if (fold(a[i]) != fold(b[i])) return false;
     }
     return true;
 }

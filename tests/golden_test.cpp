@@ -143,5 +143,14 @@ TEST(GoldenNdjsonProtocol, WatchTranscriptMatches) {
     expect_transcript_matches("ndjson_watch");
 }
 
+// The validate-op transcript: scan + payload validate (tiers, quickfixes,
+// confidence in the report), the validate-cache replay on a byte-identical
+// request, the strict error shapes (unknown key, stray keys without a
+// payload, no open session), and session-aware validate against an open
+// watch. Regenerate like ndjson_session.
+TEST(GoldenNdjsonProtocol, ValidateTranscriptMatches) {
+    expect_transcript_matches("ndjson_validate");
+}
+
 }  // namespace
 }  // namespace phpsafe

@@ -309,6 +309,8 @@ TEST(ServerSessionTest, PipelinedSessionMatchesSerialLoopByteForByte) {
         "{\"op\":\"scan\",\"plugin\":\"p2\",\"files\":[{\"name\":\"b.php\","
         "\"text\":\"<?php echo $_GET['b'];\"}]}\n"
         "{\"op\":\"stats\"}\n"
+        "{\"op\":\"validate\",\"plugin\":\"p1\",\"files\":[{\"name\":\"a.php\","
+        "\"text\":\"<?php echo $_GET['a'];\"}]}\n"
         "{\"op\":\"scan\",\"plugin\":\"p3\",\"files\":[{\"name\":\"c.php\","
         "\"text\":\"<?php $v = $_POST['c']; echo $v;\"}]}\n"
         "{\"op\":\"quit\"}\n";
@@ -328,7 +330,7 @@ TEST(ServerSessionTest, PipelinedSessionMatchesSerialLoopByteForByte) {
         options.deterministic = true;
         AnalysisServer server(options);
         std::istringstream in(script);
-        EXPECT_EQ(server.serve_session(in, session_out), 5);
+        EXPECT_EQ(server.serve_session(in, session_out), 6);
     }
     EXPECT_EQ(session_out.str(), serial_out.str());
 }
@@ -598,6 +600,7 @@ TEST(NdjsonFramingTest, UnknownKeysRejectedWithUniformErrorShape) {
         "{\"op\":\"scan\",\"plugin\":\"p\",\"detail\":true,"
         "\"files\":[{\"name\":\"a.php\",\"text\":\"<?php\"}]}\n"
         "{\"op\":\"graph\",\"slot\":\"x\"}\n"
+        "{\"op\":\"validate\",\"bogus\":1}\n"
         "{\"op\":\"quit\"}\n";
     const std::string expected =
         service::render_error_line("unknown key \"extra\" for op \"stats\"") +
@@ -607,6 +610,9 @@ TEST(NdjsonFramingTest, UnknownKeysRejectedWithUniformErrorShape) {
         service::render_error_line("unknown key \"detail\" for op \"scan\"") +
         "\n" +
         service::render_error_line("unknown key \"slot\" for op \"graph\"") +
+        "\n" +
+        service::render_error_line(
+            "unknown key \"bogus\" for op \"validate\"") +
         "\n" + service::render_bye_line() + "\n";
 
     std::ostringstream serial_out;

@@ -6,11 +6,16 @@
 //
 //   phpsafe_fuzz [--iterations N] [--seed S] [--corpus DIR]
 //                [--byte-percent P] [--replay-only] [--no-write]
-//                [--concurrency] [--backend ast|ir|differential]
+//                [--concurrency] [--quickfix]
+//                [--backend ast|ir|differential]
 //
 // --concurrency additionally runs the multi-client interleaving oracle on
 // every case (3 client threads against a shared 4-worker service) — slower
 // per case, so it is opt-in for dedicated CI stages.
+//
+// --quickfix additionally runs the quickfix-soundness oracle on every case
+// (full validation pipeline + an independent rescan per emitted fix) —
+// likewise opt-in for dedicated CI stages.
 //
 // --backend sets PHPSAFE_BACKEND for the whole process before any engine
 // is built, so every oracle (including the service-backed ones) runs its
@@ -34,7 +39,8 @@ int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--iterations N] [--seed S] [--corpus DIR]"
                  " [--byte-percent P] [--replay-only] [--no-write]"
-                 " [--concurrency] [--backend ast|ir|differential]\n";
+                 " [--concurrency] [--quickfix]"
+                 " [--backend ast|ir|differential]\n";
     return 2;
 }
 
@@ -86,6 +92,8 @@ int main(int argc, char** argv) {
             if (!next()) return usage(argv[0]);  // value consumed above
         } else if (arg == "--concurrency") {
             options.oracles.check_concurrency = true;
+        } else if (arg == "--quickfix") {
+            options.oracles.check_quickfix = true;
         } else if (arg == "--replay-only") {
             replay_only = true;
         } else if (arg == "--no-write") {
